@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the graph substrate (the machinery
+//! behind Section 8): policy-graph construction, α/ξ search, secret-graph
+//! distance queries, and neighbor enumeration.
+
+use bf_constraints::marginal::Marginal;
+use bf_constraints::policy_graph::PolicyGraph;
+use bf_constraints::sparse::DEFAULT_SCAN_CAP;
+use bf_core::{enumerate_neighbors, Policy};
+use bf_domain::{Dataset, Domain};
+use bf_graph::SecretGraph;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_policy_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_graph");
+    group.sample_size(20);
+    let domain = Domain::from_cardinalities(&[3, 3, 4]).unwrap();
+    let marginal = Marginal::new(vec![0, 1]);
+    let queries = marginal.queries(&domain);
+
+    group.bench_function("build_marginal_3x3_T36", |b| {
+        b.iter(|| {
+            black_box(
+                PolicyGraph::build(&domain, &SecretGraph::Full, &queries, DEFAULT_SCAN_CAP)
+                    .unwrap(),
+            )
+        });
+    });
+
+    let gp = PolicyGraph::build(&domain, &SecretGraph::Full, &queries, DEFAULT_SCAN_CAP).unwrap();
+    group.bench_function("alpha_9clique", |b| {
+        b.iter(|| black_box(gp.alpha()));
+    });
+    group.finish();
+}
+
+fn bench_secret_graph_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secret_graph");
+    let domain = Domain::from_cardinalities(&[400, 300]).unwrap();
+    let g = SecretGraph::L1Threshold { theta: 90 };
+    group.bench_function("l1_threshold_distance_120k_domain", |b| {
+        let mut x = 0usize;
+        b.iter(|| {
+            x = (x + 9973) % domain.size();
+            black_box(g.distance(&domain, x, domain.size() - 1 - x))
+        });
+    });
+    group.finish();
+}
+
+fn bench_neighbors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbors");
+    group.sample_size(20);
+    let domain = Domain::line(64).unwrap();
+    let policy = Policy::distance_threshold(domain.clone(), 4);
+    let ds = Dataset::from_rows(domain, (0..200).map(|i| i % 64).collect()).unwrap();
+    group.bench_function("enumerate_unconstrained_200rows", |b| {
+        b.iter(|| black_box(enumerate_neighbors(&policy, &ds, 1e18).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policy_graph,
+    bench_secret_graph_distance,
+    bench_neighbors
+);
+criterion_main!(benches);

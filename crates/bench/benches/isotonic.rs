@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks for constrained inference: PAVA isotonic
+//! regression (the Ordered Mechanism's boosting step) across input sizes
+//! and violation patterns.
+
+use bf_mechanisms::isotonic::isotonic_regression;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn noisy_monotone(size: usize) -> Vec<f64> {
+    (0..size)
+        .map(|i| i as f64 + (((i * 2654435761) % 97) as f64 - 48.0))
+        .collect()
+}
+
+fn reversed(size: usize) -> Vec<f64> {
+    (0..size).map(|i| (size - i) as f64).collect()
+}
+
+fn bench_isotonic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isotonic");
+    for &size in &[1_000usize, 100_000] {
+        let near = noisy_monotone(size);
+        group.bench_with_input(BenchmarkId::new("near_monotone", size), &size, |b, _| {
+            b.iter(|| black_box(isotonic_regression(&near)));
+        });
+        let worst = reversed(size);
+        group.bench_with_input(BenchmarkId::new("fully_reversed", size), &size, |b, _| {
+            b.iter(|| black_box(isotonic_regression(&worst)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_isotonic);
+criterion_main!(benches);

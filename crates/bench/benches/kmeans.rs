@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for k-means (the machinery behind
+//! Figure 1): non-private Lloyd vs private iterations under different
+//! policies.
+
+use bf_core::Epsilon;
+use bf_data::seeded_rng;
+use bf_data::synthetic::synthetic_clusters;
+use bf_mechanisms::kmeans::{init_random, lloyd_kmeans, KmeansSecretSpec, PrivateKmeans};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(10);
+    let mut rng = seeded_rng(0xBE9C);
+    let points = synthetic_clusters(5_000, 4, 4, 0.2, &mut rng);
+    let init = init_random(&points, 4, &mut rng);
+    let eps = Epsilon::new(0.5).unwrap();
+
+    group.bench_function("lloyd_10iters_5k", |b| {
+        b.iter(|| black_box(lloyd_kmeans(&points, &init, 10)));
+    });
+
+    for (name, spec) in [
+        ("laplace", KmeansSecretSpec::Full),
+        ("blowfish_theta0.25", KmeansSecretSpec::L1Threshold(0.25)),
+        ("exact_partition", KmeansSecretSpec::Exact),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("private_10iters_5k", name),
+            &spec,
+            |b, spec| {
+                let m = PrivateKmeans::new(4, 10, eps, *spec);
+                let mut run_rng = seeded_rng(7);
+                b.iter(|| black_box(m.run(&points, &init, &mut run_rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks for the range-query mechanisms (the
+//! machinery behind Figure 2): release cost and per-query answering cost
+//! for the hierarchical, ordered and ordered-hierarchical mechanisms.
+
+use bf_core::Epsilon;
+use bf_core::Policy;
+use bf_domain::{Dataset, Domain, Histogram};
+use bf_mechanisms::{
+    HierarchicalMechanism, HistogramMechanism, OrderedHierarchicalMechanism, OrderedMechanism,
+    WaveletMechanism,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn spiky_histogram(size: usize) -> Vec<f64> {
+    (0..size)
+        .map(|i| {
+            if i % 37 == 0 {
+                ((i % 11) * 13) as f64
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+fn bench_releases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("release");
+    group.sample_size(20);
+    let eps = Epsilon::new(0.5).unwrap();
+    for &size in &[512usize, 4096] {
+        let counts = spiky_histogram(size);
+        let cum = Histogram::from_counts(counts.clone()).cumulative();
+
+        group.bench_with_input(BenchmarkId::new("ordered", size), &size, |b, _| {
+            let m = OrderedMechanism::line_graph(eps);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(m.release(&cum, &mut rng).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("hierarchical_f16", size), &size, |b, _| {
+            let m = HierarchicalMechanism::new(16, eps);
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(m.release(&counts, &mut rng)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical_f16_consistent", size),
+            &size,
+            |b, _| {
+                let m = HierarchicalMechanism::new(16, eps).with_consistency();
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| black_box(m.release(&counts, &mut rng)));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("oh_theta64_f16", size), &size, |b, _| {
+            let m = OrderedHierarchicalMechanism::new(eps, 64, 16);
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| black_box(m.release(&counts, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("wavelet", size), &size, |b, _| {
+            let m = WaveletMechanism::new(eps);
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| black_box(m.release(&counts, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_answering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_query");
+    group.sample_size(30);
+    let eps = Epsilon::new(0.5).unwrap();
+    let size = 4096usize;
+    let counts = spiky_histogram(size);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    let oh = OrderedHierarchicalMechanism::new(eps, 64, 16).release(&counts, &mut rng);
+    group.bench_function("oh_answer", |b| {
+        let mut q = 0usize;
+        b.iter(|| {
+            q = (q + 997) % (size - 100);
+            black_box(oh.range(q, q + 99))
+        });
+    });
+
+    let hier = HierarchicalMechanism::new(16, eps).release(&counts, &mut rng);
+    group.bench_function("hierarchical_answer", |b| {
+        let mut q = 0usize;
+        b.iter(|| {
+            q = (q + 997) % (size - 100);
+            black_box(hier.range(q, q + 99))
+        });
+    });
+    group.finish();
+}
+
+fn bench_histogram_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram");
+    group.sample_size(20);
+    let domain = Domain::line(4096).unwrap();
+    let rows: Vec<usize> = (0..100_000).map(|i| (i * 31) % 4096).collect();
+    let ds = Dataset::from_rows(domain.clone(), rows).unwrap();
+    let policy = Policy::differential_privacy(domain);
+    let m = HistogramMechanism::for_policy(&policy, Epsilon::new(0.5).unwrap()).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    group.bench_function("laplace_histogram_100k_rows", |b| {
+        b.iter(|| black_box(m.release(&ds, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_releases,
+    bench_range_answering,
+    bench_histogram_release
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation: fanout sweep for the hierarchical and ordered-hierarchical
+//! mechanisms (DESIGN.md §8). The paper fixes f = 16; this sweep shows
+//! where that sits.
+
+use bf_bench::{mean, timed, Scale, SeriesTable};
+use bf_core::Epsilon;
+use bf_data::adult::adult_capital_loss_like_sized;
+use bf_data::seeded_rng;
+use bf_mechanisms::range_workload::{evaluate_range_mse, random_ranges};
+use bf_mechanisms::{HierarchicalMechanism, OrderedHierarchicalMechanism};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_args();
+    timed("ablation_fanout", || {
+        let trials = scale.pick(8, 30);
+        let queries = scale.pick(1_000, 10_000);
+        let mut rng = seeded_rng(0xAB1);
+        let dataset = adult_capital_loss_like_sized(scale.pick(20_000, 48_842), &mut rng);
+        let histogram = dataset.histogram();
+        let size = histogram.len();
+        let workload = random_ranges(size, queries, &mut rng);
+        let eps = Epsilon::new(0.5).unwrap();
+
+        let fanouts = [2usize, 4, 8, 16, 32];
+        let labels: Vec<String> = fanouts
+            .iter()
+            .flat_map(|f| [format!("hier f={f}"), format!("oh|100 f={f}")])
+            .collect();
+        let mut table = SeriesTable::new(
+            format!("ABLATION fanout sweep, adult-like |T|={size}, eps=0.5: range MSE"),
+            "fanout_row",
+            labels,
+        );
+        let mut row = Vec::new();
+        for &f in &fanouts {
+            let hier = HierarchicalMechanism::new(f, eps);
+            let oh = OrderedHierarchicalMechanism::new(eps, 100, f);
+            let mut h_mse = Vec::with_capacity(trials);
+            let mut o_mse = Vec::with_capacity(trials);
+            for t in 0..trials as u64 {
+                let mut run_rng = StdRng::seed_from_u64(50 + t);
+                h_mse.push(evaluate_range_mse(
+                    &hier.release(histogram.counts(), &mut run_rng),
+                    histogram.counts(),
+                    &workload,
+                ));
+                o_mse.push(evaluate_range_mse(
+                    &oh.release(histogram.counts(), &mut run_rng),
+                    histogram.counts(),
+                    &workload,
+                ));
+            }
+            row.push(mean(&h_mse));
+            row.push(mean(&o_mse));
+        }
+        table.push_row(0.0, row);
+        table.print();
+    });
+}

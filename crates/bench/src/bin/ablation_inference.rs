@@ -1,0 +1,80 @@
+//! Ablation: constrained inference on/off (DESIGN.md §8).
+//!
+//! Compares on the sparse adult-like attribute, at θ = 1:
+//!
+//! * ordered mechanism, raw noisy prefixes,
+//! * ordered mechanism + isotonic inference,
+//! * ordered mechanism + isotonic inference + non-negativity,
+//!
+//! and for the DP baselines at θ = |T|:
+//!
+//! * hierarchical, plain vs with tree-consistency,
+//! * the Privelet wavelet mechanism.
+
+use bf_bench::{epsilon_sweep, mean, timed, Scale, SeriesTable};
+use bf_core::Epsilon;
+use bf_data::adult::adult_capital_loss_like_sized;
+use bf_data::seeded_rng;
+use bf_mechanisms::range_workload::{evaluate_range_mse, random_ranges, RangeAnswerer};
+use bf_mechanisms::{HierarchicalMechanism, OrderedMechanism, WaveletMechanism};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_args();
+    timed("ablation_inference", || {
+        let trials = scale.pick(8, 30);
+        let queries = scale.pick(1_000, 10_000);
+        let mut rng = seeded_rng(0xAB3);
+        let dataset = adult_capital_loss_like_sized(scale.pick(20_000, 48_842), &mut rng);
+        let histogram = dataset.histogram();
+        let cumulative = histogram.cumulative();
+        let size = histogram.len();
+        let workload = random_ranges(size, queries, &mut rng);
+
+        let labels = vec![
+            "ordered raw".to_string(),
+            "ordered+isotonic".to_string(),
+            "ordered+iso+nonneg".to_string(),
+            "hierarchical".to_string(),
+            "hier+consistency".to_string(),
+            "wavelet".to_string(),
+        ];
+        let mut table = SeriesTable::new(
+            format!("ABLATION constrained inference, adult-like |T|={size}: range MSE vs epsilon"),
+            "epsilon",
+            labels,
+        );
+        for &eps_v in &epsilon_sweep() {
+            let eps = Epsilon::new(eps_v).unwrap();
+            let ordered_raw = OrderedMechanism::line_graph(eps).without_inference();
+            let ordered_iso = OrderedMechanism::line_graph(eps);
+            let ordered_nn = OrderedMechanism::line_graph(eps).with_nonnegativity();
+            let hier = HierarchicalMechanism::new(16, eps);
+            let hier_c = HierarchicalMechanism::new(16, eps).with_consistency();
+            let wavelet = WaveletMechanism::new(eps);
+
+            let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 6];
+            for t in 0..trials as u64 {
+                let mut run_rng = StdRng::seed_from_u64(130 + t);
+                let releases: Vec<Box<dyn RangeAnswerer>> = vec![
+                    Box::new(ordered_raw.release(&cumulative, &mut run_rng).unwrap()),
+                    Box::new(ordered_iso.release(&cumulative, &mut run_rng).unwrap()),
+                    Box::new(ordered_nn.release(&cumulative, &mut run_rng).unwrap()),
+                    Box::new(hier.release(histogram.counts(), &mut run_rng)),
+                    Box::new(hier_c.release(histogram.counts(), &mut run_rng)),
+                    Box::new(wavelet.release(histogram.counts(), &mut run_rng)),
+                ];
+                for (col, release) in cols.iter_mut().zip(&releases) {
+                    col.push(evaluate_range_mse(
+                        release.as_ref(),
+                        histogram.counts(),
+                        &workload,
+                    ));
+                }
+            }
+            table.push_row(eps_v, cols.iter().map(|c| mean(c)).collect());
+        }
+        table.print();
+    });
+}

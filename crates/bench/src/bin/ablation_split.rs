@@ -1,0 +1,72 @@
+//! Ablation: the Eq. 15 optimal ε_S/ε_H split vs fixed splits for the
+//! Ordered Hierarchical Mechanism (DESIGN.md §8).
+
+use bf_bench::{mean, timed, Scale, SeriesTable};
+use bf_core::Epsilon;
+use bf_data::adult::adult_capital_loss_like_sized;
+use bf_data::seeded_rng;
+use bf_mechanisms::ordered_hierarchical::{expected_range_error, optimal_split};
+use bf_mechanisms::range_workload::{evaluate_range_mse, random_ranges};
+use bf_mechanisms::OrderedHierarchicalMechanism;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_args();
+    timed("ablation_split", || {
+        let trials = scale.pick(8, 30);
+        let queries = scale.pick(1_000, 10_000);
+        let mut rng = seeded_rng(0xAB2);
+        let dataset = adult_capital_loss_like_sized(scale.pick(20_000, 48_842), &mut rng);
+        let histogram = dataset.histogram();
+        let size = histogram.len();
+        let workload = random_ranges(size, queries, &mut rng);
+        let eps = Epsilon::new(0.5).unwrap();
+        let theta = 100usize;
+        let fanout = 16usize;
+
+        let star = optimal_split(size, theta, fanout);
+        println!(
+            "# Eq. 15 optimal eps_S fraction for |T|={size}, theta={theta}, f={fanout}: {star:.4}"
+        );
+
+        let splits: Vec<(String, Option<f64>)> = vec![
+            ("optimal".into(), None),
+            ("0.1".into(), Some(0.1)),
+            ("0.25".into(), Some(0.25)),
+            ("0.5".into(), Some(0.5)),
+            ("0.75".into(), Some(0.75)),
+            ("0.9".into(), Some(0.9)),
+        ];
+        let mut table = SeriesTable::new(
+            "ABLATION eps_S split sweep (eps=0.5): measured range MSE and Eq. 14 prediction",
+            "row",
+            splits
+                .iter()
+                .flat_map(|(l, _)| [format!("mse@{l}"), format!("eq14@{l}")])
+                .collect(),
+        );
+        let mut row = Vec::new();
+        for (_, frac) in &splits {
+            let mech = match frac {
+                None => OrderedHierarchicalMechanism::new(eps, theta, fanout),
+                Some(f) => OrderedHierarchicalMechanism::new(eps, theta, fanout).with_split(*f),
+            };
+            let (es, eh) = mech.budget(size);
+            let mut errs = Vec::with_capacity(trials);
+            for t in 0..trials as u64 {
+                let mut run_rng = StdRng::seed_from_u64(90 + t);
+                errs.push(evaluate_range_mse(
+                    &mech.release(histogram.counts(), &mut run_rng),
+                    histogram.counts(),
+                    &workload,
+                ));
+            }
+            row.push(mean(&errs));
+            row.push(expected_range_error(size, theta, fanout, es, eh));
+        }
+        table.push_row(0.0, row);
+        table.print();
+        println!("# the optimal column should have the lowest measured MSE (within noise)");
+    });
+}

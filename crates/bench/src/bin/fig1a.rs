@@ -1,0 +1,43 @@
+//! Figure 1(a): twitter k-means — error ratio vs ε under `G^{L1,θ}`.
+//!
+//! Policies: `laplace` (full domain) and `blowfish|θ` for
+//! θ ∈ {2000 km, 1000 km, 500 km, 100 km}. k = 4 clusters, 10 Lloyd
+//! iterations; the reported value is the mean over trials of
+//! objective(private) / objective(non-private).
+
+use bf_bench::kmeans_harness::KmeansExperiment;
+use bf_bench::{epsilon_sweep, timed, Scale};
+use bf_data::seeded_rng;
+use bf_data::twitter::{twitter_grid, twitter_like_sized, TWITTER_N};
+use bf_domain::PointSet;
+use bf_mechanisms::kmeans::KmeansSecretSpec;
+
+fn main() {
+    let scale = Scale::from_args();
+    timed("fig1a", || {
+        let n = scale.pick(20_000, TWITTER_N);
+        let trials = scale.pick(10, 50);
+        let mut rng = seeded_rng(0xF161A);
+        let dataset = twitter_like_sized(n, &mut rng);
+        let points = PointSet::from_grid_dataset(&twitter_grid(), &dataset);
+
+        let specs = [
+            KmeansSecretSpec::Full,
+            KmeansSecretSpec::L1Threshold(2000.0),
+            KmeansSecretSpec::L1Threshold(1000.0),
+            KmeansSecretSpec::L1Threshold(500.0),
+            KmeansSecretSpec::L1Threshold(100.0),
+        ];
+        let exp = KmeansExperiment {
+            trials,
+            ..KmeansExperiment::default()
+        };
+        let table = exp.run(
+            &format!("FIG-1a twitter (n={n}): k-means error ratio vs epsilon, G^(L1,theta) in km"),
+            &points,
+            &specs,
+            &epsilon_sweep(),
+        );
+        table.print();
+    });
+}

@@ -1,0 +1,40 @@
+//! Figure 1(b): skin01 (1% subsample) k-means — error ratio vs ε under
+//! `G^{L1,θ}` with θ ∈ {256, 128, 64, 32} RGB units.
+
+use bf_bench::kmeans_harness::KmeansExperiment;
+use bf_bench::{epsilon_sweep, timed, Scale};
+use bf_data::seeded_rng;
+use bf_data::skin::{skin_like_sized, SKIN_N};
+use bf_mechanisms::kmeans::KmeansSecretSpec;
+
+fn main() {
+    let scale = Scale::from_args();
+    timed("fig1b", || {
+        // skin01 = 1% of the full dataset.
+        let n = scale.pick(SKIN_N / 100, SKIN_N / 100);
+        let trials = scale.pick(10, 50);
+        let mut rng = seeded_rng(0xF161B);
+        let points = skin_like_sized(n, &mut rng);
+
+        let specs = [
+            KmeansSecretSpec::Full,
+            KmeansSecretSpec::L1Threshold(256.0),
+            KmeansSecretSpec::L1Threshold(128.0),
+            KmeansSecretSpec::L1Threshold(64.0),
+            KmeansSecretSpec::L1Threshold(32.0),
+        ];
+        let exp = KmeansExperiment {
+            trials,
+            ..KmeansExperiment::default()
+        };
+        let table = exp.run(
+            &format!(
+                "FIG-1b skin01 (n={n}): k-means error ratio vs epsilon, G^(L1,theta) in RGB units"
+            ),
+            &points,
+            &specs,
+            &epsilon_sweep(),
+        );
+        table.print();
+    });
+}

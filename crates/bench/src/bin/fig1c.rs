@@ -1,0 +1,37 @@
+//! Figure 1(c): synthetic dataset (n = 1000, (0,1)⁴, k = 4, σ = 0.2) —
+//! k-means error ratio vs ε under `G^{L1,θ}` with
+//! θ ∈ {1.0, 0.5, 0.25, 0.1}.
+
+use bf_bench::kmeans_harness::KmeansExperiment;
+use bf_bench::{epsilon_sweep, timed, Scale};
+use bf_data::seeded_rng;
+use bf_data::synthetic::paper_synthetic;
+use bf_mechanisms::kmeans::KmeansSecretSpec;
+
+fn main() {
+    let scale = Scale::from_args();
+    timed("fig1c", || {
+        let trials = scale.pick(10, 50);
+        let mut rng = seeded_rng(0xF161C);
+        let points = paper_synthetic(&mut rng);
+
+        let specs = [
+            KmeansSecretSpec::Full,
+            KmeansSecretSpec::L1Threshold(1.0),
+            KmeansSecretSpec::L1Threshold(0.5),
+            KmeansSecretSpec::L1Threshold(0.25),
+            KmeansSecretSpec::L1Threshold(0.1),
+        ];
+        let exp = KmeansExperiment {
+            trials,
+            ..KmeansExperiment::default()
+        };
+        let table = exp.run(
+            "FIG-1c synthetic (n=1000, k=4, (0,1)^4): k-means error ratio vs epsilon",
+            &points,
+            &specs,
+            &epsilon_sweep(),
+        );
+        table.print();
+    });
+}

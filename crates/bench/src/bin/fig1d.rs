@@ -1,0 +1,76 @@
+//! Figure 1(d): skin — ratio of the Laplace-mechanism objective to the
+//! Blowfish(θ=128) objective, for the 1%, 10% and full datasets at
+//! ε ∈ {0.1, 0.5, 1.0}. Ratios above 1 mean Blowfish clusters better;
+//! the improvement shrinks as the dataset grows.
+
+use bf_bench::{mean, timed, Scale, SeriesTable};
+use bf_core::Epsilon;
+use bf_data::seeded_rng;
+use bf_data::skin::{skin_like_sized, SKIN_N};
+use bf_domain::PointSet;
+use bf_mechanisms::kmeans::{init_random, objective, KmeansSecretSpec, PrivateKmeans};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn objective_for(
+    points: &PointSet,
+    spec: KmeansSecretSpec,
+    eps: Epsilon,
+    trials: usize,
+    base_seed: u64,
+) -> f64 {
+    let mut objs = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(base_seed + t as u64);
+        let init = init_random(points, 4, &mut rng);
+        let mech = PrivateKmeans::new(4, 10, eps, spec);
+        let cents = mech.run(points, &init, &mut rng);
+        objs.push(objective(points, &cents));
+    }
+    mean(&objs)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    timed("fig1d", || {
+        let base_n = scale.pick(SKIN_N / 5, SKIN_N);
+        let trials = scale.pick(5, 50);
+        let mut rng = seeded_rng(0xF161D);
+        let full = skin_like_sized(base_n, &mut rng);
+        let sizes = [
+            ("1%sample", base_n / 100),
+            ("10%sample", base_n / 10),
+            ("full", base_n),
+        ];
+
+        let labels = sizes.iter().map(|(l, _)| l.to_string()).collect();
+        let mut table = SeriesTable::new(
+            format!(
+                "FIG-1d skin (base n={base_n}): objective(Laplace)/objective(Blowfish|128) vs epsilon"
+            ),
+            "epsilon",
+            labels,
+        );
+        for eps_v in [0.1, 0.5, 1.0] {
+            let eps = Epsilon::new(eps_v).unwrap();
+            let mut row = Vec::new();
+            for (i, &(_, n)) in sizes.iter().enumerate() {
+                let mut sub_rng = seeded_rng(0xD00D + i as u64);
+                let idx: Vec<usize> =
+                    rand::seq::index::sample(&mut sub_rng, full.len(), n).into_vec();
+                let pts = full.subset(&idx);
+                let lap = objective_for(&pts, KmeansSecretSpec::Full, eps, trials, 900 + i as u64);
+                let bf = objective_for(
+                    &pts,
+                    KmeansSecretSpec::L1Threshold(128.0),
+                    eps,
+                    trials,
+                    900 + i as u64,
+                );
+                row.push(if bf > 0.0 { lap / bf } else { f64::NAN });
+            }
+            table.push_row(eps_v, row);
+        }
+        table.print();
+    });
+}

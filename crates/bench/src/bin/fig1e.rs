@@ -1,0 +1,63 @@
+//! Figure 1(e): attribute secrets `G^attr` vs the Laplace mechanism on
+//! all three datasets (twitter, skin01, synthetic). The `G^attr` gain
+//! grows with dimensionality: `q_sum` sensitivity drops from `2·Σ|A_i|`
+//! to `2·max|A_i|`.
+
+use bf_bench::kmeans_harness::KmeansExperiment;
+use bf_bench::{epsilon_sweep, timed, Scale, SeriesTable};
+use bf_data::seeded_rng;
+use bf_data::skin::{skin_like_sized, SKIN_N};
+use bf_data::synthetic::paper_synthetic;
+use bf_data::twitter::{twitter_grid, twitter_like_sized, TWITTER_N};
+use bf_domain::PointSet;
+use bf_mechanisms::kmeans::KmeansSecretSpec;
+
+fn main() {
+    let scale = Scale::from_args();
+    timed("fig1e", || {
+        let trials = scale.pick(8, 50);
+        let exp = KmeansExperiment {
+            trials,
+            ..KmeansExperiment::default()
+        };
+        let specs = [KmeansSecretSpec::Full, KmeansSecretSpec::Attribute];
+        let epsilons = epsilon_sweep();
+
+        let mut rng = seeded_rng(0xF161E);
+        let twitter_pts = PointSet::from_grid_dataset(
+            &twitter_grid(),
+            &twitter_like_sized(scale.pick(20_000, TWITTER_N), &mut rng),
+        );
+        let skin_pts = skin_like_sized(SKIN_N / 100, &mut rng);
+        let synth_pts = paper_synthetic(&mut rng);
+
+        let datasets: [(&str, &PointSet); 3] = [
+            ("twitter", &twitter_pts),
+            ("skin01", &skin_pts),
+            ("synth", &synth_pts),
+        ];
+
+        // One merged table matching the figure's six series.
+        let labels: Vec<String> = datasets
+            .iter()
+            .flat_map(|(name, _)| [format!("{name}:laplace"), format!("{name}:attribute")])
+            .collect();
+        let mut merged = SeriesTable::new(
+            "FIG-1e all datasets: G^attr vs Laplace, k-means error ratio vs epsilon",
+            "epsilon",
+            labels,
+        );
+        let tables: Vec<_> = datasets
+            .iter()
+            .map(|(name, pts)| exp.run(name, pts, &specs, &epsilons))
+            .collect();
+        for (i, &eps) in epsilons.iter().enumerate() {
+            let mut row = Vec::with_capacity(6);
+            for t in &tables {
+                row.extend(t.rows()[i].1.iter().copied());
+            }
+            merged.push_row(eps, row);
+        }
+        merged.print();
+    });
+}

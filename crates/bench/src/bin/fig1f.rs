@@ -1,0 +1,73 @@
+//! Figure 1(f): twitter k-means under partitioned secrets `G^P` for
+//! uniform partitions of {10, 100, 1000, 10000, 120000} coarse cells.
+//!
+//! The `q_sum` sensitivity under `G^P` is twice the largest block L1
+//! diameter; at `partition|120000` every grid cell is its own block, the
+//! sensitivity is 0, and clustering is exact (the paper protects only
+//! locations within one ~30 km² cell).
+
+use bf_bench::kmeans_harness::KmeansExperiment;
+use bf_bench::{epsilon_sweep, timed, Scale};
+use bf_data::seeded_rng;
+use bf_data::twitter::{twitter_grid, twitter_like_sized, TWITTER_CELL_KM, TWITTER_N};
+use bf_domain::PointSet;
+use bf_mechanisms::kmeans::KmeansSecretSpec;
+
+/// Largest block L1 diameter (km) for a uniform split of the 400×300 grid
+/// into `bx × by` blocks.
+fn block_diameter_km(bx: usize, by: usize) -> f64 {
+    let bw = 400usize.div_ceil(bx);
+    let bh = 300usize.div_ceil(by);
+    ((bw - 1) + (bh - 1)) as f64 * TWITTER_CELL_KM
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    timed("fig1f", || {
+        let n = scale.pick(20_000, TWITTER_N);
+        let trials = scale.pick(10, 50);
+        let mut rng = seeded_rng(0xF161F);
+        let dataset = twitter_like_sized(n, &mut rng);
+        let points = PointSet::from_grid_dataset(&twitter_grid(), &dataset);
+
+        // (label, blocks per axis); 120000 = the original grid.
+        let partitions: [(&str, usize, usize); 5] = [
+            ("partition|10", 5, 2),
+            ("partition|100", 10, 10),
+            ("partition|1000", 40, 25),
+            ("partition|10000", 100, 100),
+            ("partition|120000", 400, 300),
+        ];
+        let mut specs = vec![KmeansSecretSpec::Full];
+        for &(_, bx, by) in &partitions {
+            if bx == 400 && by == 300 {
+                specs.push(KmeansSecretSpec::Exact);
+            } else {
+                specs.push(KmeansSecretSpec::PartitionMaxDiameter(block_diameter_km(
+                    bx, by,
+                )));
+            }
+        }
+        let exp = KmeansExperiment {
+            trials,
+            ..KmeansExperiment::default()
+        };
+        let table = exp.run(
+            &format!(
+                "FIG-1f twitter (n={n}): k-means error ratio vs epsilon, partitioned secrets G^P"
+            ),
+            &points,
+            &specs,
+            &epsilon_sweep(),
+        );
+        table.print();
+        println!(
+            "# note: partition|p labels, in order: laplace, {}",
+            partitions
+                .iter()
+                .map(|(l, _, _)| *l)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    });
+}

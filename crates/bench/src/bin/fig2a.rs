@@ -1,0 +1,45 @@
+//! Figure 2(a): illustration of the Ordered Hierarchical tree for θ = 4.
+//!
+//! Prints the S-node chain and H subtrees for a small ordered domain,
+//! plus the budget split the mechanism would use.
+
+use bf_bench::timed;
+use bf_mechanisms::ordered_hierarchical::{error_constants, optimal_split};
+
+fn main() {
+    timed("fig2a", || {
+        let size = 16usize;
+        let theta = 4usize;
+        let fanout = 2usize;
+        let k = size.div_ceil(theta);
+
+        println!(
+            "# FIG-2a Ordered Hierarchical structure, |T|={size}, theta={theta}, fanout={fanout}"
+        );
+        println!("#");
+        println!("# S-node chain (prefix counts at stride theta):");
+        for i in 1..=k {
+            let end = (i * theta).min(size);
+            let role = if i == 1 { " (= root of H_1)" } else { "" };
+            println!("#   s_{i} = q[x_1, x_{end}]{role}");
+        }
+        println!("#");
+        println!("# H subtrees (fanout {fanout}, one per theta-block):");
+        for i in 1..=k {
+            let lo = (i - 1) * theta + 1;
+            let hi = (i * theta).min(size);
+            println!("#   H_{i}: interval tree over [x_{lo}, x_{hi}]");
+        }
+        println!("#");
+        let (c1, c2) = error_constants(size, theta, fanout);
+        let frac = optimal_split(size, theta, fanout);
+        println!("# Eq. 14 constants: c1 = {c1:.4}, c2 = {c2:.4}");
+        println!(
+            "# Eq. 15 optimal split: eps_S* = {frac:.4} * eps, eps_H = {:.4} * eps",
+            1.0 - frac
+        );
+        println!("#");
+        println!("# A cumulative count q[x_1, x_j] = s_l + (H_(l+1) sub-range),");
+        println!("# and any range query q[x_i, x_j] = q[x_1,x_j] - q[x_1,x_(i-1)].");
+    });
+}

@@ -1,0 +1,45 @@
+//! Figure 2(b): adult capital-loss — MSE of random range queries vs ε
+//! under the Ordered Hierarchical Mechanism, for
+//! θ ∈ {full, 1000, 500, 100, 50, 10, 1} (domain size 4357, fanout 16).
+
+use bf_bench::range_harness::{RangeExperiment, ThetaSeries};
+use bf_bench::{epsilon_sweep, timed, Scale};
+use bf_data::adult::{adult_capital_loss_like_sized, ADULT_N};
+use bf_data::seeded_rng;
+
+fn main() {
+    let scale = Scale::from_args();
+    timed("fig2b", || {
+        let n = scale.pick(ADULT_N, ADULT_N);
+        let queries = scale.pick(2_000, 10_000);
+        let trials = scale.pick(10, 50);
+        let mut rng = seeded_rng(0xF162B);
+        let dataset = adult_capital_loss_like_sized(n, &mut rng);
+        let histogram = dataset.histogram();
+
+        let series = vec![
+            ThetaSeries::full(),
+            ThetaSeries::new("theta=1000", 1000),
+            ThetaSeries::new("theta=500", 500),
+            ThetaSeries::new("theta=100", 100),
+            ThetaSeries::new("theta=50", 50),
+            ThetaSeries::new("theta=10", 10),
+            ThetaSeries::new("theta=1", 1),
+        ];
+        let exp = RangeExperiment {
+            queries,
+            trials,
+            ..RangeExperiment::default()
+        };
+        let table = exp.run(
+            &format!(
+                "FIG-2b adult capital-loss (n={n}, |T|={}): range-query MSE vs epsilon",
+                histogram.len()
+            ),
+            histogram.counts(),
+            &series,
+            &epsilon_sweep(),
+        );
+        table.print();
+    });
+}

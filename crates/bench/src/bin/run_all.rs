@@ -1,0 +1,64 @@
+//! Runs every experiment binary in sequence and writes each output to
+//! `results/<name>.txt` — the one-command regeneration of all paper
+//! figures and ablations. Pass `--full` to forward paper-scale mode.
+
+use std::fs;
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig1a",
+    "fig1b",
+    "fig1c",
+    "fig1d",
+    "fig1e",
+    "fig1f",
+    "fig2a",
+    "fig2b",
+    "fig2c",
+    "sec8_policy_graph",
+    "sec8_sensitivity",
+    "thm71_bounds",
+    "ablation_fanout",
+    "ablation_split",
+    "ablation_inference",
+];
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe has a parent dir")
+        .to_path_buf();
+    fs::create_dir_all("results").expect("create results/ directory");
+    let mut failures = 0;
+    for name in BINARIES {
+        let path = exe_dir.join(name);
+        let mut cmd = Command::new(&path);
+        if full {
+            cmd.arg("--full");
+        }
+        print!("running {name:<22} ... ");
+        match cmd.output() {
+            Ok(out) if out.status.success() => {
+                fs::write(format!("results/{name}.txt"), &out.stdout).expect("write result file");
+                let timing = String::from_utf8_lossy(&out.stderr);
+                println!("ok {}", timing.trim().rsplit(' ').next().unwrap_or(""));
+            }
+            Ok(out) => {
+                failures += 1;
+                println!("FAILED (status {:?})", out.status.code());
+                eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+            }
+            Err(e) => {
+                failures += 1;
+                println!("FAILED to launch: {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+    println!("all experiment outputs written to results/");
+}

@@ -1,0 +1,162 @@
+//! Section 8 closed forms vs the generic Theorem 8.2 policy-graph bound
+//! vs exact brute-force sensitivity (Definition 5.1) on small domains.
+//!
+//! Rows: scenario, closed form, policy-graph bound, exact S(h,P) at n=3.
+
+use bf_bench::timed;
+use bf_constraints::grid_constraints::{rectangle_predicates, thm_8_6_sensitivity};
+use bf_constraints::marginal::{thm_8_4_sensitivity, thm_8_5_sensitivity, Marginal};
+use bf_constraints::policy_graph::PolicyGraph;
+use bf_constraints::sparse::DEFAULT_SCAN_CAP;
+use bf_core::sensitivity::brute_force_sensitivity_with;
+use bf_core::{CountConstraint, NeighborSemantics, Policy, Predicate};
+use bf_domain::grid::Rectangle;
+use bf_domain::{Dataset, Domain, GridDomain};
+use bf_graph::SecretGraph;
+
+fn hist(d: &Dataset) -> Vec<f64> {
+    d.histogram().counts().to_vec()
+}
+
+fn brute(policy: &Policy, n: usize) -> String {
+    let run = |sem| match brute_force_sensitivity_with(policy, n, &hist, sem, 3e6) {
+        Ok(v) => format!("{v}"),
+        Err(e) => format!("(skipped: {e})"),
+    };
+    format!(
+        "{} / {}",
+        run(NeighborSemantics::Aligned),
+        run(NeighborSemantics::Literal)
+    )
+}
+
+fn main() {
+    timed("sec8_sensitivity", || {
+        println!("# SEC-8 sensitivity: closed form vs Theorem 8.2 bound vs exact brute force");
+        println!("# brute-force column: aligned / literal Definition 4.1 semantics (see");
+        println!("# bf_core::NeighborSemantics — the theorems use the aligned reading;");
+        println!("# the literal reading can exceed them via non-edge correction changes).");
+        println!(
+            "# {:<42} {:>12} {:>12} {:>20}",
+            "scenario", "closed-form", "Gp-bound", "brute-force(n=3)"
+        );
+
+        // --- Theorem 8.4: one marginal, full-domain secrets -------------
+        let domain = Domain::from_cardinalities(&[2, 3]).unwrap();
+        let marginal = Marginal::new(vec![0]);
+        let closed = thm_8_4_sensitivity(&domain, &marginal).unwrap();
+        let queries = marginal.queries(&domain);
+        let gp =
+            PolicyGraph::build(&domain, &SecretGraph::Full, &queries, DEFAULT_SCAN_CAP).unwrap();
+        let seed = Dataset::from_rows(domain.clone(), vec![0, 1, 3]).unwrap();
+        let policy = Policy::with_constraints(
+            domain.clone(),
+            SecretGraph::Full,
+            marginal.constraints(&seed),
+        )
+        .unwrap();
+        println!(
+            "# {:<42} {:>12} {:>12} {:>20}",
+            "Thm 8.4: marginal{A1}, G^full, T=2x3",
+            closed,
+            gp.sensitivity_bound(),
+            brute(&policy, 3)
+        );
+
+        // --- Theorem 8.5: disjoint marginals, attribute secrets ---------
+        let domain = Domain::from_cardinalities(&[2, 2, 2]).unwrap();
+        let m1 = Marginal::new(vec![0]);
+        let m2 = Marginal::new(vec![1]);
+        let closed = thm_8_5_sensitivity(&domain, &[m1.clone(), m2.clone()]).unwrap();
+        let mut queries = m1.queries(&domain);
+        queries.extend(m2.queries(&domain));
+        let gp = PolicyGraph::build(&domain, &SecretGraph::Attribute, &queries, DEFAULT_SCAN_CAP)
+            .unwrap();
+        let seed = Dataset::from_rows(domain.clone(), vec![0, 3, 5]).unwrap();
+        let mut constraints = m1.constraints(&seed);
+        constraints.extend(m2.constraints(&seed));
+        let policy =
+            Policy::with_constraints(domain.clone(), SecretGraph::Attribute, constraints).unwrap();
+        println!(
+            "# {:<42} {:>12} {:>12} {:>20}",
+            "Thm 8.5: marginals{A1},{A2}, G^attr, T=2^3",
+            closed,
+            gp.sensitivity_bound(),
+            brute(&policy, 3)
+        );
+
+        // --- Theorem 8.6: disjoint rectangles, distance secrets ---------
+        let grid = GridDomain::new(vec![4, 1]).unwrap();
+        let rects = vec![
+            Rectangle::new(vec![0, 0], vec![1, 0]).unwrap(),
+            Rectangle::new(vec![3, 0], vec![3, 0]).unwrap(),
+        ];
+        let theta = 2u64;
+        let (closed, exact_flag) = thm_8_6_sensitivity(&grid, &rects, theta).unwrap();
+        let preds = rectangle_predicates(&grid, &rects);
+        let gp = PolicyGraph::build(
+            grid.domain(),
+            &SecretGraph::L1Threshold { theta },
+            &preds,
+            DEFAULT_SCAN_CAP,
+        )
+        .unwrap();
+        let seed = Dataset::from_rows(grid.domain().clone(), vec![0, 2, 3]).unwrap();
+        let constraints: Vec<CountConstraint> = preds
+            .iter()
+            .map(|p| CountConstraint::observed(p.clone(), &seed))
+            .collect();
+        let policy = Policy::with_constraints(
+            grid.domain().clone(),
+            SecretGraph::L1Threshold { theta },
+            constraints,
+        )
+        .unwrap();
+        println!(
+            "# {:<42} {:>12} {:>12} {:>20}",
+            format!(
+                "Thm 8.6: 2 rects, theta={theta}, 4x1 grid{}",
+                if exact_flag { "" } else { " (bound)" }
+            ),
+            closed,
+            gp.sensitivity_bound(),
+            brute(&policy, 3)
+        );
+
+        // --- Unconstrained baseline -------------------------------------
+        let domain = Domain::line(4).unwrap();
+        let policy = Policy::differential_privacy(domain);
+        println!(
+            "# {:<42} {:>12} {:>12} {:>20}",
+            "no constraints, G^full (classic DP)",
+            2.0,
+            "-",
+            brute(&policy, 3)
+        );
+
+        // --- Example: single count query whose critical pair exists -----
+        let domain = Domain::line(4).unwrap();
+        let q = Predicate::of_values(4, &[0, 1]);
+        let gp = PolicyGraph::build(
+            &domain,
+            &SecretGraph::Full,
+            std::slice::from_ref(&q),
+            DEFAULT_SCAN_CAP,
+        )
+        .unwrap();
+        let seed = Dataset::from_rows(domain.clone(), vec![0, 2, 3]).unwrap();
+        let policy = Policy::with_constraints(
+            domain,
+            SecretGraph::Full,
+            vec![CountConstraint::observed(q, &seed)],
+        )
+        .unwrap();
+        println!(
+            "# {:<42} {:>12} {:>12} {:>20}",
+            "1 count query {x<2}, G^full, |T|=4",
+            "-",
+            gp.sensitivity_bound(),
+            brute(&policy, 3)
+        );
+    });
+}

@@ -1,0 +1,124 @@
+//! Shared k-means experiment driver for the Figure 1 binaries.
+
+use crate::{mean, SeriesTable};
+use bf_core::Epsilon;
+use bf_domain::PointSet;
+use bf_mechanisms::kmeans::{
+    init_random, lloyd_kmeans, objective, KmeansSecretSpec, PrivateKmeans,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of a Figure-1-style k-means experiment.
+#[derive(Debug, Clone)]
+pub struct KmeansExperiment {
+    /// Number of clusters (the paper fixes k = 4).
+    pub k: usize,
+    /// Lloyd iterations (the paper fixes 10).
+    pub iterations: usize,
+    /// Repetitions per (ε, policy) cell (the paper uses 50).
+    pub trials: usize,
+    /// Base RNG seed; trial `t` uses `base_seed + t`.
+    pub base_seed: u64,
+}
+
+impl Default for KmeansExperiment {
+    fn default() -> Self {
+        Self {
+            k: 4,
+            iterations: 10,
+            trials: 10,
+            base_seed: 1000,
+        }
+    }
+}
+
+impl KmeansExperiment {
+    /// Runs the experiment: for every ε and policy spec, the mean over
+    /// trials of `objective(private) / objective(non-private)` from shared
+    /// random initializations.
+    pub fn run(
+        &self,
+        title: &str,
+        points: &PointSet,
+        specs: &[KmeansSecretSpec],
+        epsilons: &[f64],
+    ) -> SeriesTable {
+        let labels = specs.iter().map(KmeansSecretSpec::label).collect();
+        let mut table = SeriesTable::new(title, "epsilon", labels);
+        for &eps in epsilons {
+            let epsilon = Epsilon::new(eps).expect("sweep values are positive");
+            let mut row = Vec::with_capacity(specs.len());
+            for spec in specs {
+                let mut ratios = Vec::with_capacity(self.trials);
+                for t in 0..self.trials {
+                    let mut rng = StdRng::seed_from_u64(self.base_seed + t as u64);
+                    let init = init_random(points, self.k, &mut rng);
+                    let baseline = lloyd_kmeans(points, &init, self.iterations);
+                    let base_obj = objective(points, &baseline);
+                    let mech = PrivateKmeans::new(self.k, self.iterations, epsilon, *spec);
+                    let private = mech.run(points, &init, &mut rng);
+                    let priv_obj = objective(points, &private);
+                    ratios.push(if base_obj > 0.0 {
+                        priv_obj / base_obj
+                    } else {
+                        1.0
+                    });
+                }
+                row.push(mean(&ratios));
+            }
+            table.push_row(eps, row);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf_domain::BoundingBox;
+    use rand::Rng;
+
+    fn toy_points() -> PointSet {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut pts = Vec::new();
+        for c in [[1.0, 1.0], [9.0, 9.0]] {
+            for _ in 0..40 {
+                pts.push(vec![
+                    (c[0] + rng.random::<f64>() - 0.5).clamp(0.0, 10.0),
+                    (c[1] + rng.random::<f64>() - 0.5).clamp(0.0, 10.0),
+                ]);
+            }
+        }
+        PointSet::new(pts, BoundingBox::new(vec![0.0, 0.0], vec![10.0, 10.0]))
+    }
+
+    #[test]
+    fn experiment_produces_full_table() {
+        let exp = KmeansExperiment {
+            k: 2,
+            iterations: 3,
+            trials: 2,
+            base_seed: 5,
+        };
+        let specs = [KmeansSecretSpec::Full, KmeansSecretSpec::L1Threshold(1.0)];
+        let t = exp.run("test", &toy_points(), &specs, &[0.5, 1.0]);
+        assert_eq!(t.rows().len(), 2);
+        for (_, vals) in t.rows() {
+            assert_eq!(vals.len(), 2);
+            assert!(vals.iter().all(|v| v.is_finite() && *v > 0.0));
+        }
+    }
+
+    #[test]
+    fn exact_spec_ratio_is_one() {
+        let exp = KmeansExperiment {
+            k: 2,
+            iterations: 3,
+            trials: 2,
+            base_seed: 5,
+        };
+        let t = exp.run("t", &toy_points(), &[KmeansSecretSpec::Exact], &[0.1]);
+        assert!((t.rows()[0].1[0] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared range-query experiment driver for the Figure 2 binaries.
+
+use crate::{mean, SeriesTable};
+use bf_core::Epsilon;
+use bf_mechanisms::range_workload::{evaluate_range_mse, random_ranges};
+use bf_mechanisms::OrderedHierarchicalMechanism;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A θ configuration for the sweep: label plus the threshold in cells
+/// (`None` means "full domain" — ordinary differential privacy).
+#[derive(Debug, Clone)]
+pub struct ThetaSeries {
+    /// Figure-legend label (e.g. `theta=500km`).
+    pub label: String,
+    /// θ in domain cells; `None` ⇒ θ = |T| (hierarchical baseline).
+    pub theta: Option<usize>,
+}
+
+impl ThetaSeries {
+    /// A labelled threshold.
+    pub fn new(label: impl Into<String>, theta: usize) -> Self {
+        Self {
+            label: label.into(),
+            theta: Some(theta),
+        }
+    }
+
+    /// The full-domain (differential privacy) series.
+    pub fn full() -> Self {
+        Self {
+            label: "theta=full".into(),
+            theta: None,
+        }
+    }
+}
+
+/// Configuration of a Figure-2-style range-query experiment.
+#[derive(Debug, Clone)]
+pub struct RangeExperiment {
+    /// Fanout of the hierarchical structures (the paper uses 16).
+    pub fanout: usize,
+    /// Number of random range queries (the paper uses 10,000).
+    pub queries: usize,
+    /// Repetitions per (ε, θ) cell (the paper uses 50).
+    pub trials: usize,
+    /// Base RNG seed.
+    pub base_seed: u64,
+}
+
+impl Default for RangeExperiment {
+    fn default() -> Self {
+        Self {
+            fanout: 16,
+            queries: 2000,
+            trials: 10,
+            base_seed: 2000,
+        }
+    }
+}
+
+impl RangeExperiment {
+    /// Runs the sweep on a histogram: mean MSE of the random-range
+    /// workload for every ε and θ series, using the Ordered Hierarchical
+    /// Mechanism with the optimal budget split.
+    pub fn run(
+        &self,
+        title: &str,
+        histogram: &[f64],
+        series: &[ThetaSeries],
+        epsilons: &[f64],
+    ) -> SeriesTable {
+        let size = histogram.len();
+        let labels = series.iter().map(|s| s.label.clone()).collect();
+        let mut table = SeriesTable::new(title, "epsilon", labels);
+        // One fixed workload per experiment (same queries for every cell,
+        // like the paper).
+        let mut wl_rng = StdRng::seed_from_u64(self.base_seed);
+        let workload = random_ranges(size, self.queries, &mut wl_rng);
+        for &eps in epsilons {
+            let epsilon = Epsilon::new(eps).expect("positive epsilon");
+            let mut row = Vec::with_capacity(series.len());
+            for s in series {
+                let theta = s.theta.unwrap_or(size).min(size);
+                let mech = OrderedHierarchicalMechanism::new(epsilon, theta, self.fanout);
+                let mut errs = Vec::with_capacity(self.trials);
+                for t in 0..self.trials {
+                    let mut rng = StdRng::seed_from_u64(self.base_seed + 7919 * (t as u64 + 1));
+                    let release = mech.release(histogram, &mut rng);
+                    errs.push(evaluate_range_mse(&release, histogram, &workload));
+                }
+                row.push(mean(&errs));
+            }
+            table.push_row(eps, row);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shape_and_theta_ordering() {
+        // Sparse spiky histogram; small θ must beat full domain at the
+        // same ε by a wide margin.
+        let mut h = vec![0.0; 512];
+        h[5] = 300.0;
+        h[200] = 150.0;
+        h[440] = 220.0;
+        let exp = RangeExperiment {
+            fanout: 16,
+            queries: 300,
+            trials: 4,
+            base_seed: 77,
+        };
+        let series = vec![
+            ThetaSeries::full(),
+            ThetaSeries::new("theta=16", 16),
+            ThetaSeries::new("theta=1", 1),
+        ];
+        let t = exp.run("test", &h, &series, &[0.5]);
+        let row = &t.rows()[0].1;
+        assert!(row.iter().all(|v| v.is_finite() && *v > 0.0));
+        assert!(
+            row[2] < row[0],
+            "theta=1 ({}) should beat full ({})",
+            row[2],
+            row[0]
+        );
+        assert!(row[2] < row[1], "theta=1 should beat theta=16");
+    }
+}

@@ -1,0 +1,100 @@
+//! Errors for the constraint-analysis layer.
+
+use std::fmt;
+
+/// Errors raised by sparsity checking and policy-graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// The constraint set is not sparse w.r.t. the secret graph
+    /// (Definition 8.2): some edge lifts or lowers more than one query.
+    NotSparse {
+        /// Offending edge endpoint `x`.
+        x: usize,
+        /// Offending edge endpoint `y`.
+        y: usize,
+        /// Queries lifted by `x → y`.
+        lifted: Vec<usize>,
+        /// Queries lowered by `x → y`.
+        lowered: Vec<usize>,
+    },
+    /// A predicate covered the wrong domain size.
+    PredicateSizeMismatch {
+        /// Expected (domain) size.
+        expected: usize,
+        /// Got (predicate) size.
+        got: usize,
+    },
+    /// Marginal attribute sets must be proper subsets of all attributes
+    /// (`[C] ⊊ A` in Theorems 8.4/8.5).
+    MarginalNotProper,
+    /// Theorem 8.5 requires pairwise-disjoint marginal attribute sets.
+    MarginalsOverlap {
+        /// Indices of two overlapping marginals.
+        first: usize,
+        /// Second overlapping marginal.
+        second: usize,
+    },
+    /// Theorem 8.6 requires pairwise-disjoint rectangles.
+    RectanglesOverlap {
+        /// Indices of two intersecting rectangles.
+        first: usize,
+        /// Second intersecting rectangle.
+        second: usize,
+    },
+    /// The exhaustive edge scan would be too expensive; use a closed-form
+    /// theorem instead.
+    DomainTooLargeForScan {
+        /// Domain size.
+        size: usize,
+        /// Configured cap on `|T|`.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::NotSparse { x, y, lifted, lowered } => write!(
+                f,
+                "constraints are not sparse: edge ({x}, {y}) lifts {lifted:?} and lowers {lowered:?}"
+            ),
+            ConstraintError::PredicateSizeMismatch { expected, got } => {
+                write!(f, "predicate covers {got} values, domain has {expected}")
+            }
+            ConstraintError::MarginalNotProper => {
+                write!(f, "marginal must project onto a proper subset of attributes")
+            }
+            ConstraintError::MarginalsOverlap { first, second } => {
+                write!(f, "marginals {first} and {second} share attributes")
+            }
+            ConstraintError::RectanglesOverlap { first, second } => {
+                write!(f, "rectangles {first} and {second} intersect")
+            }
+            ConstraintError::DomainTooLargeForScan { size, cap } => write!(
+                f,
+                "domain size {size} exceeds the exhaustive-scan cap {cap}; use a closed-form theorem"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = ConstraintError::NotSparse {
+            x: 1,
+            y: 2,
+            lifted: vec![0, 3],
+            lowered: vec![],
+        };
+        assert!(e.to_string().contains("not sparse"));
+        assert!(ConstraintError::MarginalNotProper
+            .to_string()
+            .contains("proper subset"));
+    }
+}

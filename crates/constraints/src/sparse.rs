@@ -1,0 +1,184 @@
+//! Lift/lower analysis and the sparsity check (Definitions 8.1, 8.2).
+//!
+//! For a directed tuple change `x → y` and a count query `q_φ`, exactly one
+//! of three cases holds: the count *lifts* (`¬φ(x) ∧ φ(y)`), *lowers*
+//! (`φ(x) ∧ ¬φ(y)`), or stays put. Constraints `Q` are **sparse** w.r.t.
+//! the secret graph `G` when every edge lifts at most one query in `Q` and
+//! lowers at most one query in `Q` — the condition under which the policy
+//! graph of Definition 8.3 captures the full structure of `S(h, P)`.
+
+use crate::error::ConstraintError;
+use bf_core::Predicate;
+use bf_domain::Domain;
+use bf_graph::SecretGraph;
+
+/// The effect of a directed change `x → y` on a constraint set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiftLower {
+    /// Indices of queries lifted by the change.
+    pub lifted: Vec<usize>,
+    /// Indices of queries lowered by the change.
+    pub lowered: Vec<usize>,
+}
+
+impl LiftLower {
+    /// Analyzes the change `x → y` against every query.
+    pub fn analyze(queries: &[Predicate], x: usize, y: usize) -> Self {
+        let mut lifted = Vec::new();
+        let mut lowered = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            let fx = q.eval(x);
+            let fy = q.eval(y);
+            if !fx && fy {
+                lifted.push(i);
+            } else if fx && !fy {
+                lowered.push(i);
+            }
+        }
+        Self { lifted, lowered }
+    }
+
+    /// Whether this single change respects sparsity (≤1 lift, ≤1 lower).
+    pub fn is_sparse(&self) -> bool {
+        self.lifted.len() <= 1 && self.lowered.len() <= 1
+    }
+}
+
+/// Default cap on `|T|` for the exhaustive pairwise edge scan.
+pub const DEFAULT_SCAN_CAP: usize = 4096;
+
+/// Validates sizes and checks Definition 8.2 sparsity of `queries` w.r.t.
+/// the secret graph by scanning every edge of `G`.
+///
+/// The scan is `O(|T|² · |Q|)`; domains larger than `scan_cap` are
+/// rejected (use the closed-form theorems for the structured scenarios of
+/// Section 8.2 instead).
+///
+/// # Errors
+///
+/// * [`ConstraintError::PredicateSizeMismatch`] for mis-sized predicates,
+/// * [`ConstraintError::DomainTooLargeForScan`] past the cap,
+/// * [`ConstraintError::NotSparse`] naming the first offending edge.
+pub fn check_sparse(
+    domain: &Domain,
+    graph: &SecretGraph,
+    queries: &[Predicate],
+    scan_cap: usize,
+) -> Result<(), ConstraintError> {
+    for q in queries {
+        if q.domain_size() != domain.size() {
+            return Err(ConstraintError::PredicateSizeMismatch {
+                expected: domain.size(),
+                got: q.domain_size(),
+            });
+        }
+    }
+    if domain.size() > scan_cap {
+        return Err(ConstraintError::DomainTooLargeForScan {
+            size: domain.size(),
+            cap: scan_cap,
+        });
+    }
+    for x in domain.indices() {
+        for y in (x + 1)..domain.size() {
+            if !graph.is_edge(domain, x, y) {
+                continue;
+            }
+            // Sparsity is symmetric: x→y lifts what y→x lowers. One
+            // direction suffices.
+            let ll = LiftLower::analyze(queries, x, y);
+            if !ll.is_sparse() {
+                return Err(ConstraintError::NotSparse {
+                    x,
+                    y,
+                    lifted: ll.lifted,
+                    lowered: ll.lowered,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc_domain() -> Domain {
+        // Section 8's running example: A1={a1,a2}, A2={b1,b2}, A3={c1..c3}.
+        Domain::from_cardinalities(&[2, 2, 3]).unwrap()
+    }
+
+    /// The four marginal queries of Figure 3(a): q_i fixes (A1, A2).
+    fn marginal_queries(domain: &Domain) -> Vec<Predicate> {
+        let mut out = Vec::new();
+        for a1 in 0..2u32 {
+            for a2 in 0..2u32 {
+                out.push(Predicate::from_fn(domain.size(), |x| {
+                    domain.attribute_value(x, 0) == a1 && domain.attribute_value(x, 1) == a2
+                }));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn example_8_1_is_sparse() {
+        let d = abc_domain();
+        let qs = marginal_queries(&d);
+        assert!(check_sparse(&d, &SecretGraph::Full, &qs, DEFAULT_SCAN_CAP).is_ok());
+    }
+
+    #[test]
+    fn example_8_1_lift_lower_cases() {
+        let d = abc_domain();
+        let qs = marginal_queries(&d);
+        // (a1,b1,c1) -> (a2,b2,c2): lifts q4 (index 3), lowers q1 (index 0).
+        let x = d.encode(&[0, 0, 0]).unwrap();
+        let y = d.encode(&[1, 1, 1]).unwrap();
+        let ll = LiftLower::analyze(&qs, x, y);
+        assert_eq!(ll.lifted, vec![3]);
+        assert_eq!(ll.lowered, vec![0]);
+        // (a1,b2,c1) -> (a1,b2,c2): neither lifts nor lowers.
+        let x = d.encode(&[0, 1, 0]).unwrap();
+        let y = d.encode(&[0, 1, 1]).unwrap();
+        let ll = LiftLower::analyze(&qs, x, y);
+        assert!(ll.lifted.is_empty() && ll.lowered.is_empty());
+    }
+
+    #[test]
+    fn overlapping_queries_not_sparse() {
+        let d = Domain::line(4).unwrap();
+        // Two overlapping prefix queries: moving 3 -> 0 lifts both.
+        let q1 = Predicate::of_values(4, &[0, 1]);
+        let q2 = Predicate::of_values(4, &[0, 1, 2]);
+        let err = check_sparse(&d, &SecretGraph::Full, &[q1, q2], DEFAULT_SCAN_CAP).unwrap_err();
+        assert!(matches!(err, ConstraintError::NotSparse { .. }));
+    }
+
+    #[test]
+    fn narrow_graph_can_restore_sparsity() {
+        // The same overlapping queries are sparse w.r.t. the line graph:
+        // adjacent moves cross at most one query boundary.
+        let d = Domain::line(4).unwrap();
+        let q1 = Predicate::of_values(4, &[0, 1]);
+        let q2 = Predicate::of_values(4, &[0, 1, 2]);
+        assert!(check_sparse(&d, &SecretGraph::line(), &[q1, q2], DEFAULT_SCAN_CAP).is_ok());
+    }
+
+    #[test]
+    fn size_mismatch_and_cap() {
+        let d = Domain::line(4).unwrap();
+        let bad = Predicate::of_values(5, &[0]);
+        assert!(matches!(
+            check_sparse(&d, &SecretGraph::Full, &[bad], DEFAULT_SCAN_CAP),
+            Err(ConstraintError::PredicateSizeMismatch { .. })
+        ));
+        let big = Domain::line(100).unwrap();
+        let q = Predicate::of_values(100, &[0]);
+        assert!(matches!(
+            check_sparse(&big, &SecretGraph::Full, &[q], 10),
+            Err(ConstraintError::DomainTooLargeForScan { .. })
+        ));
+    }
+}

@@ -1,0 +1,158 @@
+//! Composition of Blowfish mechanisms (Section 4.1).
+//!
+//! * **Sequential composition** (Theorem 4.1): running `(ε₁, P)` and
+//!   `(ε₂, P)` mechanisms on the same data (the second may depend on the
+//!   first's output) yields `(ε₁ + ε₂, P)`-Blowfish privacy.
+//! * **Parallel composition** (Theorem 4.2): with a cardinality constraint
+//!   and mechanisms run on disjoint id subsets, the composite guarantee is
+//!   `max_i ε_i`. With general constraints (Theorem 4.3) the same holds if
+//!   the constraints can be partitioned so each only *affects* one subset
+//!   (no critical secret pairs crossing subsets).
+//!
+//! [`BudgetAccountant`] is the bookkeeping object mechanisms share: a total
+//! ε budget that sequential spends draw down.
+
+use crate::epsilon::Epsilon;
+use crate::error::CoreError;
+
+/// ε of the sequential composition of mechanisms (Theorem 4.1): the sum.
+pub fn sequential_epsilon(parts: &[Epsilon]) -> Option<Epsilon> {
+    if parts.is_empty() {
+        return None;
+    }
+    let sum: f64 = parts.iter().map(Epsilon::value).sum();
+    Epsilon::new(sum).ok()
+}
+
+/// ε of the parallel composition of mechanisms on disjoint id subsets
+/// (Theorem 4.2): the max.
+pub fn parallel_epsilon(parts: &[Epsilon]) -> Option<Epsilon> {
+    parts
+        .iter()
+        .map(Epsilon::value)
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        })
+        .and_then(|v| Epsilon::new(v).ok())
+}
+
+/// A privacy-budget accountant: a fixed total ε drawn down by sequential
+/// spends.
+///
+/// The accountant enforces the sequential-composition invariant that the
+/// sum of spent ε never exceeds the total, so a pipeline of releases built
+/// against one accountant satisfies `(total, P)`-Blowfish privacy.
+///
+/// # Examples
+///
+/// ```
+/// use bf_core::{BudgetAccountant, Epsilon};
+///
+/// let mut acct = BudgetAccountant::new(Epsilon::new(1.0).unwrap());
+/// acct.spend("histogram", Epsilon::new(0.6).unwrap()).unwrap();
+/// assert!(acct.spend("too-much", Epsilon::new(0.5).unwrap()).is_err());
+/// assert!((acct.remaining() - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BudgetAccountant {
+    total: Epsilon,
+    spent: f64,
+    ledger: Vec<(String, f64)>,
+}
+
+impl BudgetAccountant {
+    /// Creates an accountant with the given total budget.
+    pub fn new(total: Epsilon) -> Self {
+        Self {
+            total,
+            spent: 0.0,
+            ledger: Vec::new(),
+        }
+    }
+
+    /// The total budget.
+    pub fn total(&self) -> Epsilon {
+        self.total
+    }
+
+    /// Budget spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total.value() - self.spent).max(0.0)
+    }
+
+    /// Spends `epsilon` on a named release.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BudgetExhausted`] when the spend would exceed the
+    /// total (with a tiny tolerance for floating-point dust).
+    pub fn spend(&mut self, label: impl Into<String>, epsilon: Epsilon) -> Result<(), CoreError> {
+        let request = epsilon.value();
+        const TOL: f64 = 1e-12;
+        if self.spent + request > self.total.value() + TOL {
+            return Err(CoreError::BudgetExhausted {
+                remaining: self.remaining(),
+                requested: request,
+            });
+        }
+        self.spent += request;
+        self.ledger.push((label.into(), request));
+        Ok(())
+    }
+
+    /// The labelled spend history.
+    pub fn ledger(&self) -> &[(String, f64)] {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn sequential_sums() {
+        let e = sequential_epsilon(&[eps(0.1), eps(0.2), eps(0.3)]).unwrap();
+        assert!((e.value() - 0.6).abs() < 1e-12);
+        assert!(sequential_epsilon(&[]).is_none());
+    }
+
+    #[test]
+    fn parallel_maxes() {
+        let e = parallel_epsilon(&[eps(0.1), eps(0.5), eps(0.3)]).unwrap();
+        assert_eq!(e.value(), 0.5);
+        assert!(parallel_epsilon(&[]).is_none());
+    }
+
+    #[test]
+    fn accountant_enforces_budget() {
+        let mut acct = BudgetAccountant::new(eps(1.0));
+        acct.spend("histogram", eps(0.6)).unwrap();
+        assert!((acct.remaining() - 0.4).abs() < 1e-12);
+        assert!(matches!(
+            acct.spend("kmeans", eps(0.5)),
+            Err(CoreError::BudgetExhausted { .. })
+        ));
+        acct.spend("range", eps(0.4)).unwrap();
+        assert!(acct.remaining() < 1e-12);
+        assert_eq!(acct.ledger().len(), 2);
+    }
+
+    #[test]
+    fn accountant_tolerates_fp_dust() {
+        let mut acct = BudgetAccountant::new(eps(1.0));
+        for _ in 0..10 {
+            acct.spend("slice", eps(0.1)).unwrap();
+        }
+        assert!(acct.remaining() < 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! Critical secret pairs and the parallel-composition precondition
+//! (Theorem 4.3).
+//!
+//! A secret pair `(s_x, s_y)` is *critical* to a constraint `q` when
+//! changing a tuple from `x` to `y` can break `q` — for count-query
+//! constraints, exactly when the change lifts or lowers the count
+//! (Definition 8.1). Theorem 4.3 allows parallel composition over
+//! disjoint id subsets when the constraints split into groups each
+//! affecting only one subset; with uniform per-individual secrets (the
+//! paper's setting and ours), a constraint with *any* critical pair
+//! affects every subset, so the usable condition is that every constraint
+//! has an empty critical set — e.g. counts aligned with disconnected
+//! components of the secret graph (the Section 4.1 closing example).
+
+use crate::constraint::CountConstraint;
+use crate::policy::Policy;
+use bf_domain::Domain;
+use bf_graph::SecretGraph;
+
+/// All secret-graph edges critical to a count constraint: edges `(x, y)`
+/// whose change lifts or lowers the count. `O(|T|²)` scan — intended for
+/// policy design/validation, not hot paths.
+pub fn critical_edges(
+    domain: &Domain,
+    graph: &SecretGraph,
+    constraint: &CountConstraint,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for x in domain.indices() {
+        for y in (x + 1)..domain.size() {
+            if graph.is_edge(domain, x, y) && (constraint.lifts(x, y) || constraint.lowers(x, y)) {
+                out.push((x, y));
+            }
+        }
+    }
+    out
+}
+
+/// Whether a constraint has no critical pairs w.r.t. the secret graph
+/// (`crit(q) = ∅`).
+pub fn has_no_critical_pairs(
+    domain: &Domain,
+    graph: &SecretGraph,
+    constraint: &CountConstraint,
+) -> bool {
+    for x in domain.indices() {
+        for y in (x + 1)..domain.size() {
+            if graph.is_edge(domain, x, y) && (constraint.lifts(x, y) || constraint.lowers(x, y)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether Theorem 4.3 parallel composition applies to this policy for
+/// *arbitrary* disjoint id subsets: with uniform per-individual secrets
+/// this requires every constraint's critical set to be empty.
+///
+/// Returns `Ok(())` or the index of the first offending constraint with
+/// one of its critical edges.
+pub fn parallel_composition_safe(policy: &Policy) -> Result<(), (usize, (usize, usize))> {
+    let domain = policy.domain();
+    let graph = policy.graph();
+    for (i, c) in policy.constraints().iter().enumerate() {
+        if let Some(&edge) = critical_edges(domain, graph, c).first() {
+            return Err((i, edge));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Predicate;
+    use bf_domain::{Dataset, Partition};
+
+    /// The Section 4.1 closing example: counts aligned with the two
+    /// components of a partition graph have empty critical sets, so
+    /// parallel composition is safe.
+    #[test]
+    fn aligned_counts_have_no_critical_pairs() {
+        let domain = Domain::line(6).unwrap();
+        let graph = SecretGraph::Partition(Partition::intervals(6, 3));
+        let ds = Dataset::from_rows(domain.clone(), vec![0, 4]).unwrap();
+        let q_s = CountConstraint::observed(Predicate::of_values(6, &[0, 1, 2]), &ds);
+        let q_t = CountConstraint::observed(Predicate::of_values(6, &[3, 4, 5]), &ds);
+        assert!(has_no_critical_pairs(&domain, &graph, &q_s));
+        assert!(has_no_critical_pairs(&domain, &graph, &q_t));
+        let policy = Policy::with_constraints(domain, graph, vec![q_s, q_t]).unwrap();
+        assert!(parallel_composition_safe(&policy).is_ok());
+    }
+
+    /// The Section 4.1 counterexample: a gender count with full-domain
+    /// secrets is critical (a single change flips it), so parallel
+    /// composition is not guaranteed.
+    #[test]
+    fn gender_count_is_critical_under_full_secrets() {
+        let domain = Domain::from_cardinalities(&[2]).unwrap();
+        let ds = Dataset::from_rows(domain.clone(), vec![0, 1]).unwrap();
+        let males = CountConstraint::observed(Predicate::of_values(2, &[0]), &ds);
+        assert!(!has_no_critical_pairs(&domain, &SecretGraph::Full, &males));
+        let policy =
+            Policy::with_constraints(domain.clone(), SecretGraph::Full, vec![males.clone()])
+                .unwrap();
+        let err = parallel_composition_safe(&policy).unwrap_err();
+        assert_eq!(err.0, 0);
+        assert_eq!(
+            critical_edges(&domain, &SecretGraph::Full, &males),
+            vec![(0, 1)]
+        );
+    }
+
+    /// Constraints over a full partition block are never critical for the
+    /// partition graph, but become critical once the block is split.
+    #[test]
+    fn criticality_depends_on_alignment() {
+        let domain = Domain::line(4).unwrap();
+        let graph = SecretGraph::Partition(Partition::intervals(4, 2));
+        let ds = Dataset::from_rows(domain.clone(), vec![0]).unwrap();
+        let aligned = CountConstraint::observed(Predicate::of_values(4, &[0, 1]), &ds);
+        let split = CountConstraint::observed(Predicate::of_values(4, &[0]), &ds);
+        assert!(has_no_critical_pairs(&domain, &graph, &aligned));
+        assert!(!has_no_critical_pairs(&domain, &graph, &split));
+        assert_eq!(critical_edges(&domain, &graph, &split), vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,105 @@
+//! The privacy parameter ε.
+
+use crate::error::CoreError;
+use std::fmt;
+
+/// A validated privacy-loss parameter `ε > 0`.
+///
+/// ε is the "knob" differential privacy exposes; Blowfish keeps it and adds
+/// the policy as a second, richer knob (Section 1).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Validates and wraps an ε value.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidEpsilon`] unless `0 < ε < ∞`.
+    pub fn new(value: f64) -> Result<Self, CoreError> {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(CoreError::InvalidEpsilon(value));
+        }
+        Ok(Self(value))
+    }
+
+    /// The raw value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// Splits ε into two parts `(fraction·ε, (1−fraction)·ε)` — used by the
+    /// Ordered Hierarchical mechanism's `ε = ε_S + ε_H` budget split.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction < 1`.
+    pub fn split(&self, fraction: f64) -> (Epsilon, Epsilon) {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "split fraction must be in (0,1)"
+        );
+        (
+            Epsilon(self.0 * fraction),
+            Epsilon(self.0 * (1.0 - fraction)),
+        )
+    }
+
+    /// Divides ε evenly into `parts` pieces (uniform budgeting across tree
+    /// levels, Section 7.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts == 0`.
+    pub fn divide(&self, parts: usize) -> Epsilon {
+        assert!(parts > 0);
+        Epsilon(self.0 / parts as f64)
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Epsilon {
+    type Error = CoreError;
+
+    fn try_from(v: f64) -> Result<Self, CoreError> {
+        Epsilon::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Epsilon::new(0.1).is_ok());
+        assert!(Epsilon::new(0.0).is_err());
+        assert!(Epsilon::new(-1.0).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+        assert!(Epsilon::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn split_sums_to_whole() {
+        let e = Epsilon::new(1.0).unwrap();
+        let (a, b) = e.split(0.3);
+        assert!((a.value() + b.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divide() {
+        let e = Epsilon::new(0.8).unwrap();
+        assert!((e.divide(4).value() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_and_try_from() {
+        let e: Epsilon = 0.5f64.try_into().unwrap();
+        assert_eq!(e.to_string(), "ε=0.5");
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for the privacy core.
+
+use bf_domain::DomainError;
+use std::fmt;
+
+/// Errors raised by policy construction and mechanism execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A domain-layer error.
+    Domain(DomainError),
+    /// Epsilon must be strictly positive and finite.
+    InvalidEpsilon(f64),
+    /// Sensitivity must be non-negative and finite.
+    InvalidSensitivity(f64),
+    /// The privacy budget was exhausted.
+    BudgetExhausted {
+        /// Remaining budget.
+        remaining: f64,
+        /// Requested spend.
+        requested: f64,
+    },
+    /// A predicate or constraint covered the wrong domain size.
+    PredicateSizeMismatch {
+        /// Domain size.
+        expected: usize,
+        /// Predicate size.
+        got: usize,
+    },
+    /// The dataset violates the policy's public constraints, so no
+    /// Blowfish-private release is defined for it.
+    ConstraintViolated {
+        /// Index of the violated constraint inside the policy.
+        constraint: usize,
+    },
+    /// The requested operation needs an exhaustive search that would exceed
+    /// the configured limit (e.g. brute-force sensitivity on a large
+    /// domain).
+    SearchSpaceTooLarge {
+        /// Estimated number of states.
+        states: f64,
+        /// Configured cap.
+        cap: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Domain(e) => write!(f, "domain error: {e}"),
+            CoreError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be positive and finite, got {e}")
+            }
+            CoreError::InvalidSensitivity(s) => {
+                write!(f, "sensitivity must be non-negative and finite, got {s}")
+            }
+            CoreError::BudgetExhausted {
+                remaining,
+                requested,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested {requested}, remaining {remaining}"
+            ),
+            CoreError::PredicateSizeMismatch { expected, got } => write!(
+                f,
+                "predicate covers {got} values but the domain has {expected}"
+            ),
+            CoreError::ConstraintViolated { constraint } => {
+                write!(f, "dataset violates public constraint #{constraint}")
+            }
+            CoreError::SearchSpaceTooLarge { states, cap } => write!(
+                f,
+                "exhaustive search space of ~{states:.3e} states exceeds cap {cap:.3e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Domain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DomainError> for CoreError {
+    fn from(e: DomainError) -> Self {
+        CoreError::Domain(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(CoreError::InvalidEpsilon(-1.0).to_string().contains("-1"));
+        let e: CoreError = DomainError::EmptyDomain.into();
+        assert!(e.to_string().contains("domain error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

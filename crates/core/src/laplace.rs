@@ -1,0 +1,231 @@
+//! Laplace sampling and the policy-calibrated Laplace mechanism.
+//!
+//! Theorem 5.1: releasing `f(D) + η` with `η_i ~ Lap(S(f,P)/ε)` i.i.d.
+//! satisfies `(ε, P)`-Blowfish privacy. With the complete secret graph this
+//! is exactly the classical Laplace mechanism of Dwork et al.
+
+use crate::epsilon::Epsilon;
+use crate::error::CoreError;
+use rand::Rng;
+
+/// Draws one sample from the Laplace distribution with the given scale
+/// (mean 0), via inverse-CDF sampling on a uniform variate.
+pub fn sample_laplace(rng: &mut impl Rng, scale: f64) -> f64 {
+    debug_assert!(scale >= 0.0, "scale must be non-negative");
+    if scale == 0.0 {
+        return 0.0;
+    }
+    // u uniform in (-0.5, 0.5]; inverse CDF of Laplace.
+    let u: f64 = rng.random::<f64>() - 0.5;
+    // Guard the log endpoint: u = -0.5 would give ln(0).
+    let u = if u <= -0.5 { -0.4999999999999999 } else { u };
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln_1p_stable()
+}
+
+/// `ln(1 - 2|u|)` computed as `ln_1p(-2|u|)` for accuracy near 0.
+trait Ln1pStable {
+    fn ln_1p_stable(self) -> f64;
+}
+
+impl Ln1pStable for f64 {
+    fn ln_1p_stable(self) -> f64 {
+        // self is (1 - 2|u|) ∈ (0, 1]; express as ln_1p(self - 1).
+        (self - 1.0).ln_1p()
+    }
+}
+
+/// Variance of `Lap(scale)`: `2·scale²`. The paper's per-cell error
+/// `E(Lap(2/ε))² = 8/ε²` follows.
+pub fn laplace_variance(scale: f64) -> f64 {
+    2.0 * scale * scale
+}
+
+/// Expected mean-squared error of a `d`-dimensional Laplace release with
+/// the given scale (Definition 2.4): `d · 2·scale²`.
+pub fn laplace_mse(dimension: usize, scale: f64) -> f64 {
+    dimension as f64 * laplace_variance(scale)
+}
+
+/// The vector Laplace mechanism: adds i.i.d. `Lap(sensitivity/ε)` noise.
+///
+/// # Examples
+///
+/// ```
+/// use bf_core::{Epsilon, LaplaceMechanism};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mech = LaplaceMechanism::new(Epsilon::new(0.5).unwrap(), 2.0).unwrap();
+/// assert_eq!(mech.scale(), 4.0); // S(f,P)/ε
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let noisy = mech.release(&[10.0, 20.0], &mut rng);
+/// assert_eq!(noisy.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceMechanism {
+    epsilon: Epsilon,
+    sensitivity: f64,
+}
+
+impl LaplaceMechanism {
+    /// Builds a mechanism for a query with the given (policy-specific)
+    /// sensitivity.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSensitivity`] for negative or non-finite
+    /// sensitivity.
+    pub fn new(epsilon: Epsilon, sensitivity: f64) -> Result<Self, CoreError> {
+        if !(sensitivity.is_finite() && sensitivity >= 0.0) {
+            return Err(CoreError::InvalidSensitivity(sensitivity));
+        }
+        Ok(Self {
+            epsilon,
+            sensitivity,
+        })
+    }
+
+    /// The privacy parameter.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// The calibrated sensitivity.
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// Noise scale `b = S(f,P)/ε`.
+    pub fn scale(&self) -> f64 {
+        self.sensitivity / self.epsilon.value()
+    }
+
+    /// Expected squared error per released component, `2b²`.
+    pub fn per_component_error(&self) -> f64 {
+        laplace_variance(self.scale())
+    }
+
+    /// Releases a noisy copy of `answer`.
+    pub fn release(&self, answer: &[f64], rng: &mut impl Rng) -> Vec<f64> {
+        let scale = self.scale();
+        answer
+            .iter()
+            .map(|&a| a + sample_laplace(rng, scale))
+            .collect()
+    }
+
+    /// Releases noisy values in place.
+    pub fn release_in_place(&self, answer: &mut [f64], rng: &mut impl Rng) {
+        let scale = self.scale();
+        for a in answer {
+            *a += sample_laplace(rng, scale);
+        }
+    }
+
+    /// Releases a single noisy scalar.
+    pub fn release_scalar(&self, answer: f64, rng: &mut impl Rng) -> f64 {
+        answer + sample_laplace(rng, self.scale())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn laplace_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let scale = 2.0;
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_laplace(&mut rng, scale)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!(
+            (var - laplace_variance(scale)).abs() / laplace_variance(scale) < 0.05,
+            "variance {var} expected {}",
+            laplace_variance(scale)
+        );
+    }
+
+    #[test]
+    fn laplace_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let pos = (0..n)
+            .filter(|_| sample_laplace(&mut rng, 1.0) > 0.0)
+            .count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn zero_scale_is_exact() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sample_laplace(&mut rng, 0.0), 0.0);
+        let m = LaplaceMechanism::new(Epsilon::new(1.0).unwrap(), 0.0).unwrap();
+        assert_eq!(m.release(&[5.0, 6.0], &mut rng), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn mechanism_scale() {
+        let m = LaplaceMechanism::new(Epsilon::new(0.5).unwrap(), 2.0).unwrap();
+        assert_eq!(m.scale(), 4.0);
+        assert_eq!(m.per_component_error(), 32.0);
+        assert_eq!(laplace_mse(3, 4.0), 96.0);
+    }
+
+    #[test]
+    fn invalid_sensitivity_rejected() {
+        let e = Epsilon::new(1.0).unwrap();
+        assert!(LaplaceMechanism::new(e, -1.0).is_err());
+        assert!(LaplaceMechanism::new(e, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn release_unbiased() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = LaplaceMechanism::new(Epsilon::new(1.0).unwrap(), 1.0).unwrap();
+        let trials = 50_000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            acc += m.release_scalar(10.0, &mut rng);
+        }
+        let mean = acc / trials as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+    }
+
+    /// Empirical check of the (ε,P) likelihood-ratio inequality on a
+    /// discretized output: for neighbor answers differing by the
+    /// sensitivity, the histogram ratio of outputs must be ≤ e^ε within
+    /// sampling error.
+    #[test]
+    fn privacy_inequality_empirical() {
+        let eps = 1.0;
+        let m = LaplaceMechanism::new(Epsilon::new(eps).unwrap(), 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 400_000;
+        let width = 0.25;
+        let bucket = |v: f64| ((v / width).floor() as i64).clamp(-40, 40);
+        let mut h1 = std::collections::HashMap::new();
+        let mut h2 = std::collections::HashMap::new();
+        for _ in 0..n {
+            *h1.entry(bucket(m.release_scalar(0.0, &mut rng)))
+                .or_insert(0u64) += 1;
+            *h2.entry(bucket(m.release_scalar(1.0, &mut rng)))
+                .or_insert(0u64) += 1;
+        }
+        for (b, &c1) in &h1 {
+            let c2 = *h2.get(b).unwrap_or(&0);
+            if c1 > 500 && c2 > 500 {
+                let ratio = c1 as f64 / c2 as f64;
+                assert!(
+                    ratio < (eps).exp() * 1.15,
+                    "bucket {b}: ratio {ratio} exceeds e^ε"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Secrets and discriminative pairs (Section 3.1).
+//!
+//! A secret `s_x^i` is the propositional statement "individual `i`'s tuple
+//! equals `x`"; a discriminative pair `(s_x^i, s_y^i)` is a pair of
+//! mutually exclusive secrets that an adversary must not distinguish.
+//! The set of discriminative pairs of a policy is generated from the secret
+//! graph: `S^G_pairs = {(s_x^i, s_y^i) | ∀i, (x, y) ∈ E}`.
+//!
+//! These types exist mostly for clarity of the verification code: the
+//! high-performance paths work directly with `(id, x, y)` triples.
+
+use bf_domain::Domain;
+use std::fmt;
+
+/// The secret `s_x^i`: "tuple of individual `id` has domain value `value`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Secret {
+    /// The individual the secret is about.
+    pub id: usize,
+    /// The claimed domain value (dense index).
+    pub value: usize,
+}
+
+impl Secret {
+    /// Creates the secret `s_value^id`.
+    pub fn new(id: usize, value: usize) -> Self {
+        Self { id, value }
+    }
+
+    /// Renders against a domain for human-readable output.
+    pub fn render(&self, domain: &Domain) -> String {
+        format!("s[id={}, t={}]", self.id, domain.render(self.value))
+    }
+}
+
+impl fmt::Display for Secret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s[id={}, x={}]", self.id, self.value)
+    }
+}
+
+/// A discriminative pair `(s_x^i, s_y^i)`: two mutually exclusive secrets
+/// about the same individual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DiscriminativePair {
+    /// The individual.
+    pub id: usize,
+    /// First value `x`.
+    pub x: usize,
+    /// Second value `y`.
+    pub y: usize,
+}
+
+impl DiscriminativePair {
+    /// Creates the pair, normalizing so `x < y` (pairs are unordered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == y` — secrets in a pair must be mutually exclusive.
+    pub fn new(id: usize, x: usize, y: usize) -> Self {
+        assert_ne!(x, y, "discriminative secrets must be mutually exclusive");
+        let (x, y) = if x < y { (x, y) } else { (y, x) };
+        Self { id, x, y }
+    }
+
+    /// The two secrets in the pair.
+    pub fn secrets(&self) -> (Secret, Secret) {
+        (Secret::new(self.id, self.x), Secret::new(self.id, self.y))
+    }
+}
+
+impl fmt::Display for DiscriminativePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(s[{}]={}, s[{}]={})", self.id, self.x, self.id, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_is_normalized() {
+        let p = DiscriminativePair::new(3, 7, 2);
+        assert_eq!(p.x, 2);
+        assert_eq!(p.y, 7);
+        let (a, b) = p.secrets();
+        assert_eq!(a, Secret::new(3, 2));
+        assert_eq!(b, Secret::new(3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn equal_values_panic() {
+        let _ = DiscriminativePair::new(0, 1, 1);
+    }
+
+    #[test]
+    fn rendering() {
+        let d = Domain::from_cardinalities(&[2, 2]).unwrap();
+        let s = Secret::new(0, 3);
+        assert_eq!(s.render(&d), "s[id=0, t=(1, 1)]");
+        assert_eq!(s.to_string(), "s[id=0, x=3]");
+        assert!(DiscriminativePair::new(1, 0, 3)
+            .to_string()
+            .contains("s[1]"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Datasets: multisets of tuples over a domain.
+//!
+//! A [`Dataset`] stores the dense-encoded value of each tuple. Tuple
+//! position doubles as the individual identifier `t.id` — the paper assumes
+//! the set of individuals is known in advance and fixed, so neighboring
+//! databases only *change* values, never add or remove rows.
+
+use crate::domain::Domain;
+use crate::error::DomainError;
+use crate::histogram::Histogram;
+use crate::tuple::Tuple;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A dataset `D ∈ I_n`: `n` rows, each a dense-encoded domain value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    domain: Domain,
+    rows: Vec<usize>,
+}
+
+impl Dataset {
+    /// Builds a dataset from dense-encoded rows.
+    ///
+    /// # Errors
+    ///
+    /// [`DomainError::IndexOutOfRange`] when a row is not a valid domain
+    /// index.
+    pub fn from_rows(domain: Domain, rows: Vec<usize>) -> Result<Self, DomainError> {
+        let size = domain.size();
+        if let Some(&bad) = rows.iter().find(|&&r| r >= size) {
+            return Err(DomainError::IndexOutOfRange { index: bad, size });
+        }
+        Ok(Self { domain, rows })
+    }
+
+    /// Builds a dataset from tuples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn from_tuples(domain: Domain, tuples: &[Tuple]) -> Result<Self, DomainError> {
+        let rows = tuples
+            .iter()
+            .map(|t| domain.encode(t.values()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { domain, rows })
+    }
+
+    /// An empty dataset over a domain.
+    pub fn empty(domain: Domain) -> Self {
+        Self {
+            domain,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of rows `n = |D|` (public knowledge in the paper's model).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Dense-encoded rows; the position is the individual id.
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// Value of individual `id`.
+    pub fn row(&self, id: usize) -> usize {
+        self.rows[id]
+    }
+
+    /// Decoded tuple of individual `id`.
+    pub fn tuple(&self, id: usize) -> Tuple {
+        self.domain
+            .decode_tuple(self.rows[id])
+            .expect("rows are validated on construction")
+    }
+
+    /// Returns a copy with individual `id` changed to domain value `x` —
+    /// the tuple-change operation that generates Blowfish neighbors.
+    ///
+    /// # Errors
+    ///
+    /// [`DomainError::IndexOutOfRange`] for an invalid value.
+    pub fn with_row(&self, id: usize, x: usize) -> Result<Dataset, DomainError> {
+        if x >= self.domain.size() {
+            return Err(DomainError::IndexOutOfRange {
+                index: x,
+                size: self.domain.size(),
+            });
+        }
+        let mut rows = self.rows.clone();
+        rows[id] = x;
+        Ok(Self {
+            domain: self.domain.clone(),
+            rows,
+        })
+    }
+
+    /// Complete histogram `h_T(D)`.
+    pub fn histogram(&self) -> Histogram {
+        Histogram::from_rows(self.domain.size(), &self.rows)
+    }
+
+    /// Number of rows matching a predicate over dense indices — the count
+    /// query `q_φ(D) = Σ_t 1_{φ(t)}` of Section 8.
+    pub fn count_where(&self, predicate: impl Fn(usize) -> bool) -> u64 {
+        self.rows.iter().filter(|&&r| predicate(r)).count() as u64
+    }
+
+    /// Uniform subsample without replacement of `k` rows (used for the
+    /// skin10/skin01 subsamples of Figure 1).
+    pub fn sample(&self, k: usize, rng: &mut impl Rng) -> Dataset {
+        let k = k.min(self.len());
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(k);
+        let rows = idx.into_iter().map(|i| self.rows[i]).collect();
+        Self {
+            domain: self.domain.clone(),
+            rows,
+        }
+    }
+
+    /// Uniform subsample keeping a fraction `frac ∈ (0,1]` of rows.
+    pub fn sample_fraction(&self, frac: f64, rng: &mut impl Rng) -> Dataset {
+        assert!(frac > 0.0 && frac <= 1.0, "fraction must be in (0,1]");
+        let k = ((self.len() as f64) * frac).round() as usize;
+        self.sample(k.max(1), rng)
+    }
+
+    /// Set of tuple positions on which two same-length datasets differ —
+    /// `Δ(D1, D2)` restricted to ids (the paper's symmetric difference is
+    /// over (id, value) pairs; with fixed ids this is the differing ids).
+    pub fn differing_ids(&self, other: &Dataset) -> Vec<usize> {
+        assert_eq!(self.len(), other.len(), "datasets must share the id space");
+        self.rows
+            .iter()
+            .zip(&other.rows)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Dataset {
+        let d = Domain::from_cardinalities(&[2, 3]).unwrap();
+        Dataset::from_rows(d, vec![0, 1, 5, 5, 2]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_rows() {
+        let d = Domain::from_cardinalities(&[2, 3]).unwrap();
+        assert!(Dataset::from_rows(d, vec![0, 6]).is_err());
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let ds = tiny();
+        let tuples: Vec<Tuple> = (0..ds.len()).map(|i| ds.tuple(i)).collect();
+        let ds2 = Dataset::from_tuples(ds.domain().clone(), &tuples).unwrap();
+        assert_eq!(ds, ds2);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let h = tiny().histogram();
+        assert_eq!(h.counts(), &[1.0, 1.0, 1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn with_row_changes_one_value() {
+        let ds = tiny();
+        let ds2 = ds.with_row(0, 3).unwrap();
+        assert_eq!(ds2.row(0), 3);
+        assert_eq!(ds.differing_ids(&ds2), vec![0]);
+        assert!(ds.with_row(0, 6).is_err());
+    }
+
+    #[test]
+    fn count_where_matches_histogram() {
+        let ds = tiny();
+        assert_eq!(ds.count_where(|r| r == 5), 2);
+        assert_eq!(ds.count_where(|r| r < 2), 2);
+    }
+
+    #[test]
+    fn sampling_sizes() {
+        let ds = tiny();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(ds.sample(3, &mut rng).len(), 3);
+        assert_eq!(ds.sample(100, &mut rng).len(), 5);
+        assert_eq!(ds.sample_fraction(0.4, &mut rng).len(), 2);
+    }
+
+    #[test]
+    fn sample_preserves_multiset_membership() {
+        let ds = tiny();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = ds.sample(4, &mut rng);
+        for &r in s.rows() {
+            assert!(ds.rows().contains(&r));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type shared by the domain layer.
+
+use std::fmt;
+
+/// Errors raised while constructing or indexing domains and datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainError {
+    /// An attribute was declared with zero values.
+    EmptyAttribute {
+        /// Name of the offending attribute.
+        name: String,
+    },
+    /// A domain was constructed with no attributes.
+    EmptyDomain,
+    /// The cross-product of attribute cardinalities overflowed `usize`.
+    DomainTooLarge,
+    /// A tuple had the wrong number of attribute values.
+    ArityMismatch {
+        /// Number of attributes in the domain.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// An attribute value index was out of range.
+    ValueOutOfRange {
+        /// Attribute position.
+        attribute: usize,
+        /// Supplied value index.
+        value: u32,
+        /// Cardinality of the attribute.
+        cardinality: usize,
+    },
+    /// A dense domain index was out of range.
+    IndexOutOfRange {
+        /// Supplied index.
+        index: usize,
+        /// Domain size.
+        size: usize,
+    },
+    /// A partition did not cover the domain or blocks overlapped.
+    InvalidPartition(String),
+    /// A range `[lo, hi]` was empty or exceeded the domain.
+    InvalidRange {
+        /// Lower endpoint (inclusive).
+        lo: usize,
+        /// Upper endpoint (inclusive).
+        hi: usize,
+        /// Domain size.
+        size: usize,
+    },
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::EmptyAttribute { name } => {
+                write!(f, "attribute `{name}` must have at least one value")
+            }
+            DomainError::EmptyDomain => write!(f, "domain must have at least one attribute"),
+            DomainError::DomainTooLarge => {
+                write!(f, "domain size overflows usize")
+            }
+            DomainError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "tuple arity mismatch: expected {expected} values, got {got}"
+                )
+            }
+            DomainError::ValueOutOfRange {
+                attribute,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "value {value} out of range for attribute {attribute} (cardinality {cardinality})"
+            ),
+            DomainError::IndexOutOfRange { index, size } => {
+                write!(f, "domain index {index} out of range (size {size})")
+            }
+            DomainError::InvalidPartition(msg) => write!(f, "invalid partition: {msg}"),
+            DomainError::InvalidRange { lo, hi, size } => {
+                write!(f, "invalid range [{lo}, {hi}] over domain of size {size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DomainError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        let e = DomainError::ValueOutOfRange {
+            attribute: 1,
+            value: 9,
+            cardinality: 4,
+        };
+        assert!(e.to_string().contains("cardinality 4"));
+        let e = DomainError::InvalidRange {
+            lo: 3,
+            hi: 2,
+            size: 10,
+        };
+        assert!(e.to_string().contains("[3, 2]"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(DomainError::EmptyDomain);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Tuples: the records stored in a dataset.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A tuple `t ∈ T`: one attribute-value index per attribute.
+///
+/// Tuples are the decoded form of a dense domain index; datasets store the
+/// dense indices and only materialize `Tuple`s at API boundaries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Vec<u32>,
+}
+
+impl Tuple {
+    /// Wraps attribute values into a tuple.
+    pub fn new(values: Vec<u32>) -> Self {
+        Self { values }
+    }
+
+    /// The attribute values.
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = u32;
+
+    fn index(&self, i: usize) -> &u32 {
+        &self.values[i]
+    }
+}
+
+impl From<Vec<u32>> for Tuple {
+    fn from(values: Vec<u32>) -> Self {
+        Self::new(values)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        let t = Tuple::new(vec![1, 0, 2]);
+        assert_eq!(t.to_string(), "(1, 0, 2)");
+        assert_eq!(t[2], 2);
+        assert_eq!(t.arity(), 3);
+    }
+
+    #[test]
+    fn from_vec() {
+        let t: Tuple = vec![3u32, 4].into();
+        assert_eq!(t.values(), &[3, 4]);
+    }
+}

@@ -1,0 +1,540 @@
+//! The hierarchical mechanism (Hay et al. \[9\]) — the paper's differential
+//! privacy baseline for range queries.
+//!
+//! A fanout-`f` interval tree over the ordered domain: the root covers
+//! `[x_1, x_|T|]`, each node splits its interval into `f` children, leaves
+//! are unit intervals. Every level is a partition of the domain, so each
+//! level has histogram sensitivity 2; with the per-level budgets summing
+//! to ε, each node at level `i` is released with `Lap(2/ε_i)` noise. The
+//! paper evaluates uniform budgeting (`ε_i = ε/h`); geometric budgeting
+//! (\[5\]) is provided as an ablation.
+//!
+//! Optional *consistency* (constrained inference) refines the noisy tree:
+//! a bottom-up inverse-variance weighted pass followed by a top-down
+//! discrepancy-distribution pass, after which parents equal the sum of
+//! their children and every subtree estimate is the minimum-variance
+//! linear combination of the noisy observations.
+
+use bf_core::{sample_laplace, Epsilon};
+use rand::Rng;
+
+/// How the per-level privacy budget is assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetSplit {
+    /// `ε_i = ε / h` on every level (the paper's experiments).
+    Uniform,
+    /// Geometric budgeting (\[5\]): `ε_i ∝ (f^{1/3})^{level}` growing toward
+    /// the leaves, which equalizes a different error trade-off.
+    Geometric,
+}
+
+/// One node of the interval tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node {
+    /// Inclusive interval `[lo, hi]` of domain indices.
+    lo: usize,
+    hi: usize,
+    /// Child node ids (empty for leaves).
+    children: Vec<usize>,
+    /// Depth: root is 0.
+    depth: usize,
+}
+
+/// The static tree structure over a domain of a given size.
+#[derive(Debug, Clone)]
+pub struct IntervalTree {
+    nodes: Vec<Node>,
+    size: usize,
+    fanout: usize,
+    /// Number of levels (root level included); `ceil(log_f size) + 1`.
+    levels: usize,
+}
+
+impl IntervalTree {
+    /// Builds the tree over `size` values with the given fanout.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `size == 0` or `fanout < 2`.
+    pub fn build(size: usize, fanout: usize) -> Self {
+        assert!(size >= 1, "tree needs a non-empty domain");
+        assert!(fanout >= 2, "fanout must be at least 2");
+        let mut nodes = Vec::new();
+        nodes.push(Node {
+            lo: 0,
+            hi: size - 1,
+            children: Vec::new(),
+            depth: 0,
+        });
+        let mut cursor = 0;
+        while cursor < nodes.len() {
+            let (lo, hi, depth) = {
+                let n = &nodes[cursor];
+                (n.lo, n.hi, n.depth)
+            };
+            let len = hi - lo + 1;
+            if len > 1 {
+                // Split into up to `fanout` intervals of ceiling width.
+                let width = len.div_ceil(fanout);
+                let mut child_ids = Vec::new();
+                let mut start = lo;
+                while start <= hi {
+                    let end = (start + width - 1).min(hi);
+                    child_ids.push(nodes.len());
+                    nodes.push(Node {
+                        lo: start,
+                        hi: end,
+                        children: Vec::new(),
+                        depth: depth + 1,
+                    });
+                    start = end + 1;
+                }
+                nodes[cursor].children = child_ids;
+            }
+            cursor += 1;
+        }
+        let levels = nodes.iter().map(|n| n.depth).max().unwrap_or(0) + 1;
+        Self {
+            nodes,
+            size,
+            fanout,
+            levels,
+        }
+    }
+
+    /// Number of domain values covered.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The fanout `f`.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Number of levels including the root; the height `h` of the paper is
+    /// `levels − 1` (edges), with `levels = 1` for a single-leaf tree.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Exact node counts for a histogram.
+    pub fn exact_counts(&self, histogram: &[f64]) -> Vec<f64> {
+        assert_eq!(histogram.len(), self.size);
+        // Prefix sums make each node O(1).
+        let mut prefix = vec![0.0; self.size + 1];
+        for (i, &c) in histogram.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + c;
+        }
+        self.nodes
+            .iter()
+            .map(|n| prefix[n.hi + 1] - prefix[n.lo])
+            .collect()
+    }
+
+    /// Per-node Laplace noise scale under a total budget ε and a split
+    /// policy. Level sensitivity is 2 (one tuple change moves one unit of
+    /// count between two nodes of the level... or within one, changing it
+    /// by at most 2 in L1).
+    pub fn noise_scales(&self, epsilon: Epsilon, split: BudgetSplit) -> Vec<f64> {
+        let h = self.levels as f64;
+        let per_level_eps: Vec<f64> = match split {
+            BudgetSplit::Uniform => vec![epsilon.value() / h; self.levels],
+            BudgetSplit::Geometric => {
+                // ε_i ∝ r^i with r = f^{1/3}, i = depth (root 0).
+                let r = (self.fanout as f64).powf(1.0 / 3.0);
+                let weights: Vec<f64> = (0..self.levels).map(|i| r.powi(i as i32)).collect();
+                let total: f64 = weights.iter().sum();
+                weights
+                    .iter()
+                    .map(|w| epsilon.value() * w / total)
+                    .collect()
+            }
+        };
+        self.nodes
+            .iter()
+            .map(|n| 2.0 / per_level_eps[n.depth])
+            .collect()
+    }
+
+    /// Decomposes `[lo, hi]` (inclusive) into a minimal set of node ids
+    /// whose intervals exactly cover the range.
+    pub fn decompose(&self, lo: usize, hi: usize) -> Vec<usize> {
+        assert!(lo <= hi && hi < self.size, "invalid range [{lo}, {hi}]");
+        let mut out = Vec::new();
+        let mut stack = vec![0usize];
+        while let Some(id) = stack.pop() {
+            let n = &self.nodes[id];
+            if n.lo > hi || n.hi < lo {
+                continue;
+            }
+            if lo <= n.lo && n.hi <= hi {
+                out.push(id);
+                continue;
+            }
+            stack.extend(n.children.iter().copied());
+        }
+        out
+    }
+
+    /// Enforces parent = Σ children consistency on noisy node values via
+    /// inverse-variance weighted bottom-up refinement and top-down
+    /// discrepancy distribution. `variances[i]` is the noise variance of
+    /// node `i` (2·scale²).
+    pub fn enforce_consistency(&self, values: &mut [f64], variances: &[f64]) {
+        assert_eq!(values.len(), self.nodes.len());
+        assert_eq!(variances.len(), self.nodes.len());
+        let n = self.nodes.len();
+        // Bottom-up pass: refined estimate z and its variance per node.
+        // Nodes are stored in BFS order, so iterating in reverse visits
+        // children before parents.
+        let mut z = values.to_vec();
+        let mut var = variances.to_vec();
+        for id in (0..n).rev() {
+            if self.nodes[id].children.is_empty() {
+                continue;
+            }
+            let child_sum: f64 = self.nodes[id].children.iter().map(|&c| z[c]).sum();
+            let child_var: f64 = self.nodes[id].children.iter().map(|&c| var[c]).sum();
+            let own_var = variances[id];
+            if own_var == 0.0 {
+                // Exact own value dominates.
+                continue;
+            }
+            if child_var == 0.0 {
+                z[id] = child_sum;
+                var[id] = 0.0;
+                continue;
+            }
+            let w_own = 1.0 / own_var;
+            let w_children = 1.0 / child_var;
+            z[id] = (w_own * values[id] + w_children * child_sum) / (w_own + w_children);
+            var[id] = 1.0 / (w_own + w_children);
+        }
+        // Top-down pass: parents are final; distribute each parent's
+        // discrepancy over its children proportionally to child variance.
+        values[0] = z[0];
+        for id in 0..n {
+            if self.nodes[id].children.is_empty() {
+                continue;
+            }
+            let children = &self.nodes[id].children;
+            let child_sum: f64 = children.iter().map(|&c| z[c]).sum();
+            let diff = values[id] - child_sum;
+            let total_var: f64 = children.iter().map(|&c| var[c]).sum();
+            for &c in children {
+                let share = if total_var > 0.0 {
+                    var[c] / total_var
+                } else {
+                    1.0 / children.len() as f64
+                };
+                values[c] = z[c] + diff * share;
+            }
+        }
+    }
+
+    /// Leaf node ids in domain order.
+    pub fn leaves(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_empty())
+            .collect();
+        out.sort_by_key(|&i| self.nodes[i].lo);
+        out
+    }
+
+    /// Interval `[lo, hi]` of a node.
+    pub fn interval(&self, id: usize) -> (usize, usize) {
+        (self.nodes[id].lo, self.nodes[id].hi)
+    }
+}
+
+/// The hierarchical mechanism: configuration for releasing a noisy tree.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchicalMechanism {
+    /// Fanout `f`.
+    pub fanout: usize,
+    /// Total privacy budget.
+    pub epsilon: Epsilon,
+    /// Budget split across levels.
+    pub split: BudgetSplit,
+    /// Whether to run constrained inference after noising.
+    pub consistency: bool,
+}
+
+impl HierarchicalMechanism {
+    /// The paper's configuration: uniform budgeting, no consistency.
+    pub fn new(fanout: usize, epsilon: Epsilon) -> Self {
+        Self {
+            fanout,
+            epsilon,
+            split: BudgetSplit::Uniform,
+            consistency: false,
+        }
+    }
+
+    /// Enables constrained inference.
+    pub fn with_consistency(mut self) -> Self {
+        self.consistency = true;
+        self
+    }
+
+    /// Uses geometric budgeting.
+    pub fn with_geometric_budget(mut self) -> Self {
+        self.split = BudgetSplit::Geometric;
+        self
+    }
+
+    /// Releases a noisy tree over the histogram.
+    pub fn release(&self, histogram: &[f64], rng: &mut impl Rng) -> HierarchicalRelease {
+        let tree = IntervalTree::build(histogram.len(), self.fanout);
+        let mut values = tree.exact_counts(histogram);
+        let scales = tree.noise_scales(self.epsilon, self.split);
+        for (v, &s) in values.iter_mut().zip(&scales) {
+            *v += sample_laplace(rng, s);
+        }
+        if self.consistency {
+            let variances: Vec<f64> = scales.iter().map(|&s| 2.0 * s * s).collect();
+            tree.enforce_consistency(&mut values, &variances);
+        }
+        let node_variances: Vec<f64> = scales.iter().map(|&s| 2.0 * s * s).collect();
+        HierarchicalRelease {
+            tree,
+            values,
+            node_variances,
+        }
+    }
+
+    /// Analytic expected squared error of answering a worst-case range
+    /// query without consistency: `(#levels)·nodes-per-level × 2·scale²`,
+    /// approximated as `2(f−1)·h · 2·(2h/ε)²` for uniform budgeting. Used
+    /// for sanity checks and budget planning, not for the figures.
+    pub fn rough_range_error(&self, domain_size: usize) -> f64 {
+        let tree = IntervalTree::build(domain_size, self.fanout);
+        let h = tree.levels() as f64;
+        let scale = 2.0 * h / self.epsilon.value();
+        // A range decomposes into ≤ 2(f−1) nodes per level.
+        2.0 * (self.fanout as f64 - 1.0) * h * 2.0 * scale * scale
+    }
+}
+
+/// A released noisy hierarchical tree, answering arbitrary range queries.
+#[derive(Debug, Clone)]
+pub struct HierarchicalRelease {
+    tree: IntervalTree,
+    values: Vec<f64>,
+    node_variances: Vec<f64>,
+}
+
+impl HierarchicalRelease {
+    /// Noisy answer to the range count `q[lo, hi]` (inclusive).
+    pub fn range(&self, lo: usize, hi: usize) -> f64 {
+        self.tree
+            .decompose(lo, hi)
+            .into_iter()
+            .map(|id| self.values[id])
+            .sum()
+    }
+
+    /// Variance of the answer to `q[lo, hi]` (without consistency; after
+    /// consistency this is an upper bound).
+    pub fn range_variance(&self, lo: usize, hi: usize) -> f64 {
+        self.tree
+            .decompose(lo, hi)
+            .into_iter()
+            .map(|id| self.node_variances[id])
+            .sum()
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &IntervalTree {
+        &self.tree
+    }
+
+    /// Noisy node values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Reconstructs a per-value histogram from the leaves.
+    pub fn leaf_histogram(&self) -> Vec<f64> {
+        self.tree
+            .leaves()
+            .into_iter()
+            .map(|id| self.values[id])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tree_structure_covers_domain() {
+        let t = IntervalTree::build(10, 3);
+        assert_eq!(t.size(), 10);
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 10);
+        for (i, &l) in leaves.iter().enumerate() {
+            assert_eq!(t.interval(l), (i, i));
+        }
+    }
+
+    #[test]
+    fn levels_match_log() {
+        assert_eq!(IntervalTree::build(1, 2).levels(), 1);
+        assert_eq!(IntervalTree::build(16, 2).levels(), 5);
+        assert_eq!(IntervalTree::build(16, 16).levels(), 2);
+        assert_eq!(IntervalTree::build(17, 16).levels(), 3);
+    }
+
+    #[test]
+    fn exact_counts_consistent() {
+        let t = IntervalTree::build(8, 2);
+        let h: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let counts = t.exact_counts(&h);
+        assert_eq!(counts[0], 28.0); // root = total
+                                     // Parent = sum of children everywhere.
+        for id in 0..t.num_nodes() {
+            let n = &t.nodes[id];
+            if !n.children.is_empty() {
+                let cs: f64 = n.children.iter().map(|&c| counts[c]).sum();
+                assert!((counts[id] - cs).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_is_exact_cover() {
+        let t = IntervalTree::build(20, 4);
+        let h: Vec<f64> = (0..20).map(|i| (i * i) as f64).collect();
+        let counts = t.exact_counts(&h);
+        for lo in 0..20 {
+            for hi in lo..20 {
+                let ids = t.decompose(lo, hi);
+                let sum: f64 = ids.iter().map(|&i| counts[i]).sum();
+                let expect: f64 = h[lo..=hi].iter().sum();
+                assert!((sum - expect).abs() < 1e-9, "range [{lo},{hi}]");
+                // Cover must be disjoint and within the range.
+                let mut covered = [false; 20];
+                for &id in &ids {
+                    let (a, b) = t.interval(id);
+                    assert!(lo <= a && b <= hi);
+                    for c in covered.iter_mut().take(b + 1).skip(a) {
+                        assert!(!*c, "overlapping cover");
+                        *c = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_size_logarithmic() {
+        let t = IntervalTree::build(4096, 16);
+        for (lo, hi) in [(0, 4095), (1, 4094), (100, 3000), (7, 8)] {
+            let ids = t.decompose(lo, hi);
+            assert!(
+                ids.len() <= 2 * 15 * t.levels(),
+                "range [{lo},{hi}] used {} nodes",
+                ids.len()
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_scales() {
+        let t = IntervalTree::build(16, 4);
+        let scales = t.noise_scales(Epsilon::new(1.0).unwrap(), BudgetSplit::Uniform);
+        // levels = 3 → per-level ε = 1/3 → scale 6 everywhere.
+        assert!(scales.iter().all(|&s| (s - 6.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn geometric_scales_decrease_toward_leaves() {
+        let t = IntervalTree::build(64, 4);
+        let scales = t.noise_scales(Epsilon::new(1.0).unwrap(), BudgetSplit::Geometric);
+        // Root (depth 0) gets the least budget → largest scale.
+        let root_scale = scales[0];
+        let leaf_scale = scales[*t.leaves().first().unwrap()];
+        assert!(root_scale > leaf_scale);
+    }
+
+    #[test]
+    fn consistency_restores_tree_invariant() {
+        let t = IntervalTree::build(9, 3);
+        let h = vec![1.0; 9];
+        let mut values = t.exact_counts(&h);
+        // Perturb deterministically.
+        for (i, v) in values.iter_mut().enumerate() {
+            *v += ((i * 7919) % 13) as f64 - 6.0;
+        }
+        let variances = vec![2.0; t.num_nodes()];
+        t.enforce_consistency(&mut values, &variances);
+        for id in 0..t.num_nodes() {
+            let n = &t.nodes[id];
+            if !n.children.is_empty() {
+                let cs: f64 = n.children.iter().map(|&c| values[c]).sum();
+                assert!((values[id] - cs).abs() < 1e-9, "node {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_reduces_leaf_error() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let eps = Epsilon::new(0.5).unwrap();
+        let h: Vec<f64> = (0..256).map(|i| ((i % 17) * 3) as f64).collect();
+        let plain = HierarchicalMechanism::new(4, eps);
+        let boosted = plain.with_consistency();
+        let trials = 40;
+        let mut err_plain = 0.0;
+        let mut err_boost = 0.0;
+        for _ in 0..trials {
+            let rp = plain.release(&h, &mut rng);
+            let rb = boosted.release(&h, &mut rng);
+            let (lp_hist, lb_hist) = (rp.leaf_histogram(), rb.leaf_histogram());
+            for ((&lp, &lb), &truth) in lp_hist.iter().zip(&lb_hist).zip(&h) {
+                err_plain += (lp - truth) * (lp - truth);
+                err_boost += (lb - truth) * (lb - truth);
+            }
+        }
+        assert!(
+            err_boost < err_plain,
+            "consistency should reduce leaf MSE: {err_boost} vs {err_plain}"
+        );
+    }
+
+    #[test]
+    fn release_answers_ranges_unbiased() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let eps = Epsilon::new(1.0).unwrap();
+        let h: Vec<f64> = vec![5.0; 32];
+        let m = HierarchicalMechanism::new(4, eps);
+        let trials = 2000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let r = m.release(&h, &mut rng);
+            acc += r.range(3, 20);
+        }
+        let mean = acc / trials as f64;
+        let truth = 18.0 * 5.0;
+        assert!((mean - truth).abs() < 2.0, "mean {mean} vs {truth}");
+    }
+
+    #[test]
+    fn range_variance_positive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = HierarchicalMechanism::new(2, Epsilon::new(1.0).unwrap());
+        let r = m.release(&[1.0; 16], &mut rng);
+        assert!(r.range_variance(0, 7) > 0.0);
+        assert!(m.rough_range_error(16) > 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Laplace histogram release (Theorem 5.1, Sections 5 and 8).
+
+use bf_core::sensitivity::histogram_sensitivity;
+use bf_core::{CoreError, Epsilon, LaplaceMechanism, Policy};
+use bf_domain::{Dataset, Histogram};
+use rand::Rng;
+
+/// Releases a complete histogram with Laplace noise calibrated to a
+/// (policy-specific) sensitivity.
+///
+/// * Unconstrained policies: sensitivity 2 (same as differential privacy)
+///   via [`HistogramMechanism::for_policy`].
+/// * Constrained policies: pass the Section 8 sensitivity (e.g. a
+///   `PolicyGraph::sensitivity_bound()` or a Theorem 8.4–8.6 closed form)
+///   via [`HistogramMechanism::with_sensitivity`].
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramMechanism {
+    mechanism: LaplaceMechanism,
+}
+
+impl HistogramMechanism {
+    /// Calibrates to the closed-form unconstrained sensitivity of the
+    /// policy's secret graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid-sensitivity errors (cannot occur for the closed
+    /// forms, which are 0 or 2).
+    pub fn for_policy(policy: &Policy, epsilon: Epsilon) -> Result<Self, CoreError> {
+        let s = histogram_sensitivity(policy);
+        Ok(Self {
+            mechanism: LaplaceMechanism::new(epsilon, s)?,
+        })
+    }
+
+    /// Calibrates to an explicitly supplied sensitivity (the constrained
+    /// case).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSensitivity`] for negative or non-finite input.
+    pub fn with_sensitivity(epsilon: Epsilon, sensitivity: f64) -> Result<Self, CoreError> {
+        Ok(Self {
+            mechanism: LaplaceMechanism::new(epsilon, sensitivity)?,
+        })
+    }
+
+    /// The noise scale in use.
+    pub fn scale(&self) -> f64 {
+        self.mechanism.scale()
+    }
+
+    /// Expected mean squared error per cell, `2·scale²` (the paper's
+    /// `8/ε²` per cell at sensitivity 2).
+    pub fn per_cell_error(&self) -> f64 {
+        self.mechanism.per_component_error()
+    }
+
+    /// Releases the noisy complete histogram.
+    pub fn release(&self, dataset: &Dataset, rng: &mut impl Rng) -> Histogram {
+        let mut h = dataset.histogram();
+        self.mechanism.release_in_place(h.counts_mut(), rng);
+        h
+    }
+
+    /// Releases after verifying the dataset actually satisfies the
+    /// policy's public constraints — with constraints, the Blowfish
+    /// guarantee is only defined over `I_Q`, so a violating dataset means
+    /// the published constraint answers were wrong and the calibrated
+    /// sensitivity does not apply.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ConstraintViolated`] naming the failing constraint.
+    pub fn release_checked(
+        &self,
+        policy: &Policy,
+        dataset: &Dataset,
+        rng: &mut impl Rng,
+    ) -> Result<Histogram, CoreError> {
+        policy.check_constraints(dataset)?;
+        Ok(self.release(dataset, rng))
+    }
+
+    /// Releases noisy counts for an arbitrary pre-computed histogram
+    /// (useful when the caller already aggregated).
+    pub fn release_counts(&self, counts: &[f64], rng: &mut impl Rng) -> Vec<f64> {
+        self.mechanism.release(counts, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf_domain::Domain;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> Dataset {
+        let d = Domain::line(8).unwrap();
+        Dataset::from_rows(d, vec![0, 0, 1, 5, 7, 7, 7]).unwrap()
+    }
+
+    #[test]
+    fn per_cell_error_matches_paper_formula() {
+        let p = Policy::differential_privacy(Domain::line(8).unwrap());
+        let eps = Epsilon::new(0.5).unwrap();
+        let m = HistogramMechanism::for_policy(&p, eps).unwrap();
+        // 2 * (2 / 0.5)^2 = 32 = 8/eps^2.
+        assert!((m.per_cell_error() - 8.0 / 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_is_unbiased() {
+        let p = Policy::differential_privacy(Domain::line(8).unwrap());
+        let m = HistogramMechanism::for_policy(&p, Epsilon::new(1.0).unwrap()).unwrap();
+        let ds = dataset();
+        let truth = ds.histogram();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 3000;
+        let mut acc = [0.0; 8];
+        for _ in 0..trials {
+            let h = m.release(&ds, &mut rng);
+            for (a, &c) in acc.iter_mut().zip(h.counts()) {
+                *a += c;
+            }
+        }
+        for (i, a) in acc.iter().enumerate() {
+            let mean = a / trials as f64;
+            assert!(
+                (mean - truth.count(i)).abs() < 0.3,
+                "cell {i}: mean {mean} vs {}",
+                truth.count(i)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_sensitivity_partition_policy_is_exact() {
+        use bf_domain::Partition;
+        let d = Domain::line(8).unwrap();
+        let p = Policy::partitioned(d, Partition::singletons(8));
+        let m = HistogramMechanism::for_policy(&p, Epsilon::new(1.0).unwrap()).unwrap();
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = m.release(&ds, &mut rng);
+        assert_eq!(h, ds.histogram());
+    }
+
+    #[test]
+    fn release_checked_rejects_constraint_violations() {
+        use bf_core::{CountConstraint, Predicate};
+        use bf_graph::SecretGraph;
+        let d = Domain::line(4).unwrap();
+        let ds = Dataset::from_rows(d.clone(), vec![0, 1]).unwrap();
+        let c = CountConstraint::new(Predicate::of_values(4, &[0]), 5); // wrong answer
+        let policy = Policy::with_constraints(d, SecretGraph::Full, vec![c]).unwrap();
+        let m = HistogramMechanism::with_sensitivity(Epsilon::new(1.0).unwrap(), 4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(
+            m.release_checked(&policy, &ds, &mut rng),
+            Err(bf_core::CoreError::ConstraintViolated { constraint: 0 })
+        ));
+        // And passes when the constraint holds.
+        let c_ok = CountConstraint::observed(Predicate::of_values(4, &[0]), &ds);
+        let policy_ok =
+            Policy::with_constraints(Domain::line(4).unwrap(), SecretGraph::Full, vec![c_ok])
+                .unwrap();
+        assert!(m.release_checked(&policy_ok, &ds, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn constrained_sensitivity_scales_noise() {
+        let eps = Epsilon::new(1.0).unwrap();
+        let m = HistogramMechanism::with_sensitivity(eps, 8.0).unwrap();
+        assert_eq!(m.scale(), 8.0);
+        assert!(HistogramMechanism::with_sensitivity(eps, -2.0).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Sensitivities of the k-means queries per policy (Lemma 6.1), in the
+//! continuous embedding the clustering runs in.
+//!
+//! `q_size` is a histogram over clusters: sensitivity 2 for every secret
+//! graph with at least one edge (0 only for the degenerate all-singleton
+//! partition, where clustering is exact). `q_sum` moves one point between
+//! two cluster sums, so its L1 sensitivity is twice the largest L1 edge
+//! length of the secret graph *measured in point coordinates*:
+//!
+//! | secret graph | `q_sum` sensitivity |
+//! |---|---|
+//! | `G^full` (= DP) | `2·d(T)` — the bounding-box L1 diameter |
+//! | `G^attr` | `2·max_A |A|` — the largest single-axis extent |
+//! | `G^{L1,θ}` | `2·θ` (physical units) |
+//! | `G^P` | `2·max_P d(P)` — the largest block diameter |
+
+use bf_domain::BoundingBox;
+
+/// Which sensitive-information family the clustering policy uses, with
+/// physical parameters matching the point embedding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KmeansSecretSpec {
+    /// Full-domain secrets — ordinary differential privacy ("laplace" in
+    /// the figures).
+    Full,
+    /// Attribute secrets `G^attr`.
+    Attribute,
+    /// Distance-threshold secrets `G^{L1,θ}` with θ in physical units
+    /// (e.g. km).
+    L1Threshold(f64),
+    /// Partitioned secrets `G^P`; the parameter is the largest L1 diameter
+    /// of a block in physical units.
+    PartitionMaxDiameter(f64),
+    /// All-singleton partition: nothing is secret within a block, both
+    /// queries have sensitivity 0 and clustering is exact
+    /// (`partition|120000` in Figure 1(f)).
+    Exact,
+}
+
+impl KmeansSecretSpec {
+    /// Sensitivity of `q_size` (cluster cardinalities).
+    pub fn qsize_sensitivity(&self) -> f64 {
+        match self {
+            KmeansSecretSpec::Exact => 0.0,
+            _ => 2.0,
+        }
+    }
+
+    /// Sensitivity of `q_sum` (per-cluster coordinate sums) given the
+    /// domain bounding box.
+    pub fn qsum_sensitivity(&self, bbox: &BoundingBox) -> f64 {
+        let diam = bbox.l1_diameter();
+        match self {
+            KmeansSecretSpec::Full => 2.0 * diam,
+            KmeansSecretSpec::Attribute => 2.0 * bbox.max_extent(),
+            KmeansSecretSpec::L1Threshold(theta) => {
+                assert!(*theta > 0.0, "theta must be positive");
+                2.0 * theta.min(diam)
+            }
+            KmeansSecretSpec::PartitionMaxDiameter(d) => {
+                assert!(*d >= 0.0);
+                2.0 * d.min(diam)
+            }
+            KmeansSecretSpec::Exact => 0.0,
+        }
+    }
+
+    /// Figure-legend label.
+    pub fn label(&self) -> String {
+        match self {
+            KmeansSecretSpec::Full => "laplace".into(),
+            KmeansSecretSpec::Attribute => "attribute".into(),
+            KmeansSecretSpec::L1Threshold(t) => format!("blowfish|{t}"),
+            KmeansSecretSpec::PartitionMaxDiameter(d) => format!("partition|d={d:.0}"),
+            KmeansSecretSpec::Exact => "exact".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbox() -> BoundingBox {
+        BoundingBox::new(vec![0.0, 0.0], vec![2222.0, 1442.0])
+    }
+
+    #[test]
+    fn full_is_diameter() {
+        assert_eq!(
+            KmeansSecretSpec::Full.qsum_sensitivity(&bbox()),
+            2.0 * (2222.0 + 1442.0)
+        );
+    }
+
+    #[test]
+    fn attribute_is_max_extent() {
+        assert_eq!(
+            KmeansSecretSpec::Attribute.qsum_sensitivity(&bbox()),
+            2.0 * 2222.0
+        );
+    }
+
+    #[test]
+    fn threshold_clamped_by_diameter() {
+        assert_eq!(
+            KmeansSecretSpec::L1Threshold(100.0).qsum_sensitivity(&bbox()),
+            200.0
+        );
+        assert_eq!(
+            KmeansSecretSpec::L1Threshold(1e9).qsum_sensitivity(&bbox()),
+            KmeansSecretSpec::Full.qsum_sensitivity(&bbox())
+        );
+    }
+
+    #[test]
+    fn ordering_matches_lemma_6_1() {
+        // Every Blowfish spec is at most the DP sensitivity.
+        let b = bbox();
+        let dp = KmeansSecretSpec::Full.qsum_sensitivity(&b);
+        for spec in [
+            KmeansSecretSpec::Attribute,
+            KmeansSecretSpec::L1Threshold(500.0),
+            KmeansSecretSpec::PartitionMaxDiameter(300.0),
+            KmeansSecretSpec::Exact,
+        ] {
+            assert!(spec.qsum_sensitivity(&b) <= dp, "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn exact_partition_zero() {
+        assert_eq!(KmeansSecretSpec::Exact.qsize_sensitivity(), 0.0);
+        assert_eq!(KmeansSecretSpec::Exact.qsum_sensitivity(&bbox()), 0.0);
+        assert_eq!(KmeansSecretSpec::Full.qsize_sensitivity(), 2.0);
+    }
+}

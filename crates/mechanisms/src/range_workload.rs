@@ -1,0 +1,108 @@
+//! Range-query workloads and error evaluation (the measurements behind
+//! Figure 2).
+
+use crate::hierarchical::HierarchicalRelease;
+use crate::ordered::OrderedRelease;
+use crate::ordered_hierarchical::OrderedHierarchicalRelease;
+use rand::Rng;
+
+/// Anything that answers noisy range counts over an ordered domain.
+pub trait RangeAnswerer {
+    /// Noisy answer to `q[lo, hi]` (inclusive, 0-based).
+    fn answer(&self, lo: usize, hi: usize) -> f64;
+}
+
+impl RangeAnswerer for HierarchicalRelease {
+    fn answer(&self, lo: usize, hi: usize) -> f64 {
+        self.range(lo, hi)
+    }
+}
+
+impl RangeAnswerer for OrderedRelease {
+    fn answer(&self, lo: usize, hi: usize) -> f64 {
+        self.range(lo, hi)
+    }
+}
+
+impl RangeAnswerer for OrderedHierarchicalRelease {
+    fn answer(&self, lo: usize, hi: usize) -> f64 {
+        self.range(lo, hi)
+    }
+}
+
+/// Draws `count` uniform random ranges `[lo, hi]` (lo ≤ hi) over a domain
+/// — the "10000 random range queries" workload of Section 7.3.
+pub fn random_ranges(domain_size: usize, count: usize, rng: &mut impl Rng) -> Vec<(usize, usize)> {
+    assert!(domain_size >= 1);
+    (0..count)
+        .map(|_| {
+            let a = rng.random_range(0..domain_size);
+            let b = rng.random_range(0..domain_size);
+            (a.min(b), a.max(b))
+        })
+        .collect()
+}
+
+/// Mean squared error of an answerer over a workload, against exact counts
+/// from the histogram.
+pub fn evaluate_range_mse(
+    answerer: &dyn RangeAnswerer,
+    histogram: &[f64],
+    workload: &[(usize, usize)],
+) -> f64 {
+    assert!(!workload.is_empty());
+    // Prefix sums for exact answers.
+    let mut prefix = vec![0.0; histogram.len() + 1];
+    for (i, &c) in histogram.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + c;
+    }
+    let mut total = 0.0;
+    for &(lo, hi) in workload {
+        let truth = prefix[hi + 1] - prefix[lo];
+        let err = answerer.answer(lo, hi) - truth;
+        total += err * err;
+    }
+    total / workload.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_are_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (lo, hi) in random_ranges(100, 500, &mut rng) {
+            assert!(lo <= hi && hi < 100);
+        }
+    }
+
+    #[test]
+    fn exact_answerer_has_zero_mse() {
+        struct Exact(Vec<f64>);
+        impl RangeAnswerer for Exact {
+            fn answer(&self, lo: usize, hi: usize) -> f64 {
+                self.0[lo..=hi].iter().sum()
+            }
+        }
+        let h: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = random_ranges(50, 200, &mut rng);
+        assert_eq!(evaluate_range_mse(&Exact(h.clone()), &h, &w), 0.0);
+    }
+
+    #[test]
+    fn biased_answerer_mse_matches() {
+        struct OffByTwo(Vec<f64>);
+        impl RangeAnswerer for OffByTwo {
+            fn answer(&self, lo: usize, hi: usize) -> f64 {
+                self.0[lo..=hi].iter().sum::<f64>() + 2.0
+            }
+        }
+        let h = vec![1.0; 10];
+        let w = vec![(0, 4), (2, 9)];
+        assert_eq!(evaluate_range_mse(&OffByTwo(h.clone()), &h, &w), 4.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! End-to-end mechanism behaviour: the qualitative claims of the paper's
+//! evaluation, checked statistically with fixed seeds.
+
+use blowfish::data::adult::adult_capital_loss_like_sized;
+use blowfish::data::seeded_rng;
+use blowfish::data::synthetic::paper_synthetic;
+use blowfish::mechanisms::kmeans::{
+    init_random, lloyd_kmeans, objective, KmeansSecretSpec, PrivateKmeans,
+};
+use blowfish::mechanisms::ordered_hierarchical::optimal_split;
+use blowfish::mechanisms::range_workload::{evaluate_range_mse, random_ranges};
+use blowfish::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Figure 2(b)'s monotone trend: range-query MSE decreases as θ shrinks
+/// on the sparse adult-like attribute.
+#[test]
+fn range_mse_decreases_with_theta_on_adult() {
+    let mut rng = seeded_rng(501);
+    let dataset = adult_capital_loss_like_sized(20_000, &mut rng);
+    let histogram = dataset.histogram();
+    let size = histogram.len();
+    let workload = random_ranges(size, 400, &mut rng);
+    let eps = Epsilon::new(0.5).unwrap();
+    let trials = 6;
+
+    let mut last = f64::INFINITY;
+    for theta in [size, 500, 50, 1] {
+        let mech = OrderedHierarchicalMechanism::new(eps, theta, 16);
+        let mut mse = 0.0;
+        for t in 0..trials {
+            let mut run_rng = StdRng::seed_from_u64(600 + t);
+            let release = mech.release(histogram.counts(), &mut run_rng);
+            mse += evaluate_range_mse(&release, histogram.counts(), &workload);
+        }
+        mse /= trials as f64;
+        assert!(
+            mse < last * 1.3,
+            "theta={theta}: mse {mse} should not regress past {last}"
+        );
+        last = last.min(mse);
+    }
+}
+
+/// The ordered mechanism's |T|-independence (Theorem 7.1): MSE at θ=1
+/// stays flat as the domain grows 64 → 4096, while the hierarchical
+/// baseline grows.
+#[test]
+fn ordered_error_is_domain_size_independent() {
+    let eps = Epsilon::new(0.4).unwrap();
+    let trials = 8;
+    let mut ordered_mses = Vec::new();
+    let mut hierarchical_mses = Vec::new();
+    for size in [64usize, 1024] {
+        let mut rng = seeded_rng(size as u64);
+        let counts: Vec<f64> = (0..size).map(|i| ((i * 31) % 23) as f64).collect();
+        let workload = random_ranges(size, 400, &mut rng);
+        let om = OrderedHierarchicalMechanism::new(eps, 1, 16);
+        let hm = OrderedHierarchicalMechanism::new(eps, size, 16);
+        let mut om_mse = 0.0;
+        let mut hm_mse = 0.0;
+        for _ in 0..trials {
+            om_mse += evaluate_range_mse(&om.release(&counts, &mut rng), &counts, &workload);
+            hm_mse += evaluate_range_mse(&hm.release(&counts, &mut rng), &counts, &workload);
+        }
+        ordered_mses.push(om_mse / trials as f64);
+        hierarchical_mses.push(hm_mse / trials as f64);
+    }
+    // Ordered: flat within 2x. Hierarchical: grows by more than 2x.
+    assert!(
+        ordered_mses[1] < ordered_mses[0] * 2.0,
+        "ordered MSE grew with |T|: {ordered_mses:?}"
+    );
+    assert!(
+        hierarchical_mses[1] > hierarchical_mses[0] * 2.0,
+        "hierarchical MSE should grow with |T|: {hierarchical_mses:?}"
+    );
+}
+
+/// The OH mechanism's optimal split (Eq. 15) beats a naive 50/50 split
+/// empirically at mid-range θ.
+#[test]
+fn optimal_split_beats_even_split() {
+    let size = 2048usize;
+    let theta = 64usize;
+    let fanout = 16usize;
+    let eps = Epsilon::new(0.5).unwrap();
+    let mut rng = seeded_rng(777);
+    let counts: Vec<f64> = (0..size).map(|i| ((i * 13) % 7) as f64).collect();
+    let workload = random_ranges(size, 400, &mut rng);
+    let star = optimal_split(size, theta, fanout);
+    assert!(star > 0.0 && star < 1.0);
+    let opt = OrderedHierarchicalMechanism::new(eps, theta, fanout);
+    let even = OrderedHierarchicalMechanism::new(eps, theta, fanout).with_split(0.5);
+    let trials = 12;
+    let mut opt_mse = 0.0;
+    let mut even_mse = 0.0;
+    for t in 0..trials {
+        let mut run_rng = StdRng::seed_from_u64(800 + t);
+        opt_mse += evaluate_range_mse(&opt.release(&counts, &mut run_rng), &counts, &workload);
+        even_mse += evaluate_range_mse(&even.release(&counts, &mut run_rng), &counts, &workload);
+    }
+    assert!(
+        opt_mse < even_mse * 1.1,
+        "optimal split {opt_mse} should not lose to even split {even_mse}"
+    );
+}
+
+/// Figure 1(c)'s qualitative claim on the synthetic dataset: Blowfish
+/// with θ = 0.25 clusters much better than the Laplace mechanism at
+/// small ε.
+#[test]
+fn kmeans_blowfish_beats_laplace_on_synthetic() {
+    let mut rng = seeded_rng(901);
+    let points = paper_synthetic(&mut rng);
+    let eps = Epsilon::new(0.2).unwrap();
+    let trials = 8;
+    let mut lap = 0.0;
+    let mut bf = 0.0;
+    for t in 0..trials {
+        let mut trial_rng = StdRng::seed_from_u64(910 + t);
+        let init = init_random(&points, 4, &mut trial_rng);
+        let baseline = objective(&points, &lloyd_kmeans(&points, &init, 10));
+        let m_lap = PrivateKmeans::new(4, 10, eps, KmeansSecretSpec::Full);
+        let m_bf = PrivateKmeans::new(4, 10, eps, KmeansSecretSpec::L1Threshold(0.25));
+        lap += objective(&points, &m_lap.run(&points, &init, &mut trial_rng)) / baseline;
+        bf += objective(&points, &m_bf.run(&points, &init, &mut trial_rng)) / baseline;
+    }
+    assert!(
+        bf * 1.5 < lap,
+        "blowfish ratio {bf} should clearly beat laplace {lap}"
+    );
+}
+
+/// Histograms over the policy partition are released exactly under `G^P`
+/// (Section 5: sensitivity 0).
+#[test]
+fn partition_histogram_exact_release_end_to_end() {
+    use blowfish::core::sensitivity::partition_histogram_sensitivity;
+    let domain = Domain::line(12).unwrap();
+    let part = Partition::intervals(12, 3);
+    let policy = Policy::partitioned(domain.clone(), part.clone());
+    assert_eq!(partition_histogram_sensitivity(&policy, &part), 0.0);
+
+    let ds = Dataset::from_rows(domain, (0..60).map(|i| i % 12).collect()).unwrap();
+    let eps = Epsilon::new(0.1).unwrap();
+    let mech = LaplaceMechanism::new(eps, 0.0).unwrap();
+    let mut rng = seeded_rng(1001);
+    let coarse = ds.histogram().coarsen(&part).unwrap();
+    let released = mech.release(coarse.counts(), &mut rng);
+    assert_eq!(released, coarse.counts().to_vec());
+}
+
+/// The full pipeline under a budget accountant: sequential spends across
+/// two mechanisms stay within the total.
+#[test]
+fn budgeted_pipeline() {
+    let domain = Domain::line(32).unwrap();
+    let ds = Dataset::from_rows(domain.clone(), (0..200).map(|i| i % 32).collect()).unwrap();
+    let mut acct = BudgetAccountant::new(Epsilon::new(1.0).unwrap());
+    let mut rng = seeded_rng(1100);
+
+    // Spend 0.4 on a histogram...
+    let e1 = Epsilon::new(0.4).unwrap();
+    acct.spend("histogram", e1).unwrap();
+    let policy = Policy::distance_threshold(domain.clone(), 2);
+    let _h = HistogramMechanism::for_policy(&policy, e1)
+        .unwrap()
+        .release(&ds, &mut rng);
+
+    // ...and 0.6 on range queries.
+    let e2 = Epsilon::new(0.6).unwrap();
+    acct.spend("ranges", e2).unwrap();
+    let om = OrderedMechanism::for_policy(&policy, e2);
+    let _r = om.release(&ds.histogram().cumulative(), &mut rng).unwrap();
+
+    assert!(acct.remaining() < 1e-9);
+    assert_eq!(acct.ledger().len(), 2);
+}
