@@ -1,0 +1,126 @@
+//! Benchmarks for the serving engine: the sensitivity cache's effect on
+//! request latency, and batched vs one-by-one range serving.
+//!
+//! The headline measurement is cold vs cached request latency for a
+//! distance-threshold policy on a 1024-cell domain. The cold path pays
+//! the `O(|T|²)` secret-graph edge scan behind the range-query closed
+//! form; the cached path is a hash lookup plus one Laplace draw. The
+//! `ratio` line printed at the end asserts the cached path is at least
+//! 5× faster.
+
+use bf_core::{Epsilon, Policy};
+use bf_domain::{Dataset, Domain};
+use bf_engine::{Engine, Request};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const DOMAIN_SIZE: usize = 1024;
+const THETA: u64 = 8;
+
+fn serving_engine() -> Engine {
+    let engine = Engine::with_seed(11);
+    let domain = Domain::line(DOMAIN_SIZE).unwrap();
+    engine
+        .register_policy("dist", Policy::distance_threshold(domain.clone(), THETA))
+        .unwrap();
+    let rows: Vec<usize> = (0..100_000).map(|i| (i * 31) % DOMAIN_SIZE).collect();
+    engine
+        .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+        .unwrap();
+    // Effectively unbounded budget: the bench measures latency, not ε.
+    engine
+        .open_session("bench", Epsilon::new(1e12).unwrap())
+        .unwrap();
+    engine
+}
+
+fn request() -> Request {
+    Request::range("dist", "ds", Epsilon::new(0.1).unwrap(), 100, 611)
+}
+
+fn bench_sensitivity_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    let engine = serving_engine();
+    let req = request();
+
+    group.bench_function("range_request_cold_1024", |b| {
+        b.iter(|| {
+            engine.clear_sensitivity_cache();
+            black_box(engine.serve("bench", &req).unwrap())
+        });
+    });
+
+    engine.serve("bench", &req).unwrap(); // prime
+    group.bench_function("range_request_cached_1024", |b| {
+        b.iter(|| black_box(engine.serve("bench", &req).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_batched_ranges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_batch");
+    group.sample_size(10);
+    let engine = serving_engine();
+    let eps = Epsilon::new(0.01).unwrap();
+    let reqs: Vec<Request> = (0..64)
+        .map(|i| Request::range("dist", "ds", eps, i * 16, i * 16 + 15))
+        .collect();
+    // Prime both the cumulative and the stand-alone range classes.
+    engine.serve_batch("bench", &reqs);
+
+    group.bench_function("64_ranges_batched", |b| {
+        b.iter(|| black_box(engine.serve_batch("bench", &reqs)));
+    });
+    group.bench_function("64_ranges_one_by_one", |b| {
+        b.iter(|| {
+            for r in &reqs {
+                black_box(engine.serve("bench", r).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+/// The acceptance measurement: cached-path latency must be ≥ 5× lower
+/// than cold-path latency on the 1024-cell distance-threshold policy.
+fn assert_cache_speedup(_c: &mut Criterion) {
+    let engine = serving_engine();
+    let req = request();
+    let trials = 20;
+
+    let cold_start = Instant::now();
+    for _ in 0..trials {
+        engine.clear_sensitivity_cache();
+        black_box(engine.serve("bench", &req).unwrap());
+    }
+    let cold = cold_start.elapsed().as_secs_f64() / trials as f64;
+
+    engine.serve("bench", &req).unwrap(); // prime
+    let warm_trials = trials * 50;
+    let warm_start = Instant::now();
+    for _ in 0..warm_trials {
+        black_box(engine.serve("bench", &req).unwrap());
+    }
+    let warm = warm_start.elapsed().as_secs_f64() / warm_trials as f64;
+
+    let ratio = cold / warm;
+    println!(
+        "engine/cache_speedup: cold {:.1} µs, cached {:.2} µs, ratio {ratio:.0}×",
+        cold * 1e6,
+        warm * 1e6
+    );
+    assert!(
+        ratio >= 5.0,
+        "sensitivity cache must make requests ≥ 5× faster (got {ratio:.1}×)"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_sensitivity_cache,
+    bench_batched_ranges,
+    assert_cache_speedup
+);
+criterion_main!(benches);

@@ -105,6 +105,13 @@ impl BudgetAccountant {
         Ok(())
     }
 
+    /// Records a release that cost nothing (zero-sensitivity releases are
+    /// exact: their output is determined by publicly declared
+    /// information, so sequential composition adds 0).
+    pub fn note_free(&mut self, label: impl Into<String>) {
+        self.ledger.push((label.into(), 0.0));
+    }
+
     /// The labelled spend history.
     pub fn ledger(&self) -> &[(String, f64)] {
         &self.ledger

@@ -34,6 +34,7 @@ pub mod laplace;
 pub mod neighbors;
 pub mod policy;
 pub mod queries;
+pub mod query_class;
 pub mod secrets;
 pub mod sensitivity;
 pub mod unbounded;
@@ -48,6 +49,7 @@ pub use laplace::{laplace_mse, sample_laplace, LaplaceMechanism};
 pub use neighbors::{are_neighbors, enumerate_neighbors, NeighborRelation, NeighborSemantics};
 pub use policy::Policy;
 pub use queries::{CountQuery, CumulativeHistogramQuery, HistogramQuery, LinearQuery, RangeQuery};
+pub use query_class::QueryClass;
 pub use secrets::{DiscriminativePair, Secret};
 pub use sensitivity::{brute_force_sensitivity, brute_force_sensitivity_with, VectorQuery};
 pub use unbounded::{BotEdges, UnboundedDataset, UnboundedPolicy};

@@ -135,6 +135,38 @@ impl Policy {
         self.graph.is_edge(&self.domain, x, y)
     }
 
+    /// A stable identity string for sensitivity caching: the graph label,
+    /// constraint count, and the domain's attribute cardinalities.
+    ///
+    /// Two policies with equal cache keys have the same domain shape and
+    /// a secret graph on which every closed-form sensitivity in
+    /// [`crate::sensitivity`] agrees. The label alone is not enough for
+    /// the graph families with free structure — `partition|{n}` says how
+    /// many blocks, not which values share one, and `custom` says nothing
+    /// — so for those the key also hashes the block assignment / edge
+    /// list.
+    pub fn cache_key(&self) -> String {
+        let cards: Vec<usize> = self
+            .domain
+            .attributes()
+            .iter()
+            .map(|a| a.cardinality())
+            .collect();
+        match &self.graph {
+            SecretGraph::Custom(g) => {
+                let mut edges = g.edges().to_vec();
+                edges.sort_unstable();
+                let h = fnv1a_u64s(edges.iter().flat_map(|&(u, v)| [u as u64, v as u64]));
+                format!("{}#{h:016x}@{cards:?}", self.label())
+            }
+            SecretGraph::Partition(p) => {
+                let h = fnv1a_u64s((0..p.domain_size()).map(|x| p.block_of(x) as u64));
+                format!("{}#{h:016x}@{cards:?}", self.label())
+            }
+            _ => format!("{}@{cards:?}", self.label()),
+        }
+    }
+
     /// Figure-legend style label, e.g. `full`, `blowfish|64`,
     /// `partition|100`.
     pub fn label(&self) -> String {
@@ -144,6 +176,18 @@ impl Policy {
         }
         label
     }
+}
+
+/// FNV-1a over a word stream (canonical fingerprint for cache keys).
+fn fnv1a_u64s(words: impl Iterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -193,6 +237,37 @@ mod tests {
         let d = domain();
         let c = CountConstraint::new(Predicate::of_values(5, &[0]), 1);
         assert!(Policy::with_constraints(d, SecretGraph::Full, vec![c]).is_err());
+    }
+
+    #[test]
+    fn cache_keys_separate_equal_block_count_partitions() {
+        // Same domain, same number of blocks, different assignments —
+        // labels collide ("partition|2") but cache keys must not: their
+        // cumulative-histogram sensitivities differ (3 vs 7).
+        let d = Domain::line(8).unwrap();
+        let contiguous = Policy::partitioned(d.clone(), Partition::intervals(8, 4));
+        let interleaved = Policy::partitioned(
+            d.clone(),
+            Partition::new(vec![0, 1, 0, 1, 0, 1, 0, 1]).unwrap(),
+        );
+        assert_eq!(contiguous.label(), interleaved.label());
+        assert_ne!(contiguous.cache_key(), interleaved.cache_key());
+        // Same assignment → same key.
+        let again = Policy::partitioned(d, Partition::intervals(8, 4));
+        assert_eq!(contiguous.cache_key(), again.cache_key());
+    }
+
+    #[test]
+    fn cache_keys_include_domain_and_graph_parameters() {
+        let a = Policy::distance_threshold(Domain::line(8).unwrap(), 2);
+        let b = Policy::distance_threshold(Domain::line(8).unwrap(), 3);
+        let c = Policy::distance_threshold(Domain::line(9).unwrap(), 2);
+        assert_ne!(a.cache_key(), b.cache_key());
+        assert_ne!(a.cache_key(), c.cache_key());
+        assert_eq!(
+            a.cache_key(),
+            Policy::distance_threshold(Domain::line(8).unwrap(), 2).cache_key()
+        );
     }
 
     #[test]

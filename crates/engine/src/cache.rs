@@ -1,0 +1,173 @@
+//! The sensitivity cache.
+//!
+//! Computing a policy-specific sensitivity `S(f, P)` is the expensive
+//! part of serving a request: for range and linear queries on implicit
+//! secret graphs the closed forms scan `O(|T|²)` candidate edges
+//! (milliseconds on a 1024-cell domain), while the Laplace sampling that
+//! follows is nanoseconds. Sensitivities depend only on `(P, f)` — never
+//! on the data — so they are perfectly cacheable and sharing them across
+//! analysts leaks nothing (the policy is public).
+//!
+//! Keys are `(Policy::cache_key(), QueryClass::fingerprint())`. The map
+//! sits behind an `RwLock`: reads (hits) take the shared lock, a miss
+//! computes **outside** any lock and then takes the write lock briefly,
+//! so concurrent misses on the same key do redundant work but never
+//! block readers on the graph scan.
+
+use bf_core::{Policy, QueryClass};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Hit/miss counters for observability and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the map.
+    pub hits: u64,
+    /// Lookups that computed the closed form.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memo table for policy-specific sensitivities.
+#[derive(Debug, Default)]
+pub struct SensitivityCache {
+    map: RwLock<HashMap<(String, u64), f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SensitivityCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The sensitivity of `class` under `policy`, memoized.
+    pub fn sensitivity(&self, policy: &Policy, class: &QueryClass) -> f64 {
+        let key = (policy.cache_key(), class.fingerprint());
+        if let Some(&s) = self.map.read().expect("cache lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return s;
+        }
+        // Cold path: run the closed form without holding the lock.
+        let s = class.sensitivity(policy);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .write()
+            .expect("cache lock poisoned")
+            .insert(key, s);
+        s
+    }
+
+    /// Whether `(policy, class)` is already cached (no counter updates).
+    pub fn contains(&self, policy: &Policy, class: &QueryClass) -> bool {
+        let key = (policy.cache_key(), class.fingerprint());
+        self.map
+            .read()
+            .expect("cache lock poisoned")
+            .contains_key(&key)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.read().expect("cache lock poisoned").len(),
+        }
+    }
+
+    /// Drops all entries (counters keep accumulating).
+    pub fn clear(&self) {
+        self.map.write().expect("cache lock poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf_domain::Domain;
+
+    fn policy() -> Policy {
+        Policy::distance_threshold(Domain::line(64).unwrap(), 4)
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = SensitivityCache::new();
+        let p = policy();
+        let class = QueryClass::Range { lo: 5, hi: 20 };
+        let cold = cache.sensitivity(&p, &class);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 0);
+        let warm = cache.sensitivity(&p, &class);
+        assert_eq!(cold, warm);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().entries, 1);
+        assert!(cache.contains(&p, &class));
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_policies_do_not_collide() {
+        let cache = SensitivityCache::new();
+        let theta2 = Policy::distance_threshold(Domain::line(16).unwrap(), 2);
+        let theta5 = Policy::distance_threshold(Domain::line(16).unwrap(), 5);
+        let class = QueryClass::CumulativeHistogram;
+        assert_eq!(cache.sensitivity(&theta2, &class), 2.0);
+        assert_eq!(cache.sensitivity(&theta5, &class), 5.0);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = SensitivityCache::new();
+        let p = policy();
+        cache.sensitivity(&p, &QueryClass::Histogram);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 1);
+        // Re-lookup recomputes.
+        cache.sensitivity(&p, &QueryClass::Histogram);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        use std::sync::Arc;
+        let cache = Arc::new(SensitivityCache::new());
+        let p = policy();
+        let class = QueryClass::Linear {
+            weights: (0..64).map(|i| (i % 7) as f64).collect(),
+        };
+        let expect = class.sensitivity(&p);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let p = p.clone();
+                let class = class.clone();
+                std::thread::spawn(move || cache.sensitivity(&p, &class))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expect);
+        }
+        assert_eq!(cache.stats().entries, 1);
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8);
+    }
+}

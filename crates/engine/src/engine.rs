@@ -1,0 +1,566 @@
+//! The engine: registries, router, cache, sessions, batching.
+
+use crate::cache::{CacheStats, SensitivityCache};
+use crate::error::EngineError;
+use crate::request::{Request, RequestKind, Response};
+use crate::session::AnalystSession;
+use bf_core::{Epsilon, LaplaceMechanism, Policy, QueryClass};
+use bf_domain::{CumulativeHistogram, Dataset, Histogram, PointSet};
+use bf_mechanisms::kmeans::{init_random, PrivateKmeans};
+use bf_mechanisms::{HistogramMechanism, OrderedMechanism, RangeAnswerer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A registered dataset with its aggregates precomputed once: serving
+/// reads histograms, never raw rows, so the O(n) aggregation pass and
+/// the O(|T|) prefix sums happen at registration instead of per request.
+#[derive(Debug, Clone)]
+struct DatasetEntry {
+    dataset: Arc<Dataset>,
+    histogram: Arc<Histogram>,
+    cumulative: Arc<CumulativeHistogram>,
+}
+
+/// A multi-tenant Blowfish query-serving engine.
+///
+/// The engine owns four registries — policies, tabular datasets, point
+/// sets (for k-means), and analyst sessions — plus the shared
+/// [`SensitivityCache`]. All methods take `&self`; internal state is
+/// behind locks, so one `Arc<Engine>` can serve requests from many
+/// threads concurrently.
+///
+/// Serving a request runs four stages:
+///
+/// 1. **resolve** — look up the named policy and data object,
+/// 2. **calibrate** — fetch `S(f, P)` from the cache (computing the
+///    closed form on first use),
+/// 3. **charge** — draw the request's ε from the analyst's ledger
+///    (refusing *before* any data is touched when the budget cannot
+///    cover it; zero-sensitivity releases are recorded free),
+/// 4. **execute** — run the mechanism the paper prescribes for the
+///    request kind and return the typed [`Response`].
+///
+/// # Examples
+///
+/// ```
+/// use bf_core::{Epsilon, Policy};
+/// use bf_domain::{Dataset, Domain};
+/// use bf_engine::{Engine, Request};
+///
+/// let engine = Engine::with_seed(7);
+/// let domain = Domain::line(32)?;
+/// engine.register_policy("salary", Policy::distance_threshold(domain.clone(), 4))?;
+/// let rows: Vec<usize> = (0..200).map(|i| (i * 13) % 32).collect();
+/// engine.register_dataset("payroll", Dataset::from_rows(domain, rows)?)?;
+/// engine.open_session("alice", Epsilon::new(1.0)?)?;
+///
+/// let eps = Epsilon::new(0.25)?;
+/// let answer = engine.serve("alice", &Request::range("salary", "payroll", eps, 4, 12))?;
+/// assert!(answer.scalar().unwrap().is_finite());
+/// assert!((engine.session_remaining("alice")? - 0.75).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    policies: RwLock<HashMap<String, Arc<Policy>>>,
+    datasets: RwLock<HashMap<String, DatasetEntry>>,
+    points: RwLock<HashMap<String, Arc<PointSet>>>,
+    sessions: RwLock<HashMap<String, Arc<Mutex<AnalystSession>>>>,
+    cache: SensitivityCache,
+    /// Base seed for noise; each release derives its own generator from
+    /// `seed ⊕ f(counter)`, so no lock is held while mechanisms run and
+    /// single-threaded serving stays reproducible.
+    seed: u64,
+    release_counter: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::with_seed(0xB10F_F15B)
+    }
+}
+
+impl Engine {
+    /// An engine with the default noise seed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine whose noise stream is seeded for reproducible runs.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            policies: RwLock::new(HashMap::new()),
+            datasets: RwLock::new(HashMap::new()),
+            points: RwLock::new(HashMap::new()),
+            sessions: RwLock::new(HashMap::new()),
+            cache: SensitivityCache::new(),
+            seed,
+            release_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// A fresh generator for one release: deterministic in (seed, release
+    /// ordinal), independent across releases (SplitMix64-style spread).
+    fn release_rng(&self) -> StdRng {
+        let n = self.release_counter.fetch_add(1, Ordering::Relaxed);
+        StdRng::seed_from_u64(self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    // ------------------------------------------------------------------
+    // Registries
+    // ------------------------------------------------------------------
+
+    /// Registers a policy under a name.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::DuplicateName`] if the name is taken — cached
+    /// sensitivities refer to the original object, so re-registration is
+    /// refused rather than silently swapped.
+    /// [`EngineError::InvalidRequest`] for policies with constraints:
+    /// their sensitivities are not closed-form (Theorem 8.1 — NP-hard in
+    /// general; the routed classes would panic in `bf-core`), so they
+    /// must be served via the `bf-constraints` machinery, not the engine.
+    pub fn register_policy(
+        &self,
+        name: impl Into<String>,
+        policy: Policy,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        if policy.has_constraints() {
+            return Err(EngineError::InvalidRequest(format!(
+                "policy {name:?} has public constraints; the engine only serves \
+                 constraint-free policies (use bf-constraints for Section 8 sensitivities)"
+            )));
+        }
+        let mut map = self.policies.write().expect("policy lock poisoned");
+        if map.contains_key(&name) {
+            return Err(EngineError::DuplicateName(name));
+        }
+        map.insert(name, Arc::new(policy));
+        Ok(())
+    }
+
+    /// Registers a tabular dataset under a name.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::DuplicateName`] if the name is taken.
+    pub fn register_dataset(
+        &self,
+        name: impl Into<String>,
+        dataset: Dataset,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        let histogram = dataset.histogram();
+        let cumulative = histogram.cumulative();
+        let entry = DatasetEntry {
+            dataset: Arc::new(dataset),
+            histogram: Arc::new(histogram),
+            cumulative: Arc::new(cumulative),
+        };
+        let mut map = self.datasets.write().expect("dataset lock poisoned");
+        if map.contains_key(&name) {
+            return Err(EngineError::DuplicateName(name));
+        }
+        map.insert(name, entry);
+        Ok(())
+    }
+
+    /// Registers a continuous point set (k-means input) under a name.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::DuplicateName`] if the name is taken.
+    pub fn register_points(
+        &self,
+        name: impl Into<String>,
+        points: PointSet,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        let mut map = self.points.write().expect("points lock poisoned");
+        if map.contains_key(&name) {
+            return Err(EngineError::DuplicateName(name));
+        }
+        map.insert(name, Arc::new(points));
+        Ok(())
+    }
+
+    /// The registered policy, if any.
+    pub fn policy(&self, name: &str) -> Result<Arc<Policy>, EngineError> {
+        self.policies
+            .read()
+            .expect("policy lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownPolicy(name.to_owned()))
+    }
+
+    /// The registered dataset, if any.
+    pub fn dataset(&self, name: &str) -> Result<Arc<Dataset>, EngineError> {
+        Ok(self.dataset_entry(name)?.dataset)
+    }
+
+    fn dataset_entry(&self, name: &str) -> Result<DatasetEntry, EngineError> {
+        self.datasets
+            .read()
+            .expect("dataset lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_owned()))
+    }
+
+    /// The registered point set, if any.
+    pub fn point_set(&self, name: &str) -> Result<Arc<PointSet>, EngineError> {
+        self.points
+            .read()
+            .expect("points lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownPoints(name.to_owned()))
+    }
+
+    // ------------------------------------------------------------------
+    // Sessions
+    // ------------------------------------------------------------------
+
+    /// Opens an analyst session with a total ε budget.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SessionExists`] if the analyst already has one — a
+    /// ledger must not be resettable by reopening.
+    pub fn open_session(
+        &self,
+        analyst: impl Into<String>,
+        total: Epsilon,
+    ) -> Result<(), EngineError> {
+        let analyst = analyst.into();
+        let mut map = self.sessions.write().expect("session lock poisoned");
+        if map.contains_key(&analyst) {
+            return Err(EngineError::SessionExists(analyst));
+        }
+        map.insert(
+            analyst.clone(),
+            Arc::new(Mutex::new(AnalystSession::new(analyst, total))),
+        );
+        Ok(())
+    }
+
+    fn session(&self, analyst: &str) -> Result<Arc<Mutex<AnalystSession>>, EngineError> {
+        self.sessions
+            .read()
+            .expect("session lock poisoned")
+            .get(analyst)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownAnalyst(analyst.to_owned()))
+    }
+
+    /// ε remaining in an analyst's ledger.
+    pub fn session_remaining(&self, analyst: &str) -> Result<f64, EngineError> {
+        Ok(self
+            .session(analyst)?
+            .lock()
+            .expect("session poisoned")
+            .remaining())
+    }
+
+    /// A snapshot of an analyst's session (ledger, counters).
+    pub fn session_snapshot(&self, analyst: &str) -> Result<AnalystSession, EngineError> {
+        Ok(self
+            .session(analyst)?
+            .lock()
+            .expect("session poisoned")
+            .clone())
+    }
+
+    /// Cache counters (for benches and monitoring).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached sensitivity (counters keep accumulating).
+    /// Correctness is unaffected — the next request per class recomputes
+    /// the closed form. Used by benches to measure the cold path.
+    pub fn clear_sensitivity_cache(&self) {
+        self.cache.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Serving
+    // ------------------------------------------------------------------
+
+    /// Serves one request for one analyst.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names, [`EngineError::InvalidRequest`] for malformed
+    /// queries, [`EngineError::BudgetRefused`] when the ledger cannot
+    /// cover ε (nothing is released in that case).
+    pub fn serve(&self, analyst: &str, request: &Request) -> Result<Response, EngineError> {
+        let session = self.session(analyst)?;
+        let policy = self.policy(&request.policy)?;
+
+        match &request.kind {
+            RequestKind::KMeans {
+                k,
+                iterations,
+                spec,
+            } => {
+                let points = self.point_set(&request.data)?;
+                if *k == 0 || *k > points.len() {
+                    return Err(EngineError::InvalidRequest(format!(
+                        "k-means needs 1 ≤ k ≤ n, got k={k} with n={}",
+                        points.len()
+                    )));
+                }
+                if *iterations == 0 {
+                    return Err(EngineError::InvalidRequest("0 k-means iterations".into()));
+                }
+                let free =
+                    spec.qsize_sensitivity() == 0.0 && spec.qsum_sensitivity(points.bbox()) == 0.0;
+                session.lock().expect("session poisoned").charge(
+                    request.label(),
+                    request.epsilon,
+                    free,
+                )?;
+                let mech = PrivateKmeans::new(*k, *iterations, request.epsilon, *spec);
+                let mut rng = self.release_rng();
+                let init = init_random(&points, *k, &mut rng);
+                let centroids = mech.run(&points, &init, &mut rng);
+                Ok(Response::Centroids(centroids))
+            }
+            kind => {
+                let entry = self.dataset_entry(&request.data)?;
+                let class = request
+                    .query_class()
+                    .expect("non-kmeans kinds always map to a query class");
+                self.validate(kind, &policy, &entry)?;
+                let sensitivity = self.cache.sensitivity(&policy, &class);
+                session.lock().expect("session poisoned").charge(
+                    request.label(),
+                    request.epsilon,
+                    sensitivity == 0.0,
+                )?;
+                self.execute(kind, &entry, request.epsilon, sensitivity)
+            }
+        }
+    }
+
+    /// Serves a batch, answering compatible range queries from **one**
+    /// noisy release.
+    ///
+    /// Range requests that share `(policy, data, ε)` are grouped: the
+    /// engine spends ε once, performs a single Ordered Mechanism release
+    /// of the cumulative histogram (Section 7.1), and answers every range
+    /// in the group as a two-prefix read — N answers for one release's
+    /// privacy cost and one release's noise, instead of N independent
+    /// Laplace draws. All other requests fall through to [`Engine::serve`]
+    /// semantics unchanged.
+    ///
+    /// Results come back in request order; each slot carries its own
+    /// `Result` so one refused request does not poison the batch.
+    pub fn serve_batch(
+        &self,
+        analyst: &str,
+        requests: &[Request],
+    ) -> Vec<Result<Response, EngineError>> {
+        let mut out: Vec<Option<Result<Response, EngineError>>> =
+            (0..requests.len()).map(|_| None).collect();
+
+        // Group batchable range requests by (policy, data, ε bits). A
+        // member with out-of-bounds endpoints is left OUT of its group so
+        // it fails individually on the single-request path instead of
+        // poisoning its siblings' shared release.
+        let mut groups: BTreeMap<(String, String, u64), Vec<usize>> = BTreeMap::new();
+        for (i, req) in requests.iter().enumerate() {
+            if let RequestKind::Range { lo, hi } = req.kind {
+                let in_bounds = lo <= hi
+                    && self
+                        .dataset_entry(&req.data)
+                        .map(|e| hi < e.dataset.domain().size())
+                        .unwrap_or(true); // unknown dataset: fail as a group
+                if !in_bounds {
+                    continue;
+                }
+                groups
+                    .entry((
+                        req.policy.clone(),
+                        req.data.clone(),
+                        req.epsilon.value().to_bits(),
+                    ))
+                    .or_default()
+                    .push(i);
+            }
+        }
+
+        for ((policy_name, data_name, _), indices) in groups {
+            if indices.len() < 2 {
+                continue; // a lone range gains nothing from batching
+            }
+            let epsilon = requests[indices[0]].epsilon;
+            let ranges: Vec<(usize, usize)> = indices
+                .iter()
+                .map(|&i| match requests[i].kind {
+                    RequestKind::Range { lo, hi } => (lo, hi),
+                    _ => unreachable!("group members are ranges"),
+                })
+                .collect();
+            match self.serve_range_group(analyst, &policy_name, &data_name, epsilon, &ranges) {
+                Ok(answers) => {
+                    for (&i, a) in indices.iter().zip(answers) {
+                        out[i] = Some(Ok(Response::Scalar(a)));
+                    }
+                }
+                Err(e) => {
+                    for &i in &indices {
+                        out[i] = Some(Err(e.clone()));
+                    }
+                }
+            }
+        }
+
+        // Everything not answered by a group goes through the single path.
+        for (i, req) in requests.iter().enumerate() {
+            if out[i].is_none() {
+                out[i] = Some(self.serve(analyst, req));
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
+    /// One ordered release answering a whole range group.
+    fn serve_range_group(
+        &self,
+        analyst: &str,
+        policy_name: &str,
+        data_name: &str,
+        epsilon: Epsilon,
+        ranges: &[(usize, usize)],
+    ) -> Result<Vec<f64>, EngineError> {
+        let session = self.session(analyst)?;
+        let policy = self.policy(policy_name)?;
+        let entry = self.dataset_entry(data_name)?;
+        let size = entry.dataset.domain().size();
+        if policy.domain().size() != size {
+            return Err(EngineError::InvalidRequest(format!(
+                "dataset domain size {size} does not match policy domain size {}",
+                policy.domain().size()
+            )));
+        }
+        for &(lo, hi) in ranges {
+            if lo > hi || hi >= size {
+                return Err(EngineError::InvalidRequest(format!(
+                    "range [{lo}, {hi}] outside domain of size {size}"
+                )));
+            }
+        }
+        let sensitivity = self
+            .cache
+            .sensitivity(&policy, &QueryClass::CumulativeHistogram);
+        session.lock().expect("session poisoned").charge(
+            format!("batch:{}xrange@{policy_name}/{data_name}", ranges.len()),
+            epsilon,
+            sensitivity == 0.0,
+        )?;
+        let mech = OrderedMechanism {
+            epsilon,
+            sensitivity,
+            constrained_inference: true,
+            nonnegative: false,
+        };
+        let release = mech.release(&entry.cumulative, &mut self.release_rng())?;
+        Ok(release.answer_batch(ranges))
+    }
+
+    fn validate(
+        &self,
+        kind: &RequestKind,
+        policy: &Policy,
+        entry: &DatasetEntry,
+    ) -> Result<(), EngineError> {
+        let size = policy.domain().size();
+        if entry.dataset.domain().size() != size {
+            return Err(EngineError::InvalidRequest(format!(
+                "dataset domain size {} does not match policy domain size {size}",
+                entry.dataset.domain().size()
+            )));
+        }
+        match kind {
+            RequestKind::Range { lo, hi } if *lo > *hi || *hi >= size => {
+                return Err(EngineError::InvalidRequest(format!(
+                    "range [{lo}, {hi}] outside domain of size {size}"
+                )));
+            }
+            RequestKind::Linear { weights } => {
+                if weights.len() != size {
+                    return Err(EngineError::InvalidRequest(format!(
+                        "{} weights for a domain of size {size}",
+                        weights.len()
+                    )));
+                }
+                if weights.iter().any(|w| !w.is_finite()) {
+                    return Err(EngineError::InvalidRequest(
+                        "non-finite linear-query weight".into(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn execute(
+        &self,
+        kind: &RequestKind,
+        entry: &DatasetEntry,
+        epsilon: Epsilon,
+        sensitivity: f64,
+    ) -> Result<Response, EngineError> {
+        let mut rng = self.release_rng();
+        match kind {
+            RequestKind::Histogram => {
+                let mech = HistogramMechanism::with_sensitivity(epsilon, sensitivity)?;
+                let noisy = mech.release_counts(entry.histogram.counts(), &mut rng);
+                Ok(Response::Histogram(noisy))
+            }
+            RequestKind::CumulativeHistogram => {
+                let mech = OrderedMechanism {
+                    epsilon,
+                    sensitivity,
+                    constrained_inference: true,
+                    nonnegative: false,
+                };
+                let release = mech.release(&entry.cumulative, &mut rng)?;
+                Ok(Response::Prefixes(release.prefixes().to_vec()))
+            }
+            RequestKind::Range { lo, hi } => {
+                let exact = entry
+                    .histogram
+                    .range_count(*lo, *hi)
+                    .map_err(EngineError::Domain)?;
+                let mech = LaplaceMechanism::new(epsilon, sensitivity)?;
+                let noisy = mech.release(&[exact], &mut rng);
+                Ok(Response::Scalar(noisy[0]))
+            }
+            RequestKind::Linear { weights } => {
+                let exact: f64 = weights
+                    .iter()
+                    .zip(entry.histogram.counts())
+                    .map(|(w, c)| w * c)
+                    .sum();
+                let mech = LaplaceMechanism::new(epsilon, sensitivity)?;
+                let noisy = mech.release(&[exact], &mut rng);
+                Ok(Response::Scalar(noisy[0]))
+            }
+            RequestKind::KMeans { .. } => {
+                unreachable!("k-means is routed before execute()")
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for the serving engine.
+
+use bf_core::CoreError;
+use bf_domain::DomainError;
+use std::fmt;
+
+/// Errors raised by registration, session management and query serving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// No policy registered under this name.
+    UnknownPolicy(String),
+    /// No dataset registered under this name.
+    UnknownDataset(String),
+    /// No point set registered under this name.
+    UnknownPoints(String),
+    /// No open session for this analyst.
+    UnknownAnalyst(String),
+    /// A policy, dataset or point set is already registered under this
+    /// name — re-registration is refused because cached sensitivities and
+    /// spent budgets refer to the original object.
+    DuplicateName(String),
+    /// A session is already open for this analyst; its budget cannot be
+    /// reset by reopening.
+    SessionExists(String),
+    /// The analyst's ε-ledger cannot cover the request. The request was
+    /// **not** executed.
+    BudgetRefused {
+        /// The analyst whose ledger refused the spend.
+        analyst: String,
+        /// ε requested by the query.
+        requested: f64,
+        /// ε remaining in the ledger.
+        remaining: f64,
+    },
+    /// The request is malformed for its target (e.g. a range outside the
+    /// domain, a weight vector of the wrong length, k > n for k-means).
+    InvalidRequest(String),
+    /// An error from the privacy core.
+    Core(CoreError),
+    /// An error from the domain layer.
+    Domain(DomainError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownPolicy(n) => write!(f, "unknown policy {n:?}"),
+            EngineError::UnknownDataset(n) => write!(f, "unknown dataset {n:?}"),
+            EngineError::UnknownPoints(n) => write!(f, "unknown point set {n:?}"),
+            EngineError::UnknownAnalyst(n) => write!(f, "no open session for analyst {n:?}"),
+            EngineError::DuplicateName(n) => write!(f, "name {n:?} is already registered"),
+            EngineError::SessionExists(n) => write!(f, "analyst {n:?} already has a session"),
+            EngineError::BudgetRefused {
+                analyst,
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "budget refused for {analyst:?}: requested ε={requested}, remaining ε={remaining}"
+            ),
+            EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            EngineError::Core(e) => write!(f, "core error: {e}"),
+            EngineError::Domain(e) => write!(f, "domain error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            EngineError::Domain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<DomainError> for EngineError {
+    fn from(e: DomainError) -> Self {
+        EngineError::Domain(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        assert!(EngineError::UnknownPolicy("p".into())
+            .to_string()
+            .contains("\"p\""));
+        let e = EngineError::BudgetRefused {
+            analyst: "alice".into(),
+            requested: 0.5,
+            remaining: 0.1,
+        };
+        assert!(e.to_string().contains("alice"));
+        assert!(e.to_string().contains("0.5"));
+        let c: EngineError = CoreError::InvalidEpsilon(-1.0).into();
+        assert!(std::error::Error::source(&c).is_some());
+    }
+}

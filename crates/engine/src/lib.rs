@@ -1,0 +1,415 @@
+//! # bf-engine — a concurrent Blowfish query-serving engine
+//!
+//! The rest of the workspace is one-shot library calls: build a policy,
+//! run a mechanism, get an answer. This crate turns it into a
+//! **multi-tenant serving layer** shaped like
+//!
+//! ```text
+//!  analysts ──► sessions (ε-ledgers) ──► router ──► sensitivity cache ──► mechanisms
+//! ```
+//!
+//! * [`Engine`] registers policies, datasets and point sets under names
+//!   and routes typed [`Request`]s — histogram, cumulative histogram,
+//!   range, linear, k-means — to the mechanism the paper prescribes.
+//! * [`SensitivityCache`] memoizes policy-specific sensitivities
+//!   `S(f, P)` keyed by `(Policy::cache_key, QueryClass::fingerprint)`.
+//!   Sensitivities depend only on the **public** policy and query shape,
+//!   never on data, so sharing the cache across analysts is free of
+//!   privacy cost — and it removes the `O(|T|²)` secret-graph edge scans
+//!   from the hot path (see `crates/bench/benches/engine.rs`).
+//! * [`AnalystSession`] wraps `bf_core::BudgetAccountant`: every analyst
+//!   spends from their own ε-ledger under sequential composition
+//!   (Theorem 4.1) and is refused — before any data is touched — once
+//!   the ledger cannot cover a request. Zero-sensitivity releases are
+//!   recorded at ε = 0 (Section 5: they are exact and free).
+//! * [`Engine::serve_batch`] answers N compatible range queries from
+//!   **one** Ordered Mechanism release (Section 7.1) instead of N
+//!   independent releases: one ε spend, one noise draw, N two-prefix
+//!   reads.
+//!
+//! The engine is `Send + Sync`; wrap it in an `Arc` and serve from as
+//! many threads as you like. Each release derives its own noise
+//! generator from the engine seed and a release ordinal, so no lock is
+//! held while a mechanism runs and single-threaded serving is fully
+//! reproducible.
+
+mod cache;
+mod engine;
+mod error;
+mod request;
+mod session;
+
+pub use cache::{CacheStats, SensitivityCache};
+pub use engine::Engine;
+pub use error::EngineError;
+pub use request::{Request, RequestKind, Response};
+pub use session::AnalystSession;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf_core::{Epsilon, Policy};
+    use bf_domain::{Dataset, Domain};
+    use std::sync::Arc;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn engine_with_line_policy(size: usize, theta: u64) -> Engine {
+        let engine = Engine::with_seed(42);
+        let domain = Domain::line(size).unwrap();
+        engine
+            .register_policy("pol", Policy::distance_threshold(domain.clone(), theta))
+            .unwrap();
+        let rows: Vec<usize> = (0..10 * size).map(|i| (i * 7) % size).collect();
+        engine
+            .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn serves_every_request_kind() {
+        let engine = engine_with_line_policy(32, 2);
+        engine.open_session("alice", eps(10.0)).unwrap();
+        let e = eps(0.5);
+
+        let h = engine
+            .serve("alice", &Request::histogram("pol", "ds", e))
+            .unwrap();
+        assert_eq!(h.vector().unwrap().len(), 32);
+
+        let c = engine
+            .serve("alice", &Request::cumulative_histogram("pol", "ds", e))
+            .unwrap();
+        let prefixes = c.vector().unwrap();
+        assert_eq!(prefixes.len(), 32);
+        assert!(prefixes.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+
+        let r = engine
+            .serve("alice", &Request::range("pol", "ds", e, 4, 20))
+            .unwrap();
+        assert!(r.scalar().unwrap().is_finite());
+
+        let w: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let l = engine
+            .serve("alice", &Request::linear("pol", "ds", e, w))
+            .unwrap();
+        assert!(l.scalar().unwrap().is_finite());
+
+        let snap = engine.session_snapshot("alice").unwrap();
+        assert_eq!(snap.served(), 4);
+        assert!((snap.spent() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kmeans_requests_route_to_point_sets() {
+        use bf_domain::{BoundingBox, PointSet};
+        use bf_mechanisms::kmeans::KmeansSecretSpec;
+        let engine = Engine::with_seed(3);
+        let domain = Domain::line(4).unwrap();
+        engine
+            .register_policy("pol", Policy::differential_privacy(domain))
+            .unwrap();
+        let pts = PointSet::new(
+            vec![
+                vec![1.0, 1.0],
+                vec![1.2, 0.8],
+                vec![9.0, 9.0],
+                vec![8.8, 9.1],
+            ],
+            BoundingBox::new(vec![0.0, 0.0], vec![10.0, 10.0]),
+        );
+        engine.register_points("pts", pts).unwrap();
+        engine.open_session("alice", eps(5.0)).unwrap();
+        let resp = engine
+            .serve(
+                "alice",
+                &Request::kmeans(
+                    "pol",
+                    "pts",
+                    eps(2.0),
+                    2,
+                    3,
+                    KmeansSecretSpec::L1Threshold(1.0),
+                ),
+            )
+            .unwrap();
+        let cents = resp.centroids().unwrap();
+        assert_eq!(cents.len(), 2);
+        assert!(cents.iter().all(|c| c.len() == 2));
+        // k > n refuses without spending.
+        let err = engine
+            .serve(
+                "alice",
+                &Request::kmeans("pol", "pts", eps(1.0), 9, 3, KmeansSecretSpec::Full),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidRequest(_)));
+        assert!((engine.session_remaining("alice").unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let engine = engine_with_line_policy(64, 3);
+        engine.open_session("alice", eps(100.0)).unwrap();
+        for _ in 0..5 {
+            engine
+                .serve("alice", &Request::range("pol", "ds", eps(0.1), 10, 30))
+                .unwrap();
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+    }
+
+    #[test]
+    fn budget_refusal_blocks_execution_and_preserves_ledger() {
+        let engine = engine_with_line_policy(16, 1);
+        engine.open_session("alice", eps(0.3)).unwrap();
+        engine
+            .serve("alice", &Request::histogram("pol", "ds", eps(0.2)))
+            .unwrap();
+        let err = engine
+            .serve("alice", &Request::histogram("pol", "ds", eps(0.2)))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BudgetRefused { .. }));
+        let snap = engine.session_snapshot("alice").unwrap();
+        assert!((snap.remaining() - 0.1).abs() < 1e-12);
+        assert_eq!(snap.refused(), 1);
+        // A smaller request still fits.
+        engine
+            .serve("alice", &Request::histogram("pol", "ds", eps(0.1)))
+            .unwrap();
+    }
+
+    #[test]
+    fn sessions_are_isolated_per_analyst() {
+        let engine = engine_with_line_policy(16, 1);
+        engine.open_session("alice", eps(1.0)).unwrap();
+        engine.open_session("bob", eps(0.5)).unwrap();
+        engine
+            .serve("alice", &Request::histogram("pol", "ds", eps(0.9)))
+            .unwrap();
+        // Alice's spend does not touch Bob's ledger.
+        assert!((engine.session_remaining("bob").unwrap() - 0.5).abs() < 1e-12);
+        assert!(engine
+            .serve("bob", &Request::histogram("pol", "ds", eps(0.4)))
+            .is_ok());
+        // Reopening is refused.
+        assert!(matches!(
+            engine.open_session("alice", eps(9.0)),
+            Err(EngineError::SessionExists(_))
+        ));
+    }
+
+    #[test]
+    fn zero_sensitivity_requests_are_free() {
+        use bf_domain::Partition;
+        let engine = Engine::with_seed(1);
+        let domain = Domain::line(8).unwrap();
+        // Singleton partition: no secret edges at all → every release is
+        // exact and free.
+        engine
+            .register_policy(
+                "pol",
+                Policy::partitioned(domain.clone(), Partition::singletons(8)),
+            )
+            .unwrap();
+        let ds = Dataset::from_rows(domain, vec![0, 1, 1, 7]).unwrap();
+        let truth = ds.histogram().counts().to_vec();
+        engine.register_dataset("ds", ds).unwrap();
+        engine.open_session("alice", eps(0.1)).unwrap();
+        for _ in 0..10 {
+            let h = engine
+                .serve("alice", &Request::histogram("pol", "ds", eps(1.0)))
+                .unwrap();
+            assert_eq!(h.vector().unwrap(), truth.as_slice());
+        }
+        assert_eq!(engine.session_snapshot("alice").unwrap().spent(), 0.0);
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let engine = engine_with_line_policy(8, 1);
+        engine.open_session("alice", eps(1.0)).unwrap();
+        assert!(matches!(
+            engine.serve("alice", &Request::histogram("nope", "ds", eps(0.1))),
+            Err(EngineError::UnknownPolicy(_))
+        ));
+        assert!(matches!(
+            engine.serve("alice", &Request::histogram("pol", "nope", eps(0.1))),
+            Err(EngineError::UnknownDataset(_))
+        ));
+        assert!(matches!(
+            engine.serve("mallory", &Request::histogram("pol", "ds", eps(0.1))),
+            Err(EngineError::UnknownAnalyst(_))
+        ));
+        assert!(matches!(
+            engine.serve("alice", &Request::range("pol", "ds", eps(0.1), 5, 99)),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            engine.register_policy(
+                "pol",
+                Policy::differential_privacy(Domain::line(2).unwrap())
+            ),
+            Err(EngineError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn batch_answers_ranges_from_one_release() {
+        let engine = engine_with_line_policy(128, 2);
+        engine.open_session("alice", eps(1.0)).unwrap();
+        let e = eps(0.4);
+        let reqs: Vec<Request> = (0..8)
+            .map(|i| Request::range("pol", "ds", e, i * 10, i * 10 + 9))
+            .chain(std::iter::once(Request::histogram("pol", "ds", eps(0.2))))
+            .collect();
+        let answers = engine.serve_batch("alice", &reqs);
+        assert_eq!(answers.len(), 9);
+        for a in &answers[..8] {
+            assert!(a.as_ref().unwrap().scalar().unwrap().is_finite());
+        }
+        assert_eq!(answers[8].as_ref().unwrap().vector().unwrap().len(), 128);
+        // 8 ranges cost ONE ε=0.4 spend (plus 0.2 for the histogram) —
+        // not 8 × 0.4, which would blow the ε=1.0 budget.
+        let snap = engine.session_snapshot("alice").unwrap();
+        assert!((snap.spent() - 0.6).abs() < 1e-12, "spent {}", snap.spent());
+        assert!(snap
+            .ledger()
+            .iter()
+            .any(|(label, e)| label.starts_with("batch:8xrange") && (*e - 0.4).abs() < 1e-12));
+    }
+
+    #[test]
+    fn invalid_batch_member_fails_alone() {
+        let engine = engine_with_line_policy(64, 1);
+        engine.open_session("alice", eps(1.0)).unwrap();
+        let e = eps(0.2);
+        let mut reqs: Vec<Request> = (0..3)
+            .map(|i| Request::range("pol", "ds", e, i * 4, i * 4 + 3))
+            .collect();
+        reqs.push(Request::range("pol", "ds", e, 0, 999));
+        let out = engine.serve_batch("alice", &reqs);
+        for a in &out[..3] {
+            assert!(a.as_ref().unwrap().scalar().unwrap().is_finite());
+        }
+        assert!(matches!(out[3], Err(EngineError::InvalidRequest(_))));
+        // The valid siblings cost one group spend; the invalid one spent
+        // nothing.
+        let snap = engine.session_snapshot("alice").unwrap();
+        assert!((snap.spent() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_refusal_reports_every_member_and_spends_nothing() {
+        let engine = engine_with_line_policy(64, 1);
+        engine.open_session("alice", eps(0.1)).unwrap();
+        let reqs: Vec<Request> = (0..4)
+            .map(|i| Request::range("pol", "ds", eps(0.5), i, i + 1))
+            .collect();
+        let answers = engine.serve_batch("alice", &reqs);
+        assert!(answers
+            .iter()
+            .all(|a| matches!(a, Err(EngineError::BudgetRefused { .. }))));
+        assert_eq!(engine.session_snapshot("alice").unwrap().spent(), 0.0);
+    }
+
+    #[test]
+    fn constrained_policies_are_refused_at_registration() {
+        use bf_core::{CountConstraint, Predicate};
+        use bf_graph::SecretGraph;
+        let engine = Engine::new();
+        let d = Domain::line(4).unwrap();
+        let c = CountConstraint::new(Predicate::of_values(4, &[0]), 1);
+        let p = Policy::with_constraints(d, SecretGraph::Full, vec![c]).unwrap();
+        assert!(matches!(
+            engine.register_policy("q", p),
+            Err(EngineError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn multi_group_batches_are_reproducible() {
+        // Two ε values → two independent release groups; group iteration
+        // must be deterministic so same-seed engines agree.
+        let serve_once = || {
+            let engine = engine_with_line_policy(32, 1);
+            engine.open_session("alice", eps(10.0)).unwrap();
+            let reqs: Vec<Request> = (0..6)
+                .map(|i| {
+                    let e = if i % 2 == 0 { eps(0.3) } else { eps(0.7) };
+                    Request::range("pol", "ds", e, i, i + 4)
+                })
+                .collect();
+            engine
+                .serve_batch("alice", &reqs)
+                .into_iter()
+                .map(|r| r.unwrap().scalar().unwrap())
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(serve_once(), serve_once());
+    }
+
+    #[test]
+    fn batch_rejects_policy_dataset_domain_mismatch() {
+        let engine = engine_with_line_policy(32, 1);
+        engine
+            .register_policy(
+                "wide",
+                Policy::differential_privacy(Domain::line(64).unwrap()),
+            )
+            .unwrap();
+        engine.open_session("alice", eps(1.0)).unwrap();
+        let reqs: Vec<Request> = (0..2)
+            .map(|i| Request::range("wide", "ds", eps(0.1), i, i + 1))
+            .collect();
+        let out = engine.serve_batch("alice", &reqs);
+        assert!(out
+            .iter()
+            .all(|r| matches!(r, Err(EngineError::InvalidRequest(_)))));
+        assert_eq!(engine.session_snapshot("alice").unwrap().spent(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_serving_accounts_exactly() {
+        let engine = Arc::new(engine_with_line_policy(64, 2));
+        engine.open_session("alice", eps(1000.0)).unwrap();
+        let threads = 8;
+        let per_thread = 25;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let lo = (t * 7 + i) % 32;
+                        engine
+                            .serve(
+                                "alice",
+                                &Request::range("pol", "ds", eps(0.01), lo, lo + 16),
+                            )
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = engine.session_snapshot("alice").unwrap();
+        let total = (threads * per_thread) as f64 * 0.01;
+        assert_eq!(snap.served() as usize, threads * per_thread);
+        assert!(
+            (snap.spent() - total).abs() < 1e-9,
+            "spent {}",
+            snap.spent()
+        );
+        // Every distinct range class computed at most once.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits + stats.misses, (threads * per_thread) as u64);
+        assert!(stats.entries <= 32);
+    }
+}

@@ -1,0 +1,237 @@
+//! Typed requests and responses.
+//!
+//! A [`Request`] names a registered policy and data object, carries the ε
+//! the analyst is willing to spend, and a [`RequestKind`] saying which of
+//! the paper's query families to run. The engine routes each kind to the
+//! mechanism the paper prescribes for it (see `crate::engine`).
+
+use bf_core::{Epsilon, QueryClass};
+use bf_mechanisms::kmeans::KmeansSecretSpec;
+
+/// One query against the engine.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Name of the registered policy to serve under.
+    pub policy: String,
+    /// Name of the registered dataset (or point set, for k-means).
+    pub data: String,
+    /// Privacy budget this request spends from the analyst's ledger.
+    pub epsilon: Epsilon,
+    /// The query itself.
+    pub kind: RequestKind,
+}
+
+/// The query families the engine serves.
+#[derive(Debug, Clone)]
+pub enum RequestKind {
+    /// The complete histogram `h_T`, Laplace-perturbed (Theorem 5.1).
+    Histogram,
+    /// The cumulative histogram `S_T` via the Ordered Mechanism
+    /// (Section 7.1), boosted with constrained inference.
+    CumulativeHistogram,
+    /// A stand-alone range count `q[lo, hi]`, released as a single
+    /// Laplace count calibrated to the range's own policy sensitivity.
+    Range {
+        /// Inclusive lower endpoint.
+        lo: usize,
+        /// Inclusive upper endpoint.
+        hi: usize,
+    },
+    /// A linear query `f_w(D) = Σ_x w(x)·c(x)`.
+    Linear {
+        /// One weight per domain value.
+        weights: Vec<f64>,
+    },
+    /// SuLQ-style private k-means (Section 6) over a registered point
+    /// set.
+    KMeans {
+        /// Number of clusters.
+        k: usize,
+        /// Lloyd iterations (the paper uses 10).
+        iterations: usize,
+        /// Sensitive-information spec in the points' physical units.
+        spec: KmeansSecretSpec,
+    },
+}
+
+impl Request {
+    /// A complete-histogram request.
+    pub fn histogram(policy: impl Into<String>, data: impl Into<String>, epsilon: Epsilon) -> Self {
+        Self {
+            policy: policy.into(),
+            data: data.into(),
+            epsilon,
+            kind: RequestKind::Histogram,
+        }
+    }
+
+    /// A cumulative-histogram request.
+    pub fn cumulative_histogram(
+        policy: impl Into<String>,
+        data: impl Into<String>,
+        epsilon: Epsilon,
+    ) -> Self {
+        Self {
+            policy: policy.into(),
+            data: data.into(),
+            epsilon,
+            kind: RequestKind::CumulativeHistogram,
+        }
+    }
+
+    /// A range-count request `q[lo, hi]` (inclusive).
+    pub fn range(
+        policy: impl Into<String>,
+        data: impl Into<String>,
+        epsilon: Epsilon,
+        lo: usize,
+        hi: usize,
+    ) -> Self {
+        Self {
+            policy: policy.into(),
+            data: data.into(),
+            epsilon,
+            kind: RequestKind::Range { lo, hi },
+        }
+    }
+
+    /// A linear-query request.
+    pub fn linear(
+        policy: impl Into<String>,
+        data: impl Into<String>,
+        epsilon: Epsilon,
+        weights: Vec<f64>,
+    ) -> Self {
+        Self {
+            policy: policy.into(),
+            data: data.into(),
+            epsilon,
+            kind: RequestKind::Linear { weights },
+        }
+    }
+
+    /// A private k-means request.
+    pub fn kmeans(
+        policy: impl Into<String>,
+        data: impl Into<String>,
+        epsilon: Epsilon,
+        k: usize,
+        iterations: usize,
+        spec: KmeansSecretSpec,
+    ) -> Self {
+        Self {
+            policy: policy.into(),
+            data: data.into(),
+            epsilon,
+            kind: RequestKind::KMeans {
+                k,
+                iterations,
+                spec,
+            },
+        }
+    }
+
+    /// The [`QueryClass`] whose policy sensitivity calibrates this
+    /// request, or `None` for kinds whose sensitivity does not come from
+    /// the secret-graph closed forms (k-means uses its physical-unit
+    /// spec).
+    pub fn query_class(&self) -> Option<QueryClass> {
+        match &self.kind {
+            RequestKind::Histogram => Some(QueryClass::Histogram),
+            RequestKind::CumulativeHistogram => Some(QueryClass::CumulativeHistogram),
+            RequestKind::Range { lo, hi } => Some(QueryClass::Range { lo: *lo, hi: *hi }),
+            RequestKind::Linear { weights } => Some(QueryClass::Linear {
+                weights: weights.clone(),
+            }),
+            RequestKind::KMeans { .. } => None,
+        }
+    }
+
+    /// Ledger label, e.g. `histogram@census/adult`.
+    pub fn label(&self) -> String {
+        let kind = match &self.kind {
+            RequestKind::Histogram => "histogram",
+            RequestKind::CumulativeHistogram => "cumulative",
+            RequestKind::Range { .. } => "range",
+            RequestKind::Linear { .. } => "linear",
+            RequestKind::KMeans { .. } => "kmeans",
+        };
+        format!("{kind}@{}/{}", self.policy, self.data)
+    }
+}
+
+/// A served answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Noisy per-value counts.
+    Histogram(Vec<f64>),
+    /// Noisy (inference-boosted) prefix counts.
+    Prefixes(Vec<f64>),
+    /// A single noisy number (range or linear query).
+    Scalar(f64),
+    /// Final k-means centroids.
+    Centroids(Vec<Vec<f64>>),
+}
+
+impl Response {
+    /// The scalar payload, if this is a scalar answer.
+    pub fn scalar(&self) -> Option<f64> {
+        match self {
+            Response::Scalar(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The vector payload, if this is a histogram or prefix answer.
+    pub fn vector(&self) -> Option<&[f64]> {
+        match self {
+            Response::Histogram(v) | Response::Prefixes(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The centroid payload, if this is a k-means answer.
+    pub fn centroids(&self) -> Option<&[Vec<f64>]> {
+        match self {
+            Response::Centroids(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps() -> Epsilon {
+        Epsilon::new(0.5).unwrap()
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        let r = Request::range("pol", "ds", eps(), 3, 9);
+        assert_eq!(r.policy, "pol");
+        assert_eq!(r.data, "ds");
+        assert!(matches!(r.kind, RequestKind::Range { lo: 3, hi: 9 }));
+        assert_eq!(r.label(), "range@pol/ds");
+        assert_eq!(r.query_class(), Some(QueryClass::Range { lo: 3, hi: 9 }));
+    }
+
+    #[test]
+    fn kmeans_has_no_cached_class() {
+        let r = Request::kmeans("pol", "pts", eps(), 3, 5, KmeansSecretSpec::Full);
+        assert!(r.query_class().is_none());
+        assert_eq!(r.label(), "kmeans@pol/pts");
+    }
+
+    #[test]
+    fn response_accessors() {
+        assert_eq!(Response::Scalar(4.0).scalar(), Some(4.0));
+        assert_eq!(Response::Scalar(4.0).vector(), None);
+        let h = Response::Histogram(vec![1.0, 2.0]);
+        assert_eq!(h.vector().unwrap().len(), 2);
+        let c = Response::Centroids(vec![vec![0.0]]);
+        assert_eq!(c.centroids().unwrap().len(), 1);
+        assert_eq!(c.scalar(), None);
+    }
+}

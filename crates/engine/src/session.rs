@@ -1,0 +1,152 @@
+//! Per-analyst budget sessions.
+//!
+//! Each analyst opens a session with a total ε; every answered request
+//! draws its ε from that ledger under sequential composition
+//! (Theorem 4.1), so whatever an analyst learns across all their queries
+//! is `(total, P)`-Blowfish private. When a spend would overdraw the
+//! ledger the engine refuses **before** running the mechanism — a refusal
+//! releases nothing, so it costs nothing.
+//!
+//! Zero-sensitivity releases (e.g. a histogram over the policy partition,
+//! Section 5) are exact and free: the mechanism's output is fully
+//! determined by information the policy already declares public, so the
+//! session records the query at ε = 0.
+
+use crate::error::EngineError;
+use bf_core::{BudgetAccountant, CoreError, Epsilon};
+
+/// One analyst's ε-ledger plus serving statistics.
+#[derive(Debug, Clone)]
+pub struct AnalystSession {
+    analyst: String,
+    accountant: BudgetAccountant,
+    served: u64,
+    refused: u64,
+}
+
+impl AnalystSession {
+    /// Opens a session with a total budget.
+    pub fn new(analyst: impl Into<String>, total: Epsilon) -> Self {
+        Self {
+            analyst: analyst.into(),
+            accountant: BudgetAccountant::new(total),
+            served: 0,
+            refused: 0,
+        }
+    }
+
+    /// The analyst's name.
+    pub fn analyst(&self) -> &str {
+        &self.analyst
+    }
+
+    /// Total budget the session opened with.
+    pub fn total(&self) -> Epsilon {
+        self.accountant.total()
+    }
+
+    /// ε spent so far.
+    pub fn spent(&self) -> f64 {
+        self.accountant.spent()
+    }
+
+    /// ε still available.
+    pub fn remaining(&self) -> f64 {
+        self.accountant.remaining()
+    }
+
+    /// Requests answered (including free zero-sensitivity ones).
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Requests refused for budget.
+    pub fn refused(&self) -> u64 {
+        self.refused
+    }
+
+    /// The labelled spend history.
+    pub fn ledger(&self) -> &[(String, f64)] {
+        self.accountant.ledger()
+    }
+
+    /// Draws `epsilon` from the ledger for a release, or refuses. Pass
+    /// `free = true` for zero-sensitivity releases: the query is recorded
+    /// in the ledger at ε = 0 and always succeeds.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BudgetRefused`] when the spend would overdraw; the
+    /// ledger is unchanged and the caller must not run the mechanism.
+    pub fn charge(
+        &mut self,
+        label: impl Into<String>,
+        epsilon: Epsilon,
+        free: bool,
+    ) -> Result<(), EngineError> {
+        if free {
+            self.accountant.note_free(label);
+            self.served += 1;
+            return Ok(());
+        }
+        match self.accountant.spend(label, epsilon) {
+            Ok(()) => {
+                self.served += 1;
+                Ok(())
+            }
+            Err(CoreError::BudgetExhausted {
+                remaining,
+                requested,
+            }) => {
+                self.refused += 1;
+                Err(EngineError::BudgetRefused {
+                    analyst: self.analyst.clone(),
+                    requested,
+                    remaining,
+                })
+            }
+            Err(e) => Err(EngineError::Core(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn spends_draw_down_and_refuse() {
+        let mut s = AnalystSession::new("alice", eps(1.0));
+        s.charge("q1", eps(0.6), false).unwrap();
+        assert!((s.remaining() - 0.4).abs() < 1e-12);
+        let err = s.charge("q2", eps(0.5), false).unwrap_err();
+        assert!(matches!(err, EngineError::BudgetRefused { .. }));
+        // Refusal left the ledger untouched.
+        assert!((s.remaining() - 0.4).abs() < 1e-12);
+        s.charge("q3", eps(0.4), false).unwrap();
+        assert_eq!(s.served(), 2);
+        assert_eq!(s.refused(), 1);
+        assert_eq!(s.ledger().len(), 2);
+    }
+
+    #[test]
+    fn free_queries_never_refuse() {
+        let mut s = AnalystSession::new("bob", eps(0.1));
+        s.charge("exact", eps(5.0), true).unwrap();
+        assert_eq!(s.spent(), 0.0);
+        assert_eq!(s.served(), 1);
+        assert_eq!(s.ledger(), &[("exact".to_owned(), 0.0)]);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = AnalystSession::new("carol", eps(2.0));
+        assert_eq!(s.analyst(), "carol");
+        assert_eq!(s.total().value(), 2.0);
+        assert_eq!(s.spent(), 0.0);
+    }
+}

@@ -163,6 +163,19 @@ impl OrderedRelease {
         &self.prefix
     }
 
+    /// Answers many linear queries `Σ_x w(x)·c̃(x)` against the
+    /// reconstructed noisy histogram, reusing one reconstruction pass.
+    pub fn answer_linear(&self, weight_rows: &[Vec<f64>]) -> Vec<f64> {
+        let hist = self.histogram();
+        weight_rows
+            .iter()
+            .map(|w| {
+                assert_eq!(w.len(), hist.len(), "weights must cover the domain");
+                w.iter().zip(&hist).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
     /// Noisy range count `q[lo, hi] = s̃_hi − s̃_{lo−1}` (inclusive).
     pub fn range(&self, lo: usize, hi: usize) -> f64 {
         let upper = self.prefix[hi];
@@ -296,6 +309,25 @@ mod tests {
         assert_eq!(m.sensitivity, 7.0);
         assert_eq!(m.scale(), 7.0);
         assert_eq!(m.range_error_bound(), 4.0 * 49.0);
+    }
+
+    #[test]
+    fn batch_answers_match_single_answers() {
+        use crate::range_workload::RangeAnswerer;
+        let mut rng = StdRng::seed_from_u64(33);
+        let m = OrderedMechanism::line_graph(Epsilon::new(0.5).unwrap());
+        let r = m.release(&sparse_cumulative(64), &mut rng).unwrap();
+        let ranges = [(0, 5), (10, 20), (63, 63)];
+        let batch = r.answer_batch(&ranges);
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            assert_eq!(batch[i], r.range(lo, hi));
+        }
+        // All-ones weights: the linear query is the total count, i.e. the
+        // last prefix.
+        let weights = vec![vec![1.0; 64], (0..64).map(|i| i as f64).collect()];
+        let lin = r.answer_linear(&weights);
+        assert!((lin[0] - r.prefix(63)).abs() < 1e-9);
+        assert!(lin[1].is_finite());
     }
 
     #[test]

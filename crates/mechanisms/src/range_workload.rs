@@ -10,6 +10,15 @@ use rand::Rng;
 pub trait RangeAnswerer {
     /// Noisy answer to `q[lo, hi]` (inclusive, 0-based).
     fn answer(&self, lo: usize, hi: usize) -> f64;
+
+    /// Answers a whole workload from this one release. This is the batch
+    /// entry point serving layers use: every answer is a post-processing
+    /// read of the same released structure, so the privacy cost is the
+    /// release's ε once — not ε per query (sequential composition over a
+    /// single mechanism invocation).
+    fn answer_batch(&self, ranges: &[(usize, usize)]) -> Vec<f64> {
+        ranges.iter().map(|&(lo, hi)| self.answer(lo, hi)).collect()
+    }
 }
 
 impl RangeAnswerer for HierarchicalRelease {
@@ -91,6 +100,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let w = random_ranges(50, 200, &mut rng);
         assert_eq!(evaluate_range_mse(&Exact(h.clone()), &h, &w), 0.0);
+    }
+
+    #[test]
+    fn default_batch_matches_pointwise() {
+        struct Exact(Vec<f64>);
+        impl RangeAnswerer for Exact {
+            fn answer(&self, lo: usize, hi: usize) -> f64 {
+                self.0[lo..=hi].iter().sum()
+            }
+        }
+        let a = Exact((0..20).map(|i| i as f64).collect());
+        let w = vec![(0, 3), (5, 19), (7, 7)];
+        let batch = a.answer_batch(&w);
+        for (i, &(lo, hi)) in w.iter().enumerate() {
+            assert_eq!(batch[i], a.answer(lo, hi));
+        }
     }
 
     #[test]

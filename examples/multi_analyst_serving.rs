@@ -1,0 +1,113 @@
+//! Multi-analyst serving: the engine end-to-end.
+//!
+//! A hospital publishes a distance-threshold policy over length-of-stay
+//! data and serves three analysts, each with their own ε-ledger:
+//!
+//! 1. register one policy and one dataset,
+//! 2. open per-analyst sessions with different total budgets,
+//! 3. serve histograms, batched range queries and linear queries,
+//! 4. watch the sensitivity cache amortize the per-policy graph work,
+//! 5. watch the budget enforcement refuse an over-draining analyst.
+//!
+//! Run with `cargo run --release --example multi_analyst_serving`.
+
+use blowfish::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── Setup ─────────────────────────────────────────────────────────
+    // 365 length-of-stay bins (days). The policy: an adversary may learn
+    // a patient's stay to within two weeks, but nothing finer.
+    let domain = Domain::line(365)?;
+    let policy = Policy::distance_threshold(domain.clone(), 14);
+
+    // A synthetic admissions table: 50,000 stays, mostly short.
+    let rows: Vec<usize> = (0..50_000)
+        .map(|i| (((i * 37) % 97) * ((i * 13) % 11)) % 365)
+        .collect();
+    let dataset = Dataset::from_rows(domain, rows)?;
+    let exact_total = dataset.len() as f64;
+
+    let engine = Engine::with_seed(2014);
+    engine.register_policy("los", policy)?;
+    engine.register_dataset("admissions", dataset)?;
+
+    // ── Sessions: one ε-ledger per analyst ────────────────────────────
+    engine.open_session("epidemiologist", Epsilon::new(2.0)?)?;
+    engine.open_session("billing", Epsilon::new(0.5)?)?;
+    engine.open_session("intern", Epsilon::new(0.2)?)?;
+
+    // ── The epidemiologist: a histogram, then a batch of range queries.
+    let eps = Epsilon::new(0.5)?;
+    let hist = engine.serve(
+        "epidemiologist",
+        &Request::histogram("los", "admissions", eps),
+    )?;
+    println!(
+        "epidemiologist: histogram over {} bins (first cells: {:.1?})",
+        hist.vector().unwrap().len(),
+        &hist.vector().unwrap()[..4]
+    );
+
+    // Twelve monthly range queries, answered from ONE noisy release:
+    // one ε=0.5 spend instead of twelve.
+    let months: Vec<Request> = (0..12)
+        .map(|m| Request::range("los", "admissions", eps, m * 30, m * 30 + 29))
+        .collect();
+    let answers = engine.serve_batch("epidemiologist", &months);
+    print!("epidemiologist: monthly counts ");
+    for a in &answers {
+        print!("{:.0} ", a.as_ref().unwrap().scalar().unwrap());
+    }
+    println!();
+    let snap = engine.session_snapshot("epidemiologist")?;
+    println!(
+        "epidemiologist: spent ε={:.2} of {:.2} across {} answers (batch = 1 spend)",
+        snap.spent(),
+        snap.total().value(),
+        snap.served()
+    );
+
+    // ── Billing: a linear query (average reimbursement weight). ───────
+    let weights: Vec<f64> = (0..365).map(|d| 1000.0 + 150.0 * d as f64).collect();
+    let revenue = engine.serve(
+        "billing",
+        &Request::linear("los", "admissions", Epsilon::new(0.4)?, weights),
+    )?;
+    println!(
+        "billing: projected revenue ≈ {:.0} (exact scale ~{:.0} patients)",
+        revenue.scalar().unwrap(),
+        exact_total
+    );
+
+    // Billing re-asks the histogram the epidemiologist already paid the
+    // graph work for: same (policy, class) key, so the sensitivity comes
+    // from the cache — sharing it across analysts is free, the policy is
+    // public.
+    engine.serve(
+        "billing",
+        &Request::histogram("los", "admissions", Epsilon::new(0.1)?),
+    )?;
+
+    // ── The intern: drains a small budget and gets refused. ───────────
+    let small = Epsilon::new(0.15)?;
+    engine.serve("intern", &Request::range("los", "admissions", small, 0, 6))?;
+    match engine.serve("intern", &Request::range("los", "admissions", small, 7, 13)) {
+        Err(EngineError::BudgetRefused {
+            requested,
+            remaining,
+            ..
+        }) => println!("intern: refused — requested ε={requested}, remaining ε={remaining:.2}"),
+        other => println!("intern: unexpected {other:?}"),
+    }
+
+    // ── Cache: every request after the first reused the graph work. ───
+    let stats = engine.cache_stats();
+    println!(
+        "sensitivity cache: {} entries, {} hits / {} misses ({:.0}% hit rate)",
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate()
+    );
+    Ok(())
+}

@@ -24,6 +24,16 @@
 //! | [`constraints`] | Section 8: sparsity, policy graphs, closed forms |
 //! | [`mechanisms`] | k-means, histogram, ordered / hierarchical / OH |
 //! | [`data`] | seeded synthetic datasets for the paper's experiments |
+//! | [`engine`] | multi-tenant serving: sessions → router → sensitivity cache → mechanisms |
+//!
+//! ## Serving repeated queries
+//!
+//! For one-shot analyses, call the mechanisms directly as below. To serve
+//! *many* requests — multiple analysts, repeated queries, batches — use
+//! the [`engine`]: it memoizes policy sensitivities across requests,
+//! enforces one ε-ledger per analyst (sequential composition,
+//! Theorem 4.1), and answers batched range queries from a single release.
+//! See `examples/multi_analyst_serving.rs`.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +71,7 @@ pub use bf_constraints as constraints;
 pub use bf_core as core;
 pub use bf_data as data;
 pub use bf_domain as domain;
+pub use bf_engine as engine;
 pub use bf_graph as graph;
 pub use bf_mechanisms as mechanisms;
 
@@ -68,12 +79,13 @@ pub use bf_mechanisms as mechanisms;
 pub mod prelude {
     pub use bf_constraints::{Marginal, PolicyGraph};
     pub use bf_core::{
-        BudgetAccountant, CountConstraint, Epsilon, LaplaceMechanism, Policy, Predicate,
+        BudgetAccountant, CountConstraint, Epsilon, LaplaceMechanism, Policy, Predicate, QueryClass,
     };
     pub use bf_domain::{
         BoundingBox, CumulativeHistogram, Dataset, Domain, GridDomain, Histogram, OrderedDomain,
         Partition, PointSet, Tuple,
     };
+    pub use bf_engine::{Engine, EngineError, Request, RequestKind, Response};
     pub use bf_graph::SecretGraph;
     pub use bf_mechanisms::kmeans::{KmeansSecretSpec, PrivateKmeans};
     pub use bf_mechanisms::{

@@ -159,6 +159,52 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sensitivities served from the engine's cache always equal freshly
+    /// computed closed forms, for random policies and query classes —
+    /// both on the first (miss) and second (hit) lookup.
+    #[test]
+    fn cached_sensitivities_match_fresh(
+        size in 2usize..40,
+        theta in 1u64..8,
+        family in 0u32..3,
+        lo_frac in 0.0f64..1.0,
+        width_frac in 0.0f64..1.0,
+        weights in proptest::collection::vec(-20.0f64..20.0, 40),
+    ) {
+        use blowfish::engine::SensitivityCache;
+        let domain = Domain::line(size).unwrap();
+        let policy = match family {
+            0 => Policy::differential_privacy(domain),
+            1 => Policy::distance_threshold(domain, theta),
+            _ => {
+                let width = (theta as usize).clamp(1, size);
+                Policy::partitioned(domain, Partition::intervals(size, width))
+            }
+        };
+        let lo = ((size - 1) as f64 * lo_frac) as usize;
+        let hi = (lo + (((size - 1 - lo) as f64) * width_frac) as usize).min(size - 1);
+        let classes = [
+            QueryClass::Histogram,
+            QueryClass::CumulativeHistogram,
+            QueryClass::Range { lo, hi },
+            QueryClass::Linear { weights: weights[..size].to_vec() },
+            QueryClass::KmeansSumCells,
+        ];
+        let cache = SensitivityCache::new();
+        for class in &classes {
+            let fresh = class.sensitivity(&policy);
+            let miss = cache.sensitivity(&policy, class);
+            let hit = cache.sensitivity(&policy, class);
+            prop_assert_eq!(miss, fresh, "miss diverged for {}", class.label());
+            prop_assert_eq!(hit, fresh, "hit diverged for {}", class.label());
+        }
+        prop_assert_eq!(cache.stats().entries, classes.len());
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// The Ordered Mechanism's released prefixes are always sorted after
