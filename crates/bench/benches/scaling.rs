@@ -1,0 +1,237 @@
+//! PR 2 scaling trajectory (custom harness, run via `cargo bench -p
+//! bf-bench --bench scaling`, `-- --quick` for the CI smoke run).
+//!
+//! Three measurements, all asserted so regressions fail the bench:
+//!
+//! 1. **Cold sensitivity** — the structured `O(|E|)` edge enumeration vs
+//!    the old all-pairs `O(|T|²)` scan for the linear-query closed form
+//!    on `L1Threshold{θ=4}` policies at |T| ∈ {1k, 16k, 64k}. Must be
+//!    ≥ 20× faster at 64k (it is typically thousands of times faster).
+//! 2. **Batched serving** — `serve_batch` over 16 independent range
+//!    groups (parallel group releases) vs the same groups served one
+//!    batch call at a time (sequential releases). Must show speedup on
+//!    multi-core hosts.
+//! 3. **Sparsity scan** — `check_sparse` accepts a 16384-cell
+//!    structured-graph workload the old 4096-cell all-pairs cap
+//!    rejected.
+//!
+//! Results are appended to `BENCH_PR2.json` at the repo root.
+
+use bf_constraints::sparse::{check_sparse, DEFAULT_SCAN_CAP};
+use bf_core::sensitivity::linear_query_sensitivity;
+use bf_core::{Epsilon, Policy, Predicate};
+use bf_domain::{Dataset, Domain};
+use bf_engine::{Engine, Request};
+use bf_graph::SecretGraph;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const THETA: u64 = 4;
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The pre-PR-2 all-pairs reference scan, inlined here so the bench can
+/// keep comparing against it after the library stopped doing it.
+fn all_pairs_linear_sensitivity(policy: &Policy, weights: &[f64]) -> f64 {
+    let domain = policy.domain();
+    let graph = policy.graph();
+    let mut best: f64 = 0.0;
+    for x in domain.indices() {
+        for y in (x + 1)..domain.size() {
+            if graph.is_edge(domain, x, y) {
+                best = best.max((weights[x] - weights[y]).abs());
+            }
+        }
+    }
+    best
+}
+
+fn bench_cold_sensitivity(quick: bool, json: &mut String) -> f64 {
+    let mut speedup_at_64k = 0.0;
+    let structured_reps = if quick { 3 } else { 10 };
+    writeln!(json, "  \"cold_linear_sensitivity\": [").unwrap();
+    for (i, &n) in [1024usize, 16_384, 65_536].iter().enumerate() {
+        let domain = Domain::line(n).unwrap();
+        let policy = Policy::distance_threshold(domain, THETA);
+        let weights: Vec<f64> = (0..n).map(|i| ((i * 31) % 97) as f64).collect();
+
+        let structured = time(structured_reps, || {
+            linear_query_sensitivity(&policy, &weights)
+        });
+        // Time the all-pairs scan once and keep its value: at 64K cells
+        // it is ~2.1e9 pair checks, far too slow to run a second time
+        // just for the agreement assert.
+        let t = Instant::now();
+        let all_pairs_value = all_pairs_linear_sensitivity(&policy, &weights);
+        let all_pairs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            linear_query_sensitivity(&policy, &weights),
+            all_pairs_value,
+            "structured and all-pairs sensitivities must agree at |T|={n}"
+        );
+        let speedup = all_pairs / structured;
+        println!(
+            "scaling/cold_sensitivity/{n:>6}: structured {:>10.1} µs   all-pairs {:>12.1} µs   {speedup:>8.0}×",
+            structured * 1e6,
+            all_pairs * 1e6
+        );
+        writeln!(
+            json,
+            "    {{\"domain\": {n}, \"structured_ns\": {:.0}, \"all_pairs_ns\": {:.0}, \"speedup\": {speedup:.1}}}{}",
+            structured * 1e9,
+            all_pairs * 1e9,
+            if i < 2 { "," } else { "" }
+        )
+        .unwrap();
+        if n == 65_536 {
+            speedup_at_64k = speedup;
+        }
+    }
+    writeln!(json, "  ],").unwrap();
+    assert!(
+        speedup_at_64k >= 20.0,
+        "structured cold sensitivity must be ≥ 20× faster than the all-pairs \
+         scan on the 65536-cell L1Threshold{{θ=4}} policy (got {speedup_at_64k:.1}×)"
+    );
+    speedup_at_64k
+}
+
+fn bench_batched_serving(quick: bool, json: &mut String) -> f64 {
+    const DOMAIN: usize = 65_536;
+    const GROUPS: usize = 16;
+    const RANGES_PER_GROUP: usize = 32;
+    let domain = Domain::line(DOMAIN).unwrap();
+    let engine = Engine::with_seed(7);
+    engine
+        .register_policy("dist", Policy::distance_threshold(domain.clone(), THETA))
+        .unwrap();
+    let rows: Vec<usize> = (0..200_000).map(|i| (i * 131) % DOMAIN).collect();
+    engine
+        .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+        .unwrap();
+    engine
+        .open_session("bench", Epsilon::new(1e15).unwrap())
+        .unwrap();
+
+    // GROUPS independent release groups: same policy and data, distinct ε
+    // per group so each group performs its own Ordered release.
+    let reqs: Vec<Request> = (0..GROUPS)
+        .flat_map(|g| {
+            let eps = Epsilon::new(0.01 * (g + 1) as f64).unwrap();
+            (0..RANGES_PER_GROUP).map(move |r| {
+                let lo = (g * 97 + r * 13) % (DOMAIN - 256);
+                Request::range("dist", "ds", eps, lo, lo + 200)
+            })
+        })
+        .collect();
+    engine.serve_batch("bench", &reqs); // prime the sensitivity cache
+
+    let reps = if quick { 2 } else { 5 };
+    let parallel = time(reps, || {
+        let out = engine.serve_batch("bench", &reqs);
+        assert!(out.iter().all(|r| r.is_ok()));
+        out
+    });
+    // Sequential baseline: the same 16 groups, one serve_batch call per
+    // group — a single prepared group executes inline, so this is the
+    // pre-PR-2 sequential group loop.
+    let per_group: Vec<Vec<Request>> = (0..GROUPS)
+        .map(|g| reqs[g * RANGES_PER_GROUP..(g + 1) * RANGES_PER_GROUP].to_vec())
+        .collect();
+    let sequential = time(reps, || {
+        for group in &per_group {
+            let out = engine.serve_batch("bench", group);
+            assert!(out.iter().all(|r| r.is_ok()));
+        }
+    });
+
+    let speedup = sequential / parallel;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "scaling/serve_batch: {GROUPS} groups × {RANGES_PER_GROUP} ranges, |T|={DOMAIN}: \
+         sequential {:.2} ms   parallel {:.2} ms   {speedup:.2}× ({threads} threads)",
+        sequential * 1e3,
+        parallel * 1e3
+    );
+    writeln!(
+        json,
+        "  \"serve_batch\": {{\"groups\": {GROUPS}, \"ranges_per_group\": {RANGES_PER_GROUP}, \
+         \"domain\": {DOMAIN}, \"sequential_ns\": {:.0}, \"parallel_ns\": {:.0}, \
+         \"speedup\": {speedup:.2}, \"threads\": {threads}}},",
+        sequential * 1e9,
+        parallel * 1e9
+    )
+    .unwrap();
+    // Assert only in the full run: the CI smoke (`--quick`, 2 reps)
+    // runs on shared runners whose scheduling jitter best-of-2 cannot
+    // absorb, and a timing flake must not fail unrelated pushes.
+    if threads >= 2 && !quick {
+        assert!(
+            speedup > 1.05,
+            "parallel group execution must beat the sequential loop on a \
+             {threads}-thread host (got {speedup:.2}×)"
+        );
+    }
+    speedup
+}
+
+fn bench_sparsity_cap(json: &mut String) {
+    const DOMAIN: usize = 16_384;
+    let domain = Domain::line(DOMAIN).unwrap();
+    let graph = SecretGraph::L1Threshold { theta: 2 };
+    let queries: Vec<Predicate> = (0..8)
+        .map(|i| Predicate::from_fn(DOMAIN, move |x| x / (DOMAIN / 8) == i))
+        .collect();
+    // The old all-pairs implementation rejected any |T| > 4096 outright.
+    const { assert!(DOMAIN > DEFAULT_SCAN_CAP) };
+    let t = Instant::now();
+    let verdict = check_sparse(&domain, &graph, &queries, DEFAULT_SCAN_CAP);
+    let elapsed = t.elapsed().as_secs_f64();
+    assert!(
+        verdict.is_ok(),
+        "check_sparse must accept the 16384-cell structured-graph workload \
+         the old scan cap rejected (got {verdict:?})"
+    );
+    println!(
+        "scaling/check_sparse: |T|={DOMAIN} (> old cap {DEFAULT_SCAN_CAP}), 8 queries: \
+         accepted in {:.2} ms",
+        elapsed * 1e3
+    );
+    writeln!(
+        json,
+        "  \"check_sparse\": {{\"domain\": {DOMAIN}, \"old_cap\": {DEFAULT_SCAN_CAP}, \
+         \"accepted\": true, \"scan_ns\": {:.0}}}",
+        elapsed * 1e9
+    )
+    .unwrap();
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"pr\": 2,").unwrap();
+    writeln!(json, "  \"quick\": {quick},").unwrap();
+
+    let sens_speedup = bench_cold_sensitivity(quick, &mut json);
+    let batch_speedup = bench_batched_serving(quick, &mut json);
+    bench_sparsity_cap(&mut json);
+    json.push_str("}\n");
+
+    // The bench binary's CWD is the package dir; the trajectory file
+    // lives at the repo root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
+    std::fs::write(path, &json).expect("write BENCH_PR2.json");
+    println!(
+        "scaling: OK (cold sensitivity {sens_speedup:.0}×, batch {batch_speedup:.2}×) → {path}"
+    );
+}

@@ -49,6 +49,15 @@ pub enum ConstraintError {
         /// Configured cap on `|T|`.
         cap: usize,
     },
+    /// A structured secret graph carries more actual edges than the scan's
+    /// edge budget allows; use a closed-form theorem instead.
+    TooManyEdgesForScan {
+        /// Edge count at the point counting stopped (`cap + 1` when the
+        /// exact count was cut short by the budget check).
+        edges: u64,
+        /// Edge budget (`scan_cap²`).
+        cap: u64,
+    },
 }
 
 impl fmt::Display for ConstraintError {
@@ -73,6 +82,10 @@ impl fmt::Display for ConstraintError {
             ConstraintError::DomainTooLargeForScan { size, cap } => write!(
                 f,
                 "domain size {size} exceeds the exhaustive-scan cap {cap}; use a closed-form theorem"
+            ),
+            ConstraintError::TooManyEdgesForScan { edges, cap } => write!(
+                f,
+                "secret graph has ≥ {edges} edges, over the scan budget {cap}; use a closed-form theorem"
             ),
         }
     }

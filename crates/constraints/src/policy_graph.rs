@@ -54,13 +54,14 @@ pub struct PolicyGraph {
 
 impl PolicyGraph {
     /// Builds `G_P` by scanning every edge of the secret graph. Requires
-    /// the constraints to be sparse (Definition 8.2); the scan is
-    /// `O(|T|²·|Q|)` and capped at `scan_cap` domain values.
+    /// the constraints to be sparse (Definition 8.2); edges are
+    /// enumerated structurally so the scan is `O(|E|·|Q|)`, within the
+    /// same caps as [`check_sparse`].
     ///
     /// # Errors
     ///
     /// Propagates [`check_sparse`] errors: size mismatches, over-cap
-    /// domains and non-sparse constraint sets.
+    /// scans and non-sparse constraint sets.
     pub fn build(
         domain: &Domain,
         graph: &SecretGraph,
@@ -73,13 +74,10 @@ impl PolicyGraph {
         let v_minus = p + 1;
         let mut digraph = DiGraph::new(p + 2);
         digraph.add_edge(v_plus, v_minus); // rule (iv)
-        for x in domain.indices() {
-            for y in domain.indices() {
-                if x == y || !graph.is_edge(domain, x, y) {
-                    continue;
-                }
-                // Directed change x → y (both orders visited by the loop).
-                let ll = LiftLower::analyze(queries, x, y);
+        graph.for_each_edge(domain, |x, y| {
+            // Each undirected edge contributes both directed changes.
+            for (a, b) in [(x, y), (y, x)] {
+                let ll = LiftLower::analyze(queries, a, b);
                 match (ll.lowered.first(), ll.lifted.first()) {
                     (Some(&ql), Some(&qf)) => digraph.add_edge(ql, qf),
                     (None, Some(&qf)) => digraph.add_edge(v_plus, qf),
@@ -87,7 +85,7 @@ impl PolicyGraph {
                     (None, None) => {}
                 }
             }
-        }
+        });
         Ok(Self {
             digraph,
             num_queries: p,

@@ -44,20 +44,30 @@ impl LiftLower {
     }
 }
 
-/// Default cap on `|T|` for the exhaustive pairwise edge scan.
+/// Default cap on `|T|` for scanning the **complete** secret graph (whose
+/// edge set is genuinely `Θ(|T|²)`). Structured graphs are capped on the
+/// number of *actual* edges instead — see [`check_sparse`].
 pub const DEFAULT_SCAN_CAP: usize = 4096;
 
 /// Validates sizes and checks Definition 8.2 sparsity of `queries` w.r.t.
 /// the secret graph by scanning every edge of `G`.
 ///
-/// The scan is `O(|T|² · |Q|)`; domains larger than `scan_cap` are
-/// rejected (use the closed-form theorems for the structured scenarios of
-/// Section 8.2 instead).
+/// Edges are enumerated structurally (`bf_graph::enumerate`), so the scan
+/// costs `O(|E| · |Q|)` — for an `L1Threshold` or `Attribute` graph that
+/// is near-linear in `|T|`, and domains far beyond the old all-pairs cap
+/// are accepted. The work bound is expressed as an **edge budget** of
+/// `scan_cap²` (the same worst-case work the old `|T| ≤ scan_cap` rule
+/// permitted): the complete graph keeps the legacy `|T|` cap, every other
+/// variant is rejected only when its actual edge count exceeds the
+/// budget.
 ///
 /// # Errors
 ///
 /// * [`ConstraintError::PredicateSizeMismatch`] for mis-sized predicates,
-/// * [`ConstraintError::DomainTooLargeForScan`] past the cap,
+/// * [`ConstraintError::DomainTooLargeForScan`] for a complete graph past
+///   the `|T|` cap,
+/// * [`ConstraintError::TooManyEdgesForScan`] for a structured graph past
+///   the edge budget,
 /// * [`ConstraintError::NotSparse`] naming the first offending edge.
 pub fn check_sparse(
     domain: &Domain,
@@ -73,29 +83,37 @@ pub fn check_sparse(
             });
         }
     }
-    if domain.size() > scan_cap {
-        return Err(ConstraintError::DomainTooLargeForScan {
-            size: domain.size(),
-            cap: scan_cap,
-        });
-    }
-    for x in domain.indices() {
-        for y in (x + 1)..domain.size() {
-            if !graph.is_edge(domain, x, y) {
-                continue;
-            }
-            // Sparsity is symmetric: x→y lifts what y→x lowers. One
-            // direction suffices.
-            let ll = LiftLower::analyze(queries, x, y);
-            if !ll.is_sparse() {
-                return Err(ConstraintError::NotSparse {
-                    x,
-                    y,
-                    lifted: ll.lifted,
-                    lowered: ll.lowered,
+    match graph {
+        SecretGraph::Full => {
+            if domain.size() > scan_cap {
+                return Err(ConstraintError::DomainTooLargeForScan {
+                    size: domain.size(),
+                    cap: scan_cap,
                 });
             }
         }
+        _ => {
+            let budget = (scan_cap as u64).saturating_mul(scan_cap as u64);
+            // Capped counting: stops at budget + 1, so rejecting an
+            // over-budget graph never costs more than the budget itself.
+            let edges = graph.edge_count_capped(domain, budget);
+            if edges > budget {
+                return Err(ConstraintError::TooManyEdgesForScan { edges, cap: budget });
+            }
+        }
+    }
+    // Sparsity is symmetric: x→y lifts what y→x lowers. One direction
+    // suffices, so scanning each undirected edge once is enough.
+    if let Some((x, y)) = graph.find_edge(domain, |x, y| {
+        !LiftLower::analyze(queries, x, y).is_sparse()
+    }) {
+        let ll = LiftLower::analyze(queries, x, y);
+        return Err(ConstraintError::NotSparse {
+            x,
+            y,
+            lifted: ll.lifted,
+            lowered: ll.lowered,
+        });
     }
     Ok(())
 }
@@ -180,5 +198,100 @@ mod tests {
             check_sparse(&big, &SecretGraph::Full, &[q], 10),
             Err(ConstraintError::DomainTooLargeForScan { .. })
         ));
+    }
+
+    #[test]
+    fn structured_graphs_scan_past_the_old_domain_cap() {
+        // 16384 cells is 4× the old all-pairs cap; the θ=2 line graph has
+        // only ~2·|T| edges, so the structured scan accepts it.
+        let n = 16_384;
+        let d = Domain::line(n).unwrap();
+        let queries: Vec<Predicate> = (0..4)
+            .map(|i| Predicate::from_fn(n, move |x| x / (n / 4) == i))
+            .collect();
+        let g = SecretGraph::L1Threshold { theta: 2 };
+        assert!(check_sparse(&d, &g, &queries, DEFAULT_SCAN_CAP).is_ok());
+        // The complete graph on the same domain is still refused: its
+        // edge set genuinely is Θ(|T|²).
+        assert!(matches!(
+            check_sparse(&d, &SecretGraph::Full, &queries, DEFAULT_SCAN_CAP),
+            Err(ConstraintError::DomainTooLargeForScan { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_budget_rejects_effectively_dense_structured_graphs() {
+        // A single partition block over 8192 values is a clique of ~33.5M
+        // edges — past the 4096² ≈ 16.8M edge budget.
+        use bf_domain::Partition;
+        let n = 8192;
+        let d = Domain::line(n).unwrap();
+        let g = SecretGraph::Partition(Partition::single_block(n));
+        let q = Predicate::of_values(n, &[0]);
+        assert!(matches!(
+            check_sparse(&d, &g, &[q], DEFAULT_SCAN_CAP),
+            Err(ConstraintError::TooManyEdgesForScan { .. })
+        ));
+    }
+
+    /// The pre-enumeration all-pairs sparsity verdict, kept as the oracle
+    /// the structured scan is property-tested against.
+    fn sparse_verdict_all_pairs(
+        domain: &Domain,
+        graph: &SecretGraph,
+        queries: &[Predicate],
+    ) -> bool {
+        for x in domain.indices() {
+            for y in (x + 1)..domain.size() {
+                if graph.is_edge(domain, x, y) && !LiftLower::analyze(queries, x, y).is_sparse() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// On random domains, secret graphs, and query sets, the
+        /// structured `check_sparse` verdict exactly equals the all-pairs
+        /// reference verdict.
+        #[test]
+        fn check_sparse_matches_all_pairs_oracle(
+            cards in proptest::collection::vec(1usize..5, 1..4),
+            theta in 1u64..5,
+            width in 1usize..5,
+            qseed in proptest::collection::vec(0usize..10_000, 2..10),
+        ) {
+            use bf_domain::Partition;
+            use proptest::prop_assert_eq;
+            let domain = Domain::from_cardinalities(&cards).unwrap();
+            let n = domain.size();
+            // A couple of random overlapping membership queries.
+            let queries: Vec<Predicate> = qseed
+                .chunks(3)
+                .map(|chunk| {
+                    let values: Vec<usize> = chunk.iter().map(|s| s % n).collect();
+                    Predicate::of_values(n, &values)
+                })
+                .collect();
+            for graph in [
+                SecretGraph::Full,
+                SecretGraph::Attribute,
+                SecretGraph::L1Threshold { theta },
+                SecretGraph::Partition(Partition::intervals(n, width)),
+            ] {
+                let got = check_sparse(&domain, &graph, &queries, DEFAULT_SCAN_CAP);
+                let want = sparse_verdict_all_pairs(&domain, &graph, &queries);
+                prop_assert_eq!(
+                    got.is_ok(),
+                    want,
+                    "{}: got {:?}",
+                    graph.label(),
+                    got
+                );
+            }
+        }
     }
 }

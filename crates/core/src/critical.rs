@@ -18,39 +18,36 @@ use bf_domain::Domain;
 use bf_graph::SecretGraph;
 
 /// All secret-graph edges critical to a count constraint: edges `(x, y)`
-/// whose change lifts or lowers the count. `O(|T|²)` scan — intended for
-/// policy design/validation, not hot paths.
+/// whose change lifts or lowers the count. Enumerates the graph's actual
+/// edges (`O(|E|)`, see `bf_graph::enumerate`) instead of scanning all
+/// `O(|T|²)` pairs; results come back sorted `(x, y)` ascending.
 pub fn critical_edges(
     domain: &Domain,
     graph: &SecretGraph,
     constraint: &CountConstraint,
 ) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
-    for x in domain.indices() {
-        for y in (x + 1)..domain.size() {
-            if graph.is_edge(domain, x, y) && (constraint.lifts(x, y) || constraint.lowers(x, y)) {
-                out.push((x, y));
-            }
+    graph.for_each_edge(domain, |x, y| {
+        if constraint.lifts(x, y) || constraint.lowers(x, y) {
+            out.push((x, y));
         }
-    }
+    });
+    out.sort_unstable();
     out
 }
 
 /// Whether a constraint has no critical pairs w.r.t. the secret graph
-/// (`crit(q) = ∅`).
+/// (`crit(q) = ∅`). Stops at the first critical edge found.
 pub fn has_no_critical_pairs(
     domain: &Domain,
     graph: &SecretGraph,
     constraint: &CountConstraint,
 ) -> bool {
-    for x in domain.indices() {
-        for y in (x + 1)..domain.size() {
-            if graph.is_edge(domain, x, y) && (constraint.lifts(x, y) || constraint.lowers(x, y)) {
-                return false;
-            }
-        }
-    }
-    true
+    graph
+        .find_edge(domain, |x, y| {
+            constraint.lifts(x, y) || constraint.lowers(x, y)
+        })
+        .is_none()
 }
 
 /// Whether Theorem 4.3 parallel composition applies to this policy for
@@ -63,7 +60,7 @@ pub fn parallel_composition_safe(policy: &Policy) -> Result<(), (usize, (usize, 
     let domain = policy.domain();
     let graph = policy.graph();
     for (i, c) in policy.constraints().iter().enumerate() {
-        if let Some(&edge) = critical_edges(domain, graph, c).first() {
+        if let Some(edge) = graph.find_edge(domain, |x, y| c.lifts(x, y) || c.lowers(x, y)) {
             return Err((i, edge));
         }
     }

@@ -9,6 +9,7 @@ use crate::constraint::Predicate;
 use crate::policy::Policy;
 use crate::sensitivity;
 use bf_domain::{Dataset, DomainError, Partition};
+use bf_graph::SecretGraph;
 
 /// The complete (or partitioned) histogram query `h_P` (Section 2).
 #[derive(Debug, Clone, PartialEq)]
@@ -122,25 +123,35 @@ impl RangeQuery {
         self.hi - self.lo + 1
     }
 
-    /// Policy-specific sensitivity as a standalone count release: the range
-    /// is a count query; a single tuple move changes it by at most 1 in and
-    /// 1 out ⇒ sensitivity ≤ 2; exactly 2 when some edge crosses the
-    /// boundary, 1 when edges only cross one side, 0 when no edge crosses.
+    /// Policy-specific sensitivity as a standalone count release: a single
+    /// move changes the count by at most 1 (the tuple either enters or
+    /// leaves the range), so the sensitivity is 1 when some secret edge
+    /// crosses the range boundary and 0 when none does. The crossing check
+    /// enumerates the graph's actual edges and stops at the first crossing
+    /// (`O(|E|)` worst case instead of the old all-pairs `O(|T|²)` scan);
+    /// for the complete graph *any* two values cross unless the range
+    /// covers the whole domain.
     pub fn sensitivity(&self, policy: &Policy) -> f64 {
         let domain = policy.domain();
-        let inside = Predicate::from_fn(domain.size(), |x| self.lo <= x && x <= self.hi);
-        let mut best: f64 = 0.0;
-        for x in domain.indices() {
-            for y in (x + 1)..domain.size() {
-                if policy.is_secret_pair(x, y) && inside.eval(x) != inside.eval(y) {
-                    best = 1.0;
-                }
+        let inside = |x: usize| self.lo <= x && x <= self.hi;
+        let crossing = match policy.graph() {
+            SecretGraph::Full => {
+                // Any two values cross iff `inside ∩ T` is nonempty and
+                // not all of `T` — stated on the intersection so raw
+                // (unvalidated) endpoints past the domain or inverted
+                // degrade exactly like the all-pairs scan did.
+                let n = domain.size();
+                self.lo <= self.hi && self.lo < n && (self.lo > 0 || self.hi < n - 1)
             }
+            graph => graph
+                .find_edge(domain, |x, y| inside(x) != inside(y))
+                .is_some(),
+        };
+        if crossing {
+            1.0
+        } else {
+            0.0
         }
-        // A single move changes the count by at most 1 (the tuple either
-        // enters or leaves the range), so the sensitivity is 0 or 1 for
-        // constraint-free policies.
-        best
     }
 }
 
@@ -163,18 +174,28 @@ impl CountQuery {
     }
 
     /// Policy-specific sensitivity for constraint-free policies: 1 when
-    /// some secret edge crosses the predicate boundary, else 0.
+    /// some secret edge crosses the predicate boundary, else 0. The
+    /// crossing check enumerates actual edges with early exit; for the
+    /// complete graph it reduces to "is the predicate non-constant".
     pub fn sensitivity(&self, policy: &Policy) -> f64 {
         let domain = policy.domain();
         assert_eq!(self.predicate.domain_size(), domain.size());
-        for x in domain.indices() {
-            for y in (x + 1)..domain.size() {
-                if policy.is_secret_pair(x, y) && self.predicate.eval(x) != self.predicate.eval(y) {
-                    return 1.0;
-                }
+        let crossing = match policy.graph() {
+            SecretGraph::Full => {
+                domain.indices().any(|x| self.predicate.eval(x))
+                    && domain.indices().any(|x| !self.predicate.eval(x))
             }
+            graph => graph
+                .find_edge(domain, |x, y| {
+                    self.predicate.eval(x) != self.predicate.eval(y)
+                })
+                .is_some(),
+        };
+        if crossing {
+            1.0
+        } else {
+            0.0
         }
-        0.0
     }
 }
 
@@ -249,6 +270,42 @@ mod tests {
         let pp = Policy::partitioned(Domain::line(5).unwrap(), part);
         let q01 = RangeQuery::new(0, 1, 5).unwrap();
         assert_eq!(q01.sensitivity(&pp), 0.0);
+    }
+
+    #[test]
+    fn range_sensitivity_full_graph_with_unvalidated_endpoints() {
+        // RangeQuery's fields are public (and QueryClass::Range builds
+        // one without RangeQuery::new), so the Full-graph short-circuit
+        // must match the edge scan even for endpoints outside the domain
+        // or inverted.
+        let n = 10;
+        let full = Policy::differential_privacy(Domain::line(n).unwrap());
+        let scan = |lo: usize, hi: usize| {
+            let inside = |x: usize| lo <= x && x <= hi;
+            let crossing = (0..n).any(|x| (0..n).any(|y| x != y && inside(x) != inside(y)));
+            if crossing {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        for (lo, hi) in [
+            (5, 20),  // straddles the upper domain edge → crossing
+            (12, 13), // entirely past the domain → empty inside-set
+            (0, 20),  // covers the whole domain → no crossing
+            (0, 9),   // exactly the domain → no crossing
+            (7, 3),   // inverted → empty inside-set
+            (3, 5),   // ordinary interior range
+            (0, 0),   // prefix of one value
+            (9, 9),   // suffix of one value
+        ] {
+            let q = RangeQuery { lo, hi };
+            assert_eq!(
+                q.sensitivity(&full),
+                scan(lo, hi),
+                "full-graph range [{lo}, {hi}] on |T|={n}"
+            );
+        }
     }
 
     #[test]

@@ -142,74 +142,19 @@ pub fn partition_histogram_sensitivity(
     let crossing = match policy.graph() {
         SecretGraph::Partition(policy_part) => {
             // An edge exists between x ≠ y in the same policy block; it
-            // crosses the query partition iff some policy block spans two
-            // query blocks.
+            // crosses the query partition iff some non-singleton policy
+            // block spans two query blocks.
             policy_part.blocks().into_iter().any(|block| {
-                block.windows(1).count() > 0 && {
+                block.len() > 1 && {
                     let first = query_partition.block_of(block[0]);
                     block.iter().any(|&x| query_partition.block_of(x) != first)
                 }
             })
         }
-        SecretGraph::Custom(g) => g
-            .edges()
-            .iter()
-            .any(|&(u, v)| !query_partition.same_block(u, v)),
         SecretGraph::Full => query_partition.num_blocks() > 1,
-        SecretGraph::Attribute | SecretGraph::L1Threshold { .. } => {
-            // Check all edges incident to block boundaries: exact via scan
-            // over domain pairs is quadratic; instead test each value
-            // against its attribute/threshold neighbors.
-            let mut crossing = false;
-            'outer: for x in domain.indices() {
-                match policy.graph() {
-                    SecretGraph::Attribute => {
-                        for a in 0..domain.arity() {
-                            let card = domain.attribute(a).cardinality() as u32;
-                            for v in 0..card {
-                                let y = domain
-                                    .with_attribute_value(x, a, v)
-                                    .expect("in-range value");
-                                if y != x && !query_partition.same_block(x, y) {
-                                    crossing = true;
-                                    break 'outer;
-                                }
-                            }
-                        }
-                    }
-                    SecretGraph::L1Threshold { theta } => {
-                        // Adjacent ordinal steps are always edges (θ ≥ 1);
-                        // it suffices to check ±1 moves per attribute: any
-                        // crossing edge implies a crossing unit step across
-                        // the same boundary for contiguous partitions, and
-                        // for non-contiguous ones we fall back to a
-                        // conservative scan of moves up to θ along each
-                        // axis.
-                        let theta = *theta;
-                        for a in 0..domain.arity() {
-                            let val = domain.attribute_value(x, a) as u64;
-                            let card = domain.attribute(a).cardinality() as u64;
-                            let hi = (val + theta).min(card - 1);
-                            let lo = val.saturating_sub(theta);
-                            for v in lo..=hi {
-                                if v == val {
-                                    continue;
-                                }
-                                let y = domain
-                                    .with_attribute_value(x, a, v as u32)
-                                    .expect("in-range value");
-                                if !query_partition.same_block(x, y) {
-                                    crossing = true;
-                                    break 'outer;
-                                }
-                            }
-                        }
-                    }
-                    _ => unreachable!(),
-                }
-            }
-            crossing
-        }
+        graph => graph
+            .find_edge(domain, |x, y| !query_partition.same_block(x, y))
+            .is_some(),
     };
     if crossing {
         2.0
@@ -274,27 +219,14 @@ pub fn linear_query_sensitivity(policy: &Policy, weights: &[f64]) -> f64 {
                 0.0
             }
         }
-        _ => {
-            // Generic edge scan. Implicit graphs are scanned via candidate
-            // moves; custom graphs via their edge list.
-            match policy.graph() {
-                SecretGraph::Custom(g) => g
-                    .edges()
-                    .iter()
-                    .map(|&(u, v)| (weights[u] - weights[v]).abs())
-                    .fold(0.0, f64::max),
-                graph => {
-                    let mut best: f64 = 0.0;
-                    for x in domain.indices() {
-                        for y in (x + 1)..domain.size() {
-                            if graph.is_edge(domain, x, y) {
-                                best = best.max((weights[x] - weights[y]).abs());
-                            }
-                        }
-                    }
-                    best
-                }
-            }
+        graph => {
+            // Structured edge enumeration: O(|E|) instead of the old
+            // all-pairs O(|T|²) candidate scan (see bf_graph::enumerate).
+            let mut best: f64 = 0.0;
+            graph.for_each_edge(domain, |x, y| {
+                best = best.max((weights[x] - weights[y]).abs());
+            });
+            best
         }
     }
 }
@@ -419,6 +351,106 @@ mod tests {
         assert_eq!(linear_query_sensitivity(&full, &w), 10.0);
         let near = Policy::distance_threshold(d, 1);
         assert_eq!(linear_query_sensitivity(&near, &w), 7.0); // |3-10|
+    }
+
+    /// The pre-enumeration all-pairs reference scan for the linear-query
+    /// sensitivity, kept as the oracle the structured path is
+    /// property-tested against.
+    fn linear_sensitivity_all_pairs(policy: &Policy, weights: &[f64]) -> f64 {
+        let domain = policy.domain();
+        let graph = policy.graph();
+        let mut best: f64 = 0.0;
+        for x in domain.indices() {
+            for y in (x + 1)..domain.size() {
+                if graph.is_edge(domain, x, y) {
+                    best = best.max((weights[x] - weights[y]).abs());
+                }
+            }
+        }
+        best
+    }
+
+    /// All-pairs reference for the partition-histogram crossing check.
+    fn partition_histogram_all_pairs(policy: &Policy, query_partition: &Partition) -> f64 {
+        let domain = policy.domain();
+        let graph = policy.graph();
+        for x in domain.indices() {
+            for y in (x + 1)..domain.size() {
+                if graph.is_edge(domain, x, y) && !query_partition.same_block(x, y) {
+                    return 2.0;
+                }
+            }
+        }
+        0.0
+    }
+
+    #[test]
+    fn partition_histogram_singleton_blocks_regression() {
+        // Regression for the dead guard `block.windows(1).count() > 0`
+        // (true for every non-empty block): singleton policy blocks have
+        // no edges, so nothing can cross any query partition and the
+        // sensitivity must be 0 — even against the singleton query
+        // partition, where any edge at all would cross.
+        let d = Domain::line(5).unwrap();
+        let p = Policy::partitioned(d, Partition::singletons(5));
+        for query in [
+            Partition::singletons(5),
+            Partition::intervals(5, 2),
+            Partition::single_block(5),
+        ] {
+            assert_eq!(partition_histogram_sensitivity(&p, &query), 0.0);
+            assert_eq!(partition_histogram_all_pairs(&p, &query), 0.0);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// On random domains and policies across every `SecretGraph`
+        /// variant, the enumeration-based sensitivities exactly equal
+        /// the old all-pairs reference scans.
+        #[test]
+        fn structured_sensitivities_match_all_pairs_oracle(
+            cards in proptest::collection::vec(1usize..5, 1..4),
+            theta in 1u64..5,
+            width in 1usize..5,
+            wseed in proptest::collection::vec(0u32..1000, 60),
+            eseed in proptest::collection::vec(0usize..10_000, 0..12),
+        ) {
+            use bf_graph::Graph;
+            use proptest::prop_assert_eq;
+            let domain = Domain::from_cardinalities(&cards).unwrap();
+            let n = domain.size();
+            let weights: Vec<f64> =
+                (0..n).map(|i| wseed[i % wseed.len()] as f64 / 7.0).collect();
+            let qpart = Partition::intervals(n, width);
+            let mut custom = Graph::new(n);
+            for pair in eseed.chunks(2) {
+                if let [a, b] = pair {
+                    custom.add_edge(a % n, b % n);
+                }
+            }
+            for policy in [
+                Policy::differential_privacy(domain.clone()),
+                Policy::attribute(domain.clone()),
+                Policy::distance_threshold(domain.clone(), theta),
+                Policy::partitioned(domain.clone(), Partition::intervals(n, width)),
+                Policy::new(domain.clone(), SecretGraph::Custom(custom.clone())),
+            ] {
+                prop_assert_eq!(
+                    linear_query_sensitivity(&policy, &weights),
+                    linear_sensitivity_all_pairs(&policy, &weights),
+                    "linear, {}",
+                    policy.label()
+                );
+                prop_assert_eq!(
+                    partition_histogram_sensitivity(&policy, &qpart),
+                    partition_histogram_all_pairs(&policy, &qpart),
+                    "partition histogram, {}",
+                    policy.label()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,31 +1,37 @@
 //! The sensitivity cache.
 //!
 //! Computing a policy-specific sensitivity `S(f, P)` is the expensive
-//! part of serving a request: for range and linear queries on implicit
-//! secret graphs the closed forms scan `O(|T|²)` candidate edges
-//! (milliseconds on a 1024-cell domain), while the Laplace sampling that
-//! follows is nanoseconds. Sensitivities depend only on `(P, f)` — never
-//! on the data — so they are perfectly cacheable and sharing them across
-//! analysts leaks nothing (the policy is public).
+//! part of serving a request: even with the structured edge enumeration
+//! (`bf_graph::enumerate`) the closed forms walk `O(|E|)` secret-graph
+//! edges, while the Laplace sampling that follows is nanoseconds.
+//! Sensitivities depend only on `(P, f)` — never on the data — so they
+//! are perfectly cacheable and sharing them across analysts leaks
+//! nothing (the policy is public).
 //!
-//! Keys are `(Policy::cache_key(), QueryClass::fingerprint())`. The map
-//! sits behind an `RwLock`: reads (hits) take the shared lock, a miss
-//! computes **outside** any lock and then takes the write lock briefly,
-//! so concurrent misses on the same key do redundant work but never
-//! block readers on the graph scan.
+//! Keys are `(Policy::cache_key(), QueryClass::fingerprint())`. Entries
+//! are **single-flight**: each key maps to a `OnceLock` cell, so when N
+//! threads miss on the same cold key concurrently, exactly one runs the
+//! closed form and the other N−1 block on the cell and reuse its result
+//! — instead of N redundant edge scans. The outer map sits behind an
+//! `RwLock` taken only briefly (never while computing).
 
 use bf_core::{Policy, QueryClass};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, OnceLock, RwLock};
 
-/// Hit/miss counters for observability and benchmarks.
+/// Hit/miss/compute counters for observability and benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the map.
+    /// Lookups answered from an already-filled cell.
     pub hits: u64,
-    /// Lookups that computed the closed form.
+    /// Lookups that found no filled cell (they either ran the closed
+    /// form or blocked on the thread running it).
     pub misses: u64,
+    /// Closed-form executions. Single-flight means `computes` can be far
+    /// below `misses` under concurrency: N simultaneous cold lookups on
+    /// one key are N misses but exactly 1 compute.
+    pub computes: u64,
     /// Entries currently stored.
     pub entries: usize,
 }
@@ -42,12 +48,17 @@ impl CacheStats {
     }
 }
 
-/// Memo table for policy-specific sensitivities.
+/// `(Policy::cache_key, QueryClass::fingerprint)`.
+type CacheKey = (String, u64);
+
+/// Memo table for policy-specific sensitivities with single-flight
+/// population.
 #[derive(Debug, Default)]
 pub struct SensitivityCache {
-    map: RwLock<HashMap<(String, u64), f64>>,
+    map: RwLock<HashMap<CacheKey, Arc<OnceLock<f64>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    computes: AtomicU64,
 }
 
 impl SensitivityCache {
@@ -56,21 +67,42 @@ impl SensitivityCache {
         Self::default()
     }
 
-    /// The sensitivity of `class` under `policy`, memoized.
+    /// The sensitivity of `class` under `policy`, memoized. On a cold
+    /// key, exactly one caller computes the closed form; concurrent
+    /// callers for the same key wait on the winner's cell rather than
+    /// recomputing.
     pub fn sensitivity(&self, policy: &Policy, class: &QueryClass) -> f64 {
         let key = (policy.cache_key(), class.fingerprint());
-        if let Some(&s) = self.map.read().expect("cache lock poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return s;
-        }
-        // Cold path: run the closed form without holding the lock.
-        let s = class.sensitivity(policy);
+        // Fast path: shared lock, filled cell.
+        let cell = {
+            let map = self.map.read().expect("cache lock poisoned");
+            match map.get(&key) {
+                Some(cell) => {
+                    if let Some(&s) = cell.get() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return s;
+                    }
+                    Some(Arc::clone(cell)) // in flight: wait on it below
+                }
+                None => None,
+            }
+        };
+        let cell = cell.unwrap_or_else(|| {
+            Arc::clone(
+                self.map
+                    .write()
+                    .expect("cache lock poisoned")
+                    .entry(key)
+                    .or_default(),
+            )
+        });
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map
-            .write()
-            .expect("cache lock poisoned")
-            .insert(key, s);
-        s
+        // No lock is held here: the closed form runs (or is awaited) on
+        // the cell alone, so readers of other keys never block on it.
+        *cell.get_or_init(|| {
+            self.computes.fetch_add(1, Ordering::Relaxed);
+            class.sensitivity(policy)
+        })
     }
 
     /// Whether `(policy, class)` is already cached (no counter updates).
@@ -79,7 +111,8 @@ impl SensitivityCache {
         self.map
             .read()
             .expect("cache lock poisoned")
-            .contains_key(&key)
+            .get(&key)
+            .is_some_and(|cell| cell.get().is_some())
     }
 
     /// Current counters.
@@ -87,6 +120,7 @@ impl SensitivityCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            computes: self.computes.load(Ordering::Relaxed),
             entries: self.map.read().expect("cache lock poisoned").len(),
         }
     }
@@ -101,6 +135,7 @@ impl SensitivityCache {
 mod tests {
     use super::*;
     use bf_domain::Domain;
+    use std::sync::{Arc as StdArc, Barrier};
 
     fn policy() -> Policy {
         Policy::distance_threshold(Domain::line(64).unwrap(), 4)
@@ -114,10 +149,12 @@ mod tests {
         let cold = cache.sensitivity(&p, &class);
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().computes, 1);
         let warm = cache.sensitivity(&p, &class);
         assert_eq!(cold, warm);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().computes, 1);
         assert!(cache.contains(&p, &class));
         assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
     }
@@ -144,12 +181,12 @@ mod tests {
         // Re-lookup recomputes.
         cache.sensitivity(&p, &QueryClass::Histogram);
         assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().computes, 2);
     }
 
     #[test]
     fn concurrent_lookups_agree() {
-        use std::sync::Arc;
-        let cache = Arc::new(SensitivityCache::new());
+        let cache = StdArc::new(SensitivityCache::new());
         let p = policy();
         let class = QueryClass::Linear {
             weights: (0..64).map(|i| (i % 7) as f64).collect(),
@@ -157,7 +194,7 @@ mod tests {
         let expect = class.sensitivity(&p);
         let handles: Vec<_> = (0..8)
             .map(|_| {
-                let cache = Arc::clone(&cache);
+                let cache = StdArc::clone(&cache);
                 let p = p.clone();
                 let class = class.clone();
                 std::thread::spawn(move || cache.sensitivity(&p, &class))
@@ -169,5 +206,48 @@ mod tests {
         assert_eq!(cache.stats().entries, 1);
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 8);
+    }
+
+    /// The single-flight acceptance stress: N threads hammering one cold
+    /// key perform **exactly one** closed-form computation between them.
+    #[test]
+    fn cold_key_stampede_computes_exactly_once() {
+        let threads = 16;
+        let lookups_per_thread = 8;
+        let cache = StdArc::new(SensitivityCache::new());
+        // A domain large enough that the closed form takes real time, so
+        // the stampede genuinely overlaps with the in-flight compute.
+        let p = Policy::distance_threshold(Domain::line(65_536).unwrap(), 4);
+        let class = QueryClass::Linear {
+            weights: (0..65_536).map(|i| ((i * 31) % 97) as f64).collect(),
+        };
+        let barrier = StdArc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cache = StdArc::clone(&cache);
+                let p = p.clone();
+                let class = class.clone();
+                let barrier = StdArc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    (0..lookups_per_thread)
+                        .map(|_| cache.sensitivity(&p, &class))
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        let expect = class.sensitivity(&p);
+        for h in handles {
+            for s in h.join().unwrap() {
+                assert_eq!(s, expect);
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.computes, 1, "single-flight must compute once");
+        assert_eq!(
+            stats.hits + stats.misses,
+            (threads * lookups_per_thread) as u64
+        );
+        assert_eq!(stats.entries, 1);
     }
 }

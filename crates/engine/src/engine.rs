@@ -351,7 +351,8 @@ impl Engine {
     }
 
     /// Serves a batch, answering compatible range queries from **one**
-    /// noisy release.
+    /// noisy release per group, executing independent groups **in
+    /// parallel**.
     ///
     /// Range requests that share `(policy, data, ε)` are grouped: the
     /// engine spends ε once, performs a single Ordered Mechanism release
@@ -360,6 +361,12 @@ impl Engine {
     /// privacy cost and one release's noise, instead of N independent
     /// Laplace draws. All other requests fall through to [`Engine::serve`]
     /// semantics unchanged.
+    ///
+    /// Groups are *prepared* sequentially in deterministic order —
+    /// resolution, validation, the budget charge, and the release RNG
+    /// assignment — and only the expensive mechanism releases fan out
+    /// across threads, so same-seed engines produce identical batches
+    /// regardless of scheduling.
     ///
     /// Results come back in request order; each slot carries its own
     /// `Result` so one refused request does not poison the batch.
@@ -397,6 +404,19 @@ impl Engine {
             }
         }
 
+        // Prepare groups sequentially (resolve → validate → charge →
+        // draw the release RNG) in BTreeMap order, then run the
+        // mechanism releases in parallel: preparation is microseconds of
+        // ledger math that must stay deterministic, the release is the
+        // `O(|T|)` noise-and-inference pass worth the threads.
+        struct PreparedGroup {
+            indices: Vec<usize>,
+            ranges: Vec<(usize, usize)>,
+            mech: OrderedMechanism,
+            cumulative: Arc<CumulativeHistogram>,
+            rng: StdRng,
+        }
+        let mut prepared: Vec<PreparedGroup> = Vec::new();
         for ((policy_name, data_name, _), indices) in groups {
             if indices.len() < 2 {
                 continue; // a lone range gains nothing from batching
@@ -409,14 +429,37 @@ impl Engine {
                     _ => unreachable!("group members are ranges"),
                 })
                 .collect();
-            match self.serve_range_group(analyst, &policy_name, &data_name, epsilon, &ranges) {
+            match self.prepare_range_group(analyst, &policy_name, &data_name, epsilon, &ranges) {
+                Ok((mech, cumulative)) => prepared.push(PreparedGroup {
+                    indices,
+                    ranges,
+                    mech,
+                    cumulative,
+                    rng: self.release_rng(),
+                }),
+                Err(e) => {
+                    for &i in &indices {
+                        out[i] = Some(Err(e.clone()));
+                    }
+                }
+            }
+        }
+        let execute = |g: &PreparedGroup| -> Result<Vec<f64>, EngineError> {
+            let mut rng = g.rng.clone();
+            let release = g.mech.release(&g.cumulative, &mut rng)?;
+            Ok(release.answer_batch(&g.ranges))
+        };
+        // par_map runs 0- and 1-group batches inline, so no special case.
+        let results = rayon::par_map(&prepared, execute);
+        for (group, result) in prepared.iter().zip(results) {
+            match result {
                 Ok(answers) => {
-                    for (&i, a) in indices.iter().zip(answers) {
+                    for (&i, a) in group.indices.iter().zip(answers) {
                         out[i] = Some(Ok(Response::Scalar(a)));
                     }
                 }
                 Err(e) => {
-                    for &i in &indices {
+                    for &i in &group.indices {
                         out[i] = Some(Err(e.clone()));
                     }
                 }
@@ -434,15 +477,19 @@ impl Engine {
             .collect()
     }
 
-    /// One ordered release answering a whole range group.
-    fn serve_range_group(
+    /// Resolves, validates and charges one range group, returning the
+    /// calibrated mechanism plus the cumulative histogram it will
+    /// release. The release itself is left to the caller so independent
+    /// groups can run their releases in parallel after charging
+    /// deterministically.
+    fn prepare_range_group(
         &self,
         analyst: &str,
         policy_name: &str,
         data_name: &str,
         epsilon: Epsilon,
         ranges: &[(usize, usize)],
-    ) -> Result<Vec<f64>, EngineError> {
+    ) -> Result<(OrderedMechanism, Arc<CumulativeHistogram>), EngineError> {
         let session = self.session(analyst)?;
         let policy = self.policy(policy_name)?;
         let entry = self.dataset_entry(data_name)?;
@@ -474,8 +521,7 @@ impl Engine {
             constrained_inference: true,
             nonnegative: false,
         };
-        let release = mech.release(&entry.cumulative, &mut self.release_rng())?;
-        Ok(release.answer_batch(ranges))
+        Ok((mech, Arc::clone(&entry.cumulative)))
     }
 
     fn validate(

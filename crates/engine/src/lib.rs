@@ -15,8 +15,10 @@
 //!   `S(f, P)` keyed by `(Policy::cache_key, QueryClass::fingerprint)`.
 //!   Sensitivities depend only on the **public** policy and query shape,
 //!   never on data, so sharing the cache across analysts is free of
-//!   privacy cost — and it removes the `O(|T|²)` secret-graph edge scans
-//!   from the hot path (see `crates/bench/benches/engine.rs`).
+//!   privacy cost — and it removes the secret-graph edge scans from the
+//!   hot path entirely (see `crates/bench/benches/engine.rs`). Entries
+//!   are **single-flight**: N threads stampeding one cold key run the
+//!   closed form exactly once.
 //! * [`AnalystSession`] wraps `bf_core::BudgetAccountant`: every analyst
 //!   spends from their own ε-ledger under sequential composition
 //!   (Theorem 4.1) and is refused — before any data is touched — once
@@ -25,7 +27,9 @@
 //! * [`Engine::serve_batch`] answers N compatible range queries from
 //!   **one** Ordered Mechanism release (Section 7.1) instead of N
 //!   independent releases: one ε spend, one noise draw, N two-prefix
-//!   reads.
+//!   reads. Independent groups charge sequentially (so same-seed runs
+//!   are reproducible) and then execute their releases **in parallel**
+//!   across the available cores.
 //!
 //! The engine is `Send + Sync`; wrap it in an `Arc` and serve from as
 //! many threads as you like. Each release derives its own noise

@@ -161,18 +161,12 @@ impl SecretGraph {
         }
     }
 
-    /// Materializes the secret graph as an explicit [`Graph`] — only
-    /// sensible for small domains (tests, brute-force verification).
+    /// Materializes the secret graph as an explicit [`Graph`] via the
+    /// structured edge enumeration (`O(|E|)` for the implicit families;
+    /// only `G^full` costs `Θ(|T|²)` — its edge set is quadratic).
     pub fn materialize(&self, domain: &Domain) -> Graph {
-        let n = domain.size();
-        let mut g = Graph::new(n);
-        for x in 0..n {
-            for y in (x + 1)..n {
-                if self.is_edge(domain, x, y) {
-                    g.add_edge(x, y);
-                }
-            }
-        }
+        let mut g = Graph::new(domain.size());
+        self.for_each_edge(domain, |x, y| g.add_edge(x, y));
         g
     }
 

@@ -34,12 +34,39 @@ pub fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> usize {
     best
 }
 
-/// Assigns every point to its nearest centroid.
+/// Points below which parallel assignment is not worth the scoped-pool
+/// spawn overhead.
+const PAR_ASSIGN_MIN_POINTS: usize = 4096;
+
+/// Assigns every point to its nearest centroid. Large point sets are
+/// split into chunks assigned in parallel across the available cores
+/// (the Lloyd assignment step is the `O(n·k·d)` bulk of each private and
+/// non-private iteration); the result is identical to the sequential
+/// pass since assignment is pure per-point arithmetic.
 pub fn assign(points: &PointSet, centroids: &[Vec<f64>]) -> Vec<usize> {
-    points
-        .iter()
-        .map(|p| nearest_centroid(p, centroids))
-        .collect()
+    let n = points.len();
+    let workers = rayon::current_num_threads();
+    if n < PAR_ASSIGN_MIN_POINTS || workers <= 1 {
+        return points
+            .iter()
+            .map(|p| nearest_centroid(p, centroids))
+            .collect();
+    }
+    // 4 chunks per worker keeps stragglers short without paying per-point
+    // scheduling overhead.
+    let chunk = n.div_ceil(workers * 4).max(1);
+    let ranges: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(n)))
+        .collect();
+    rayon::par_map(&ranges, |&(lo, hi)| {
+        (lo..hi)
+            .map(|i| nearest_centroid(points.point(i), centroids))
+            .collect::<Vec<usize>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// The k-means objective (Definition 6.1): total squared L2 distance from
@@ -96,6 +123,21 @@ mod tests {
         let cents = vec![vec![1.0, 1.5], vec![9.0, 8.5]];
         // Each point is 0.5 away in one coordinate: 4 * 0.25.
         assert!((objective(&pts, &cents) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_assignment_matches_sequential() {
+        // Past the parallel threshold, the chunked assignment must be
+        // bit-identical to the sequential map.
+        let n = PAR_ASSIGN_MIN_POINTS + 513;
+        let bbox = BoundingBox::new(vec![0.0, 0.0], vec![100.0, 100.0]);
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 100) as f64, ((i * 7) % 100) as f64])
+            .collect();
+        let points = PointSet::new(pts, bbox);
+        let cents = vec![vec![10.0, 10.0], vec![50.0, 50.0], vec![90.0, 20.0]];
+        let expect: Vec<usize> = points.iter().map(|p| nearest_centroid(p, &cents)).collect();
+        assert_eq!(assign(&points, &cents), expect);
     }
 
     #[test]
