@@ -1,0 +1,249 @@
+//! PR 3 server trajectory (custom harness, run via `cargo bench -p
+//! bf-bench --bench server`, `-- --quick` for the CI smoke run).
+//!
+//! Three measurements, all asserted so regressions fail the bench:
+//!
+//! 1. **Coalescing amplification** — 16 analysts each submit the same
+//!    64-range dashboard; the server must answer all 1024 requests with
+//!    **strictly fewer** mechanism releases (the window folds the 16
+//!    copies of each range into one release), every analyst's ledger
+//!    must be charged exactly once per answered request, and two
+//!    same-seed runs must produce byte-identical answers.
+//! 2. **Throughput** — wall time of the coalesced pump vs serving the
+//!    same 1024 requests one-by-one through `Engine::serve` (which
+//!    performs 1024 releases).
+//! 3. **Fairness** — a flooding analyst with 512 queued requests cannot
+//!    delay a light analyst's 16: the light analyst must finish in at
+//!    most a quarter of the flooder's ticks.
+//!
+//! Results are written to `BENCH_PR3.json` at the repo root.
+
+use bf_core::{Epsilon, Policy};
+use bf_domain::{Dataset, Domain};
+use bf_engine::{Engine, Request};
+use bf_server::{Server, ServerConfig, Ticket};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DOMAIN: usize = 4096;
+const ANALYSTS: usize = 16;
+const RANGES: usize = 64;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn build_engine(seed: u64) -> Arc<Engine> {
+    let domain = Domain::line(DOMAIN).unwrap();
+    let engine = Engine::with_seed(seed);
+    engine
+        .register_policy("dist", Policy::distance_threshold(domain.clone(), 4))
+        .unwrap();
+    let rows: Vec<usize> = (0..40_000).map(|i| (i * 131) % DOMAIN).collect();
+    engine
+        .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+        .unwrap();
+    Arc::new(engine)
+}
+
+fn dashboard(r: usize) -> Request {
+    let lo = (r * 61) % (DOMAIN - 128);
+    Request::range("dist", "ds", eps(1e-4), lo, lo + 100)
+}
+
+/// One full coalesced run: submit the identical dashboard for every
+/// analyst (range-major, so identical requests sit at the same queue
+/// depth), pump to idle, and collect every answer's bits in
+/// (analyst, range) order plus the stats and the pump wall time.
+fn coalesced_run(seed: u64) -> (Vec<u64>, bf_server::ServerStats, f64) {
+    let engine = build_engine(seed);
+    for a in 0..ANALYSTS {
+        engine
+            .open_session(format!("analyst-{a:02}"), eps(1e6))
+            .unwrap();
+    }
+    let server = Server::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            queue_capacity: RANGES + 1,
+            coalesce_window: 2,
+            quantum: 8,
+            admission_control: true,
+        },
+    );
+    let mut tickets: Vec<Vec<Ticket>> = (0..ANALYSTS).map(|_| Vec::with_capacity(RANGES)).collect();
+    for r in 0..RANGES {
+        for (a, per_analyst) in tickets.iter_mut().enumerate() {
+            per_analyst.push(
+                server
+                    .submit(&format!("analyst-{a:02}"), dashboard(r))
+                    .unwrap(),
+            );
+        }
+    }
+    let t = Instant::now();
+    server.pump_until_idle();
+    let pump = t.elapsed().as_secs_f64();
+    let mut bits = Vec::with_capacity(ANALYSTS * RANGES);
+    for per_analyst in tickets {
+        for ticket in per_analyst {
+            bits.push(ticket.wait().unwrap().scalar().unwrap().to_bits());
+        }
+    }
+    // Ledger exactness: one charge per answered request, ε each.
+    for a in 0..ANALYSTS {
+        let snap = engine.session_snapshot(&format!("analyst-{a:02}")).unwrap();
+        assert_eq!(
+            snap.served(),
+            RANGES as u64,
+            "analyst {a}: exactly one charge per answered request"
+        );
+        assert!(
+            (snap.spent() - RANGES as f64 * 1e-4).abs() < 1e-9,
+            "analyst {a}: spent {}",
+            snap.spent()
+        );
+    }
+    (bits, server.stats(), pump)
+}
+
+fn bench_coalescing(json: &mut String) -> f64 {
+    let (bits_a, stats, pump) = coalesced_run(3);
+    let (bits_b, stats_b, _) = coalesced_run(3);
+    let requests = (ANALYSTS * RANGES) as u64;
+    assert_eq!(stats.answered, requests);
+    assert_eq!(bits_a, bits_b, "same-seed runs must be byte-identical");
+    assert_eq!(stats.releases, stats_b.releases);
+    assert!(
+        stats.releases < requests,
+        "coalescing must perform strictly fewer releases ({}) than requests ({requests})",
+        stats.releases
+    );
+    // With a full window the 16 copies of each range share one release.
+    assert!(
+        stats.releases <= (RANGES as u64) * 2,
+        "expected ~{RANGES} releases, got {}",
+        stats.releases
+    );
+
+    // Uncoalesced baseline: the same traffic one serve() at a time.
+    let engine = build_engine(3);
+    engine.open_session("solo", eps(1e6)).unwrap();
+    let t = Instant::now();
+    for r in 0..RANGES {
+        for _ in 0..ANALYSTS {
+            engine.serve("solo", &dashboard(r)).unwrap();
+        }
+    }
+    let sequential = t.elapsed().as_secs_f64();
+
+    let amplification = stats.amplification();
+    println!(
+        "server/coalescing: {requests} requests → {} releases ({amplification:.1}× amplification); \
+         pump {:.2} ms vs sequential serve {:.2} ms; deterministic ✓",
+        stats.releases,
+        pump * 1e3,
+        sequential * 1e3
+    );
+    writeln!(
+        json,
+        "  \"coalescing\": {{\"analysts\": {ANALYSTS}, \"requests\": {requests}, \
+         \"releases\": {}, \"amplification\": {amplification:.2}, \
+         \"releases_fewer_than_requests\": true, \"deterministic\": true, \
+         \"pump_ns\": {:.0}, \"sequential_serve_ns\": {:.0}, \"throughput_rps\": {:.0}}},",
+        stats.releases,
+        pump * 1e9,
+        sequential * 1e9,
+        requests as f64 / pump
+    )
+    .unwrap();
+    amplification
+}
+
+fn bench_fairness(json: &mut String) {
+    const FLOOD: usize = 512;
+    const LIGHT: usize = 16;
+    const QUANTUM: u32 = 4;
+    let engine = build_engine(11);
+    engine.open_session("flooder", eps(1e9)).unwrap();
+    engine.open_session("light", eps(1e9)).unwrap();
+    let server = Server::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            queue_capacity: FLOOD + 1,
+            coalesce_window: 0,
+            quantum: QUANTUM,
+            admission_control: true,
+        },
+    );
+    let flood: Vec<Ticket> = (0..FLOOD)
+        .map(|i| {
+            let lo = (i * 17) % (DOMAIN - 64);
+            server
+                .submit(
+                    "flooder",
+                    Request::range("dist", "ds", eps(1e-6), lo, lo + 30),
+                )
+                .unwrap()
+        })
+        .collect();
+    let light: Vec<Ticket> = (0..LIGHT)
+        .map(|i| {
+            let lo = (i * 29) % (DOMAIN - 64);
+            server
+                .submit(
+                    "light",
+                    Request::range("dist", "ds", eps(1e-6), lo, lo + 50),
+                )
+                .unwrap()
+        })
+        .collect();
+    let mut light_done_tick = 0u64;
+    let mut flooder_done_tick = 0u64;
+    let mut ticks = 0u64;
+    while flooder_done_tick == 0 {
+        server.tick();
+        ticks += 1;
+        if light_done_tick == 0 && light.iter().all(|t| t.try_take().is_some()) {
+            light_done_tick = ticks;
+        }
+        if flood.iter().all(|t| t.try_take().is_some()) {
+            flooder_done_tick = ticks;
+        }
+        assert!(ticks < 10_000, "scheduler failed to drain");
+    }
+    println!(
+        "server/fairness: light analyst ({LIGHT} reqs) done at tick {light_done_tick}, \
+         flooder ({FLOOD} reqs) at tick {flooder_done_tick} (quantum {QUANTUM})"
+    );
+    assert!(
+        light_done_tick * 4 <= flooder_done_tick,
+        "a flooding analyst must not delay a light one \
+         (light {light_done_tick}, flooder {flooder_done_tick})"
+    );
+    writeln!(
+        json,
+        "  \"fairness\": {{\"flooder_requests\": {FLOOD}, \"light_requests\": {LIGHT}, \
+         \"quantum\": {QUANTUM}, \"light_done_tick\": {light_done_tick}, \
+         \"flooder_done_tick\": {flooder_done_tick}}}",
+    )
+    .unwrap();
+}
+
+fn main() {
+    // `--quick` is accepted for CI symmetry with the scaling bench; the
+    // workload is already smoke-sized, so both modes run the same thing.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"pr\": 3,").unwrap();
+    writeln!(json, "  \"quick\": {quick},").unwrap();
+
+    let amplification = bench_coalescing(&mut json);
+    bench_fairness(&mut json);
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
+    std::fs::write(path, &json).expect("write BENCH_PR3.json");
+    println!("server: OK (coalescing amplification {amplification:.1}×) → {path}");
+}

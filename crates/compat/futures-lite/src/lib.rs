@@ -1,0 +1,359 @@
+//! # futures-lite (offline shim)
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the small slice of an async runtime the workspace needs,
+//! mirroring the `crates/compat/rayon` approach: everything is built on
+//! `std` — no reactor, no timers, no I/O — just
+//!
+//! * [`block_on`] — drive one future to completion on the current
+//!   thread, parking between polls,
+//! * [`Executor`] — a fixed worker pool polling spawned tasks through a
+//!   shared run queue; [`Executor::spawn`] returns a [`JoinHandle`]
+//!   future for the task's output,
+//! * [`oneshot`] — a single-value channel whose [`oneshot::Receiver`]
+//!   is a `Future`, the primitive a request/response server hands out
+//!   as its answer ticket.
+//!
+//! Wakers are real: a task that returns `Poll::Pending` is re-queued
+//! only when something calls its waker, so futures that wait on a
+//! `oneshot` value cost nothing while parked. A `scheduled` flag per
+//! task collapses redundant wakes (N wakes while queued → one poll).
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread;
+
+pub mod oneshot;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// Drives `future` to completion on the current thread, parking between
+/// polls until the future's waker fires.
+pub fn block_on<F: Future>(mut future: F) -> F::Output {
+    struct Parker {
+        thread: thread::Thread,
+        notified: AtomicBool,
+    }
+    impl Wake for Parker {
+        fn wake(self: Arc<Self>) {
+            self.notified.store(true, Ordering::Release);
+            self.thread.unpark();
+        }
+    }
+    let parker = Arc::new(Parker {
+        thread: thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&parker));
+    let mut cx = Context::from_waker(&waker);
+    // Safety: `future` lives on this stack frame for the whole loop and
+    // is never moved after this pin.
+    let mut future = unsafe { Pin::new_unchecked(&mut future) };
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => {
+                while !parker.notified.swap(false, Ordering::Acquire) {
+                    thread::park();
+                }
+            }
+        }
+    }
+}
+
+/// Shared executor state: the run queue the workers drain.
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Pool {
+    fn push(&self, task: Arc<Task>) {
+        self.queue
+            .lock()
+            .expect("run queue poisoned")
+            .push_back(task);
+        self.available.notify_one();
+    }
+}
+
+/// One spawned task: its future (None once complete) plus the flag that
+/// collapses concurrent wakes into a single queue entry.
+struct Task {
+    pool: Arc<Pool>,
+    future: Mutex<Option<BoxFuture>>,
+    scheduled: AtomicBool,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        // After shutdown there is no worker left to poll the task, so
+        // re-queueing would strand its join handle: drop the future
+        // instead, which resolves the handle as cancelled.
+        if self.pool.shutdown.load(Ordering::Acquire) {
+            self.future.lock().expect("task future poisoned").take();
+            return;
+        }
+        // Only the wake that flips the flag enqueues; later wakes are
+        // absorbed until a worker picks the task up and clears it.
+        if !self.scheduled.swap(true, Ordering::AcqRel) {
+            let pool = Arc::clone(&self.pool);
+            pool.push(self);
+        }
+    }
+}
+
+/// A fixed pool of worker threads polling spawned tasks.
+///
+/// Dropping the executor shuts the pool down: workers finish the polls
+/// they are in, the run queue is cleared, and tasks that never completed
+/// resolve their [`JoinHandle`]s as cancelled.
+pub struct Executor {
+    pool: Arc<Pool>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new(thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+}
+
+impl Executor {
+    /// An executor with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let pool = Arc::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || worker_loop(&pool))
+            })
+            .collect();
+        Self { pool, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Spawns a future onto the pool, returning a [`JoinHandle`] future
+    /// for its output. The task starts running immediately; dropping the
+    /// handle detaches it.
+    pub fn spawn<F, T>(&self, future: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + Send + 'static,
+        T: Send + 'static,
+    {
+        let (tx, rx) = oneshot::channel();
+        let wrapped = async move {
+            // The receiver may have been dropped (detached task): ignore.
+            let _ = tx.send(future.await);
+        };
+        let task = Arc::new(Task {
+            pool: Arc::clone(&self.pool),
+            future: Mutex::new(Some(Box::pin(wrapped))),
+            scheduled: AtomicBool::new(true),
+        });
+        self.pool.push(task);
+        JoinHandle { rx }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.pool.shutdown.store(true, Ordering::Release);
+        self.pool.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Break the pool → task → pool reference cycle for tasks still
+        // queued and drop their futures; the futures' oneshot senders
+        // drop with them, cancelling the matching join handles.
+        let stranded: Vec<Arc<Task>> = self
+            .pool
+            .queue
+            .lock()
+            .expect("run queue poisoned")
+            .drain(..)
+            .collect();
+        for task in stranded {
+            task.future.lock().expect("task future poisoned").take();
+        }
+    }
+}
+
+fn worker_loop(pool: &Pool) {
+    loop {
+        let task = {
+            let mut queue = pool.queue.lock().expect("run queue poisoned");
+            loop {
+                if let Some(t) = queue.pop_front() {
+                    break t;
+                }
+                if pool.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = pool.available.wait(queue).expect("run queue poisoned");
+            }
+        };
+        // Clear before polling: a wake arriving mid-poll re-queues the
+        // task, and the future's Mutex serializes the overlapping polls.
+        task.scheduled.store(false, Ordering::Release);
+        let mut slot = task.future.lock().expect("task future poisoned");
+        let Some(future) = slot.as_mut() else {
+            continue; // completed by an earlier poll
+        };
+        let waker = Waker::from(Arc::clone(&task));
+        let mut cx = Context::from_waker(&waker);
+        if future.as_mut().poll(&mut cx).is_ready() {
+            *slot = None;
+        }
+    }
+}
+
+/// A future for a spawned task's output.
+///
+/// Resolves to `Err(`[`Cancelled`]`)` when the task was dropped without
+/// completing (executor shut down first). [`JoinHandle::join`] is the
+/// blocking convenience used outside async contexts.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    rx: oneshot::Receiver<T>,
+}
+
+/// The task (or oneshot sender) was dropped before producing a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, Cancelled>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut self.rx)
+            .poll(cx)
+            .map(|r| r.map_err(|oneshot::SenderDropped| Cancelled))
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks the current thread until the task completes.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the executor shut down before the task ran to
+    /// completion.
+    pub fn join(self) -> Result<T, Cancelled> {
+        block_on(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn block_on_ready_future() {
+        assert_eq!(block_on(async { 21 * 2 }), 42);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let ex = Executor::new(2);
+        let h = ex.spawn(async { 7u64 + 35 });
+        assert_eq!(h.join(), Ok(42));
+    }
+
+    #[test]
+    fn many_tasks_all_complete() {
+        let ex = Executor::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..64)
+            .map(|i| {
+                let counter = Arc::clone(&counter);
+                ex.spawn(async move {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    i * i
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join(), Ok((i * i) as u64));
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn tasks_wait_on_oneshot_wakers() {
+        // A task parked on a oneshot must be woken by the send, not by
+        // busy polling: give the executor one worker so a busy-poll
+        // would deadlock the sender task behind the receiver task.
+        let ex = Executor::new(1);
+        let (tx, rx) = oneshot::channel::<u64>();
+        let recv = ex.spawn(rx);
+        let send = ex.spawn(async move {
+            tx.send(5).unwrap();
+        });
+        assert_eq!(send.join(), Ok(()));
+        assert_eq!(recv.join(), Ok(Ok(5)));
+    }
+
+    #[test]
+    fn chained_tasks_pass_values() {
+        let ex = Executor::new(2);
+        let (tx1, rx1) = oneshot::channel::<u64>();
+        let (tx2, rx2) = oneshot::channel::<u64>();
+        let stage2 = ex.spawn(async move {
+            let v = rx1.await.unwrap();
+            tx2.send(v * 3).unwrap();
+        });
+        tx1.send(14).unwrap();
+        let out = block_on(rx2);
+        stage2.join().unwrap();
+        assert_eq!(out, Ok(42));
+    }
+
+    #[test]
+    fn shutdown_cancels_unfinished_tasks() {
+        let (tx, rx) = oneshot::channel::<u64>();
+        let handle = {
+            let ex = Executor::new(1);
+            let h = ex.spawn(rx);
+            drop(ex); // shuts down; the task never receives a value
+            h
+        };
+        drop(tx);
+        // Either the task ran (and observed the dropped sender) or it
+        // was cancelled with the executor — both are clean shutdowns.
+        match handle.join() {
+            Ok(Err(oneshot::SenderDropped)) | Err(Cancelled) => {}
+            other => panic!("unexpected join result: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! A single-value channel whose receiver is a `Future`.
+//!
+//! This is the ticket primitive of the serving stack: the producer keeps
+//! the [`Sender`], the consumer awaits (or polls) the [`Receiver`].
+//! Dropping the sender without sending resolves the receiver with
+//! [`SenderDropped`], so a waiter can never hang on an abandoned ticket.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// The sender was dropped before sending a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SenderDropped;
+
+impl std::fmt::Display for SenderDropped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "oneshot sender dropped without sending")
+    }
+}
+
+impl std::error::Error for SenderDropped {}
+
+struct Channel<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    tx_alive: bool,
+    rx_alive: bool,
+}
+
+/// Creates a connected sender/receiver pair.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Mutex::new(Channel {
+        value: None,
+        waker: None,
+        tx_alive: true,
+        rx_alive: true,
+    }));
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+/// The producing half; consumed by [`Sender::send`].
+pub struct Sender<T> {
+    inner: Arc<Mutex<Channel<T>>>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("oneshot::Sender").finish_non_exhaustive()
+    }
+}
+
+impl<T> Sender<T> {
+    /// Delivers `value`, waking the receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back when the receiver was already dropped.
+    pub fn send(self, value: T) -> Result<(), T> {
+        let mut ch = self.inner.lock().expect("oneshot poisoned");
+        if !ch.rx_alive {
+            return Err(value);
+        }
+        ch.value = Some(value);
+        ch.tx_alive = false;
+        let waker = ch.waker.take();
+        drop(ch);
+        if let Some(w) = waker {
+            w.wake();
+        }
+        // `self` drops normally here: Drop re-clears tx_alive and finds
+        // no waker left, so it is a no-op — and the Arc is released.
+        Ok(())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut ch = self.inner.lock().expect("oneshot poisoned");
+        ch.tx_alive = false;
+        let waker = ch.waker.take();
+        drop(ch);
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// The consuming half: a `Future` resolving to the sent value.
+pub struct Receiver<T> {
+    inner: Arc<Mutex<Channel<T>>>,
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("oneshot::Receiver").finish_non_exhaustive()
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking probe: `Some(Ok(v))` once a value arrived,
+    /// `Some(Err(SenderDropped))` once the sender died empty-handed,
+    /// `None` while the answer is still pending.
+    pub fn try_recv(&self) -> Option<Result<T, SenderDropped>> {
+        let mut ch = self.inner.lock().expect("oneshot poisoned");
+        if let Some(v) = ch.value.take() {
+            Some(Ok(v))
+        } else if !ch.tx_alive {
+            Some(Err(SenderDropped))
+        } else {
+            None
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.lock().expect("oneshot poisoned").rx_alive = false;
+    }
+}
+
+impl<T> Future for Receiver<T> {
+    type Output = Result<T, SenderDropped>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut ch = self.inner.lock().expect("oneshot poisoned");
+        if let Some(v) = ch.value.take() {
+            Poll::Ready(Ok(v))
+        } else if !ch.tx_alive {
+            Poll::Ready(Err(SenderDropped))
+        } else {
+            ch.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_on;
+
+    #[test]
+    fn send_then_receive() {
+        let (tx, rx) = channel();
+        tx.send(99u32).unwrap();
+        assert_eq!(block_on(rx), Ok(99));
+    }
+
+    #[test]
+    fn dropped_sender_resolves_with_error() {
+        let (tx, rx) = channel::<u32>();
+        drop(tx);
+        assert_eq!(block_on(rx), Err(SenderDropped));
+    }
+
+    #[test]
+    fn dropped_receiver_rejects_send() {
+        let (tx, rx) = channel();
+        drop(rx);
+        assert_eq!(tx.send(7u32), Err(7));
+    }
+
+    #[test]
+    fn try_recv_transitions() {
+        let (tx, rx) = channel();
+        assert_eq!(rx.try_recv(), None);
+        tx.send(3u8).unwrap();
+        assert_eq!(rx.try_recv(), Some(Ok(3)));
+        // Value already taken; sender gone → SenderDropped.
+        assert_eq!(rx.try_recv(), Some(Err(SenderDropped)));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = channel();
+        let t = std::thread::spawn(move || tx.send(1234u64).unwrap());
+        assert_eq!(block_on(rx), Ok(1234));
+        t.join().unwrap();
+    }
+}

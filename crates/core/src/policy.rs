@@ -136,15 +136,18 @@ impl Policy {
     }
 
     /// A stable identity string for sensitivity caching: the graph label,
-    /// constraint count, and the domain's attribute cardinalities.
+    /// constraints, and the domain's attribute cardinalities.
     ///
-    /// Two policies with equal cache keys have the same domain shape and
-    /// a secret graph on which every closed-form sensitivity in
-    /// [`crate::sensitivity`] agrees. The label alone is not enough for
-    /// the graph families with free structure — `partition|{n}` says how
-    /// many blocks, not which values share one, and `custom` says nothing
-    /// — so for those the key also hashes the block assignment / edge
-    /// list.
+    /// Two policies with equal cache keys have the same domain shape, a
+    /// secret graph on which every closed-form sensitivity in
+    /// [`crate::sensitivity`] agrees, and the same constraint set (so
+    /// Section 8 policy-graph bounds agree too). The label alone is not
+    /// enough for the graph families with free structure —
+    /// `partition|{n}` says how many blocks, not which values share one,
+    /// and `custom` says nothing — so for those the key also hashes the
+    /// block assignment / edge list; likewise `+{n}q` says how many
+    /// constraints, not which, so constrained policies hash every
+    /// predicate and declared answer into the key.
     pub fn cache_key(&self) -> String {
         let cards: Vec<usize> = self
             .domain
@@ -152,7 +155,7 @@ impl Policy {
             .iter()
             .map(|a| a.cardinality())
             .collect();
-        match &self.graph {
+        let mut key = match &self.graph {
             SecretGraph::Custom(g) => {
                 let mut edges = g.edges().to_vec();
                 edges.sort_unstable();
@@ -164,7 +167,16 @@ impl Policy {
                 format!("{}#{h:016x}@{cards:?}", self.label())
             }
             _ => format!("{}@{cards:?}", self.label()),
+        };
+        if self.has_constraints() {
+            let h = fnv1a_u64s(self.constraints.iter().flat_map(|c| {
+                std::iter::once(c.answer()).chain(
+                    (0..c.predicate().domain_size()).map(|x| u64::from(c.predicate().eval(x))),
+                )
+            }));
+            key.push_str(&format!("+Q#{h:016x}"));
         }
+        key
     }
 
     /// Figure-legend style label, e.g. `full`, `blowfish|64`,
@@ -268,6 +280,50 @@ mod tests {
             a.cache_key(),
             Policy::distance_threshold(Domain::line(8).unwrap(), 2).cache_key()
         );
+    }
+
+    #[test]
+    fn cache_keys_separate_constraint_sets() {
+        // Same domain, same graph, same constraint COUNT — labels and
+        // pre-constraint keys collide, but the policy-graph bounds can
+        // differ, so the keys must not: a serving layer coalescing on
+        // the key would otherwise share one release across policies
+        // calibrated differently.
+        let d = Domain::line(6).unwrap();
+        let narrow = Policy::with_constraints(
+            d.clone(),
+            SecretGraph::Full,
+            vec![CountConstraint::new(Predicate::of_values(6, &[0]), 1)],
+        )
+        .unwrap();
+        let wide = Policy::with_constraints(
+            d.clone(),
+            SecretGraph::Full,
+            vec![CountConstraint::new(Predicate::of_values(6, &[0, 1, 2]), 1)],
+        )
+        .unwrap();
+        let different_answer = Policy::with_constraints(
+            d.clone(),
+            SecretGraph::Full,
+            vec![CountConstraint::new(Predicate::of_values(6, &[0]), 3)],
+        )
+        .unwrap();
+        assert_eq!(narrow.label(), wide.label());
+        assert_ne!(narrow.cache_key(), wide.cache_key());
+        assert_ne!(narrow.cache_key(), different_answer.cache_key());
+        // Constrained vs constraint-free never collide either.
+        assert_ne!(
+            narrow.cache_key(),
+            Policy::differential_privacy(d.clone()).cache_key()
+        );
+        // Identical constraint sets agree.
+        let again = Policy::with_constraints(
+            d,
+            SecretGraph::Full,
+            vec![CountConstraint::new(Predicate::of_values(6, &[0]), 1)],
+        )
+        .unwrap();
+        assert_eq!(narrow.cache_key(), again.cache_key());
     }
 
     #[test]

@@ -221,12 +221,10 @@ pub fn linear_query_sensitivity(policy: &Policy, weights: &[f64]) -> f64 {
         }
         graph => {
             // Structured edge enumeration: O(|E|) instead of the old
-            // all-pairs O(|T|²) candidate scan (see bf_graph::enumerate).
-            let mut best: f64 = 0.0;
-            graph.for_each_edge(domain, |x, y| {
-                best = best.max((weights[x] - weights[y]).abs());
-            });
-            best
+            // all-pairs O(|T|²) candidate scan (see bf_graph::enumerate);
+            // on large G^attr / G^{L1,θ} domains the reduction shards
+            // over vertex ranges across cores (bf_graph::parallel).
+            graph.par_max_over_edges(domain, |x, y| (weights[x] - weights[y]).abs())
         }
     }
 }

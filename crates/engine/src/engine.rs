@@ -4,15 +4,18 @@ use crate::cache::{CacheStats, SensitivityCache};
 use crate::error::EngineError;
 use crate::request::{Request, RequestKind, Response};
 use crate::session::AnalystSession;
-use bf_core::{Epsilon, LaplaceMechanism, Policy, QueryClass};
+use crate::shard::ShardedMap;
+use bf_constraints::policy_graph::PolicyGraph;
+use bf_constraints::sparse::DEFAULT_SCAN_CAP;
+use bf_core::{Epsilon, LaplaceMechanism, Policy, Predicate, QueryClass};
 use bf_domain::{CumulativeHistogram, Dataset, Histogram, PointSet};
 use bf_mechanisms::kmeans::{init_random, PrivateKmeans};
 use bf_mechanisms::{HistogramMechanism, OrderedMechanism, RangeAnswerer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 
 /// A registered dataset with its aggregates precomputed once: serving
 /// reads histograms, never raw rows, so the O(n) aggregation pass and
@@ -22,6 +25,22 @@ struct DatasetEntry {
     dataset: Arc<Dataset>,
     histogram: Arc<Histogram>,
     cumulative: Arc<CumulativeHistogram>,
+}
+
+/// A registered policy plus everything derived from it at registration.
+///
+/// For constrained policies the Theorem 8.2 policy-graph bound on
+/// `S(h, P)` is computed **once** here — registration is where the
+/// `O(|E|·|Q|)` scan and the exponential-in-`|Q|` cycle search are paid,
+/// so the serve path never touches the constraint machinery.
+#[derive(Debug, Clone)]
+struct PolicyEntry {
+    policy: Arc<Policy>,
+    /// `Some(2·max{α(G_P), ξ(G_P)})` for constrained policies (a sound
+    /// upper bound on the histogram L1 sensitivity under the aligned
+    /// neighbor semantics of Section 8), `None` for constraint-free
+    /// policies, which use the exact closed forms via the cache.
+    constrained_bound: Option<f64>,
 }
 
 /// A multi-tenant Blowfish query-serving engine.
@@ -65,10 +84,10 @@ struct DatasetEntry {
 /// ```
 #[derive(Debug)]
 pub struct Engine {
-    policies: RwLock<HashMap<String, Arc<Policy>>>,
-    datasets: RwLock<HashMap<String, DatasetEntry>>,
-    points: RwLock<HashMap<String, Arc<PointSet>>>,
-    sessions: RwLock<HashMap<String, Arc<Mutex<AnalystSession>>>>,
+    policies: ShardedMap<PolicyEntry>,
+    datasets: ShardedMap<DatasetEntry>,
+    points: ShardedMap<Arc<PointSet>>,
+    sessions: ShardedMap<Arc<Mutex<AnalystSession>>>,
     cache: SensitivityCache,
     /// Base seed for noise; each release derives its own generator from
     /// `seed ⊕ f(counter)`, so no lock is held while mechanisms run and
@@ -92,10 +111,10 @@ impl Engine {
     /// An engine whose noise stream is seeded for reproducible runs.
     pub fn with_seed(seed: u64) -> Self {
         Self {
-            policies: RwLock::new(HashMap::new()),
-            datasets: RwLock::new(HashMap::new()),
-            points: RwLock::new(HashMap::new()),
-            sessions: RwLock::new(HashMap::new()),
+            policies: ShardedMap::new(),
+            datasets: ShardedMap::new(),
+            points: ShardedMap::new(),
+            sessions: ShardedMap::new(),
             cache: SensitivityCache::new(),
             seed,
             release_counter: AtomicU64::new(0),
@@ -115,33 +134,49 @@ impl Engine {
 
     /// Registers a policy under a name.
     ///
+    /// Constraint-free policies serve through the exact closed-form
+    /// sensitivities. Policies **with** constraints are routed through
+    /// the `bf-constraints` policy graph (Definition 8.3): registration
+    /// requires the constraint set to be sparse (Definition 8.2) and
+    /// computes the Theorem 8.2 bound `2·max{α(G_P), ξ(G_P)}` on the
+    /// histogram sensitivity once, which then calibrates histogram,
+    /// range and linear releases (see [`Engine::serve`]).
+    ///
     /// # Errors
     ///
     /// [`EngineError::DuplicateName`] if the name is taken — cached
     /// sensitivities refer to the original object, so re-registration is
     /// refused rather than silently swapped.
-    /// [`EngineError::InvalidRequest`] for policies with constraints:
-    /// their sensitivities are not closed-form (Theorem 8.1 — NP-hard in
-    /// general; the routed classes would panic in `bf-core`), so they
-    /// must be served via the `bf-constraints` machinery, not the engine.
+    /// [`EngineError::Constraint`] when a constrained policy fails the
+    /// Section 8 machinery (non-sparse constraints, over-budget edge
+    /// scans): the general constrained-sensitivity problem is NP-hard
+    /// (Theorem 8.1), so only the sparse case is servable.
     pub fn register_policy(
         &self,
         name: impl Into<String>,
         policy: Policy,
     ) -> Result<(), EngineError> {
         let name = name.into();
-        if policy.has_constraints() {
-            return Err(EngineError::InvalidRequest(format!(
-                "policy {name:?} has public constraints; the engine only serves \
-                 constraint-free policies (use bf-constraints for Section 8 sensitivities)"
-            )));
-        }
-        let mut map = self.policies.write().expect("policy lock poisoned");
-        if map.contains_key(&name) {
-            return Err(EngineError::DuplicateName(name));
-        }
-        map.insert(name, Arc::new(policy));
-        Ok(())
+        let constrained_bound = if policy.has_constraints() {
+            let queries: Vec<Predicate> = policy
+                .constraints()
+                .iter()
+                .map(|c| c.predicate().clone())
+                .collect();
+            let graph =
+                PolicyGraph::build(policy.domain(), policy.graph(), &queries, DEFAULT_SCAN_CAP)
+                    .map_err(EngineError::Constraint)?;
+            Some(graph.sensitivity_bound())
+        } else {
+            None
+        };
+        let entry = PolicyEntry {
+            policy: Arc::new(policy),
+            constrained_bound,
+        };
+        self.policies
+            .insert_if_absent(name, entry)
+            .map_err(EngineError::DuplicateName)
     }
 
     /// Registers a tabular dataset under a name.
@@ -162,12 +197,9 @@ impl Engine {
             histogram: Arc::new(histogram),
             cumulative: Arc::new(cumulative),
         };
-        let mut map = self.datasets.write().expect("dataset lock poisoned");
-        if map.contains_key(&name) {
-            return Err(EngineError::DuplicateName(name));
-        }
-        map.insert(name, entry);
-        Ok(())
+        self.datasets
+            .insert_if_absent(name, entry)
+            .map_err(EngineError::DuplicateName)
     }
 
     /// Registers a continuous point set (k-means input) under a name.
@@ -181,21 +213,19 @@ impl Engine {
         points: PointSet,
     ) -> Result<(), EngineError> {
         let name = name.into();
-        let mut map = self.points.write().expect("points lock poisoned");
-        if map.contains_key(&name) {
-            return Err(EngineError::DuplicateName(name));
-        }
-        map.insert(name, Arc::new(points));
-        Ok(())
+        self.points
+            .insert_if_absent(name, Arc::new(points))
+            .map_err(EngineError::DuplicateName)
     }
 
     /// The registered policy, if any.
     pub fn policy(&self, name: &str) -> Result<Arc<Policy>, EngineError> {
+        Ok(self.policy_entry(name)?.policy)
+    }
+
+    fn policy_entry(&self, name: &str) -> Result<PolicyEntry, EngineError> {
         self.policies
-            .read()
-            .expect("policy lock poisoned")
             .get(name)
-            .cloned()
             .ok_or_else(|| EngineError::UnknownPolicy(name.to_owned()))
     }
 
@@ -206,20 +236,14 @@ impl Engine {
 
     fn dataset_entry(&self, name: &str) -> Result<DatasetEntry, EngineError> {
         self.datasets
-            .read()
-            .expect("dataset lock poisoned")
             .get(name)
-            .cloned()
             .ok_or_else(|| EngineError::UnknownDataset(name.to_owned()))
     }
 
     /// The registered point set, if any.
     pub fn point_set(&self, name: &str) -> Result<Arc<PointSet>, EngineError> {
         self.points
-            .read()
-            .expect("points lock poisoned")
             .get(name)
-            .cloned()
             .ok_or_else(|| EngineError::UnknownPoints(name.to_owned()))
     }
 
@@ -239,24 +263,32 @@ impl Engine {
         total: Epsilon,
     ) -> Result<(), EngineError> {
         let analyst = analyst.into();
-        let mut map = self.sessions.write().expect("session lock poisoned");
-        if map.contains_key(&analyst) {
-            return Err(EngineError::SessionExists(analyst));
-        }
-        map.insert(
-            analyst.clone(),
-            Arc::new(Mutex::new(AnalystSession::new(analyst, total))),
-        );
-        Ok(())
+        let session = Arc::new(Mutex::new(AnalystSession::new(analyst.clone(), total)));
+        self.sessions
+            .insert_if_absent(analyst, session)
+            .map_err(EngineError::SessionExists)
     }
 
     fn session(&self, analyst: &str) -> Result<Arc<Mutex<AnalystSession>>, EngineError> {
         self.sessions
-            .read()
-            .expect("session lock poisoned")
             .get(analyst)
-            .cloned()
             .ok_or_else(|| EngineError::UnknownAnalyst(analyst.to_owned()))
+    }
+
+    /// Every analyst with an open session, in unspecified order.
+    pub fn analysts(&self) -> Vec<String> {
+        self.sessions.keys()
+    }
+
+    /// Registry sizes `(policies, datasets, point sets, sessions)` — for
+    /// monitoring and admission dashboards.
+    pub fn registry_sizes(&self) -> (usize, usize, usize, usize) {
+        (
+            self.policies.len(),
+            self.datasets.len(),
+            self.points.len(),
+            self.sessions.len(),
+        )
     }
 
     /// ε remaining in an analyst's ledger.
@@ -293,16 +325,29 @@ impl Engine {
     // Serving
     // ------------------------------------------------------------------
 
+    /// The policy-specific sensitivity calibrating `class` under a
+    /// registered policy: the exact closed form (cached) for
+    /// constraint-free policies, or a sound derivation from the
+    /// Theorem 8.2 histogram bound for constrained ones.
+    fn sensitivity_for(&self, entry: &PolicyEntry, class: &QueryClass) -> Result<f64, EngineError> {
+        match entry.constrained_bound {
+            None => Ok(self.cache.sensitivity(&entry.policy, class)),
+            Some(bound) => constrained_sensitivity(bound, class),
+        }
+    }
+
     /// Serves one request for one analyst.
     ///
     /// # Errors
     ///
     /// Unknown names, [`EngineError::InvalidRequest`] for malformed
-    /// queries, [`EngineError::BudgetRefused`] when the ledger cannot
-    /// cover ε (nothing is released in that case).
+    /// queries (including query kinds a constrained policy cannot
+    /// calibrate),
+    /// [`EngineError::BudgetRefused`] when the ledger cannot cover ε
+    /// (nothing is released in that case).
     pub fn serve(&self, analyst: &str, request: &Request) -> Result<Response, EngineError> {
         let session = self.session(analyst)?;
-        let policy = self.policy(&request.policy)?;
+        let policy_entry = self.policy_entry(&request.policy)?;
 
         match &request.kind {
             RequestKind::KMeans {
@@ -310,6 +355,13 @@ impl Engine {
                 iterations,
                 spec,
             } => {
+                if policy_entry.constrained_bound.is_some() {
+                    return Err(EngineError::InvalidRequest(
+                        "k-means sensitivities come from the physical-unit spec and do not \
+                         account for policy constraints; use a constraint-free policy"
+                            .into(),
+                    ));
+                }
                 let points = self.point_set(&request.data)?;
                 if *k == 0 || *k > points.len() {
                     return Err(EngineError::InvalidRequest(format!(
@@ -338,8 +390,8 @@ impl Engine {
                 let class = request
                     .query_class()
                     .expect("non-kmeans kinds always map to a query class");
-                self.validate(kind, &policy, &entry)?;
-                let sensitivity = self.cache.sensitivity(&policy, &class);
+                self.validate(kind, &policy_entry.policy, &entry)?;
+                let sensitivity = self.sensitivity_for(&policy_entry, &class)?;
                 session.lock().expect("session poisoned").charge(
                     request.label(),
                     request.epsilon,
@@ -391,6 +443,16 @@ impl Engine {
                         .map(|e| hi < e.dataset.domain().size())
                         .unwrap_or(true); // unknown dataset: fail as a group
                 if !in_bounds {
+                    continue;
+                }
+                // Constrained policies cannot calibrate the shared
+                // cumulative release a group rides on; their ranges go
+                // through the single-request Laplace path instead.
+                if self
+                    .policies
+                    .get(&req.policy)
+                    .is_some_and(|e| e.constrained_bound.is_some())
+                {
                     continue;
                 }
                 groups
@@ -491,13 +553,13 @@ impl Engine {
         ranges: &[(usize, usize)],
     ) -> Result<(OrderedMechanism, Arc<CumulativeHistogram>), EngineError> {
         let session = self.session(analyst)?;
-        let policy = self.policy(policy_name)?;
+        let policy_entry = self.policy_entry(policy_name)?;
         let entry = self.dataset_entry(data_name)?;
         let size = entry.dataset.domain().size();
-        if policy.domain().size() != size {
+        if policy_entry.policy.domain().size() != size {
             return Err(EngineError::InvalidRequest(format!(
                 "dataset domain size {size} does not match policy domain size {}",
-                policy.domain().size()
+                policy_entry.policy.domain().size()
             )));
         }
         for &(lo, hi) in ranges {
@@ -507,9 +569,7 @@ impl Engine {
                 )));
             }
         }
-        let sensitivity = self
-            .cache
-            .sensitivity(&policy, &QueryClass::CumulativeHistogram);
+        let sensitivity = self.sensitivity_for(&policy_entry, &QueryClass::CumulativeHistogram)?;
         session.lock().expect("session poisoned").charge(
             format!("batch:{}xrange@{policy_name}/{data_name}", ranges.len()),
             epsilon,
@@ -522,6 +582,162 @@ impl Engine {
             nonnegative: false,
         };
         Ok((mech, Arc::clone(&entry.cumulative)))
+    }
+
+    /// The key under which requests from **different analysts** may share
+    /// one release: `(policy cache key, dataset name, ε bits, query-class
+    /// fingerprint)`. Two requests with equal keys resolve to policies
+    /// with identical sensitivity closed forms, the same data object, the
+    /// same spend and the same query — so a single mechanism release is a
+    /// valid answer to all of them, and publishing it to N analysts costs
+    /// each analyst exactly the ε they would have spent alone.
+    ///
+    /// `None` for k-means requests: their runs are iterative and seeded
+    /// per release, so they are never coalesced.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownPolicy`] when the request names an
+    /// unregistered policy (the cache key needs the policy object).
+    pub fn coalesce_key(&self, request: &Request) -> Result<Option<String>, EngineError> {
+        let Some(class) = request.query_class() else {
+            return Ok(None);
+        };
+        let policy = self.policy(&request.policy)?;
+        Ok(Some(format!(
+            "{}|{}|{:016x}|{:016x}",
+            policy.cache_key(),
+            request.data,
+            request.epsilon.value().to_bits(),
+            class.fingerprint()
+        )))
+    }
+
+    /// Serves one identical request to several analysts from **one**
+    /// mechanism release.
+    ///
+    /// Every analyst is charged the request's ε on their own ledger (a
+    /// refused charge refuses only that analyst's slot); if at least one
+    /// charge succeeds the engine performs a single release and fans the
+    /// answer out to every charged analyst. Slots come back in `analysts`
+    /// order. With a single analyst this is byte-identical to
+    /// [`Engine::serve`] — same charge, same release ordinal, same noise.
+    pub fn serve_coalesced(
+        &self,
+        analysts: &[String],
+        request: &Request,
+    ) -> Vec<Result<Response, EngineError>> {
+        let group = [(analysts.to_vec(), request.clone())];
+        self.serve_coalesced_many(&group)
+            .pop()
+            .expect("one group in, one group out")
+    }
+
+    /// [`Engine::serve_coalesced`] over many independent groups: groups
+    /// are prepared and charged **sequentially** in slice order (so
+    /// same-seed engines assign the same release ordinals regardless of
+    /// thread scheduling), then the mechanism releases execute **in
+    /// parallel** across cores, mirroring [`Engine::serve_batch`].
+    ///
+    /// This is the entry point the async server's coalescing window
+    /// drains into once per tick.
+    pub fn serve_coalesced_many(
+        &self,
+        groups: &[(Vec<String>, Request)],
+    ) -> Vec<Vec<Result<Response, EngineError>>> {
+        struct PreparedRelease {
+            group: usize,
+            kind: RequestKind,
+            entry: DatasetEntry,
+            epsilon: Epsilon,
+            sensitivity: f64,
+            rng: StdRng,
+        }
+        let mut out: Vec<Vec<Option<Result<Response, EngineError>>>> = groups
+            .iter()
+            .map(|(analysts, _)| (0..analysts.len()).map(|_| None).collect())
+            .collect();
+        let mut prepared: Vec<PreparedRelease> = Vec::new();
+
+        for (gi, (analysts, request)) in groups.iter().enumerate() {
+            // Resolve and validate once per group.
+            let resolved = (|| -> Result<(DatasetEntry, f64), EngineError> {
+                if matches!(request.kind, RequestKind::KMeans { .. }) {
+                    return Err(EngineError::InvalidRequest(
+                        "k-means requests are not coalescible; serve them individually".into(),
+                    ));
+                }
+                let policy_entry = self.policy_entry(&request.policy)?;
+                let entry = self.dataset_entry(&request.data)?;
+                self.validate(&request.kind, &policy_entry.policy, &entry)?;
+                let class = request
+                    .query_class()
+                    .expect("non-kmeans kinds always map to a query class");
+                let sensitivity = self.sensitivity_for(&policy_entry, &class)?;
+                Ok((entry, sensitivity))
+            })();
+            match resolved {
+                Err(e) => {
+                    for slot in &mut out[gi] {
+                        *slot = Some(Err(e.clone()));
+                    }
+                }
+                Ok((entry, sensitivity)) => {
+                    let label = if analysts.len() > 1 {
+                        format!("coalesced:{}x{}", analysts.len(), request.label())
+                    } else {
+                        request.label()
+                    };
+                    // Charge each waiter on their own ledger; a refusal
+                    // (or unknown analyst) fails only that slot.
+                    let mut any_charged = false;
+                    for (ai, analyst) in analysts.iter().enumerate() {
+                        let charged = self.session(analyst).and_then(|session| {
+                            session.lock().expect("session poisoned").charge(
+                                label.clone(),
+                                request.epsilon,
+                                sensitivity == 0.0,
+                            )
+                        });
+                        match charged {
+                            Ok(()) => any_charged = true, // slot stays None: filled by the release
+                            Err(e) => out[gi][ai] = Some(Err(e)),
+                        }
+                    }
+                    if any_charged {
+                        prepared.push(PreparedRelease {
+                            group: gi,
+                            kind: request.kind.clone(),
+                            entry,
+                            epsilon: request.epsilon,
+                            sensitivity,
+                            rng: self.release_rng(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // One release per prepared group, fanned across threads.
+        let answers = rayon::par_map(&prepared, |p| {
+            let mut rng = p.rng.clone();
+            self.execute_with_rng(&p.kind, &p.entry, p.epsilon, p.sensitivity, &mut rng)
+        });
+        for (p, answer) in prepared.iter().zip(answers) {
+            for slot in &mut out[p.group] {
+                if slot.is_none() {
+                    *slot = Some(answer.clone());
+                }
+            }
+        }
+        out.into_iter()
+            .map(|group| {
+                group
+                    .into_iter()
+                    .map(|slot| slot.expect("every slot filled"))
+                    .collect()
+            })
+            .collect()
     }
 
     fn validate(
@@ -569,10 +785,24 @@ impl Engine {
         sensitivity: f64,
     ) -> Result<Response, EngineError> {
         let mut rng = self.release_rng();
+        self.execute_with_rng(kind, entry, epsilon, sensitivity, &mut rng)
+    }
+
+    /// Runs the mechanism for one release with an externally assigned
+    /// generator, so callers that charge several releases sequentially
+    /// (for determinism) can still execute them in parallel.
+    fn execute_with_rng(
+        &self,
+        kind: &RequestKind,
+        entry: &DatasetEntry,
+        epsilon: Epsilon,
+        sensitivity: f64,
+        rng: &mut StdRng,
+    ) -> Result<Response, EngineError> {
         match kind {
             RequestKind::Histogram => {
                 let mech = HistogramMechanism::with_sensitivity(epsilon, sensitivity)?;
-                let noisy = mech.release_counts(entry.histogram.counts(), &mut rng);
+                let noisy = mech.release_counts(entry.histogram.counts(), &mut *rng);
                 Ok(Response::Histogram(noisy))
             }
             RequestKind::CumulativeHistogram => {
@@ -582,7 +812,7 @@ impl Engine {
                     constrained_inference: true,
                     nonnegative: false,
                 };
-                let release = mech.release(&entry.cumulative, &mut rng)?;
+                let release = mech.release(&entry.cumulative, &mut *rng)?;
                 Ok(Response::Prefixes(release.prefixes().to_vec()))
             }
             RequestKind::Range { lo, hi } => {
@@ -591,7 +821,7 @@ impl Engine {
                     .range_count(*lo, *hi)
                     .map_err(EngineError::Domain)?;
                 let mech = LaplaceMechanism::new(epsilon, sensitivity)?;
-                let noisy = mech.release(&[exact], &mut rng);
+                let noisy = mech.release(&[exact], &mut *rng);
                 Ok(Response::Scalar(noisy[0]))
             }
             RequestKind::Linear { weights } => {
@@ -601,12 +831,46 @@ impl Engine {
                     .map(|(w, c)| w * c)
                     .sum();
                 let mech = LaplaceMechanism::new(epsilon, sensitivity)?;
-                let noisy = mech.release(&[exact], &mut rng);
+                let noisy = mech.release(&[exact], &mut *rng);
                 Ok(Response::Scalar(noisy[0]))
             }
             RequestKind::KMeans { .. } => {
                 unreachable!("k-means is routed before execute()")
             }
         }
+    }
+}
+
+/// Derives a sound per-class sensitivity from the Theorem 8.2 histogram
+/// bound `B ≥ S(h, P)` of a constrained policy.
+///
+/// Every neighbor pair's histogram difference `d = h(D₁) − h(D₂)` has
+/// `‖d‖₁ ≤ B`, so:
+///
+/// * **histogram** (and any partition coarsening): `‖d‖₁ ≤ B`,
+/// * **range count** `q = Σ_{i∈R} dᵢ`: `|q| ≤ ‖d‖₁ ≤ B`,
+/// * **linear query** `f_w`: `|Σ wᵢ dᵢ| ≤ max|w| · ‖d‖₁ ≤ max|w| · B`.
+///
+/// The cumulative histogram has no comparably tight derivation (its L1
+/// norm sums `|T|` prefixes, inflating the bound by the domain size), and
+/// k-means sensitivities come from the physical-unit spec — both are
+/// refused so a constrained policy never releases with an unsound scale.
+fn constrained_sensitivity(bound: f64, class: &QueryClass) -> Result<f64, EngineError> {
+    match class {
+        QueryClass::Histogram | QueryClass::PartitionHistogram(_) | QueryClass::Range { .. } => {
+            Ok(bound)
+        }
+        QueryClass::Linear { weights } => {
+            let max_abs = weights.iter().fold(0.0f64, |m, w| m.max(w.abs()));
+            Ok(bound * max_abs)
+        }
+        QueryClass::CumulativeHistogram => Err(EngineError::InvalidRequest(
+            "cumulative releases are not calibrated for constrained policies (the policy-graph \
+             bound covers the histogram, not |T| prefixes); submit range requests instead"
+                .into(),
+        )),
+        QueryClass::KmeansSumCells => Err(EngineError::InvalidRequest(
+            "k-means queries are not servable under constrained policies".into(),
+        )),
     }
 }

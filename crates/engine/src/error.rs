@@ -1,5 +1,6 @@
 //! Error type for the serving engine.
 
+use bf_constraints::error::ConstraintError;
 use bf_core::CoreError;
 use bf_domain::DomainError;
 use std::fmt;
@@ -39,6 +40,9 @@ pub enum EngineError {
     Core(CoreError),
     /// An error from the domain layer.
     Domain(DomainError),
+    /// A constrained policy failed the Section 8 machinery at
+    /// registration (non-sparse constraints, over-budget edge scan).
+    Constraint(ConstraintError),
 }
 
 impl fmt::Display for EngineError {
@@ -61,6 +65,7 @@ impl fmt::Display for EngineError {
             EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             EngineError::Core(e) => write!(f, "core error: {e}"),
             EngineError::Domain(e) => write!(f, "domain error: {e}"),
+            EngineError::Constraint(e) => write!(f, "constraint error: {e}"),
         }
     }
 }
@@ -70,6 +75,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Core(e) => Some(e),
             EngineError::Domain(e) => Some(e),
+            EngineError::Constraint(e) => Some(e),
             _ => None,
         }
     }

@@ -31,17 +31,30 @@
 //!   are reproducible) and then execute their releases **in parallel**
 //!   across the available cores.
 //!
+//! * [`Engine::serve_coalesced_many`] answers **identical** requests
+//!   from *different* analysts out of one release: every waiter is
+//!   charged on their own ledger, then a single mechanism release fans
+//!   out to all of them. This is the entry point the `bf-server`
+//!   front-end's cross-session coalescing window drains into.
+//! * Policies **with constraints** register through the
+//!   `bf-constraints` policy graph: the Theorem 8.2 bound is computed
+//!   once at registration and calibrates histogram / range / linear
+//!   releases (cumulative and k-means are refused — no sound
+//!   constrained calibration exists for them).
+//!
 //! The engine is `Send + Sync`; wrap it in an `Arc` and serve from as
-//! many threads as you like. Each release derives its own noise
-//! generator from the engine seed and a release ordinal, so no lock is
-//! held while a mechanism runs and single-threaded serving is fully
-//! reproducible.
+//! many threads as you like. The four registries are 16-way sharded by
+//! key hash so serve-path lookups and registrations contend on
+//! different locks. Each release derives its own noise generator from
+//! the engine seed and a release ordinal, so no lock is held while a
+//! mechanism runs and single-threaded serving is fully reproducible.
 
 mod cache;
 mod engine;
 mod error;
 mod request;
 mod session;
+mod shard;
 
 pub use cache::{CacheStats, SensitivityCache};
 pub use engine::Engine;
@@ -322,18 +335,269 @@ mod tests {
         assert_eq!(engine.session_snapshot("alice").unwrap().spent(), 0.0);
     }
 
+    /// A Section-8-style constrained workload is servable: the marginal
+    /// constraints of Example 8.2 register through the policy-graph
+    /// bound and calibrate histogram / range / linear releases.
     #[test]
-    fn constrained_policies_are_refused_at_registration() {
+    fn constrained_policies_serve_through_the_policy_graph_bound() {
+        use bf_core::{CountConstraint, Predicate};
+        use bf_graph::SecretGraph;
+        let engine = Engine::with_seed(82);
+        let domain = Domain::from_cardinalities(&[2, 2, 3]).unwrap();
+        // The {A1, A2} marginal of Example 8.2: four published counts.
+        let constraints: Vec<CountConstraint> = (0..2u32)
+            .flat_map(|a1| (0..2u32).map(move |a2| (a1, a2)))
+            .map(|(a1, a2)| {
+                let d = domain.clone();
+                CountConstraint::new(
+                    Predicate::from_fn(12, move |x| {
+                        d.attribute_value(x, 0) == a1 && d.attribute_value(x, 1) == a2
+                    }),
+                    3,
+                )
+            })
+            .collect();
+        let policy =
+            Policy::with_constraints(domain.clone(), SecretGraph::Full, constraints).unwrap();
+        engine.register_policy("census", policy).unwrap();
+        let rows: Vec<usize> = (0..120).map(|i| i % 12).collect();
+        engine
+            .register_dataset("people", Dataset::from_rows(domain, rows).unwrap())
+            .unwrap();
+        engine.open_session("alice", eps(10.0)).unwrap();
+
+        let h = engine
+            .serve("alice", &Request::histogram("census", "people", eps(1.0)))
+            .unwrap();
+        assert_eq!(h.vector().unwrap().len(), 12);
+        let r = engine
+            .serve("alice", &Request::range("census", "people", eps(1.0), 2, 7))
+            .unwrap();
+        assert!(r.scalar().unwrap().is_finite());
+        let w: Vec<f64> = (0..12).map(|i| (i % 5) as f64).collect();
+        let l = engine
+            .serve("alice", &Request::linear("census", "people", eps(1.0), w))
+            .unwrap();
+        assert!(l.scalar().unwrap().is_finite());
+        // The cumulative release has no sound constrained calibration.
+        assert!(matches!(
+            engine.serve(
+                "alice",
+                &Request::cumulative_histogram("census", "people", eps(1.0))
+            ),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        // All three served releases charged the ledger.
+        let snap = engine.session_snapshot("alice").unwrap();
+        assert_eq!(snap.served(), 3);
+        assert!((snap.spent() - 3.0).abs() < 1e-12);
+    }
+
+    /// Non-sparse constraint sets are still refused — now with the typed
+    /// constraint error from the Section 8 machinery.
+    #[test]
+    fn non_sparse_constrained_policies_are_refused() {
         use bf_core::{CountConstraint, Predicate};
         use bf_graph::SecretGraph;
         let engine = Engine::new();
         let d = Domain::line(4).unwrap();
-        let c = CountConstraint::new(Predicate::of_values(4, &[0]), 1);
-        let p = Policy::with_constraints(d, SecretGraph::Full, vec![c]).unwrap();
+        // Overlapping predicates: one edge lifts two queries at once.
+        let c1 = CountConstraint::new(Predicate::of_values(4, &[0, 1]), 1);
+        let c2 = CountConstraint::new(Predicate::of_values(4, &[0, 1, 2]), 2);
+        let p = Policy::with_constraints(d, SecretGraph::Full, vec![c1, c2]).unwrap();
         assert!(matches!(
             engine.register_policy("q", p),
-            Err(EngineError::InvalidRequest(_))
+            Err(EngineError::Constraint(_))
         ));
+    }
+
+    /// Constrained ranges skip the shared-release grouping and are still
+    /// answered (individually Laplace-calibrated) by serve_batch.
+    #[test]
+    fn constrained_ranges_fall_through_batch_grouping() {
+        use bf_core::{CountConstraint, Predicate};
+        use bf_graph::SecretGraph;
+        let engine = Engine::with_seed(9);
+        let d = Domain::line(8).unwrap();
+        let c = CountConstraint::new(Predicate::of_values(8, &[0, 1, 2, 3]), 2);
+        let p = Policy::with_constraints(d.clone(), SecretGraph::Full, vec![c]).unwrap();
+        engine.register_policy("pol", p).unwrap();
+        engine
+            .register_dataset("ds", Dataset::from_rows(d, vec![0, 1, 5, 6]).unwrap())
+            .unwrap();
+        engine.open_session("alice", eps(10.0)).unwrap();
+        let reqs: Vec<Request> = (0..3)
+            .map(|i| Request::range("pol", "ds", eps(0.5), i, i + 2))
+            .collect();
+        let out = engine.serve_batch("alice", &reqs);
+        assert!(out.iter().all(|r| r.is_ok()));
+        // Three individual spends, not one group spend.
+        let snap = engine.session_snapshot("alice").unwrap();
+        assert!((snap.spent() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalesced_serving_shares_one_release_across_analysts() {
+        let engine = engine_with_line_policy(64, 2);
+        let analysts: Vec<String> = (0..5).map(|i| format!("analyst-{i}")).collect();
+        for a in &analysts {
+            engine.open_session(a, eps(1.0)).unwrap();
+        }
+        let req = Request::range("pol", "ds", eps(0.3), 10, 30);
+        let out = engine.serve_coalesced(&analysts, &req);
+        assert_eq!(out.len(), 5);
+        let answers: Vec<f64> = out
+            .iter()
+            .map(|r| r.as_ref().unwrap().scalar().unwrap())
+            .collect();
+        // One release fanned out: everyone sees the same noisy answer.
+        assert!(answers.windows(2).all(|w| w[0] == w[1]));
+        // … but everyone paid on their own ledger.
+        for a in &analysts {
+            let snap = engine.session_snapshot(a).unwrap();
+            assert!((snap.spent() - 0.3).abs() < 1e-12);
+            assert_eq!(snap.served(), 1);
+            assert!(snap.ledger()[0].0.starts_with("coalesced:5x"));
+        }
+    }
+
+    #[test]
+    fn coalesced_refusal_fails_only_the_broke_analyst() {
+        let engine = engine_with_line_policy(64, 2);
+        engine.open_session("rich", eps(5.0)).unwrap();
+        engine.open_session("broke", eps(0.1)).unwrap();
+        let req = Request::range("pol", "ds", eps(0.5), 0, 10);
+        let out = engine.serve_coalesced(&["rich".into(), "broke".into(), "ghost".into()], &req);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(EngineError::BudgetRefused { .. })));
+        assert!(matches!(out[2], Err(EngineError::UnknownAnalyst(_))));
+        assert_eq!(engine.session_snapshot("broke").unwrap().spent(), 0.0);
+    }
+
+    /// A single-analyst coalesced serve is byte-identical to `serve` on a
+    /// same-seed engine: same charge, same release ordinal, same noise.
+    #[test]
+    fn coalesced_singleton_matches_sequential_serve() {
+        let req = Request::range("pol", "ds", eps(0.4), 3, 40);
+        let a = {
+            let engine = engine_with_line_policy(64, 3);
+            engine.open_session("alice", eps(1.0)).unwrap();
+            engine.serve("alice", &req).unwrap().scalar().unwrap()
+        };
+        let b = {
+            let engine = engine_with_line_policy(64, 3);
+            engine.open_session("alice", eps(1.0)).unwrap();
+            engine.serve_coalesced(&["alice".into()], &req)[0]
+                .as_ref()
+                .unwrap()
+                .scalar()
+                .unwrap()
+        };
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    /// An all-refused group performs no release and consumes no release
+    /// ordinal: the next request matches a fresh engine's first.
+    #[test]
+    fn all_refused_coalesced_group_consumes_no_ordinal() {
+        let probe = Request::range("pol", "ds", eps(0.2), 5, 25);
+        let with_refusal = {
+            let engine = engine_with_line_policy(64, 2);
+            engine.open_session("broke", eps(0.01)).unwrap();
+            engine.open_session("alice", eps(1.0)).unwrap();
+            let out = engine.serve_coalesced(&["broke".into()], &probe);
+            assert!(matches!(out[0], Err(EngineError::BudgetRefused { .. })));
+            engine.serve("alice", &probe).unwrap().scalar().unwrap()
+        };
+        let fresh = {
+            let engine = engine_with_line_policy(64, 2);
+            engine.open_session("alice", eps(1.0)).unwrap();
+            engine.serve("alice", &probe).unwrap().scalar().unwrap()
+        };
+        assert_eq!(with_refusal.to_bits(), fresh.to_bits());
+    }
+
+    /// Two constrained policies with the same graph/domain but different
+    /// constraint sets can carry different Theorem 8.2 bounds — their
+    /// requests must never coalesce into one release, or one analyst
+    /// would receive noise calibrated for the other's policy.
+    #[test]
+    fn constrained_policies_with_different_constraints_never_coalesce() {
+        use bf_core::{CountConstraint, Predicate};
+        use bf_graph::SecretGraph;
+        let engine = Engine::with_seed(4);
+        let d = Domain::line(8).unwrap();
+        let narrow = Policy::with_constraints(
+            d.clone(),
+            SecretGraph::Full,
+            vec![CountConstraint::new(Predicate::of_values(8, &[0]), 1)],
+        )
+        .unwrap();
+        let wide = Policy::with_constraints(
+            d.clone(),
+            SecretGraph::Full,
+            vec![CountConstraint::new(
+                Predicate::of_values(8, &[0, 1, 2, 3]),
+                2,
+            )],
+        )
+        .unwrap();
+        engine.register_policy("narrow", narrow).unwrap();
+        engine.register_policy("wide", wide).unwrap();
+        engine
+            .register_dataset("ds", Dataset::from_rows(d, vec![0, 2, 5]).unwrap())
+            .unwrap();
+        let ka = engine
+            .coalesce_key(&Request::range("narrow", "ds", eps(0.5), 1, 6))
+            .unwrap()
+            .unwrap();
+        let kb = engine
+            .coalesce_key(&Request::range("wide", "ds", eps(0.5), 1, 6))
+            .unwrap()
+            .unwrap();
+        assert_ne!(ka, kb, "different constraint sets must key apart");
+    }
+
+    #[test]
+    fn coalesce_keys_group_identical_requests_only() {
+        let engine = engine_with_line_policy(32, 1);
+        let k1 = engine
+            .coalesce_key(&Request::range("pol", "ds", eps(0.5), 1, 9))
+            .unwrap()
+            .unwrap();
+        let k2 = engine
+            .coalesce_key(&Request::range("pol", "ds", eps(0.5), 1, 9))
+            .unwrap()
+            .unwrap();
+        let other_range = engine
+            .coalesce_key(&Request::range("pol", "ds", eps(0.5), 1, 10))
+            .unwrap()
+            .unwrap();
+        let other_eps = engine
+            .coalesce_key(&Request::range("pol", "ds", eps(0.6), 1, 9))
+            .unwrap()
+            .unwrap();
+        assert_eq!(k1, k2);
+        assert_ne!(k1, other_range);
+        assert_ne!(k1, other_eps);
+        assert!(matches!(
+            engine.coalesce_key(&Request::histogram("nope", "ds", eps(0.1))),
+            Err(EngineError::UnknownPolicy(_))
+        ));
+        use bf_mechanisms::kmeans::KmeansSecretSpec;
+        assert_eq!(
+            engine
+                .coalesce_key(&Request::kmeans(
+                    "pol",
+                    "pts",
+                    eps(0.1),
+                    2,
+                    3,
+                    KmeansSecretSpec::Full
+                ))
+                .unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Parallel edge reductions over the per-vertex secret-graph families.
+//!
+//! The `G^attr` and `G^{L1,θ}` enumerations generate every edge from its
+//! smaller endpoint, so the vertex range `0..|T|` shards the edge set
+//! exactly: disjoint vertex chunks enumerate disjoint edges and together
+//! cover `E` once. That makes the max-reductions behind the sensitivity
+//! closed forms (`max_{(x,y)∈E} g(x, y)`) embarrassingly parallel — each
+//! worker folds its chunk, then the partial maxima fold once more.
+//!
+//! Small domains stay on the sequential path: below
+//! [`PAR_VERTEX_THRESHOLD`] vertices the whole enumeration is cheaper
+//! than spawning workers. The other graph families (full, partition,
+//! custom) are not per-vertex shardable and always run sequentially —
+//! `G^full` consumers should prefer their `O(|T|)` closed forms anyway.
+
+use crate::secret::SecretGraph;
+use bf_domain::Domain;
+use std::ops::ControlFlow;
+
+/// Domains smaller than this run the sequential reduction even when
+/// workers are available: thread spawn cost (~10 µs each) dwarfs the
+/// enumeration below it.
+pub const PAR_VERTEX_THRESHOLD: usize = 1 << 15;
+
+impl SecretGraph {
+    /// `max_{(x,y)∈E} g(x, y)` (0.0 for an edgeless graph), computed in
+    /// parallel for `G^attr` / `G^{L1,θ}` on domains of at least
+    /// [`PAR_VERTEX_THRESHOLD`] vertices, sequentially otherwise.
+    pub fn par_max_over_edges<G>(&self, domain: &Domain, g: G) -> f64
+    where
+        G: Fn(usize, usize) -> f64 + Sync,
+    {
+        self.par_max_over_edges_with(
+            domain,
+            PAR_VERTEX_THRESHOLD,
+            rayon::current_num_threads(),
+            g,
+        )
+    }
+
+    /// [`SecretGraph::par_max_over_edges`] with an explicit parallelism
+    /// threshold and worker count, exposed so tests (and single-core CI
+    /// hosts) can force the chunked path deterministically: pass
+    /// `min_parallel = 1` and `workers > 1` to shard even tiny domains.
+    pub fn par_max_over_edges_with<G>(
+        &self,
+        domain: &Domain,
+        min_parallel: usize,
+        workers: usize,
+        g: G,
+    ) -> f64
+    where
+        G: Fn(usize, usize) -> f64 + Sync,
+    {
+        let n = domain.size();
+        let shardable = matches!(
+            self,
+            SecretGraph::Attribute | SecretGraph::L1Threshold { .. }
+        );
+        if !shardable || workers <= 1 || n < min_parallel {
+            let mut best: f64 = 0.0;
+            self.for_each_edge(domain, |x, y| best = best.max(g(x, y)));
+            return best;
+        }
+        // More chunks than workers so uneven per-vertex degrees (e.g.
+        // L1-ball truncation at the domain boundary) still balance
+        // through par_map's atomic work cursor.
+        let chunks = (workers * 4).min(n);
+        let per = n.div_ceil(chunks);
+        let ranges: Vec<(usize, usize)> = (0..chunks)
+            .map(|i| (i * per, ((i + 1) * per).min(n)))
+            .filter(|&(lo, hi)| lo < hi)
+            .collect();
+        let partials = rayon::par_map_with_workers(&ranges, workers, |&(lo, hi)| {
+            let mut best: f64 = 0.0;
+            let _ = self.try_for_each_edge_from::<std::convert::Infallible, _>(
+                domain,
+                lo..hi,
+                &mut |x, y| {
+                    best = best.max(g(x, y));
+                    ControlFlow::Continue(())
+                },
+            );
+            best
+        });
+        partials.into_iter().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf_domain::Partition;
+    use proptest::prelude::*;
+
+    fn sequential_max(
+        graph: &SecretGraph,
+        domain: &Domain,
+        g: impl Fn(usize, usize) -> f64,
+    ) -> f64 {
+        let mut best: f64 = 0.0;
+        graph.for_each_edge(domain, |x, y| best = best.max(g(x, y)));
+        best
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential_on_forced_small_domains() {
+        // min_parallel = 1 forces the chunked path even on tiny domains,
+        // so this exercises chunk boundaries, not just the fallback.
+        let weights = |x: usize, y: usize| ((x * 31 + y * 17) % 101) as f64;
+        for cards in [vec![64], vec![8, 9], vec![3, 5, 7]] {
+            let domain = Domain::from_cardinalities(&cards).unwrap();
+            for graph in [
+                SecretGraph::Attribute,
+                SecretGraph::L1Threshold { theta: 1 },
+                SecretGraph::L1Threshold { theta: 3 },
+            ] {
+                assert_eq!(
+                    graph.par_max_over_edges_with(&domain, 1, 4, weights),
+                    sequential_max(&graph, &domain, weights),
+                    "{} on {cards:?}",
+                    graph.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_shardable_variants_fall_back_sequentially() {
+        let domain = Domain::line(32).unwrap();
+        let g = |x: usize, y: usize| (x + y) as f64;
+        for graph in [
+            SecretGraph::Full,
+            SecretGraph::Partition(Partition::intervals(32, 5)),
+        ] {
+            assert_eq!(
+                graph.par_max_over_edges_with(&domain, 1, 4, g),
+                sequential_max(&graph, &domain, g)
+            );
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_reduces_to_zero() {
+        let domain = Domain::line(1).unwrap();
+        assert_eq!(
+            SecretGraph::L1Threshold { theta: 2 }
+                .par_max_over_edges_with(&domain, 1, 4, |_, _| 99.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn large_domain_takes_parallel_path_and_agrees() {
+        let n = PAR_VERTEX_THRESHOLD;
+        let domain = Domain::line(n).unwrap();
+        let graph = SecretGraph::L1Threshold { theta: 4 };
+        let w: Vec<f64> = (0..n).map(|i| ((i * 131) % 251) as f64).collect();
+        let g = |x: usize, y: usize| (w[x] - w[y]).abs();
+        assert_eq!(
+            graph.par_max_over_edges(&domain, g),
+            sequential_max(&graph, &domain, g)
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Chunked parallel reduction equals the sequential fold on
+        /// random multi-attribute domains for every shardable family.
+        #[test]
+        fn par_reduction_matches_sequential(
+            cards in proptest::collection::vec(1usize..6, 1..4),
+            theta in 1u64..5,
+            seed in 0u64..1000,
+        ) {
+            let domain = Domain::from_cardinalities(&cards).unwrap();
+            let g = move |x: usize, y: usize| {
+                (((x as u64 + 3) * (y as u64 + 7) + seed) % 97) as f64
+            };
+            for graph in [SecretGraph::Attribute, SecretGraph::L1Threshold { theta }] {
+                prop_assert_eq!(
+                    graph.par_max_over_edges_with(&domain, 1, 4, g),
+                    sequential_max(&graph, &domain, g),
+                    "{}", graph.label()
+                );
+            }
+        }
+    }
+}

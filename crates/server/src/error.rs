@@ -1,0 +1,96 @@
+//! Typed errors for the serving front-end.
+
+use bf_engine::EngineError;
+use std::fmt;
+
+/// Errors a submission or a served ticket can come back with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// Backpressure: the analyst's submission queue is at capacity. The
+    /// request was **not** enqueued; resubmit after draining tickets.
+    QueueFull {
+        /// The analyst whose queue is full.
+        analyst: String,
+        /// Configured per-analyst capacity.
+        capacity: usize,
+    },
+    /// Admission control: the analyst's remaining ε cannot cover the
+    /// request, so it was refused at the door instead of occupying queue
+    /// space only to be refused at charge time.
+    BudgetExhausted {
+        /// The analyst whose ledger is short.
+        analyst: String,
+        /// ε the request asked for.
+        requested: f64,
+        /// ε remaining in the ledger at submission time.
+        remaining: f64,
+    },
+    /// The server shut down before the request was answered.
+    ShutDown,
+    /// The engine refused or failed the request at serve time (unknown
+    /// names, malformed queries, a ledger that emptied between admission
+    /// and charge, …).
+    Engine(EngineError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::QueueFull { analyst, capacity } => {
+                write!(f, "queue full for {analyst:?} (capacity {capacity})")
+            }
+            ServerError::BudgetExhausted {
+                analyst,
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "admission refused for {analyst:?}: requested ε={requested}, remaining ε={remaining}"
+            ),
+            ServerError::ShutDown => write!(f, "server shut down before answering"),
+            ServerError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServerError {
+    fn from(e: EngineError) -> Self {
+        ServerError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = ServerError::QueueFull {
+            analyst: "alice".into(),
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("alice"));
+        assert!(e.to_string().contains("64"));
+        let b = ServerError::BudgetExhausted {
+            analyst: "bob".into(),
+            requested: 0.5,
+            remaining: 0.25,
+        };
+        assert!(b.to_string().contains("0.25"));
+        let eng: ServerError = EngineError::UnknownPolicy("p".into()).into();
+        assert!(std::error::Error::source(&eng).is_some());
+        assert_eq!(
+            ServerError::ShutDown.to_string(),
+            "server shut down before answering"
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! # bf-server — the asynchronous Blowfish serving front-end
+//!
+//! `bf-engine` answers one call at a time; this crate puts a traffic
+//! layer in front of it so one process can absorb heavy multi-analyst
+//! load:
+//!
+//! ```text
+//!            ┌────────────────────────── Server ─────────────────────────┐
+//!  analyst ──┤ submit ─► per-analyst queue ─┐                            │
+//!  analyst ──┤ submit ─► per-analyst queue ─┼─ DRR drain ─► coalescing ──┼─► Engine
+//!  analyst ──┤ submit ─► per-analyst queue ─┘   (fair)       window      │   (1 release,
+//!            └───────────────────────────────────────────────────────────┘    N tickets)
+//! ```
+//!
+//! * **Submission is asynchronous.** [`Server::submit`] enqueues and
+//!   returns a [`Ticket`] — a `Future` for the answer. Await tickets on
+//!   the vendored `futures_lite::Executor`, poll them with
+//!   [`Ticket::try_take`], or block with [`Ticket::wait`].
+//! * **Scheduling is fair.** Queues drain under weighted
+//!   deficit-round-robin: a flooding analyst saturates *their own*
+//!   bounded queue (and gets [`ServerError::QueueFull`] backpressure)
+//!   while every other analyst keeps draining `weight × quantum`
+//!   requests per tick.
+//! * **Identical work coalesces across sessions.** Requests with equal
+//!   `(policy cache key, dataset, ε, query class)` arriving within the
+//!   coalescing window — from *different* analysts — are served from
+//!   **one** engine release fanned out to every waiter, each waiter
+//!   still charged the full ε on their own ledger. Under homogeneous
+//!   traffic the engine performs far fewer releases than it answers
+//!   requests ([`ServerStats::amplification`]).
+//! * **Admission control is typed.** Full queues and exhausted budgets
+//!   refuse at the door with [`ServerError`]s instead of occupying
+//!   scheduler state.
+//!
+//! Determinism: queues drain in analyst-name order, groups dispatch in
+//! creation order, and the engine assigns release ordinals sequentially
+//! at charge time — so a same-seed engine behind a same-order submission
+//! stream produces byte-identical answers, scheduler threads or not.
+
+mod error;
+mod scheduler;
+mod server;
+mod ticket;
+
+pub use error::ServerError;
+pub use server::{DriverHandle, Server, ServerConfig, ServerStats};
+pub use ticket::Ticket;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf_core::{Epsilon, Policy};
+    use bf_domain::{Dataset, Domain};
+    use bf_engine::{Engine, EngineError, Request, Response};
+    use std::sync::Arc;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn engine(seed: u64) -> Arc<Engine> {
+        let engine = Engine::with_seed(seed);
+        let domain = Domain::line(64).unwrap();
+        engine
+            .register_policy("pol", Policy::distance_threshold(domain.clone(), 2))
+            .unwrap();
+        let rows: Vec<usize> = (0..640).map(|i| (i * 7) % 64).collect();
+        engine
+            .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+            .unwrap();
+        Arc::new(engine)
+    }
+
+    #[test]
+    fn coalesces_identical_requests_into_one_release() {
+        let engine = engine(1);
+        for i in 0..4 {
+            engine.open_session(format!("a{i}"), eps(1.0)).unwrap();
+        }
+        let server = Server::with_defaults(Arc::clone(&engine));
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| {
+                server
+                    .submit(
+                        &format!("a{i}"),
+                        Request::range("pol", "ds", eps(0.5), 8, 24),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        server.pump_until_idle();
+        let answers: Vec<f64> = tickets
+            .into_iter()
+            .map(|t| t.wait().unwrap().scalar().unwrap())
+            .collect();
+        assert!(answers.windows(2).all(|w| w[0] == w[1]), "shared release");
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.answered, 4);
+        assert_eq!(stats.releases, 1, "4 requests, 1 release");
+        assert_eq!(stats.coalesced_answers, 4);
+        assert!((stats.amplification() - 4.0).abs() < 1e-12);
+        // Each analyst charged once, on their own ledger.
+        for i in 0..4 {
+            let snap = engine.session_snapshot(&format!("a{i}")).unwrap();
+            assert!((snap.spent() - 0.5).abs() < 1e-12);
+            assert_eq!(snap.served(), 1);
+        }
+    }
+
+    #[test]
+    fn distinct_requests_do_not_coalesce() {
+        let engine = engine(2);
+        engine.open_session("a", eps(2.0)).unwrap();
+        engine.open_session("b", eps(2.0)).unwrap();
+        let server = Server::with_defaults(Arc::clone(&engine));
+        let t1 = server
+            .submit("a", Request::range("pol", "ds", eps(0.5), 0, 10))
+            .unwrap();
+        let t2 = server
+            .submit("b", Request::range("pol", "ds", eps(0.5), 0, 11))
+            .unwrap();
+        server.pump_until_idle();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        assert_eq!(server.stats().releases, 2);
+        assert_eq!(server.stats().coalesced_answers, 0);
+    }
+
+    #[test]
+    fn queue_full_backpressure() {
+        let engine = engine(3);
+        engine.open_session("a", eps(1e6)).unwrap();
+        let server = Server::new(
+            Arc::clone(&engine),
+            ServerConfig {
+                queue_capacity: 4,
+                ..ServerConfig::default()
+            },
+        );
+        let mut ok = 0;
+        let mut full = 0;
+        let mut tickets = Vec::new();
+        for i in 0..10 {
+            match server.submit("a", Request::range("pol", "ds", eps(0.001), i, i + 5)) {
+                Ok(t) => {
+                    ok += 1;
+                    tickets.push(t);
+                }
+                Err(ServerError::QueueFull { capacity, .. }) => {
+                    assert_eq!(capacity, 4);
+                    full += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(ok, 4);
+        assert_eq!(full, 6);
+        assert_eq!(server.stats().refused_queue_full, 6);
+        server.pump_until_idle();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn admission_refuses_over_budget_requests() {
+        let engine = engine(4);
+        engine.open_session("a", eps(0.3)).unwrap();
+        let server = Server::with_defaults(Arc::clone(&engine));
+        let err = server
+            .submit("a", Request::range("pol", "ds", eps(0.5), 0, 5))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::BudgetExhausted { requested, remaining, .. }
+                if (requested - 0.5).abs() < 1e-12 && (remaining - 0.3).abs() < 1e-12
+        ));
+        assert_eq!(server.stats().refused_admission, 1);
+        // Unknown analysts refuse at submit too.
+        assert!(matches!(
+            server.submit("ghost", Request::range("pol", "ds", eps(0.1), 0, 5)),
+            Err(ServerError::Engine(EngineError::UnknownAnalyst(_)))
+        ));
+    }
+
+    #[test]
+    fn unknown_policy_fails_the_ticket_not_the_server() {
+        let engine = engine(5);
+        engine.open_session("a", eps(1.0)).unwrap();
+        let server = Server::with_defaults(Arc::clone(&engine));
+        let t = server
+            .submit("a", Request::range("nope", "ds", eps(0.1), 0, 5))
+            .unwrap();
+        server.pump_until_idle();
+        assert!(matches!(
+            t.wait(),
+            Err(ServerError::Engine(EngineError::UnknownPolicy(_)))
+        ));
+        assert_eq!(server.stats().failed, 1);
+    }
+
+    #[test]
+    fn dropped_server_resolves_tickets_as_shutdown() {
+        let engine = engine(6);
+        engine.open_session("a", eps(1.0)).unwrap();
+        let server = Server::with_defaults(engine);
+        let t = server
+            .submit("a", Request::range("pol", "ds", eps(0.1), 0, 5))
+            .unwrap();
+        drop(server); // never ticked
+        assert_eq!(t.wait().unwrap_err(), ServerError::ShutDown);
+    }
+
+    #[test]
+    fn background_driver_answers_without_manual_ticks() {
+        let engine = engine(7);
+        engine.open_session("a", eps(1.0)).unwrap();
+        let server = Arc::new(Server::with_defaults(engine));
+        let driver = server.start_driver(std::time::Duration::from_millis(1));
+        let t = server
+            .submit("a", Request::histogram("pol", "ds", eps(0.2)))
+            .unwrap();
+        let answer = t.wait().unwrap();
+        assert!(matches!(answer, Response::Histogram(_)));
+        driver.stop();
+    }
+
+    #[test]
+    fn zero_quantum_is_clamped_and_pump_terminates() {
+        let engine = engine(9);
+        engine.open_session("a", eps(1.0)).unwrap();
+        let server = Server::new(
+            Arc::clone(&engine),
+            ServerConfig {
+                quantum: 0, // would drain nothing per tick unclamped
+                coalesce_window: 0,
+                ..ServerConfig::default()
+            },
+        );
+        assert_eq!(server.config().quantum, 1);
+        let t = server
+            .submit("a", Request::range("pol", "ds", eps(0.1), 0, 9))
+            .unwrap();
+        server.pump_until_idle(); // must terminate
+        assert!(t.wait().is_ok());
+    }
+
+    #[test]
+    fn weighted_analysts_drain_proportionally() {
+        let engine = engine(8);
+        engine.open_session("heavy", eps(1e6)).unwrap();
+        engine.open_session("light", eps(1e6)).unwrap();
+        let server = Server::new(
+            Arc::clone(&engine),
+            ServerConfig {
+                quantum: 1,
+                coalesce_window: 0,
+                queue_capacity: 1024,
+                ..ServerConfig::default()
+            },
+        );
+        server.set_weight("heavy", 3);
+        // Distinct ranges per analyst & index: nothing coalesces.
+        let mut heavy = Vec::new();
+        let mut light = Vec::new();
+        for i in 0..30 {
+            heavy.push(
+                server
+                    .submit("heavy", Request::range("pol", "ds", eps(0.001), i, i + 3))
+                    .unwrap(),
+            );
+            light.push(
+                server
+                    .submit("light", Request::range("pol", "ds", eps(0.001), i, i + 17))
+                    .unwrap(),
+            );
+        }
+        // After 5 ticks: heavy drained 15 (3/tick), light 5 (1/tick).
+        for _ in 0..5 {
+            server.tick();
+        }
+        let heavy_done = heavy.iter().filter(|t| t.try_take().is_some()).count();
+        let light_done = light.iter().filter(|t| t.try_take().is_some()).count();
+        assert_eq!(heavy_done, 15);
+        assert_eq!(light_done, 5);
+        server.pump_until_idle();
+    }
+}

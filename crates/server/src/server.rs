@@ -1,0 +1,377 @@
+//! The server: submission, admission control, the tick loop, dispatch.
+
+use crate::error::ServerError;
+use crate::scheduler::{SchedState, Submitted};
+use crate::ticket::Ticket;
+use bf_engine::{Engine, Request};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tuning knobs for the front-end.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-analyst submission-queue bound; a full queue refuses with
+    /// [`ServerError::QueueFull`] (backpressure).
+    pub queue_capacity: usize,
+    /// Ticks a freshly formed coalescing group waits for identical
+    /// requests from other sessions before dispatching. `0` dispatches
+    /// the same tick (coalescing only among same-tick arrivals).
+    pub coalesce_window: u64,
+    /// Requests per unit of analyst weight drained per tick (the DRR
+    /// quantum).
+    pub quantum: u32,
+    /// Refuse at submission when the request's ε exceeds the analyst's
+    /// remaining budget ([`ServerError::BudgetExhausted`]). The charge
+    /// is still re-validated at serve time; this just keeps doomed
+    /// requests out of the queues. Disable to let zero-sensitivity
+    /// (free) requests through an exhausted ledger.
+    pub admission_control: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 128,
+            coalesce_window: 2,
+            quantum: 8,
+            admission_control: true,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    answered: AtomicU64,
+    failed: AtomicU64,
+    refused_queue_full: AtomicU64,
+    refused_admission: AtomicU64,
+    releases: AtomicU64,
+    coalesced_answers: AtomicU64,
+    ticks: AtomicU64,
+}
+
+/// A point-in-time snapshot of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Tickets issued (accepted submissions).
+    pub submitted: u64,
+    /// Tickets resolved with an answer.
+    pub answered: u64,
+    /// Tickets resolved with an error after acceptance.
+    pub failed: u64,
+    /// Submissions refused for a full queue.
+    pub refused_queue_full: u64,
+    /// Submissions refused by admission control.
+    pub refused_admission: u64,
+    /// Mechanism releases the engine performed on the server's behalf.
+    pub releases: u64,
+    /// Answers delivered from a release shared by ≥ 2 waiters.
+    pub coalesced_answers: u64,
+    /// Scheduler ticks run.
+    pub ticks: u64,
+}
+
+impl ServerStats {
+    /// Answers per release — the one-release-many-answers amplification
+    /// (1.0 with no coalescing; 0.0 before any release).
+    pub fn amplification(&self) -> f64 {
+        if self.releases == 0 {
+            0.0
+        } else {
+            self.answered as f64 / self.releases as f64
+        }
+    }
+}
+
+/// The asynchronous request-serving front-end over an [`Engine`].
+///
+/// ```text
+///  submit() ──► per-analyst queues ──► DRR drain ──► coalescing window ──► engine releases ──► tickets
+/// ```
+///
+/// Submissions return immediately with a [`Ticket`] future; a scheduler
+/// *tick* (driven manually via [`Server::tick`] /
+/// [`Server::pump_until_idle`], or by a background thread from
+/// [`Server::start_driver`]) drains the queues fairly and dispatches
+/// coalesced groups to the engine. See the crate docs for the full
+/// request lifecycle.
+pub struct Server {
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    state: Mutex<SchedState>,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// A server over `engine` with the given configuration. A zero
+    /// quantum is clamped to 1 — it would drain nothing per tick and
+    /// hang `pump_until_idle` forever.
+    pub fn new(engine: Arc<Engine>, mut config: ServerConfig) -> Self {
+        config.quantum = config.quantum.max(1);
+        Self {
+            engine,
+            config,
+            state: Mutex::new(SchedState::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// A server with the default configuration.
+    pub fn with_defaults(engine: Arc<Engine>) -> Self {
+        Self::new(engine, ServerConfig::default())
+    }
+
+    /// The engine behind the server.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The configuration the server runs with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Sets an analyst's DRR weight (default 1, minimum 1): an analyst
+    /// with weight `w` drains `w × quantum` requests per tick when
+    /// backlogged.
+    pub fn set_weight(&self, analyst: &str, weight: u32) {
+        let mut state = self.state.lock().expect("scheduler state poisoned");
+        state
+            .queues
+            .entry(analyst.to_owned())
+            .or_insert_with(|| crate::scheduler::AnalystQueue::new(1))
+            .weight = weight.max(1);
+    }
+
+    /// Submits a request on behalf of an analyst, returning the answer
+    /// [`Ticket`] immediately.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServerError::Engine`] (`UnknownAnalyst`) without an open
+    ///   engine session,
+    /// * [`ServerError::BudgetExhausted`] when admission control is on
+    ///   and the request's ε exceeds the remaining budget,
+    /// * [`ServerError::QueueFull`] when the analyst's queue is at
+    ///   capacity (backpressure — drain some tickets first).
+    pub fn submit(&self, analyst: &str, request: Request) -> Result<Ticket, ServerError> {
+        let remaining = self
+            .engine
+            .session_remaining(analyst)
+            .map_err(ServerError::Engine)?;
+        if self.config.admission_control && request.epsilon.value() > remaining {
+            self.counters
+                .refused_admission
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::BudgetExhausted {
+                analyst: analyst.to_owned(),
+                requested: request.epsilon.value(),
+                remaining,
+            });
+        }
+        let mut state = self.state.lock().expect("scheduler state poisoned");
+        let queue = state
+            .queues
+            .entry(analyst.to_owned())
+            .or_insert_with(|| crate::scheduler::AnalystQueue::new(1));
+        if queue.queue.len() >= self.config.queue_capacity {
+            self.counters
+                .refused_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::QueueFull {
+                analyst: analyst.to_owned(),
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let (sub, ticket) = Submitted::new(analyst, request);
+        queue.queue.push_back(sub);
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(ticket)
+    }
+
+    /// Runs one scheduler tick: drain every backlogged analyst's fair
+    /// share, fold the drained requests into coalescing groups, dispatch
+    /// every group whose window elapsed, and resolve the answered
+    /// tickets. Returns the number of tickets resolved this tick.
+    ///
+    /// Ticks are serialized by the state lock; calling this from several
+    /// threads is safe but pointless — use one driver.
+    pub fn tick(&self) -> usize {
+        // Phase 1 (under the state lock): advance time, drain fairly,
+        // route into groups, pull out whatever is due. Engine lookups
+        // (coalesce keys) touch only engine-internal locks.
+        let (due, immediate, dead_letters) = {
+            let mut state = self.state.lock().expect("scheduler state poisoned");
+            state.tick += 1;
+            let now = state.tick;
+            let drained = state.drain_round(self.config.quantum);
+            let mut immediate = Vec::new();
+            let mut dead_letters = Vec::new();
+            for sub in drained {
+                match self.engine.coalesce_key(&sub.request) {
+                    // Not coalescible (k-means): serve individually.
+                    Ok(None) => immediate.push(sub),
+                    Ok(Some(key)) => {
+                        let deadline = now + self.config.coalesce_window;
+                        state.join_group(key, sub, deadline);
+                    }
+                    // Unknown policy: the ticket fails without queueing.
+                    Err(e) => dead_letters.push((sub.tx, ServerError::Engine(e))),
+                }
+            }
+            (state.take_due(now), immediate, dead_letters)
+        };
+        self.counters.ticks.fetch_add(1, Ordering::Relaxed);
+
+        // Phase 2 (no server lock): talk to the engine and resolve
+        // tickets. Group charges happen sequentially inside the engine
+        // (deterministic ordinals); releases fan out across cores.
+        let mut resolved = 0usize;
+        for (tx, e) in dead_letters {
+            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(Err(e));
+            resolved += 1;
+        }
+        if !due.is_empty() {
+            let groups: Vec<(Vec<String>, Request)> = due
+                .iter()
+                .map(|g| {
+                    (
+                        g.waiters.iter().map(|(a, _)| a.clone()).collect(),
+                        g.request.clone(),
+                    )
+                })
+                .collect();
+            let results = self.engine.serve_coalesced_many(&groups);
+            for (group, slots) in due.into_iter().zip(results) {
+                let shared = group.waiters.len() >= 2;
+                if slots.iter().any(|s| s.is_ok()) {
+                    self.counters.releases.fetch_add(1, Ordering::Relaxed);
+                }
+                for ((_, tx), slot) in group.waiters.into_iter().zip(slots) {
+                    match &slot {
+                        Ok(_) => {
+                            self.counters.answered.fetch_add(1, Ordering::Relaxed);
+                            if shared {
+                                self.counters
+                                    .coalesced_answers
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    let _ = tx.send(slot.map_err(ServerError::Engine));
+                    resolved += 1;
+                }
+            }
+        }
+        for sub in immediate {
+            let result = self.engine.serve(&sub.analyst, &sub.request);
+            match &result {
+                Ok(_) => {
+                    self.counters.answered.fetch_add(1, Ordering::Relaxed);
+                    self.counters.releases.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let _ = sub.tx.send(result.map_err(ServerError::Engine));
+            resolved += 1;
+        }
+        resolved
+    }
+
+    /// Ticks until no queued or pending work remains, returning the
+    /// total number of tickets resolved. This is the deterministic way
+    /// to flush the server in tests and benches.
+    pub fn pump_until_idle(&self) -> usize {
+        let mut total = 0;
+        loop {
+            let busy = self
+                .state
+                .lock()
+                .expect("scheduler state poisoned")
+                .is_busy();
+            if !busy {
+                return total;
+            }
+            total += self.tick();
+        }
+    }
+
+    /// Spawns a background thread ticking every `interval` until the
+    /// returned handle is stopped (or dropped).
+    pub fn start_driver(self: &Arc<Self>, interval: Duration) -> DriverHandle {
+        let server = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Acquire) {
+                server.tick();
+                std::thread::sleep(interval);
+            }
+            // Final flush so in-flight work is answered, not stranded.
+            server.pump_until_idle();
+        });
+        DriverHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            answered: self.counters.answered.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            refused_queue_full: self.counters.refused_queue_full.load(Ordering::Relaxed),
+            refused_admission: self.counters.refused_admission.load(Ordering::Relaxed),
+            releases: self.counters.releases.load(Ordering::Relaxed),
+            coalesced_answers: self.counters.coalesced_answers.load(Ordering::Relaxed),
+            ticks: self.counters.ticks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Stops the background driver thread on [`DriverHandle::stop`] or drop
+/// (flushing remaining work first).
+#[derive(Debug)]
+pub struct DriverHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DriverHandle {
+    /// Signals the driver to stop, flushes remaining work, and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for DriverHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,113 @@
+//! The answer ticket a submission hands back.
+
+use crate::error::ServerError;
+use bf_engine::Response;
+use futures_lite::oneshot;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Mutex;
+use std::task::{Context, Poll};
+
+/// A pending answer: a `Future` resolving to the request's
+/// [`Response`] (or the typed refusal).
+///
+/// Await it on an executor, probe it non-blockingly with
+/// [`Ticket::try_take`], or block a plain thread with [`Ticket::wait`].
+/// The resolved answer is cached inside the ticket, so probing and then
+/// awaiting (in any combination) always observes the same result. If
+/// the server shuts down before answering, the ticket resolves to
+/// [`ServerError::ShutDown`] rather than hanging.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: oneshot::Receiver<Result<Response, ServerError>>,
+    /// The answer once the oneshot delivered it — kept so `try_take`
+    /// stays idempotent and a later `wait`/`await` still succeeds.
+    resolved: Mutex<Option<Result<Response, ServerError>>>,
+}
+
+impl Ticket {
+    pub(crate) fn new(rx: oneshot::Receiver<Result<Response, ServerError>>) -> Self {
+        Self {
+            rx,
+            resolved: Mutex::new(None),
+        }
+    }
+
+    /// Moves a freshly delivered (or shutdown) result into the cache,
+    /// returning a clone of whatever is resolved so far.
+    fn resolve(&self) -> Option<Result<Response, ServerError>> {
+        let mut resolved = self.resolved.lock().expect("ticket state poisoned");
+        if resolved.is_none() {
+            *resolved = self
+                .rx
+                .try_recv()
+                .map(|r| r.unwrap_or(Err(ServerError::ShutDown)));
+        }
+        resolved.clone()
+    }
+
+    /// Non-blocking, idempotent probe: `Some` once the scheduler
+    /// answered (or the server shut down), `None` while the request is
+    /// still queued or waiting out its coalescing window. Probing does
+    /// not consume the answer — `wait`/`await` afterwards returns it.
+    pub fn try_take(&self) -> Option<Result<Response, ServerError>> {
+        self.resolve()
+    }
+
+    /// Blocks the current thread until the answer arrives.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the scheduler resolved the ticket with — see
+    /// [`ServerError`].
+    pub fn wait(self) -> Result<Response, ServerError> {
+        futures_lite::block_on(self)
+    }
+}
+
+impl Future for Ticket {
+    type Output = Result<Response, ServerError>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Some(result) = self.resolve() {
+            return Poll::Ready(result);
+        }
+        Pin::new(&mut self.rx)
+            .poll(cx)
+            .map(|r| r.unwrap_or(Err(ServerError::ShutDown)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropped_sender_resolves_as_shutdown() {
+        let (tx, rx) = oneshot::channel();
+        let ticket = Ticket::new(rx);
+        assert_eq!(ticket.try_take(), None);
+        drop(tx);
+        assert_eq!(ticket.try_take(), Some(Err(ServerError::ShutDown)));
+    }
+
+    #[test]
+    fn wait_returns_the_sent_answer() {
+        let (tx, rx) = oneshot::channel();
+        let ticket = Ticket::new(rx);
+        tx.send(Ok(Response::Scalar(4.5))).unwrap();
+        assert_eq!(ticket.wait(), Ok(Response::Scalar(4.5)));
+    }
+
+    /// Probing must not consume the answer: try_take repeatedly, then
+    /// wait — every observation sees the same result.
+    #[test]
+    fn try_take_is_idempotent_and_wait_still_succeeds() {
+        let (tx, rx) = oneshot::channel();
+        let ticket = Ticket::new(rx);
+        tx.send(Ok(Response::Scalar(7.0))).unwrap();
+        assert_eq!(ticket.try_take(), Some(Ok(Response::Scalar(7.0))));
+        assert_eq!(ticket.try_take(), Some(Ok(Response::Scalar(7.0))));
+        assert_eq!(ticket.wait(), Ok(Response::Scalar(7.0)));
+    }
+}

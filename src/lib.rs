@@ -25,6 +25,8 @@
 //! | [`mechanisms`] | k-means, histogram, ordered / hierarchical / OH |
 //! | [`data`] | seeded synthetic datasets for the paper's experiments |
 //! | [`engine`] | multi-tenant serving: sessions → router → sensitivity cache → mechanisms |
+//! | [`server`] | async front-end: fair per-analyst scheduling + cross-analyst release coalescing |
+//! | [`rt`] | vendored minimal async runtime (executor, `block_on`, oneshot) |
 //!
 //! ## Serving repeated queries
 //!
@@ -74,6 +76,8 @@ pub use bf_domain as domain;
 pub use bf_engine as engine;
 pub use bf_graph as graph;
 pub use bf_mechanisms as mechanisms;
+pub use bf_server as server;
+pub use futures_lite as rt;
 
 /// The most common types, one `use` away.
 pub mod prelude {
@@ -91,6 +95,8 @@ pub mod prelude {
     pub use bf_mechanisms::{
         HierarchicalMechanism, HistogramMechanism, OrderedHierarchicalMechanism, OrderedMechanism,
     };
+    pub use bf_server::{Server, ServerConfig, ServerError, ServerStats, Ticket};
+    pub use futures_lite::Executor;
 }
 
 #[cfg(test)]
