@@ -70,6 +70,7 @@ fn coalesced_run(seed: u64) -> (Vec<u64>, bf_server::ServerStats, f64) {
             coalesce_window: 2,
             quantum: 8,
             admission_control: true,
+            ..ServerConfig::default()
         },
     );
     let mut tickets: Vec<Vec<Ticket>> = (0..ANALYSTS).map(|_| Vec::with_capacity(RANGES)).collect();
@@ -175,6 +176,7 @@ fn bench_fairness(json: &mut String) {
             coalesce_window: 0,
             quantum: QUANTUM,
             admission_control: true,
+            ..ServerConfig::default()
         },
     );
     let flood: Vec<Ticket> = (0..FLOOD)

@@ -1,0 +1,228 @@
+//! PR 4 durability trajectory (custom harness, run via `cargo bench -p
+//! bf-bench --bench store`, `-- --quick` for the CI smoke run).
+//!
+//! Three measurements:
+//!
+//! 1. **Charge latency** — per-charge wall time through `Engine::serve`
+//!    with no store (WAL off) vs a store with group commit, under 8
+//!    concurrent analyst threads. The store's sync counter shows how
+//!    many charges each fsync amortized.
+//! 2. **Recovery replay rate** — records/second replayed by
+//!    `Store::open` over a WAL of acknowledged charges, and snapshot
+//!    recovery after compaction.
+//! 3. **Correctness gates (asserted)** — recovered spent equals
+//!    acknowledged spent exactly; double recovery is byte-identical;
+//!    compaction preserves the ledger bit for bit.
+//!
+//! Results are written to `BENCH_PR4.json` at the repo root.
+
+use bf_core::{Epsilon, Policy};
+use bf_domain::{Dataset, Domain};
+use bf_engine::{Engine, Request};
+use bf_store::{scratch_dir, Store};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DOMAIN: usize = 1024;
+const THREADS: usize = 8;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn build_engine(store: Option<Arc<Store>>) -> Arc<Engine> {
+    let engine = match store {
+        Some(s) => Engine::with_store(99, s),
+        None => Engine::with_seed(99),
+    };
+    let domain = Domain::line(DOMAIN).unwrap();
+    engine
+        .register_policy("pol", Policy::distance_threshold(domain.clone(), 4))
+        .unwrap();
+    let rows: Vec<usize> = (0..10_000).map(|i| (i * 131) % DOMAIN).collect();
+    engine
+        .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+        .unwrap();
+    Arc::new(engine)
+}
+
+/// Serves `per_thread` range requests from each of THREADS analysts
+/// concurrently; returns wall seconds.
+fn concurrent_charges(engine: &Arc<Engine>, per_thread: usize) -> f64 {
+    for t in 0..THREADS {
+        engine
+            .open_session(format!("analyst-{t}"), eps(1e6))
+            .unwrap();
+    }
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let engine = Arc::clone(engine);
+            std::thread::spawn(move || {
+                let analyst = format!("analyst-{t}");
+                for i in 0..per_thread {
+                    let lo = (t * 61 + i * 13) % (DOMAIN - 128);
+                    engine
+                        .serve(
+                            &analyst,
+                            &Request::range("pol", "ds", eps(1e-5), lo, lo + 100),
+                        )
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn bench_charge_latency(json: &mut String, per_thread: usize) {
+    let total = THREADS * per_thread;
+
+    // Baseline: no store at all (the pre-PR4 engine).
+    let wal_off = {
+        let engine = build_engine(None);
+        concurrent_charges(&engine, per_thread)
+    };
+
+    // Group commit: every charge fsync-durable before acknowledgement.
+    let dir = scratch_dir("bench-charge");
+    let store = Arc::new(Store::open(&dir).unwrap());
+    let engine = build_engine(Some(Arc::clone(&store)));
+    let group = concurrent_charges(&engine, per_thread);
+    let stats = store.stats();
+    // Every serve charged durably: opens + registrations + charges.
+    assert_eq!(
+        stats.appended_records,
+        (total + THREADS + 2) as u64,
+        "every acknowledged charge must be durable"
+    );
+    let amortization = stats.amortization();
+
+    // The ledger that survives equals the ledger that was acknowledged.
+    // (Each open holds an exclusive directory lock, so the previous
+    // store must drop before the next recovery.)
+    drop(engine);
+    drop(store);
+    let t0 = Instant::now();
+    let recovered = Store::open(&dir).unwrap();
+    let replay = t0.elapsed().as_secs_f64();
+    for t in 0..THREADS {
+        let s = &recovered.recovered_state().sessions[&format!("analyst-{t}")];
+        assert_eq!(s.served, per_thread as u64);
+        assert!(
+            (s.spent - per_thread as f64 * 1e-5).abs() < 1e-9,
+            "analyst-{t} recovered {}",
+            s.spent
+        );
+    }
+    let digest_a = recovered.recovered_state().digest();
+    let records_applied = recovered.recovery_report().records_applied;
+    drop(recovered);
+    let digest_b = Store::open(&dir).unwrap().recovered_state().digest();
+    assert_eq!(digest_a, digest_b, "double recovery must be byte-identical");
+    std::fs::remove_dir_all(&dir).unwrap();
+    let replay_rate = records_applied as f64 / replay;
+    println!(
+        "store/charges: {total} concurrent charges — WAL off {:.2} µs/charge, group commit \
+         {:.2} µs/charge ({:.1} records/fsync, {} fsyncs); replay {} records in {:.2} ms \
+         ({:.0} rec/s); deterministic ✓",
+        wal_off * 1e6 / total as f64,
+        group * 1e6 / total as f64,
+        amortization,
+        stats.syncs,
+        records_applied,
+        replay * 1e3,
+        replay_rate
+    );
+    writeln!(
+        json,
+        "  \"charges\": {{\"threads\": {THREADS}, \"total\": {total}, \
+         \"wal_off_ns_per_charge\": {:.0}, \"group_commit_ns_per_charge\": {:.0}, \
+         \"fsyncs\": {}, \"records_per_fsync\": {amortization:.2}, \
+         \"every_ack_durable\": true}},",
+        wal_off * 1e9 / total as f64,
+        group * 1e9 / total as f64,
+        stats.syncs
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"recovery\": {{\"records\": {records_applied}, \"replay_ns\": {:.0}, \
+         \"replay_records_per_sec\": {replay_rate:.0}, \
+         \"recovered_state_deterministic\": true, \"recovered_equals_acknowledged\": true}},",
+        replay * 1e9
+    )
+    .unwrap();
+}
+
+fn bench_compaction(json: &mut String, charges: usize) {
+    let dir = scratch_dir("bench-compact");
+    {
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let engine = build_engine(Some(Arc::clone(&store)));
+        engine.open_session("solo", eps(1e6)).unwrap();
+        for i in 0..charges {
+            let lo = (i * 13) % (DOMAIN - 128);
+            engine
+                .serve("solo", &Request::range("pol", "ds", eps(1e-5), lo, lo + 64))
+                .unwrap();
+        }
+    } // drop the generation: the directory lock frees for recovery
+
+    // Log recovery (no snapshot yet) timed against snapshot recovery
+    // after a checkpoint of the recovered store.
+    let t0 = Instant::now();
+    let log_recovered = Store::open(&dir).unwrap();
+    let log_replay = t0.elapsed().as_secs_f64();
+    let digest_before = log_recovered.recovered_state().digest();
+    log_recovered.compact().unwrap();
+    drop(log_recovered);
+
+    let t0 = Instant::now();
+    let snap_recovered = Store::open(&dir).unwrap();
+    let snap_replay = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        snap_recovered.recovered_state().digest(),
+        digest_before,
+        "compaction must preserve the ledger bit for bit"
+    );
+    assert!(snap_recovered.recovery_report().snapshot_segment.is_some());
+    assert_eq!(snap_recovered.recovery_report().records_applied, 0);
+    drop(snap_recovered);
+    println!(
+        "store/compaction: {charges} charges — log recovery {:.2} ms, snapshot recovery \
+         {:.2} ms; ledger preserved ✓",
+        log_replay * 1e3,
+        snap_replay * 1e3
+    );
+    writeln!(
+        json,
+        "  \"compaction\": {{\"charges\": {charges}, \"log_recovery_ns\": {:.0}, \
+         \"snapshot_recovery_ns\": {:.0}, \"ledger_preserved\": true}}",
+        log_replay * 1e9,
+        snap_replay * 1e9
+    )
+    .unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let per_thread = if quick { 64 } else { 256 };
+    let compaction_charges = if quick { 1_000 } else { 5_000 };
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"pr\": 4,").unwrap();
+    writeln!(json, "  \"quick\": {quick},").unwrap();
+    bench_charge_latency(&mut json, per_thread);
+    bench_compaction(&mut json, compaction_charges);
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    std::fs::write(path, &json).expect("write BENCH_PR4.json");
+    println!("store: OK → {path}");
+}

@@ -70,6 +70,43 @@ impl BudgetAccountant {
         }
     }
 
+    /// Rebuilds an accountant from a durably recovered ledger summary:
+    /// the recovered spend appears as one aggregate ledger entry under
+    /// `label` (per-release labels live in the WAL, not the summary).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidEpsilon`] when `spent` is negative or not
+    /// finite, [`CoreError::BudgetExhausted`] when it exceeds the total
+    /// (a recovered ledger can be fully spent, never overspent — more
+    /// would mean the durable history itself violated composition).
+    pub fn restore(
+        total: Epsilon,
+        spent: f64,
+        label: impl Into<String>,
+    ) -> Result<Self, CoreError> {
+        if !spent.is_finite() || spent < 0.0 {
+            return Err(CoreError::InvalidEpsilon(spent));
+        }
+        const TOL: f64 = 1e-12;
+        if spent > total.value() + TOL {
+            return Err(CoreError::BudgetExhausted {
+                remaining: 0.0,
+                requested: spent,
+            });
+        }
+        let ledger = if spent > 0.0 {
+            vec![(label.into(), spent)]
+        } else {
+            Vec::new()
+        };
+        Ok(Self {
+            total,
+            spent,
+            ledger,
+        })
+    }
+
     /// The total budget.
     pub fn total(&self) -> Epsilon {
         self.total
@@ -152,6 +189,25 @@ mod tests {
         acct.spend("range", eps(0.4)).unwrap();
         assert!(acct.remaining() < 1e-12);
         assert_eq!(acct.ledger().len(), 2);
+    }
+
+    #[test]
+    fn restore_resumes_a_recovered_ledger() {
+        let mut acct = BudgetAccountant::restore(eps(1.0), 0.7, "recovered").unwrap();
+        assert!((acct.remaining() - 0.3).abs() < 1e-12);
+        assert_eq!(acct.ledger(), &[("recovered".to_owned(), 0.7)]);
+        assert!(matches!(
+            acct.spend("too-much", eps(0.5)),
+            Err(CoreError::BudgetExhausted { .. })
+        ));
+        acct.spend("fits", eps(0.3)).unwrap();
+        // A zero-spend restore starts with an empty ledger.
+        let fresh = BudgetAccountant::restore(eps(1.0), 0.0, "recovered").unwrap();
+        assert!(fresh.ledger().is_empty());
+        // Overspent or malformed histories are refused.
+        assert!(BudgetAccountant::restore(eps(1.0), 1.5, "r").is_err());
+        assert!(BudgetAccountant::restore(eps(1.0), -0.1, "r").is_err());
+        assert!(BudgetAccountant::restore(eps(1.0), f64::NAN, "r").is_err());
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The engine: registries, router, cache, sessions, batching.
+//! The engine: registries, router, cache, sessions, batching,
+//! durability.
 
 use crate::cache::{CacheStats, SensitivityCache};
 use crate::error::EngineError;
@@ -11,11 +12,33 @@ use bf_core::{Epsilon, LaplaceMechanism, Policy, Predicate, QueryClass};
 use bf_domain::{CumulativeHistogram, Dataset, Histogram, PointSet};
 use bf_mechanisms::kmeans::{init_random, PrivateKmeans};
 use bf_mechanisms::{HistogramMechanism, OrderedMechanism, RangeAnswerer};
+use bf_store::{fnv1a, Record, RegistryKind, Store};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Counts releases currently executing against a registry entry, so
+/// deregistration can refuse instead of pulling data out from under a
+/// running mechanism. Incremented on construction, decremented on drop;
+/// the guard rides inside prepared-release structs across threads.
+#[derive(Debug)]
+struct FlightGuard(Arc<AtomicU64>);
+
+impl FlightGuard {
+    fn new(counter: &Arc<AtomicU64>) -> Self {
+        counter.fetch_add(1, Ordering::AcqRel);
+        Self(Arc::clone(counter))
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
 
 /// A registered dataset with its aggregates precomputed once: serving
 /// reads histograms, never raw rows, so the O(n) aggregation pass and
@@ -25,6 +48,29 @@ struct DatasetEntry {
     dataset: Arc<Dataset>,
     histogram: Arc<Histogram>,
     cumulative: Arc<CumulativeHistogram>,
+    in_flight: Arc<AtomicU64>,
+}
+
+/// A registered point set plus its in-flight release count.
+#[derive(Debug, Clone)]
+struct PointsEntry {
+    points: Arc<PointSet>,
+    in_flight: Arc<AtomicU64>,
+}
+
+/// The ledger summary of an evicted (or durably recovered, not yet
+/// reattached) session. Spent ε lives here — and in the store when one
+/// is attached — until the analyst reopens their session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParkedSession {
+    /// Total ε the session opened with.
+    pub total: f64,
+    /// ε spent before parking.
+    pub spent: f64,
+    /// Requests served before parking.
+    pub served: u64,
+    /// Requests refused before parking (not durable; 0 after recovery).
+    pub refused: u64,
 }
 
 /// A registered policy plus everything derived from it at registration.
@@ -41,6 +87,7 @@ struct PolicyEntry {
     /// neighbor semantics of Section 8), `None` for constraint-free
     /// policies, which use the exact closed forms via the cache.
     constrained_bound: Option<f64>,
+    in_flight: Arc<AtomicU64>,
 }
 
 /// A multi-tenant Blowfish query-serving engine.
@@ -86,8 +133,16 @@ struct PolicyEntry {
 pub struct Engine {
     policies: ShardedMap<PolicyEntry>,
     datasets: ShardedMap<DatasetEntry>,
-    points: ShardedMap<Arc<PointSet>>,
+    points: ShardedMap<PointsEntry>,
     sessions: ShardedMap<Arc<Mutex<AnalystSession>>>,
+    /// Evicted / recovered-but-unattached session ledgers.
+    parked: ShardedMap<ParkedSession>,
+    /// Registration fingerprints recovered from the store for names not
+    /// yet re-registered this generation: re-registration must match.
+    expected: Mutex<HashMap<(RegistryKind, String), u64>>,
+    /// The durable ledger, when attached: charges are acknowledged only
+    /// after they are committed here.
+    store: Option<Arc<Store>>,
     cache: SensitivityCache,
     /// Base seed for noise; each release derives its own generator from
     /// `seed ⊕ f(counter)`, so no lock is held while mechanisms run and
@@ -115,9 +170,66 @@ impl Engine {
             datasets: ShardedMap::new(),
             points: ShardedMap::new(),
             sessions: ShardedMap::new(),
+            parked: ShardedMap::new(),
+            expected: Mutex::new(HashMap::new()),
+            store: None,
             cache: SensitivityCache::new(),
             seed,
             release_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// An engine backed by a durable [`Store`], resuming whatever the
+    /// store recovered:
+    ///
+    /// * every recovered session is **parked** — its spent ε survives,
+    ///   and the analyst reattaches by calling [`Engine::open_session`]
+    ///   with the original total;
+    /// * recovered registrations become **expectations** — registering
+    ///   the name again requires the identical content fingerprint, so a
+    ///   swapped policy or dataset cannot inherit the original's ledgers;
+    /// * every subsequent charge is **acknowledge-after-durable**: the
+    ///   WAL commit happens before the mechanism release executes.
+    pub fn with_store(seed: u64, store: Arc<Store>) -> Self {
+        let engine = Self::with_seed(seed);
+        let recovered = store.recovered_state();
+        for (analyst, s) in &recovered.sessions {
+            engine.parked.insert_or_replace(
+                analyst.clone(),
+                ParkedSession {
+                    total: s.total,
+                    spent: s.spent,
+                    served: s.served,
+                    refused: 0,
+                },
+            );
+        }
+        *engine.expected.lock().expect("expectations poisoned") = recovered
+            .registrations
+            .iter()
+            .map(|((kind, name), fp)| ((*kind, name.clone()), *fp))
+            .collect();
+        Self {
+            store: Some(store),
+            ..engine
+        }
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// Flushes and compacts the attached store (no-op without one) —
+    /// the graceful-shutdown path, also safe to call periodically.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Store`] when the store cannot flush or snapshot.
+    pub fn checkpoint(&self) -> Result<(), EngineError> {
+        match &self.store {
+            Some(store) => store.compact().map_err(EngineError::Store),
+            None => Ok(()),
         }
     }
 
@@ -151,6 +263,8 @@ impl Engine {
     /// Section 8 machinery (non-sparse constraints, over-budget edge
     /// scans): the general constrained-sensitivity problem is NP-hard
     /// (Theorem 8.1), so only the sparse case is servable.
+    /// [`EngineError::RegistrationMismatch`] when a store recovered this
+    /// name with a different content fingerprint.
     pub fn register_policy(
         &self,
         name: impl Into<String>,
@@ -170,20 +284,29 @@ impl Engine {
         } else {
             None
         };
+        let fingerprint = fnv1a(policy.cache_key().as_bytes());
         let entry = PolicyEntry {
             policy: Arc::new(policy),
             constrained_bound,
+            in_flight: Arc::new(AtomicU64::new(0)),
         };
+        self.check_expectation(RegistryKind::Policy, &name, fingerprint)?;
         self.policies
-            .insert_if_absent(name, entry)
-            .map_err(EngineError::DuplicateName)
+            .insert_if_absent(name.clone(), entry)
+            .map_err(EngineError::DuplicateName)?;
+        self.finish_registration(RegistryKind::Policy, &name, fingerprint)
+            .inspect_err(|_| {
+                self.policies.remove(&name);
+            })
     }
 
     /// Registers a tabular dataset under a name.
     ///
     /// # Errors
     ///
-    /// [`EngineError::DuplicateName`] if the name is taken.
+    /// [`EngineError::DuplicateName`] if the name is taken;
+    /// [`EngineError::RegistrationMismatch`] when a store recovered this
+    /// name with a different content fingerprint.
     pub fn register_dataset(
         &self,
         name: impl Into<String>,
@@ -192,30 +315,185 @@ impl Engine {
         let name = name.into();
         let histogram = dataset.histogram();
         let cumulative = histogram.cumulative();
+        let fingerprint = dataset_fingerprint(&dataset, &histogram);
         let entry = DatasetEntry {
             dataset: Arc::new(dataset),
             histogram: Arc::new(histogram),
             cumulative: Arc::new(cumulative),
+            in_flight: Arc::new(AtomicU64::new(0)),
         };
+        self.check_expectation(RegistryKind::Dataset, &name, fingerprint)?;
         self.datasets
-            .insert_if_absent(name, entry)
-            .map_err(EngineError::DuplicateName)
+            .insert_if_absent(name.clone(), entry)
+            .map_err(EngineError::DuplicateName)?;
+        self.finish_registration(RegistryKind::Dataset, &name, fingerprint)
+            .inspect_err(|_| {
+                self.datasets.remove(&name);
+            })
     }
 
     /// Registers a continuous point set (k-means input) under a name.
     ///
     /// # Errors
     ///
-    /// [`EngineError::DuplicateName`] if the name is taken.
+    /// [`EngineError::DuplicateName`] if the name is taken;
+    /// [`EngineError::RegistrationMismatch`] when a store recovered this
+    /// name with a different content fingerprint.
     pub fn register_points(
         &self,
         name: impl Into<String>,
         points: PointSet,
     ) -> Result<(), EngineError> {
         let name = name.into();
+        let fingerprint = points_fingerprint(&points);
+        let entry = PointsEntry {
+            points: Arc::new(points),
+            in_flight: Arc::new(AtomicU64::new(0)),
+        };
+        self.check_expectation(RegistryKind::Points, &name, fingerprint)?;
         self.points
-            .insert_if_absent(name, Arc::new(points))
-            .map_err(EngineError::DuplicateName)
+            .insert_if_absent(name.clone(), entry)
+            .map_err(EngineError::DuplicateName)?;
+        self.finish_registration(RegistryKind::Points, &name, fingerprint)
+            .inspect_err(|_| {
+                self.points.remove(&name);
+            })
+    }
+
+    /// Refuses a registration whose recovered fingerprint expectation
+    /// does not match — BEFORE anything is inserted.
+    fn check_expectation(
+        &self,
+        kind: RegistryKind,
+        name: &str,
+        fingerprint: u64,
+    ) -> Result<(), EngineError> {
+        let expected = self.expected.lock().expect("expectations poisoned");
+        match expected.get(&(kind, name.to_owned())) {
+            Some(&want) if want != fingerprint => Err(EngineError::RegistrationMismatch {
+                kind: kind.as_str(),
+                name: name.to_owned(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// After a successful insert: consume the expectation (the name was
+    /// already durable — matching was verified) or, for a brand-new
+    /// name, append the registration to the store. A store failure rolls
+    /// the insert back in the caller.
+    fn finish_registration(
+        &self,
+        kind: RegistryKind,
+        name: &str,
+        fingerprint: u64,
+    ) -> Result<(), EngineError> {
+        let was_expected = self
+            .expected
+            .lock()
+            .expect("expectations poisoned")
+            .remove(&(kind, name.to_owned()))
+            .is_some();
+        if was_expected {
+            return Ok(());
+        }
+        if let Some(store) = &self.store {
+            store
+                .commit(&[Record::Registered {
+                    kind,
+                    name: name.to_owned(),
+                    fingerprint,
+                }])
+                .map_err(EngineError::Store)?;
+        }
+        Ok(())
+    }
+
+    /// Deregisters a policy, freeing its name and registry slot. Spent
+    /// budgets are unaffected (they live in sessions) and cached
+    /// sensitivities cannot resurrect under a different policy — the
+    /// cache is keyed by the policy's content, not its name.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownPolicy`] for unknown names;
+    /// [`EngineError::ReleasesInFlight`] while a release against this
+    /// policy is executing (retry after it drains);
+    /// [`EngineError::Store`] when the deregistration cannot be made
+    /// durable (the entry stays removed in memory; recovery may
+    /// resurrect the *name expectation*, never any budget).
+    pub fn deregister_policy(&self, name: &str) -> Result<(), EngineError> {
+        match self
+            .policies
+            .remove_if(name, |e| e.in_flight.load(Ordering::Acquire) == 0)
+        {
+            Ok(Some(_)) => self.finish_deregistration(RegistryKind::Policy, name),
+            Ok(None) => Err(EngineError::UnknownPolicy(name.to_owned())),
+            Err(()) => Err(EngineError::ReleasesInFlight {
+                kind: "policy",
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    /// Deregisters a dataset. Same contract as
+    /// [`Engine::deregister_policy`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownDataset`], [`EngineError::ReleasesInFlight`]
+    /// or [`EngineError::Store`] as for [`Engine::deregister_policy`].
+    pub fn deregister_dataset(&self, name: &str) -> Result<(), EngineError> {
+        match self
+            .datasets
+            .remove_if(name, |e| e.in_flight.load(Ordering::Acquire) == 0)
+        {
+            Ok(Some(_)) => self.finish_deregistration(RegistryKind::Dataset, name),
+            Ok(None) => Err(EngineError::UnknownDataset(name.to_owned())),
+            Err(()) => Err(EngineError::ReleasesInFlight {
+                kind: "dataset",
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    /// Deregisters a point set. Same contract as
+    /// [`Engine::deregister_policy`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownPoints`], [`EngineError::ReleasesInFlight`]
+    /// or [`EngineError::Store`] as for [`Engine::deregister_policy`].
+    pub fn deregister_points(&self, name: &str) -> Result<(), EngineError> {
+        match self
+            .points
+            .remove_if(name, |e| e.in_flight.load(Ordering::Acquire) == 0)
+        {
+            Ok(Some(_)) => self.finish_deregistration(RegistryKind::Points, name),
+            Ok(None) => Err(EngineError::UnknownPoints(name.to_owned())),
+            Err(()) => Err(EngineError::ReleasesInFlight {
+                kind: "points",
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    fn finish_deregistration(&self, kind: RegistryKind, name: &str) -> Result<(), EngineError> {
+        // Any unconsumed recovered expectation dies with the entry, so
+        // the name is genuinely free for a different object.
+        self.expected
+            .lock()
+            .expect("expectations poisoned")
+            .remove(&(kind, name.to_owned()));
+        if let Some(store) = &self.store {
+            store
+                .commit(&[Record::Deregistered {
+                    kind,
+                    name: name.to_owned(),
+                }])
+                .map_err(EngineError::Store)?;
+        }
+        Ok(())
     }
 
     /// The registered policy, if any.
@@ -242,8 +520,36 @@ impl Engine {
 
     /// The registered point set, if any.
     pub fn point_set(&self, name: &str) -> Result<Arc<PointSet>, EngineError> {
+        Ok(self.points_entry(name)?.points)
+    }
+
+    fn points_entry(&self, name: &str) -> Result<PointsEntry, EngineError> {
         self.points
             .get(name)
+            .ok_or_else(|| EngineError::UnknownPoints(name.to_owned()))
+    }
+
+    // Pinned lookups: the clone AND the in-flight increment happen under
+    // the shard read lock, so a deregistration (which checks the counter
+    // under the same shard's write lock) can never observe zero while a
+    // resolved entry is about to execute — `remove_if` either sees the
+    // pin or wins the race before the lookup resolves at all.
+
+    fn pinned_policy_entry(&self, name: &str) -> Result<(PolicyEntry, FlightGuard), EngineError> {
+        self.policies
+            .get_with(name, |e| (e.clone(), FlightGuard::new(&e.in_flight)))
+            .ok_or_else(|| EngineError::UnknownPolicy(name.to_owned()))
+    }
+
+    fn pinned_dataset_entry(&self, name: &str) -> Result<(DatasetEntry, FlightGuard), EngineError> {
+        self.datasets
+            .get_with(name, |e| (e.clone(), FlightGuard::new(&e.in_flight)))
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_owned()))
+    }
+
+    fn pinned_points_entry(&self, name: &str) -> Result<(PointsEntry, FlightGuard), EngineError> {
+        self.points
+            .get_with(name, |e| (e.clone(), FlightGuard::new(&e.in_flight)))
             .ok_or_else(|| EngineError::UnknownPoints(name.to_owned()))
     }
 
@@ -251,18 +557,63 @@ impl Engine {
     // Sessions
     // ------------------------------------------------------------------
 
-    /// Opens an analyst session with a total ε budget.
+    /// Opens an analyst session with a total ε budget — or **reattaches**
+    /// one that was evicted or recovered from the store: the reattached
+    /// session resumes with its spent ε intact (the "recovered" ledger
+    /// entry), so neither eviction nor a crash ever resets a ledger.
     ///
     /// # Errors
     ///
-    /// [`EngineError::SessionExists`] if the analyst already has one — a
-    /// ledger must not be resettable by reopening.
+    /// [`EngineError::SessionExists`] if the analyst already has a live
+    /// session — a ledger must not be resettable by reopening.
+    /// [`EngineError::InvalidRequest`] when reattaching with a total
+    /// different from the original (a bigger total would mint budget).
+    /// [`EngineError::Store`] when a fresh session cannot be made
+    /// durable (nothing is opened in that case).
     pub fn open_session(
         &self,
         analyst: impl Into<String>,
         total: Epsilon,
     ) -> Result<(), EngineError> {
         let analyst = analyst.into();
+        if self.sessions.get(&analyst).is_some() {
+            return Err(EngineError::SessionExists(analyst));
+        }
+        if let Some(parked) = self.parked.get(&analyst) {
+            if (parked.total - total.value()).abs() > 1e-12 {
+                return Err(EngineError::InvalidRequest(format!(
+                    "session for {analyst:?} reattaches with its original total ε={}, got {}",
+                    parked.total,
+                    total.value()
+                )));
+            }
+            let session = AnalystSession::restore(
+                analyst.clone(),
+                total,
+                parked.spent,
+                parked.served,
+                parked.refused,
+            )?;
+            self.sessions
+                .insert_if_absent(analyst.clone(), Arc::new(Mutex::new(session)))
+                .map_err(EngineError::SessionExists)?;
+            // The parked entry is deliberately NOT removed: a live
+            // session supersedes it (lookups check `sessions` first, and
+            // a later eviction overwrites it with the then-current
+            // ledger), while removing it here could race a concurrent
+            // eviction of the just-restored session and delete ITS fresh
+            // park — forgetting spent ε. A stale park is harmless; a
+            // missing one never is.
+            return Ok(());
+        }
+        // Fresh session: durable before acknowledged. A crash after the
+        // commit but before the insert leaves a no-op record (recovery
+        // applies opens insert-if-absent), never a lost ledger.
+        if let Some(store) = &self.store {
+            store
+                .commit(&[Record::session_opened(&analyst, total.value())])
+                .map_err(EngineError::Store)?;
+        }
         let session = Arc::new(Mutex::new(AnalystSession::new(analyst.clone(), total)));
         self.sessions
             .insert_if_absent(analyst, session)
@@ -270,9 +621,137 @@ impl Engine {
     }
 
     fn session(&self, analyst: &str) -> Result<Arc<Mutex<AnalystSession>>, EngineError> {
-        self.sessions
-            .get(analyst)
-            .ok_or_else(|| EngineError::UnknownAnalyst(analyst.to_owned()))
+        self.sessions.get(analyst).ok_or_else(|| {
+            if self.parked.get(analyst).is_some() {
+                EngineError::SessionEvicted(analyst.to_owned())
+            } else {
+                EngineError::UnknownAnalyst(analyst.to_owned())
+            }
+        })
+    }
+
+    /// Evicts one session: removes it from the live registry, marks the
+    /// shared handle so in-flight charges refuse, and parks the ledger
+    /// summary. With a store attached the spent ε is already durable
+    /// (every charge was committed before acknowledgement), so eviction
+    /// never forgets budget — the analyst reattaches via
+    /// [`Engine::open_session`] with the original total.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownAnalyst`] when no live session exists
+    /// ([`EngineError::SessionEvicted`] when it is already parked or
+    /// being evicted by another thread).
+    pub fn evict_session(&self, analyst: &str) -> Result<(), EngineError> {
+        let arc = self.sessions.get(analyst).ok_or_else(|| {
+            if self.parked.get(analyst).is_some() {
+                EngineError::SessionEvicted(analyst.to_owned())
+            } else {
+                EngineError::UnknownAnalyst(analyst.to_owned())
+            }
+        })?;
+        {
+            let mut session = arc.lock().expect("session poisoned");
+            if session.is_evicted() {
+                // Another thread is mid-eviction of this very session.
+                return Err(EngineError::SessionEvicted(analyst.to_owned()));
+            }
+            session.mark_evicted();
+            // Park BEFORE removing from the live registry: at every
+            // instant the analyst has a ledger in at least one of the
+            // two maps, so a concurrent open_session can never slip
+            // through the gap and mint a fresh (spent = 0) ledger. In
+            // the brief both-present overlap, reattach is refused with
+            // `SessionExists` — an error, never a reset.
+            self.parked.insert_or_replace(
+                analyst.to_owned(),
+                ParkedSession {
+                    total: session.total().value(),
+                    spent: session.spent(),
+                    served: session.served(),
+                    refused: session.refused(),
+                },
+            );
+        }
+        self.sessions.remove(analyst);
+        Ok(())
+    }
+
+    /// Evicts every session idle for at least `max_idle`, returning the
+    /// evicted analysts in name order. `Duration::ZERO` evicts all
+    /// currently idle sessions (used by tests and drain-style shutdown).
+    pub fn evict_idle_sessions(&self, max_idle: Duration) -> Vec<String> {
+        self.evict_idle_sessions_except(max_idle, &[])
+    }
+
+    /// [`Engine::evict_idle_sessions`] with an exclusion list: analysts
+    /// in `keep` are never evicted regardless of idleness. The server's
+    /// TTL sweep passes the analysts with queued or pending requests —
+    /// idleness is judged by time since the last *charge*, so a
+    /// backlogged analyst waiting behind a scheduler queue is not idle
+    /// even though their session has not charged recently.
+    pub fn evict_idle_sessions_except(&self, max_idle: Duration, keep: &[String]) -> Vec<String> {
+        let mut evicted = Vec::new();
+        for name in self.sessions.keys() {
+            if keep.contains(&name) {
+                continue;
+            }
+            let Some(arc) = self.sessions.get(&name) else {
+                continue;
+            };
+            let idle = arc.lock().expect("session poisoned").idle_for();
+            if idle >= max_idle && self.evict_session(&name).is_ok() {
+                evicted.push(name);
+            }
+        }
+        evicted.sort();
+        evicted
+    }
+
+    /// The parked ledger summary for an evicted / recovered analyst
+    /// **awaiting reattach** (`None` once a live session supersedes the
+    /// park — the live ledger is then the authoritative one).
+    pub fn parked_session(&self, analyst: &str) -> Option<ParkedSession> {
+        if self.sessions.get(analyst).is_some() {
+            return None;
+        }
+        self.parked.get(analyst)
+    }
+
+    /// Analysts currently parked (evicted or recovered) and awaiting
+    /// reattach, in unspecified order.
+    pub fn parked_analysts(&self) -> Vec<String> {
+        self.parked
+            .keys()
+            .into_iter()
+            .filter(|a| self.sessions.get(a).is_none())
+            .collect()
+    }
+
+    /// Charges in memory, then commits the charge durably **before** the
+    /// caller may execute any release — acknowledge-after-durable. On a
+    /// store failure the in-memory ledger keeps the spend (conservative:
+    /// budget may be lost to the failure, never resurrected) and the
+    /// release must not run.
+    fn charge_durable(
+        &self,
+        session: &Arc<Mutex<AnalystSession>>,
+        label: String,
+        epsilon: Epsilon,
+        free: bool,
+    ) -> Result<(), EngineError> {
+        let analyst = {
+            let mut s = session.lock().expect("session poisoned");
+            s.charge(label.clone(), epsilon, free)?;
+            s.analyst().to_owned()
+        };
+        if let Some(store) = &self.store {
+            let spent = if free { 0.0 } else { epsilon.value() };
+            store
+                .commit(&[Record::charged(&analyst, &label, spent)])
+                .map_err(EngineError::Store)?;
+        }
+        Ok(())
     }
 
     /// Every analyst with an open session, in unspecified order.
@@ -347,8 +826,7 @@ impl Engine {
     /// (nothing is released in that case).
     pub fn serve(&self, analyst: &str, request: &Request) -> Result<Response, EngineError> {
         let session = self.session(analyst)?;
-        let policy_entry = self.policy_entry(&request.policy)?;
-
+        let (policy_entry, _policy_flight) = self.pinned_policy_entry(&request.policy)?;
         match &request.kind {
             RequestKind::KMeans {
                 k,
@@ -362,7 +840,8 @@ impl Engine {
                             .into(),
                     ));
                 }
-                let points = self.point_set(&request.data)?;
+                let (points_entry, _points_flight) = self.pinned_points_entry(&request.data)?;
+                let points = points_entry.points;
                 if *k == 0 || *k > points.len() {
                     return Err(EngineError::InvalidRequest(format!(
                         "k-means needs 1 ≤ k ≤ n, got k={k} with n={}",
@@ -374,11 +853,7 @@ impl Engine {
                 }
                 let free =
                     spec.qsize_sensitivity() == 0.0 && spec.qsum_sensitivity(points.bbox()) == 0.0;
-                session.lock().expect("session poisoned").charge(
-                    request.label(),
-                    request.epsilon,
-                    free,
-                )?;
+                self.charge_durable(&session, request.label(), request.epsilon, free)?;
                 let mech = PrivateKmeans::new(*k, *iterations, request.epsilon, *spec);
                 let mut rng = self.release_rng();
                 let init = init_random(&points, *k, &mut rng);
@@ -386,13 +861,14 @@ impl Engine {
                 Ok(Response::Centroids(centroids))
             }
             kind => {
-                let entry = self.dataset_entry(&request.data)?;
+                let (entry, _data_flight) = self.pinned_dataset_entry(&request.data)?;
                 let class = request
                     .query_class()
                     .expect("non-kmeans kinds always map to a query class");
                 self.validate(kind, &policy_entry.policy, &entry)?;
                 let sensitivity = self.sensitivity_for(&policy_entry, &class)?;
-                session.lock().expect("session poisoned").charge(
+                self.charge_durable(
+                    &session,
                     request.label(),
                     request.epsilon,
                     sensitivity == 0.0,
@@ -477,8 +953,10 @@ impl Engine {
             mech: OrderedMechanism,
             cumulative: Arc<CumulativeHistogram>,
             rng: StdRng,
+            _flights: (FlightGuard, FlightGuard),
         }
         let mut prepared: Vec<PreparedGroup> = Vec::new();
+        let mut charge_records: Vec<Record> = Vec::new();
         for ((policy_name, data_name, _), indices) in groups {
             if indices.len() < 2 {
                 continue; // a lone range gains nothing from batching
@@ -492,19 +970,42 @@ impl Engine {
                 })
                 .collect();
             match self.prepare_range_group(analyst, &policy_name, &data_name, epsilon, &ranges) {
-                Ok((mech, cumulative)) => prepared.push(PreparedGroup {
-                    indices,
-                    ranges,
-                    mech,
-                    cumulative,
-                    rng: self.release_rng(),
-                }),
+                Ok((mech, cumulative, record, flights)) => {
+                    charge_records.extend(record);
+                    prepared.push(PreparedGroup {
+                        indices,
+                        ranges,
+                        mech,
+                        cumulative,
+                        rng: self.release_rng(),
+                        _flights: flights,
+                    });
+                }
                 Err(e) => {
                     for &i in &indices {
                         out[i] = Some(Err(e.clone()));
                     }
                 }
             }
+        }
+        // Acknowledge-after-durable: every group's charge reaches the WAL
+        // in one group commit before any shared release executes. On a
+        // store failure nothing is released (the in-memory spend stands —
+        // budget is only ever lost to a failure, never resurrected).
+        let durable = match &self.store {
+            Some(store) if !charge_records.is_empty() => store
+                .commit(&charge_records)
+                .map_err(EngineError::Store)
+                .err(),
+            _ => None,
+        };
+        if let Some(e) = durable {
+            for group in &prepared {
+                for &i in &group.indices {
+                    out[i] = Some(Err(e.clone()));
+                }
+            }
+            prepared.clear();
         }
         let execute = |g: &PreparedGroup| -> Result<Vec<f64>, EngineError> {
             let mut rng = g.rng.clone();
@@ -540,10 +1041,13 @@ impl Engine {
     }
 
     /// Resolves, validates and charges one range group, returning the
-    /// calibrated mechanism plus the cumulative histogram it will
-    /// release. The release itself is left to the caller so independent
-    /// groups can run their releases in parallel after charging
-    /// deterministically.
+    /// calibrated mechanism, the cumulative histogram it will release,
+    /// the WAL record the caller must commit **before** executing (when
+    /// a store is attached), and the in-flight guards pinning the policy
+    /// and dataset against deregistration until the release lands. The
+    /// release itself is left to the caller so independent groups can
+    /// run their releases in parallel after charging deterministically.
+    #[allow(clippy::type_complexity)]
     fn prepare_range_group(
         &self,
         analyst: &str,
@@ -551,10 +1055,19 @@ impl Engine {
         data_name: &str,
         epsilon: Epsilon,
         ranges: &[(usize, usize)],
-    ) -> Result<(OrderedMechanism, Arc<CumulativeHistogram>), EngineError> {
+    ) -> Result<
+        (
+            OrderedMechanism,
+            Arc<CumulativeHistogram>,
+            Option<Record>,
+            (FlightGuard, FlightGuard),
+        ),
+        EngineError,
+    > {
         let session = self.session(analyst)?;
-        let policy_entry = self.policy_entry(policy_name)?;
-        let entry = self.dataset_entry(data_name)?;
+        let (policy_entry, policy_flight) = self.pinned_policy_entry(policy_name)?;
+        let (entry, data_flight) = self.pinned_dataset_entry(data_name)?;
+        let flights = (policy_flight, data_flight);
         let size = entry.dataset.domain().size();
         if policy_entry.policy.domain().size() != size {
             return Err(EngineError::InvalidRequest(format!(
@@ -570,18 +1083,23 @@ impl Engine {
             }
         }
         let sensitivity = self.sensitivity_for(&policy_entry, &QueryClass::CumulativeHistogram)?;
-        session.lock().expect("session poisoned").charge(
-            format!("batch:{}xrange@{policy_name}/{data_name}", ranges.len()),
-            epsilon,
-            sensitivity == 0.0,
-        )?;
+        let label = format!("batch:{}xrange@{policy_name}/{data_name}", ranges.len());
+        let free = sensitivity == 0.0;
+        session
+            .lock()
+            .expect("session poisoned")
+            .charge(label.clone(), epsilon, free)?;
+        let record = self
+            .store
+            .is_some()
+            .then(|| Record::charged(analyst, &label, if free { 0.0 } else { epsilon.value() }));
         let mech = OrderedMechanism {
             epsilon,
             sensitivity,
             constrained_inference: true,
             nonnegative: false,
         };
-        Ok((mech, Arc::clone(&entry.cumulative)))
+        Ok((mech, Arc::clone(&entry.cumulative), record, flights))
     }
 
     /// The key under which requests from **different analysts** may share
@@ -652,55 +1170,72 @@ impl Engine {
             epsilon: Epsilon,
             sensitivity: f64,
             rng: StdRng,
+            _flights: (FlightGuard, FlightGuard),
         }
         let mut out: Vec<Vec<Option<Result<Response, EngineError>>>> = groups
             .iter()
             .map(|(analysts, _)| (0..analysts.len()).map(|_| None).collect())
             .collect();
         let mut prepared: Vec<PreparedRelease> = Vec::new();
+        let mut charge_records: Vec<Record> = Vec::new();
 
         for (gi, (analysts, request)) in groups.iter().enumerate() {
             // Resolve and validate once per group.
-            let resolved = (|| -> Result<(DatasetEntry, f64), EngineError> {
-                if matches!(request.kind, RequestKind::KMeans { .. }) {
-                    return Err(EngineError::InvalidRequest(
-                        "k-means requests are not coalescible; serve them individually".into(),
-                    ));
-                }
-                let policy_entry = self.policy_entry(&request.policy)?;
-                let entry = self.dataset_entry(&request.data)?;
-                self.validate(&request.kind, &policy_entry.policy, &entry)?;
-                let class = request
-                    .query_class()
-                    .expect("non-kmeans kinds always map to a query class");
-                let sensitivity = self.sensitivity_for(&policy_entry, &class)?;
-                Ok((entry, sensitivity))
-            })();
+            let resolved =
+                (|| -> Result<(DatasetEntry, f64, (FlightGuard, FlightGuard)), EngineError> {
+                    if matches!(request.kind, RequestKind::KMeans { .. }) {
+                        return Err(EngineError::InvalidRequest(
+                            "k-means requests are not coalescible; serve them individually".into(),
+                        ));
+                    }
+                    let (policy_entry, policy_flight) =
+                        self.pinned_policy_entry(&request.policy)?;
+                    let (entry, data_flight) = self.pinned_dataset_entry(&request.data)?;
+                    let flights = (policy_flight, data_flight);
+                    self.validate(&request.kind, &policy_entry.policy, &entry)?;
+                    let class = request
+                        .query_class()
+                        .expect("non-kmeans kinds always map to a query class");
+                    let sensitivity = self.sensitivity_for(&policy_entry, &class)?;
+                    Ok((entry, sensitivity, flights))
+                })();
             match resolved {
                 Err(e) => {
                     for slot in &mut out[gi] {
                         *slot = Some(Err(e.clone()));
                     }
                 }
-                Ok((entry, sensitivity)) => {
+                Ok((entry, sensitivity, flights)) => {
                     let label = if analysts.len() > 1 {
                         format!("coalesced:{}x{}", analysts.len(), request.label())
                     } else {
                         request.label()
                     };
+                    let free = sensitivity == 0.0;
                     // Charge each waiter on their own ledger; a refusal
-                    // (or unknown analyst) fails only that slot.
+                    // (or unknown analyst) fails only that slot. Charges
+                    // stay in slice order so the WAL reads like the
+                    // deterministic charge sequence.
                     let mut any_charged = false;
                     for (ai, analyst) in analysts.iter().enumerate() {
                         let charged = self.session(analyst).and_then(|session| {
                             session.lock().expect("session poisoned").charge(
                                 label.clone(),
                                 request.epsilon,
-                                sensitivity == 0.0,
+                                free,
                             )
                         });
                         match charged {
-                            Ok(()) => any_charged = true, // slot stays None: filled by the release
+                            Ok(()) => {
+                                any_charged = true; // slot stays None: filled by the release
+                                if self.store.is_some() {
+                                    charge_records.push(Record::charged(
+                                        analyst,
+                                        &label,
+                                        if free { 0.0 } else { request.epsilon.value() },
+                                    ));
+                                }
+                            }
                             Err(e) => out[gi][ai] = Some(Err(e)),
                         }
                     }
@@ -712,10 +1247,32 @@ impl Engine {
                             epsilon: request.epsilon,
                             sensitivity,
                             rng: self.release_rng(),
+                            _flights: flights,
                         });
                     }
                 }
             }
+        }
+
+        // Acknowledge-after-durable: the whole tick's fan-out charges —
+        // every waiter of every group — reach the WAL in ONE group
+        // commit before any release executes.
+        let durable = match &self.store {
+            Some(store) if !charge_records.is_empty() => store
+                .commit(&charge_records)
+                .map_err(EngineError::Store)
+                .err(),
+            _ => None,
+        };
+        if let Some(e) = durable {
+            for p in &prepared {
+                for slot in &mut out[p.group] {
+                    if slot.is_none() {
+                        *slot = Some(Err(e.clone()));
+                    }
+                }
+            }
+            prepared.clear();
         }
 
         // One release per prepared group, fanned across threads.
@@ -839,6 +1396,36 @@ impl Engine {
             }
         }
     }
+}
+
+/// Content fingerprint of a dataset: domain size plus the exact bit
+/// patterns of its histogram counts. Serving only ever reads the
+/// histogram (and its prefix sums), so histogram-equal datasets are
+/// serving-equivalent by construction.
+fn dataset_fingerprint(dataset: &Dataset, histogram: &Histogram) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + histogram.len() * 8);
+    bytes.extend_from_slice(&(dataset.domain().size() as u64).to_le_bytes());
+    for c in histogram.counts() {
+        bytes.extend_from_slice(&c.to_bits().to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+/// Content fingerprint of a point set: dimensionality, bounding box and
+/// every coordinate's bit pattern.
+fn points_fingerprint(points: &PointSet) -> u64 {
+    let mut bytes = Vec::with_capacity(16 + points.len() * points.dim() * 8);
+    bytes.extend_from_slice(&(points.dim() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(points.len() as u64).to_le_bytes());
+    for v in points.bbox().lo.iter().chain(&points.bbox().hi) {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    for p in points.iter() {
+        for v in p {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    fnv1a(&bytes)
 }
 
 /// Derives a sound per-class sensitivity from the Theorem 8.2 histogram

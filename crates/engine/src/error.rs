@@ -3,6 +3,7 @@
 use bf_constraints::error::ConstraintError;
 use bf_core::CoreError;
 use bf_domain::DomainError;
+use bf_store::StoreError;
 use std::fmt;
 
 /// Errors raised by registration, session management and query serving.
@@ -43,6 +44,33 @@ pub enum EngineError {
     /// A constrained policy failed the Section 8 machinery at
     /// registration (non-sparse constraints, over-budget edge scan).
     Constraint(ConstraintError),
+    /// The durable store refused or failed. For charges this means the
+    /// request was **not** answered: a charge is acknowledged only after
+    /// it is durable, so a store failure refuses the release rather than
+    /// risk answering from a ledger a crash could forget.
+    Store(StoreError),
+    /// The analyst's session was evicted for idleness; its spent ε is
+    /// parked (and durable when a store is attached). Reopen the session
+    /// with the original total to reattach and continue.
+    SessionEvicted(String),
+    /// Deregistration refused because releases against this object are
+    /// currently executing; retry once they drain.
+    ReleasesInFlight {
+        /// `"policy"`, `"dataset"` or `"points"`.
+        kind: &'static str,
+        /// The name whose removal was refused.
+        name: String,
+    },
+    /// Re-registration after recovery presented an object whose content
+    /// fingerprint differs from the durably recorded one — a swapped
+    /// object must not inherit the original's spent ledgers and cached
+    /// sensitivities.
+    RegistrationMismatch {
+        /// `"policy"`, `"dataset"` or `"points"`.
+        kind: &'static str,
+        /// The offending name.
+        name: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -66,6 +94,19 @@ impl fmt::Display for EngineError {
             EngineError::Core(e) => write!(f, "core error: {e}"),
             EngineError::Domain(e) => write!(f, "domain error: {e}"),
             EngineError::Constraint(e) => write!(f, "constraint error: {e}"),
+            EngineError::Store(e) => write!(f, "store error: {e}"),
+            EngineError::SessionEvicted(n) => write!(
+                f,
+                "session for {n:?} was evicted; reopen with the original total to reattach"
+            ),
+            EngineError::ReleasesInFlight { kind, name } => {
+                write!(f, "cannot deregister {kind} {name:?}: releases in flight")
+            }
+            EngineError::RegistrationMismatch { kind, name } => write!(
+                f,
+                "{kind} {name:?} does not match the durably recorded fingerprint; \
+                 a swapped object cannot inherit the original's ledgers"
+            ),
         }
     }
 }
@@ -76,6 +117,7 @@ impl std::error::Error for EngineError {
             EngineError::Core(e) => Some(e),
             EngineError::Domain(e) => Some(e),
             EngineError::Constraint(e) => Some(e),
+            EngineError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -111,5 +153,20 @@ mod tests {
         assert!(e.to_string().contains("0.5"));
         let c: EngineError = CoreError::InvalidEpsilon(-1.0).into();
         assert!(std::error::Error::source(&c).is_some());
+        let s = EngineError::Store(StoreError::Poisoned("disk".into()));
+        assert!(s.to_string().contains("disk"));
+        assert!(std::error::Error::source(&s).is_some());
+        let e = EngineError::SessionEvicted("idle-ana".into());
+        assert!(e.to_string().contains("idle-ana"));
+        let r = EngineError::ReleasesInFlight {
+            kind: "policy",
+            name: "pol".into(),
+        };
+        assert!(r.to_string().contains("policy"));
+        let m = EngineError::RegistrationMismatch {
+            kind: "dataset",
+            name: "ds".into(),
+        };
+        assert!(m.to_string().contains("fingerprint"));
     }
 }

@@ -41,6 +41,18 @@
 //!   once at registration and calibrates histogram / range / linear
 //!   releases (cumulative and k-means are refused — no sound
 //!   constrained calibration exists for them).
+//! * **Durability** ([`Engine::with_store`]): with a `bf-store` WAL
+//!   attached, every charge is committed durably *before* its release
+//!   executes (acknowledge-after-durable), sessions recovered after a
+//!   crash resume with their spent ε intact, and re-registration after
+//!   recovery is fingerprint-checked so a swapped policy or dataset
+//!   cannot inherit the original's ledgers.
+//! * **Lifecycle**: idle sessions can be evicted
+//!   ([`Engine::evict_idle_sessions`]) — their ledgers park and
+//!   reattach on the next `open_session`, so eviction never forgets
+//!   spent budget — and registry entries can be removed
+//!   ([`Engine::deregister_policy`] et al.), refused only while
+//!   releases are in flight.
 //!
 //! The engine is `Send + Sync`; wrap it in an `Arc` and serve from as
 //! many threads as you like. The four registries are 16-way sharded by
@@ -57,10 +69,13 @@ mod session;
 mod shard;
 
 pub use cache::{CacheStats, SensitivityCache};
-pub use engine::Engine;
+pub use engine::{Engine, ParkedSession};
 pub use error::EngineError;
 pub use request::{Request, RequestKind, Response};
 pub use session::AnalystSession;
+
+// The durable-ledger types engine callers need to attach persistence.
+pub use bf_store::{Store, StoreError, StoreStats};
 
 #[cfg(test)]
 mod tests {
@@ -640,6 +655,263 @@ mod tests {
             .iter()
             .all(|r| matches!(r, Err(EngineError::InvalidRequest(_)))));
         assert_eq!(engine.session_snapshot("alice").unwrap().spent(), 0.0);
+    }
+
+    #[test]
+    fn durable_charges_survive_restart_and_refuse_overdraft() {
+        let dir = bf_store::scratch_dir("engine-restart");
+        let build = || {
+            let store = Arc::new(Store::open(&dir).unwrap());
+            let engine = Engine::with_store(42, store);
+            let domain = Domain::line(32).unwrap();
+            engine
+                .register_policy("pol", Policy::distance_threshold(domain.clone(), 2))
+                .unwrap();
+            let rows: Vec<usize> = (0..320).map(|i| (i * 7) % 32).collect();
+            engine
+                .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+                .unwrap();
+            engine
+        };
+        {
+            let engine = build();
+            engine.open_session("alice", eps(1.0)).unwrap();
+            engine
+                .serve("alice", &Request::range("pol", "ds", eps(0.4), 1, 9))
+                .unwrap();
+            engine
+                .serve("alice", &Request::histogram("pol", "ds", eps(0.3)))
+                .unwrap();
+        } // dropped without checkpoint: simulated crash
+        let engine = build();
+        // The session is parked, not live; serving demands a reattach.
+        assert!(matches!(
+            engine.serve("alice", &Request::range("pol", "ds", eps(0.1), 0, 5)),
+            Err(EngineError::SessionEvicted(_))
+        ));
+        let parked = engine.parked_session("alice").unwrap();
+        assert!((parked.spent - 0.7).abs() < 1e-12);
+        assert_eq!(parked.served, 2);
+        // Reattach requires the original total…
+        assert!(matches!(
+            engine.open_session("alice", eps(5.0)),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        engine.open_session("alice", eps(1.0)).unwrap();
+        // …and the recovered ledger refuses what the pre-crash ledger
+        // would have refused.
+        assert!(matches!(
+            engine.serve("alice", &Request::range("pol", "ds", eps(0.5), 0, 5)),
+            Err(EngineError::BudgetRefused { .. })
+        ));
+        engine
+            .serve("alice", &Request::range("pol", "ds", eps(0.3), 0, 5))
+            .unwrap();
+        assert!(engine.session_remaining("alice").unwrap() < 1e-12);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eviction_parks_and_reattaches_without_forgetting() {
+        let engine = engine_with_line_policy(32, 2);
+        engine.open_session("alice", eps(1.0)).unwrap();
+        engine
+            .serve("alice", &Request::range("pol", "ds", eps(0.6), 2, 9))
+            .unwrap();
+        // Grab the live handle first so the stale-handle path is tested.
+        let req = Request::range("pol", "ds", eps(0.1), 0, 5);
+        let evicted = engine.evict_idle_sessions(std::time::Duration::ZERO);
+        assert_eq!(evicted, vec!["alice".to_owned()]);
+        assert!(matches!(
+            engine.serve("alice", &req),
+            Err(EngineError::SessionEvicted(_))
+        ));
+        assert!(matches!(
+            engine.evict_session("alice"),
+            Err(EngineError::SessionEvicted(_))
+        ));
+        assert_eq!(engine.parked_analysts(), vec!["alice".to_owned()]);
+        // Reattach: spent ε survives the round trip.
+        engine.open_session("alice", eps(1.0)).unwrap();
+        assert!((engine.session_remaining("alice").unwrap() - 0.4).abs() < 1e-12);
+        assert!(engine.parked_analysts().is_empty());
+        let snap = engine.session_snapshot("alice").unwrap();
+        assert_eq!(snap.served(), 1);
+        assert_eq!(snap.ledger(), &[("recovered".to_owned(), 0.6)]);
+        engine.serve("alice", &req).unwrap();
+        // A session that was never opened is still "unknown", not
+        // "evicted".
+        assert!(matches!(
+            engine.evict_session("nobody"),
+            Err(EngineError::UnknownAnalyst(_))
+        ));
+    }
+
+    #[test]
+    fn deregistration_frees_names_for_different_objects() {
+        let engine = engine_with_line_policy(16, 1);
+        engine.open_session("alice", eps(10.0)).unwrap();
+        engine
+            .serve("alice", &Request::histogram("pol", "ds", eps(0.1)))
+            .unwrap();
+        // Deregister and rebind both names to different objects.
+        engine.deregister_dataset("ds").unwrap();
+        assert!(matches!(
+            engine.serve("alice", &Request::histogram("pol", "ds", eps(0.1))),
+            Err(EngineError::UnknownDataset(_))
+        ));
+        let domain = Domain::line(16).unwrap();
+        engine
+            .register_dataset(
+                "ds",
+                Dataset::from_rows(domain.clone(), vec![3, 3, 9]).unwrap(),
+            )
+            .unwrap();
+        engine.deregister_policy("pol").unwrap();
+        engine
+            .register_policy("pol", Policy::differential_privacy(domain))
+            .unwrap();
+        engine
+            .serve("alice", &Request::histogram("pol", "ds", eps(0.1)))
+            .unwrap();
+        // Unknown names are typed.
+        assert!(matches!(
+            engine.deregister_policy("nope"),
+            Err(EngineError::UnknownPolicy(_))
+        ));
+        assert!(matches!(
+            engine.deregister_dataset("nope"),
+            Err(EngineError::UnknownDataset(_))
+        ));
+        assert!(matches!(
+            engine.deregister_points("nope"),
+            Err(EngineError::UnknownPoints(_))
+        ));
+    }
+
+    #[test]
+    fn deregistration_respects_in_flight_releases() {
+        // A serving thread hammers the engine while the main thread
+        // tries to deregister: the engine must never panic or serve a
+        // half-removed object, and the deregistration must eventually
+        // succeed once releases drain.
+        let engine = Arc::new(engine_with_line_policy(64, 2));
+        engine.open_session("alice", eps(1e6)).unwrap();
+        let serving = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut served = 0u32;
+                for i in 0..200 {
+                    let lo = i % 32;
+                    match engine.serve(
+                        "alice",
+                        &Request::range("pol", "ds", eps(0.001), lo, lo + 16),
+                    ) {
+                        Ok(_) => served += 1,
+                        Err(EngineError::UnknownDataset(_) | EngineError::UnknownPolicy(_)) => {
+                            break
+                        }
+                        Err(e) => panic!("unexpected serve error: {e}"),
+                    }
+                }
+                served
+            })
+        };
+        // Keep trying until the entry is free of in-flight releases.
+        let mut dereg_result;
+        loop {
+            dereg_result = engine.deregister_dataset("ds");
+            match &dereg_result {
+                Ok(()) => break,
+                Err(EngineError::ReleasesInFlight { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected deregister error: {e}"),
+            }
+        }
+        let served = serving.join().unwrap();
+        assert!(dereg_result.is_ok());
+        // Every successful serve charged exactly once.
+        let snap = engine.session_snapshot("alice").unwrap();
+        assert_eq!(snap.served(), u64::from(served));
+        assert!((snap.spent() - f64::from(served) * 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovered_registrations_are_fingerprint_checked() {
+        let dir = bf_store::scratch_dir("engine-fingerprint");
+        let domain = Domain::line(16).unwrap();
+        let honest = Dataset::from_rows(domain.clone(), vec![1, 2, 3, 3]).unwrap();
+        let swapped = Dataset::from_rows(domain.clone(), vec![9, 9, 9, 9]).unwrap();
+        {
+            let store = Arc::new(Store::open(&dir).unwrap());
+            let engine = Engine::with_store(7, store);
+            engine
+                .register_policy("pol", Policy::distance_threshold(domain.clone(), 2))
+                .unwrap();
+            engine.register_dataset("ds", honest.clone()).unwrap();
+        }
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let engine = Engine::with_store(7, store);
+        // A swapped dataset under the recovered name is refused…
+        assert!(matches!(
+            engine.register_dataset("ds", swapped.clone()),
+            Err(EngineError::RegistrationMismatch {
+                kind: "dataset",
+                ..
+            })
+        ));
+        // …a different policy too…
+        assert!(matches!(
+            engine.register_policy("pol", Policy::differential_privacy(domain.clone())),
+            Err(EngineError::RegistrationMismatch { kind: "policy", .. })
+        ));
+        // …while the honest objects reattach cleanly.
+        engine
+            .register_policy("pol", Policy::distance_threshold(domain, 2))
+            .unwrap();
+        engine.register_dataset("ds", honest).unwrap();
+        // After deregistration the name is genuinely free again.
+        engine.deregister_dataset("ds").unwrap();
+        engine.register_dataset("ds", swapped).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn coalesced_fanout_charges_are_durable() {
+        let dir = bf_store::scratch_dir("engine-coalesced");
+        let domain = Domain::line(64).unwrap();
+        let rows: Vec<usize> = (0..640).map(|i| (i * 7) % 64).collect();
+        {
+            let store = Arc::new(Store::open(&dir).unwrap());
+            let engine = Engine::with_store(9, store);
+            engine
+                .register_policy("pol", Policy::distance_threshold(domain.clone(), 2))
+                .unwrap();
+            engine
+                .register_dataset(
+                    "ds",
+                    Dataset::from_rows(domain.clone(), rows.clone()).unwrap(),
+                )
+                .unwrap();
+            let analysts: Vec<String> = (0..5).map(|i| format!("a{i}")).collect();
+            for a in &analysts {
+                engine.open_session(a, eps(1.0)).unwrap();
+            }
+            let req = Request::range("pol", "ds", eps(0.25), 5, 30);
+            let out = engine.serve_coalesced(&analysts, &req);
+            assert!(out.iter().all(|r| r.is_ok()));
+            let stats = engine.store().unwrap().stats();
+            // 5 opens + 5 fan-out charges + 2 registrations appended; the
+            // 5 fan-out charges rode in ONE commit.
+            assert_eq!(stats.appended_records, 12);
+            assert_eq!(stats.commits, 8);
+        }
+        let store = Store::open(&dir).unwrap();
+        for i in 0..5 {
+            let s = &store.recovered_state().sessions[&format!("a{i}")];
+            assert!((s.spent - 0.25).abs() < 1e-12, "analyst a{i}: {}", s.spent);
+            assert_eq!(s.served, 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -11,9 +11,17 @@
 //! Section 5) are exact and free: the mechanism's output is fully
 //! determined by information the policy already declares public, so the
 //! session records the query at ε = 0.
+//!
+//! Sessions have a **lifecycle**: an idle session can be *evicted* (its
+//! ledger parked in memory and, when a store is attached, already
+//! durable in the WAL), after which in-flight charges against the stale
+//! handle refuse instead of landing in a ledger nobody tracks. A parked
+//! session *reattaches* on the next `open_session` with the same total —
+//! spent ε survives eviction, restarts, everything.
 
 use crate::error::EngineError;
 use bf_core::{BudgetAccountant, CoreError, Epsilon};
+use std::time::{Duration, Instant};
 
 /// One analyst's ε-ledger plus serving statistics.
 #[derive(Debug, Clone)]
@@ -22,6 +30,8 @@ pub struct AnalystSession {
     accountant: BudgetAccountant,
     served: u64,
     refused: u64,
+    last_active: Instant,
+    evicted: bool,
 }
 
 impl AnalystSession {
@@ -32,7 +42,36 @@ impl AnalystSession {
             accountant: BudgetAccountant::new(total),
             served: 0,
             refused: 0,
+            last_active: Instant::now(),
+            evicted: false,
         }
+    }
+
+    /// Rebuilds a session from a parked or durably recovered ledger
+    /// summary: the prior spend appears as one aggregate `"recovered"`
+    /// ledger entry.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Core`] when the summary is malformed (negative or
+    /// overspent ledgers cannot have come from a valid history).
+    pub fn restore(
+        analyst: impl Into<String>,
+        total: Epsilon,
+        spent: f64,
+        served: u64,
+        refused: u64,
+    ) -> Result<Self, EngineError> {
+        let accountant =
+            BudgetAccountant::restore(total, spent, "recovered").map_err(EngineError::Core)?;
+        Ok(Self {
+            analyst: analyst.into(),
+            accountant,
+            served,
+            refused,
+            last_active: Instant::now(),
+            evicted: false,
+        })
     }
 
     /// The analyst's name.
@@ -70,6 +109,26 @@ impl AnalystSession {
         self.accountant.ledger()
     }
 
+    /// Time since the last charge attempt (or since open/restore).
+    pub fn idle_for(&self) -> Duration {
+        self.last_active.elapsed()
+    }
+
+    /// Whether this session has been evicted (stale handles refuse).
+    pub fn is_evicted(&self) -> bool {
+        self.evicted
+    }
+
+    /// Marks the session evicted. The engine's eviction path calls this
+    /// under the session mutex **before** parking the ledger summary and
+    /// before removing the session from the live registry: any charge
+    /// serialized after the mark (including an in-flight serve that
+    /// already resolved the `Arc`) refuses, so the parked snapshot taken
+    /// in the same critical section can never miss a spend.
+    pub(crate) fn mark_evicted(&mut self) {
+        self.evicted = true;
+    }
+
     /// Draws `epsilon` from the ledger for a release, or refuses. Pass
     /// `free = true` for zero-sensitivity releases: the query is recorded
     /// in the ledger at ε = 0 and always succeeds.
@@ -78,12 +137,18 @@ impl AnalystSession {
     ///
     /// [`EngineError::BudgetRefused`] when the spend would overdraw; the
     /// ledger is unchanged and the caller must not run the mechanism.
+    /// [`EngineError::SessionEvicted`] when the session was evicted
+    /// between resolution and charge; reattach and retry.
     pub fn charge(
         &mut self,
         label: impl Into<String>,
         epsilon: Epsilon,
         free: bool,
     ) -> Result<(), EngineError> {
+        if self.evicted {
+            return Err(EngineError::SessionEvicted(self.analyst.clone()));
+        }
+        self.last_active = Instant::now();
         if free {
             self.accountant.note_free(label);
             self.served += 1;
@@ -148,5 +213,37 @@ mod tests {
         assert_eq!(s.analyst(), "carol");
         assert_eq!(s.total().value(), 2.0);
         assert_eq!(s.spent(), 0.0);
+        assert!(!s.is_evicted());
+        assert!(s.idle_for() < Duration::from_secs(60));
+    }
+
+    #[test]
+    fn restore_resumes_and_enforces() {
+        let mut s = AnalystSession::restore("dave", eps(1.0), 0.75, 3, 1).unwrap();
+        assert_eq!(s.served(), 3);
+        assert_eq!(s.refused(), 1);
+        assert!((s.remaining() - 0.25).abs() < 1e-12);
+        assert!(matches!(
+            s.charge("big", eps(0.5), false),
+            Err(EngineError::BudgetRefused { .. })
+        ));
+        s.charge("fits", eps(0.25), false).unwrap();
+        assert!(AnalystSession::restore("x", eps(1.0), 2.0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn evicted_sessions_refuse_charges() {
+        let mut s = AnalystSession::new("eve", eps(1.0));
+        s.mark_evicted();
+        assert!(s.is_evicted());
+        let err = s.charge("q", eps(0.1), false).unwrap_err();
+        assert!(matches!(err, EngineError::SessionEvicted(_)));
+        // Even free ones: the parked copy would miss the served count.
+        assert!(matches!(
+            s.charge("free", eps(0.1), true),
+            Err(EngineError::SessionEvicted(_))
+        ));
+        assert_eq!(s.spent(), 0.0);
+        assert_eq!(s.served(), 0);
     }
 }

@@ -20,15 +20,10 @@ use std::sync::RwLock;
 /// Fixed shard fan-out for every engine registry.
 pub const SHARD_COUNT: usize = 16;
 
-/// FNV-1a over the key bytes; stable across runs so tests can pin shard
-/// placement.
+/// FNV-1a over the key bytes (the workspace's one copy of the hash, in
+/// `bf-store`); stable across runs so tests can pin shard placement.
 fn shard_index(key: &str) -> usize {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in key.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    (h % SHARD_COUNT as u64) as usize
+    (bf_store::fnv1a(key.as_bytes()) % SHARD_COUNT as u64) as usize
 }
 
 /// A string-keyed concurrent map split into [`SHARD_COUNT`] independent
@@ -85,6 +80,53 @@ impl<V> ShardedMap<V> {
             .cloned()
     }
 
+    /// Runs `f` on the value under `key` while the shard read lock is
+    /// held. This is the pinning primitive: a side effect of `f` (e.g.
+    /// incrementing an in-flight counter) is guaranteed to be visible to
+    /// any later [`ShardedMap::remove_if`] on the same key, because that
+    /// removal takes the same shard's write lock.
+    pub fn get_with<R>(&self, key: &str, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.shard(key)
+            .read()
+            .expect("registry shard poisoned")
+            .get(key)
+            .map(f)
+    }
+
+    /// Inserts `value` under `key`, replacing any previous value. Used
+    /// by parking/eviction paths where replacement is the intent.
+    pub fn insert_or_replace(&self, key: String, value: V) {
+        self.shard(&key)
+            .write()
+            .expect("registry shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Removes and returns the value under `key`, if any.
+    pub fn remove(&self, key: &str) -> Option<V> {
+        self.shard(key)
+            .write()
+            .expect("registry shard poisoned")
+            .remove(key)
+    }
+
+    /// Removes the value under `key` only when `pred` approves it —
+    /// checked and removed under one shard write lock, so no new value
+    /// can slip in between the check and the removal.
+    ///
+    /// # Errors
+    ///
+    /// `Err(())` when the key is present but `pred` refused (the caller
+    /// reports *why* it refused; the map cannot know).
+    pub fn remove_if(&self, key: &str, pred: impl FnOnce(&V) -> bool) -> Result<Option<V>, ()> {
+        let mut shard = self.shard(key).write().expect("registry shard poisoned");
+        match shard.get(key) {
+            None => Ok(None),
+            Some(v) if pred(v) => Ok(shard.remove(key)),
+            Some(_) => Err(()),
+        }
+    }
+
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
         self.shards
@@ -122,6 +164,22 @@ mod tests {
         assert_eq!(map.get("a"), Some(1));
         assert_eq!(map.get("b"), None);
         assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_conditional_remove() {
+        let map: ShardedMap<u32> = ShardedMap::new();
+        map.insert_if_absent("a".into(), 1).unwrap();
+        map.insert_or_replace("a".into(), 2);
+        assert_eq!(map.get("a"), Some(2));
+        assert_eq!(map.remove_if("a", |&v| v == 99), Err(()));
+        assert_eq!(map.get("a"), Some(2), "refused removal leaves the entry");
+        assert_eq!(map.remove_if("a", |&v| v == 2), Ok(Some(2)));
+        assert_eq!(map.remove_if("a", |_| true), Ok(None));
+        map.insert_or_replace("b".into(), 7);
+        assert_eq!(map.remove("b"), Some(7));
+        assert_eq!(map.remove("b"), None);
+        assert_eq!(map.len(), 0);
     }
 
     #[test]

@@ -31,6 +31,17 @@
 //! * **Admission control is typed.** Full queues and exhausted budgets
 //!   refuse at the door with [`ServerError`]s instead of occupying
 //!   scheduler state.
+//! * **The window adapts to load.** With
+//!   [`ServerConfig::adaptive_window`] the coalescing window scales
+//!   with queue depth — zero ticks when idle (minimum latency), up to
+//!   `coalesce_window` ticks under burst (maximum one-release-many-
+//!   answers amplification).
+//! * **Sessions and processes have lifecycles.**
+//!   [`ServerConfig::session_ttl`] sweeps idle engine sessions into the
+//!   parked state (spent ε preserved, reattach on reopen);
+//!   [`Server::shutdown`] closes the doors, drains every queued ticket,
+//!   and flushes + compacts the engine's durable store so the next
+//!   process recovers instantly from a snapshot.
 //!
 //! Determinism: queues drain in analyst-name order, groups dispatch in
 //! creation order, and the engine assigns release ordinals sequentially
@@ -43,7 +54,9 @@ mod server;
 mod ticket;
 
 pub use error::ServerError;
-pub use server::{DriverHandle, Server, ServerConfig, ServerStats};
+pub use server::{
+    adaptive_window_ticks, DriverHandle, Server, ServerConfig, ServerStats, EVICT_CHECK_EVERY,
+};
 pub use ticket::Ticket;
 
 #[cfg(test)]
@@ -244,6 +257,180 @@ mod tests {
             .unwrap();
         server.pump_until_idle(); // must terminate
         assert!(t.wait().is_ok());
+    }
+
+    #[test]
+    fn adaptive_window_dispatches_idle_traffic_immediately() {
+        // Fixed window 4: a lone request waits the full window.
+        let fixed = {
+            let engine = engine(21);
+            engine.open_session("a", eps(1.0)).unwrap();
+            let server = Server::new(
+                Arc::clone(&engine),
+                ServerConfig {
+                    coalesce_window: 4,
+                    adaptive_window: false,
+                    ..ServerConfig::default()
+                },
+            );
+            let t = server
+                .submit("a", Request::range("pol", "ds", eps(0.1), 0, 9))
+                .unwrap();
+            let mut ticks = 0;
+            while t.try_take().is_none() {
+                server.tick();
+                ticks += 1;
+                assert!(ticks < 100);
+            }
+            ticks
+        };
+        // Adaptive: the backlog (1 request < quantum) yields window 0 —
+        // answered on the first tick.
+        let adaptive = {
+            let engine = engine(21);
+            engine.open_session("a", eps(1.0)).unwrap();
+            let server = Server::new(
+                Arc::clone(&engine),
+                ServerConfig {
+                    coalesce_window: 4,
+                    adaptive_window: true,
+                    ..ServerConfig::default()
+                },
+            );
+            let t = server
+                .submit("a", Request::range("pol", "ds", eps(0.1), 0, 9))
+                .unwrap();
+            server.tick();
+            assert!(t.try_take().is_some(), "idle traffic must not wait");
+            1
+        };
+        assert!(adaptive < fixed, "adaptive {adaptive} vs fixed {fixed}");
+    }
+
+    #[test]
+    fn adaptive_window_grows_under_burst_and_coalesces_across_ticks() {
+        let engine = engine(22);
+        engine.open_session("a", eps(1.0)).unwrap();
+        engine.open_session("b", eps(1.0)).unwrap();
+        let server = Server::new(
+            Arc::clone(&engine),
+            ServerConfig {
+                coalesce_window: 8,
+                adaptive_window: true,
+                quantum: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let req = || Request::range("pol", "ds", eps(0.5), 8, 24);
+        // a's request drains at tick 1 with depth 1 ≥ quantum → window 1:
+        // the group stays open long enough for b's later arrival.
+        let ta = server.submit("a", req()).unwrap();
+        server.tick();
+        assert!(ta.try_take().is_none(), "group must wait for the window");
+        let tb = server.submit("b", req()).unwrap();
+        server.pump_until_idle();
+        let a = ta.wait().unwrap().scalar().unwrap();
+        let b = tb.wait().unwrap().scalar().unwrap();
+        assert_eq!(a.to_bits(), b.to_bits(), "one release served both");
+        let stats = server.stats();
+        assert_eq!(stats.releases, 1, "cross-tick arrivals coalesced");
+        assert_eq!(stats.coalesced_answers, 2);
+    }
+
+    #[test]
+    fn adaptive_window_formula_is_monotone_and_capped() {
+        assert_eq!(adaptive_window_ticks(0, 8, 6), 0);
+        assert_eq!(adaptive_window_ticks(7, 8, 6), 0);
+        assert_eq!(adaptive_window_ticks(8, 8, 6), 1);
+        assert_eq!(adaptive_window_ticks(16, 8, 6), 2);
+        assert_eq!(adaptive_window_ticks(usize::MAX, 8, 6), 6, "capped");
+        assert_eq!(adaptive_window_ticks(100, 0, 6), 6, "quantum clamped");
+        let mut last = 0;
+        for depth in 0..4096 {
+            let w = adaptive_window_ticks(depth, 4, 10);
+            assert!(w >= last, "monotone in depth");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn ttl_eviction_parks_sessions_and_reattach_resumes() {
+        let engine = engine(23);
+        engine.open_session("a", eps(1.0)).unwrap();
+        let server = Server::new(
+            Arc::clone(&engine),
+            ServerConfig {
+                coalesce_window: 0,
+                session_ttl: Some(std::time::Duration::ZERO),
+                ..ServerConfig::default()
+            },
+        );
+        let t = server
+            .submit("a", Request::range("pol", "ds", eps(0.25), 0, 9))
+            .unwrap();
+        server.tick(); // serves the request, then sweeps the idle session
+        assert!(t.wait().is_ok());
+        assert_eq!(server.stats().evicted_sessions, 1);
+        // The parked session refuses at the door until reattached.
+        assert!(matches!(
+            server.submit("a", Request::range("pol", "ds", eps(0.1), 0, 9)),
+            Err(ServerError::Engine(EngineError::SessionEvicted(_)))
+        ));
+        let parked = engine.parked_session("a").unwrap();
+        assert!((parked.spent - 0.25).abs() < 1e-12);
+        engine.open_session("a", eps(1.0)).unwrap();
+        assert!((engine.session_remaining("a").unwrap() - 0.75).abs() < 1e-12);
+        let t = server
+            .submit("a", Request::range("pol", "ds", eps(0.1), 0, 9))
+            .unwrap();
+        server.pump_until_idle();
+        assert!(t.wait().is_ok());
+    }
+
+    #[test]
+    fn shutdown_drains_then_refuses_and_checkpoints() {
+        let dir = bf_store::scratch_dir("server-shutdown");
+        {
+            let store = Arc::new(bf_engine::Store::open(&dir).unwrap());
+            let engine = {
+                let engine = bf_engine::Engine::with_store(31, Arc::clone(&store));
+                let domain = Domain::line(64).unwrap();
+                engine
+                    .register_policy("pol", Policy::distance_threshold(domain.clone(), 2))
+                    .unwrap();
+                let rows: Vec<usize> = (0..640).map(|i| (i * 7) % 64).collect();
+                engine
+                    .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+                    .unwrap();
+                Arc::new(engine)
+            };
+            engine.open_session("a", eps(1.0)).unwrap();
+            let server = Server::with_defaults(Arc::clone(&engine));
+            let t = server
+                .submit("a", Request::range("pol", "ds", eps(0.25), 0, 9))
+                .unwrap();
+            let stats = server.shutdown().unwrap();
+            assert_eq!(stats.answered, 1, "queued work answered before close");
+            assert!(t.wait().is_ok());
+            assert!(matches!(
+                server.submit("a", Request::range("pol", "ds", eps(0.1), 0, 9)),
+                Err(ServerError::ShutDown)
+            ));
+            // The live store refuses a second open (directory lock) …
+            assert!(matches!(
+                bf_engine::Store::open(&dir),
+                Err(bf_engine::StoreError::Io { .. })
+            ));
+            assert_eq!(store.stats().compactions, 1);
+        }
+        // … and once dropped, a reopening process recovers from the
+        // snapshot the checkpoint wrote.
+        let reopened = bf_engine::Store::open(&dir).unwrap();
+        assert!(reopened.recovery_report().snapshot_segment.is_some());
+        let s = &reopened.recovered_state().sessions["a"];
+        assert!((s.spent - 0.25).abs() < 1e-12);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

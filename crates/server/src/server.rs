@@ -16,8 +16,16 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Ticks a freshly formed coalescing group waits for identical
     /// requests from other sessions before dispatching. `0` dispatches
-    /// the same tick (coalescing only among same-tick arrivals).
+    /// the same tick (coalescing only among same-tick arrivals). With
+    /// [`ServerConfig::adaptive_window`] set this is the **maximum**
+    /// window.
     pub coalesce_window: u64,
+    /// Scale the coalescing window with queue depth instead of using a
+    /// fixed tick count: an idle server dispatches groups the tick they
+    /// form (minimum latency), a backlogged one waits up to
+    /// `coalesce_window` ticks so more identical requests fold into each
+    /// release (maximum amplification). See [`adaptive_window_ticks`].
+    pub adaptive_window: bool,
     /// Requests per unit of analyst weight drained per tick (the DRR
     /// quantum).
     pub quantum: u32,
@@ -27,6 +35,12 @@ pub struct ServerConfig {
     /// requests out of the queues. Disable to let zero-sensitivity
     /// (free) requests through an exhausted ledger.
     pub admission_control: bool,
+    /// Evict engine sessions idle for at least this long (checked every
+    /// [`EVICT_CHECK_EVERY`] ticks). Evicted ledgers park — spent ε is
+    /// preserved (and durable when the engine has a store) — and
+    /// reattach on the analyst's next `open_session`. `None` disables
+    /// eviction.
+    pub session_ttl: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -34,10 +48,33 @@ impl Default for ServerConfig {
         Self {
             queue_capacity: 128,
             coalesce_window: 2,
+            adaptive_window: false,
             quantum: 8,
             admission_control: true,
+            session_ttl: None,
         }
     }
+}
+
+/// How often (in ticks) the TTL sweep runs. The sweep scans every live
+/// session, so it is amortized rather than per-tick; the first tick
+/// also checks (`tick % EVICT_CHECK_EVERY == 1`) to keep short
+/// deterministic tests honest.
+pub const EVICT_CHECK_EVERY: u64 = 32;
+
+/// The load-adaptive coalescing window: `0` when the backlog fits in
+/// one quantum (dispatch immediately — nothing more is coming), growing
+/// logarithmically with the number of quanta queued, capped at
+/// `max_window`. Deterministic in the queue depth, so same-trace runs
+/// pick the same windows.
+pub fn adaptive_window_ticks(depth: usize, quantum: u32, max_window: u64) -> u64 {
+    let mut quanta = depth / quantum.max(1) as usize;
+    let mut window = 0u64;
+    while quanta > 0 && window < max_window {
+        window += 1;
+        quanta >>= 1;
+    }
+    window
 }
 
 #[derive(Debug, Default)]
@@ -50,6 +87,7 @@ struct Counters {
     releases: AtomicU64,
     coalesced_answers: AtomicU64,
     ticks: AtomicU64,
+    evicted_sessions: AtomicU64,
 }
 
 /// A point-in-time snapshot of the server's counters.
@@ -71,6 +109,9 @@ pub struct ServerStats {
     pub coalesced_answers: u64,
     /// Scheduler ticks run.
     pub ticks: u64,
+    /// Sessions evicted by the TTL sweep (their ledgers parked, spent ε
+    /// preserved).
+    pub evicted_sessions: u64,
 }
 
 impl ServerStats {
@@ -102,6 +143,9 @@ pub struct Server {
     config: ServerConfig,
     state: Mutex<SchedState>,
     counters: Counters,
+    /// Set by [`Server::shutdown`]: submissions refuse, ticks continue
+    /// until the queues drain.
+    closed: AtomicBool,
 }
 
 impl std::fmt::Debug for Server {
@@ -124,6 +168,7 @@ impl Server {
             config,
             state: Mutex::new(SchedState::new()),
             counters: Counters::default(),
+            closed: AtomicBool::new(false),
         }
     }
 
@@ -159,13 +204,19 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// * [`ServerError::Engine`] (`UnknownAnalyst`) without an open
+    /// * [`ServerError::ShutDown`] after [`Server::shutdown`] closed the
+    ///   doors,
+    /// * [`ServerError::Engine`] (`UnknownAnalyst`, or `SessionEvicted`
+    ///   for a TTL-evicted session awaiting reattach) without an open
     ///   engine session,
     /// * [`ServerError::BudgetExhausted`] when admission control is on
     ///   and the request's ε exceeds the remaining budget,
     /// * [`ServerError::QueueFull`] when the analyst's queue is at
     ///   capacity (backpressure — drain some tickets first).
     pub fn submit(&self, analyst: &str, request: Request) -> Result<Ticket, ServerError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ServerError::ShutDown);
+        }
         let remaining = self
             .engine
             .session_remaining(analyst)
@@ -181,6 +232,14 @@ impl Server {
             });
         }
         let mut state = self.state.lock().expect("scheduler state poisoned");
+        // Re-check under the state lock: shutdown() sets the flag and
+        // then takes this lock as a barrier before its final drain, so
+        // an enqueue that saw `closed == false` here is guaranteed to
+        // happen before that drain — no ticket can slip in after the
+        // last tick and hang forever.
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ServerError::ShutDown);
+        }
         let queue = state
             .queues
             .entry(analyst.to_owned())
@@ -211,10 +270,19 @@ impl Server {
         // Phase 1 (under the state lock): advance time, drain fairly,
         // route into groups, pull out whatever is due. Engine lookups
         // (coalesce keys) touch only engine-internal locks.
-        let (due, immediate, dead_letters) = {
+        let (due, immediate, dead_letters, evict_now) = {
             let mut state = self.state.lock().expect("scheduler state poisoned");
             state.tick += 1;
             let now = state.tick;
+            // The adaptive window reads the backlog *before* draining:
+            // an idle server dispatches this tick's groups immediately,
+            // a deep backlog holds them open for more identical work.
+            let window = if self.config.adaptive_window {
+                let depth: usize = state.queues.values().map(|q| q.queue.len()).sum();
+                adaptive_window_ticks(depth, self.config.quantum, self.config.coalesce_window)
+            } else {
+                self.config.coalesce_window
+            };
             let drained = state.drain_round(self.config.quantum);
             let mut immediate = Vec::new();
             let mut dead_letters = Vec::new();
@@ -223,14 +291,15 @@ impl Server {
                     // Not coalescible (k-means): serve individually.
                     Ok(None) => immediate.push(sub),
                     Ok(Some(key)) => {
-                        let deadline = now + self.config.coalesce_window;
+                        let deadline = now + window;
                         state.join_group(key, sub, deadline);
                     }
                     // Unknown policy: the ticket fails without queueing.
                     Err(e) => dead_letters.push((sub.tx, ServerError::Engine(e))),
                 }
             }
-            (state.take_due(now), immediate, dead_letters)
+            let evict_now = self.config.session_ttl.is_some() && now % EVICT_CHECK_EVERY == 1;
+            (state.take_due(now), immediate, dead_letters, evict_now)
         };
         self.counters.ticks.fetch_add(1, Ordering::Relaxed);
 
@@ -292,7 +361,64 @@ impl Server {
             let _ = sub.tx.send(result.map_err(ServerError::Engine));
             resolved += 1;
         }
+
+        // TTL sweep last, so requests served this tick count as
+        // activity before idleness is judged. Analysts with queued or
+        // pending work are exempt: idleness is time since last charge,
+        // and a backlogged analyst waiting out the scheduler is not
+        // idle — evicting them would fail their admitted tickets.
+        if evict_now {
+            if let Some(ttl) = self.config.session_ttl {
+                let busy: Vec<String> = {
+                    let state = self.state.lock().expect("scheduler state poisoned");
+                    state
+                        .queues
+                        .iter()
+                        .filter(|(_, q)| !q.queue.is_empty())
+                        .map(|(a, _)| a.clone())
+                        .chain(
+                            state
+                                .pending
+                                .iter()
+                                .flat_map(|g| g.waiters.iter().map(|(a, _)| a.clone())),
+                        )
+                        .collect()
+                };
+                let evicted = self.engine.evict_idle_sessions_except(ttl, &busy);
+                self.counters
+                    .evicted_sessions
+                    .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+            }
+        }
         resolved
+    }
+
+    /// Graceful shutdown: closes the doors (new submissions refuse with
+    /// [`ServerError::ShutDown`]), drains and answers everything already
+    /// queued, then flushes and compacts the engine's store so a
+    /// follow-up process recovers from a snapshot instead of replaying
+    /// the whole log. Returns the final stats snapshot.
+    ///
+    /// Restart-reattach is the mirror image: build a `Store` on the same
+    /// directory, an `Engine::with_store` over it, and a new `Server` —
+    /// analysts reopen their sessions and continue from their durable
+    /// ledgers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Engine`] wrapping the store failure when the final
+    /// flush cannot be made durable (queued work is still answered
+    /// first).
+    pub fn shutdown(&self) -> Result<ServerStats, ServerError> {
+        self.closed.store(true, Ordering::Release);
+        // Barrier: any submit() currently holding the state lock
+        // finishes its enqueue before we proceed (and will be drained
+        // below); any submit() that locks after us re-checks `closed`
+        // under the lock and refuses. Either way, no stranded tickets.
+        drop(self.state.lock().expect("scheduler state poisoned"));
+        self.pump_until_idle();
+        self.engine.checkpoint().map_err(ServerError::Engine)?;
+        Ok(self.stats())
     }
 
     /// Ticks until no queued or pending work remains, returning the
@@ -344,6 +470,7 @@ impl Server {
             releases: self.counters.releases.load(Ordering::Relaxed),
             coalesced_answers: self.counters.coalesced_answers.load(Ordering::Relaxed),
             ticks: self.counters.ticks.load(Ordering::Relaxed),
+            evicted_sessions: self.counters.evicted_sessions.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,0 +1,209 @@
+//! The materialized ledger state a WAL replays into.
+//!
+//! [`StoreState`] is the store's in-memory mirror of everything durable:
+//! it is updated on every append, serialized wholesale into snapshot
+//! files at compaction, and rebuilt at startup by loading the newest
+//! snapshot and replaying the WAL segments after it. Maps are `BTreeMap`s
+//! and floats are carried as bit patterns, so serializing the same state
+//! twice produces byte-identical output — the property the recovery
+//! tests and the restart bench pin.
+
+use crate::record::{fnv1a, Record, RegistryKind};
+use std::collections::BTreeMap;
+
+/// One analyst's durable ledger summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionState {
+    /// Total ε the session opened with.
+    pub total: f64,
+    /// ε spent by acknowledged charges, in WAL order.
+    pub spent: f64,
+    /// Charges applied (including free zero-ε ones).
+    pub served: u64,
+}
+
+impl SessionState {
+    /// ε still spendable.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+}
+
+/// Everything the store knows durably.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreState {
+    /// Ledger summaries by analyst.
+    pub sessions: BTreeMap<String, SessionState>,
+    /// Registered names and their content fingerprints.
+    pub registrations: BTreeMap<(RegistryKind, String), u64>,
+}
+
+impl StoreState {
+    /// Applies one record. Replay calls this in WAL order; the live
+    /// store calls it once per appended record.
+    pub fn apply(&mut self, record: &Record) {
+        match record {
+            Record::SessionOpened {
+                analyst,
+                total_bits,
+            } => {
+                // Insert-if-absent: a duplicate open (possible when a
+                // crash hit between the durable append and the in-memory
+                // insert refusing a duplicate) must not reset a ledger.
+                self.sessions
+                    .entry(analyst.clone())
+                    .or_insert(SessionState {
+                        total: f64::from_bits(*total_bits),
+                        spent: 0.0,
+                        served: 0,
+                    });
+            }
+            Record::Charged {
+                analyst, eps_bits, ..
+            } => {
+                // A charge for an unknown analyst (its SessionOpened
+                // lost to corruption) materializes a zero-total session:
+                // the spend is remembered, nothing becomes spendable —
+                // always the conservative direction.
+                let s = self
+                    .sessions
+                    .entry(analyst.clone())
+                    .or_insert(SessionState {
+                        total: 0.0,
+                        spent: 0.0,
+                        served: 0,
+                    });
+                s.spent += f64::from_bits(*eps_bits);
+                s.served += 1;
+            }
+            Record::Registered {
+                kind,
+                name,
+                fingerprint,
+            } => {
+                self.registrations
+                    .insert((*kind, name.clone()), *fingerprint);
+            }
+            Record::Deregistered { kind, name } => {
+                self.registrations.remove(&(*kind, name.clone()));
+            }
+        }
+    }
+
+    /// Deterministic serialization (snapshot body).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use crate::record::{put_str, put_u64};
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.sessions.len() as u32).to_le_bytes());
+        for (analyst, s) in &self.sessions {
+            put_str(&mut out, analyst);
+            put_u64(&mut out, s.total.to_bits());
+            put_u64(&mut out, s.spent.to_bits());
+            put_u64(&mut out, s.served);
+        }
+        out.extend_from_slice(&(self.registrations.len() as u32).to_le_bytes());
+        for ((kind, name), fp) in &self.registrations {
+            out.push(kind.tag());
+            put_str(&mut out, name);
+            put_u64(&mut out, *fp);
+        }
+        out
+    }
+
+    /// Parses [`StoreState::to_bytes`] output. `None` on any structural
+    /// damage (the snapshot loader reports that as a corrupt snapshot).
+    pub fn from_bytes(bytes: &[u8]) -> Option<StoreState> {
+        let mut r = crate::record::Reader::new(bytes);
+        let mut state = StoreState::default();
+        let n_sessions = r.u32()?;
+        for _ in 0..n_sessions {
+            let analyst = r.str()?;
+            let total = f64::from_bits(r.u64()?);
+            let spent = f64::from_bits(r.u64()?);
+            let served = r.u64()?;
+            state.sessions.insert(
+                analyst,
+                SessionState {
+                    total,
+                    spent,
+                    served,
+                },
+            );
+        }
+        let n_regs = r.u32()?;
+        for _ in 0..n_regs {
+            let kind = RegistryKind::from_tag(r.u8()?)?;
+            let name = r.str()?;
+            let fp = r.u64()?;
+            state.registrations.insert((kind, name), fp);
+        }
+        r.done().then_some(state)
+    }
+
+    /// FNV-1a digest of the serialized state — a cheap equality witness
+    /// for "recovering twice yields the identical ledger".
+    pub fn digest(&self) -> u64 {
+        fnv1a(&self.to_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_accumulates_and_roundtrips() {
+        let mut s = StoreState::default();
+        s.apply(&Record::session_opened("alice", 1.0));
+        s.apply(&Record::charged("alice", "q1", 0.25));
+        s.apply(&Record::charged("alice", "q2", 0.0));
+        s.apply(&Record::Registered {
+            kind: RegistryKind::Policy,
+            name: "pol".into(),
+            fingerprint: 7,
+        });
+        let a = &s.sessions["alice"];
+        assert_eq!(a.total, 1.0);
+        assert_eq!(a.spent, 0.25);
+        assert_eq!(a.served, 2);
+        assert!((a.remaining() - 0.75).abs() < 1e-15);
+        let bytes = s.to_bytes();
+        assert_eq!(StoreState::from_bytes(&bytes), Some(s.clone()));
+        assert_eq!(s.digest(), StoreState::from_bytes(&bytes).unwrap().digest());
+        assert_eq!(StoreState::from_bytes(&bytes[..bytes.len() - 1]), None);
+    }
+
+    #[test]
+    fn duplicate_open_does_not_reset_a_ledger() {
+        let mut s = StoreState::default();
+        s.apply(&Record::session_opened("alice", 1.0));
+        s.apply(&Record::charged("alice", "q", 0.4));
+        s.apply(&Record::session_opened("alice", 99.0));
+        assert_eq!(s.sessions["alice"].total, 1.0);
+        assert_eq!(s.sessions["alice"].spent, 0.4);
+    }
+
+    #[test]
+    fn orphan_charges_materialize_unspendable_sessions() {
+        let mut s = StoreState::default();
+        s.apply(&Record::charged("ghost", "q", 0.3));
+        assert_eq!(s.sessions["ghost"].total, 0.0);
+        assert_eq!(s.sessions["ghost"].spent, 0.3);
+        assert_eq!(s.sessions["ghost"].remaining(), 0.0);
+    }
+
+    #[test]
+    fn deregistration_removes_the_entry() {
+        let mut s = StoreState::default();
+        s.apply(&Record::Registered {
+            kind: RegistryKind::Dataset,
+            name: "ds".into(),
+            fingerprint: 1,
+        });
+        s.apply(&Record::Deregistered {
+            kind: RegistryKind::Dataset,
+            name: "ds".into(),
+        });
+        assert!(s.registrations.is_empty());
+    }
+}

@@ -1,0 +1,717 @@
+//! The store: group-committed WAL appends, snapshot compaction,
+//! startup recovery.
+//!
+//! ## On-disk layout
+//!
+//! A store directory holds numbered WAL segments and at most one live
+//! snapshot:
+//!
+//! ```text
+//! wal-0000000000000000.log      ← appended records, framed + checksummed
+//! wal-0000000000000001.log      ← one segment per process generation / compaction
+//! snapshot-0000000000000001.snap← full StoreState; covers segments < 1
+//! ```
+//!
+//! The invariant is **snapshot `N` covers exactly the records in
+//! segments `< N`**; recovery loads the newest snapshot and replays the
+//! segments `≥ N` in order. Compaction preserves the invariant by
+//! rotating to segment `N` *before* writing `snapshot-N`, so a crash
+//! between the two steps merely leaves an extra segment to replay —
+//! never a record covered twice or not at all.
+//!
+//! ## Group commit
+//!
+//! [`Store::commit`] appends records and returns only once they are
+//! fsync-durable — but concurrent committers share fsyncs: every caller
+//! stacks its frames into a pending buffer, one caller becomes the
+//! *leader*, writes the whole buffer and fsyncs once, and every caller
+//! whose records rode along returns. Under N concurrent charges the
+//! store performs ~1 fsync for the batch instead of N
+//! ([`StoreStats::amortization`]).
+
+use crate::error::StoreError;
+use crate::record::{scan_frames, Record, ScanEnd};
+use crate::state::StoreState;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How recovery went: what was loaded, what was replayed, what was
+/// tolerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Segment number of the snapshot loaded, if any.
+    pub snapshot_segment: Option<u64>,
+    /// WAL segments replayed after the snapshot.
+    pub segments_replayed: u64,
+    /// Records applied from those segments.
+    pub records_applied: u64,
+    /// Whether a torn or damaged tail was skipped (the crash signature:
+    /// an append that never finished and was never acknowledged).
+    pub tail_skipped: bool,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    appended: u64,
+    commits: u64,
+    syncs: u64,
+    compactions: u64,
+}
+
+/// Counter snapshot for benches and monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records appended since open.
+    pub appended_records: u64,
+    /// `commit` calls since open.
+    pub commits: u64,
+    /// fsyncs performed since open.
+    pub syncs: u64,
+    /// Compactions since open.
+    pub compactions: u64,
+    /// The segment currently appended to.
+    pub segment: u64,
+}
+
+impl StoreStats {
+    /// Records made durable per fsync — the group-commit batching win
+    /// (1.0 means every commit paid its own sync).
+    pub fn amortization(&self) -> f64 {
+        if self.syncs == 0 {
+            0.0
+        } else {
+            self.appended_records as f64 / self.syncs as f64
+        }
+    }
+}
+
+struct Inner {
+    file: Arc<File>,
+    segment: u64,
+    /// Live mirror of everything appended (not necessarily durable yet;
+    /// snapshots are only written after a flush, and a poisoned store
+    /// refuses to snapshot).
+    state: StoreState,
+    /// Encoded frames appended but not yet written + fsynced.
+    pending: Vec<u8>,
+    /// Sequence number the next `commit` call will take.
+    next_seq: u64,
+    /// Highest sequence number known durable.
+    durable_seq: u64,
+    /// Whether a leader is currently inside write+fsync.
+    syncing: bool,
+    counters: Counters,
+    poisoned: Option<String>,
+}
+
+/// A durable ε-budget ledger: WAL + snapshots in one directory.
+///
+/// All methods take `&self`; the store is meant to be shared behind an
+/// `Arc` by every thread that charges budgets.
+pub struct Store {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+    commit_cv: Condvar,
+    recovered: StoreState,
+    report: RecoveryReport,
+    /// Advisory exclusive lock on `LOCK` in the store directory, held
+    /// for the store's lifetime: two live stores appending to one
+    /// directory would interleave frames and diverge their mirrors, so
+    /// the second open fails fast instead. Released by the OS on drop
+    /// *or* process death — a crash never wedges the directory.
+    _dir_lock: File,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+fn segment_path(dir: &Path, n: u64) -> PathBuf {
+    dir.join(format!("wal-{n:016x}.log"))
+}
+
+fn snapshot_path(dir: &Path, n: u64) -> PathBuf {
+    dir.join(format!("snapshot-{n:016x}.snap"))
+}
+
+/// Parses `prefix-XXXXXXXXXXXXXXXX.suffix` names back to numbers.
+fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let rest = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    (rest.len() == 16)
+        .then(|| u64::from_str_radix(rest, 16).ok())
+        .flatten()
+}
+
+/// Best-effort directory fsync so file creations and renames survive a
+/// crash (no-op on platforms where directories cannot be opened).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+impl Store {
+    /// Opens (and recovers) the store at `dir`, creating it when absent.
+    ///
+    /// Recovery loads the newest snapshot, replays every later WAL
+    /// segment record-by-record, tolerates a torn or damaged tail in the
+    /// final segment (a crash mid-append — by construction nothing after
+    /// the tear was ever acknowledged), and then starts a **fresh**
+    /// segment for this process generation, so damaged tails are never
+    /// appended after.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] (op `"lock dir"`) when another live store
+    /// holds the directory;
+    /// [`StoreError::CorruptSnapshot`] when the newest snapshot fails
+    /// its checksum (starting empty instead would resurrect spent ε), or
+    /// when mid-history corruption is followed by intact frames (skipping
+    /// it would silently drop acknowledged charges);
+    /// [`StoreError::Io`] when a segment cannot be read mid-stream or
+    /// the new segment cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io("create dir", &e))?;
+        let dir_lock = File::options()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(dir.join("LOCK"))
+            .map_err(|e| StoreError::io("lock dir", &e))?;
+        dir_lock.try_lock().map_err(|e| StoreError::Io {
+            op: "lock dir".into(),
+            message: format!("{} (another store holds this directory)", e),
+        })?;
+
+        let mut segments: BTreeMap<u64, PathBuf> = BTreeMap::new();
+        let mut snapshots: BTreeMap<u64, PathBuf> = BTreeMap::new();
+        let entries = std::fs::read_dir(&dir).map_err(|e| StoreError::io("read dir", &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io("read dir", &e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(n) = parse_numbered(name, "wal-", ".log") {
+                segments.insert(n, entry.path());
+            } else if let Some(n) = parse_numbered(name, "snapshot-", ".snap") {
+                snapshots.insert(n, entry.path());
+            }
+        }
+
+        let mut report = RecoveryReport::default();
+        let mut state = StoreState::default();
+        let mut base = 0u64;
+        if let Some((&n, path)) = snapshots.last_key_value() {
+            let bytes = std::fs::read(path).map_err(|e| StoreError::io("read snapshot", &e))?;
+            state = load_snapshot(path, &bytes)?;
+            base = n;
+            report.snapshot_segment = Some(n);
+        }
+
+        let replay: Vec<(u64, &PathBuf)> = segments.range(base..).map(|(&n, p)| (n, p)).collect();
+        for (n, path) in replay.iter() {
+            let bytes = std::fs::read(path).map_err(|e| StoreError::io("read segment", &e))?;
+            let mut applied = 0u64;
+            let (end, offset) = scan_frames(&bytes, |r| {
+                state.apply(&r);
+                applied += 1;
+            });
+            report.segments_replayed += 1;
+            report.records_applied += applied;
+            match end {
+                ScanEnd::Clean => {}
+                // A stop before the end of the bytes is either a crash
+                // tear (torn header/payload, or a checksum mismatch on
+                // never-synced garbage) — in which case nothing past it
+                // was ever acknowledged and skipping is sound — or
+                // damage *inside* durable history. The two are told
+                // apart by what follows: group commit fsyncs batch N
+                // before batch N+1 is written, so an **intact frame
+                // after the stop** proves the stopped-on region was once
+                // durable (a corrupted length field can even fabricate a
+                // fake "torn tail" that swallows acknowledged records).
+                // Skipping would silently drop acknowledged charges —
+                // refuse and make the operator decide.
+                ScanEnd::TornTail | ScanEnd::Corrupt => {
+                    if crate::record::has_intact_frame_after(&bytes, offset) {
+                        return Err(StoreError::CorruptSnapshot {
+                            path: path.display().to_string(),
+                            detail: format!(
+                                "damaged record at byte {offset} of segment {n:#x} \
+                                 with durable records after it"
+                            ),
+                        });
+                    }
+                    report.tail_skipped = true;
+                }
+            }
+        }
+
+        let next = segments.keys().next_back().map_or(base, |&m| m + 1);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&dir, next))
+            .map_err(|e| StoreError::io("create segment", &e))?;
+        sync_dir(&dir);
+
+        Ok(Store {
+            dir,
+            _dir_lock: dir_lock,
+            inner: Mutex::new(Inner {
+                file: Arc::new(file),
+                segment: next,
+                state: state.clone(),
+                pending: Vec::new(),
+                next_seq: 1,
+                durable_seq: 0,
+                syncing: false,
+                counters: Counters::default(),
+                poisoned: None,
+            }),
+            commit_cv: Condvar::new(),
+            recovered: state,
+            report,
+        })
+    }
+
+    /// The ledger state recovered at open (frozen; the live mirror moves
+    /// on with every commit).
+    pub fn recovered_state(&self) -> &StoreState {
+        &self.recovered
+    }
+
+    /// How recovery went at open.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.report
+    }
+
+    /// A clone of the live mirror (recovered state + every committed
+    /// record since open).
+    pub fn current_state(&self) -> StoreState {
+        self.inner
+            .lock()
+            .expect("store lock poisoned")
+            .state
+            .clone()
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends `records` and returns once they are fsync-durable.
+    ///
+    /// Concurrent callers share fsyncs (group commit): one leader writes
+    /// and syncs the whole pending batch, everyone whose records rode
+    /// along returns without issuing their own sync. Records from one
+    /// call are made durable **atomically with respect to recovery** in
+    /// the sense that they are applied to the mirror and written in call
+    /// order; a crash can cut the suffix but never reorder.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Poisoned`] after any earlier write failure (the
+    /// store stops acknowledging rather than risk acknowledging an
+    /// un-durable charge); [`StoreError::Io`] for the failure itself.
+    pub fn commit(&self, records: &[Record]) -> Result<(), StoreError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut g = self.inner.lock().expect("store lock poisoned");
+        if let Some(msg) = &g.poisoned {
+            return Err(StoreError::Poisoned(msg.clone()));
+        }
+        for r in records {
+            g.state.apply(r);
+            let frame = r.frame();
+            g.pending.extend_from_slice(&frame);
+        }
+        g.counters.appended += records.len() as u64;
+        g.counters.commits += 1;
+        let my_seq = g.next_seq;
+        g.next_seq += 1;
+
+        loop {
+            if g.durable_seq >= my_seq {
+                return Ok(());
+            }
+            if let Some(msg) = &g.poisoned {
+                // The batch carrying our records failed to reach disk.
+                return Err(StoreError::Poisoned(msg.clone()));
+            }
+            if g.syncing {
+                g = self.commit_cv.wait(g).expect("store lock poisoned");
+                continue;
+            }
+            // Become the leader: take everything pending (ours and any
+            // frames stacked since the last sync), write + fsync outside
+            // the lock so followers can keep stacking.
+            g.syncing = true;
+            let batch = std::mem::take(&mut g.pending);
+            let high = g.next_seq - 1;
+            let file = Arc::clone(&g.file);
+            drop(g);
+            let result = (&*file).write_all(&batch).and_then(|()| file.sync_data());
+            g = self.inner.lock().expect("store lock poisoned");
+            g.syncing = false;
+            match result {
+                Ok(()) => {
+                    g.durable_seq = g.durable_seq.max(high);
+                    g.counters.syncs += 1;
+                }
+                Err(e) => {
+                    g.poisoned = Some(e.to_string());
+                }
+            }
+            self.commit_cv.notify_all();
+        }
+    }
+
+    /// Compacts the log: flushes anything pending, rotates to a fresh
+    /// segment, writes a snapshot of the mirror covering everything
+    /// before the rotation, and prunes the old segments and snapshots.
+    ///
+    /// Appends block for the duration (the snapshot must capture a
+    /// consistent cut). Crash-safe at every step: the segment rotates
+    /// *before* the snapshot is written, so an ill-timed crash leaves at
+    /// worst an extra segment to replay, never a covered-twice record.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Poisoned`] / [`StoreError::Io`] as for
+    /// [`Store::commit`].
+    pub fn compact(&self) -> Result<(), StoreError> {
+        let mut g = self.inner.lock().expect("store lock poisoned");
+        while g.syncing {
+            g = self.commit_cv.wait(g).expect("store lock poisoned");
+        }
+        if let Some(msg) = &g.poisoned {
+            return Err(StoreError::Poisoned(msg.clone()));
+        }
+        // Flush any frames stacked since the last sync.
+        if !g.pending.is_empty() {
+            let batch = std::mem::take(&mut g.pending);
+            let high = g.next_seq - 1;
+            if let Err(e) = (&*g.file)
+                .write_all(&batch)
+                .and_then(|()| g.file.sync_data())
+            {
+                g.poisoned = Some(e.to_string());
+                self.commit_cv.notify_all();
+                return Err(StoreError::io("flush", &e));
+            }
+            g.durable_seq = g.durable_seq.max(high);
+            g.counters.syncs += 1;
+            self.commit_cv.notify_all();
+        }
+
+        // Rotate first: from here on new appends land in segment `next`,
+        // which the snapshot (covering `< next`) does not claim.
+        let next = g.segment + 1;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&self.dir, next))
+            .map_err(|e| StoreError::io("rotate", &e))?;
+        sync_dir(&self.dir);
+        g.file = Arc::new(file);
+        let old_segment = g.segment;
+        g.segment = next;
+
+        // Snapshot the mirror (== all records in segments < next).
+        let body = g.state.to_bytes();
+        let mut bytes = Vec::with_capacity(8 + body.len());
+        bytes.extend_from_slice(&crate::record::fnv1a(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        let tmp = self.dir.join("snapshot.tmp");
+        let write = || -> std::io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, snapshot_path(&self.dir, next))?;
+            Ok(())
+        };
+        write().map_err(|e| StoreError::io("write snapshot", &e))?;
+        sync_dir(&self.dir);
+        g.counters.compactions += 1;
+
+        // Prune everything the snapshot covers — by listing what
+        // actually exists, not by counting segment numbers since 0
+        // (which would cost O(lifetime compactions) of ENOENT unlinks
+        // under the store lock).
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let covered = parse_numbered(name, "wal-", ".log")
+                    .is_some_and(|m| m <= old_segment)
+                    || parse_numbered(name, "snapshot-", ".snap").is_some_and(|m| m <= old_segment);
+                if covered {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        sync_dir(&self.dir);
+        Ok(())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let g = self.inner.lock().expect("store lock poisoned");
+        StoreStats {
+            appended_records: g.counters.appended,
+            commits: g.counters.commits,
+            syncs: g.counters.syncs,
+            compactions: g.counters.compactions,
+            segment: g.segment,
+        }
+    }
+}
+
+fn load_snapshot(path: &Path, bytes: &[u8]) -> Result<StoreState, StoreError> {
+    let corrupt = |detail: &str| StoreError::CorruptSnapshot {
+        path: path.display().to_string(),
+        detail: detail.to_owned(),
+    };
+    if bytes.len() < 8 {
+        return Err(corrupt("shorter than its checksum"));
+    }
+    let checksum = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+    let body = &bytes[8..];
+    if crate::record::fnv1a(body) != checksum {
+        return Err(corrupt("checksum mismatch"));
+    }
+    StoreState::from_bytes(body).ok_or_else(|| corrupt("undecodable state"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RegistryKind, FRAME_HEADER_LEN};
+    use crate::scratch_dir;
+
+    #[test]
+    fn fresh_open_commit_reopen_recovers() {
+        let dir = scratch_dir("fresh");
+        {
+            let store = Store::open(&dir).unwrap();
+            assert!(store.recovered_state().sessions.is_empty());
+            store
+                .commit(&[
+                    Record::session_opened("alice", 1.0),
+                    Record::charged("alice", "q1", 0.25),
+                ])
+                .unwrap();
+            store
+                .commit(&[Record::charged("alice", "q2", 0.5)])
+                .unwrap();
+        } // dropped without compaction: the crash case
+        let store = Store::open(&dir).unwrap();
+        let s = &store.recovered_state().sessions["alice"];
+        assert_eq!(s.total, 1.0);
+        assert_eq!(s.spent, 0.75);
+        assert_eq!(s.served, 2);
+        let report = store.recovery_report();
+        assert_eq!(report.records_applied, 3);
+        assert!(!report.tail_skipped);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_prunes_and_preserves_state() {
+        let dir = scratch_dir("compact");
+        {
+            let store = Store::open(&dir).unwrap();
+            store
+                .commit(&[
+                    Record::session_opened("a", 2.0),
+                    Record::charged("a", "q", 0.5),
+                    Record::Registered {
+                        kind: RegistryKind::Policy,
+                        name: "pol".into(),
+                        fingerprint: 42,
+                    },
+                ])
+                .unwrap();
+            store.compact().unwrap();
+            // Post-compaction commits land in the new segment.
+            store.commit(&[Record::charged("a", "q2", 0.25)]).unwrap();
+            let stats = store.stats();
+            assert_eq!(stats.compactions, 1);
+            assert_eq!(stats.segment, 1);
+        }
+        // Only the new segment and the snapshot remain.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert!(names.iter().any(|n| n.starts_with("snapshot-")));
+        assert!(!names.contains(&"wal-0000000000000000.log".to_owned()));
+
+        let store = Store::open(&dir).unwrap();
+        let report = store.recovery_report();
+        assert_eq!(report.snapshot_segment, Some(1));
+        assert_eq!(report.records_applied, 1, "only the post-snapshot charge");
+        let s = &store.recovered_state().sessions["a"];
+        assert_eq!(s.spent, 0.75);
+        assert_eq!(s.served, 2);
+        assert_eq!(
+            store.recovered_state().registrations[&(RegistryKind::Policy, "pol".into())],
+            42
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_not_fatal() {
+        let dir = scratch_dir("torn");
+        {
+            let store = Store::open(&dir).unwrap();
+            store.commit(&[Record::session_opened("a", 1.0)]).unwrap();
+            store.commit(&[Record::charged("a", "q", 0.5)]).unwrap();
+        }
+        // Tear the last 3 bytes off the only segment.
+        let seg = segment_path(&dir, 0);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert!(store.recovery_report().tail_skipped);
+        let s = &store.recovered_state().sessions["a"];
+        assert_eq!(s.spent, 0.0, "the torn charge was never acknowledged");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_live_open_is_refused_by_the_directory_lock() {
+        let dir = scratch_dir("dirlock");
+        let store = Store::open(&dir).unwrap();
+        match Store::open(&dir) {
+            Err(StoreError::Io { op, .. }) => assert_eq!(op, "lock dir"),
+            other => panic!("expected lock refusal, got {other:?}"),
+        }
+        drop(store);
+        Store::open(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_before_intact_frames_refuses_recovery() {
+        let dir = scratch_dir("midrot");
+        {
+            let store = Store::open(&dir).unwrap();
+            store.commit(&[Record::session_opened("a", 1.0)]).unwrap();
+            store.commit(&[Record::charged("a", "q1", 0.25)]).unwrap();
+            store.commit(&[Record::charged("a", "q2", 0.25)]).unwrap();
+        }
+        // Flip one byte inside the FIRST record: the two charges after
+        // it are intact and were acknowledged, so skipping the damage
+        // would resurrect 0.5 ε — recovery must refuse instead.
+        let seg = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes[FRAME_HEADER_LEN + 2] ^= 0xFF;
+        std::fs::write(&seg, &bytes).unwrap();
+        assert!(matches!(
+            Store::open(&dir),
+            Err(StoreError::CorruptSnapshot { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_refuses_to_open() {
+        let dir = scratch_dir("corrupt-snap");
+        {
+            let store = Store::open(&dir).unwrap();
+            store.commit(&[Record::session_opened("a", 1.0)]).unwrap();
+            store.compact().unwrap();
+        }
+        let snap = snapshot_path(&dir, 1);
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&snap, &bytes).unwrap();
+        assert!(matches!(
+            Store::open(&dir),
+            Err(StoreError::CorruptSnapshot { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_commits_share_syncs_and_account_exactly() {
+        let dir = scratch_dir("group");
+        let store = std::sync::Arc::new(Store::open(&dir).unwrap());
+        store.commit(&[Record::session_opened("a", 1e6)]).unwrap();
+        let threads = 8;
+        let per_thread = 32;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let store = std::sync::Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        store
+                            .commit(&[Record::charged("a", &format!("t{t}i{i}"), 0.001)])
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.appended_records, 1 + threads * per_thread);
+        assert_eq!(stats.commits, 1 + threads * per_thread);
+        // Reopen: every acknowledged charge is there.
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        let s = &store.recovered_state().sessions["a"];
+        assert_eq!(s.served, threads * per_thread);
+        assert!((s.spent - threads as f64 * per_thread as f64 * 0.001).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn double_recovery_is_byte_identical() {
+        let dir = scratch_dir("digest");
+        {
+            let store = Store::open(&dir).unwrap();
+            for i in 0..10 {
+                store
+                    .commit(&[Record::session_opened(&format!("a{i}"), 1.0)])
+                    .unwrap();
+                store
+                    .commit(&[Record::charged(&format!("a{i}"), "q", 0.125 * (i as f64))])
+                    .unwrap();
+            }
+        }
+        let a = Store::open(&dir).unwrap().recovered_state().digest();
+        let b = Store::open(&dir).unwrap().recovered_state().digest();
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn numbered_name_parsing() {
+        assert_eq!(
+            parse_numbered("wal-0000000000000003.log", "wal-", ".log"),
+            Some(3)
+        );
+        assert_eq!(parse_numbered("wal-3.log", "wal-", ".log"), None);
+        assert_eq!(
+            parse_numbered("snapshot-00000000000000ff.snap", "snapshot-", ".snap"),
+            Some(255)
+        );
+        assert_eq!(parse_numbered("other.txt", "wal-", ".log"), None);
+    }
+}

@@ -26,6 +26,7 @@
 //! | [`data`] | seeded synthetic datasets for the paper's experiments |
 //! | [`engine`] | multi-tenant serving: sessions → router → sensitivity cache → mechanisms |
 //! | [`server`] | async front-end: fair per-analyst scheduling + cross-analyst release coalescing |
+//! | [`store`] | durable ε-budget ledger: checksummed WAL, group commit, snapshots, crash recovery |
 //! | [`rt`] | vendored minimal async runtime (executor, `block_on`, oneshot) |
 //!
 //! ## Serving repeated queries
@@ -77,6 +78,7 @@ pub use bf_engine as engine;
 pub use bf_graph as graph;
 pub use bf_mechanisms as mechanisms;
 pub use bf_server as server;
+pub use bf_store as store;
 pub use futures_lite as rt;
 
 /// The most common types, one `use` away.
@@ -96,6 +98,7 @@ pub mod prelude {
         HierarchicalMechanism, HistogramMechanism, OrderedHierarchicalMechanism, OrderedMechanism,
     };
     pub use bf_server::{Server, ServerConfig, ServerError, ServerStats, Ticket};
+    pub use bf_store::{Store, StoreError, StoreStats};
     pub use futures_lite::Executor;
 }
 

@@ -85,6 +85,7 @@ fn fairness_under_a_flooding_analyst() {
             quantum: 4,
             coalesce_window: 0,
             admission_control: true,
+            ..ServerConfig::default()
         },
     );
     // 400 distinct flooder requests, then 12 light ones behind them.
@@ -140,6 +141,7 @@ fn multi_thread_scheduler_stress() {
             quantum: 8,
             coalesce_window: 1,
             admission_control: true,
+            ..ServerConfig::default()
         },
     ));
     let driver = server.start_driver(std::time::Duration::from_micros(200));

@@ -1,0 +1,386 @@
+//! Kill-and-restart integration tests for the durable ε-budget ledger:
+//! the acceptance gate for the persistence subsystem.
+//!
+//! The privacy claim under test: **no ε resurrection**. Whatever subset
+//! of the WAL survives a crash, the recovered ledger's spent ε covers
+//! every charge that was ever acknowledged — a restarted engine refuses
+//! exactly what the pre-crash engine would have refused (or more, never
+//! less).
+
+use blowfish::engine::{Engine, EngineError, Request, Store};
+use blowfish::prelude::*;
+use blowfish::server::{Server, ServerConfig};
+use blowfish::store::{scan_frames, scratch_dir, Record, ScanEnd};
+use std::sync::Arc;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn build_engine(seed: u64, store: Arc<Store>) -> Engine {
+    let engine = Engine::with_store(seed, store);
+    let domain = Domain::line(64).unwrap();
+    engine
+        .register_policy("pol", Policy::distance_threshold(domain.clone(), 3))
+        .unwrap();
+    let rows: Vec<usize> = (0..640).map(|i| (i * 13) % 64).collect();
+    engine
+        .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+        .unwrap();
+    engine
+}
+
+/// The acceptance scenario: serve, die without ceremony, restart,
+/// reattach — the restarted engine refuses a charge that would exceed
+/// the pre-crash remaining budget, and a same-seed engine replays the
+/// acknowledged charges byte-identically.
+#[test]
+fn killed_engine_restarts_with_its_ledger_and_noise_stream() {
+    let dir = scratch_dir("kill-restart");
+    let requests = [
+        Request::range("pol", "ds", eps(0.3), 4, 20),
+        Request::histogram("pol", "ds", eps(0.25)),
+        Request::range("pol", "ds", eps(0.15), 10, 50),
+    ];
+
+    // Generation 1: acknowledge three charges, then "die" (drop with no
+    // shutdown, no compaction — the WAL alone carries the ledger).
+    let first_run: Vec<Response> = {
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let engine = build_engine(1234, store);
+        engine.open_session("alice", eps(1.0)).unwrap();
+        requests
+            .iter()
+            .map(|r| engine.serve("alice", r).unwrap())
+            .collect()
+    };
+
+    // Generation 2: recover.
+    let store = Arc::new(Store::open(&dir).unwrap());
+    let report = store.recovery_report();
+    assert_eq!(report.records_applied, 3 + 1 + 2, "charges + open + regs");
+    let engine = build_engine(1234, store);
+    engine.open_session("alice", eps(1.0)).unwrap();
+    // Pre-crash remaining was 1.0 − 0.7 = 0.3: a 0.5 charge must refuse…
+    let err = engine
+        .serve("alice", &Request::range("pol", "ds", eps(0.5), 0, 9))
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::BudgetRefused { remaining, .. }
+            if (remaining - 0.3).abs() < 1e-12),
+        "got {err}"
+    );
+    // …while 0.3 still fits.
+    engine
+        .serve("alice", &Request::range("pol", "ds", eps(0.3), 0, 9))
+        .unwrap();
+
+    // Same-seed replay of the acknowledged charges is byte-identical:
+    // a fresh engine with the same seed serving the same sequence
+    // reproduces generation 1's answers bit for bit.
+    let replay: Vec<Response> = {
+        let replay_dir = scratch_dir("kill-restart-replay");
+        let store = Arc::new(Store::open(&replay_dir).unwrap());
+        let engine = build_engine(1234, store);
+        engine.open_session("alice", eps(1.0)).unwrap();
+        let out = requests
+            .iter()
+            .map(|r| engine.serve("alice", r).unwrap())
+            .collect();
+        std::fs::remove_dir_all(&replay_dir).unwrap();
+        out
+    };
+    assert_eq!(first_run, replay, "same seed, same charges, same bytes");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Recovering the same directory twice yields byte-identical ledgers.
+#[test]
+fn recovery_is_deterministic() {
+    let dir = scratch_dir("recover-twice");
+    {
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let engine = build_engine(7, store);
+        for i in 0..8 {
+            let analyst = format!("a{i}");
+            engine.open_session(&analyst, eps(2.0)).unwrap();
+            engine
+                .serve(&analyst, &Request::range("pol", "ds", eps(0.125), i, i + 9))
+                .unwrap();
+        }
+    }
+    let a = Store::open(&dir).unwrap().recovered_state().digest();
+    let b = Store::open(&dir).unwrap().recovered_state().digest();
+    assert_eq!(a, b);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The server round trip: graceful shutdown compacts, restart-reattach
+/// continues serving under the recovered ledgers.
+#[test]
+fn server_shutdown_and_restart_reattach() {
+    let dir = scratch_dir("server-restart");
+    {
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let engine = Arc::new(build_engine(55, store));
+        for i in 0..4 {
+            engine.open_session(format!("a{i}"), eps(1.0)).unwrap();
+        }
+        let server = Server::new(
+            Arc::clone(&engine),
+            ServerConfig {
+                adaptive_window: true,
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<_> = (0..4)
+            .map(|i| {
+                server
+                    .submit(
+                        &format!("a{i}"),
+                        Request::range("pol", "ds", eps(0.4), 8, 24),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.answered, 4);
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+    // Restart: snapshot recovery (the shutdown compacted), reattach,
+    // continue — with the spent 0.4 intact per analyst.
+    let store = Arc::new(Store::open(&dir).unwrap());
+    assert!(store.recovery_report().snapshot_segment.is_some());
+    let engine = Arc::new(build_engine(55, store));
+    let server = Server::with_defaults(Arc::clone(&engine));
+    for i in 0..4 {
+        let analyst = format!("a{i}");
+        // Parked until reattach; the server refuses at the door.
+        assert!(matches!(
+            server.submit(&analyst, Request::range("pol", "ds", eps(0.1), 0, 5)),
+            Err(blowfish::server::ServerError::Engine(
+                EngineError::SessionEvicted(_)
+            ))
+        ));
+        engine.open_session(&analyst, eps(1.0)).unwrap();
+        assert!((engine.session_remaining(&analyst).unwrap() - 0.6).abs() < 1e-12);
+        // Over-budget refuses at admission; a fitting request serves.
+        assert!(server
+            .submit(&analyst, Request::range("pol", "ds", eps(0.7), 0, 5))
+            .is_err());
+        server
+            .submit(&analyst, Request::range("pol", "ds", eps(0.5), 0, 5))
+            .unwrap();
+    }
+    server.pump_until_idle();
+    for i in 0..4 {
+        assert!((engine.session_remaining(&format!("a{i}")).unwrap() - 0.1).abs() < 1e-12);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Builds one WAL of `n` charges with exactly representable ε values
+/// and returns (wal bytes, per-charge ε, segment path, dir).
+fn charged_wal(tag: &str, n: usize) -> (Vec<u8>, Vec<f64>, std::path::PathBuf) {
+    let dir = scratch_dir(tag);
+    let spends: Vec<f64> = (0..n).map(|i| (i + 1) as f64 / 1024.0).collect();
+    {
+        let store = Store::open(&dir).unwrap();
+        store
+            .commit(&[Record::session_opened("alice", 1e6)])
+            .unwrap();
+        for (i, &e) in spends.iter().enumerate() {
+            store
+                .commit(&[Record::charged("alice", &format!("q{i}"), e)])
+                .unwrap();
+        }
+    }
+    let seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.file_name().unwrap().to_str().unwrap().starts_with("wal-"))
+        .unwrap();
+    let bytes = std::fs::read(&seg).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+    (bytes, spends, seg)
+}
+
+/// Writes `bytes` as the sole WAL segment of a fresh store dir and
+/// tries to recover it, returning (recovered spent, recovered served,
+/// report), or the recovery refusal.
+fn try_recover_bytes(
+    tag: &str,
+    bytes: &[u8],
+) -> Result<(f64, u64, blowfish::store::RecoveryReport), blowfish::store::StoreError> {
+    let dir = scratch_dir(tag);
+    std::fs::write(dir.join("wal-0000000000000000.log"), bytes).unwrap();
+    let result = Store::open(&dir).map(|store| {
+        let report = store.recovery_report();
+        let (spent, served) = store
+            .recovered_state()
+            .sessions
+            .get("alice")
+            .map_or((0.0, 0), |s| (s.spent, s.served));
+        (spent, served, report)
+    });
+    std::fs::remove_dir_all(&dir).unwrap();
+    result
+}
+
+/// As [`try_recover_bytes`], for inputs recovery must accept.
+fn recover_bytes(tag: &str, bytes: &[u8]) -> (f64, u64, blowfish::store::RecoveryReport) {
+    try_recover_bytes(tag, bytes).expect("recovery must accept this input")
+}
+
+/// Property: truncating the WAL at **any** byte offset yields a
+/// recovered spend equal to some prefix of the charge sequence —
+/// monotone in the cut, never an invented value, and equal to the full
+/// spend at the full length. This is the no-ε-resurrection guarantee
+/// under arbitrary crash points.
+#[test]
+fn truncation_at_any_offset_recovers_a_monotone_prefix() {
+    let (bytes, spends, _) = charged_wal("truncate", 12);
+    let mut prefix_sums = vec![0.0f64];
+    for &e in &spends {
+        prefix_sums.push(prefix_sums.last().unwrap() + e);
+    }
+    let full_spent = *prefix_sums.last().unwrap();
+    let mut last_spent = 0.0f64;
+    // Every cut: coarse stride through record bodies plus every offset
+    // near the tail, so both header and payload tears are exercised.
+    let cuts: Vec<usize> = (0..bytes.len())
+        .filter(|c| c % 7 == 0 || *c + 64 >= bytes.len())
+        .chain([bytes.len()])
+        .collect();
+    for cut in cuts {
+        let (spent, served, report) = recover_bytes("truncate-cut", &bytes[..cut]);
+        assert!(
+            prefix_sums.iter().any(|p| (p - spent).abs() < 1e-12),
+            "cut {cut}: spent {spent} is not a prefix sum"
+        );
+        assert!(
+            spent >= last_spent - 1e-12,
+            "cut {cut}: spent went backwards ({last_spent} → {spent})"
+        );
+        assert!(spent <= full_spent + 1e-12, "cut {cut}: invented budget");
+        // served tracks the same prefix: spends are distinct so the
+        // prefix index is recoverable from the spent sum.
+        let k = prefix_sums
+            .iter()
+            .position(|p| (p - spent).abs() < 1e-12)
+            .unwrap();
+        assert_eq!(served, k as u64, "cut {cut}");
+        if cut < bytes.len() {
+            assert!(report.tail_skipped || (spent - full_spent).abs() < 1e-12 || k < spends.len());
+        }
+        last_spent = spent;
+    }
+    // The uncut WAL recovers everything.
+    let (spent, served, report) = recover_bytes("truncate-full", &bytes);
+    assert!((spent - full_spent).abs() < 1e-12);
+    assert_eq!(served, spends.len() as u64);
+    assert!(!report.tail_skipped);
+}
+
+/// Property: flipping any single byte makes the checksum reject that
+/// record. A flip in the **final** record looks like a crash tear
+/// (nothing durable follows), so recovery accepts exactly the intact
+/// prefix; a flip anywhere earlier is followed by intact, provably
+/// acknowledged frames, so recovery **refuses** rather than silently
+/// dropping them. Either way, no spend is ever invented.
+#[test]
+fn corruption_at_any_offset_is_rejected_by_checksum() {
+    let (bytes, spends, _) = charged_wal("corrupt", 10);
+    let mut prefix_sums = vec![0.0f64];
+    for &e in &spends {
+        prefix_sums.push(prefix_sums.last().unwrap() + e);
+    }
+    let full_spent = *prefix_sums.last().unwrap();
+    // Frame boundaries, so each flip maps to a known record index.
+    let mut boundaries = vec![0usize];
+    {
+        let mut pos = 0usize;
+        let (end, _) = scan_frames(&bytes, |_| {});
+        assert_eq!(end, ScanEnd::Clean);
+        while pos < bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += blowfish::store::FRAME_HEADER_LEN + len;
+            boundaries.push(pos);
+        }
+    }
+    let records = boundaries.len() - 1; // 1 open + 10 charges
+    for flip in (0..bytes.len()).step_by(5) {
+        let mut damaged = bytes.clone();
+        damaged[flip] ^= 0x40;
+        // The flipped byte lives in record `r` (0 = the session open).
+        let r = boundaries.iter().filter(|&&b| b <= flip).count() - 1;
+        match try_recover_bytes("corrupt-flip", &damaged) {
+            Ok((spent, _, report)) => {
+                // Acceptance is only sound when nothing durable follows
+                // the damage — the damaged-final-record case.
+                assert_eq!(
+                    r,
+                    records - 1,
+                    "flip at {flip}: mid-history damage must refuse, not skip"
+                );
+                let expected = prefix_sums[records - 2]; // all charges but the last
+                assert!(
+                    (spent - expected).abs() < 1e-12,
+                    "flip at {flip}: spent {spent}, expected {expected}"
+                );
+                assert!(spent <= full_spent + 1e-12, "no resurrection");
+                assert!(report.tail_skipped);
+            }
+            Err(e) => {
+                // Refusal is always sound; for mid-history damage it is
+                // required (intact acknowledged frames follow the flip).
+                assert!(
+                    r < records - 1,
+                    "flip at {flip} in the final record should be tolerated, got {e}"
+                );
+            }
+        }
+    }
+}
+
+/// An acknowledged charge always survives: whatever prefix of commits
+/// completed, recovery covers all of them (torn bytes can only eat the
+/// *unacknowledged* suffix).
+#[test]
+fn acknowledged_charges_always_survive_recovery() {
+    let dir = scratch_dir("acked");
+    let store = Store::open(&dir).unwrap();
+    store
+        .commit(&[Record::session_opened("alice", 100.0)])
+        .unwrap();
+    let mut acked = 0.0f64;
+    for i in 0..20 {
+        let e = (i + 1) as f64 / 256.0;
+        store
+            .commit(&[Record::charged("alice", &format!("q{i}"), e)])
+            .unwrap();
+        acked += e;
+        // Crash after any prefix of acknowledgements: reopen a parallel
+        // store on the same directory contents.
+        if i % 5 == 4 {
+            let copy = scratch_dir("acked-copy");
+            for entry in std::fs::read_dir(&dir).unwrap() {
+                let p = entry.unwrap().path();
+                std::fs::copy(&p, copy.join(p.file_name().unwrap())).unwrap();
+            }
+            let recovered = Store::open(&copy).unwrap();
+            let s = &recovered.recovered_state().sessions["alice"];
+            assert!(
+                s.spent >= acked - 1e-12,
+                "after {} acks: recovered {} < acknowledged {acked}",
+                i + 1,
+                s.spent
+            );
+            std::fs::remove_dir_all(&copy).unwrap();
+        }
+    }
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
