@@ -1,0 +1,257 @@
+//! PR 5 network trajectory (custom harness, run via `cargo bench -p
+//! bf-bench --bench net`, `-- --quick` for the CI smoke run).
+//!
+//! Three measurements over real loopback TCP, all asserted so
+//! regressions fail the bench:
+//!
+//! 1. **Pipelining** — one connection serving the same query stream
+//!    one-at-a-time (wait each answer) vs pipelined (a full in-flight
+//!    window outstanding). Pipelining must be ≥ 5× the serial
+//!    throughput: the protocol's correlation ids amortize the
+//!    round-trip + scheduler-tick latency across the window.
+//! 2. **Cross-process coalescing** — 4 true client *processes* submit
+//!    identical query lists; the serving process must answer all of
+//!    them with strictly fewer mechanism releases (identical requests
+//!    coalesce across processes, same-`(policy, data, ε)` ranges fold
+//!    into shared Ordered releases).
+//! 3. **Ledger exactness under concurrency** — after the multi-process
+//!    run, every analyst's served count must equal their submissions.
+//!
+//! Results are written to `BENCH_PR5.json` at the repo root.
+
+use bf_core::{Epsilon, Policy};
+use bf_domain::{Dataset, Domain};
+use bf_engine::{Engine, Request};
+use bf_net::{Client, NetConfig, NetServer};
+use bf_server::{Server, ServerConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DOMAIN: usize = 2048;
+const PIPE_QUERIES: usize = 256;
+const WINDOW: usize = 64;
+const PROCS: usize = 4;
+const PROC_QUERIES: usize = 64;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn build_server(seed: u64, config: ServerConfig) -> Arc<Server> {
+    let domain = Domain::line(DOMAIN).unwrap();
+    let engine = Engine::with_seed(seed);
+    engine
+        .register_policy("dist", Policy::distance_threshold(domain.clone(), 4))
+        .unwrap();
+    let rows: Vec<usize> = (0..20_000).map(|i| (i * 131) % DOMAIN).collect();
+    engine
+        .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+        .unwrap();
+    Arc::new(Server::new(Arc::new(engine), config))
+}
+
+fn stream_query(i: usize) -> Request {
+    let lo = (i * 61) % (DOMAIN - 128);
+    Request::range("dist", "ds", eps(1e-5), lo, lo + 100)
+}
+
+// -------------------------------------------------------------------
+// Child-process mode for the cross-process measurement
+// -------------------------------------------------------------------
+
+fn run_child(addr: &str, analyst: &str) {
+    let mut client = Client::connect(addr).expect("connect");
+    client.open_session(analyst, 1e6).expect("open");
+    // The SAME query list in every process: identical requests coalesce
+    // across processes, and the distinct ranges share `(policy, data,
+    // ε)`, so the dispatcher folds them into shared Ordered releases.
+    let ids: Vec<u64> = (0..PROC_QUERIES)
+        .map(|i| client.submit(analyst, &stream_query(i)).expect("submit"))
+        .collect();
+    for id in ids {
+        client.wait(id).expect("answer");
+    }
+    let budget = client.budget(analyst).expect("budget");
+    // Charges count shared releases, not answers: distinct ranges with
+    // one (policy, data, ε) fold into shared Ordered releases, each
+    // charged once per analyst — at most one charge per query, usually
+    // far fewer.
+    assert!(budget.served >= 1 && budget.served <= PROC_QUERIES as u64);
+    client.goodbye().expect("goodbye");
+}
+
+// -------------------------------------------------------------------
+// Measurements
+// -------------------------------------------------------------------
+
+fn bench_pipelining(json: &mut String) -> f64 {
+    let server = build_server(
+        5,
+        ServerConfig {
+            queue_capacity: PIPE_QUERIES + 1,
+            coalesce_window: 0,
+            quantum: 32,
+            ..ServerConfig::default()
+        },
+    );
+    server.engine().open_session("serial", eps(1e6)).unwrap();
+    server.engine().open_session("piped", eps(1e6)).unwrap();
+    let net = NetServer::bind(
+        "127.0.0.1:0",
+        server,
+        NetConfig {
+            max_in_flight: WINDOW,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = net.local_addr();
+
+    // Serial: one request in flight at a time.
+    let mut client = Client::connect(addr).unwrap();
+    let t = Instant::now();
+    for i in 0..PIPE_QUERIES {
+        client.call("serial", &stream_query(i)).unwrap();
+    }
+    let serial = t.elapsed().as_secs_f64();
+
+    // Pipelined: keep the window full.
+    let t = Instant::now();
+    let mut outstanding = std::collections::VecDeque::new();
+    for i in 0..PIPE_QUERIES {
+        if outstanding.len() == WINDOW {
+            client.wait(outstanding.pop_front().unwrap()).unwrap();
+        }
+        outstanding.push_back(client.submit("piped", &stream_query(i)).unwrap());
+    }
+    while let Some(id) = outstanding.pop_front() {
+        client.wait(id).unwrap();
+    }
+    let pipelined = t.elapsed().as_secs_f64();
+    client.goodbye().unwrap();
+    net.shutdown().unwrap();
+
+    let serial_rps = PIPE_QUERIES as f64 / serial;
+    let pipelined_rps = PIPE_QUERIES as f64 / pipelined;
+    let speedup = pipelined_rps / serial_rps;
+    println!(
+        "net/pipelining: serial {serial_rps:.0} req/s, pipelined (window {WINDOW}) \
+         {pipelined_rps:.0} req/s — {speedup:.1}×"
+    );
+    assert!(
+        speedup >= 5.0,
+        "pipelining must amortize round-trips ≥ 5× (got {speedup:.1}×)"
+    );
+    writeln!(
+        json,
+        "  \"pipelining\": {{\"queries\": {PIPE_QUERIES}, \"window\": {WINDOW}, \
+         \"serial_rps\": {serial_rps:.0}, \"pipelined_rps\": {pipelined_rps:.0}, \
+         \"speedup\": {speedup:.2}, \"pipelined_at_least_5x\": true}},"
+    )
+    .unwrap();
+    speedup
+}
+
+fn bench_cross_process(json: &mut String) {
+    let server = build_server(
+        7,
+        ServerConfig {
+            queue_capacity: PROC_QUERIES + 1,
+            coalesce_window: 4,
+            quantum: 16,
+            ..ServerConfig::default()
+        },
+    );
+    let net = NetServer::bind(
+        "127.0.0.1:0",
+        server,
+        NetConfig {
+            max_in_flight: PROC_QUERIES,
+            tick_interval: Duration::from_millis(1),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = net.local_addr().to_string();
+
+    let exe = std::env::current_exe().expect("current exe");
+    let t = Instant::now();
+    let children: Vec<std::process::Child> = (0..PROCS)
+        .map(|p| {
+            std::process::Command::new(&exe)
+                .args(["net-client", &addr, &format!("proc-{p}")])
+                .spawn()
+                .expect("spawn client process")
+        })
+        .collect();
+    for mut child in children {
+        assert!(child.wait().expect("child").success(), "client failed");
+    }
+    let wall = t.elapsed().as_secs_f64();
+
+    let stats = net.server().stats();
+    let requests = (PROCS * PROC_QUERIES) as u64;
+    assert_eq!(stats.answered, requests, "every request answered");
+    assert!(
+        stats.releases < requests,
+        "cross-process load must share releases ({} vs {requests})",
+        stats.releases
+    );
+    // Ledger exactness: every analyst paid exactly ε per shared release
+    // they were answered from, never more than one charge per query.
+    for p in 0..PROCS {
+        let snap = net
+            .server()
+            .engine()
+            .session_snapshot(&format!("proc-{p}"))
+            .unwrap();
+        assert!(snap.served() >= 1 && snap.served() <= PROC_QUERIES as u64);
+        assert!(
+            (snap.spent() - snap.served() as f64 * 1e-5).abs() < 1e-12,
+            "proc-{p}: spent {} over {} charges",
+            snap.spent(),
+            snap.served()
+        );
+    }
+    net.shutdown().unwrap();
+
+    let amplification = stats.answered as f64 / stats.releases as f64;
+    println!(
+        "net/cross-process: {PROCS} processes × {PROC_QUERIES} queries → {requests} answers \
+         from {} releases ({amplification:.1}× amplification, {:.0} req/s incl. process spawn)",
+        stats.releases,
+        requests as f64 / wall
+    );
+    writeln!(
+        json,
+        "  \"cross_process\": {{\"processes\": {PROCS}, \"queries_per_process\": {PROC_QUERIES}, \
+         \"requests\": {requests}, \"releases\": {}, \"amplification\": {amplification:.2}, \
+         \"releases_fewer_than_requests\": true, \"throughput_rps\": {:.0}}}",
+        stats.releases,
+        requests as f64 / wall
+    )
+    .unwrap();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("net-client") {
+        run_child(&args[2], &args[3]);
+        return;
+    }
+    // `--quick` is accepted for CI symmetry; the workload is already
+    // smoke-sized, so both modes run the same thing.
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"pr\": 5,").unwrap();
+    writeln!(json, "  \"quick\": {quick},").unwrap();
+
+    let speedup = bench_pipelining(&mut json);
+    bench_cross_process(&mut json);
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
+    std::fs::write(path, &json).expect("write BENCH_PR5.json");
+    println!("net: OK (pipelining {speedup:.1}×) → {path}");
+}

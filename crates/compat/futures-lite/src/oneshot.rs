@@ -57,6 +57,14 @@ impl<T> std::fmt::Debug for Sender<T> {
 }
 
 impl<T> Sender<T> {
+    /// Whether the receiver is gone: a send would fail, so a producer
+    /// holding queued work for this channel can drop it instead of
+    /// computing an answer nobody will read (the scheduler's
+    /// cancellation probe for disconnected clients).
+    pub fn is_closed(&self) -> bool {
+        !self.inner.lock().expect("oneshot poisoned").rx_alive
+    }
+
     /// Delivers `value`, waking the receiver.
     ///
     /// # Errors

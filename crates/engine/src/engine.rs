@@ -145,10 +145,26 @@ pub struct Engine {
     store: Option<Arc<Store>>,
     cache: SensitivityCache,
     /// Base seed for noise; each release derives its own generator from
-    /// `seed ⊕ f(counter)`, so no lock is held while mechanisms run and
-    /// single-threaded serving stays reproducible.
+    /// the seed and the release's identity, so no lock is held while
+    /// mechanisms run and same-seed serving stays reproducible.
     seed: u64,
+    /// Ordinal counter for releases with no stable identity (k-means,
+    /// whose runs are iterative and never coalesced).
     release_counter: AtomicU64,
+    /// Per-identity release ordinals: how many releases each
+    /// `(policy, data, ε, query class)` fingerprint has performed. Noise
+    /// depends only on `(seed, fingerprint, ordinal)` — never on the
+    /// arrival order of *other* keys — so concurrent clients with
+    /// disjoint query streams observe byte-identical answers across
+    /// same-seed runs no matter how their submissions interleave.
+    ///
+    /// Grows by one `u64 → u64` entry per distinct identity ever served
+    /// (like the sensitivity cache) and is deliberately never evicted:
+    /// forgetting a counter would restart it at 0 and replay an earlier
+    /// release's exact noise — harmless for privacy (republishing a
+    /// release reveals nothing new) but a silent correctness surprise.
+    /// Bounding this without losing the guarantee is a ROADMAP item.
+    release_seqs: Mutex<HashMap<u64, u64>>,
 }
 
 impl Default for Engine {
@@ -176,6 +192,7 @@ impl Engine {
             cache: SensitivityCache::new(),
             seed,
             release_counter: AtomicU64::new(0),
+            release_seqs: Mutex::new(HashMap::new()),
         }
     }
 
@@ -233,11 +250,29 @@ impl Engine {
         }
     }
 
-    /// A fresh generator for one release: deterministic in (seed, release
-    /// ordinal), independent across releases (SplitMix64-style spread).
+    /// A fresh generator for a release with no stable identity (k-means):
+    /// deterministic in (seed, global release ordinal), independent
+    /// across releases (SplitMix64-style spread).
     fn release_rng(&self) -> StdRng {
         let n = self.release_counter.fetch_add(1, Ordering::Relaxed);
         StdRng::seed_from_u64(self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// A fresh generator for one identified release: deterministic in
+    /// `(seed, fingerprint, per-fingerprint ordinal)`. Because the
+    /// ordinal is scoped to the release's own identity, noise never
+    /// depends on how *other* keys' releases interleave — the property
+    /// that makes concurrent network clients with disjoint query streams
+    /// reproducible across same-seed runs.
+    fn release_rng_keyed(&self, fingerprint: u64) -> StdRng {
+        let seq = {
+            let mut seqs = self.release_seqs.lock().expect("release seqs poisoned");
+            let c = seqs.entry(fingerprint).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        StdRng::seed_from_u64(splitmix(self.seed ^ splitmix(fingerprint ^ splitmix(seq))))
     }
 
     // ------------------------------------------------------------------
@@ -620,6 +655,42 @@ impl Engine {
             .map_err(EngineError::SessionExists)
     }
 
+    /// Opens the analyst's session if absent, reattaches a parked
+    /// (evicted or crash-recovered) one, or — unlike
+    /// [`Engine::open_session`] — treats an already-**live** session with
+    /// the same total as success. Returns the remaining ε in all three
+    /// cases.
+    ///
+    /// This is the idempotent session lookup a reconnecting network
+    /// client drives: whether the serving process restarted (session
+    /// parked in the store), the connection alone dropped (session still
+    /// live), or the client is brand new, one `attach_session` call
+    /// lands the analyst on their authoritative ledger.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] when the analyst already has a
+    /// ledger (live or parked) with a different total — a bigger total
+    /// would mint budget; [`EngineError::Store`] when a fresh session
+    /// cannot be made durable.
+    pub fn attach_session(&self, analyst: &str, total: Epsilon) -> Result<f64, EngineError> {
+        match self.open_session(analyst.to_owned(), total) {
+            Ok(()) => self.session_remaining(analyst),
+            Err(EngineError::SessionExists(_)) => {
+                let snap = self.session_snapshot(analyst)?;
+                if (snap.total().value() - total.value()).abs() > 1e-12 {
+                    return Err(EngineError::InvalidRequest(format!(
+                        "session for {analyst:?} reattaches with its original total ε={}, got {}",
+                        snap.total().value(),
+                        total.value()
+                    )));
+                }
+                Ok(snap.remaining())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     fn session(&self, analyst: &str) -> Result<Arc<Mutex<AnalystSession>>, EngineError> {
         self.sessions.get(analyst).ok_or_else(|| {
             if self.parked.get(analyst).is_some() {
@@ -873,7 +944,14 @@ impl Engine {
                     request.epsilon,
                     sensitivity == 0.0,
                 )?;
-                self.execute(kind, &entry, request.epsilon, sensitivity)
+                let fp = release_fingerprint(
+                    &policy_entry.policy,
+                    &request.data,
+                    request.epsilon,
+                    &class,
+                );
+                let mut rng = self.release_rng_keyed(fp);
+                self.execute_with_rng(kind, &entry, request.epsilon, sensitivity, &mut rng)
             }
         }
     }
@@ -970,14 +1048,14 @@ impl Engine {
                 })
                 .collect();
             match self.prepare_range_group(analyst, &policy_name, &data_name, epsilon, &ranges) {
-                Ok((mech, cumulative, record, flights)) => {
+                Ok((mech, cumulative, record, rng, flights)) => {
                     charge_records.extend(record);
                     prepared.push(PreparedGroup {
                         indices,
                         ranges,
                         mech,
                         cumulative,
-                        rng: self.release_rng(),
+                        rng,
                         _flights: flights,
                     });
                 }
@@ -1060,6 +1138,7 @@ impl Engine {
             OrderedMechanism,
             Arc<CumulativeHistogram>,
             Option<Record>,
+            StdRng,
             (FlightGuard, FlightGuard),
         ),
         EngineError,
@@ -1099,7 +1178,14 @@ impl Engine {
             constrained_inference: true,
             nonnegative: false,
         };
-        Ok((mech, Arc::clone(&entry.cumulative), record, flights))
+        let fp = release_fingerprint(
+            &policy_entry.policy,
+            data_name,
+            epsilon,
+            &QueryClass::CumulativeHistogram,
+        );
+        let rng = self.release_rng_keyed(fp);
+        Ok((mech, Arc::clone(&entry.cumulative), record, rng, flights))
     }
 
     /// The key under which requests from **different analysts** may share
@@ -1122,12 +1208,11 @@ impl Engine {
             return Ok(None);
         };
         let policy = self.policy(&request.policy)?;
-        Ok(Some(format!(
-            "{}|{}|{:016x}|{:016x}",
-            policy.cache_key(),
-            request.data,
-            request.epsilon.value().to_bits(),
-            class.fingerprint()
+        Ok(Some(release_key(
+            &policy,
+            &request.data,
+            request.epsilon,
+            &class,
         )))
     }
 
@@ -1182,7 +1267,7 @@ impl Engine {
         for (gi, (analysts, request)) in groups.iter().enumerate() {
             // Resolve and validate once per group.
             let resolved =
-                (|| -> Result<(DatasetEntry, f64, (FlightGuard, FlightGuard)), EngineError> {
+                (|| -> Result<(DatasetEntry, f64, u64, (FlightGuard, FlightGuard)), EngineError> {
                     if matches!(request.kind, RequestKind::KMeans { .. }) {
                         return Err(EngineError::InvalidRequest(
                             "k-means requests are not coalescible; serve them individually".into(),
@@ -1197,7 +1282,13 @@ impl Engine {
                         .query_class()
                         .expect("non-kmeans kinds always map to a query class");
                     let sensitivity = self.sensitivity_for(&policy_entry, &class)?;
-                    Ok((entry, sensitivity, flights))
+                    let fp = release_fingerprint(
+                        &policy_entry.policy,
+                        &request.data,
+                        request.epsilon,
+                        &class,
+                    );
+                    Ok((entry, sensitivity, fp, flights))
                 })();
             match resolved {
                 Err(e) => {
@@ -1205,38 +1296,60 @@ impl Engine {
                         *slot = Some(Err(e.clone()));
                     }
                 }
-                Ok((entry, sensitivity, flights)) => {
+                Ok((entry, sensitivity, fp, flights)) => {
                     let label = if analysts.len() > 1 {
                         format!("coalesced:{}x{}", analysts.len(), request.label())
                     } else {
                         request.label()
                     };
                     let free = sensitivity == 0.0;
-                    // Charge each waiter on their own ledger; a refusal
-                    // (or unknown analyst) fails only that slot. Charges
+                    // Charge each DISTINCT analyst once on their own
+                    // ledger — publishing one release to an analyst
+                    // costs them ε regardless of how many waiter slots
+                    // of theirs it answers (reading a release twice is
+                    // post-processing). This matches `serve_batch` and
+                    // `serve_range_groups`, so an analyst's spend never
+                    // depends on which dispatch path unrelated traffic
+                    // routed them through. A refusal (or unknown
+                    // analyst) fails only that analyst's slots. Charges
                     // stay in slice order so the WAL reads like the
                     // deterministic charge sequence.
                     let mut any_charged = false;
+                    let mut verdicts: HashMap<&str, Result<(), EngineError>> = HashMap::new();
                     for (ai, analyst) in analysts.iter().enumerate() {
-                        let charged = self.session(analyst).and_then(|session| {
-                            session.lock().expect("session poisoned").charge(
-                                label.clone(),
-                                request.epsilon,
-                                free,
-                            )
-                        });
+                        let charged = verdicts
+                            .entry(analyst.as_str())
+                            .or_insert_with(|| {
+                                self.session(analyst).and_then(|session| {
+                                    session.lock().expect("session poisoned").charge(
+                                        label.clone(),
+                                        request.epsilon,
+                                        free,
+                                    )
+                                })
+                            })
+                            .clone();
                         match charged {
-                            Ok(()) => {
-                                any_charged = true; // slot stays None: filled by the release
-                                if self.store.is_some() {
-                                    charge_records.push(Record::charged(
-                                        analyst,
-                                        &label,
-                                        if free { 0.0 } else { request.epsilon.value() },
-                                    ));
-                                }
-                            }
+                            // Slot stays None: filled by the release.
+                            Ok(()) => any_charged = true,
                             Err(e) => out[gi][ai] = Some(Err(e)),
+                        }
+                    }
+                    if self.store.is_some() {
+                        // One WAL record per charged analyst, in
+                        // first-appearance order.
+                        let mut recorded: Vec<&str> = Vec::new();
+                        for analyst in analysts.iter() {
+                            if matches!(verdicts.get(analyst.as_str()), Some(Ok(())))
+                                && !recorded.contains(&analyst.as_str())
+                            {
+                                recorded.push(analyst.as_str());
+                                charge_records.push(Record::charged(
+                                    analyst,
+                                    &label,
+                                    if free { 0.0 } else { request.epsilon.value() },
+                                ));
+                            }
                         }
                     }
                     if any_charged {
@@ -1246,7 +1359,7 @@ impl Engine {
                             entry,
                             epsilon: request.epsilon,
                             sensitivity,
-                            rng: self.release_rng(),
+                            rng: self.release_rng_keyed(fp),
                             _flights: flights,
                         });
                     }
@@ -1297,6 +1410,223 @@ impl Engine {
             .collect()
     }
 
+    /// The key under which range requests with **different endpoints**
+    /// may still share one Ordered release: `Some` of
+    /// `(policy cache key, dataset, ε bits)` for an in-bounds range
+    /// against a constraint-free policy, `None` otherwise (non-range
+    /// kinds; constrained policies, whose bound does not calibrate the
+    /// shared cumulative release; out-of-bounds ranges, which must fail
+    /// individually instead of poisoning a shared release).
+    ///
+    /// This is [`Engine::serve_batch`]'s grouping criterion exposed to
+    /// the front-end scheduler, which uses it to fold same-window range
+    /// traffic from *different analysts* into
+    /// [`Engine::serve_range_groups`] calls.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownPolicy`] when the request names an
+    /// unregistered policy.
+    pub fn range_group_key(&self, request: &Request) -> Result<Option<String>, EngineError> {
+        let RequestKind::Range { lo, hi } = request.kind else {
+            return Ok(None);
+        };
+        let Some(entry) = self.policies.get(&request.policy) else {
+            return Err(EngineError::UnknownPolicy(request.policy.clone()));
+        };
+        if entry.constrained_bound.is_some() {
+            return Ok(None);
+        }
+        let in_bounds = lo <= hi
+            && self
+                .datasets
+                .get(&request.data)
+                .map(|e| hi < e.dataset.domain().size())
+                .unwrap_or(true); // unknown dataset: fail as a group
+        if !in_bounds {
+            return Ok(None);
+        }
+        Ok(Some(format!(
+            "{}|{}|{:016x}",
+            entry.policy.cache_key(),
+            request.data,
+            request.epsilon.value().to_bits()
+        )))
+    }
+
+    /// Serves several coalesced **range** groups that share
+    /// `(policy, data, ε)` but differ in endpoints from **one** Ordered
+    /// Mechanism release — [`Engine::serve_batch`]'s grouping lifted
+    /// across analysts. Every inner `(analysts, request)` pair is one
+    /// coalesced group (identical endpoints); across the slice the
+    /// policy, dataset and ε must agree (the contract
+    /// [`Engine::range_group_key`] equality establishes).
+    ///
+    /// Each **distinct** analyst in the union of waiters is charged ε
+    /// once on their own ledger — exactly what they would pay for a lone
+    /// range — then a single cumulative release executes and every
+    /// waiter's range is answered as a two-prefix read. A refused charge
+    /// fails only that analyst's slots. Slots mirror the input shape.
+    pub fn serve_range_groups(
+        &self,
+        groups: &[(Vec<String>, Request)],
+    ) -> Vec<Vec<Result<Response, EngineError>>> {
+        let fail_all = |e: EngineError| -> Vec<Vec<Result<Response, EngineError>>> {
+            groups
+                .iter()
+                .map(|(analysts, _)| analysts.iter().map(|_| Err(e.clone())).collect())
+                .collect()
+        };
+        let Some((_, first)) = groups.first() else {
+            return Vec::new();
+        };
+        let mut ranges = Vec::with_capacity(groups.len());
+        for (_, request) in groups {
+            let RequestKind::Range { lo, hi } = request.kind else {
+                return fail_all(EngineError::InvalidRequest(
+                    "serve_range_groups takes range requests only".into(),
+                ));
+            };
+            if request.policy != first.policy
+                || request.data != first.data
+                || request.epsilon.value().to_bits() != first.epsilon.value().to_bits()
+            {
+                return fail_all(EngineError::InvalidRequest(
+                    "serve_range_groups requires one shared (policy, data, ε)".into(),
+                ));
+            }
+            ranges.push((lo, hi));
+        }
+
+        // Resolve, validate and calibrate the one shared release.
+        let prepared = (|| {
+            let (policy_entry, policy_flight) = self.pinned_policy_entry(&first.policy)?;
+            let (entry, data_flight) = self.pinned_dataset_entry(&first.data)?;
+            let size = entry.dataset.domain().size();
+            if policy_entry.policy.domain().size() != size {
+                return Err(EngineError::InvalidRequest(format!(
+                    "dataset domain size {size} does not match policy domain size {}",
+                    policy_entry.policy.domain().size()
+                )));
+            }
+            for &(lo, hi) in &ranges {
+                if lo > hi || hi >= size {
+                    return Err(EngineError::InvalidRequest(format!(
+                        "range [{lo}, {hi}] outside domain of size {size}"
+                    )));
+                }
+            }
+            let sensitivity =
+                self.sensitivity_for(&policy_entry, &QueryClass::CumulativeHistogram)?;
+            let fp = release_fingerprint(
+                &policy_entry.policy,
+                &first.data,
+                first.epsilon,
+                &QueryClass::CumulativeHistogram,
+            );
+            Ok((entry, sensitivity, fp, (policy_flight, data_flight)))
+        })();
+        let (entry, sensitivity, fp, _flights) = match prepared {
+            Ok(p) => p,
+            Err(e) => return fail_all(e),
+        };
+
+        // Charge each distinct analyst once, in first-appearance order
+        // (deterministic — the WAL reads like the charge sequence).
+        let label = format!(
+            "coalesced-batch:{}xrange@{}/{}",
+            ranges.len(),
+            first.policy,
+            first.data
+        );
+        let free = sensitivity == 0.0;
+        let mut verdicts: BTreeMap<&str, Result<(), EngineError>> = BTreeMap::new();
+        let mut charge_records: Vec<Record> = Vec::new();
+        for (analysts, _) in groups {
+            for analyst in analysts {
+                if verdicts.contains_key(analyst.as_str()) {
+                    continue;
+                }
+                let charged = self.session(analyst).and_then(|session| {
+                    session.lock().expect("session poisoned").charge(
+                        label.clone(),
+                        first.epsilon,
+                        free,
+                    )
+                });
+                if charged.is_ok() && self.store.is_some() {
+                    charge_records.push(Record::charged(
+                        analyst,
+                        &label,
+                        if free { 0.0 } else { first.epsilon.value() },
+                    ));
+                }
+                verdicts.insert(analyst.as_str(), charged);
+            }
+        }
+        if verdicts.values().all(|v| v.is_err()) {
+            return groups
+                .iter()
+                .map(|(analysts, _)| {
+                    analysts
+                        .iter()
+                        .map(|a| Err(verdicts[a.as_str()].clone().unwrap_err()))
+                        .collect()
+                })
+                .collect();
+        }
+        // Acknowledge-after-durable: all fan-out charges ride one commit
+        // before the shared release executes. On a store failure nothing
+        // is released — charged slots surface the store error, refused
+        // slots keep their own charge error.
+        let answers = match &self.store {
+            Some(store) if !charge_records.is_empty() => store
+                .commit(&charge_records)
+                .map_err(EngineError::Store)
+                .and_then(|()| {
+                    self.execute_range_group(&entry, first.epsilon, sensitivity, fp, &ranges)
+                }),
+            _ => self.execute_range_group(&entry, first.epsilon, sensitivity, fp, &ranges),
+        };
+        groups
+            .iter()
+            .enumerate()
+            .map(|(gi, (analysts, _))| {
+                analysts
+                    .iter()
+                    .map(|a| match &verdicts[a.as_str()] {
+                        Err(e) => Err(e.clone()),
+                        Ok(()) => answers
+                            .as_ref()
+                            .map(|batch| Response::Scalar(batch[gi]))
+                            .map_err(|e| e.clone()),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The shared Ordered release behind [`Engine::serve_range_groups`]:
+    /// one noise draw, one inference pass, one answer per range.
+    fn execute_range_group(
+        &self,
+        entry: &DatasetEntry,
+        epsilon: Epsilon,
+        sensitivity: f64,
+        fp: u64,
+        ranges: &[(usize, usize)],
+    ) -> Result<Vec<f64>, EngineError> {
+        let mech = OrderedMechanism {
+            epsilon,
+            sensitivity,
+            constrained_inference: true,
+            nonnegative: false,
+        };
+        let mut rng = self.release_rng_keyed(fp);
+        let release = mech.release(&entry.cumulative, &mut rng)?;
+        Ok(release.answer_batch(ranges))
+    }
+
     fn validate(
         &self,
         kind: &RequestKind,
@@ -1332,17 +1662,6 @@ impl Engine {
             _ => {}
         }
         Ok(())
-    }
-
-    fn execute(
-        &self,
-        kind: &RequestKind,
-        entry: &DatasetEntry,
-        epsilon: Epsilon,
-        sensitivity: f64,
-    ) -> Result<Response, EngineError> {
-        let mut rng = self.release_rng();
-        self.execute_with_rng(kind, entry, epsilon, sensitivity, &mut rng)
     }
 
     /// Runs the mechanism for one release with an externally assigned
@@ -1396,6 +1715,35 @@ impl Engine {
             }
         }
     }
+}
+
+/// SplitMix64 finalizer: spreads structured u64s (small ordinals,
+/// FNV fingerprints) into independent-looking seeds.
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The stable identity string of a release: policy closed-form key, data
+/// name, exact ε bits, query-class fingerprint. Requests with equal keys
+/// are answerable by one another's releases; this is both the coalescing
+/// key and (hashed) the seed component that makes release noise a pure
+/// function of what is being released.
+fn release_key(policy: &Policy, data: &str, epsilon: Epsilon, class: &QueryClass) -> String {
+    format!(
+        "{}|{}|{:016x}|{:016x}",
+        policy.cache_key(),
+        data,
+        epsilon.value().to_bits(),
+        class.fingerprint()
+    )
+}
+
+/// FNV-1a of [`release_key`] — the fingerprint indexing the per-identity
+/// release ordinals.
+fn release_fingerprint(policy: &Policy, data: &str, epsilon: Epsilon, class: &QueryClass) -> u64 {
+    fnv1a(release_key(policy, data, epsilon, class).as_bytes())
 }
 
 /// Content fingerprint of a dataset: domain size plus the exact bit

@@ -75,7 +75,7 @@ pub use request::{Request, RequestKind, Response};
 pub use session::AnalystSession;
 
 // The durable-ledger types engine callers need to attach persistence.
-pub use bf_store::{Store, StoreError, StoreStats};
+pub use bf_store::{Store, StoreConfig, StoreError, StoreStats};
 
 #[cfg(test)]
 mod tests {
@@ -951,5 +951,169 @@ mod tests {
         let stats = engine.cache_stats();
         assert_eq!(stats.hits + stats.misses, (threads * per_thread) as u64);
         assert!(stats.entries <= 32);
+    }
+
+    #[test]
+    fn attach_session_is_idempotent_across_live_parked_and_fresh() {
+        let engine = engine_with_line_policy(32, 2);
+        // Fresh: opens and returns the full budget.
+        assert!((engine.attach_session("alice", eps(1.0)).unwrap() - 1.0).abs() < 1e-12);
+        engine
+            .serve("alice", &Request::range("pol", "ds", eps(0.25), 4, 20))
+            .unwrap();
+        // Live: a reconnect lands on the same ledger.
+        assert!((engine.attach_session("alice", eps(1.0)).unwrap() - 0.75).abs() < 1e-12);
+        // Live with a different total would mint budget: refused.
+        assert!(matches!(
+            engine.attach_session("alice", eps(2.0)),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        // Parked: eviction then attach reattaches with spent intact.
+        engine.evict_session("alice").unwrap();
+        assert!((engine.attach_session("alice", eps(1.0)).unwrap() - 0.75).abs() < 1e-12);
+        engine
+            .serve("alice", &Request::range("pol", "ds", eps(0.25), 4, 20))
+            .unwrap();
+        assert!((engine.session_remaining("alice").unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_group_key_discriminates_kinds_policies_and_bounds() {
+        let engine = engine_with_line_policy(32, 2);
+        let key = |r: &Request| engine.range_group_key(r).unwrap();
+        let a = key(&Request::range("pol", "ds", eps(0.5), 2, 10)).expect("batchable");
+        let b = key(&Request::range("pol", "ds", eps(0.5), 5, 20)).expect("batchable");
+        assert_eq!(a, b, "endpoints do not split the group");
+        let c = key(&Request::range("pol", "ds", eps(0.25), 2, 10)).expect("batchable");
+        assert_ne!(a, c, "a different \u{03b5} does split");
+        assert!(key(&Request::histogram("pol", "ds", eps(0.5))).is_none());
+        assert!(
+            key(&Request::range("pol", "ds", eps(0.5), 30, 40)).is_none(),
+            "out-of-bounds ranges fail individually"
+        );
+        assert!(matches!(
+            engine.range_group_key(&Request::range("nope", "ds", eps(0.5), 2, 10)),
+            Err(EngineError::UnknownPolicy(_))
+        ));
+    }
+
+    #[test]
+    fn range_groups_share_one_ordered_release_across_analysts() {
+        let run = || {
+            let engine = engine_with_line_policy(64, 2);
+            for a in ["a", "b", "c"] {
+                engine.open_session(a, eps(1.0)).unwrap();
+            }
+            let groups = vec![
+                (
+                    vec!["a".to_owned(), "b".to_owned()],
+                    Request::range("pol", "ds", eps(0.5), 8, 24),
+                ),
+                (
+                    vec!["c".to_owned()],
+                    Request::range("pol", "ds", eps(0.5), 2, 30),
+                ),
+            ];
+            let slots = engine.serve_range_groups(&groups);
+            let answers: Vec<Vec<f64>> = slots
+                .iter()
+                .map(|g| {
+                    g.iter()
+                        .map(|s| s.as_ref().unwrap().scalar().unwrap())
+                        .collect()
+                })
+                .collect();
+            // Every analyst paid once, on their own ledger.
+            for a in ["a", "b", "c"] {
+                let snap = engine.session_snapshot(a).unwrap();
+                assert!((snap.spent() - 0.5).abs() < 1e-12);
+                assert_eq!(snap.served(), 1);
+            }
+            answers
+        };
+        let answers = run();
+        // Identical endpoints share one value; the shared release keeps
+        // both ranges consistent (prefix reads of one noisy cumulative).
+        assert_eq!(answers[0][0].to_bits(), answers[0][1].to_bits());
+        // Same-seed runs are byte-identical.
+        let again = run();
+        assert_eq!(
+            answers
+                .iter()
+                .flatten()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            again
+                .iter()
+                .flatten()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn range_groups_refuse_only_the_broke_analyst() {
+        let engine = engine_with_line_policy(64, 2);
+        engine.open_session("rich", eps(1.0)).unwrap();
+        engine.open_session("poor", eps(0.1)).unwrap();
+        let groups = vec![(
+            vec!["rich".to_owned(), "poor".to_owned()],
+            Request::range("pol", "ds", eps(0.5), 8, 24),
+        )];
+        let slots = engine.serve_range_groups(&groups);
+        assert!(slots[0][0].is_ok());
+        assert!(matches!(
+            slots[0][1],
+            Err(EngineError::BudgetRefused { .. })
+        ));
+        assert!((engine.session_remaining("poor").unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    /// The per-identity RNG property: a release's noise depends only on
+    /// (seed, what is released, how many times that same thing released
+    /// before) — never on how OTHER keys' releases interleave. Two
+    /// same-seed engines serving the same per-analyst streams in
+    /// different global orders produce byte-identical answers.
+    #[test]
+    fn noise_is_independent_of_cross_key_arrival_order() {
+        let build = || {
+            let engine = engine_with_line_policy(64, 2);
+            engine.open_session("a", eps(10.0)).unwrap();
+            engine.open_session("b", eps(10.0)).unwrap();
+            engine
+        };
+        let req_a = Request::range("pol", "ds", eps(0.5), 8, 24);
+        let req_b = Request::histogram("pol", "ds", eps(0.25));
+        let e1 = build();
+        let r1a = e1.serve("a", &req_a).unwrap();
+        let r1b = e1.serve("b", &req_b).unwrap();
+        let e2 = build();
+        let r2b = e2.serve("b", &req_b).unwrap(); // reversed order
+        let r2a = e2.serve("a", &req_a).unwrap();
+        assert_eq!(r1a, r2a, "range noise unaffected by the histogram");
+        assert_eq!(r1b, r2b, "histogram noise unaffected by the range");
+        // Repeats of one identity still draw fresh noise.
+        let r3a = e1.serve("a", &req_a).unwrap();
+        assert_ne!(r1a, r3a, "per-identity ordinal advances");
+    }
+
+    /// The charge-per-release discipline is path-independent: an
+    /// analyst with several waiter slots on one coalesced release pays
+    /// ε once — exactly what serve_batch and serve_range_groups charge —
+    /// so a ledger never depends on which dispatch path unrelated
+    /// traffic routed the request through.
+    #[test]
+    fn duplicate_waiters_of_one_release_are_charged_once() {
+        let engine = engine_with_line_policy(32, 2);
+        engine.open_session("dup", eps(1.0)).unwrap();
+        let slots = engine.serve_coalesced(
+            &["dup".to_owned(), "dup".to_owned()],
+            &Request::range("pol", "ds", eps(0.4), 4, 20),
+        );
+        assert_eq!(slots.len(), 2);
+        assert!(slots.iter().all(|s| s.is_ok()));
+        let snap = engine.session_snapshot("dup").unwrap();
+        assert_eq!(snap.served(), 1, "one release, one charge");
+        assert!((snap.spent() - 0.4).abs() < 1e-12);
     }
 }

@@ -1,0 +1,357 @@
+//! The client library: connection handling, pipelining, reconnect.
+
+use crate::error::NetError;
+use crate::proto::{ClientMessage, ServerMessage, WireError, WireRequest, PROTOCOL_VERSION};
+use bf_engine::{Request, Response};
+use bf_store::{frame_bytes, read_frame, FrameRead};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+/// An analyst's ledger as reported by the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetSnapshot {
+    /// Total ε the session opened with.
+    pub total: f64,
+    /// ε spent so far (durable when the server has a store).
+    pub spent: f64,
+    /// ε remaining.
+    pub remaining: f64,
+    /// Requests served.
+    pub served: u64,
+}
+
+/// A blocking, pipelining client for one serving process.
+///
+/// One `Client` owns one TCP connection. Requests are **pipelined**:
+/// [`Client::submit`] sends a frame and returns its correlation id
+/// immediately, so any number of requests can be outstanding;
+/// [`Client::wait`] blocks for one specific answer, buffering any other
+/// replies that arrive first. [`Client::call`] is the serial
+/// convenience (submit + wait).
+///
+/// ## Reconnect and reattach
+///
+/// The client remembers every session it opened. After a connection
+/// failure ([`NetError::Io`] / [`NetError::ConnectionLost`]),
+/// [`Client::reconnect`] dials again, re-runs the handshake, and
+/// reopens each remembered session through the server's recovery path
+/// (`Engine::attach_session`): whether the serving process restarted
+/// from its WAL or only the connection dropped, the analyst lands on
+/// the same durable ledger, spent ε intact. Requests that were in
+/// flight at the failure are reported lost, **not** resubmitted —
+/// whether they were served (and charged) is unknowable from the
+/// client, so the honest move is to surface the ids and let the caller
+/// check [`Client::budget`] before retrying.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    stream: TcpStream,
+    buf: Vec<u8>,
+    next_id: u64,
+    /// Correlation ids sent and not yet answered.
+    pending: HashSet<u64>,
+    /// Replies that arrived while waiting for a different id.
+    ready: HashMap<u64, ServerMessage>,
+    /// Sessions opened through this client: analyst → total ε bits
+    /// (BTreeMap so reattach order is deterministic).
+    sessions: BTreeMap<String, u64>,
+}
+
+impl Client {
+    /// Connects and runs the version handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the dial fails, [`NetError::Protocol`] /
+    /// [`NetError::Remote`] when the handshake is refused.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, NetError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| NetError::Protocol("address resolved to nothing".into()))?;
+        let stream = Self::dial(addr)?;
+        let mut client = Client {
+            addr,
+            stream,
+            buf: Vec::new(),
+            next_id: 1,
+            pending: HashSet::new(),
+            ready: HashMap::new(),
+            sessions: BTreeMap::new(),
+        };
+        client.handshake()?;
+        Ok(client)
+    }
+
+    fn dial(addr: SocketAddr) -> Result<TcpStream, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    fn handshake(&mut self) -> Result<(), NetError> {
+        let id = self.fresh_id();
+        self.send(&ClientMessage::Hello {
+            id,
+            version: PROTOCOL_VERSION,
+        })?;
+        match self.recv_for(id)? {
+            ServerMessage::Welcome { version, .. } if version == PROTOCOL_VERSION => Ok(()),
+            ServerMessage::Welcome { version, .. } => Err(NetError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: version,
+            }),
+            ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
+            other => Err(NetError::Protocol(format!(
+                "expected Welcome, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server address this client dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Correlation ids currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn send(&mut self, msg: &ClientMessage) -> Result<(), NetError> {
+        self.stream.write_all(&frame_bytes(&msg.encode()))?;
+        self.pending.insert(msg.id());
+        Ok(())
+    }
+
+    /// Reads one message off the wire (blocking).
+    fn recv_message(&mut self) -> Result<ServerMessage, NetError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match read_frame(&self.buf) {
+                FrameRead::Complete { payload, consumed } => {
+                    let msg = ServerMessage::decode(payload)
+                        .ok_or_else(|| NetError::Protocol("undecodable server message".into()))?;
+                    self.buf.drain(..consumed);
+                    return Ok(msg);
+                }
+                FrameRead::Corrupt => {
+                    return Err(NetError::Protocol("corrupt frame from server".into()))
+                }
+                FrameRead::Incomplete => {}
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                let mut in_flight: Vec<u64> = self.pending.drain().collect();
+                in_flight.sort_unstable();
+                return Err(NetError::ConnectionLost { in_flight });
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Blocks until the reply for `id` arrives, buffering other replies.
+    fn recv_for(&mut self, id: u64) -> Result<ServerMessage, NetError> {
+        loop {
+            if let Some(msg) = self.ready.remove(&id) {
+                self.pending.remove(&id);
+                return Ok(msg);
+            }
+            let msg = self.recv_message()?;
+            if msg.id() == id {
+                self.pending.remove(&id);
+                return Ok(msg);
+            }
+            if self.pending.contains(&msg.id()) {
+                self.ready.insert(msg.id(), msg);
+            } else {
+                return Err(NetError::Protocol(format!(
+                    "reply for unknown correlation id {}",
+                    msg.id()
+                )));
+            }
+        }
+    }
+
+    /// Opens (or reattaches) a session for `analyst` with a total ε
+    /// budget, returning the remaining ε — equal to `total` for a fresh
+    /// session, less for a reattached one whose ledger already spent.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] for a typed refusal (total mismatch on
+    /// reattach, invalid ε), transport errors otherwise.
+    pub fn open_session(&mut self, analyst: &str, total: f64) -> Result<f64, NetError> {
+        let id = self.fresh_id();
+        self.send(&ClientMessage::OpenSession {
+            id,
+            analyst: analyst.to_owned(),
+            total_bits: total.to_bits(),
+        })?;
+        match self.recv_for(id)? {
+            ServerMessage::SessionAttached { remaining_bits, .. } => {
+                self.sessions.insert(analyst.to_owned(), total.to_bits());
+                Ok(f64::from_bits(remaining_bits))
+            }
+            ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
+            other => Err(NetError::Protocol(format!(
+                "expected SessionAttached, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Pipelines one request: sends it and returns the correlation id
+    /// without waiting. Collect the answer later with [`Client::wait`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the send fails (reconnect to recover).
+    pub fn submit(&mut self, analyst: &str, request: &Request) -> Result<u64, NetError> {
+        let id = self.fresh_id();
+        self.send(&ClientMessage::Submit {
+            id,
+            analyst: analyst.to_owned(),
+            request: WireRequest::from_request(request),
+        })?;
+        Ok(id)
+    }
+
+    /// Blocks for the answer to a pipelined submission.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] for a typed refusal, transport errors
+    /// otherwise.
+    pub fn wait(&mut self, id: u64) -> Result<Response, NetError> {
+        match self.recv_for(id)? {
+            ServerMessage::Answer { response, .. } => Ok(response.to_response()),
+            ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
+            other => Err(NetError::Protocol(format!(
+                "expected Answer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Serial convenience: submit one request and wait for its answer.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::submit`] and [`Client::wait`].
+    pub fn call(&mut self, analyst: &str, request: &Request) -> Result<Response, NetError> {
+        let id = self.submit(analyst, request)?;
+        self.wait(id)
+    }
+
+    /// Submits a batch answered as one correlated reply; compatible
+    /// members (e.g. ranges sharing `(policy, data, ε)`) are folded into
+    /// shared releases by the server's coalescing window.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol errors; per-member refusals come back in
+    /// the slots.
+    pub fn call_batch(
+        &mut self,
+        analyst: &str,
+        requests: &[Request],
+    ) -> Result<Vec<Result<Response, WireError>>, NetError> {
+        let id = self.fresh_id();
+        self.send(&ClientMessage::SubmitBatch {
+            id,
+            analyst: analyst.to_owned(),
+            requests: requests.iter().map(WireRequest::from_request).collect(),
+        })?;
+        match self.recv_for(id)? {
+            ServerMessage::BatchAnswer { slots, .. } => Ok(slots
+                .into_iter()
+                .map(|slot| slot.map(|resp| resp.to_response()))
+                .collect()),
+            ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
+            other => Err(NetError::Protocol(format!(
+                "expected BatchAnswer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches an analyst's ledger snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] when the session is unknown or evicted.
+    pub fn budget(&mut self, analyst: &str) -> Result<BudgetSnapshot, NetError> {
+        let id = self.fresh_id();
+        self.send(&ClientMessage::Budget {
+            id,
+            analyst: analyst.to_owned(),
+        })?;
+        match self.recv_for(id)? {
+            ServerMessage::BudgetReport {
+                total_bits,
+                spent_bits,
+                remaining_bits,
+                served,
+                ..
+            } => Ok(BudgetSnapshot {
+                total: f64::from_bits(total_bits),
+                spent: f64::from_bits(spent_bits),
+                remaining: f64::from_bits(remaining_bits),
+                served,
+            }),
+            ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
+            other => Err(NetError::Protocol(format!(
+                "expected BudgetReport, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Re-dials after a connection failure, re-runs the handshake, and
+    /// reopens every session this client had opened — the
+    /// reconnect-and-reattach path. Returns `(analyst, remaining ε)` for
+    /// each reattached session. Replies that were in flight at the
+    /// failure are gone; ask [`Client::budget`] what was charged before
+    /// resubmitting.
+    ///
+    /// # Errors
+    ///
+    /// Transport/handshake errors; [`NetError::Remote`] when a session
+    /// no longer reattaches (e.g. total mismatch).
+    pub fn reconnect(&mut self) -> Result<Vec<(String, f64)>, NetError> {
+        self.stream = Self::dial(self.addr)?;
+        self.buf.clear();
+        self.pending.clear();
+        self.ready.clear();
+        self.handshake()?;
+        let sessions: Vec<(String, u64)> =
+            self.sessions.iter().map(|(a, &t)| (a.clone(), t)).collect();
+        let mut reattached = Vec::with_capacity(sessions.len());
+        for (analyst, total_bits) in sessions {
+            let remaining = self.open_session(&analyst, f64::from_bits(total_bits))?;
+            reattached.push((analyst, remaining));
+        }
+        Ok(reattached)
+    }
+
+    /// Orderly close: the server drains anything still in flight for
+    /// this connection, acknowledges, and the socket shuts down.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; the connection is gone either way.
+    pub fn goodbye(mut self) -> Result<(), NetError> {
+        let id = self.fresh_id();
+        self.send(&ClientMessage::Goodbye { id })?;
+        match self.recv_for(id)? {
+            ServerMessage::Farewell { .. } => Ok(()),
+            other => Err(NetError::Protocol(format!(
+                "expected Farewell, got {other:?}"
+            ))),
+        }
+    }
+}

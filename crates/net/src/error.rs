@@ -1,0 +1,84 @@
+//! The client-side error vocabulary.
+
+use crate::proto::WireError;
+use std::fmt;
+
+/// Everything a network call can come back with.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket operation failed. The connection is dead; reconnect (the
+    /// client's [`crate::Client::reconnect`] reattaches sessions).
+    Io(std::io::Error),
+    /// The peer broke the protocol: a corrupt frame, an undecodable
+    /// message, a reply for an unknown correlation id, or a handshake
+    /// out of order. The connection cannot be trusted and is closed.
+    Protocol(String),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Our version.
+        ours: u16,
+        /// The peer's version.
+        theirs: u16,
+    },
+    /// The connection died with requests still in flight. Their answers
+    /// are unknowable (some may have been served and charged); reconnect
+    /// and query the budget before resubmitting.
+    ConnectionLost {
+        /// Correlation ids that were outstanding.
+        in_flight: Vec<u64>,
+    },
+    /// The server refused the request with a typed error.
+    Remote(WireError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NetError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, theirs {theirs}")
+            }
+            NetError::ConnectionLost { in_flight } => write!(
+                f,
+                "connection lost with {} request(s) in flight",
+                in_flight.len()
+            ),
+            NetError::Remote(e) => write!(f, "server refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Remote(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = NetError::VersionMismatch { ours: 1, theirs: 2 };
+        assert!(e.to_string().contains("ours 1"));
+        let e = NetError::Remote(WireError::UnknownPolicy("p".into()));
+        assert!(e.to_string().contains("\"p\""));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = NetError::ConnectionLost {
+            in_flight: vec![1, 2],
+        };
+        assert!(e.to_string().contains("2 request(s)"));
+    }
+}

@@ -1,0 +1,494 @@
+//! # bf-net — wire protocol, TCP front-end and client library
+//!
+//! Everything below this crate serves callers in the same process; this
+//! crate puts the Blowfish serving stack on a socket, so **multiple
+//! client processes** can hammer one serving process and still get every
+//! guarantee the in-process stack makes:
+//!
+//! ```text
+//!  client proc ──┐
+//!  client proc ──┼─TCP─► NetServer ─► Server (fairness, coalescing) ─► Engine ─► Store (WAL)
+//!  client proc ──┘        (bf-net)     (bf-server)                      (bf-engine) (bf-store)
+//! ```
+//!
+//! * **One protocol, one framing.** [`proto`] defines a versioned,
+//!   length-prefixed, FNV-checksummed binary protocol reusing the WAL's
+//!   record-framing discipline (`bf_store::frame_bytes` /
+//!   `bf_store::read_frame`), with typed error replies mirroring
+//!   `ServerError` / `EngineError` and every ε as exact `f64` bits.
+//! * **The scheduler is reused, not reimplemented.** [`NetServer`]
+//!   decodes frames into `Server::submit` tickets: per-analyst fair
+//!   queues, cross-analyst coalescing, same-`(policy, data, ε)` range
+//!   folding, admission control and durable charging all apply to
+//!   remote analysts unchanged.
+//! * **Backpressure is layered and typed.** A connection has a bounded
+//!   in-flight window ([`proto::WireError::WindowFull`]); an analyst
+//!   has a bounded queue (`QueueFull`), surfaced over the wire.
+//! * **Disconnects don't leak.** A client that vanishes mid-request
+//!   releases its tickets; the scheduler cancels not-yet-dispatched
+//!   work before any ε is charged.
+//! * **Reconnect is reattach.** [`Client::reconnect`] re-dials and
+//!   reopens its sessions through `Engine::attach_session` — the same
+//!   recovery path a crash-restarted serving process exposes — so a
+//!   client lands on its durable ledger whether the socket dropped or
+//!   the whole server was killed and recovered from its WAL.
+//! * **Multi-process runs are reproducible.** Release noise is a pure
+//!   function of `(engine seed, release identity, per-identity
+//!   ordinal)`, so concurrent client processes with disjoint query
+//!   streams observe byte-identical answers across same-seed runs no
+//!   matter how the network interleaves them
+//!   (`examples/remote_analysts.rs` asserts this end to end).
+
+#![deny(missing_docs)]
+
+mod client;
+mod error;
+pub mod proto;
+mod server;
+
+pub use client::{BudgetSnapshot, Client};
+pub use error::NetError;
+pub use proto::{ClientMessage, ServerMessage, WireError, PROTOCOL_VERSION};
+pub use server::{NetConfig, NetServer, NetStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf_core::{Epsilon, Policy};
+    use bf_domain::{Dataset, Domain};
+    use bf_engine::{Engine, Request, Response};
+    use bf_server::{Server, ServerConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn engine(seed: u64) -> Arc<Engine> {
+        let engine = Engine::with_seed(seed);
+        let domain = Domain::line(64).unwrap();
+        engine
+            .register_policy("pol", Policy::distance_threshold(domain.clone(), 2))
+            .unwrap();
+        let rows: Vec<usize> = (0..640).map(|i| (i * 7) % 64).collect();
+        engine
+            .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+            .unwrap();
+        Arc::new(engine)
+    }
+
+    fn net_server(seed: u64, server_config: ServerConfig, net_config: NetConfig) -> NetServer {
+        let server = Arc::new(Server::new(engine(seed), server_config));
+        NetServer::bind("127.0.0.1:0", server, net_config).unwrap()
+    }
+
+    #[test]
+    fn loopback_round_trip_all_request_kinds() {
+        let net = net_server(11, ServerConfig::default(), NetConfig::default());
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        let remaining = client.open_session("alice", 4.0).unwrap();
+        assert_eq!(remaining, 4.0);
+
+        let h = client
+            .call("alice", &Request::histogram("pol", "ds", eps(0.5)))
+            .unwrap();
+        assert_eq!(h.vector().unwrap().len(), 64);
+        let c = client
+            .call(
+                "alice",
+                &Request::cumulative_histogram("pol", "ds", eps(0.5)),
+            )
+            .unwrap();
+        assert_eq!(c.vector().unwrap().len(), 64);
+        let r = client
+            .call("alice", &Request::range("pol", "ds", eps(0.5), 8, 24))
+            .unwrap();
+        assert!(r.scalar().unwrap().is_finite());
+        let w: Vec<f64> = (0..64).map(|i| i as f64 / 64.0).collect();
+        let l = client
+            .call("alice", &Request::linear("pol", "ds", eps(0.5), w))
+            .unwrap();
+        assert!(l.scalar().unwrap().is_finite());
+
+        let budget = client.budget("alice").unwrap();
+        assert!((budget.spent - 2.0).abs() < 1e-12);
+        assert!((budget.remaining - 2.0).abs() < 1e-12);
+        assert_eq!(budget.served, 4);
+        // The wire answer is bit-identical to the engine's own ledger.
+        let snap = net.server().engine().session_snapshot("alice").unwrap();
+        assert_eq!(snap.spent().to_bits(), budget.spent.to_bits());
+        client.goodbye().unwrap();
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pipelined_submissions_answer_out_of_order_waits() {
+        let net = net_server(12, ServerConfig::default(), NetConfig::default());
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        client.open_session("p", 10.0).unwrap();
+        let ids: Vec<u64> = (0..16)
+            .map(|i| {
+                client
+                    .submit("p", &Request::range("pol", "ds", eps(0.1), i, i + 20))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(client.in_flight(), 16);
+        // Wait newest-first: the client buffers replies for other ids.
+        for &id in ids.iter().rev() {
+            assert!(client.wait(id).unwrap().scalar().unwrap().is_finite());
+        }
+        assert_eq!(client.in_flight(), 0);
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn in_flight_window_refuses_over_the_wire() {
+        // A slow driver so answers cannot race the third submit.
+        let net = net_server(
+            13,
+            ServerConfig {
+                coalesce_window: 2,
+                ..ServerConfig::default()
+            },
+            NetConfig {
+                max_in_flight: 2,
+                tick_interval: Duration::from_millis(100),
+                ..NetConfig::default()
+            },
+        );
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        client.open_session("w", 10.0).unwrap();
+        let a = client
+            .submit("w", &Request::range("pol", "ds", eps(0.1), 0, 10))
+            .unwrap();
+        let b = client
+            .submit("w", &Request::range("pol", "ds", eps(0.1), 0, 11))
+            .unwrap();
+        let c = client
+            .submit("w", &Request::range("pol", "ds", eps(0.1), 0, 12))
+            .unwrap();
+        match client.wait(c) {
+            Err(NetError::Remote(WireError::WindowFull { capacity })) => {
+                assert_eq!(capacity, 2)
+            }
+            other => panic!("expected WindowFull, got {other:?}"),
+        }
+        assert!(client.wait(a).is_ok());
+        assert!(client.wait(b).is_ok());
+        assert_eq!(net.stats().window_refusals, 1);
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn batch_over_the_wire_folds_ranges_into_shared_releases() {
+        // A generous window so all batch members land in one fold even
+        // when the test host is under load (the batch arrives in one
+        // frame, but ticks keep running while it is dispatched).
+        let net = net_server(
+            14,
+            ServerConfig {
+                coalesce_window: 8,
+                ..ServerConfig::default()
+            },
+            NetConfig {
+                tick_interval: Duration::from_millis(10),
+                ..NetConfig::default()
+            },
+        );
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        client.open_session("b", 10.0).unwrap();
+        let requests: Vec<Request> = (0..6)
+            .map(|i| Request::range("pol", "ds", eps(0.5), i, i + 30))
+            .collect();
+        let slots = client.call_batch("b", &requests).unwrap();
+        assert_eq!(slots.len(), 6);
+        for slot in &slots {
+            assert!(slot.as_ref().unwrap().scalar().is_some());
+        }
+        let stats = net.server().stats();
+        assert_eq!(stats.answered, 6);
+        assert!(
+            stats.releases < 6,
+            "same-(policy, data, ε) ranges must share releases, got {} releases",
+            stats.releases
+        );
+        assert!(
+            stats.batched_range_answers >= 2,
+            "at least one shared Ordered release, got {stats:?}"
+        );
+        // One charge per shared release, not one per slot.
+        let snap = net.server().engine().session_snapshot("b").unwrap();
+        assert!(snap.spent() < 6.0 * 0.5 - 1e-9, "spent {}", snap.spent());
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn batch_members_count_against_the_window() {
+        let net = net_server(
+            20,
+            ServerConfig {
+                coalesce_window: 2,
+                ..ServerConfig::default()
+            },
+            NetConfig {
+                max_in_flight: 4,
+                tick_interval: Duration::from_millis(100),
+                ..NetConfig::default()
+            },
+        );
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        client.open_session("bw", 10.0).unwrap();
+        // A 5-member batch overflows a window of 4 even with nothing
+        // else outstanding — the window bounds requests, not frames.
+        let requests: Vec<Request> = (0..5)
+            .map(|i| Request::range("pol", "ds", eps(0.1), i, i + 10))
+            .collect();
+        match client.call_batch("bw", &requests) {
+            Err(NetError::Remote(WireError::WindowFull { capacity })) => {
+                assert_eq!(capacity, 4)
+            }
+            other => panic!("expected WindowFull, got {other:?}"),
+        }
+        // A fitting batch goes through.
+        assert!(client.call_batch("bw", &requests[..4]).is_ok());
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn typed_errors_cross_the_wire() {
+        let net = net_server(15, ServerConfig::default(), NetConfig::default());
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        // Unknown analyst refuses at submit.
+        let id = client
+            .submit("ghost", &Request::range("pol", "ds", eps(0.1), 0, 5))
+            .unwrap();
+        assert!(matches!(
+            client.wait(id),
+            Err(NetError::Remote(WireError::UnknownAnalyst(a))) if a == "ghost"
+        ));
+        // Admission control: over-budget ε refuses with exact bits.
+        client.open_session("tiny", 0.25).unwrap();
+        let id = client
+            .submit("tiny", &Request::range("pol", "ds", eps(0.5), 0, 5))
+            .unwrap();
+        match client.wait(id) {
+            Err(NetError::Remote(WireError::BudgetExhausted {
+                requested_bits,
+                remaining_bits,
+                ..
+            })) => {
+                assert_eq!(f64::from_bits(requested_bits), 0.5);
+                assert_eq!(f64::from_bits(remaining_bits), 0.25);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // Unknown policy fails the ticket, not the connection.
+        let id = client
+            .submit("tiny", &Request::range("nope", "ds", eps(0.1), 0, 5))
+            .unwrap();
+        assert!(matches!(
+            client.wait(id),
+            Err(NetError::Remote(WireError::UnknownPolicy(_)))
+        ));
+        // The connection still serves.
+        assert!(client
+            .call("tiny", &Request::range("pol", "ds", eps(0.1), 0, 5))
+            .is_ok());
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn session_total_mismatch_refuses_reattach() {
+        let net = net_server(16, ServerConfig::default(), NetConfig::default());
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        client.open_session("m", 1.0).unwrap();
+        let mut other = Client::connect(net.local_addr()).unwrap();
+        assert!(matches!(
+            other.open_session("m", 2.0),
+            Err(NetError::Remote(WireError::InvalidRequest(_)))
+        ));
+        // The right total attaches from a second connection just fine.
+        assert_eq!(other.open_session("m", 1.0).unwrap(), 1.0);
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn reconnect_reattaches_sessions_on_the_same_ledger() {
+        let net = net_server(17, ServerConfig::default(), NetConfig::default());
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        client.open_session("r", 2.0).unwrap();
+        client
+            .call("r", &Request::range("pol", "ds", eps(0.75), 4, 40))
+            .unwrap();
+        let reattached = client.reconnect().unwrap();
+        assert_eq!(reattached.len(), 1);
+        assert_eq!(reattached[0].0, "r");
+        assert!((reattached[0].1 - 1.25).abs() < 1e-12, "spent ε survives");
+        // The reattached session keeps serving on the same ledger.
+        client
+            .call("r", &Request::range("pol", "ds", eps(0.25), 4, 40))
+            .unwrap();
+        assert!((client.budget("r").unwrap().remaining - 1.0).abs() < 1e-12);
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn disconnect_mid_request_cancels_without_charges_or_leaks() {
+        // Slow ticks + a window so the request is still pending when the
+        // client vanishes.
+        let net = net_server(
+            18,
+            ServerConfig {
+                coalesce_window: 4,
+                queue_capacity: 8,
+                ..ServerConfig::default()
+            },
+            NetConfig {
+                tick_interval: Duration::from_millis(50),
+                ..NetConfig::default()
+            },
+        );
+        let addr = net.local_addr();
+        {
+            let mut client = Client::connect(addr).unwrap();
+            client.open_session("gone", 1.0).unwrap();
+            client
+                .submit("gone", &Request::range("pol", "ds", eps(0.5), 0, 10))
+                .unwrap();
+            // Dropped here: the socket closes with the request in flight.
+        }
+        // The handler notices EOF, releases the ticket, and the next
+        // sweep cancels the undispatched work.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while net.server().stats().cancelled == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "cancellation never observed: {:?}",
+                net.server().stats()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(net.stats().disconnects_mid_request, 1);
+        // No ε was charged for the abandoned request …
+        assert!(
+            (net.server().engine().session_remaining("gone").unwrap() - 1.0).abs() < 1e-12,
+            "cancelled request must not charge"
+        );
+        // … and no queue slot leaked: a reconnecting client can fill the
+        // queue to capacity and drain it.
+        let mut client = Client::connect(addr).unwrap();
+        client.open_session("gone", 1.0).unwrap();
+        let ids: Vec<u64> = (0..8)
+            .map(|i| {
+                client
+                    .submit("gone", &Request::range("pol", "ds", eps(0.01), i, i + 5))
+                    .unwrap()
+            })
+            .collect();
+        for id in ids {
+            assert!(client.wait(id).is_ok());
+        }
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn server_restart_on_a_store_reattaches_over_the_wire() {
+        let dir = bf_store::scratch_dir("net-restart");
+        let build = |seed: u64| -> NetServer {
+            let store = Arc::new(bf_engine::Store::open(&dir).unwrap());
+            let engine = Engine::with_store(seed, store);
+            let domain = Domain::line(64).unwrap();
+            engine
+                .register_policy("pol", Policy::distance_threshold(domain.clone(), 2))
+                .unwrap();
+            let rows: Vec<usize> = (0..640).map(|i| (i * 7) % 64).collect();
+            engine
+                .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+                .unwrap();
+            let server = Arc::new(Server::with_defaults(Arc::new(engine)));
+            NetServer::bind("127.0.0.1:0", server, NetConfig::default()).unwrap()
+        };
+        let net = build(77);
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        client.open_session("durable", 1.0).unwrap();
+        client
+            .call("durable", &Request::range("pol", "ds", eps(0.375), 4, 40))
+            .unwrap();
+        net.shutdown().unwrap();
+
+        // A fresh serving process recovers the WAL; a fresh client
+        // reattaches on the durable ledger.
+        let net = build(77);
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        let remaining = client.open_session("durable", 1.0).unwrap();
+        assert!((remaining - 0.625).abs() < 1e-12, "recovered spent ε");
+        // Over-budget requests refuse exactly as pre-restart.
+        let id = client
+            .submit("durable", &Request::range("pol", "ds", eps(0.7), 4, 40))
+            .unwrap();
+        assert!(matches!(
+            client.wait(id),
+            Err(NetError::Remote(WireError::BudgetExhausted { .. }))
+        ));
+        net.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let net = net_server(19, ServerConfig::default(), NetConfig::default());
+        // A raw socket speaking a wrong version.
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(net.local_addr()).unwrap();
+        let hello = ClientMessage::Hello { id: 1, version: 99 };
+        stream
+            .write_all(&bf_store::frame_bytes(&hello.encode()))
+            .unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        let reply = loop {
+            match bf_store::read_frame(&buf) {
+                bf_store::FrameRead::Complete { payload, .. } => {
+                    break ServerMessage::decode(payload).unwrap()
+                }
+                _ => {
+                    let n = stream.read(&mut chunk).unwrap();
+                    assert!(n > 0, "server closed without replying");
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        };
+        assert!(matches!(
+            reply,
+            ServerMessage::Refused {
+                error: WireError::Protocol(_),
+                ..
+            }
+        ));
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn same_seed_runs_are_byte_identical_across_connections() {
+        let run = || -> Vec<u64> {
+            let net = net_server(21, ServerConfig::default(), NetConfig::default());
+            let mut answers = Vec::new();
+            let mut client = Client::connect(net.local_addr()).unwrap();
+            client.open_session("d", 10.0).unwrap();
+            for i in 0..8 {
+                let resp = client
+                    .call("d", &Request::range("pol", "ds", eps(0.25), i, i + 16))
+                    .unwrap();
+                match resp {
+                    Response::Scalar(v) => answers.push(v.to_bits()),
+                    other => panic!("expected scalar, got {other:?}"),
+                }
+            }
+            net.shutdown().unwrap();
+            answers
+        };
+        assert_eq!(run(), run());
+    }
+}

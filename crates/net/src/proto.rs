@@ -1,0 +1,1385 @@
+//! The versioned binary wire protocol.
+//!
+//! ## Frame layout
+//!
+//! Every message travels in one frame, reusing `bf-store`'s WAL
+//! record-framing discipline byte for byte
+//! ([`bf_store::frame_bytes`] / [`bf_store::read_frame`]):
+//!
+//! ```text
+//! ┌───────────┬───────────────┬──────────────┐
+//! │ len: u32  │ checksum: u64 │ payload      │   all little-endian
+//! └───────────┴───────────────┴──────────────┘
+//! ```
+//!
+//! `checksum` is FNV-1a over the payload. A frame that fails its
+//! checksum, exceeds [`bf_store::MAX_RECORD_LEN`], or decodes to
+//! anything but a well-formed message kills the connection — framing
+//! damage is never "wait for more bytes", and a flipped byte is never
+//! misparsed as a different message (the corruption sweep in the tests
+//! pins this).
+//!
+//! ## Message catalog
+//!
+//! | direction | message | purpose |
+//! |---|---|---|
+//! | C→S | [`ClientMessage::Hello`] | version handshake, first frame on every connection |
+//! | C→S | [`ClientMessage::OpenSession`] | open **or reattach** an analyst session (PR 4 recovery path) |
+//! | C→S | [`ClientMessage::Submit`] | one query (histogram / cumulative / range / linear / k-means) |
+//! | C→S | [`ClientMessage::SubmitBatch`] | several queries answered as one correlated batch |
+//! | C→S | [`ClientMessage::Budget`] | ledger snapshot for an analyst |
+//! | C→S | [`ClientMessage::Goodbye`] | orderly close (the server drains in-flight work first) |
+//! | S→C | [`ServerMessage::Welcome`] | handshake accept |
+//! | S→C | [`ServerMessage::SessionAttached`] | session opened/reattached, remaining ε |
+//! | S→C | [`ServerMessage::Answer`] | a submitted query's response |
+//! | S→C | [`ServerMessage::BatchAnswer`] | per-slot responses for a batch |
+//! | S→C | [`ServerMessage::BudgetReport`] | ledger snapshot |
+//! | S→C | [`ServerMessage::Refused`] | typed error for the correlated request |
+//! | S→C | [`ServerMessage::Farewell`] | goodbye acknowledged, connection closing |
+//!
+//! Every message carries a client-assigned **correlation id**; replies
+//! echo it, so a client may pipeline any number of requests on one
+//! connection and match answers out of order.
+//!
+//! ε values travel as exact `f64` bit patterns (`_bits` fields), the
+//! same discipline the WAL uses — a budget decision made over the wire
+//! is bit-identical to one made in process.
+
+use bf_engine::{Request, RequestKind, Response};
+use bf_mechanisms::kmeans::KmeansSecretSpec;
+use bf_store::{put_str, put_u64, Reader};
+
+/// Protocol version this build speaks. The handshake refuses a peer
+/// whose version differs — there is exactly one version so far.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// A query as it travels the wire: names, exact ε bits, and the kind
+/// payload. Conversion to an engine [`Request`] validates ε.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Registered policy name.
+    pub policy: String,
+    /// Registered dataset / point-set name.
+    pub data: String,
+    /// ε as `f64` bits.
+    pub epsilon_bits: u64,
+    /// Which query family, with its parameters.
+    pub kind: WireRequestKind,
+}
+
+/// The query families, mirroring [`RequestKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequestKind {
+    /// Complete histogram.
+    Histogram,
+    /// Cumulative histogram (Ordered Mechanism).
+    Cumulative,
+    /// Range count `[lo, hi]`, inclusive.
+    Range {
+        /// Inclusive lower endpoint.
+        lo: u64,
+        /// Inclusive upper endpoint.
+        hi: u64,
+    },
+    /// Linear query; weights as exact `f64` bits.
+    Linear {
+        /// One weight per domain value, as bits.
+        weight_bits: Vec<u64>,
+    },
+    /// Private k-means over a registered point set.
+    Kmeans {
+        /// Cluster count.
+        k: u64,
+        /// Lloyd iterations.
+        iterations: u64,
+        /// Sensitive-information spec.
+        spec: WireKmeansSpec,
+    },
+}
+
+/// [`KmeansSecretSpec`] on the wire (parameters as `f64` bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireKmeansSpec {
+    /// Full-domain secrets.
+    Full,
+    /// Attribute secrets.
+    Attribute,
+    /// Distance-threshold secrets, θ in physical units (bits).
+    L1Threshold(u64),
+    /// Partitioned secrets, max block diameter (bits).
+    PartitionMaxDiameter(u64),
+    /// All-singleton partition (exact clustering).
+    Exact,
+}
+
+/// A served answer on the wire, mirroring [`Response`] with every float
+/// as exact bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireResponse {
+    /// Noisy per-value counts.
+    Histogram(Vec<u64>),
+    /// Noisy prefix counts.
+    Prefixes(Vec<u64>),
+    /// A single noisy number.
+    Scalar(u64),
+    /// Final k-means centroids.
+    Centroids(Vec<Vec<u64>>),
+}
+
+/// Typed refusals, mirroring `bf-server`'s `ServerError` and the
+/// operationally meaningful `bf-engine` `EngineError` variants. Errors
+/// a client cannot act on distinctly collapse into
+/// [`WireError::Other`] with the server's rendered message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The analyst's server-side submission queue is full — resubmit
+    /// after draining answers.
+    QueueFull {
+        /// Whose queue.
+        analyst: String,
+        /// Configured capacity.
+        capacity: u64,
+    },
+    /// This connection's in-flight window is full — read some answers
+    /// before submitting more.
+    WindowFull {
+        /// Configured per-connection window.
+        capacity: u64,
+    },
+    /// Admission control refused: requested ε exceeds the remaining
+    /// budget (bits carry exact values).
+    BudgetExhausted {
+        /// Whose ledger.
+        analyst: String,
+        /// Requested ε bits.
+        requested_bits: u64,
+        /// Remaining ε bits.
+        remaining_bits: u64,
+    },
+    /// The ledger refused the charge at serve time.
+    BudgetRefused {
+        /// Whose ledger.
+        analyst: String,
+        /// Requested ε bits.
+        requested_bits: u64,
+        /// Remaining ε bits.
+        remaining_bits: u64,
+    },
+    /// The serving process is shutting down.
+    ShutDown,
+    /// No policy registered under this name.
+    UnknownPolicy(String),
+    /// No dataset registered under this name.
+    UnknownDataset(String),
+    /// No point set registered under this name.
+    UnknownPoints(String),
+    /// No open session for this analyst.
+    UnknownAnalyst(String),
+    /// The session was evicted; reopen with the original total.
+    SessionEvicted(String),
+    /// The request is malformed (or a session total mismatched).
+    InvalidRequest(String),
+    /// The peer broke the protocol (bad frame, bad handshake, unknown
+    /// correlation id).
+    Protocol(String),
+    /// Any other server-side failure, rendered.
+    Other(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::QueueFull { analyst, capacity } => {
+                write!(f, "queue full for {analyst:?} (capacity {capacity})")
+            }
+            WireError::WindowFull { capacity } => {
+                write!(f, "connection window full (capacity {capacity})")
+            }
+            WireError::BudgetExhausted {
+                analyst,
+                requested_bits,
+                remaining_bits,
+            } => write!(
+                f,
+                "admission refused for {analyst:?}: requested ε={}, remaining ε={}",
+                f64::from_bits(*requested_bits),
+                f64::from_bits(*remaining_bits)
+            ),
+            WireError::BudgetRefused {
+                analyst,
+                requested_bits,
+                remaining_bits,
+            } => write!(
+                f,
+                "budget refused for {analyst:?}: requested ε={}, remaining ε={}",
+                f64::from_bits(*requested_bits),
+                f64::from_bits(*remaining_bits)
+            ),
+            WireError::ShutDown => write!(f, "server shutting down"),
+            WireError::UnknownPolicy(n) => write!(f, "unknown policy {n:?}"),
+            WireError::UnknownDataset(n) => write!(f, "unknown dataset {n:?}"),
+            WireError::UnknownPoints(n) => write!(f, "unknown point set {n:?}"),
+            WireError::UnknownAnalyst(n) => write!(f, "no open session for analyst {n:?}"),
+            WireError::SessionEvicted(n) => write!(
+                f,
+                "session for {n:?} was evicted; reopen with the original total"
+            ),
+            WireError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            WireError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            WireError::Other(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Client → server messages. Every variant leads with the correlation
+/// id its reply will echo.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMessage {
+    /// Version handshake — must be the first frame on a connection.
+    Hello {
+        /// Correlation id.
+        id: u64,
+        /// [`PROTOCOL_VERSION`] the client speaks.
+        version: u16,
+    },
+    /// Open (or reattach) an analyst session with a total ε budget.
+    OpenSession {
+        /// Correlation id.
+        id: u64,
+        /// The analyst.
+        analyst: String,
+        /// Total ε as bits.
+        total_bits: u64,
+    },
+    /// Submit one query.
+    Submit {
+        /// Correlation id.
+        id: u64,
+        /// The analyst submitting.
+        analyst: String,
+        /// The query.
+        request: WireRequest,
+    },
+    /// Submit several queries answered as one correlated batch (the
+    /// server's coalescing window folds compatible members into shared
+    /// releases).
+    SubmitBatch {
+        /// Correlation id.
+        id: u64,
+        /// The analyst submitting.
+        analyst: String,
+        /// The queries.
+        requests: Vec<WireRequest>,
+    },
+    /// Ask for an analyst's ledger snapshot.
+    Budget {
+        /// Correlation id.
+        id: u64,
+        /// The analyst.
+        analyst: String,
+    },
+    /// Orderly close: the server finishes in-flight work, replies
+    /// [`ServerMessage::Farewell`], and closes.
+    Goodbye {
+        /// Correlation id.
+        id: u64,
+    },
+}
+
+/// Server → client messages; `id` echoes the triggering request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMessage {
+    /// Handshake accepted.
+    Welcome {
+        /// Correlation id of the `Hello`.
+        id: u64,
+        /// Version the server speaks.
+        version: u16,
+    },
+    /// Session opened or reattached.
+    SessionAttached {
+        /// Correlation id.
+        id: u64,
+        /// Remaining ε as bits (total minus durable spent).
+        remaining_bits: u64,
+    },
+    /// A query's answer.
+    Answer {
+        /// Correlation id.
+        id: u64,
+        /// The response.
+        response: WireResponse,
+    },
+    /// A batch's per-slot answers, in submission order.
+    BatchAnswer {
+        /// Correlation id.
+        id: u64,
+        /// One result per submitted query.
+        slots: Vec<Result<WireResponse, WireError>>,
+    },
+    /// An analyst's ledger snapshot.
+    BudgetReport {
+        /// Correlation id.
+        id: u64,
+        /// Total ε bits.
+        total_bits: u64,
+        /// Spent ε bits.
+        spent_bits: u64,
+        /// Remaining ε bits.
+        remaining_bits: u64,
+        /// Requests served.
+        served: u64,
+    },
+    /// The correlated request was refused.
+    Refused {
+        /// Correlation id.
+        id: u64,
+        /// Why.
+        error: WireError,
+    },
+    /// Goodbye acknowledged; the server closes after this frame.
+    Farewell {
+        /// Correlation id.
+        id: u64,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Conversions to/from the engine vocabulary
+// ---------------------------------------------------------------------
+
+impl WireRequest {
+    /// Encodes an engine [`Request`] for the wire (exact ε bits).
+    pub fn from_request(request: &Request) -> Self {
+        let kind = match &request.kind {
+            RequestKind::Histogram => WireRequestKind::Histogram,
+            RequestKind::CumulativeHistogram => WireRequestKind::Cumulative,
+            RequestKind::Range { lo, hi } => WireRequestKind::Range {
+                lo: *lo as u64,
+                hi: *hi as u64,
+            },
+            RequestKind::Linear { weights } => WireRequestKind::Linear {
+                weight_bits: weights.iter().map(|w| w.to_bits()).collect(),
+            },
+            RequestKind::KMeans {
+                k,
+                iterations,
+                spec,
+            } => WireRequestKind::Kmeans {
+                k: *k as u64,
+                iterations: *iterations as u64,
+                spec: WireKmeansSpec::from_spec(*spec),
+            },
+        };
+        Self {
+            policy: request.policy.clone(),
+            data: request.data.clone(),
+            epsilon_bits: request.epsilon.value().to_bits(),
+            kind,
+        }
+    }
+
+    /// Decodes into an engine [`Request`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::InvalidRequest`] when the ε bits are not a valid
+    /// budget (negative, NaN, infinite).
+    pub fn to_request(&self) -> Result<Request, WireError> {
+        let epsilon = bf_core::Epsilon::new(f64::from_bits(self.epsilon_bits))
+            .map_err(|e| WireError::InvalidRequest(e.to_string()))?;
+        let kind = match &self.kind {
+            WireRequestKind::Histogram => RequestKind::Histogram,
+            WireRequestKind::Cumulative => RequestKind::CumulativeHistogram,
+            WireRequestKind::Range { lo, hi } => RequestKind::Range {
+                lo: *lo as usize,
+                hi: *hi as usize,
+            },
+            WireRequestKind::Linear { weight_bits } => RequestKind::Linear {
+                weights: weight_bits.iter().map(|b| f64::from_bits(*b)).collect(),
+            },
+            WireRequestKind::Kmeans {
+                k,
+                iterations,
+                spec,
+            } => RequestKind::KMeans {
+                k: *k as usize,
+                iterations: *iterations as usize,
+                spec: spec.to_spec(),
+            },
+        };
+        Ok(Request {
+            policy: self.policy.clone(),
+            data: self.data.clone(),
+            epsilon,
+            kind,
+        })
+    }
+}
+
+impl WireKmeansSpec {
+    /// Encodes a [`KmeansSecretSpec`].
+    pub fn from_spec(spec: KmeansSecretSpec) -> Self {
+        match spec {
+            KmeansSecretSpec::Full => WireKmeansSpec::Full,
+            KmeansSecretSpec::Attribute => WireKmeansSpec::Attribute,
+            KmeansSecretSpec::L1Threshold(t) => WireKmeansSpec::L1Threshold(t.to_bits()),
+            KmeansSecretSpec::PartitionMaxDiameter(d) => {
+                WireKmeansSpec::PartitionMaxDiameter(d.to_bits())
+            }
+            KmeansSecretSpec::Exact => WireKmeansSpec::Exact,
+        }
+    }
+
+    /// Decodes back to a [`KmeansSecretSpec`].
+    pub fn to_spec(self) -> KmeansSecretSpec {
+        match self {
+            WireKmeansSpec::Full => KmeansSecretSpec::Full,
+            WireKmeansSpec::Attribute => KmeansSecretSpec::Attribute,
+            WireKmeansSpec::L1Threshold(b) => KmeansSecretSpec::L1Threshold(f64::from_bits(b)),
+            WireKmeansSpec::PartitionMaxDiameter(b) => {
+                KmeansSecretSpec::PartitionMaxDiameter(f64::from_bits(b))
+            }
+            WireKmeansSpec::Exact => KmeansSecretSpec::Exact,
+        }
+    }
+}
+
+impl WireResponse {
+    /// Encodes an engine [`Response`] (exact bits).
+    pub fn from_response(response: &Response) -> Self {
+        match response {
+            Response::Histogram(v) => {
+                WireResponse::Histogram(v.iter().map(|x| x.to_bits()).collect())
+            }
+            Response::Prefixes(v) => {
+                WireResponse::Prefixes(v.iter().map(|x| x.to_bits()).collect())
+            }
+            Response::Scalar(x) => WireResponse::Scalar(x.to_bits()),
+            Response::Centroids(cs) => WireResponse::Centroids(
+                cs.iter()
+                    .map(|c| c.iter().map(|x| x.to_bits()).collect())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Decodes back to an engine [`Response`], bit-exactly.
+    pub fn to_response(&self) -> Response {
+        match self {
+            WireResponse::Histogram(v) => {
+                Response::Histogram(v.iter().map(|b| f64::from_bits(*b)).collect())
+            }
+            WireResponse::Prefixes(v) => {
+                Response::Prefixes(v.iter().map(|b| f64::from_bits(*b)).collect())
+            }
+            WireResponse::Scalar(b) => Response::Scalar(f64::from_bits(*b)),
+            WireResponse::Centroids(cs) => Response::Centroids(
+                cs.iter()
+                    .map(|c| c.iter().map(|b| f64::from_bits(*b)).collect())
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl WireError {
+    /// Maps a server-side refusal onto the wire vocabulary.
+    pub fn from_server_error(e: &bf_server::ServerError) -> Self {
+        use bf_server::ServerError as SE;
+        match e {
+            SE::QueueFull { analyst, capacity } => WireError::QueueFull {
+                analyst: analyst.clone(),
+                capacity: *capacity as u64,
+            },
+            SE::BudgetExhausted {
+                analyst,
+                requested,
+                remaining,
+            } => WireError::BudgetExhausted {
+                analyst: analyst.clone(),
+                requested_bits: requested.to_bits(),
+                remaining_bits: remaining.to_bits(),
+            },
+            SE::ShutDown => WireError::ShutDown,
+            SE::Engine(e) => WireError::from_engine_error(e),
+        }
+    }
+
+    /// Maps an engine refusal onto the wire vocabulary.
+    pub fn from_engine_error(e: &bf_engine::EngineError) -> Self {
+        use bf_engine::EngineError as EE;
+        match e {
+            EE::UnknownPolicy(n) => WireError::UnknownPolicy(n.clone()),
+            EE::UnknownDataset(n) => WireError::UnknownDataset(n.clone()),
+            EE::UnknownPoints(n) => WireError::UnknownPoints(n.clone()),
+            EE::UnknownAnalyst(n) => WireError::UnknownAnalyst(n.clone()),
+            EE::SessionEvicted(n) => WireError::SessionEvicted(n.clone()),
+            EE::BudgetRefused {
+                analyst,
+                requested,
+                remaining,
+            } => WireError::BudgetRefused {
+                analyst: analyst.clone(),
+                requested_bits: requested.to_bits(),
+                remaining_bits: remaining.to_bits(),
+            },
+            EE::InvalidRequest(m) => WireError::InvalidRequest(m.clone()),
+            other => WireError::Other(other.to_string()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire encoding
+// ---------------------------------------------------------------------
+
+const TAG_HELLO: u8 = 1;
+const TAG_OPEN_SESSION: u8 = 2;
+const TAG_SUBMIT: u8 = 3;
+const TAG_SUBMIT_BATCH: u8 = 4;
+const TAG_BUDGET: u8 = 5;
+const TAG_GOODBYE: u8 = 6;
+
+const TAG_WELCOME: u8 = 65;
+const TAG_SESSION_ATTACHED: u8 = 66;
+const TAG_ANSWER: u8 = 67;
+const TAG_BATCH_ANSWER: u8 = 68;
+const TAG_BUDGET_REPORT: u8 = 69;
+const TAG_REFUSED: u8 = 70;
+const TAG_FAREWELL: u8 = 71;
+
+const KIND_HISTOGRAM: u8 = 1;
+const KIND_CUMULATIVE: u8 = 2;
+const KIND_RANGE: u8 = 3;
+const KIND_LINEAR: u8 = 4;
+const KIND_KMEANS: u8 = 5;
+
+const SPEC_FULL: u8 = 1;
+const SPEC_ATTRIBUTE: u8 = 2;
+const SPEC_L1: u8 = 3;
+const SPEC_PARTITION: u8 = 4;
+const SPEC_EXACT: u8 = 5;
+
+const RESP_HISTOGRAM: u8 = 1;
+const RESP_PREFIXES: u8 = 2;
+const RESP_SCALAR: u8 = 3;
+const RESP_CENTROIDS: u8 = 4;
+
+const ERR_QUEUE_FULL: u8 = 1;
+const ERR_WINDOW_FULL: u8 = 2;
+const ERR_BUDGET_EXHAUSTED: u8 = 3;
+const ERR_BUDGET_REFUSED: u8 = 4;
+const ERR_SHUTDOWN: u8 = 5;
+const ERR_UNKNOWN_POLICY: u8 = 6;
+const ERR_UNKNOWN_DATASET: u8 = 7;
+const ERR_UNKNOWN_POINTS: u8 = 8;
+const ERR_UNKNOWN_ANALYST: u8 = 9;
+const ERR_SESSION_EVICTED: u8 = 10;
+const ERR_INVALID_REQUEST: u8 = 11;
+const ERR_PROTOCOL: u8 = 12;
+const ERR_OTHER: u8 = 13;
+
+const SLOT_OK: u8 = 1;
+const SLOT_ERR: u8 = 2;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bits_vec(out: &mut Vec<u8>, bits: &[u64]) {
+    put_u64(out, bits.len() as u64);
+    for b in bits {
+        put_u64(out, *b);
+    }
+}
+
+fn read_u16(r: &mut Reader<'_>) -> Option<u16> {
+    let lo = r.u8()?;
+    let hi = r.u8()?;
+    Some(u16::from_le_bytes([lo, hi]))
+}
+
+/// Bounds a decoder's `Vec` pre-allocation: counts are
+/// attacker-supplied, so reserve only a small prefix and let growth be
+/// driven by bytes that actually decode — a 40-byte frame must never
+/// command a 100 MB allocation.
+fn bounded_capacity(n: u64) -> usize {
+    n.min(64) as usize
+}
+
+fn read_bits_vec(r: &mut Reader<'_>) -> Option<Vec<u64>> {
+    let len = r.u64()?;
+    // A length no frame could actually carry is malformed, not a
+    // gigabyte allocation.
+    if len > (bf_store::MAX_RECORD_LEN as u64) / 8 {
+        return None;
+    }
+    (0..len).map(|_| r.u64()).collect()
+}
+
+fn encode_request(out: &mut Vec<u8>, req: &WireRequest) {
+    put_str(out, &req.policy);
+    put_str(out, &req.data);
+    put_u64(out, req.epsilon_bits);
+    match &req.kind {
+        WireRequestKind::Histogram => out.push(KIND_HISTOGRAM),
+        WireRequestKind::Cumulative => out.push(KIND_CUMULATIVE),
+        WireRequestKind::Range { lo, hi } => {
+            out.push(KIND_RANGE);
+            put_u64(out, *lo);
+            put_u64(out, *hi);
+        }
+        WireRequestKind::Linear { weight_bits } => {
+            out.push(KIND_LINEAR);
+            put_bits_vec(out, weight_bits);
+        }
+        WireRequestKind::Kmeans {
+            k,
+            iterations,
+            spec,
+        } => {
+            out.push(KIND_KMEANS);
+            put_u64(out, *k);
+            put_u64(out, *iterations);
+            match spec {
+                WireKmeansSpec::Full => out.push(SPEC_FULL),
+                WireKmeansSpec::Attribute => out.push(SPEC_ATTRIBUTE),
+                WireKmeansSpec::L1Threshold(b) => {
+                    out.push(SPEC_L1);
+                    put_u64(out, *b);
+                }
+                WireKmeansSpec::PartitionMaxDiameter(b) => {
+                    out.push(SPEC_PARTITION);
+                    put_u64(out, *b);
+                }
+                WireKmeansSpec::Exact => out.push(SPEC_EXACT),
+            }
+        }
+    }
+}
+
+fn decode_request(r: &mut Reader<'_>) -> Option<WireRequest> {
+    let policy = r.str()?;
+    let data = r.str()?;
+    let epsilon_bits = r.u64()?;
+    let kind = match r.u8()? {
+        KIND_HISTOGRAM => WireRequestKind::Histogram,
+        KIND_CUMULATIVE => WireRequestKind::Cumulative,
+        KIND_RANGE => WireRequestKind::Range {
+            lo: r.u64()?,
+            hi: r.u64()?,
+        },
+        KIND_LINEAR => WireRequestKind::Linear {
+            weight_bits: read_bits_vec(r)?,
+        },
+        KIND_KMEANS => {
+            let k = r.u64()?;
+            let iterations = r.u64()?;
+            let spec = match r.u8()? {
+                SPEC_FULL => WireKmeansSpec::Full,
+                SPEC_ATTRIBUTE => WireKmeansSpec::Attribute,
+                SPEC_L1 => WireKmeansSpec::L1Threshold(r.u64()?),
+                SPEC_PARTITION => WireKmeansSpec::PartitionMaxDiameter(r.u64()?),
+                SPEC_EXACT => WireKmeansSpec::Exact,
+                _ => return None,
+            };
+            WireRequestKind::Kmeans {
+                k,
+                iterations,
+                spec,
+            }
+        }
+        _ => return None,
+    };
+    Some(WireRequest {
+        policy,
+        data,
+        epsilon_bits,
+        kind,
+    })
+}
+
+fn encode_response(out: &mut Vec<u8>, resp: &WireResponse) {
+    match resp {
+        WireResponse::Histogram(v) => {
+            out.push(RESP_HISTOGRAM);
+            put_bits_vec(out, v);
+        }
+        WireResponse::Prefixes(v) => {
+            out.push(RESP_PREFIXES);
+            put_bits_vec(out, v);
+        }
+        WireResponse::Scalar(b) => {
+            out.push(RESP_SCALAR);
+            put_u64(out, *b);
+        }
+        WireResponse::Centroids(cs) => {
+            out.push(RESP_CENTROIDS);
+            put_u64(out, cs.len() as u64);
+            for c in cs {
+                put_bits_vec(out, c);
+            }
+        }
+    }
+}
+
+fn decode_response(r: &mut Reader<'_>) -> Option<WireResponse> {
+    Some(match r.u8()? {
+        RESP_HISTOGRAM => WireResponse::Histogram(read_bits_vec(r)?),
+        RESP_PREFIXES => WireResponse::Prefixes(read_bits_vec(r)?),
+        RESP_SCALAR => WireResponse::Scalar(r.u64()?),
+        RESP_CENTROIDS => {
+            let n = r.u64()?;
+            if n > (bf_store::MAX_RECORD_LEN as u64) / 8 {
+                return None;
+            }
+            let mut cs = Vec::with_capacity(bounded_capacity(n));
+            for _ in 0..n {
+                cs.push(read_bits_vec(r)?);
+            }
+            WireResponse::Centroids(cs)
+        }
+        _ => return None,
+    })
+}
+
+fn encode_error(out: &mut Vec<u8>, e: &WireError) {
+    match e {
+        WireError::QueueFull { analyst, capacity } => {
+            out.push(ERR_QUEUE_FULL);
+            put_str(out, analyst);
+            put_u64(out, *capacity);
+        }
+        WireError::WindowFull { capacity } => {
+            out.push(ERR_WINDOW_FULL);
+            put_u64(out, *capacity);
+        }
+        WireError::BudgetExhausted {
+            analyst,
+            requested_bits,
+            remaining_bits,
+        } => {
+            out.push(ERR_BUDGET_EXHAUSTED);
+            put_str(out, analyst);
+            put_u64(out, *requested_bits);
+            put_u64(out, *remaining_bits);
+        }
+        WireError::BudgetRefused {
+            analyst,
+            requested_bits,
+            remaining_bits,
+        } => {
+            out.push(ERR_BUDGET_REFUSED);
+            put_str(out, analyst);
+            put_u64(out, *requested_bits);
+            put_u64(out, *remaining_bits);
+        }
+        WireError::ShutDown => out.push(ERR_SHUTDOWN),
+        WireError::UnknownPolicy(n) => {
+            out.push(ERR_UNKNOWN_POLICY);
+            put_str(out, n);
+        }
+        WireError::UnknownDataset(n) => {
+            out.push(ERR_UNKNOWN_DATASET);
+            put_str(out, n);
+        }
+        WireError::UnknownPoints(n) => {
+            out.push(ERR_UNKNOWN_POINTS);
+            put_str(out, n);
+        }
+        WireError::UnknownAnalyst(n) => {
+            out.push(ERR_UNKNOWN_ANALYST);
+            put_str(out, n);
+        }
+        WireError::SessionEvicted(n) => {
+            out.push(ERR_SESSION_EVICTED);
+            put_str(out, n);
+        }
+        WireError::InvalidRequest(m) => {
+            out.push(ERR_INVALID_REQUEST);
+            put_str(out, m);
+        }
+        WireError::Protocol(m) => {
+            out.push(ERR_PROTOCOL);
+            put_str(out, m);
+        }
+        WireError::Other(m) => {
+            out.push(ERR_OTHER);
+            put_str(out, m);
+        }
+    }
+}
+
+fn decode_error(r: &mut Reader<'_>) -> Option<WireError> {
+    Some(match r.u8()? {
+        ERR_QUEUE_FULL => WireError::QueueFull {
+            analyst: r.str()?,
+            capacity: r.u64()?,
+        },
+        ERR_WINDOW_FULL => WireError::WindowFull { capacity: r.u64()? },
+        ERR_BUDGET_EXHAUSTED => WireError::BudgetExhausted {
+            analyst: r.str()?,
+            requested_bits: r.u64()?,
+            remaining_bits: r.u64()?,
+        },
+        ERR_BUDGET_REFUSED => WireError::BudgetRefused {
+            analyst: r.str()?,
+            requested_bits: r.u64()?,
+            remaining_bits: r.u64()?,
+        },
+        ERR_SHUTDOWN => WireError::ShutDown,
+        ERR_UNKNOWN_POLICY => WireError::UnknownPolicy(r.str()?),
+        ERR_UNKNOWN_DATASET => WireError::UnknownDataset(r.str()?),
+        ERR_UNKNOWN_POINTS => WireError::UnknownPoints(r.str()?),
+        ERR_UNKNOWN_ANALYST => WireError::UnknownAnalyst(r.str()?),
+        ERR_SESSION_EVICTED => WireError::SessionEvicted(r.str()?),
+        ERR_INVALID_REQUEST => WireError::InvalidRequest(r.str()?),
+        ERR_PROTOCOL => WireError::Protocol(r.str()?),
+        ERR_OTHER => WireError::Other(r.str()?),
+        _ => return None,
+    })
+}
+
+impl ClientMessage {
+    /// The correlation id the reply will echo.
+    pub fn id(&self) -> u64 {
+        match self {
+            ClientMessage::Hello { id, .. }
+            | ClientMessage::OpenSession { id, .. }
+            | ClientMessage::Submit { id, .. }
+            | ClientMessage::SubmitBatch { id, .. }
+            | ClientMessage::Budget { id, .. }
+            | ClientMessage::Goodbye { id } => *id,
+        }
+    }
+
+    /// The payload bytes (no frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            ClientMessage::Hello { id, version } => {
+                out.push(TAG_HELLO);
+                put_u64(&mut out, *id);
+                put_u16(&mut out, *version);
+            }
+            ClientMessage::OpenSession {
+                id,
+                analyst,
+                total_bits,
+            } => {
+                out.push(TAG_OPEN_SESSION);
+                put_u64(&mut out, *id);
+                put_str(&mut out, analyst);
+                put_u64(&mut out, *total_bits);
+            }
+            ClientMessage::Submit {
+                id,
+                analyst,
+                request,
+            } => {
+                out.push(TAG_SUBMIT);
+                put_u64(&mut out, *id);
+                put_str(&mut out, analyst);
+                encode_request(&mut out, request);
+            }
+            ClientMessage::SubmitBatch {
+                id,
+                analyst,
+                requests,
+            } => {
+                out.push(TAG_SUBMIT_BATCH);
+                put_u64(&mut out, *id);
+                put_str(&mut out, analyst);
+                put_u64(&mut out, requests.len() as u64);
+                for r in requests {
+                    encode_request(&mut out, r);
+                }
+            }
+            ClientMessage::Budget { id, analyst } => {
+                out.push(TAG_BUDGET);
+                put_u64(&mut out, *id);
+                put_str(&mut out, analyst);
+            }
+            ClientMessage::Goodbye { id } => {
+                out.push(TAG_GOODBYE);
+                put_u64(&mut out, *id);
+            }
+        }
+        out
+    }
+
+    /// Decodes a payload produced by [`ClientMessage::encode`]; `None`
+    /// when the bytes are not a well-formed message (the connection must
+    /// close — a framing layer that let damage through cannot be
+    /// trusted).
+    pub fn decode(payload: &[u8]) -> Option<ClientMessage> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8()? {
+            TAG_HELLO => ClientMessage::Hello {
+                id: r.u64()?,
+                version: read_u16(&mut r)?,
+            },
+            TAG_OPEN_SESSION => ClientMessage::OpenSession {
+                id: r.u64()?,
+                analyst: r.str()?,
+                total_bits: r.u64()?,
+            },
+            TAG_SUBMIT => ClientMessage::Submit {
+                id: r.u64()?,
+                analyst: r.str()?,
+                request: decode_request(&mut r)?,
+            },
+            TAG_SUBMIT_BATCH => {
+                let id = r.u64()?;
+                let analyst = r.str()?;
+                let n = r.u64()?;
+                if n > bf_store::MAX_RECORD_LEN as u64 {
+                    return None;
+                }
+                let mut requests = Vec::with_capacity(bounded_capacity(n));
+                for _ in 0..n {
+                    requests.push(decode_request(&mut r)?);
+                }
+                ClientMessage::SubmitBatch {
+                    id,
+                    analyst,
+                    requests,
+                }
+            }
+            TAG_BUDGET => ClientMessage::Budget {
+                id: r.u64()?,
+                analyst: r.str()?,
+            },
+            TAG_GOODBYE => ClientMessage::Goodbye { id: r.u64()? },
+            _ => return None,
+        };
+        r.done().then_some(msg)
+    }
+}
+
+impl ServerMessage {
+    /// The correlation id of the request this replies to.
+    pub fn id(&self) -> u64 {
+        match self {
+            ServerMessage::Welcome { id, .. }
+            | ServerMessage::SessionAttached { id, .. }
+            | ServerMessage::Answer { id, .. }
+            | ServerMessage::BatchAnswer { id, .. }
+            | ServerMessage::BudgetReport { id, .. }
+            | ServerMessage::Refused { id, .. }
+            | ServerMessage::Farewell { id } => *id,
+        }
+    }
+
+    /// The payload bytes (no frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            ServerMessage::Welcome { id, version } => {
+                out.push(TAG_WELCOME);
+                put_u64(&mut out, *id);
+                put_u16(&mut out, *version);
+            }
+            ServerMessage::SessionAttached { id, remaining_bits } => {
+                out.push(TAG_SESSION_ATTACHED);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *remaining_bits);
+            }
+            ServerMessage::Answer { id, response } => {
+                out.push(TAG_ANSWER);
+                put_u64(&mut out, *id);
+                encode_response(&mut out, response);
+            }
+            ServerMessage::BatchAnswer { id, slots } => {
+                out.push(TAG_BATCH_ANSWER);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, slots.len() as u64);
+                for slot in slots {
+                    match slot {
+                        Ok(resp) => {
+                            out.push(SLOT_OK);
+                            encode_response(&mut out, resp);
+                        }
+                        Err(e) => {
+                            out.push(SLOT_ERR);
+                            encode_error(&mut out, e);
+                        }
+                    }
+                }
+            }
+            ServerMessage::BudgetReport {
+                id,
+                total_bits,
+                spent_bits,
+                remaining_bits,
+                served,
+            } => {
+                out.push(TAG_BUDGET_REPORT);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *total_bits);
+                put_u64(&mut out, *spent_bits);
+                put_u64(&mut out, *remaining_bits);
+                put_u64(&mut out, *served);
+            }
+            ServerMessage::Refused { id, error } => {
+                out.push(TAG_REFUSED);
+                put_u64(&mut out, *id);
+                encode_error(&mut out, error);
+            }
+            ServerMessage::Farewell { id } => {
+                out.push(TAG_FAREWELL);
+                put_u64(&mut out, *id);
+            }
+        }
+        out
+    }
+
+    /// Decodes a payload produced by [`ServerMessage::encode`]; `None`
+    /// for anything malformed.
+    pub fn decode(payload: &[u8]) -> Option<ServerMessage> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8()? {
+            TAG_WELCOME => ServerMessage::Welcome {
+                id: r.u64()?,
+                version: read_u16(&mut r)?,
+            },
+            TAG_SESSION_ATTACHED => ServerMessage::SessionAttached {
+                id: r.u64()?,
+                remaining_bits: r.u64()?,
+            },
+            TAG_ANSWER => ServerMessage::Answer {
+                id: r.u64()?,
+                response: decode_response(&mut r)?,
+            },
+            TAG_BATCH_ANSWER => {
+                let id = r.u64()?;
+                let n = r.u64()?;
+                if n > bf_store::MAX_RECORD_LEN as u64 {
+                    return None;
+                }
+                let mut slots = Vec::with_capacity(bounded_capacity(n));
+                for _ in 0..n {
+                    slots.push(match r.u8()? {
+                        SLOT_OK => Ok(decode_response(&mut r)?),
+                        SLOT_ERR => Err(decode_error(&mut r)?),
+                        _ => return None,
+                    });
+                }
+                ServerMessage::BatchAnswer { id, slots }
+            }
+            TAG_BUDGET_REPORT => ServerMessage::BudgetReport {
+                id: r.u64()?,
+                total_bits: r.u64()?,
+                spent_bits: r.u64()?,
+                remaining_bits: r.u64()?,
+                served: r.u64()?,
+            },
+            TAG_REFUSED => ServerMessage::Refused {
+                id: r.u64()?,
+                error: decode_error(&mut r)?,
+            },
+            TAG_FAREWELL => ServerMessage::Farewell { id: r.u64()? },
+            _ => return None,
+        };
+        r.done().then_some(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf_store::{frame_bytes, read_frame, FrameRead};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn arb_string(rng: &mut StdRng) -> String {
+        let len = rng.random_range(0..12usize);
+        (0..len)
+            .map(|_| char::from(rng.random_range(b'a'..=b'z')))
+            .collect()
+    }
+
+    fn arb_request(rng: &mut StdRng) -> WireRequest {
+        let kind = match rng.random_range(0..5u32) {
+            0 => WireRequestKind::Histogram,
+            1 => WireRequestKind::Cumulative,
+            2 => WireRequestKind::Range {
+                lo: rng.random_range(0..1000u64),
+                hi: rng.random_range(0..1000u64),
+            },
+            3 => WireRequestKind::Linear {
+                weight_bits: (0..rng.random_range(0..20usize))
+                    .map(|_| rng.random::<f64>().to_bits())
+                    .collect(),
+            },
+            _ => WireRequestKind::Kmeans {
+                k: rng.random_range(1..10u64),
+                iterations: rng.random_range(1..10u64),
+                spec: match rng.random_range(0..5u32) {
+                    0 => WireKmeansSpec::Full,
+                    1 => WireKmeansSpec::Attribute,
+                    2 => WireKmeansSpec::L1Threshold(rng.random::<f64>().to_bits()),
+                    3 => WireKmeansSpec::PartitionMaxDiameter(rng.random::<f64>().to_bits()),
+                    _ => WireKmeansSpec::Exact,
+                },
+            },
+        };
+        WireRequest {
+            policy: arb_string(rng),
+            data: arb_string(rng),
+            epsilon_bits: rng.random::<f64>().to_bits(),
+            kind,
+        }
+    }
+
+    fn arb_response(rng: &mut StdRng) -> WireResponse {
+        match rng.random_range(0..4u32) {
+            0 => WireResponse::Histogram(
+                (0..rng.random_range(0..16usize))
+                    .map(|_| rng.random())
+                    .collect(),
+            ),
+            1 => WireResponse::Prefixes(
+                (0..rng.random_range(0..16usize))
+                    .map(|_| rng.random())
+                    .collect(),
+            ),
+            2 => WireResponse::Scalar(rng.random()),
+            _ => WireResponse::Centroids(
+                (0..rng.random_range(0..4usize))
+                    .map(|_| {
+                        (0..rng.random_range(0..4usize))
+                            .map(|_| rng.random())
+                            .collect()
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    fn arb_error(rng: &mut StdRng) -> WireError {
+        match rng.random_range(0..13u32) {
+            0 => WireError::QueueFull {
+                analyst: arb_string(rng),
+                capacity: rng.random(),
+            },
+            1 => WireError::WindowFull {
+                capacity: rng.random(),
+            },
+            2 => WireError::BudgetExhausted {
+                analyst: arb_string(rng),
+                requested_bits: rng.random(),
+                remaining_bits: rng.random(),
+            },
+            3 => WireError::BudgetRefused {
+                analyst: arb_string(rng),
+                requested_bits: rng.random(),
+                remaining_bits: rng.random(),
+            },
+            4 => WireError::ShutDown,
+            5 => WireError::UnknownPolicy(arb_string(rng)),
+            6 => WireError::UnknownDataset(arb_string(rng)),
+            7 => WireError::UnknownPoints(arb_string(rng)),
+            8 => WireError::UnknownAnalyst(arb_string(rng)),
+            9 => WireError::SessionEvicted(arb_string(rng)),
+            10 => WireError::InvalidRequest(arb_string(rng)),
+            11 => WireError::Protocol(arb_string(rng)),
+            _ => WireError::Other(arb_string(rng)),
+        }
+    }
+
+    fn arb_client_message(rng: &mut StdRng) -> ClientMessage {
+        let id = rng.random();
+        match rng.random_range(0..6u32) {
+            0 => ClientMessage::Hello {
+                id,
+                version: rng.random::<u32>() as u16,
+            },
+            1 => ClientMessage::OpenSession {
+                id,
+                analyst: arb_string(rng),
+                total_bits: rng.random(),
+            },
+            2 => ClientMessage::Submit {
+                id,
+                analyst: arb_string(rng),
+                request: arb_request(rng),
+            },
+            3 => ClientMessage::SubmitBatch {
+                id,
+                analyst: arb_string(rng),
+                requests: (0..rng.random_range(0..5usize))
+                    .map(|_| arb_request(rng))
+                    .collect(),
+            },
+            4 => ClientMessage::Budget {
+                id,
+                analyst: arb_string(rng),
+            },
+            _ => ClientMessage::Goodbye { id },
+        }
+    }
+
+    fn arb_server_message(rng: &mut StdRng) -> ServerMessage {
+        let id = rng.random();
+        match rng.random_range(0..7u32) {
+            0 => ServerMessage::Welcome {
+                id,
+                version: rng.random::<u32>() as u16,
+            },
+            1 => ServerMessage::SessionAttached {
+                id,
+                remaining_bits: rng.random(),
+            },
+            2 => ServerMessage::Answer {
+                id,
+                response: arb_response(rng),
+            },
+            3 => ServerMessage::BatchAnswer {
+                id,
+                slots: (0..rng.random_range(0..5usize))
+                    .map(|_| {
+                        if rng.random() {
+                            Ok(arb_response(rng))
+                        } else {
+                            Err(arb_error(rng))
+                        }
+                    })
+                    .collect(),
+            },
+            4 => ServerMessage::BudgetReport {
+                id,
+                total_bits: rng.random(),
+                spent_bits: rng.random(),
+                remaining_bits: rng.random(),
+                served: rng.random(),
+            },
+            5 => ServerMessage::Refused {
+                id,
+                error: arb_error(rng),
+            },
+            _ => ServerMessage::Farewell { id },
+        }
+    }
+
+    proptest! {
+        /// Every client message round-trips encode → decode exactly.
+        #[test]
+        fn client_messages_round_trip(seed in 0u64..512) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let msg = arb_client_message(&mut rng);
+            prop_assert_eq!(ClientMessage::decode(&msg.encode()), Some(msg));
+        }
+
+        /// Every server message round-trips encode → decode exactly.
+        #[test]
+        fn server_messages_round_trip(seed in 0u64..512) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let msg = arb_server_message(&mut rng);
+            prop_assert_eq!(ServerMessage::decode(&msg.encode()), Some(msg));
+        }
+
+        /// Engine request/response conversions are lossless (ε, weights
+        /// and answers as exact bits).
+        #[test]
+        fn engine_conversions_round_trip(seed in 0u64..256) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let wire = arb_request(&mut rng);
+            if let Ok(request) = wire.to_request() {
+                prop_assert_eq!(WireRequest::from_request(&request), wire);
+            }
+            let resp = arb_response(&mut rng);
+            prop_assert_eq!(WireResponse::from_response(&resp.to_response()), resp.clone());
+        }
+    }
+
+    /// Trailing garbage after a well-formed message must not decode.
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let msg = ClientMessage::Goodbye { id: 7 };
+        let mut payload = msg.encode();
+        payload.push(0);
+        assert_eq!(ClientMessage::decode(&payload), None);
+        assert_eq!(ClientMessage::decode(&[]), None);
+        assert_eq!(ClientMessage::decode(&[200]), None);
+        assert_eq!(ServerMessage::decode(&[]), None);
+        assert_eq!(ServerMessage::decode(&[200]), None);
+    }
+
+    /// The corruption sweep: flip EVERY single byte (and every single
+    /// bit of each byte position's value) of framed messages; the frame
+    /// layer must reject or wait — a flipped frame is never misparsed
+    /// into a different well-formed message.
+    #[test]
+    fn single_byte_flips_never_misparse() {
+        let mut rng = StdRng::seed_from_u64(0xF1F1);
+        for case in 0..32 {
+            let payload = if case % 2 == 0 {
+                arb_client_message(&mut rng).encode()
+            } else {
+                arb_server_message(&mut rng).encode()
+            };
+            let framed = frame_bytes(&payload);
+            for pos in 0..framed.len() {
+                for bit in [0x01u8, 0x10, 0x80] {
+                    let mut damaged = framed.clone();
+                    damaged[pos] ^= bit;
+                    match read_frame(&damaged) {
+                        // A bigger length field: the reader waits for
+                        // bytes that never come — a stall, never a parse.
+                        FrameRead::Incomplete => {}
+                        // Checksum or length sanity caught it.
+                        FrameRead::Corrupt => {}
+                        FrameRead::Complete { payload: p, .. } => {
+                            // The only acceptable "complete" readings are
+                            // impossible: the flip changed some byte, so
+                            // an intact checksum would be an FNV-1a
+                            // collision one bit-flip away — fail loudly.
+                            panic!(
+                                "flip at byte {pos} (bit {bit:#x}) of case {case} \
+                                 still parsed: {:?}",
+                                p
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Partial frames (every prefix) wait for more bytes — a slow or
+    /// segmented TCP stream never kills a connection.
+    #[test]
+    fn every_prefix_is_incomplete_not_corrupt() {
+        let msg = ClientMessage::Submit {
+            id: 42,
+            analyst: "alice".into(),
+            request: WireRequest {
+                policy: "pol".into(),
+                data: "ds".into(),
+                epsilon_bits: 0.5f64.to_bits(),
+                kind: WireRequestKind::Range { lo: 3, hi: 9 },
+            },
+        };
+        let framed = frame_bytes(&msg.encode());
+        for cut in 0..framed.len() {
+            assert_eq!(
+                read_frame(&framed[..cut]),
+                FrameRead::Incomplete,
+                "cut {cut}"
+            );
+        }
+        // And the whole frame parses back to the message.
+        match read_frame(&framed) {
+            FrameRead::Complete { payload, consumed } => {
+                assert_eq!(consumed, framed.len());
+                assert_eq!(ClientMessage::decode(payload), Some(msg));
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+}

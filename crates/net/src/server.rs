@@ -1,0 +1,598 @@
+//! The TCP front-end: accept, decode, bridge into `bf-server` tickets.
+
+use crate::proto::{ClientMessage, ServerMessage, WireError, WireResponse, PROTOCOL_VERSION};
+use bf_server::{DriverHandle, Server, ServerError, ServerStats, Ticket};
+use bf_store::{frame_bytes, read_frame, FrameRead};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs for the TCP front-end.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Size of the acceptor pool. Each acceptor owns one connection at a
+    /// time, so this bounds the number of concurrently **served**
+    /// connections; further clients queue in the kernel backlog until an
+    /// acceptor frees up.
+    pub acceptors: usize,
+    /// Per-connection bound on outstanding requests (pipelining window).
+    /// A submit past the window is refused over the wire with
+    /// [`WireError::WindowFull`] — per-connection backpressure layered
+    /// on top of the server's per-analyst `QueueFull`.
+    pub max_in_flight: usize,
+    /// Cadence of the background scheduler driver ticking the inner
+    /// [`Server`].
+    pub tick_interval: Duration,
+    /// How long a connection handler blocks waiting for socket bytes
+    /// before polling its outstanding tickets for completions.
+    pub poll_interval: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            acceptors: 8,
+            max_in_flight: 64,
+            tick_interval: Duration::from_micros(500),
+            poll_interval: Duration::from_micros(200),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct NetCounters {
+    connections: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    protocol_errors: AtomicU64,
+    window_refusals: AtomicU64,
+    disconnects_mid_request: AtomicU64,
+}
+
+/// Counter snapshot for the TCP layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames decoded from clients.
+    pub frames_in: u64,
+    /// Frames written to clients.
+    pub frames_out: u64,
+    /// Connections killed for protocol violations (corrupt frames,
+    /// undecodable messages, handshake misuse).
+    pub protocol_errors: u64,
+    /// Submissions refused because the connection's in-flight window was
+    /// full.
+    pub window_refusals: u64,
+    /// Connections that dropped with requests still in flight (their
+    /// tickets were released — undispatched work cancels without an ε
+    /// charge).
+    pub disconnects_mid_request: u64,
+}
+
+/// The serving process's network face: a `TcpListener` whose accepted
+/// connections speak the [`crate::proto`] protocol and feed the
+/// [`Server`]'s submission queues, so every fairness, coalescing,
+/// admission and durability guarantee of the in-process stack applies
+/// unchanged to remote analysts.
+///
+/// ```text
+/// client processes ──TCP──► acceptor pool ──decode──► Server::submit ──► tickets ──encode──► replies
+/// ```
+///
+/// The listener is non-blocking; a fixed pool of acceptor threads each
+/// serve one connection at a time (bounded concurrency), polling between
+/// socket reads and ticket completions so any number of pipelined
+/// requests per connection make progress without an executor. Dropping a
+/// connection mid-request releases its tickets: work not yet dispatched
+/// is cancelled by the scheduler's sweep — no queue-slot leak, no ε
+/// charge for answers nobody can read.
+pub struct NetServer {
+    server: Arc<Server>,
+    addr: SocketAddr,
+    closing: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
+    acceptors: Vec<std::thread::JoinHandle<()>>,
+    driver: Option<DriverHandle>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port, then
+    /// [`NetServer::local_addr`]), spawns the acceptor pool and a
+    /// background driver ticking `server`.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the listener cannot bind.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        server: Arc<Server>,
+        config: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let closing = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(NetCounters::default());
+        let driver = server.start_driver(config.tick_interval);
+        let acceptors = (0..config.acceptors.max(1))
+            .map(|i| {
+                let listener = listener.try_clone().expect("clone listener");
+                let server = Arc::clone(&server);
+                let closing = Arc::clone(&closing);
+                let counters = Arc::clone(&counters);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("bf-net-acceptor-{i}"))
+                    .spawn(move || loop {
+                        if closing.load(Ordering::Acquire) {
+                            return;
+                        }
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                counters.connections.fetch_add(1, Ordering::Relaxed);
+                                Connection::new(stream, &server, &config, &closing, &counters)
+                                    .run();
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(config.poll_interval);
+                            }
+                            Err(_) => return,
+                        }
+                    })
+                    .expect("spawn acceptor")
+            })
+            .collect();
+        Ok(NetServer {
+            server,
+            addr,
+            closing,
+            counters,
+            acceptors,
+            driver: Some(driver),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The inner scheduler the connections feed.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Network-layer counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            frames_in: self.counters.frames_in.load(Ordering::Relaxed),
+            frames_out: self.counters.frames_out.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            window_refusals: self.counters.window_refusals.load(Ordering::Relaxed),
+            disconnects_mid_request: self
+                .counters
+                .disconnects_mid_request
+                .load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let every live connection
+    /// drain its in-flight tickets (new submissions refuse with
+    /// [`WireError::ShutDown`]) and close, then stop the driver and shut
+    /// the inner server down (which drains, flushes and compacts the
+    /// engine's store).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError`] when the inner server's final checkpoint fails;
+    /// the network side is down either way.
+    pub fn shutdown(mut self) -> Result<ServerStats, ServerError> {
+        self.closing.store(true, Ordering::Release);
+        for handle in self.acceptors.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(driver) = self.driver.take() {
+            driver.stop();
+        }
+        self.server.shutdown()
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.closing.store(true, Ordering::Release);
+        for handle in self.acceptors.drain(..) {
+            let _ = handle.join();
+        }
+        // The driver handle (if still present) stops itself on drop.
+    }
+}
+
+/// One outstanding single submit.
+struct Outstanding {
+    id: u64,
+    ticket: Ticket,
+}
+
+/// One outstanding batch: slots resolve independently, the reply goes
+/// out once all are done.
+struct OutstandingBatch {
+    id: u64,
+    slots: Vec<Result<Ticket, WireError>>,
+}
+
+/// Per-connection state machine: owns the socket, the receive buffer,
+/// and the in-flight tickets.
+struct Connection<'a> {
+    stream: TcpStream,
+    server: &'a Arc<Server>,
+    config: &'a NetConfig,
+    closing: &'a AtomicBool,
+    counters: &'a NetCounters,
+    buf: Vec<u8>,
+    hello_done: bool,
+    goodbye: Option<u64>,
+    singles: Vec<Outstanding>,
+    batches: Vec<OutstandingBatch>,
+}
+
+impl<'a> Connection<'a> {
+    fn new(
+        stream: TcpStream,
+        server: &'a Arc<Server>,
+        config: &'a NetConfig,
+        closing: &'a AtomicBool,
+        counters: &'a NetCounters,
+    ) -> Self {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(config.poll_interval));
+        // A client that stops READING can otherwise wedge this thread
+        // forever in write_all once the TCP send buffer fills — which
+        // would also hang NetServer::shutdown on the acceptor join. A
+        // stalled write past this timeout is treated as a dead peer.
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        Self {
+            stream,
+            server,
+            config,
+            closing,
+            counters,
+            buf: Vec::new(),
+            hello_done: false,
+            goodbye: None,
+            singles: Vec::new(),
+            batches: Vec::new(),
+        }
+    }
+
+    /// Outstanding **requests** (batch members each count — the window
+    /// bounds server-side work per connection, and a thousand-member
+    /// batch is a thousand queue slots, not one).
+    fn in_flight(&self) -> usize {
+        self.singles.len() + self.batches.iter().map(|b| b.slots.len()).sum::<usize>()
+    }
+
+    /// Serves the connection to completion. Returning drops any
+    /// unresolved tickets — the scheduler's cancellation sweep then
+    /// skips their work before it charges anything.
+    fn run(mut self) {
+        let mut read_chunk = [0u8; 16 * 1024];
+        loop {
+            // 1. Flush completions (also detects a dead peer on write).
+            if self.flush_completions().is_err() {
+                self.note_disconnect();
+                return;
+            }
+
+            // 2. Orderly endings.
+            if let Some(id) = self.goodbye {
+                if self.in_flight() == 0 {
+                    let _ = self.write_message(&ServerMessage::Farewell { id });
+                    let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                    return;
+                }
+                // Still draining; don't read further frames.
+                std::thread::sleep(self.config.poll_interval);
+                continue;
+            }
+            if self.closing.load(Ordering::Acquire) && self.in_flight() == 0 {
+                // Server shutting down and nothing owed to this client.
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+
+            // 3. Pull bytes; decode complete frames.
+            match self.stream.read(&mut read_chunk) {
+                Ok(0) => {
+                    // EOF: client gone. In-flight tickets drop here.
+                    self.note_disconnect();
+                    return;
+                }
+                Ok(n) => self.buf.extend_from_slice(&read_chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => {
+                    self.note_disconnect();
+                    return;
+                }
+            }
+            loop {
+                match read_frame(&self.buf) {
+                    FrameRead::Incomplete => break,
+                    FrameRead::Corrupt => {
+                        self.counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = self.write_message(&ServerMessage::Refused {
+                            id: 0,
+                            error: WireError::Protocol("corrupt frame".into()),
+                        });
+                        return;
+                    }
+                    FrameRead::Complete { payload, consumed } => {
+                        self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                        let msg = ClientMessage::decode(payload);
+                        self.buf.drain(..consumed);
+                        match msg {
+                            Some(msg) => {
+                                if !self.dispatch(msg) {
+                                    return;
+                                }
+                            }
+                            None => {
+                                self.counters
+                                    .protocol_errors
+                                    .fetch_add(1, Ordering::Relaxed);
+                                let _ = self.write_message(&ServerMessage::Refused {
+                                    id: 0,
+                                    error: WireError::Protocol("undecodable message".into()),
+                                });
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_disconnect(&self) {
+        if self.in_flight() > 0 {
+            self.counters
+                .disconnects_mid_request
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Handles one decoded message. Returns `false` when the connection
+    /// must close (fatal protocol violation).
+    fn dispatch(&mut self, msg: ClientMessage) -> bool {
+        let id = msg.id();
+        if !self.hello_done && !matches!(msg, ClientMessage::Hello { .. }) {
+            self.counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = self.write_message(&ServerMessage::Refused {
+                id,
+                error: WireError::Protocol("first frame must be Hello".into()),
+            });
+            return false;
+        }
+        match msg {
+            ClientMessage::Hello { id, version } => {
+                if self.hello_done {
+                    self.counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = self.write_message(&ServerMessage::Refused {
+                        id,
+                        error: WireError::Protocol("duplicate Hello".into()),
+                    });
+                    return false;
+                }
+                if version != PROTOCOL_VERSION {
+                    let _ = self.write_message(&ServerMessage::Refused {
+                        id,
+                        error: WireError::Protocol(format!(
+                            "version mismatch: server speaks {PROTOCOL_VERSION}, client {version}"
+                        )),
+                    });
+                    return false;
+                }
+                self.hello_done = true;
+                self.write_message(&ServerMessage::Welcome {
+                    id,
+                    version: PROTOCOL_VERSION,
+                })
+                .is_ok()
+            }
+            ClientMessage::OpenSession {
+                id,
+                analyst,
+                total_bits,
+            } => {
+                let reply = match bf_core::Epsilon::new(f64::from_bits(total_bits)) {
+                    Err(e) => ServerMessage::Refused {
+                        id,
+                        error: WireError::InvalidRequest(e.to_string()),
+                    },
+                    Ok(total) => match self.server.engine().attach_session(&analyst, total) {
+                        Ok(remaining) => ServerMessage::SessionAttached {
+                            id,
+                            remaining_bits: remaining.to_bits(),
+                        },
+                        Err(e) => ServerMessage::Refused {
+                            id,
+                            error: WireError::from_engine_error(&e),
+                        },
+                    },
+                };
+                self.write_message(&reply).is_ok()
+            }
+            ClientMessage::Submit {
+                id,
+                analyst,
+                request,
+            } => {
+                if let Some(refusal) = self.window_refusal(1) {
+                    return self
+                        .write_message(&ServerMessage::Refused { id, error: refusal })
+                        .is_ok();
+                }
+                match self.submit_one(&analyst, &request) {
+                    Ok(ticket) => {
+                        self.singles.push(Outstanding { id, ticket });
+                        true
+                    }
+                    Err(error) => self
+                        .write_message(&ServerMessage::Refused { id, error })
+                        .is_ok(),
+                }
+            }
+            ClientMessage::SubmitBatch {
+                id,
+                analyst,
+                requests,
+            } => {
+                if let Some(refusal) = self.window_refusal(requests.len()) {
+                    return self
+                        .write_message(&ServerMessage::Refused { id, error: refusal })
+                        .is_ok();
+                }
+                // Each member submits independently — compatible members
+                // land in the same coalescing window and share releases;
+                // a refused member fails only its own slot.
+                let slots = requests
+                    .iter()
+                    .map(|request| self.submit_one(&analyst, request))
+                    .collect();
+                self.batches.push(OutstandingBatch { id, slots });
+                true
+            }
+            ClientMessage::Budget { id, analyst } => {
+                let reply = match self.server.engine().session_snapshot(&analyst) {
+                    Ok(snap) => ServerMessage::BudgetReport {
+                        id,
+                        total_bits: snap.total().value().to_bits(),
+                        spent_bits: snap.spent().to_bits(),
+                        remaining_bits: snap.remaining().to_bits(),
+                        served: snap.served(),
+                    },
+                    Err(e) => ServerMessage::Refused {
+                        id,
+                        error: WireError::from_engine_error(&e),
+                    },
+                };
+                self.write_message(&reply).is_ok()
+            }
+            ClientMessage::Goodbye { id } => {
+                self.goodbye = Some(id);
+                true
+            }
+        }
+    }
+
+    /// Refuses when admitting `incoming` more requests would overflow
+    /// the connection's window.
+    fn window_refusal(&self, incoming: usize) -> Option<WireError> {
+        if self.in_flight() + incoming > self.config.max_in_flight {
+            self.counters
+                .window_refusals
+                .fetch_add(1, Ordering::Relaxed);
+            Some(WireError::WindowFull {
+                capacity: self.config.max_in_flight as u64,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn submit_one(
+        &self,
+        analyst: &str,
+        request: &crate::proto::WireRequest,
+    ) -> Result<Ticket, WireError> {
+        if self.closing.load(Ordering::Acquire) {
+            return Err(WireError::ShutDown);
+        }
+        let request = request.to_request()?;
+        self.server
+            .submit(analyst, request)
+            .map_err(|e| WireError::from_server_error(&e))
+    }
+
+    /// Writes replies for every resolved ticket and completed batch.
+    fn flush_completions(&mut self) -> std::io::Result<()> {
+        let mut replies: Vec<ServerMessage> = Vec::new();
+        self.singles.retain(|o| match o.ticket.try_take() {
+            None => true,
+            Some(result) => {
+                replies.push(match result {
+                    Ok(response) => ServerMessage::Answer {
+                        id: o.id,
+                        response: WireResponse::from_response(&response),
+                    },
+                    Err(e) => ServerMessage::Refused {
+                        id: o.id,
+                        error: WireError::from_server_error(&e),
+                    },
+                });
+                false
+            }
+        });
+        let mut finished: Vec<usize> = Vec::new();
+        for (i, batch) in self.batches.iter().enumerate() {
+            let done = batch.slots.iter().all(|slot| match slot {
+                Err(_) => true,
+                Ok(ticket) => ticket.try_take().is_some(),
+            });
+            if done {
+                finished.push(i);
+            }
+        }
+        for i in finished.into_iter().rev() {
+            let batch = self.batches.swap_remove(i);
+            let slots = batch
+                .slots
+                .into_iter()
+                .map(|slot| match slot {
+                    Err(e) => Err(e),
+                    Ok(ticket) => match ticket.try_take().expect("resolved above") {
+                        Ok(response) => Ok(WireResponse::from_response(&response)),
+                        Err(e) => Err(WireError::from_server_error(&e)),
+                    },
+                })
+                .collect();
+            replies.push(ServerMessage::BatchAnswer {
+                id: batch.id,
+                slots,
+            });
+        }
+        for reply in replies {
+            self.write_message(&reply)?;
+        }
+        Ok(())
+    }
+
+    fn write_message(&mut self, msg: &ServerMessage) -> std::io::Result<()> {
+        self.counters.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.stream.write_all(&frame_bytes(&msg.encode()))
+    }
+}

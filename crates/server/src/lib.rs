@@ -127,6 +127,30 @@ mod tests {
         engine.open_session("a", eps(2.0)).unwrap();
         engine.open_session("b", eps(2.0)).unwrap();
         let server = Server::with_defaults(Arc::clone(&engine));
+        // Different ε: neither the identical-request window nor the
+        // same-(policy, data, ε) range fold applies.
+        let t1 = server
+            .submit("a", Request::range("pol", "ds", eps(0.5), 0, 10))
+            .unwrap();
+        let t2 = server
+            .submit("b", Request::range("pol", "ds", eps(0.25), 0, 11))
+            .unwrap();
+        server.pump_until_idle();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        assert_eq!(server.stats().releases, 2);
+        assert_eq!(server.stats().coalesced_answers, 0);
+        assert_eq!(server.stats().batched_range_answers, 0);
+    }
+
+    #[test]
+    fn same_budget_ranges_with_different_endpoints_share_one_release() {
+        let engine = engine(2);
+        engine.open_session("a", eps(2.0)).unwrap();
+        engine.open_session("b", eps(2.0)).unwrap();
+        let server = Server::with_defaults(Arc::clone(&engine));
+        // Same (policy, data, ε), different endpoints, one window: the
+        // dispatcher folds both groups into a single Ordered release.
         let t1 = server
             .submit("a", Request::range("pol", "ds", eps(0.5), 0, 10))
             .unwrap();
@@ -134,10 +158,52 @@ mod tests {
             .submit("b", Request::range("pol", "ds", eps(0.5), 0, 11))
             .unwrap();
         server.pump_until_idle();
-        assert!(t1.wait().is_ok());
-        assert!(t2.wait().is_ok());
-        assert_eq!(server.stats().releases, 2);
-        assert_eq!(server.stats().coalesced_answers, 0);
+        let a = t1.wait().unwrap().scalar().unwrap();
+        let b = t2.wait().unwrap().scalar().unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.releases, 1, "two endpoint groups, one release");
+        assert_eq!(stats.batched_range_answers, 2);
+        assert_eq!(stats.coalesced_answers, 2);
+        // Both ranges read the SAME noisy cumulative: [0,11] minus
+        // [0,10] is exactly the release's cell-11 estimate, so the two
+        // answers are consistent, not independently noisy.
+        assert!(a.is_finite() && b.is_finite());
+        // Each analyst paid the full ε on their own ledger.
+        for who in ["a", "b"] {
+            let snap = engine.session_snapshot(who).unwrap();
+            assert!((snap.spent() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dropped_tickets_cancel_before_charging() {
+        let engine = engine(2);
+        engine.open_session("a", eps(1.0)).unwrap();
+        engine.open_session("b", eps(1.0)).unwrap();
+        let server = Server::with_defaults(Arc::clone(&engine));
+        // a's ticket is dropped before any tick — the client vanished.
+        let ta = server
+            .submit("a", Request::range("pol", "ds", eps(0.5), 0, 10))
+            .unwrap();
+        drop(ta);
+        let tb = server
+            .submit("b", Request::range("pol", "ds", eps(0.25), 0, 20))
+            .unwrap();
+        server.pump_until_idle();
+        assert!(tb.wait().is_ok());
+        let stats = server.stats();
+        assert_eq!(stats.cancelled, 1, "a's request dropped, not served");
+        assert_eq!(stats.answered, 1);
+        // The cancelled request charged nothing …
+        assert!((engine.session_remaining("a").unwrap() - 1.0).abs() < 1e-12);
+        // … and leaked no queue slot: the analyst can fill the queue to
+        // capacity again.
+        for i in 0..server.config().queue_capacity {
+            server
+                .submit("a", Request::range("pol", "ds", eps(0.0001), 0, i % 32))
+                .unwrap();
+        }
+        server.pump_until_idle();
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::error::ServerError;
 use crate::scheduler::{SchedState, Submitted};
 use crate::ticket::Ticket;
 use bf_engine::{Engine, Request};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -86,6 +87,8 @@ struct Counters {
     refused_admission: AtomicU64,
     releases: AtomicU64,
     coalesced_answers: AtomicU64,
+    batched_range_answers: AtomicU64,
+    cancelled: AtomicU64,
     ticks: AtomicU64,
     evicted_sessions: AtomicU64,
 }
@@ -107,6 +110,16 @@ pub struct ServerStats {
     pub releases: u64,
     /// Answers delivered from a release shared by ≥ 2 waiters.
     pub coalesced_answers: u64,
+    /// Answers served from an Ordered release shared across **different
+    /// endpoints** — range requests with equal `(policy, data, ε)` that
+    /// arrived in one coalescing window and were folded into a single
+    /// cumulative release (serve_batch's grouping, applied cross-analyst
+    /// at dispatch).
+    pub batched_range_answers: u64,
+    /// Requests dropped before dispatch because their ticket's receiver
+    /// was gone (client disconnected): no charge, no release, the queue
+    /// slot simply freed.
+    pub cancelled: u64,
     /// Scheduler ticks run.
     pub ticks: u64,
     /// Sessions evicted by the TTL sweep (their ledgers parked, spent ε
@@ -200,7 +213,14 @@ impl Server {
     }
 
     /// Submits a request on behalf of an analyst, returning the answer
-    /// [`Ticket`] immediately.
+    /// [`Ticket`] immediately (submission never blocks on the engine —
+    /// serving happens on scheduler ticks).
+    ///
+    /// Keep the ticket: dropping it before the request dispatches
+    /// **cancels** the request (no release, no ε charge, the queue slot
+    /// simply drains — see [`ServerStats::cancelled`]). This is how a
+    /// disconnected network client's abandoned work is discarded
+    /// without cost.
     ///
     /// # Errors
     ///
@@ -312,8 +332,108 @@ impl Server {
             let _ = tx.send(Err(e));
             resolved += 1;
         }
-        if !due.is_empty() {
-            let groups: Vec<(Vec<String>, Request)> = due
+
+        // Cancellation sweep: a waiter whose ticket receiver is gone
+        // (disconnected client, dropped future) is unreachable — serving
+        // it would charge ε for an answer nobody can read. Dropped here,
+        // BEFORE any charge: the queue slot was already freed by the
+        // drain, and the ledger is never touched.
+        let (mut due, mut immediate) = (due, immediate);
+        let mut cancelled = 0u64;
+        for g in &mut due {
+            g.waiters.retain(|(_, tx)| {
+                let live = !tx.is_closed();
+                cancelled += u64::from(!live);
+                live
+            });
+        }
+        due.retain(|g| !g.waiters.is_empty());
+        immediate.retain(|sub| {
+            let live = !sub.tx.is_closed();
+            cancelled += u64::from(!live);
+            live
+        });
+        if cancelled > 0 {
+            self.counters
+                .cancelled
+                .fetch_add(cancelled, Ordering::Relaxed);
+        }
+
+        // Fold due range groups that share `(policy, data, ε)` but
+        // differ in endpoints into ONE Ordered release each
+        // (serve_batch's grouping applied across analysts at dispatch);
+        // everything else dispatches through the plain coalesced path.
+        let mut supers: Vec<Vec<crate::scheduler::CoalesceGroup>> = Vec::new();
+        let mut super_index: HashMap<String, usize> = HashMap::new();
+        let mut singles: Vec<crate::scheduler::CoalesceGroup> = Vec::new();
+        for g in due {
+            match self.engine.range_group_key(&g.request) {
+                Ok(Some(key)) => {
+                    if let Some(&i) = super_index.get(&key) {
+                        supers[i].push(g);
+                    } else {
+                        super_index.insert(key, supers.len());
+                        supers.push(vec![g]);
+                    }
+                }
+                // Non-range, constrained, out-of-bounds, or a lookup
+                // error: the plain path serves (or fails) it per group.
+                _ => singles.push(g),
+            }
+        }
+        // A super-group of one gains nothing from the shared cumulative
+        // release — a lone range is cheaper as a plain Laplace count.
+        let mut batched: Vec<Vec<crate::scheduler::CoalesceGroup>> = Vec::new();
+        for mut members in supers {
+            if members.len() >= 2 {
+                batched.push(members);
+            } else {
+                singles.append(&mut members);
+            }
+        }
+
+        for members in batched {
+            let groups: Vec<(Vec<String>, Request)> = members
+                .iter()
+                .map(|g| {
+                    (
+                        g.waiters.iter().map(|(a, _)| a.clone()).collect(),
+                        g.request.clone(),
+                    )
+                })
+                .collect();
+            let results = self.engine.serve_range_groups(&groups);
+            if results.iter().flatten().any(|s| s.is_ok()) {
+                self.counters.releases.fetch_add(1, Ordering::Relaxed);
+            }
+            let total_waiters: usize = members.iter().map(|m| m.waiters.len()).sum();
+            let shared = total_waiters >= 2;
+            for (group, slots) in members.into_iter().zip(results) {
+                for ((_, tx), slot) in group.waiters.into_iter().zip(slots) {
+                    match &slot {
+                        Ok(_) => {
+                            self.counters.answered.fetch_add(1, Ordering::Relaxed);
+                            self.counters
+                                .batched_range_answers
+                                .fetch_add(1, Ordering::Relaxed);
+                            if shared {
+                                self.counters
+                                    .coalesced_answers
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    let _ = tx.send(slot.map_err(ServerError::Engine));
+                    resolved += 1;
+                }
+            }
+        }
+
+        if !singles.is_empty() {
+            let groups: Vec<(Vec<String>, Request)> = singles
                 .iter()
                 .map(|g| {
                     (
@@ -323,7 +443,7 @@ impl Server {
                 })
                 .collect();
             let results = self.engine.serve_coalesced_many(&groups);
-            for (group, slots) in due.into_iter().zip(results) {
+            for (group, slots) in singles.into_iter().zip(results) {
                 let shared = group.waiters.len() >= 2;
                 if slots.iter().any(|s| s.is_ok()) {
                     self.counters.releases.fetch_add(1, Ordering::Relaxed);
@@ -421,6 +541,19 @@ impl Server {
         Ok(self.stats())
     }
 
+    /// Whether the server has no queued or window-pending work — a
+    /// drain probe for external drivers that tick on their own schedule
+    /// (the same predicate [`Server::pump_until_idle`] loops on). With a
+    /// background driver running, `is_idle() == true` means every
+    /// accepted ticket has been resolved.
+    pub fn is_idle(&self) -> bool {
+        !self
+            .state
+            .lock()
+            .expect("scheduler state poisoned")
+            .is_busy()
+    }
+
     /// Ticks until no queued or pending work remains, returning the
     /// total number of tickets resolved. This is the deterministic way
     /// to flush the server in tests and benches.
@@ -469,6 +602,8 @@ impl Server {
             refused_admission: self.counters.refused_admission.load(Ordering::Relaxed),
             releases: self.counters.releases.load(Ordering::Relaxed),
             coalesced_answers: self.counters.coalesced_answers.load(Ordering::Relaxed),
+            batched_range_answers: self.counters.batched_range_answers.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
             ticks: self.counters.ticks.load(Ordering::Relaxed),
             evicted_sessions: self.counters.evicted_sessions.load(Ordering::Relaxed),
         }

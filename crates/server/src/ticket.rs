@@ -17,6 +17,11 @@ use std::task::{Context, Poll};
 /// awaiting (in any combination) always observes the same result. If
 /// the server shuts down before answering, the ticket resolves to
 /// [`ServerError::ShutDown`] rather than hanging.
+///
+/// **Dropping a ticket cancels the request** (if it has not been
+/// dispatched yet): an answer nobody can read is pure ε waste, so the
+/// scheduler's sweep drops abandoned waiters *before* charging their
+/// ledgers. Hold the ticket until you have the answer.
 #[derive(Debug)]
 pub struct Ticket {
     rx: oneshot::Receiver<Result<Response, ServerError>>,

@@ -129,54 +129,124 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+/// Frames an arbitrary payload exactly the way [`Record::frame`] does:
+/// `len: u32 | fnv1a(payload): u64 | payload`, all little-endian. This
+/// is the record-framing discipline shared by the WAL and the network
+/// wire protocol (`bf-net`), exposed so every length-prefixed,
+/// checksummed byte stream in the workspace parses — and fails — the
+/// same way.
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// How one attempt to take a frame off the front of a byte buffer went.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameRead<'a> {
+    /// An intact frame: its payload, plus the total number of bytes the
+    /// frame occupied (consume `consumed` bytes before reading again).
+    Complete {
+        /// The checksum-verified payload.
+        payload: &'a [u8],
+        /// Frame header + payload length.
+        consumed: usize,
+    },
+    /// Not enough bytes yet — read more and retry.
+    Incomplete,
+    /// The header or checksum is wrong; the stream cannot be trusted
+    /// past this point.
+    Corrupt,
+}
+
+/// Attempts to read one [`frame_bytes`]-framed payload from the front of
+/// `buf` without consuming it. A length beyond [`MAX_RECORD_LEN`] or a
+/// checksum mismatch is [`FrameRead::Corrupt`] — a framing error is
+/// never reported as "wait for more bytes", so a corrupted stream fails
+/// fast instead of hanging a reader forever.
+pub fn read_frame(buf: &[u8]) -> FrameRead<'_> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return FrameRead::Incomplete;
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if len > MAX_RECORD_LEN {
+        return FrameRead::Corrupt;
+    }
+    let end = FRAME_HEADER_LEN + len as usize;
+    if buf.len() < end {
+        return FrameRead::Incomplete;
+    }
+    let checksum = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let payload = &buf[FRAME_HEADER_LEN..end];
+    if fnv1a(payload) != checksum {
+        return FrameRead::Corrupt;
+    }
+    FrameRead::Complete {
+        payload,
+        consumed: end,
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string to a wire payload (the
+/// encoding [`Reader::str`] reverses).
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
 }
 
-pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+/// Appends a little-endian `u64` to a wire payload.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Cursor over the little-endian wire encoding, shared by record and
-/// snapshot decoding. Every read is bounds-checked; `None` means the
-/// bytes are not what the writer produced.
-pub(crate) struct Reader<'a> {
+/// Cursor over the little-endian wire encoding, shared by record,
+/// snapshot and network-message decoding. Every read is bounds-checked;
+/// `None` means the bytes are not what the writer produced.
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    pub(crate) fn u8(&mut self) -> Option<u8> {
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
         let v = *self.buf.get(self.pos)?;
         self.pos += 1;
         Some(v)
     }
 
-    pub(crate) fn u32(&mut self) -> Option<u32> {
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
         let bytes = self.buf.get(self.pos..self.pos + 4)?;
         self.pos += 4;
         Some(u32::from_le_bytes(bytes.try_into().unwrap()))
     }
 
-    pub(crate) fn u64(&mut self) -> Option<u64> {
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
         let bytes = self.buf.get(self.pos..self.pos + 8)?;
         self.pos += 8;
         Some(u64::from_le_bytes(bytes.try_into().unwrap()))
     }
 
-    pub(crate) fn str(&mut self) -> Option<String> {
+    /// Reads a [`put_str`]-encoded string.
+    pub fn str(&mut self) -> Option<String> {
         let len = self.u32()? as usize;
         let s = self.buf.get(self.pos..self.pos + len)?;
         self.pos += len;
         String::from_utf8(s.to_vec()).ok()
     }
 
-    pub(crate) fn done(&self) -> bool {
+    /// Whether the cursor consumed the buffer exactly — decoders require
+    /// this so trailing garbage is rejected, not ignored.
+    pub fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
 }
@@ -254,12 +324,7 @@ impl Record {
 
     /// Frames the payload for appending: `len | fnv1a | payload`.
     pub fn frame(&self) -> Vec<u8> {
-        let payload = self.encode();
-        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
-        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+        frame_bytes(&self.encode())
     }
 
     /// Convenience constructor for a charge record.
@@ -373,6 +438,38 @@ mod tests {
                 name: "pol".into(),
             },
         ]
+    }
+
+    #[test]
+    fn read_frame_roundtrips_and_detects_damage() {
+        let payload = b"arbitrary net payload";
+        let framed = frame_bytes(payload);
+        match read_frame(&framed) {
+            FrameRead::Complete {
+                payload: p,
+                consumed,
+            } => {
+                assert_eq!(p, payload);
+                assert_eq!(consumed, framed.len());
+            }
+            other => panic!("expected complete frame, got {other:?}"),
+        }
+        // Every strict prefix is incomplete, never corrupt: a partial
+        // TCP read must wait, not kill the connection.
+        for cut in 0..framed.len() {
+            assert_eq!(read_frame(&framed[..cut]), FrameRead::Incomplete, "{cut}");
+        }
+        // A flipped payload byte is corrupt once the frame is whole.
+        let mut bad = framed.clone();
+        bad[FRAME_HEADER_LEN + 3] ^= 0x40;
+        assert_eq!(read_frame(&bad), FrameRead::Corrupt);
+        // An absurd length field is corrupt, not an allocation attempt.
+        let mut huge = framed;
+        huge[0..4].copy_from_slice(&(MAX_RECORD_LEN + 1).to_le_bytes());
+        assert_eq!(read_frame(&huge), FrameRead::Corrupt);
+        // Record::frame and frame_bytes agree bit for bit.
+        let r = Record::charged("a", "l", 0.5);
+        assert_eq!(r.frame(), frame_bytes(&r.encode()));
     }
 
     #[test]

@@ -38,6 +38,19 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 
+/// Tuning knobs for a [`Store`].
+#[derive(Debug, Clone, Default)]
+pub struct StoreConfig {
+    /// Compaction normally deletes the WAL segments (and superseded
+    /// snapshots) a fresh snapshot covers. With this set they are moved
+    /// to an `archive/` subdirectory of the store instead, preserving
+    /// the full record-by-record ε-ledger history for point-in-time
+    /// audit and off-box backup. Archived files never participate in
+    /// recovery — only top-level segments do — so the flag changes
+    /// retention, never the recovered state.
+    pub archive_replayed_segments: bool,
+}
+
 /// How recovery went: what was loaded, what was replayed, what was
 /// tolerated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,6 +126,7 @@ struct Inner {
 /// `Arc` by every thread that charges budgets.
 pub struct Store {
     dir: PathBuf,
+    config: StoreConfig,
     inner: Mutex<Inner>,
     commit_cv: Condvar,
     recovered: StoreState,
@@ -179,6 +193,15 @@ impl Store {
     /// [`StoreError::Io`] when a segment cannot be read mid-stream or
     /// the new segment cannot be created.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        Self::open_with(dir, StoreConfig::default())
+    }
+
+    /// [`Store::open`] with explicit [`StoreConfig`] knobs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::open`].
+    pub fn open_with(dir: impl Into<PathBuf>, config: StoreConfig) -> Result<Store, StoreError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| StoreError::io("create dir", &e))?;
         let dir_lock = File::options()
@@ -265,6 +288,7 @@ impl Store {
 
         Ok(Store {
             dir,
+            config,
             _dir_lock: dir_lock,
             inner: Mutex::new(Inner {
                 file: Arc::new(file),
@@ -448,7 +472,17 @@ impl Store {
         // Prune everything the snapshot covers — by listing what
         // actually exists, not by counting segment numbers since 0
         // (which would cost O(lifetime compactions) of ENOENT unlinks
-        // under the store lock).
+        // under the store lock). With
+        // [`StoreConfig::archive_replayed_segments`] the covered files
+        // move to `archive/` instead of being unlinked: the snapshot
+        // makes them redundant for recovery, but their record-by-record
+        // history stays auditable (and a rename is as cheap as an
+        // unlink). Archived files sit in a subdirectory, which the
+        // top-level scan in [`Store::open_with`] never visits.
+        let archive = self.dir.join("archive");
+        if self.config.archive_replayed_segments {
+            let _ = std::fs::create_dir_all(&archive);
+        }
         if let Ok(entries) = std::fs::read_dir(&self.dir) {
             for entry in entries.flatten() {
                 let name = entry.file_name();
@@ -457,9 +491,16 @@ impl Store {
                     .is_some_and(|m| m <= old_segment)
                     || parse_numbered(name, "snapshot-", ".snap").is_some_and(|m| m <= old_segment);
                 if covered {
-                    let _ = std::fs::remove_file(entry.path());
+                    if self.config.archive_replayed_segments {
+                        let _ = std::fs::rename(entry.path(), archive.join(name));
+                    } else {
+                        let _ = std::fs::remove_file(entry.path());
+                    }
                 }
             }
+        }
+        if self.config.archive_replayed_segments {
+            sync_dir(&archive);
         }
         sync_dir(&self.dir);
         Ok(())
@@ -698,6 +739,76 @@ mod tests {
         let a = Store::open(&dir).unwrap().recovered_state().digest();
         let b = Store::open(&dir).unwrap().recovered_state().digest();
         assert_eq!(a, b);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn archive_flag_moves_replayed_segments_instead_of_deleting() {
+        let dir = scratch_dir("archive");
+        {
+            let store = Store::open_with(
+                &dir,
+                StoreConfig {
+                    archive_replayed_segments: true,
+                },
+            )
+            .unwrap();
+            store
+                .commit(&[
+                    Record::session_opened("a", 2.0),
+                    Record::charged("a", "q1", 0.5),
+                ])
+                .unwrap();
+            store.compact().unwrap();
+            store.commit(&[Record::charged("a", "q2", 0.25)]).unwrap();
+            store.compact().unwrap();
+        }
+        // Every pre-compaction segment survives under archive/ …
+        let archived: Vec<String> = std::fs::read_dir(dir.join("archive"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert!(
+            archived.contains(&"wal-0000000000000000.log".to_owned()),
+            "first segment archived, got {archived:?}"
+        );
+        assert!(
+            archived.contains(&"wal-0000000000000001.log".to_owned()),
+            "second segment archived, got {archived:?}"
+        );
+        // … and replaying the archived segments record-by-record
+        // reconstructs the full pre-snapshot ledger history (the
+        // point-in-time-audit use case).
+        let mut state = crate::state::StoreState::default();
+        let mut records = 0;
+        for seg in ["wal-0000000000000000.log", "wal-0000000000000001.log"] {
+            let bytes = std::fs::read(dir.join("archive").join(seg)).unwrap();
+            let (end, _) = scan_frames(&bytes, |r| {
+                state.apply(&r);
+                records += 1;
+            });
+            assert_eq!(end, ScanEnd::Clean);
+        }
+        assert_eq!(records, 3);
+        assert_eq!(state.sessions["a"].spent, 0.75);
+        // Recovery itself is unaffected: archived files are invisible.
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.recovered_state().sessions["a"].spent, 0.75);
+        assert_eq!(store.recovery_report().snapshot_segment, Some(2));
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn default_config_still_deletes_covered_segments() {
+        let dir = scratch_dir("no-archive");
+        {
+            let store = Store::open(&dir).unwrap();
+            store.commit(&[Record::session_opened("a", 1.0)]).unwrap();
+            store.compact().unwrap();
+        }
+        assert!(!dir.join("archive").exists());
+        assert!(!segment_path(&dir, 0).exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

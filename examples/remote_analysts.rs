@@ -1,0 +1,189 @@
+//! Multi-process serving over TCP: N client **processes** hammer one
+//! serving process on loopback, and every in-process guarantee holds
+//! across the wire.
+//!
+//! Run self-contained (spawns its own clients):
+//!
+//! ```text
+//! cargo run --release --example remote_analysts
+//! ```
+//!
+//! The parent process builds a WAL-backed engine, wraps it in the async
+//! server and binds the TCP front-end; then it spawns `ANALYSTS` copies
+//! of itself as true client processes, each opening its own session and
+//! serving `QUERIES` range queries serially over its own connection.
+//! Afterwards it proves three things:
+//!
+//! 1. **Ledger exactness.** Each client reports its spent ε (exact
+//!    bits); after the serving process shuts down, the WAL is reopened
+//!    and the recovered spent must equal both the client-observed spend
+//!    and the locally recomputed charge sum — bit for bit.
+//! 2. **Determinism.** The whole multi-process run executes twice with
+//!    the same engine seed; per-analyst answer digests must be
+//!    byte-identical, no matter how the kernel interleaved the four
+//!    connections (release noise is a pure function of the release's
+//!    identity, not of arrival order).
+//! 3. **Concurrency.** All clients run as overlapping OS processes —
+//!    this is the deployment scenario the in-process examples cannot
+//!    exercise.
+
+use blowfish::net::{Client, NetConfig, NetServer};
+use blowfish::prelude::*;
+use blowfish::store::fnv1a;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const ANALYSTS: usize = 4;
+const QUERIES: usize = 8;
+const SEED: u64 = 0xBEEF_CAFE;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// The i-th query of one analyst. Endpoints **and** ε are offset per
+/// analyst, so the four processes submit fully disjoint release
+/// identities: requests sharing `(policy, data, ε)` would —
+/// correctly — be folded into shared releases whose composition depends
+/// on which coalescing window the kernel's scheduling landed them in,
+/// and this example is out to demonstrate the opposite regime
+/// (disjoint streams → byte-identical same-seed runs, however the
+/// connections interleave).
+fn analyst_epsilon(analyst_index: usize, i: usize) -> f64 {
+    0.01 * (i + 1) as f64 + 0.001 * (analyst_index + 1) as f64
+}
+
+fn query(analyst_index: usize, i: usize) -> Request {
+    let lo = analyst_index * 3 + i;
+    let e = eps(analyst_epsilon(analyst_index, i));
+    Request::range("salaries", "payroll", e, lo, lo + 20)
+}
+
+/// Client-process mode: serve QUERIES queries serially, then print
+/// `analyst answers_digest spent_bits` for the parent to collect.
+fn run_client(addr: &str, analyst: &str, analyst_index: usize) {
+    let mut client = Client::connect(addr).expect("connect");
+    let remaining = client.open_session(analyst, 1.0).expect("open session");
+    assert_eq!(remaining, 1.0, "fresh session");
+    let mut digest_bytes = Vec::with_capacity(QUERIES * 8);
+    for i in 0..QUERIES {
+        let response = client
+            .call(analyst, &query(analyst_index, i))
+            .expect("serve");
+        let answer = response.scalar().expect("scalar answer");
+        digest_bytes.extend_from_slice(&answer.to_bits().to_le_bytes());
+    }
+    let budget = client.budget(analyst).expect("budget");
+    client.goodbye().expect("goodbye");
+    println!(
+        "{analyst} {:016x} {:016x}",
+        fnv1a(&digest_bytes),
+        budget.spent.to_bits()
+    );
+}
+
+/// One full multi-process run: serve, shut down, return per-analyst
+/// `(digest, spent bits)` plus the serving stats.
+fn run_serving(dir: &std::path::Path) -> BTreeMap<String, (u64, u64)> {
+    let store = Arc::new(Store::open(dir).expect("open store"));
+    let engine = Engine::with_store(SEED, store);
+    let domain = Domain::line(128).expect("domain");
+    engine
+        .register_policy("salaries", Policy::distance_threshold(domain.clone(), 8))
+        .expect("policy");
+    let rows: Vec<usize> = (0..5_000).map(|i| (i * 37) % 128).collect();
+    engine
+        .register_dataset("payroll", Dataset::from_rows(domain, rows).expect("rows"))
+        .expect("dataset");
+    let server = Arc::new(Server::with_defaults(Arc::new(engine)));
+    let net = NetServer::bind("127.0.0.1:0", server, NetConfig::default()).expect("bind");
+    let addr = net.local_addr().to_string();
+
+    // Spawn every client process first, then wait — they overlap.
+    let exe = std::env::current_exe().expect("current exe");
+    let children: Vec<(String, std::process::Child)> = (0..ANALYSTS)
+        .map(|a| {
+            let analyst = format!("analyst-{a}");
+            let child = std::process::Command::new(&exe)
+                .args(["client", &addr, &analyst, &a.to_string()])
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn client process");
+            (analyst, child)
+        })
+        .collect();
+    let mut reports = BTreeMap::new();
+    for (analyst, child) in children {
+        let out = child.wait_with_output().expect("client process");
+        assert!(out.status.success(), "client {analyst} failed");
+        let line = String::from_utf8(out.stdout).expect("utf8");
+        let mut parts = line.split_whitespace();
+        assert_eq!(parts.next(), Some(analyst.as_str()));
+        let digest = u64::from_str_radix(parts.next().expect("digest"), 16).expect("hex");
+        let spent_bits = u64::from_str_radix(parts.next().expect("spent"), 16).expect("hex");
+        reports.insert(analyst, (digest, spent_bits));
+    }
+    let stats = net.shutdown().expect("shutdown");
+    assert_eq!(stats.answered as usize, ANALYSTS * QUERIES);
+    reports
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("client") {
+        let index: usize = args[4].parse().expect("analyst index");
+        run_client(&args[2], &args[3], index);
+        return;
+    }
+
+    // The exact spend each analyst's ledger must show: charges
+    // accumulate serially per analyst, so the recomputed sum is
+    // bit-identical to the server-side ledger.
+    let expected_spent = |analyst_index: usize| -> u64 {
+        let mut sum = 0.0f64;
+        for i in 0..QUERIES {
+            sum += analyst_epsilon(analyst_index, i);
+        }
+        sum.to_bits()
+    };
+
+    let dir_a = std::path::PathBuf::from("target/remote-analysts-demo-a");
+    let dir_b = std::path::PathBuf::from("target/remote-analysts-demo-b");
+    for dir in [&dir_a, &dir_b] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    println!("run 1: {ANALYSTS} client processes × {QUERIES} queries over loopback …");
+    let first = run_serving(&dir_a);
+    for (a, (analyst, (_, spent_bits))) in first.iter().enumerate() {
+        assert_eq!(
+            *spent_bits,
+            expected_spent(a),
+            "{analyst}: client-observed spend must equal the charge sum"
+        );
+    }
+
+    // Ledger exactness across restart: reopen the WAL the serving
+    // process left behind; recovered spent must match bit for bit.
+    let recovered = Store::open(&dir_a).expect("reopen WAL");
+    for (analyst, (_, spent_bits)) in &first {
+        let session = &recovered.recovered_state().sessions[analyst.as_str()];
+        assert_eq!(
+            session.spent.to_bits(),
+            *spent_bits,
+            "{analyst}: WAL-recovered spent must equal the acknowledged spend"
+        );
+        assert_eq!(session.served as usize, QUERIES);
+    }
+    drop(recovered);
+    println!("ledgers exact: {ANALYSTS} analysts, recovered == charged, bit-identical ✓");
+
+    println!("run 2: same seed, fresh store, same workload …");
+    let second = run_serving(&dir_b);
+    assert_eq!(
+        first, second,
+        "same-seed multi-process runs must be byte-identical"
+    );
+    println!("same-seed runs byte-identical across {ANALYSTS} racing processes ✓");
+    println!("OK");
+}

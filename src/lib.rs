@@ -27,6 +27,7 @@
 //! | [`engine`] | multi-tenant serving: sessions → router → sensitivity cache → mechanisms |
 //! | [`server`] | async front-end: fair per-analyst scheduling + cross-analyst release coalescing |
 //! | [`store`] | durable ε-budget ledger: checksummed WAL, group commit, snapshots, crash recovery |
+//! | [`net`] | wire protocol, TCP front-end and client library for multi-process serving |
 //! | [`rt`] | vendored minimal async runtime (executor, `block_on`, oneshot) |
 //!
 //! ## Serving repeated queries
@@ -77,6 +78,7 @@ pub use bf_domain as domain;
 pub use bf_engine as engine;
 pub use bf_graph as graph;
 pub use bf_mechanisms as mechanisms;
+pub use bf_net as net;
 pub use bf_server as server;
 pub use bf_store as store;
 pub use futures_lite as rt;
@@ -97,8 +99,9 @@ pub mod prelude {
     pub use bf_mechanisms::{
         HierarchicalMechanism, HistogramMechanism, OrderedHierarchicalMechanism, OrderedMechanism,
     };
+    pub use bf_net::{Client, NetConfig, NetError, NetServer, WireError};
     pub use bf_server::{Server, ServerConfig, ServerError, ServerStats, Ticket};
-    pub use bf_store::{Store, StoreError, StoreStats};
+    pub use bf_store::{Store, StoreConfig, StoreError, StoreStats};
     pub use futures_lite::Executor;
 }
 

@@ -1,0 +1,235 @@
+//! End-to-end tests of the network stack through the `blowfish` facade:
+//! a WAL-backed engine behind the async server behind the TCP
+//! front-end, exercised by real sockets.
+
+use blowfish::net::{Client, NetConfig, NetError, NetServer};
+use blowfish::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn build_net(
+    seed: u64,
+    store_dir: Option<&std::path::Path>,
+    server_config: ServerConfig,
+    net_config: NetConfig,
+) -> NetServer {
+    let engine = match store_dir {
+        Some(dir) => Engine::with_store(seed, Arc::new(Store::open(dir).unwrap())),
+        None => Engine::with_seed(seed),
+    };
+    let domain = Domain::line(64).unwrap();
+    engine
+        .register_policy("pol", Policy::distance_threshold(domain.clone(), 2))
+        .unwrap();
+    let rows: Vec<usize> = (0..640).map(|i| (i * 7) % 64).collect();
+    engine
+        .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+        .unwrap();
+    let points = PointSet::new(
+        vec![
+            vec![1.0, 1.0],
+            vec![1.2, 0.8],
+            vec![9.0, 9.0],
+            vec![8.8, 9.1],
+        ],
+        BoundingBox::new(vec![0.0, 0.0], vec![10.0, 10.0]),
+    );
+    engine.register_points("pts", points).unwrap();
+    let server = Arc::new(Server::new(Arc::new(engine), server_config));
+    NetServer::bind("127.0.0.1:0", server, net_config).unwrap()
+}
+
+#[test]
+fn kmeans_crosses_the_wire_with_its_spec() {
+    let net = build_net(31, None, ServerConfig::default(), NetConfig::default());
+    let mut client = Client::connect(net.local_addr()).unwrap();
+    client.open_session("km", 5.0).unwrap();
+    let response = client
+        .call(
+            "km",
+            &Request::kmeans(
+                "pol",
+                "pts",
+                eps(2.0),
+                2,
+                3,
+                KmeansSecretSpec::L1Threshold(1.0),
+            ),
+        )
+        .unwrap();
+    let centroids = response.centroids().unwrap();
+    assert_eq!(centroids.len(), 2);
+    assert!(centroids.iter().all(|c| c.len() == 2));
+    assert!((client.budget("km").unwrap().remaining - 3.0).abs() < 1e-12);
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn wal_recovered_spend_equals_wire_observed_spend() {
+    let dir = blowfish::store::scratch_dir("net-facade-ledger");
+    let observed = {
+        let net = build_net(
+            32,
+            Some(&dir),
+            ServerConfig::default(),
+            NetConfig::default(),
+        );
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        client.open_session("audit", 2.0).unwrap();
+        for i in 0..5 {
+            client
+                .call(
+                    "audit",
+                    &Request::range("pol", "ds", eps(0.1 * (i + 1) as f64), i, i + 20),
+                )
+                .unwrap();
+        }
+        let spent = client.budget("audit").unwrap().spent;
+        client.goodbye().unwrap();
+        net.shutdown().unwrap();
+        spent
+    };
+    // The WAL must hold exactly what the wire reported — bit for bit.
+    let store = Store::open(&dir).unwrap();
+    let recovered = &store.recovered_state().sessions["audit"];
+    assert_eq!(recovered.spent.to_bits(), observed.to_bits());
+    assert_eq!(recovered.served, 5);
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn goodbye_drains_in_flight_work_before_closing() {
+    let net = build_net(
+        33,
+        None,
+        ServerConfig {
+            coalesce_window: 2,
+            ..ServerConfig::default()
+        },
+        NetConfig {
+            tick_interval: Duration::from_millis(10),
+            ..NetConfig::default()
+        },
+    );
+    let mut client = Client::connect(net.local_addr()).unwrap();
+    client.open_session("polite", 1.0).unwrap();
+    for i in 0..4 {
+        client
+            .submit("polite", &Request::range("pol", "ds", eps(0.1), i, i + 10))
+            .unwrap();
+    }
+    // Goodbye immediately: the server must answer everything in flight
+    // before the Farewell.
+    client.goodbye().unwrap();
+    let stats = net.server().stats();
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.answered, 4, "goodbye must drain, not drop");
+    assert_eq!(stats.cancelled, 0);
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn net_shutdown_refuses_new_submissions_over_the_wire() {
+    let net = build_net(34, None, ServerConfig::default(), NetConfig::default());
+    let addr = net.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.open_session("late", 1.0).unwrap();
+    client
+        .call("late", &Request::range("pol", "ds", eps(0.1), 0, 10))
+        .unwrap();
+    net.shutdown().unwrap();
+    // The old connection is gone; new dials refuse.
+    let result = client.call("late", &Request::range("pol", "ds", eps(0.1), 0, 10));
+    assert!(
+        matches!(
+            result,
+            Err(NetError::Io(_)) | Err(NetError::ConnectionLost { .. })
+        ),
+        "got {result:?}"
+    );
+    assert!(Client::connect(addr).is_err(), "listener must be closed");
+}
+
+#[test]
+fn wire_and_in_process_serving_agree_bit_for_bit() {
+    // The same seed and the same per-analyst stream, once over TCP and
+    // once in process: answers must be byte-identical — the wire layer
+    // adds transport, never perturbs the release stream.
+    let over_wire: Vec<u64> = {
+        let net = build_net(35, None, ServerConfig::default(), NetConfig::default());
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        client.open_session("twin", 10.0).unwrap();
+        let answers = (0..6)
+            .map(|i| {
+                client
+                    .call("twin", &Request::range("pol", "ds", eps(0.25), i, i + 16))
+                    .unwrap()
+                    .scalar()
+                    .unwrap()
+                    .to_bits()
+            })
+            .collect();
+        net.shutdown().unwrap();
+        answers
+    };
+    let in_process: Vec<u64> = {
+        let net = build_net(35, None, ServerConfig::default(), NetConfig::default());
+        let engine = Arc::clone(net.server().engine());
+        engine.open_session("twin", eps(10.0)).unwrap();
+        let answers = (0..6)
+            .map(|i| {
+                engine
+                    .serve("twin", &Request::range("pol", "ds", eps(0.25), i, i + 16))
+                    .unwrap()
+                    .scalar()
+                    .unwrap()
+                    .to_bits()
+            })
+            .collect();
+        net.shutdown().unwrap();
+        answers
+    };
+    assert_eq!(over_wire, in_process);
+}
+
+#[test]
+fn mid_stream_disconnect_is_a_regression_guard_at_the_facade() {
+    let net = build_net(
+        36,
+        None,
+        ServerConfig {
+            coalesce_window: 8,
+            ..ServerConfig::default()
+        },
+        NetConfig {
+            tick_interval: Duration::from_millis(50),
+            ..NetConfig::default()
+        },
+    );
+    let addr = net.local_addr();
+    {
+        let mut client = Client::connect(addr).unwrap();
+        client.open_session("flaky", 1.0).unwrap();
+        client
+            .submit("flaky", &Request::range("pol", "ds", eps(0.9), 0, 30))
+            .unwrap();
+    } // dropped mid-request
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while net.server().stats().cancelled == 0 {
+        assert!(std::time::Instant::now() < deadline, "no cancellation seen");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The full budget survives for the reconnecting analyst.
+    let mut client = Client::connect(addr).unwrap();
+    let remaining = client.open_session("flaky", 1.0).unwrap();
+    assert_eq!(remaining, 1.0, "abandoned request must not charge");
+    client
+        .call("flaky", &Request::range("pol", "ds", eps(0.9), 0, 30))
+        .unwrap();
+    net.shutdown().unwrap();
+}

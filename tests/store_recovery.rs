@@ -155,6 +155,9 @@ fn server_shutdown_and_restart_reattach() {
     assert!(store.recovery_report().snapshot_segment.is_some());
     let engine = Arc::new(build_engine(55, store));
     let server = Server::with_defaults(Arc::clone(&engine));
+    // Tickets must stay alive until served: a dropped ticket is an
+    // unreachable waiter and the scheduler cancels it before charging.
+    let mut tickets = Vec::new();
     for i in 0..4 {
         let analyst = format!("a{i}");
         // Parked until reattach; the server refuses at the door.
@@ -170,11 +173,16 @@ fn server_shutdown_and_restart_reattach() {
         assert!(server
             .submit(&analyst, Request::range("pol", "ds", eps(0.7), 0, 5))
             .is_err());
-        server
-            .submit(&analyst, Request::range("pol", "ds", eps(0.5), 0, 5))
-            .unwrap();
+        tickets.push(
+            server
+                .submit(&analyst, Request::range("pol", "ds", eps(0.5), 0, 5))
+                .unwrap(),
+        );
     }
     server.pump_until_idle();
+    for t in tickets {
+        t.wait().unwrap();
+    }
     for i in 0..4 {
         assert!((engine.session_remaining(&format!("a{i}")).unwrap() - 0.1).abs() < 1e-12);
     }
