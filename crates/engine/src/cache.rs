@@ -16,8 +16,8 @@
 //! `RwLock` taken only briefly (never while computing).
 
 use bf_core::{Policy, QueryClass};
+use bf_obs::{Counter, Registry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// Hit/miss/compute counters for observability and benchmarks.
@@ -52,19 +52,45 @@ impl CacheStats {
 type CacheKey = (String, u64);
 
 /// Memo table for policy-specific sensitivities with single-flight
-/// population.
-#[derive(Debug, Default)]
+/// population. Counters are `bf-obs` handles: standalone caches count
+/// into detached instruments, engine-owned caches count into the
+/// engine's registry ([`SensitivityCache::with_obs`]) — [`CacheStats`]
+/// reads the same handles either way.
+#[derive(Debug)]
 pub struct SensitivityCache {
     map: RwLock<HashMap<CacheKey, Arc<OnceLock<f64>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    computes: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    computes: Counter,
+}
+
+impl Default for SensitivityCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SensitivityCache {
-    /// An empty cache.
+    /// An empty cache counting into detached (registry-less)
+    /// instruments.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            map: RwLock::new(HashMap::new()),
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+            computes: Counter::detached(),
+        }
+    }
+
+    /// An empty cache whose counters are registered in `obs` as
+    /// `engine_cache_{hits,misses,computes}_total`.
+    pub fn with_obs(obs: &Registry) -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+            hits: obs.counter("engine_cache_hits_total"),
+            misses: obs.counter("engine_cache_misses_total"),
+            computes: obs.counter("engine_cache_computes_total"),
+        }
     }
 
     /// The sensitivity of `class` under `policy`, memoized. On a cold
@@ -79,7 +105,7 @@ impl SensitivityCache {
             match map.get(&key) {
                 Some(cell) => {
                     if let Some(&s) = cell.get() {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.hits.inc();
                         return s;
                     }
                     Some(Arc::clone(cell)) // in flight: wait on it below
@@ -96,11 +122,11 @@ impl SensitivityCache {
                     .or_default(),
             )
         });
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         // No lock is held here: the closed form runs (or is awaited) on
         // the cell alone, so readers of other keys never block on it.
         *cell.get_or_init(|| {
-            self.computes.fetch_add(1, Ordering::Relaxed);
+            self.computes.inc();
             class.sensitivity(policy)
         })
     }
@@ -115,12 +141,13 @@ impl SensitivityCache {
             .is_some_and(|cell| cell.get().is_some())
     }
 
-    /// Current counters.
+    /// Current counters — a thin shim over the registry handles, kept
+    /// for existing tests and benches.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            computes: self.computes.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            computes: self.computes.get(),
             entries: self.map.read().expect("cache lock poisoned").len(),
         }
     }

@@ -12,6 +12,7 @@ use bf_core::{Epsilon, LaplaceMechanism, Policy, Predicate, QueryClass};
 use bf_domain::{CumulativeHistogram, Dataset, Histogram, PointSet};
 use bf_mechanisms::kmeans::{init_random, PrivateKmeans};
 use bf_mechanisms::{HistogramMechanism, OrderedMechanism, RangeAnswerer};
+use bf_obs::{merge_snapshots, Gauge, MetricSnapshot, Registry, Stage};
 use bf_store::{fnv1a, Record, RegistryKind, Store};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -165,6 +166,13 @@ pub struct Engine {
     /// release reveals nothing new) but a silent correctness surprise.
     /// Bounding this without losing the guarantee is a ROADMAP item.
     release_seqs: Mutex<HashMap<u64, u64>>,
+    /// The engine's metrics registry. Every instrument hanging off it is
+    /// a pure side channel: nothing read from it feeds RNG derivation,
+    /// charge ordering, or scheduling, so same-seed runs stay
+    /// byte-identical whether metrics are enabled or not.
+    obs: Arc<Registry>,
+    /// Cardinality of `release_seqs` (`engine_release_identities`).
+    release_identities: Gauge,
 }
 
 impl Default for Engine {
@@ -181,6 +189,8 @@ impl Engine {
 
     /// An engine whose noise stream is seeded for reproducible runs.
     pub fn with_seed(seed: u64) -> Self {
+        let obs = Arc::new(Registry::new());
+        let release_identities = obs.gauge("engine_release_identities");
         Self {
             policies: ShardedMap::new(),
             datasets: ShardedMap::new(),
@@ -189,10 +199,12 @@ impl Engine {
             parked: ShardedMap::new(),
             expected: Mutex::new(HashMap::new()),
             store: None,
-            cache: SensitivityCache::new(),
+            cache: SensitivityCache::with_obs(&obs),
             seed,
             release_counter: AtomicU64::new(0),
             release_seqs: Mutex::new(HashMap::new()),
+            obs,
+            release_identities,
         }
     }
 
@@ -226,6 +238,17 @@ impl Engine {
             .iter()
             .map(|((kind, name), fp)| ((*kind, name.clone()), *fp))
             .collect();
+        // Resume each release identity's noise ordinal at its durable
+        // high-water mark, so a restarted engine never replays noise an
+        // earlier generation already released.
+        *engine.release_seqs.lock().expect("release seqs poisoned") = recovered
+            .release_seqs
+            .iter()
+            .map(|(&fp, &seq)| (fp, seq))
+            .collect();
+        engine
+            .release_identities
+            .set(recovered.release_seqs.len() as f64);
         Self {
             store: Some(store),
             ..engine
@@ -240,12 +263,34 @@ impl Engine {
     /// Flushes and compacts the attached store (no-op without one) —
     /// the graceful-shutdown path, also safe to call periodically.
     ///
+    /// Before compacting, the current per-identity release ordinals are
+    /// committed as [`Record::ReleaseSeq`] high-water marks, so they land
+    /// in the snapshot and a restarted engine resumes each identity's
+    /// noise sequence instead of replaying it from zero. Ordinals taken
+    /// after the ledger is copied are re-persisted by the next
+    /// checkpoint; replay keeps the maximum, so a stale mark can never
+    /// move an ordinal backwards.
+    ///
     /// # Errors
     ///
     /// [`EngineError::Store`] when the store cannot flush or snapshot.
     pub fn checkpoint(&self) -> Result<(), EngineError> {
         match &self.store {
-            Some(store) => store.compact().map_err(EngineError::Store),
+            Some(store) => {
+                let marks: Vec<Record> = {
+                    let seqs = self.release_seqs.lock().expect("release seqs poisoned");
+                    let mut sorted: Vec<_> = seqs.iter().map(|(&fp, &seq)| (fp, seq)).collect();
+                    sorted.sort_unstable();
+                    sorted
+                        .into_iter()
+                        .map(|(fingerprint, seq)| Record::ReleaseSeq { fingerprint, seq })
+                        .collect()
+                };
+                if !marks.is_empty() {
+                    store.commit(&marks).map_err(EngineError::Store)?;
+                }
+                store.compact().map_err(EngineError::Store)
+            }
             None => Ok(()),
         }
     }
@@ -265,13 +310,14 @@ impl Engine {
     /// that makes concurrent network clients with disjoint query streams
     /// reproducible across same-seed runs.
     fn release_rng_keyed(&self, fingerprint: u64) -> StdRng {
-        let seq = {
+        let (seq, identities) = {
             let mut seqs = self.release_seqs.lock().expect("release seqs poisoned");
             let c = seqs.entry(fingerprint).or_insert(0);
             let s = *c;
             *c += 1;
-            s
+            (s, seqs.len())
         };
+        self.release_identities.set(identities as f64);
         StdRng::seed_from_u64(splitmix(self.seed ^ splitmix(fingerprint ^ splitmix(seq))))
     }
 
@@ -622,13 +668,15 @@ impl Engine {
                     total.value()
                 )));
             }
-            let session = AnalystSession::restore(
+            let mut session = AnalystSession::restore(
                 analyst.clone(),
                 total,
                 parked.spent,
                 parked.served,
                 parked.refused,
             )?;
+            let (spent_g, remaining_g) = self.session_gauges(&analyst);
+            session.attach_gauges(spent_g, remaining_g);
             self.sessions
                 .insert_if_absent(analyst.clone(), Arc::new(Mutex::new(session)))
                 .map_err(EngineError::SessionExists)?;
@@ -649,10 +697,23 @@ impl Engine {
                 .commit(&[Record::session_opened(&analyst, total.value())])
                 .map_err(EngineError::Store)?;
         }
-        let session = Arc::new(Mutex::new(AnalystSession::new(analyst.clone(), total)));
+        let mut session = AnalystSession::new(analyst.clone(), total);
+        let (spent_g, remaining_g) = self.session_gauges(&analyst);
+        session.attach_gauges(spent_g, remaining_g);
         self.sessions
-            .insert_if_absent(analyst, session)
+            .insert_if_absent(analyst, Arc::new(Mutex::new(session)))
             .map_err(EngineError::SessionExists)
+    }
+
+    /// Per-analyst ε gauges (`engine_epsilon_{spent,remaining}`), one
+    /// labelled pair per analyst name, shared across reopen cycles.
+    fn session_gauges(&self, analyst: &str) -> (Gauge, Gauge) {
+        (
+            self.obs
+                .gauge(&format!("engine_epsilon_spent{{analyst={analyst:?}}}")),
+            self.obs
+                .gauge(&format!("engine_epsilon_remaining{{analyst={analyst:?}}}")),
+        )
     }
 
     /// Opens the analyst's session if absent, reattaches a parked
@@ -818,9 +879,11 @@ impl Engine {
         };
         if let Some(store) = &self.store {
             let spent = if free { 0.0 } else { epsilon.value() };
+            let mut span = self.obs.span();
             store
                 .commit(&[Record::charged(&analyst, &label, spent)])
                 .map_err(EngineError::Store)?;
+            self.obs.span_mark(&mut span, Stage::WalCommit);
         }
         Ok(())
     }
@@ -862,6 +925,25 @@ impl Engine {
     /// Cache counters (for benches and monitoring).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The engine's metrics registry. Layers above (server, net) register
+    /// their instruments here so one snapshot covers the whole request
+    /// path; the attached store keeps its own registry (`store_*` names)
+    /// and [`Engine::metrics_snapshot`] merges both.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every metric the process exposes:
+    /// the engine registry (which the server and net layers also write
+    /// into) merged with the attached store's, sorted by name.
+    pub fn metrics_snapshot(&self) -> Vec<MetricSnapshot> {
+        let mut sets = vec![self.obs.snapshot()];
+        if let Some(store) = &self.store {
+            sets.push(store.obs().snapshot());
+        }
+        merge_snapshots(sets)
     }
 
     /// Drops every cached sensitivity (counters keep accumulating).
@@ -928,7 +1010,9 @@ impl Engine {
                 let mech = PrivateKmeans::new(*k, *iterations, request.epsilon, *spec);
                 let mut rng = self.release_rng();
                 let init = init_random(&points, *k, &mut rng);
+                let mut span = self.obs.span();
                 let centroids = mech.run(&points, &init, &mut rng);
+                self.obs.span_mark(&mut span, Stage::Release);
                 Ok(Response::Centroids(centroids))
             }
             kind => {
@@ -1071,10 +1155,15 @@ impl Engine {
         // store failure nothing is released (the in-memory spend stands —
         // budget is only ever lost to a failure, never resurrected).
         let durable = match &self.store {
-            Some(store) if !charge_records.is_empty() => store
-                .commit(&charge_records)
-                .map_err(EngineError::Store)
-                .err(),
+            Some(store) if !charge_records.is_empty() => {
+                let mut span = self.obs.span();
+                let err = store
+                    .commit(&charge_records)
+                    .map_err(EngineError::Store)
+                    .err();
+                self.obs.span_mark(&mut span, Stage::WalCommit);
+                err
+            }
             _ => None,
         };
         if let Some(e) = durable {
@@ -1087,7 +1176,9 @@ impl Engine {
         }
         let execute = |g: &PreparedGroup| -> Result<Vec<f64>, EngineError> {
             let mut rng = g.rng.clone();
+            let mut span = self.obs.span();
             let release = g.mech.release(&g.cumulative, &mut rng)?;
+            self.obs.span_mark(&mut span, Stage::Release);
             Ok(release.answer_batch(&g.ranges))
         };
         // par_map runs 0- and 1-group batches inline, so no special case.
@@ -1371,10 +1462,15 @@ impl Engine {
         // every waiter of every group — reach the WAL in ONE group
         // commit before any release executes.
         let durable = match &self.store {
-            Some(store) if !charge_records.is_empty() => store
-                .commit(&charge_records)
-                .map_err(EngineError::Store)
-                .err(),
+            Some(store) if !charge_records.is_empty() => {
+                let mut span = self.obs.span();
+                let err = store
+                    .commit(&charge_records)
+                    .map_err(EngineError::Store)
+                    .err();
+                self.obs.span_mark(&mut span, Stage::WalCommit);
+                err
+            }
             _ => None,
         };
         if let Some(e) = durable {
@@ -1580,12 +1676,14 @@ impl Engine {
         // is released — charged slots surface the store error, refused
         // slots keep their own charge error.
         let answers = match &self.store {
-            Some(store) if !charge_records.is_empty() => store
-                .commit(&charge_records)
-                .map_err(EngineError::Store)
-                .and_then(|()| {
+            Some(store) if !charge_records.is_empty() => {
+                let mut span = self.obs.span();
+                let committed = store.commit(&charge_records).map_err(EngineError::Store);
+                self.obs.span_mark(&mut span, Stage::WalCommit);
+                committed.and_then(|()| {
                     self.execute_range_group(&entry, first.epsilon, sensitivity, fp, &ranges)
-                }),
+                })
+            }
             _ => self.execute_range_group(&entry, first.epsilon, sensitivity, fp, &ranges),
         };
         groups
@@ -1623,7 +1721,9 @@ impl Engine {
             nonnegative: false,
         };
         let mut rng = self.release_rng_keyed(fp);
+        let mut span = self.obs.span();
         let release = mech.release(&entry.cumulative, &mut rng)?;
+        self.obs.span_mark(&mut span, Stage::Release);
         Ok(release.answer_batch(ranges))
     }
 
@@ -1675,7 +1775,8 @@ impl Engine {
         sensitivity: f64,
         rng: &mut StdRng,
     ) -> Result<Response, EngineError> {
-        match kind {
+        let mut span = self.obs.span();
+        let result = match kind {
             RequestKind::Histogram => {
                 let mech = HistogramMechanism::with_sensitivity(epsilon, sensitivity)?;
                 let noisy = mech.release_counts(entry.histogram.counts(), &mut *rng);
@@ -1713,7 +1814,9 @@ impl Engine {
             RequestKind::KMeans { .. } => {
                 unreachable!("k-means is routed before execute()")
             }
-        }
+        };
+        self.obs.span_mark(&mut span, Stage::Release);
+        result
     }
 }
 

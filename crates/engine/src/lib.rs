@@ -1116,4 +1116,153 @@ mod tests {
         assert_eq!(snap.served(), 1, "one release, one charge");
         assert!((snap.spent() - 0.4).abs() < 1e-12);
     }
+
+    /// Checkpoint persists the per-identity release ordinals, so a
+    /// restarted engine **continues** each identity's noise sequence
+    /// where the previous generation left off instead of replaying it
+    /// from ordinal 0.
+    #[test]
+    fn checkpoint_persists_release_ordinals_across_restart() {
+        let dir = bf_store::scratch_dir("engine-ordinals");
+        let req = Request::range("pol", "ds", eps(0.1), 3, 17);
+        // Reference: one uninterrupted engine serving three times. Noise
+        // is a pure function of (seed, fingerprint, ordinal), so the
+        // store-backed run must reproduce answer #3 after its restart.
+        let reference = {
+            let engine = engine_with_line_policy(32, 2);
+            engine.open_session("alice", eps(10.0)).unwrap();
+            (0..3)
+                .map(|_| engine.serve("alice", &req).unwrap())
+                .collect::<Vec<_>>()
+        };
+        let build = || {
+            let store = Arc::new(Store::open(&dir).unwrap());
+            let engine = Engine::with_store(42, store);
+            let domain = Domain::line(32).unwrap();
+            engine
+                .register_policy("pol", Policy::distance_threshold(domain.clone(), 2))
+                .unwrap();
+            let rows: Vec<usize> = (0..320).map(|i| (i * 7) % 32).collect();
+            engine
+                .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+                .unwrap();
+            engine
+        };
+        {
+            let engine = build();
+            engine.open_session("alice", eps(10.0)).unwrap();
+            assert_eq!(engine.serve("alice", &req).unwrap(), reference[0]);
+            assert_eq!(engine.serve("alice", &req).unwrap(), reference[1]);
+            engine.checkpoint().unwrap();
+        }
+        let engine = build();
+        engine.open_session("alice", eps(10.0)).unwrap();
+        assert_eq!(
+            engine.serve("alice", &req).unwrap(),
+            reference[2],
+            "the restarted engine must resume the ordinal sequence, not replay it"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The PR 6 side-channel guarantee, engine-level: a fully
+    /// instrumented run (metrics + spans + journal enabled) and a
+    /// metrics-off run over the same seed produce bit-identical answers
+    /// and byte-identical durable ledgers.
+    #[test]
+    fn instrumentation_never_perturbs_noise_or_ledgers() {
+        let run = |tag: &str, metrics_on: bool| {
+            let dir = bf_store::scratch_dir(tag);
+            let store = Arc::new(Store::open(&dir).unwrap());
+            let engine = Engine::with_store(42, store);
+            engine.obs().set_enabled(metrics_on);
+            engine.store().unwrap().obs().set_enabled(metrics_on);
+            let domain = Domain::line(64).unwrap();
+            engine
+                .register_policy("pol", Policy::distance_threshold(domain.clone(), 3))
+                .unwrap();
+            let rows: Vec<usize> = (0..640).map(|i| (i * 11) % 64).collect();
+            engine
+                .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+                .unwrap();
+            engine.open_session("alice", eps(10.0)).unwrap();
+            engine.open_session("bob", eps(10.0)).unwrap();
+            let mut answers = Vec::new();
+            for i in 0..8 {
+                let lo = i % 16;
+                answers.push(
+                    engine
+                        .serve("alice", &Request::range("pol", "ds", eps(0.1), lo, lo + 20))
+                        .unwrap(),
+                );
+                answers.push(
+                    engine
+                        .serve("bob", &Request::histogram("pol", "ds", eps(0.05)))
+                        .unwrap(),
+                );
+            }
+            let batch: Vec<Request> = (0..6)
+                .map(|i| Request::range("pol", "ds", eps(0.02), i, i + 10))
+                .collect();
+            for r in engine.serve_batch("alice", &batch) {
+                answers.push(r.unwrap());
+            }
+            engine.checkpoint().unwrap();
+            let digest = engine.store().unwrap().current_state().digest();
+            std::fs::remove_dir_all(&dir).unwrap();
+            (answers, digest)
+        };
+        let (on_answers, on_digest) = run("engine-obs-on", true);
+        let (off_answers, off_digest) = run("engine-obs-off", false);
+        assert_eq!(on_answers, off_answers, "answers must not see the metrics");
+        assert_eq!(on_digest, off_digest, "ledgers must not see the metrics");
+    }
+
+    /// The merged snapshot carries engine-registry and store-registry
+    /// metrics side by side, and renders without panicking.
+    #[test]
+    fn metrics_snapshot_merges_engine_and_store_registries() {
+        let dir = bf_store::scratch_dir("engine-obs-merge");
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let engine = Engine::with_store(42, store);
+        let domain = Domain::line(32).unwrap();
+        engine
+            .register_policy("pol", Policy::distance_threshold(domain.clone(), 2))
+            .unwrap();
+        let rows: Vec<usize> = (0..320).map(|i| (i * 7) % 32).collect();
+        engine
+            .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+            .unwrap();
+        engine.open_session("alice", eps(1.0)).unwrap();
+        engine
+            .serve("alice", &Request::range("pol", "ds", eps(0.25), 1, 9))
+            .unwrap();
+        let snaps = engine.metrics_snapshot();
+        let names: Vec<&str> = snaps.iter().map(|s| s.name()).collect();
+        for expect in [
+            "engine_cache_misses_total",
+            "engine_epsilon_spent{analyst=\"alice\"}",
+            "engine_release_identities",
+            "span_stage_ns{stage=\"release\"}",
+            "span_stage_ns{stage=\"wal_commit\"}",
+            "store_commits_total",
+            "store_fsync_ns",
+        ] {
+            assert!(names.contains(&expect), "missing {expect}: {names:?}");
+        }
+        let text = bf_obs::render_prometheus(&snaps);
+        assert!(text.contains("engine_release_identities 1"));
+        assert!(text.contains("quantile=\"0.99\""));
+        // The span journal saw the release and the WAL commit.
+        let stages: Vec<_> = engine
+            .obs()
+            .journal()
+            .events()
+            .iter()
+            .map(|e| e.stage)
+            .collect();
+        assert!(stages.contains(&bf_obs::Stage::Release));
+        assert!(stages.contains(&bf_obs::Stage::WalCommit));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

@@ -21,6 +21,7 @@
 
 use crate::error::EngineError;
 use bf_core::{BudgetAccountant, CoreError, Epsilon};
+use bf_obs::Gauge;
 use std::time::{Duration, Instant};
 
 /// One analyst's ε-ledger plus serving statistics.
@@ -32,6 +33,9 @@ pub struct AnalystSession {
     refused: u64,
     last_active: Instant,
     evicted: bool,
+    /// `(spent, remaining)` gauges mirroring the ledger — attached by the
+    /// engine, absent on standalone sessions.
+    gauges: Option<(Gauge, Gauge)>,
 }
 
 impl AnalystSession {
@@ -44,6 +48,7 @@ impl AnalystSession {
             refused: 0,
             last_active: Instant::now(),
             evicted: false,
+            gauges: None,
         }
     }
 
@@ -71,7 +76,24 @@ impl AnalystSession {
             refused,
             last_active: Instant::now(),
             evicted: false,
+            gauges: None,
         })
+    }
+
+    /// Attaches `(spent, remaining)` gauges and publishes the current
+    /// ledger into them; subsequent charges keep them in sync.
+    pub(crate) fn attach_gauges(&mut self, spent: Gauge, remaining: Gauge) {
+        spent.set(self.spent());
+        remaining.set(self.remaining());
+        self.gauges = Some((spent, remaining));
+    }
+
+    /// Re-publishes the ledger into the attached gauges, if any.
+    fn publish_gauges(&self) {
+        if let Some((spent, remaining)) = &self.gauges {
+            spent.set(self.spent());
+            remaining.set(self.remaining());
+        }
     }
 
     /// The analyst's name.
@@ -152,11 +174,13 @@ impl AnalystSession {
         if free {
             self.accountant.note_free(label);
             self.served += 1;
+            self.publish_gauges();
             return Ok(());
         }
         match self.accountant.spend(label, epsilon) {
             Ok(()) => {
                 self.served += 1;
+                self.publish_gauges();
                 Ok(())
             }
             Err(CoreError::BudgetExhausted {

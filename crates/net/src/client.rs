@@ -1,7 +1,9 @@
 //! The client library: connection handling, pipelining, reconnect.
 
 use crate::error::NetError;
-use crate::proto::{ClientMessage, ServerMessage, WireError, WireRequest, PROTOCOL_VERSION};
+use crate::proto::{
+    ClientMessage, ServerMessage, WireError, WireMetric, WireRequest, PROTOCOL_VERSION,
+};
 use bf_engine::{Request, Response};
 use bf_store::{frame_bytes, read_frame, FrameRead};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -307,6 +309,28 @@ impl Client {
             ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
             other => Err(NetError::Protocol(format!(
                 "expected BudgetReport, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the serving process's full metrics snapshot — every
+    /// counter, gauge and histogram summary across the engine, store,
+    /// scheduler and TCP layers, sorted by name. Render it with
+    /// `bf_obs::render_prometheus` after converting each sample via
+    /// [`WireMetric::to_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] for a typed refusal, transport errors
+    /// otherwise.
+    pub fn stats(&mut self) -> Result<Vec<WireMetric>, NetError> {
+        let id = self.fresh_id();
+        self.send(&ClientMessage::Stats { id })?;
+        match self.recv_for(id)? {
+            ServerMessage::StatsReport { metrics, .. } => Ok(metrics),
+            ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
+            other => Err(NetError::Protocol(format!(
+                "expected StatsReport, got {other:?}"
             ))),
         }
     }

@@ -48,7 +48,7 @@ mod server;
 
 pub use client::{BudgetSnapshot, Client};
 pub use error::NetError;
-pub use proto::{ClientMessage, ServerMessage, WireError, PROTOCOL_VERSION};
+pub use proto::{ClientMessage, ServerMessage, WireError, WireMetric, PROTOCOL_VERSION};
 pub use server::{NetConfig, NetServer, NetStats};
 
 #[cfg(test)]
@@ -467,6 +467,63 @@ mod tests {
                 ..
             }
         ));
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stats_over_the_wire_cover_every_layer() {
+        let net = net_server(22, ServerConfig::default(), NetConfig::default());
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        client.open_session("s", 10.0).unwrap();
+        for i in 0..8 {
+            client
+                .call("s", &Request::range("pol", "ds", eps(0.25), i, i + 16))
+                .unwrap();
+        }
+        let metrics = client.stats().unwrap();
+        let find = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.name() == name)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+        };
+        // One report spans the TCP, scheduler, engine and span layers.
+        match find("net_frames_in_total") {
+            WireMetric::Counter { value, .. } => assert!(*value >= 10),
+            other => panic!("expected counter, got {other:?}"),
+        }
+        match find("server_answered_total") {
+            WireMetric::Counter { value, .. } => assert_eq!(*value, 8),
+            other => panic!("expected counter, got {other:?}"),
+        }
+        match find("net_request_ns") {
+            WireMetric::Histogram { count, p99, .. } => {
+                assert_eq!(*count, 8);
+                assert!(*p99 > 0, "p99 must be reported");
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        match find("net_window_occupancy") {
+            WireMetric::Histogram { count, .. } => assert_eq!(*count, 8),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        find("engine_cache_hits_total");
+        find("engine_epsilon_spent{analyst=\"s\"}");
+        find("span_stage_ns{stage=\"decode\"}");
+        find("span_stage_ns{stage=\"reply\"}");
+        find("span_stage_ns{stage=\"release\"}");
+        // Busy ticks were recorded (each served frame is a productive
+        // handler pass).
+        match find("net_tick_busy_ns") {
+            WireMetric::Histogram { count, .. } => assert!(*count > 0),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // And the samples render through bf-obs unchanged.
+        let snaps: Vec<bf_obs::MetricSnapshot> =
+            metrics.iter().map(WireMetric::to_snapshot).collect();
+        let text = bf_obs::render_prometheus(&snaps);
+        assert!(text.contains("net_request_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("server_answered_total 8"));
         net.shutdown().unwrap();
     }
 

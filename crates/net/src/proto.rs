@@ -28,12 +28,14 @@
 //! | C→S | [`ClientMessage::Submit`] | one query (histogram / cumulative / range / linear / k-means) |
 //! | C→S | [`ClientMessage::SubmitBatch`] | several queries answered as one correlated batch |
 //! | C→S | [`ClientMessage::Budget`] | ledger snapshot for an analyst |
+//! | C→S | [`ClientMessage::Stats`] | process-wide metrics snapshot (PR 6 introspection) |
 //! | C→S | [`ClientMessage::Goodbye`] | orderly close (the server drains in-flight work first) |
 //! | S→C | [`ServerMessage::Welcome`] | handshake accept |
 //! | S→C | [`ServerMessage::SessionAttached`] | session opened/reattached, remaining ε |
 //! | S→C | [`ServerMessage::Answer`] | a submitted query's response |
 //! | S→C | [`ServerMessage::BatchAnswer`] | per-slot responses for a batch |
 //! | S→C | [`ServerMessage::BudgetReport`] | ledger snapshot |
+//! | S→C | [`ServerMessage::StatsReport`] | every registered metric, one [`WireMetric`] each |
 //! | S→C | [`ServerMessage::Refused`] | typed error for the correlated request |
 //! | S→C | [`ServerMessage::Farewell`] | goodbye acknowledged, connection closing |
 //!
@@ -124,6 +126,115 @@ pub enum WireResponse {
     Scalar(u64),
     /// Final k-means centroids.
     Centroids(Vec<Vec<u64>>),
+}
+
+/// One metric sample in a [`ServerMessage::StatsReport`] — the wire
+/// mirror of `bf_obs::MetricSnapshot`, with gauge values carried as
+/// exact `f64` bit patterns and histogram summaries flattened to their
+/// count/sum/max and quantile estimates (nanoseconds for the `_ns`
+/// instruments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMetric {
+    /// A monotone counter's total.
+    Counter {
+        /// Metric name (labels-in-name convention).
+        name: String,
+        /// Total count.
+        value: u64,
+    },
+    /// A gauge's current value.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Value as `f64` bits.
+        bits: u64,
+    },
+    /// A latency/size histogram's summary.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Observations recorded.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+        /// Largest observed value.
+        max: u64,
+        /// Median estimate.
+        p50: u64,
+        /// 99th percentile estimate.
+        p99: u64,
+        /// 99.9th percentile estimate.
+        p999: u64,
+    },
+}
+
+impl WireMetric {
+    /// Encodes a `bf_obs` snapshot for the wire.
+    pub fn from_snapshot(snap: &bf_obs::MetricSnapshot) -> Self {
+        use bf_obs::MetricSnapshot as MS;
+        match snap {
+            MS::Counter { name, value } => WireMetric::Counter {
+                name: name.clone(),
+                value: *value,
+            },
+            MS::Gauge { name, value } => WireMetric::Gauge {
+                name: name.clone(),
+                bits: value.to_bits(),
+            },
+            MS::Histogram { name, summary } => WireMetric::Histogram {
+                name: name.clone(),
+                count: summary.count,
+                sum: summary.sum,
+                max: summary.max,
+                p50: summary.p50,
+                p99: summary.p99,
+                p999: summary.p999,
+            },
+        }
+    }
+
+    /// Decodes back to a `bf_obs` snapshot, bit-exactly.
+    pub fn to_snapshot(&self) -> bf_obs::MetricSnapshot {
+        use bf_obs::MetricSnapshot as MS;
+        match self {
+            WireMetric::Counter { name, value } => MS::Counter {
+                name: name.clone(),
+                value: *value,
+            },
+            WireMetric::Gauge { name, bits } => MS::Gauge {
+                name: name.clone(),
+                value: f64::from_bits(*bits),
+            },
+            WireMetric::Histogram {
+                name,
+                count,
+                sum,
+                max,
+                p50,
+                p99,
+                p999,
+            } => MS::Histogram {
+                name: name.clone(),
+                summary: bf_obs::HistogramSummary {
+                    count: *count,
+                    sum: *sum,
+                    max: *max,
+                    p50: *p50,
+                    p99: *p99,
+                    p999: *p999,
+                },
+            },
+        }
+    }
+
+    /// The metric's name.
+    pub fn name(&self) -> &str {
+        match self {
+            WireMetric::Counter { name, .. }
+            | WireMetric::Gauge { name, .. }
+            | WireMetric::Histogram { name, .. } => name,
+        }
+    }
 }
 
 /// Typed refusals, mirroring `bf-server`'s `ServerError` and the
@@ -280,6 +391,12 @@ pub enum ClientMessage {
         /// The analyst.
         analyst: String,
     },
+    /// Ask for the serving process's full metrics snapshot (engine,
+    /// server, net and store registries merged).
+    Stats {
+        /// Correlation id.
+        id: u64,
+    },
     /// Orderly close: the server finishes in-flight work, replies
     /// [`ServerMessage::Farewell`], and closes.
     Goodbye {
@@ -331,6 +448,14 @@ pub enum ServerMessage {
         remaining_bits: u64,
         /// Requests served.
         served: u64,
+    },
+    /// The process's metrics snapshot, one sample per registered
+    /// metric, sorted by name.
+    StatsReport {
+        /// Correlation id.
+        id: u64,
+        /// Every registered metric.
+        metrics: Vec<WireMetric>,
     },
     /// The correlated request was refused.
     Refused {
@@ -542,6 +667,7 @@ const TAG_SUBMIT: u8 = 3;
 const TAG_SUBMIT_BATCH: u8 = 4;
 const TAG_BUDGET: u8 = 5;
 const TAG_GOODBYE: u8 = 6;
+const TAG_STATS: u8 = 7;
 
 const TAG_WELCOME: u8 = 65;
 const TAG_SESSION_ATTACHED: u8 = 66;
@@ -550,6 +676,11 @@ const TAG_BATCH_ANSWER: u8 = 68;
 const TAG_BUDGET_REPORT: u8 = 69;
 const TAG_REFUSED: u8 = 70;
 const TAG_FAREWELL: u8 = 71;
+const TAG_STATS_REPORT: u8 = 72;
+
+const METRIC_COUNTER: u8 = 1;
+const METRIC_GAUGE: u8 = 2;
+const METRIC_HISTOGRAM: u8 = 3;
 
 const KIND_HISTOGRAM: u8 = 1;
 const KIND_CUMULATIVE: u8 = 2;
@@ -618,6 +749,62 @@ fn read_bits_vec(r: &mut Reader<'_>) -> Option<Vec<u64>> {
         return None;
     }
     (0..len).map(|_| r.u64()).collect()
+}
+
+fn encode_metric(out: &mut Vec<u8>, m: &WireMetric) {
+    match m {
+        WireMetric::Counter { name, value } => {
+            out.push(METRIC_COUNTER);
+            put_str(out, name);
+            put_u64(out, *value);
+        }
+        WireMetric::Gauge { name, bits } => {
+            out.push(METRIC_GAUGE);
+            put_str(out, name);
+            put_u64(out, *bits);
+        }
+        WireMetric::Histogram {
+            name,
+            count,
+            sum,
+            max,
+            p50,
+            p99,
+            p999,
+        } => {
+            out.push(METRIC_HISTOGRAM);
+            put_str(out, name);
+            put_u64(out, *count);
+            put_u64(out, *sum);
+            put_u64(out, *max);
+            put_u64(out, *p50);
+            put_u64(out, *p99);
+            put_u64(out, *p999);
+        }
+    }
+}
+
+fn decode_metric(r: &mut Reader<'_>) -> Option<WireMetric> {
+    Some(match r.u8()? {
+        METRIC_COUNTER => WireMetric::Counter {
+            name: r.str()?,
+            value: r.u64()?,
+        },
+        METRIC_GAUGE => WireMetric::Gauge {
+            name: r.str()?,
+            bits: r.u64()?,
+        },
+        METRIC_HISTOGRAM => WireMetric::Histogram {
+            name: r.str()?,
+            count: r.u64()?,
+            sum: r.u64()?,
+            max: r.u64()?,
+            p50: r.u64()?,
+            p99: r.u64()?,
+            p999: r.u64()?,
+        },
+        _ => return None,
+    })
 }
 
 fn encode_request(out: &mut Vec<u8>, req: &WireRequest) {
@@ -852,6 +1039,7 @@ impl ClientMessage {
             | ClientMessage::Submit { id, .. }
             | ClientMessage::SubmitBatch { id, .. }
             | ClientMessage::Budget { id, .. }
+            | ClientMessage::Stats { id }
             | ClientMessage::Goodbye { id } => *id,
         }
     }
@@ -903,6 +1091,10 @@ impl ClientMessage {
                 put_u64(&mut out, *id);
                 put_str(&mut out, analyst);
             }
+            ClientMessage::Stats { id } => {
+                out.push(TAG_STATS);
+                put_u64(&mut out, *id);
+            }
             ClientMessage::Goodbye { id } => {
                 out.push(TAG_GOODBYE);
                 put_u64(&mut out, *id);
@@ -953,6 +1145,7 @@ impl ClientMessage {
                 id: r.u64()?,
                 analyst: r.str()?,
             },
+            TAG_STATS => ClientMessage::Stats { id: r.u64()? },
             TAG_GOODBYE => ClientMessage::Goodbye { id: r.u64()? },
             _ => return None,
         };
@@ -969,6 +1162,7 @@ impl ServerMessage {
             | ServerMessage::Answer { id, .. }
             | ServerMessage::BatchAnswer { id, .. }
             | ServerMessage::BudgetReport { id, .. }
+            | ServerMessage::StatsReport { id, .. }
             | ServerMessage::Refused { id, .. }
             | ServerMessage::Farewell { id } => *id,
         }
@@ -1024,6 +1218,14 @@ impl ServerMessage {
                 put_u64(&mut out, *remaining_bits);
                 put_u64(&mut out, *served);
             }
+            ServerMessage::StatsReport { id, metrics } => {
+                out.push(TAG_STATS_REPORT);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, metrics.len() as u64);
+                for m in metrics {
+                    encode_metric(&mut out, m);
+                }
+            }
             ServerMessage::Refused { id, error } => {
                 out.push(TAG_REFUSED);
                 put_u64(&mut out, *id);
@@ -1077,6 +1279,18 @@ impl ServerMessage {
                 remaining_bits: r.u64()?,
                 served: r.u64()?,
             },
+            TAG_STATS_REPORT => {
+                let id = r.u64()?;
+                let n = r.u64()?;
+                if n > bf_store::MAX_RECORD_LEN as u64 {
+                    return None;
+                }
+                let mut metrics = Vec::with_capacity(bounded_capacity(n));
+                for _ in 0..n {
+                    metrics.push(decode_metric(&mut r)?);
+                }
+                ServerMessage::StatsReport { id, metrics }
+            }
             TAG_REFUSED => ServerMessage::Refused {
                 id: r.u64()?,
                 error: decode_error(&mut r)?,
@@ -1192,9 +1406,31 @@ mod tests {
         }
     }
 
+    fn arb_metric(rng: &mut StdRng) -> WireMetric {
+        match rng.random_range(0..3u32) {
+            0 => WireMetric::Counter {
+                name: arb_string(rng),
+                value: rng.random(),
+            },
+            1 => WireMetric::Gauge {
+                name: arb_string(rng),
+                bits: rng.random(),
+            },
+            _ => WireMetric::Histogram {
+                name: arb_string(rng),
+                count: rng.random(),
+                sum: rng.random(),
+                max: rng.random(),
+                p50: rng.random(),
+                p99: rng.random(),
+                p999: rng.random(),
+            },
+        }
+    }
+
     fn arb_client_message(rng: &mut StdRng) -> ClientMessage {
         let id = rng.random();
-        match rng.random_range(0..6u32) {
+        match rng.random_range(0..7u32) {
             0 => ClientMessage::Hello {
                 id,
                 version: rng.random::<u32>() as u16,
@@ -1220,13 +1456,14 @@ mod tests {
                 id,
                 analyst: arb_string(rng),
             },
+            5 => ClientMessage::Stats { id },
             _ => ClientMessage::Goodbye { id },
         }
     }
 
     fn arb_server_message(rng: &mut StdRng) -> ServerMessage {
         let id = rng.random();
-        match rng.random_range(0..7u32) {
+        match rng.random_range(0..8u32) {
             0 => ServerMessage::Welcome {
                 id,
                 version: rng.random::<u32>() as u16,
@@ -1262,6 +1499,12 @@ mod tests {
                 id,
                 error: arb_error(rng),
             },
+            6 => ServerMessage::StatsReport {
+                id,
+                metrics: (0..rng.random_range(0..6usize))
+                    .map(|_| arb_metric(rng))
+                    .collect(),
+            },
             _ => ServerMessage::Farewell { id },
         }
     }
@@ -1281,6 +1524,15 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let msg = arb_server_message(&mut rng);
             prop_assert_eq!(ServerMessage::decode(&msg.encode()), Some(msg));
+        }
+
+        /// Metric samples survive obs-snapshot → wire → obs-snapshot
+        /// bit-exactly (gauges carried as raw `f64` bits).
+        #[test]
+        fn metric_snapshot_conversions_round_trip(seed in 0u64..256) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let wire = arb_metric(&mut rng);
+            prop_assert_eq!(WireMetric::from_snapshot(&wire.to_snapshot()), wire);
         }
 
         /// Engine request/response conversions are lossless (ε, weights

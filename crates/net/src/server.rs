@@ -1,13 +1,16 @@
 //! The TCP front-end: accept, decode, bridge into `bf-server` tickets.
 
-use crate::proto::{ClientMessage, ServerMessage, WireError, WireResponse, PROTOCOL_VERSION};
+use crate::proto::{
+    ClientMessage, ServerMessage, WireError, WireMetric, WireResponse, PROTOCOL_VERSION,
+};
+use bf_obs::{Counter, Histogram, Registry, Stage};
 use bf_server::{DriverHandle, Server, ServerError, ServerStats, Ticket};
 use bf_store::{frame_bytes, read_frame, FrameRead};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for the TCP front-end.
 #[derive(Debug, Clone)]
@@ -41,14 +44,47 @@ impl Default for NetConfig {
     }
 }
 
-#[derive(Debug, Default)]
+/// TCP-layer instruments, registered on the engine's shared registry so
+/// one `StatsReport` covers every layer. Pure side channel: nothing here
+/// feeds scheduling, admission or noise.
+#[derive(Debug)]
 struct NetCounters {
-    connections: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    protocol_errors: AtomicU64,
-    window_refusals: AtomicU64,
-    disconnects_mid_request: AtomicU64,
+    obs: Arc<Registry>,
+    connections: Counter,
+    frames_in: Counter,
+    frames_out: Counter,
+    protocol_errors: Counter,
+    window_refusals: Counter,
+    disconnects_mid_request: Counter,
+    /// Duration of handler-loop passes that made progress (flushed a
+    /// reply, read bytes, or dispatched a frame).
+    tick_busy_ns: Histogram,
+    /// Duration of passes that found nothing to do (dominated by the
+    /// read timeout / drain sleep).
+    tick_idle_ns: Histogram,
+    /// Submit-to-reply-flushed wall time per request, as observed by the
+    /// wire layer (queue wait + schedule + release + encode included).
+    request_ns: Histogram,
+    /// In-flight requests on a connection at each accepted submit.
+    window_occupancy: Histogram,
+}
+
+impl NetCounters {
+    fn new(obs: Arc<Registry>) -> Self {
+        Self {
+            connections: obs.counter("net_connections_total"),
+            frames_in: obs.counter("net_frames_in_total"),
+            frames_out: obs.counter("net_frames_out_total"),
+            protocol_errors: obs.counter("net_protocol_errors_total"),
+            window_refusals: obs.counter("net_window_refusals_total"),
+            disconnects_mid_request: obs.counter("net_disconnects_mid_request_total"),
+            tick_busy_ns: obs.histogram("net_tick_busy_ns"),
+            tick_idle_ns: obs.histogram("net_tick_idle_ns"),
+            request_ns: obs.histogram("net_request_ns"),
+            window_occupancy: obs.histogram("net_window_occupancy"),
+            obs,
+        }
+    }
 }
 
 /// Counter snapshot for the TCP layer.
@@ -124,7 +160,7 @@ impl NetServer {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let closing = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(NetCounters::default());
+        let counters = Arc::new(NetCounters::new(Arc::clone(server.engine().obs())));
         let driver = server.start_driver(config.tick_interval);
         let acceptors = (0..config.acceptors.max(1))
             .map(|i| {
@@ -141,7 +177,7 @@ impl NetServer {
                         }
                         match listener.accept() {
                             Ok((stream, _)) => {
-                                counters.connections.fetch_add(1, Ordering::Relaxed);
+                                counters.connections.inc();
                                 Connection::new(stream, &server, &config, &closing, &counters)
                                     .run();
                             }
@@ -174,18 +210,16 @@ impl NetServer {
         &self.server
     }
 
-    /// Network-layer counters.
+    /// Network-layer counters — a thin shim over the shared `bf-obs`
+    /// registry (the same counters a wire `StatsReport` carries).
     pub fn stats(&self) -> NetStats {
         NetStats {
-            connections: self.counters.connections.load(Ordering::Relaxed),
-            frames_in: self.counters.frames_in.load(Ordering::Relaxed),
-            frames_out: self.counters.frames_out.load(Ordering::Relaxed),
-            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
-            window_refusals: self.counters.window_refusals.load(Ordering::Relaxed),
-            disconnects_mid_request: self
-                .counters
-                .disconnects_mid_request
-                .load(Ordering::Relaxed),
+            connections: self.counters.connections.get(),
+            frames_in: self.counters.frames_in.get(),
+            frames_out: self.counters.frames_out.get(),
+            protocol_errors: self.counters.protocol_errors.get(),
+            window_refusals: self.counters.window_refusals.get(),
+            disconnects_mid_request: self.counters.disconnects_mid_request.get(),
         }
     }
 
@@ -221,10 +255,12 @@ impl Drop for NetServer {
     }
 }
 
-/// One outstanding single submit.
+/// One outstanding single submit. `started` feeds the `net_request_ns`
+/// histogram only — it never influences ordering or scheduling.
 struct Outstanding {
     id: u64,
     ticket: Ticket,
+    started: Instant,
 }
 
 /// One outstanding batch: slots resolve independently, the reply goes
@@ -232,6 +268,7 @@ struct Outstanding {
 struct OutstandingBatch {
     id: u64,
     slots: Vec<Result<Ticket, WireError>>,
+    started: Instant,
 }
 
 /// Per-connection state machine: owns the socket, the receive buffer,
@@ -288,13 +325,27 @@ impl<'a> Connection<'a> {
     /// Serves the connection to completion. Returning drops any
     /// unresolved tickets — the scheduler's cancellation sweep then
     /// skips their work before it charges anything.
+    ///
+    /// Each loop pass is a *tick*. A pass that made progress (flushed a
+    /// reply, read bytes, dispatched a frame) loops straight back around
+    /// instead of sleeping — the old behaviour of waiting out a full
+    /// `poll_interval` after productive work turned the interval into a
+    /// latency floor on pipelined streams. Only a pass that found
+    /// nothing to do pays the wait (the socket read timeout, or the
+    /// drain sleep while a `Goodbye` settles).
     fn run(mut self) {
         let mut read_chunk = [0u8; 16 * 1024];
         loop {
+            let tick_started = self.counters.obs.is_enabled().then(Instant::now);
+            let mut progressed = false;
+
             // 1. Flush completions (also detects a dead peer on write).
-            if self.flush_completions().is_err() {
-                self.note_disconnect();
-                return;
+            match self.flush_completions() {
+                Err(_) => {
+                    self.note_disconnect();
+                    return;
+                }
+                Ok(flushed) => progressed |= flushed > 0,
             }
 
             // 2. Orderly endings.
@@ -304,8 +355,12 @@ impl<'a> Connection<'a> {
                     let _ = self.stream.shutdown(std::net::Shutdown::Both);
                     return;
                 }
-                // Still draining; don't read further frames.
-                std::thread::sleep(self.config.poll_interval);
+                // Still draining; don't read further frames. Re-poll
+                // immediately after a productive pass, sleep otherwise.
+                if !progressed {
+                    std::thread::sleep(self.config.poll_interval);
+                }
+                self.note_tick(tick_started, progressed);
                 continue;
             }
             if self.closing.load(Ordering::Acquire) && self.in_flight() == 0 {
@@ -314,20 +369,21 @@ impl<'a> Connection<'a> {
                 return;
             }
 
-            // 3. Pull bytes; decode complete frames.
+            // 3. Pull bytes (blocking up to the poll timeout only when
+            //    idle); decode complete frames.
             match self.stream.read(&mut read_chunk) {
                 Ok(0) => {
                     // EOF: client gone. In-flight tickets drop here.
                     self.note_disconnect();
                     return;
                 }
-                Ok(n) => self.buf.extend_from_slice(&read_chunk[..n]),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&read_chunk[..n]);
+                    progressed = true;
+                }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    continue;
-                }
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
                 Err(_) => {
                     self.note_disconnect();
                     return;
@@ -337,9 +393,7 @@ impl<'a> Connection<'a> {
                 match read_frame(&self.buf) {
                     FrameRead::Incomplete => break,
                     FrameRead::Corrupt => {
-                        self.counters
-                            .protocol_errors
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.counters.protocol_errors.inc();
                         let _ = self.write_message(&ServerMessage::Refused {
                             id: 0,
                             error: WireError::Protocol("corrupt frame".into()),
@@ -347,19 +401,20 @@ impl<'a> Connection<'a> {
                         return;
                     }
                     FrameRead::Complete { payload, consumed } => {
-                        self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                        self.counters.frames_in.inc();
+                        let mut span = self.counters.obs.span();
                         let msg = ClientMessage::decode(payload);
+                        self.counters.obs.span_mark(&mut span, Stage::Decode);
                         self.buf.drain(..consumed);
                         match msg {
                             Some(msg) => {
+                                progressed = true;
                                 if !self.dispatch(msg) {
                                     return;
                                 }
                             }
                             None => {
-                                self.counters
-                                    .protocol_errors
-                                    .fetch_add(1, Ordering::Relaxed);
+                                self.counters.protocol_errors.inc();
                                 let _ = self.write_message(&ServerMessage::Refused {
                                     id: 0,
                                     error: WireError::Protocol("undecodable message".into()),
@@ -370,14 +425,26 @@ impl<'a> Connection<'a> {
                     }
                 }
             }
+            self.note_tick(tick_started, progressed);
+        }
+    }
+
+    /// Feeds the busy/idle tick histograms; inert when metrics are off
+    /// (no clock read happened).
+    fn note_tick(&self, started: Option<Instant>, progressed: bool) {
+        if let Some(t0) = started {
+            let h = if progressed {
+                &self.counters.tick_busy_ns
+            } else {
+                &self.counters.tick_idle_ns
+            };
+            h.record_duration(t0.elapsed());
         }
     }
 
     fn note_disconnect(&self) {
         if self.in_flight() > 0 {
-            self.counters
-                .disconnects_mid_request
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.disconnects_mid_request.inc();
         }
     }
 
@@ -386,9 +453,7 @@ impl<'a> Connection<'a> {
     fn dispatch(&mut self, msg: ClientMessage) -> bool {
         let id = msg.id();
         if !self.hello_done && !matches!(msg, ClientMessage::Hello { .. }) {
-            self.counters
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.protocol_errors.inc();
             let _ = self.write_message(&ServerMessage::Refused {
                 id,
                 error: WireError::Protocol("first frame must be Hello".into()),
@@ -398,9 +463,7 @@ impl<'a> Connection<'a> {
         match msg {
             ClientMessage::Hello { id, version } => {
                 if self.hello_done {
-                    self.counters
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.counters.protocol_errors.inc();
                     let _ = self.write_message(&ServerMessage::Refused {
                         id,
                         error: WireError::Protocol("duplicate Hello".into()),
@@ -458,7 +521,12 @@ impl<'a> Connection<'a> {
                 }
                 match self.submit_one(&analyst, &request) {
                     Ok(ticket) => {
-                        self.singles.push(Outstanding { id, ticket });
+                        self.singles.push(Outstanding {
+                            id,
+                            ticket,
+                            started: Instant::now(),
+                        });
+                        self.note_occupancy();
                         true
                     }
                     Err(error) => self
@@ -483,7 +551,12 @@ impl<'a> Connection<'a> {
                     .iter()
                     .map(|request| self.submit_one(&analyst, request))
                     .collect();
-                self.batches.push(OutstandingBatch { id, slots });
+                self.batches.push(OutstandingBatch {
+                    id,
+                    slots,
+                    started: Instant::now(),
+                });
+                self.note_occupancy();
                 true
             }
             ClientMessage::Budget { id, analyst } => {
@@ -502,6 +575,20 @@ impl<'a> Connection<'a> {
                 };
                 self.write_message(&reply).is_ok()
             }
+            ClientMessage::Stats { id } => {
+                // One merged snapshot covering every layer: engine,
+                // store, server and net metrics all live on the two
+                // registries `Engine::metrics_snapshot` folds together.
+                let metrics = self
+                    .server
+                    .engine()
+                    .metrics_snapshot()
+                    .iter()
+                    .map(WireMetric::from_snapshot)
+                    .collect();
+                self.write_message(&ServerMessage::StatsReport { id, metrics })
+                    .is_ok()
+            }
             ClientMessage::Goodbye { id } => {
                 self.goodbye = Some(id);
                 true
@@ -509,13 +596,21 @@ impl<'a> Connection<'a> {
         }
     }
 
+    /// Records the connection's in-flight depth after an accepted
+    /// submit (metrics-off: no-op).
+    fn note_occupancy(&self) {
+        if self.counters.obs.is_enabled() {
+            self.counters
+                .window_occupancy
+                .record(self.in_flight() as u64);
+        }
+    }
+
     /// Refuses when admitting `incoming` more requests would overflow
     /// the connection's window.
     fn window_refusal(&self, incoming: usize) -> Option<WireError> {
         if self.in_flight() + incoming > self.config.max_in_flight {
-            self.counters
-                .window_refusals
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.window_refusals.inc();
             Some(WireError::WindowFull {
                 capacity: self.config.max_in_flight as u64,
             })
@@ -538,12 +633,18 @@ impl<'a> Connection<'a> {
             .map_err(|e| WireError::from_server_error(&e))
     }
 
-    /// Writes replies for every resolved ticket and completed batch.
-    fn flush_completions(&mut self) -> std::io::Result<()> {
+    /// Writes replies for every resolved ticket and completed batch,
+    /// returning how many went out (the handler loop's progress signal).
+    fn flush_completions(&mut self) -> std::io::Result<usize> {
+        let metrics_on = self.counters.obs.is_enabled();
+        let request_ns = &self.counters.request_ns;
         let mut replies: Vec<ServerMessage> = Vec::new();
         self.singles.retain(|o| match o.ticket.try_take() {
             None => true,
             Some(result) => {
+                if metrics_on {
+                    request_ns.record_duration(o.started.elapsed());
+                }
                 replies.push(match result {
                     Ok(response) => ServerMessage::Answer {
                         id: o.id,
@@ -569,6 +670,13 @@ impl<'a> Connection<'a> {
         }
         for i in finished.into_iter().rev() {
             let batch = self.batches.swap_remove(i);
+            if metrics_on {
+                // One sample per member: a batch of n occupied n window
+                // slots for its whole flight.
+                for _ in 0..batch.slots.len() {
+                    request_ns.record_duration(batch.started.elapsed());
+                }
+            }
             let slots = batch
                 .slots
                 .into_iter()
@@ -585,14 +693,19 @@ impl<'a> Connection<'a> {
                 slots,
             });
         }
-        for reply in replies {
-            self.write_message(&reply)?;
+        let flushed = replies.len();
+        if flushed > 0 {
+            let mut span = self.counters.obs.span();
+            for reply in replies {
+                self.write_message(&reply)?;
+            }
+            self.counters.obs.span_mark(&mut span, Stage::Reply);
         }
-        Ok(())
+        Ok(flushed)
     }
 
     fn write_message(&mut self, msg: &ServerMessage) -> std::io::Result<()> {
-        self.counters.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.counters.frames_out.inc();
         self.stream.write_all(&frame_bytes(&msg.encode()))
     }
 }

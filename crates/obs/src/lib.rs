@@ -1,0 +1,45 @@
+//! # bf-obs — the observability substrate
+//!
+//! A production Blowfish deployment has to *prove* operational claims —
+//! "p99 stayed under the poll interval", "coalescing amplified 4×",
+//! "fsyncs amortize 30 records" — and, true to the paper, watch
+//! per-analyst ε-budget drain as a first-class signal. This crate is the
+//! measurement substrate every other layer instruments itself with,
+//! built on `std` alone:
+//!
+//! * **[`Registry`]** — a named catalog of instruments. [`Counter`]s are
+//!   sharded across cache lines so concurrent increments never contend;
+//!   [`Gauge`]s are single atomics; [`Histogram`]s are log-bucketed
+//!   (≈12.5% resolution) with p50/p99/p999 readout. Handles are cheap
+//!   `Arc` clones: register once, record forever without touching the
+//!   registry lock again.
+//! * **[`Stage`] / [`Span`]** — a request's lifecycle decomposed into
+//!   the seven stages of the serving pipeline (frame decode → analyst
+//!   queue → DRR schedule → coalesce window → WAL commit → mechanism
+//!   release → reply flush), each recorded into a per-stage histogram
+//!   and appended to the bounded [`Journal`] ring for post-mortem dumps.
+//! * **[`render_prometheus`]** — text exposition of a
+//!   [`MetricSnapshot`] set, Prometheus-style, for dashboards and the
+//!   wire-level `StatsReport` frame.
+//!
+//! ## Side-channel guarantee
+//!
+//! Instrumentation is **observation only**: no instrument feeds back
+//! into RNG derivation, ε accounting, or scheduling. Disabling a
+//! registry ([`Registry::set_enabled`]) freezes every instrument minted
+//! from it — recording becomes a single relaxed load — which is how the
+//! benches measure instrumentation overhead and the determinism tests
+//! pin that same-seed runs stay byte-identical with metrics fully on.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod metrics;
+mod registry;
+mod render;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Stopwatch};
+pub use registry::{merge_snapshots, MetricSnapshot, Registry};
+pub use render::render_prometheus;
+pub use span::{Event, Journal, Span, Stage};

@@ -1,0 +1,338 @@
+//! The named instrument catalog.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSummary};
+use crate::span::{Journal, Span, Stage};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Events the journal ring retains.
+const JOURNAL_CAPACITY: usize = 1024;
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named catalog of [`Counter`]s, [`Gauge`]s and [`Histogram`]s, plus
+/// the seven per-[`Stage`] latency histograms and the post-mortem
+/// [`Journal`].
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a lock;
+/// *recording* through the returned handles never does. Names follow
+/// the labels-in-name convention — `engine_epsilon_spent{analyst="a"}`
+/// is one metric whose base name the renderer splits at `{`.
+///
+/// One switch ([`Registry::set_enabled`]) freezes every instrument
+/// minted from the registry, journal included: recording degrades to a
+/// single relaxed load and no clocks are read, which is how
+/// instrumentation overhead is measured and bounded.
+#[derive(Debug)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+    enabled: Arc<AtomicBool>,
+    stages: Vec<Histogram>,
+    journal: Journal,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An enabled registry with empty instruments for all seven stages.
+    pub fn new() -> Self {
+        let enabled = Arc::new(AtomicBool::new(true));
+        let mut metrics = BTreeMap::new();
+        let mut stages = Vec::with_capacity(Stage::ALL.len());
+        for stage in Stage::ALL {
+            let h = Histogram::with_switch(Arc::clone(&enabled));
+            metrics.insert(
+                format!("span_stage_ns{{stage=\"{}\"}}", stage.as_str()),
+                Metric::Histogram(h.clone()),
+            );
+            stages.push(h);
+        }
+        Self {
+            metrics: Mutex::new(metrics),
+            enabled: Arc::clone(&enabled),
+            stages,
+            journal: Journal::with_switch(JOURNAL_CAPACITY, enabled),
+        }
+    }
+
+    /// Turns every instrument minted from this registry on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether instruments are currently recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different instrument kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut g = self.metrics.lock().expect("registry poisoned");
+        match g
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Counter::with_switch(Arc::clone(&self.enabled))))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut g = self.metrics.lock().expect("registry poisoned");
+        match g
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Gauge::with_switch(Arc::clone(&self.enabled))))
+        {
+            Metric::Gauge(h) => h.clone(),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different instrument kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut g = self.metrics.lock().expect("registry poisoned");
+        match g
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::with_switch(Arc::clone(&self.enabled))))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// The latency histogram of one pipeline stage (lock-free access —
+    /// the seven handles are fixed at construction).
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage.index()]
+    }
+
+    /// Records one stage observation into its histogram **and** the
+    /// journal ring.
+    #[inline]
+    pub fn record_stage(&self, stage: Stage, duration: Duration) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.stages[stage.index()].record_duration(duration);
+        self.journal.push(stage, duration);
+    }
+
+    /// Starts a request-lifecycle [`Span`] (inert when disabled: no
+    /// clock is read).
+    #[inline]
+    pub fn span(&self) -> Span {
+        if self.enabled.load(Ordering::Relaxed) {
+            let now = Instant::now();
+            Span {
+                started: Some(now),
+                last: Some(now),
+            }
+        } else {
+            Span::inert()
+        }
+    }
+
+    /// Marks a stage boundary on `span`: the time since the previous
+    /// mark (or the span's start) is recorded as `stage`'s duration.
+    #[inline]
+    pub fn span_mark(&self, span: &mut Span, stage: Stage) {
+        if let Some(last) = span.last {
+            let now = Instant::now();
+            self.record_stage(stage, now.duration_since(last));
+            span.last = Some(now);
+        }
+    }
+
+    /// The post-mortem event ring.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// A point-in-time dump of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let g = self.metrics.lock().expect("registry poisoned");
+        g.iter()
+            .map(|(name, metric)| match metric {
+                Metric::Counter(c) => MetricSnapshot::Counter {
+                    name: name.clone(),
+                    value: c.get(),
+                },
+                Metric::Gauge(h) => MetricSnapshot::Gauge {
+                    name: name.clone(),
+                    value: h.get(),
+                },
+                Metric::Histogram(h) => MetricSnapshot::Histogram {
+                    name: name.clone(),
+                    summary: h.summary(),
+                },
+            })
+            .collect()
+    }
+}
+
+/// One metric's value at snapshot time — the unit of exposition and of
+/// the wire-level `StatsReport`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// A counter's total.
+    Counter {
+        /// Metric name (labels-in-name convention).
+        name: String,
+        /// Total count.
+        value: u64,
+    },
+    /// A gauge's current value.
+    Gauge {
+        /// Metric name (labels-in-name convention).
+        name: String,
+        /// Current value.
+        value: f64,
+    },
+    /// A histogram's digest.
+    Histogram {
+        /// Metric name (labels-in-name convention).
+        name: String,
+        /// Count, sum, max and quantile estimates.
+        summary: HistogramSummary,
+    },
+}
+
+impl MetricSnapshot {
+    /// The metric's full name.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricSnapshot::Counter { name, .. }
+            | MetricSnapshot::Gauge { name, .. }
+            | MetricSnapshot::Histogram { name, .. } => name,
+        }
+    }
+}
+
+/// Merges snapshot sets from several registries (e.g. the engine's and
+/// the store's) into one name-sorted catalog. Duplicate names keep the
+/// first occurrence.
+pub fn merge_snapshots(sets: Vec<Vec<MetricSnapshot>>) -> Vec<MetricSnapshot> {
+    let mut merged: BTreeMap<String, MetricSnapshot> = BTreeMap::new();
+    for set in sets {
+        for snap in set {
+            merged.entry(snap.name().to_owned()).or_insert(snap);
+        }
+    }
+    merged.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_instrument() {
+        let r = Registry::new();
+        r.counter("requests").add(2);
+        r.counter("requests").add(3);
+        assert_eq!(r.counter("requests").get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge("depth");
+        r.counter("depth");
+    }
+
+    #[test]
+    fn snapshot_contains_stage_histograms_and_is_sorted() {
+        let r = Registry::new();
+        r.record_stage(Stage::Release, Duration::from_micros(5));
+        let snaps = r.snapshot();
+        assert_eq!(snaps.len(), Stage::ALL.len());
+        let names: Vec<&str> = snaps.iter().map(|s| s.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let release = snaps
+            .iter()
+            .find(|s| s.name() == "span_stage_ns{stage=\"release\"}")
+            .unwrap();
+        match release {
+            MetricSnapshot::Histogram { summary, .. } => assert_eq!(summary.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert_eq!(r.journal().events().len(), 1);
+    }
+
+    #[test]
+    fn span_marks_feed_stage_histograms() {
+        let r = Registry::new();
+        let mut span = r.span();
+        assert!(span.is_active());
+        r.span_mark(&mut span, Stage::Decode);
+        r.span_mark(&mut span, Stage::Reply);
+        assert_eq!(r.stage(Stage::Decode).count(), 1);
+        assert_eq!(r.stage(Stage::Reply).count(), 1);
+        assert!(span.elapsed().is_some());
+    }
+
+    #[test]
+    fn disabled_registry_spans_read_no_clock() {
+        let r = Registry::new();
+        r.set_enabled(false);
+        let mut span = r.span();
+        assert!(!span.is_active());
+        r.span_mark(&mut span, Stage::Decode);
+        r.record_stage(Stage::Reply, Duration::from_nanos(9));
+        assert_eq!(r.stage(Stage::Decode).count(), 0);
+        assert_eq!(r.stage(Stage::Reply).count(), 0);
+        assert_eq!(r.journal().recorded(), 0);
+    }
+
+    #[test]
+    fn merge_prefers_first_and_sorts() {
+        let a = vec![MetricSnapshot::Counter {
+            name: "x".into(),
+            value: 1,
+        }];
+        let b = vec![
+            MetricSnapshot::Counter {
+                name: "x".into(),
+                value: 99,
+            },
+            MetricSnapshot::Gauge {
+                name: "a".into(),
+                value: 2.0,
+            },
+        ];
+        let merged = merge_snapshots(vec![a, b]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].name(), "a");
+        match &merged[1] {
+            MetricSnapshot::Counter { value, .. } => assert_eq!(*value, 1),
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+}

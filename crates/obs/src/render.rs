@@ -1,0 +1,157 @@
+//! Prometheus-style text exposition.
+
+use crate::registry::MetricSnapshot;
+use std::fmt::Write as _;
+
+/// Splits a labels-in-name metric name into `(base, labels)`:
+/// `"x{a=\"1\"}"` → `("x", Some("a=\"1\""))`.
+fn split_name(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// Joins a base name, optional labels from the metric name, and an
+/// optional extra label into one sample name.
+fn sample_name(base: &str, labels: Option<&str>, extra: Option<&str>) -> String {
+    match (labels, extra) {
+        (None, None) => base.to_owned(),
+        (Some(l), None) => format!("{base}{{{l}}}"),
+        (None, Some(e)) => format!("{base}{{{e}}}"),
+        (Some(l), Some(e)) => format!("{base}{{{l},{e}}}"),
+    }
+}
+
+/// Renders a snapshot set as Prometheus-style text: one `# TYPE` line
+/// per base name (counters, gauges, and histograms as summaries with
+/// `quantile` labels plus `_count`/`_sum`/`_max` samples).
+///
+/// The input is expected name-sorted, as
+/// [`Registry::snapshot`](crate::Registry::snapshot) and
+/// [`merge_snapshots`](crate::merge_snapshots) produce, so samples of
+/// one base name group under a single type line.
+pub fn render_prometheus(snapshots: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    let mut last_base = String::new();
+    for snap in snapshots {
+        let (base, labels) = split_name(snap.name());
+        let kind = match snap {
+            MetricSnapshot::Counter { .. } => "counter",
+            MetricSnapshot::Gauge { .. } => "gauge",
+            MetricSnapshot::Histogram { .. } => "summary",
+        };
+        if base != last_base {
+            let _ = writeln!(out, "# TYPE {base} {kind}");
+            last_base = base.to_owned();
+        }
+        match snap {
+            MetricSnapshot::Counter { value, .. } => {
+                let _ = writeln!(out, "{} {value}", sample_name(base, labels, None));
+            }
+            MetricSnapshot::Gauge { value, .. } => {
+                let _ = writeln!(out, "{} {value}", sample_name(base, labels, None));
+            }
+            MetricSnapshot::Histogram { summary, .. } => {
+                for (q, v) in [
+                    ("0.5", summary.p50),
+                    ("0.99", summary.p99),
+                    ("0.999", summary.p999),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "{} {v}",
+                        sample_name(base, labels, Some(&format!("quantile=\"{q}\"")))
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    sample_name(&format!("{base}_count"), labels, None),
+                    summary.count
+                );
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    sample_name(&format!("{base}_sum"), labels, None),
+                    summary.sum
+                );
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    sample_name(&format!("{base}_max"), labels, None),
+                    summary.max
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSummary;
+
+    #[test]
+    fn renders_all_three_kinds() {
+        let snaps = vec![
+            MetricSnapshot::Counter {
+                name: "net_frames_in_total".into(),
+                value: 7,
+            },
+            MetricSnapshot::Gauge {
+                name: "queue_depth{analyst=\"alice\"}".into(),
+                value: 3.0,
+            },
+            MetricSnapshot::Histogram {
+                name: "net_request_ns".into(),
+                summary: HistogramSummary {
+                    count: 2,
+                    sum: 30,
+                    max: 20,
+                    p50: 10,
+                    p99: 20,
+                    p999: 20,
+                },
+            },
+        ];
+        let text = render_prometheus(&snaps);
+        assert!(text.contains("# TYPE net_frames_in_total counter"));
+        assert!(text.contains("net_frames_in_total 7"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth{analyst=\"alice\"} 3"));
+        assert!(text.contains("# TYPE net_request_ns summary"));
+        assert!(text.contains("net_request_ns{quantile=\"0.99\"} 20"));
+        assert!(text.contains("net_request_ns_count 2"));
+        assert!(text.contains("net_request_ns_sum 30"));
+        assert!(text.contains("net_request_ns_max 20"));
+    }
+
+    #[test]
+    fn labeled_samples_share_one_type_line() {
+        let snaps = vec![
+            MetricSnapshot::Gauge {
+                name: "eps{analyst=\"a\"}".into(),
+                value: 1.0,
+            },
+            MetricSnapshot::Gauge {
+                name: "eps{analyst=\"b\"}".into(),
+                value: 2.0,
+            },
+        ];
+        let text = render_prometheus(&snaps);
+        assert_eq!(text.matches("# TYPE eps gauge").count(), 1);
+    }
+
+    #[test]
+    fn labeled_histogram_merges_quantile_label() {
+        let snaps = vec![MetricSnapshot::Histogram {
+            name: "span_stage_ns{stage=\"decode\"}".into(),
+            summary: HistogramSummary::default(),
+        }];
+        let text = render_prometheus(&snaps);
+        assert!(text.contains("span_stage_ns{stage=\"decode\",quantile=\"0.5\"} 0"));
+        assert!(text.contains("span_stage_ns_count{stage=\"decode\"} 0"));
+    }
+}

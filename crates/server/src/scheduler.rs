@@ -23,15 +23,19 @@
 use crate::error::ServerError;
 use crate::Ticket;
 use bf_engine::{Request, Response};
+use bf_obs::Gauge;
 use futures_lite::oneshot;
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Instant;
 
 /// One queued request: who asked, what they asked, where the answer
-/// goes.
+/// goes, and when it arrived (for queue-wait and ticket-latency
+/// histograms — the timestamp feeds metrics only, never scheduling).
 pub(crate) struct Submitted {
     pub analyst: String,
     pub request: Request,
     pub tx: oneshot::Sender<Result<Response, ServerError>>,
+    pub submitted_at: Instant,
 }
 
 impl Submitted {
@@ -42,6 +46,7 @@ impl Submitted {
                 analyst: analyst.to_owned(),
                 request,
                 tx,
+                submitted_at: Instant::now(),
             },
             Ticket::new(rx),
         )
@@ -53,17 +58,29 @@ pub(crate) struct AnalystQueue {
     pub weight: u32,
     pub deficit: u64,
     pub queue: VecDeque<Submitted>,
+    /// The analyst's `server_queue_depth{...}` gauge, resolved once at
+    /// queue creation so the hot paths never pay a registry lookup.
+    pub depth: Gauge,
 }
 
 impl AnalystQueue {
-    pub(crate) fn new(weight: u32) -> Self {
+    pub(crate) fn new(weight: u32, depth: Gauge) -> Self {
         Self {
             weight: weight.max(1),
             deficit: 0,
             queue: VecDeque::new(),
+            depth,
         }
     }
 }
+
+/// One coalescing-group waiter: `(analyst, answer channel, submission
+/// time)` — the timestamp feeds the ticket-latency histogram.
+pub(crate) type Waiter = (
+    String,
+    oneshot::Sender<Result<Response, ServerError>>,
+    Instant,
+);
 
 /// A pending coalescing group: identical requests waiting out the
 /// window together.
@@ -73,7 +90,10 @@ pub(crate) struct CoalesceGroup {
     pub request: Request,
     /// Tick at which the group dispatches (formation tick + window).
     pub deadline: u64,
-    pub waiters: Vec<(String, oneshot::Sender<Result<Response, ServerError>>)>,
+    /// When the group formed (feeds the coalesce-window histogram).
+    pub formed_at: Instant,
+    /// The group's waiters, in join order.
+    pub waiters: Vec<Waiter>,
 }
 
 /// Everything the scheduler mutates under the server's state lock.
@@ -124,14 +144,17 @@ impl SchedState {
     /// with the given deadline when none is open.
     pub(crate) fn join_group(&mut self, key: String, sub: Submitted, deadline: u64) {
         if let Some(&i) = self.index.get(&key) {
-            self.pending[i].waiters.push((sub.analyst, sub.tx));
+            self.pending[i]
+                .waiters
+                .push((sub.analyst, sub.tx, sub.submitted_at));
         } else {
             self.index.insert(key.clone(), self.pending.len());
             self.pending.push(CoalesceGroup {
                 key,
                 request: sub.request,
                 deadline,
-                waiters: vec![(sub.analyst, sub.tx)],
+                formed_at: Instant::now(),
+                waiters: vec![(sub.analyst, sub.tx, sub.submitted_at)],
             });
         }
     }

@@ -4,8 +4,9 @@ use crate::error::ServerError;
 use crate::scheduler::{SchedState, Submitted};
 use crate::ticket::Ticket;
 use bf_engine::{Engine, Request};
+use bf_obs::{Counter, Histogram, Registry, Stage};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -78,19 +79,39 @@ pub fn adaptive_window_ticks(depth: usize, quantum: u32, max_window: u64) -> u64
     window
 }
 
-#[derive(Debug, Default)]
+/// The server's counters, registered in the engine's `bf-obs` registry
+/// as `server_*_total`; [`ServerStats`] stays a thin shim over them.
+#[derive(Debug)]
 struct Counters {
-    submitted: AtomicU64,
-    answered: AtomicU64,
-    failed: AtomicU64,
-    refused_queue_full: AtomicU64,
-    refused_admission: AtomicU64,
-    releases: AtomicU64,
-    coalesced_answers: AtomicU64,
-    batched_range_answers: AtomicU64,
-    cancelled: AtomicU64,
-    ticks: AtomicU64,
-    evicted_sessions: AtomicU64,
+    submitted: Counter,
+    answered: Counter,
+    failed: Counter,
+    refused_queue_full: Counter,
+    refused_admission: Counter,
+    releases: Counter,
+    coalesced_answers: Counter,
+    batched_range_answers: Counter,
+    cancelled: Counter,
+    ticks: Counter,
+    evicted_sessions: Counter,
+}
+
+impl Counters {
+    fn new(obs: &Registry) -> Self {
+        Self {
+            submitted: obs.counter("server_submitted_total"),
+            answered: obs.counter("server_answered_total"),
+            failed: obs.counter("server_failed_total"),
+            refused_queue_full: obs.counter("server_refused_queue_full_total"),
+            refused_admission: obs.counter("server_refused_admission_total"),
+            releases: obs.counter("server_releases_total"),
+            coalesced_answers: obs.counter("server_coalesced_answers_total"),
+            batched_range_answers: obs.counter("server_batched_range_answers_total"),
+            cancelled: obs.counter("server_cancelled_total"),
+            ticks: obs.counter("server_ticks_total"),
+            evicted_sessions: obs.counter("server_evicted_sessions_total"),
+        }
+    }
 }
 
 /// A point-in-time snapshot of the server's counters.
@@ -156,6 +177,11 @@ pub struct Server {
     config: ServerConfig,
     state: Mutex<SchedState>,
     counters: Counters,
+    /// The engine's metrics registry (shared handle — the server's
+    /// instruments live alongside the engine's).
+    obs: Arc<Registry>,
+    /// Submit → resolution latency (`server_ticket_ns`).
+    ticket_ns: Histogram,
     /// Set by [`Server::shutdown`]: submissions refuse, ticks continue
     /// until the queues drain.
     closed: AtomicBool,
@@ -176,11 +202,16 @@ impl Server {
     /// hang `pump_until_idle` forever.
     pub fn new(engine: Arc<Engine>, mut config: ServerConfig) -> Self {
         config.quantum = config.quantum.max(1);
+        let obs = Arc::clone(engine.obs());
+        let counters = Counters::new(&obs);
+        let ticket_ns = obs.histogram("server_ticket_ns");
         Self {
             engine,
             config,
             state: Mutex::new(SchedState::new()),
-            counters: Counters::default(),
+            counters,
+            obs,
+            ticket_ns,
             closed: AtomicBool::new(false),
         }
     }
@@ -208,7 +239,9 @@ impl Server {
         state
             .queues
             .entry(analyst.to_owned())
-            .or_insert_with(|| crate::scheduler::AnalystQueue::new(1))
+            .or_insert_with(|| {
+                crate::scheduler::AnalystQueue::new(1, self.queue_depth_gauge(analyst))
+            })
             .weight = weight.max(1);
     }
 
@@ -242,9 +275,7 @@ impl Server {
             .session_remaining(analyst)
             .map_err(ServerError::Engine)?;
         if self.config.admission_control && request.epsilon.value() > remaining {
-            self.counters
-                .refused_admission
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.refused_admission.inc();
             return Err(ServerError::BudgetExhausted {
                 analyst: analyst.to_owned(),
                 requested: request.epsilon.value(),
@@ -260,14 +291,11 @@ impl Server {
         if self.closed.load(Ordering::Acquire) {
             return Err(ServerError::ShutDown);
         }
-        let queue = state
-            .queues
-            .entry(analyst.to_owned())
-            .or_insert_with(|| crate::scheduler::AnalystQueue::new(1));
+        let queue = state.queues.entry(analyst.to_owned()).or_insert_with(|| {
+            crate::scheduler::AnalystQueue::new(1, self.queue_depth_gauge(analyst))
+        });
         if queue.queue.len() >= self.config.queue_capacity {
-            self.counters
-                .refused_queue_full
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.refused_queue_full.inc();
             return Err(ServerError::QueueFull {
                 analyst: analyst.to_owned(),
                 capacity: self.config.queue_capacity,
@@ -275,8 +303,16 @@ impl Server {
         }
         let (sub, ticket) = Submitted::new(analyst, request);
         queue.queue.push_back(sub);
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        queue.depth.set(queue.queue.len() as f64);
+        self.counters.submitted.inc();
         Ok(ticket)
+    }
+
+    /// The per-analyst submission-queue depth gauge
+    /// (`server_queue_depth{analyst="..."}`).
+    fn queue_depth_gauge(&self, analyst: &str) -> bf_obs::Gauge {
+        self.obs
+            .gauge(&format!("server_queue_depth{{analyst={analyst:?}}}"))
     }
 
     /// Runs one scheduler tick: drain every backlogged analyst's fair
@@ -289,7 +325,9 @@ impl Server {
     pub fn tick(&self) -> usize {
         // Phase 1 (under the state lock): advance time, drain fairly,
         // route into groups, pull out whatever is due. Engine lookups
-        // (coalesce keys) touch only engine-internal locks.
+        // (coalesce keys) touch only engine-internal locks. The span
+        // times this locked phase (`stage="schedule"`).
+        let mut sched_span = self.obs.span();
         let (due, immediate, dead_letters, evict_now) = {
             let mut state = self.state.lock().expect("scheduler state poisoned");
             state.tick += 1;
@@ -304,6 +342,19 @@ impl Server {
                 self.config.coalesce_window
             };
             let drained = state.drain_round(self.config.quantum);
+            if self.obs.is_enabled() {
+                // Queue-wait per drained request, and the post-drain
+                // depth of every backlogged queue. Reading clocks and
+                // setting gauges here is a side channel: nothing below
+                // consults them.
+                for sub in &drained {
+                    self.obs
+                        .record_stage(Stage::Queue, sub.submitted_at.elapsed());
+                }
+                for q in state.queues.values() {
+                    q.depth.set(q.queue.len() as f64);
+                }
+            }
             let mut immediate = Vec::new();
             let mut dead_letters = Vec::new();
             for sub in drained {
@@ -315,21 +366,31 @@ impl Server {
                         state.join_group(key, sub, deadline);
                     }
                     // Unknown policy: the ticket fails without queueing.
-                    Err(e) => dead_letters.push((sub.tx, ServerError::Engine(e))),
+                    Err(e) => dead_letters.push((sub, ServerError::Engine(e))),
                 }
             }
             let evict_now = self.config.session_ttl.is_some() && now % EVICT_CHECK_EVERY == 1;
             (state.take_due(now), immediate, dead_letters, evict_now)
         };
-        self.counters.ticks.fetch_add(1, Ordering::Relaxed);
+        self.obs.span_mark(&mut sched_span, Stage::Schedule);
+        self.counters.ticks.inc();
+        if self.obs.is_enabled() {
+            // How long each dispatching group actually held its window
+            // open (`stage="coalesce"`).
+            for g in &due {
+                self.obs
+                    .record_stage(Stage::Coalesce, g.formed_at.elapsed());
+            }
+        }
 
         // Phase 2 (no server lock): talk to the engine and resolve
         // tickets. Group charges happen sequentially inside the engine
         // (deterministic ordinals); releases fan out across cores.
         let mut resolved = 0usize;
-        for (tx, e) in dead_letters {
-            self.counters.failed.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(Err(e));
+        for (sub, e) in dead_letters {
+            self.counters.failed.inc();
+            self.note_resolved(sub.submitted_at);
+            let _ = sub.tx.send(Err(e));
             resolved += 1;
         }
 
@@ -341,7 +402,7 @@ impl Server {
         let (mut due, mut immediate) = (due, immediate);
         let mut cancelled = 0u64;
         for g in &mut due {
-            g.waiters.retain(|(_, tx)| {
+            g.waiters.retain(|(_, tx, _)| {
                 let live = !tx.is_closed();
                 cancelled += u64::from(!live);
                 live
@@ -354,9 +415,7 @@ impl Server {
             live
         });
         if cancelled > 0 {
-            self.counters
-                .cancelled
-                .fetch_add(cancelled, Ordering::Relaxed);
+            self.counters.cancelled.add(cancelled);
         }
 
         // Fold due range groups that share `(policy, data, ε)` but
@@ -397,35 +456,32 @@ impl Server {
                 .iter()
                 .map(|g| {
                     (
-                        g.waiters.iter().map(|(a, _)| a.clone()).collect(),
+                        g.waiters.iter().map(|(a, _, _)| a.clone()).collect(),
                         g.request.clone(),
                     )
                 })
                 .collect();
             let results = self.engine.serve_range_groups(&groups);
             if results.iter().flatten().any(|s| s.is_ok()) {
-                self.counters.releases.fetch_add(1, Ordering::Relaxed);
+                self.counters.releases.inc();
             }
             let total_waiters: usize = members.iter().map(|m| m.waiters.len()).sum();
             let shared = total_waiters >= 2;
             for (group, slots) in members.into_iter().zip(results) {
-                for ((_, tx), slot) in group.waiters.into_iter().zip(slots) {
+                for ((_, tx, submitted_at), slot) in group.waiters.into_iter().zip(slots) {
                     match &slot {
                         Ok(_) => {
-                            self.counters.answered.fetch_add(1, Ordering::Relaxed);
-                            self.counters
-                                .batched_range_answers
-                                .fetch_add(1, Ordering::Relaxed);
+                            self.counters.answered.inc();
+                            self.counters.batched_range_answers.inc();
                             if shared {
-                                self.counters
-                                    .coalesced_answers
-                                    .fetch_add(1, Ordering::Relaxed);
+                                self.counters.coalesced_answers.inc();
                             }
                         }
                         Err(_) => {
-                            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                            self.counters.failed.inc();
                         }
                     }
+                    self.note_resolved(submitted_at);
                     let _ = tx.send(slot.map_err(ServerError::Engine));
                     resolved += 1;
                 }
@@ -437,7 +493,7 @@ impl Server {
                 .iter()
                 .map(|g| {
                     (
-                        g.waiters.iter().map(|(a, _)| a.clone()).collect(),
+                        g.waiters.iter().map(|(a, _, _)| a.clone()).collect(),
                         g.request.clone(),
                     )
                 })
@@ -446,22 +502,21 @@ impl Server {
             for (group, slots) in singles.into_iter().zip(results) {
                 let shared = group.waiters.len() >= 2;
                 if slots.iter().any(|s| s.is_ok()) {
-                    self.counters.releases.fetch_add(1, Ordering::Relaxed);
+                    self.counters.releases.inc();
                 }
-                for ((_, tx), slot) in group.waiters.into_iter().zip(slots) {
+                for ((_, tx, submitted_at), slot) in group.waiters.into_iter().zip(slots) {
                     match &slot {
                         Ok(_) => {
-                            self.counters.answered.fetch_add(1, Ordering::Relaxed);
+                            self.counters.answered.inc();
                             if shared {
-                                self.counters
-                                    .coalesced_answers
-                                    .fetch_add(1, Ordering::Relaxed);
+                                self.counters.coalesced_answers.inc();
                             }
                         }
                         Err(_) => {
-                            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                            self.counters.failed.inc();
                         }
                     }
+                    self.note_resolved(submitted_at);
                     let _ = tx.send(slot.map_err(ServerError::Engine));
                     resolved += 1;
                 }
@@ -471,13 +526,14 @@ impl Server {
             let result = self.engine.serve(&sub.analyst, &sub.request);
             match &result {
                 Ok(_) => {
-                    self.counters.answered.fetch_add(1, Ordering::Relaxed);
-                    self.counters.releases.fetch_add(1, Ordering::Relaxed);
+                    self.counters.answered.inc();
+                    self.counters.releases.inc();
                 }
                 Err(_) => {
-                    self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    self.counters.failed.inc();
                 }
             }
+            self.note_resolved(sub.submitted_at);
             let _ = sub.tx.send(result.map_err(ServerError::Engine));
             resolved += 1;
         }
@@ -500,17 +556,24 @@ impl Server {
                             state
                                 .pending
                                 .iter()
-                                .flat_map(|g| g.waiters.iter().map(|(a, _)| a.clone())),
+                                .flat_map(|g| g.waiters.iter().map(|(a, _, _)| a.clone())),
                         )
                         .collect()
                 };
                 let evicted = self.engine.evict_idle_sessions_except(ttl, &busy);
-                self.counters
-                    .evicted_sessions
-                    .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+                self.counters.evicted_sessions.add(evicted.len() as u64);
             }
         }
         resolved
+    }
+
+    /// Records the submit → resolution latency of one ticket
+    /// (`server_ticket_ns`), skipping the clock read when metrics are
+    /// off.
+    fn note_resolved(&self, submitted_at: std::time::Instant) {
+        if self.obs.is_enabled() {
+            self.ticket_ns.record_duration(submitted_at.elapsed());
+        }
     }
 
     /// Graceful shutdown: closes the doors (new submissions refuse with
@@ -592,20 +655,21 @@ impl Server {
         }
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot — a thin shim over the `server_*_total` registry
+    /// handles, kept for existing tests and benches.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
-            submitted: self.counters.submitted.load(Ordering::Relaxed),
-            answered: self.counters.answered.load(Ordering::Relaxed),
-            failed: self.counters.failed.load(Ordering::Relaxed),
-            refused_queue_full: self.counters.refused_queue_full.load(Ordering::Relaxed),
-            refused_admission: self.counters.refused_admission.load(Ordering::Relaxed),
-            releases: self.counters.releases.load(Ordering::Relaxed),
-            coalesced_answers: self.counters.coalesced_answers.load(Ordering::Relaxed),
-            batched_range_answers: self.counters.batched_range_answers.load(Ordering::Relaxed),
-            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
-            ticks: self.counters.ticks.load(Ordering::Relaxed),
-            evicted_sessions: self.counters.evicted_sessions.load(Ordering::Relaxed),
+            submitted: self.counters.submitted.get(),
+            answered: self.counters.answered.get(),
+            failed: self.counters.failed.get(),
+            refused_queue_full: self.counters.refused_queue_full.get(),
+            refused_admission: self.counters.refused_admission.get(),
+            releases: self.counters.releases.get(),
+            coalesced_answers: self.counters.coalesced_answers.get(),
+            batched_range_answers: self.counters.batched_range_answers.get(),
+            cancelled: self.counters.cancelled.get(),
+            ticks: self.counters.ticks.get(),
+            evicted_sessions: self.counters.evicted_sessions.get(),
         }
     }
 }

@@ -111,12 +111,26 @@ pub enum Record {
         /// The deregistered name.
         name: String,
     },
+    /// High-water mark of a release identity's noise ordinal, written at
+    /// checkpoint so a restarted engine resumes each identity's ordinal
+    /// sequence instead of replaying earlier releases' exact noise.
+    /// Replay keeps the **maximum** seen per fingerprint — ordinals must
+    /// never move backwards.
+    ReleaseSeq {
+        /// FNV-1a fingerprint of the release identity
+        /// `(policy, data, ε, query class)`.
+        fingerprint: u64,
+        /// Releases performed under this identity so far (the next
+        /// ordinal to assign).
+        seq: u64,
+    },
 }
 
 const TAG_SESSION_OPENED: u8 = 1;
 const TAG_CHARGED: u8 = 2;
 const TAG_REGISTERED: u8 = 3;
 const TAG_DEREGISTERED: u8 = 4;
+const TAG_RELEASE_SEQ: u8 = 5;
 
 /// FNV-1a over a byte slice — the same stable hash the engine's shard
 /// router uses, here guarding frame integrity.
@@ -289,6 +303,11 @@ impl Record {
                 out.push(kind.tag());
                 put_str(&mut out, name);
             }
+            Record::ReleaseSeq { fingerprint, seq } => {
+                out.push(TAG_RELEASE_SEQ);
+                put_u64(&mut out, *fingerprint);
+                put_u64(&mut out, *seq);
+            }
         }
         out
     }
@@ -316,6 +335,10 @@ impl Record {
             TAG_DEREGISTERED => Record::Deregistered {
                 kind: RegistryKind::from_tag(r.u8()?)?,
                 name: r.str()?,
+            },
+            TAG_RELEASE_SEQ => Record::ReleaseSeq {
+                fingerprint: r.u64()?,
+                seq: r.u64()?,
             },
             _ => return None,
         };
@@ -437,6 +460,10 @@ mod tests {
                 kind: RegistryKind::Policy,
                 name: "pol".into(),
             },
+            Record::ReleaseSeq {
+                fingerprint: 0x1234_5678_9ABC_DEF0,
+                seq: 42,
+            },
         ]
     }
 
@@ -511,7 +538,7 @@ mod tests {
             let mut b = vec![0];
             let mut seen = 0;
             scan_frames(&bytes, |_| seen += 1);
-            assert_eq!(seen, 4);
+            assert_eq!(seen, samples().len());
             let mut pos = 0;
             while pos < bytes.len() {
                 let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;

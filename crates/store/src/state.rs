@@ -36,6 +36,10 @@ pub struct StoreState {
     pub sessions: BTreeMap<String, SessionState>,
     /// Registered names and their content fingerprints.
     pub registrations: BTreeMap<(RegistryKind, String), u64>,
+    /// High-water marks of release-identity noise ordinals, by identity
+    /// fingerprint — written at checkpoint so a restarted engine resumes
+    /// each identity's ordinal sequence. Replay keeps the maximum.
+    pub release_seqs: BTreeMap<u64, u64>,
 }
 
 impl StoreState {
@@ -87,6 +91,12 @@ impl StoreState {
             Record::Deregistered { kind, name } => {
                 self.registrations.remove(&(*kind, name.clone()));
             }
+            Record::ReleaseSeq { fingerprint, seq } => {
+                // Max, not last-writer: ordinals never move backwards,
+                // and replay order across segments must not matter.
+                let e = self.release_seqs.entry(*fingerprint).or_insert(0);
+                *e = (*e).max(*seq);
+            }
         }
     }
 
@@ -106,6 +116,11 @@ impl StoreState {
             out.push(kind.tag());
             put_str(&mut out, name);
             put_u64(&mut out, *fp);
+        }
+        out.extend_from_slice(&(self.release_seqs.len() as u32).to_le_bytes());
+        for (fp, seq) in &self.release_seqs {
+            put_u64(&mut out, *fp);
+            put_u64(&mut out, *seq);
         }
         out
     }
@@ -136,6 +151,17 @@ impl StoreState {
             let name = r.str()?;
             let fp = r.u64()?;
             state.registrations.insert((kind, name), fp);
+        }
+        // Snapshots written before release ordinals were durable end
+        // here; treat the missing section as empty rather than corrupt.
+        if r.done() {
+            return Some(state);
+        }
+        let n_seqs = r.u32()?;
+        for _ in 0..n_seqs {
+            let fp = r.u64()?;
+            let seq = r.u64()?;
+            state.release_seqs.insert(fp, seq);
         }
         r.done().then_some(state)
     }
@@ -171,6 +197,40 @@ mod tests {
         assert_eq!(StoreState::from_bytes(&bytes), Some(s.clone()));
         assert_eq!(s.digest(), StoreState::from_bytes(&bytes).unwrap().digest());
         assert_eq!(StoreState::from_bytes(&bytes[..bytes.len() - 1]), None);
+    }
+
+    #[test]
+    fn release_seqs_keep_the_maximum_and_roundtrip() {
+        let mut s = StoreState::default();
+        s.apply(&Record::ReleaseSeq {
+            fingerprint: 7,
+            seq: 3,
+        });
+        s.apply(&Record::ReleaseSeq {
+            fingerprint: 7,
+            seq: 2,
+        });
+        s.apply(&Record::ReleaseSeq {
+            fingerprint: 9,
+            seq: 1,
+        });
+        assert_eq!(s.release_seqs[&7], 3, "replay keeps the high-water mark");
+        assert_eq!(s.release_seqs[&9], 1);
+        let bytes = s.to_bytes();
+        assert_eq!(StoreState::from_bytes(&bytes), Some(s.clone()));
+        assert_eq!(StoreState::from_bytes(&bytes[..bytes.len() - 1]), None);
+    }
+
+    #[test]
+    fn snapshots_without_a_release_seq_section_still_load() {
+        // A pre-ordinal snapshot body: sessions + registrations only.
+        let mut s = StoreState::default();
+        s.apply(&Record::session_opened("alice", 1.0));
+        let mut old = s.to_bytes();
+        old.truncate(old.len() - 4); // drop the empty release_seqs section
+        let loaded = StoreState::from_bytes(&old).expect("old snapshot loads");
+        assert_eq!(loaded.sessions, s.sessions);
+        assert!(loaded.release_seqs.is_empty());
     }
 
     #[test]

@@ -32,11 +32,13 @@
 use crate::error::StoreError;
 use crate::record::{scan_frames, Record, ScanEnd};
 use crate::state::StoreState;
+use bf_obs::{Counter, Gauge, Histogram, Registry};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Tuning knobs for a [`Store`].
 #[derive(Debug, Clone, Default)]
@@ -66,12 +68,31 @@ pub struct RecoveryReport {
     pub tail_skipped: bool,
 }
 
-#[derive(Debug, Default, Clone, Copy)]
+/// The store's registry-backed counters. [`StoreStats`] is a thin
+/// snapshot of these handles, so bench greps and tests keep their
+/// numbers while dashboards read the same values off the registry.
+#[derive(Debug, Clone)]
 struct Counters {
-    appended: u64,
-    commits: u64,
-    syncs: u64,
-    compactions: u64,
+    appended: Counter,
+    commits: Counter,
+    syncs: Counter,
+    compactions: Counter,
+    /// Distinct release identities carrying an ordinal high-water mark
+    /// in the ledger — the cardinality the snapshot's `release_seqs`
+    /// section is bounded by.
+    release_seq_identities: Gauge,
+}
+
+impl Counters {
+    fn new(obs: &Registry) -> Self {
+        Self {
+            appended: obs.counter("store_appended_records_total"),
+            commits: obs.counter("store_commits_total"),
+            syncs: obs.counter("store_syncs_total"),
+            compactions: obs.counter("store_compactions_total"),
+            release_seq_identities: obs.gauge("store_release_seq_identities"),
+        }
+    }
 }
 
 /// Counter snapshot for benches and monitoring.
@@ -110,6 +131,9 @@ struct Inner {
     state: StoreState,
     /// Encoded frames appended but not yet written + fsynced.
     pending: Vec<u8>,
+    /// How many records those frames carry (for the per-fsync batch
+    /// size histogram).
+    pending_records: u64,
     /// Sequence number the next `commit` call will take.
     next_seq: u64,
     /// Highest sequence number known durable.
@@ -131,6 +155,14 @@ pub struct Store {
     commit_cv: Condvar,
     recovered: StoreState,
     report: RecoveryReport,
+    /// The store's own metric registry (`store_*` names). A store can
+    /// outlive or predate any engine, so it does not share the engine's
+    /// registry; exposition merges the two snapshot sets.
+    obs: Arc<Registry>,
+    /// Wall time of each leader write + `fsync` pair.
+    fsync_ns: Histogram,
+    /// Records made durable by each fsync (the group-commit batch size).
+    records_per_fsync: Histogram,
     /// Advisory exclusive lock on `LOCK` in the store directory, held
     /// for the store's lifetime: two live stores appending to one
     /// directory would interleave frames and diverge their mirrors, so
@@ -239,6 +271,8 @@ impl Store {
             report.snapshot_segment = Some(n);
         }
 
+        let obs = Arc::new(Registry::new());
+        let replay_started = Instant::now();
         let replay: Vec<(u64, &PathBuf)> = segments.range(base..).map(|(&n, p)| (n, p)).collect();
         for (n, path) in replay.iter() {
             let bytes = std::fs::read(path).map_err(|e| StoreError::io("read segment", &e))?;
@@ -278,6 +312,18 @@ impl Store {
             }
         }
 
+        let replay_elapsed = replay_started.elapsed();
+        obs.counter("store_replay_records_total")
+            .add(report.records_applied);
+        obs.counter("store_replay_ns_total")
+            .add(replay_elapsed.as_nanos().min(u64::MAX as u128) as u64);
+        let rps = if replay_elapsed.as_secs_f64() > 0.0 {
+            report.records_applied as f64 / replay_elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        obs.gauge("store_replay_records_per_sec").set(rps);
+
         let next = segments.keys().next_back().map_or(base, |&m| m + 1);
         let file = OpenOptions::new()
             .create(true)
@@ -285,6 +331,11 @@ impl Store {
             .open(segment_path(&dir, next))
             .map_err(|e| StoreError::io("create segment", &e))?;
         sync_dir(&dir);
+
+        let counters = Counters::new(&obs);
+        counters
+            .release_seq_identities
+            .set(state.release_seqs.len() as f64);
 
         Ok(Store {
             dir,
@@ -295,16 +346,26 @@ impl Store {
                 segment: next,
                 state: state.clone(),
                 pending: Vec::new(),
+                pending_records: 0,
                 next_seq: 1,
                 durable_seq: 0,
                 syncing: false,
-                counters: Counters::default(),
+                counters,
                 poisoned: None,
             }),
             commit_cv: Condvar::new(),
             recovered: state,
             report,
+            fsync_ns: obs.histogram("store_fsync_ns"),
+            records_per_fsync: obs.histogram("store_records_per_fsync"),
+            obs,
         })
+    }
+
+    /// The store's metric registry (`store_*` metrics: appends, syncs,
+    /// fsync latency, replay throughput).
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// The ledger state recovered at open (frozen; the live mirror moves
@@ -360,8 +421,12 @@ impl Store {
             let frame = r.frame();
             g.pending.extend_from_slice(&frame);
         }
-        g.counters.appended += records.len() as u64;
-        g.counters.commits += 1;
+        g.pending_records += records.len() as u64;
+        g.counters.appended.add(records.len() as u64);
+        g.counters.commits.inc();
+        g.counters
+            .release_seq_identities
+            .set(g.state.release_seqs.len() as f64);
         let my_seq = g.next_seq;
         g.next_seq += 1;
 
@@ -382,16 +447,20 @@ impl Store {
             // the lock so followers can keep stacking.
             g.syncing = true;
             let batch = std::mem::take(&mut g.pending);
+            let batch_records = std::mem::take(&mut g.pending_records);
             let high = g.next_seq - 1;
             let file = Arc::clone(&g.file);
             drop(g);
+            let sw = self.fsync_ns.start();
             let result = (&*file).write_all(&batch).and_then(|()| file.sync_data());
+            self.fsync_ns.observe(sw);
             g = self.inner.lock().expect("store lock poisoned");
             g.syncing = false;
             match result {
                 Ok(()) => {
                     g.durable_seq = g.durable_seq.max(high);
-                    g.counters.syncs += 1;
+                    g.counters.syncs.inc();
+                    self.records_per_fsync.record(batch_records);
                 }
                 Err(e) => {
                     g.poisoned = Some(e.to_string());
@@ -425,7 +494,9 @@ impl Store {
         // Flush any frames stacked since the last sync.
         if !g.pending.is_empty() {
             let batch = std::mem::take(&mut g.pending);
+            let batch_records = std::mem::take(&mut g.pending_records);
             let high = g.next_seq - 1;
+            let sw = self.fsync_ns.start();
             if let Err(e) = (&*g.file)
                 .write_all(&batch)
                 .and_then(|()| g.file.sync_data())
@@ -434,8 +505,10 @@ impl Store {
                 self.commit_cv.notify_all();
                 return Err(StoreError::io("flush", &e));
             }
+            self.fsync_ns.observe(sw);
             g.durable_seq = g.durable_seq.max(high);
-            g.counters.syncs += 1;
+            g.counters.syncs.inc();
+            self.records_per_fsync.record(batch_records);
             self.commit_cv.notify_all();
         }
 
@@ -467,7 +540,7 @@ impl Store {
         };
         write().map_err(|e| StoreError::io("write snapshot", &e))?;
         sync_dir(&self.dir);
-        g.counters.compactions += 1;
+        g.counters.compactions.inc();
 
         // Prune everything the snapshot covers — by listing what
         // actually exists, not by counting segment numbers since 0
@@ -506,14 +579,15 @@ impl Store {
         Ok(())
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot — a thin shim over the registry handles, kept
+    /// for existing tests and bench greps.
     pub fn stats(&self) -> StoreStats {
         let g = self.inner.lock().expect("store lock poisoned");
         StoreStats {
-            appended_records: g.counters.appended,
-            commits: g.counters.commits,
-            syncs: g.counters.syncs,
-            compactions: g.counters.compactions,
+            appended_records: g.counters.appended.get(),
+            commits: g.counters.commits.get(),
+            syncs: g.counters.syncs.get(),
+            compactions: g.counters.compactions.get(),
             segment: g.segment,
         }
     }
@@ -795,6 +869,40 @@ mod tests {
         let store = Store::open(&dir).unwrap();
         assert_eq!(store.recovered_state().sessions["a"].spent, 0.75);
         assert_eq!(store.recovery_report().snapshot_segment, Some(2));
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn release_seq_cardinality_gauge_tracks_ledger_and_survives_reopen() {
+        let dir = scratch_dir("seq-gauge");
+        {
+            let store = Store::open(&dir).unwrap();
+            assert_eq!(store.obs().gauge("store_release_seq_identities").get(), 0.0);
+            store
+                .commit(&[
+                    Record::ReleaseSeq {
+                        fingerprint: 7,
+                        seq: 3,
+                    },
+                    Record::ReleaseSeq {
+                        fingerprint: 9,
+                        seq: 1,
+                    },
+                    // A later ordinal for a known identity raises the
+                    // high-water mark, not the cardinality.
+                    Record::ReleaseSeq {
+                        fingerprint: 7,
+                        seq: 5,
+                    },
+                ])
+                .unwrap();
+            assert_eq!(store.obs().gauge("store_release_seq_identities").get(), 2.0);
+        }
+        // Reopen replays the WAL; the gauge is seeded from recovery.
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.obs().gauge("store_release_seq_identities").get(), 2.0);
+        assert_eq!(store.recovered_state().release_seqs[&7], 5);
         drop(store);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -28,6 +28,7 @@
 //! | [`server`] | async front-end: fair per-analyst scheduling + cross-analyst release coalescing |
 //! | [`store`] | durable ε-budget ledger: checksummed WAL, group commit, snapshots, crash recovery |
 //! | [`net`] | wire protocol, TCP front-end and client library for multi-process serving |
+//! | [`obs`] | metrics registry, request-stage spans, Prometheus-style rendering |
 //! | [`rt`] | vendored minimal async runtime (executor, `block_on`, oneshot) |
 //!
 //! ## Serving repeated queries
@@ -79,6 +80,7 @@ pub use bf_engine as engine;
 pub use bf_graph as graph;
 pub use bf_mechanisms as mechanisms;
 pub use bf_net as net;
+pub use bf_obs as obs;
 pub use bf_server as server;
 pub use bf_store as store;
 pub use futures_lite as rt;
