@@ -12,14 +12,19 @@ use bf_core::{Epsilon, LaplaceMechanism, Policy, Predicate, QueryClass};
 use bf_domain::{CumulativeHistogram, Dataset, Histogram, PointSet};
 use bf_mechanisms::kmeans::{init_random, PrivateKmeans};
 use bf_mechanisms::{HistogramMechanism, OrderedMechanism, RangeAnswerer};
-use bf_obs::{merge_snapshots, Gauge, MetricSnapshot, Registry, Stage};
-use bf_store::{fnv1a, Record, RegistryKind, Store};
+use bf_obs::{merge_snapshots, Counter, Gauge, MetricSnapshot, Registry, Stage};
+use bf_store::{fnv1a, Record, RegistryKind, Store, REPLY_CACHE_PER_ANALYST};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// One coalesced group for the tagged serving entry points: the waiters
+/// — each an `(analyst, idempotency tag)` pair, `Some(request_id)`
+/// marking a retryable submission — plus the request they share.
+pub type TaggedGroup = (Vec<(String, Option<u64>)>, Request);
 
 /// Counts releases currently executing against a registry entry, so
 /// deregistration can refuse instead of pulling data out from under a
@@ -173,6 +178,19 @@ pub struct Engine {
     obs: Arc<Registry>,
     /// Cardinality of `release_seqs` (`engine_release_identities`).
     release_identities: Gauge,
+    /// In-memory mirror of the durable reply cache: per analyst, the
+    /// encoded answers of their most recent **tagged** requests, keyed by
+    /// client request id. A retried tagged request is answered from here
+    /// with **zero** additional ε charge — the durable copy (a `Replied`
+    /// WAL frame) reseeds this mirror on recovery, so the exactly-once
+    /// guarantee survives a crash. Bounded to
+    /// [`REPLY_CACHE_PER_ANALYST`] entries per analyst, evicting the
+    /// smallest (oldest) request id — the same rule the store applies,
+    /// so mirror and ledger agree on which retries are replayable.
+    replies: Mutex<BTreeMap<String, BTreeMap<u64, Vec<u8>>>>,
+    /// Tagged requests answered from the reply cache
+    /// (`replay_cache_hits`) — each one is a retry that cost nothing.
+    replay_cache_hits: Counter,
 }
 
 impl Default for Engine {
@@ -191,6 +209,7 @@ impl Engine {
     pub fn with_seed(seed: u64) -> Self {
         let obs = Arc::new(Registry::new());
         let release_identities = obs.gauge("engine_release_identities");
+        let replay_cache_hits = obs.counter("replay_cache_hits");
         Self {
             policies: ShardedMap::new(),
             datasets: ShardedMap::new(),
@@ -205,6 +224,8 @@ impl Engine {
             release_seqs: Mutex::new(HashMap::new()),
             obs,
             release_identities,
+            replies: Mutex::new(BTreeMap::new()),
+            replay_cache_hits,
         }
     }
 
@@ -218,7 +239,11 @@ impl Engine {
     ///   the name again requires the identical content fingerprint, so a
     ///   swapped policy or dataset cannot inherit the original's ledgers;
     /// * every subsequent charge is **acknowledge-after-durable**: the
-    ///   WAL commit happens before the mechanism release executes.
+    ///   WAL commit happens before the answer is acknowledged (for the
+    ///   single-request path, before the release even executes; the
+    ///   fan-out and tagged paths commit after the release so a tagged
+    ///   request's charge and answer share one atomic `Replied` frame),
+    ///   so recovered spent always covers every answer an analyst saw.
     pub fn with_store(seed: u64, store: Arc<Store>) -> Self {
         let engine = Self::with_seed(seed);
         let recovered = store.recovered_state();
@@ -249,6 +274,22 @@ impl Engine {
         engine
             .release_identities
             .set(recovered.release_seqs.len() as f64);
+        // Reseed the reply-cache mirror from the recovered ledger so a
+        // request acknowledged by the previous generation can still be
+        // retried for free against this one.
+        *engine.replies.lock().expect("replies poisoned") = recovered
+            .replies
+            .iter()
+            .map(|(analyst, cache)| {
+                (
+                    analyst.clone(),
+                    cache
+                        .iter()
+                        .map(|(&rid, cached)| (rid, cached.payload.clone()))
+                        .collect(),
+                )
+            })
+            .collect();
         Self {
             store: Some(store),
             ..engine
@@ -888,6 +929,81 @@ impl Engine {
         Ok(())
     }
 
+    /// Charges the in-memory ledger only — the tagged-request path, where
+    /// durability rides the combined charge-and-reply frame committed
+    /// *after* the release executes (see [`Engine::commit_reply`]).
+    fn charge_memory(
+        &self,
+        session: &Arc<Mutex<AnalystSession>>,
+        label: String,
+        epsilon: Epsilon,
+        free: bool,
+    ) -> Result<(), EngineError> {
+        session
+            .lock()
+            .expect("session poisoned")
+            .charge(label, epsilon, free)
+    }
+
+    /// The cached answer for a tagged request this engine — or a durable
+    /// predecessor, via recovery — already acknowledged. A hit is a safe
+    /// retry: it replays the identical bytes, charges **zero** additional
+    /// ε, and counts on `replay_cache_hits`.
+    pub fn cached_reply(&self, analyst: &str, request_id: u64) -> Option<Response> {
+        let response = {
+            let replies = self.replies.lock().expect("replies poisoned");
+            Response::from_bytes(replies.get(analyst)?.get(&request_id)?)?
+        };
+        self.replay_cache_hits.inc();
+        Some(response)
+    }
+
+    /// Inserts one encoded answer into the reply-cache mirror, applying
+    /// the store's bound and eviction rule (oldest request id first).
+    fn mirror_reply(&self, analyst: &str, request_id: u64, payload: Vec<u8>) {
+        let mut replies = self.replies.lock().expect("replies poisoned");
+        let cache = replies.entry(analyst.to_owned()).or_default();
+        cache.insert(request_id, payload);
+        while cache.len() > REPLY_CACHE_PER_ANALYST {
+            let oldest = *cache.keys().next().expect("cache is non-empty");
+            cache.remove(&oldest);
+        }
+    }
+
+    /// Commits the combined charge-and-reply frame for one tagged request
+    /// and mirrors it. The release has already executed; the answer is
+    /// acknowledged only if this **single atomic frame** lands, so a
+    /// crash can never separate the charge from the cached reply — the
+    /// torn-tail failure mode that would let a retry double-charge. On a
+    /// store failure the in-memory charge stands (conservative — budget
+    /// is lost to the failure, never resurrected) and the caller
+    /// surfaces the error instead of the answer.
+    fn commit_reply(
+        &self,
+        analyst: &str,
+        request_id: u64,
+        label: &str,
+        spent: f64,
+        response: &Response,
+    ) -> Result<(), EngineError> {
+        let payload = response.to_bytes();
+        if let Some(store) = &self.store {
+            let mut span = self.obs.span();
+            store
+                .commit(&[Record::replied(
+                    analyst,
+                    request_id,
+                    label,
+                    spent,
+                    payload.clone(),
+                )])
+                .map_err(EngineError::Store)?;
+            self.obs.span_mark(&mut span, Stage::WalCommit);
+        }
+        self.mirror_reply(analyst, request_id, payload);
+        Ok(())
+    }
+
     /// Every analyst with an open session, in unspecified order.
     pub fn analysts(&self) -> Vec<String> {
         self.sessions.keys()
@@ -978,6 +1094,47 @@ impl Engine {
     /// [`EngineError::BudgetRefused`] when the ledger cannot cover ε
     /// (nothing is released in that case).
     pub fn serve(&self, analyst: &str, request: &Request) -> Result<Response, EngineError> {
+        self.serve_with_tag(analyst, None, request)
+    }
+
+    /// [`Engine::serve`] for a request stamped with a durable idempotency
+    /// key `(analyst, request_id)` — the exactly-once retry path.
+    ///
+    /// If the key was already acknowledged (by this engine or, after a
+    /// crash, by a durable predecessor), the original answer is replayed
+    /// **bit-identically** from the reply cache at **zero** additional ε
+    /// charge. Otherwise the request is served with
+    /// executed-then-durable ordering: the in-memory charge and the
+    /// release run first, then one atomic `Replied` WAL frame carries
+    /// both the charge and the encoded answer, and only after it lands
+    /// is the answer returned. A crash at any point leaves the retry
+    /// safe — before the frame, nothing durable was charged and nothing
+    /// was acknowledged; after it, the retry hits the cache.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::serve`], plus [`EngineError::Store`] when the
+    /// combined frame cannot be committed (the answer is withheld).
+    pub fn serve_tagged(
+        &self,
+        analyst: &str,
+        request_id: u64,
+        request: &Request,
+    ) -> Result<Response, EngineError> {
+        self.serve_with_tag(analyst, Some(request_id), request)
+    }
+
+    fn serve_with_tag(
+        &self,
+        analyst: &str,
+        tag: Option<u64>,
+        request: &Request,
+    ) -> Result<Response, EngineError> {
+        if let Some(rid) = tag {
+            if let Some(cached) = self.cached_reply(analyst, rid) {
+                return Ok(cached);
+            }
+        }
         let session = self.session(analyst)?;
         let (policy_entry, _policy_flight) = self.pinned_policy_entry(&request.policy)?;
         match &request.kind {
@@ -1006,14 +1163,26 @@ impl Engine {
                 }
                 let free =
                     spec.qsize_sensitivity() == 0.0 && spec.qsum_sensitivity(points.bbox()) == 0.0;
-                self.charge_durable(&session, request.label(), request.epsilon, free)?;
+                match tag {
+                    None => {
+                        self.charge_durable(&session, request.label(), request.epsilon, free)?
+                    }
+                    Some(_) => {
+                        self.charge_memory(&session, request.label(), request.epsilon, free)?
+                    }
+                }
                 let mech = PrivateKmeans::new(*k, *iterations, request.epsilon, *spec);
                 let mut rng = self.release_rng();
                 let init = init_random(&points, *k, &mut rng);
                 let mut span = self.obs.span();
                 let centroids = mech.run(&points, &init, &mut rng);
                 self.obs.span_mark(&mut span, Stage::Release);
-                Ok(Response::Centroids(centroids))
+                let response = Response::Centroids(centroids);
+                if let Some(rid) = tag {
+                    let spent = if free { 0.0 } else { request.epsilon.value() };
+                    self.commit_reply(analyst, rid, &request.label(), spent, &response)?;
+                }
+                Ok(response)
             }
             kind => {
                 let (entry, _data_flight) = self.pinned_dataset_entry(&request.data)?;
@@ -1022,12 +1191,15 @@ impl Engine {
                     .expect("non-kmeans kinds always map to a query class");
                 self.validate(kind, &policy_entry.policy, &entry)?;
                 let sensitivity = self.sensitivity_for(&policy_entry, &class)?;
-                self.charge_durable(
-                    &session,
-                    request.label(),
-                    request.epsilon,
-                    sensitivity == 0.0,
-                )?;
+                let free = sensitivity == 0.0;
+                match tag {
+                    None => {
+                        self.charge_durable(&session, request.label(), request.epsilon, free)?
+                    }
+                    Some(_) => {
+                        self.charge_memory(&session, request.label(), request.epsilon, free)?
+                    }
+                }
                 let fp = release_fingerprint(
                     &policy_entry.policy,
                     &request.data,
@@ -1035,7 +1207,13 @@ impl Engine {
                     &class,
                 );
                 let mut rng = self.release_rng_keyed(fp);
-                self.execute_with_rng(kind, &entry, request.epsilon, sensitivity, &mut rng)
+                let response =
+                    self.execute_with_rng(kind, &entry, request.epsilon, sensitivity, &mut rng)?;
+                if let Some(rid) = tag {
+                    let spent = if free { 0.0 } else { request.epsilon.value() };
+                    self.commit_reply(analyst, rid, &request.label(), spent, &response)?;
+                }
+                Ok(response)
             }
         }
     }
@@ -1339,6 +1517,35 @@ impl Engine {
         &self,
         groups: &[(Vec<String>, Request)],
     ) -> Vec<Vec<Result<Response, EngineError>>> {
+        let untagged: Vec<TaggedGroup> = groups
+            .iter()
+            .map(|(analysts, request)| {
+                (
+                    analysts.iter().map(|a| (a.clone(), None)).collect(),
+                    request.clone(),
+                )
+            })
+            .collect();
+        self.serve_coalesced_many_tagged(&untagged)
+    }
+
+    /// [`Engine::serve_coalesced_many`] with a per-waiter idempotency
+    /// tag: `Some(request_id)` marks a retryable submission.
+    ///
+    /// Tagged waiters whose `(analyst, request_id)` key was already
+    /// acknowledged are answered from the reply cache before any group
+    /// forms — bit-identical bytes, zero additional ε. The rest charge
+    /// and release as usual, with **durable-before-acknowledge**
+    /// ordering: the releases execute, then the whole tick's charges
+    /// reach the WAL in one group commit — `Charged` frames for untagged
+    /// waiters, atomic charge-plus-answer `Replied` frames for tagged
+    /// ones (duplicate tags of an already-charged analyst are cached at
+    /// zero ε) — and only then is any slot acknowledged. On a store
+    /// failure nothing is acknowledged; the in-memory spend stands.
+    pub fn serve_coalesced_many_tagged(
+        &self,
+        groups: &[TaggedGroup],
+    ) -> Vec<Vec<Result<Response, EngineError>>> {
         struct PreparedRelease {
             group: usize,
             kind: RequestKind,
@@ -1346,16 +1553,37 @@ impl Engine {
             epsilon: Epsilon,
             sensitivity: f64,
             rng: StdRng,
+            label: String,
+            /// ε the release actually costs each charged analyst.
+            spent: f64,
+            /// Analysts charged for this group, first-appearance order.
+            charged: Vec<String>,
             _flights: (FlightGuard, FlightGuard),
         }
         let mut out: Vec<Vec<Option<Result<Response, EngineError>>>> = groups
             .iter()
-            .map(|(analysts, _)| (0..analysts.len()).map(|_| None).collect())
+            .map(|(waiters, _)| (0..waiters.len()).map(|_| None).collect())
             .collect();
-        let mut prepared: Vec<PreparedRelease> = Vec::new();
-        let mut charge_records: Vec<Record> = Vec::new();
 
-        for (gi, (analysts, request)) in groups.iter().enumerate() {
+        // Replay pass: a tagged waiter whose key is cached is a retry of
+        // an acknowledged answer — fill its slot now so it neither
+        // charges nor joins the fan-out.
+        for (gi, (waiters, _)) in groups.iter().enumerate() {
+            for (ai, (analyst, tag)) in waiters.iter().enumerate() {
+                if let Some(rid) = tag {
+                    if let Some(cached) = self.cached_reply(analyst, *rid) {
+                        out[gi][ai] = Some(Ok(cached));
+                    }
+                }
+            }
+        }
+
+        let mut prepared: Vec<PreparedRelease> = Vec::new();
+
+        for (gi, (waiters, request)) in groups.iter().enumerate() {
+            if out[gi].iter().all(|slot| slot.is_some()) {
+                continue; // every waiter was replayed from the cache
+            }
             // Resolve and validate once per group.
             let resolved =
                 (|| -> Result<(DatasetEntry, f64, u64, (FlightGuard, FlightGuard)), EngineError> {
@@ -1384,12 +1612,15 @@ impl Engine {
             match resolved {
                 Err(e) => {
                     for slot in &mut out[gi] {
-                        *slot = Some(Err(e.clone()));
+                        if slot.is_none() {
+                            *slot = Some(Err(e.clone()));
+                        }
                     }
                 }
                 Ok((entry, sensitivity, fp, flights)) => {
-                    let label = if analysts.len() > 1 {
-                        format!("coalesced:{}x{}", analysts.len(), request.label())
+                    let live = out[gi].iter().filter(|slot| slot.is_none()).count();
+                    let label = if live > 1 {
+                        format!("coalesced:{live}x{}", request.label())
                     } else {
                         request.label()
                     };
@@ -1407,8 +1638,12 @@ impl Engine {
                     // deterministic charge sequence.
                     let mut any_charged = false;
                     let mut verdicts: HashMap<&str, Result<(), EngineError>> = HashMap::new();
-                    for (ai, analyst) in analysts.iter().enumerate() {
-                        let charged = verdicts
+                    let mut charged: Vec<String> = Vec::new();
+                    for (ai, (analyst, _)) in waiters.iter().enumerate() {
+                        if out[gi][ai].is_some() {
+                            continue; // replayed — costs nothing
+                        }
+                        let verdict = verdicts
                             .entry(analyst.as_str())
                             .or_insert_with(|| {
                                 self.session(analyst).and_then(|session| {
@@ -1420,27 +1655,15 @@ impl Engine {
                                 })
                             })
                             .clone();
-                        match charged {
+                        match verdict {
                             // Slot stays None: filled by the release.
-                            Ok(()) => any_charged = true,
-                            Err(e) => out[gi][ai] = Some(Err(e)),
-                        }
-                    }
-                    if self.store.is_some() {
-                        // One WAL record per charged analyst, in
-                        // first-appearance order.
-                        let mut recorded: Vec<&str> = Vec::new();
-                        for analyst in analysts.iter() {
-                            if matches!(verdicts.get(analyst.as_str()), Some(Ok(())))
-                                && !recorded.contains(&analyst.as_str())
-                            {
-                                recorded.push(analyst.as_str());
-                                charge_records.push(Record::charged(
-                                    analyst,
-                                    &label,
-                                    if free { 0.0 } else { request.epsilon.value() },
-                                ));
+                            Ok(()) => {
+                                any_charged = true;
+                                if !charged.iter().any(|a| a == analyst) {
+                                    charged.push(analyst.clone());
+                                }
                             }
+                            Err(e) => out[gi][ai] = Some(Err(e)),
                         }
                     }
                     if any_charged {
@@ -1451,6 +1674,9 @@ impl Engine {
                             epsilon: request.epsilon,
                             sensitivity,
                             rng: self.release_rng_keyed(fp),
+                            label,
+                            spent: if free { 0.0 } else { request.epsilon.value() },
+                            charged,
                             _flights: flights,
                         });
                     }
@@ -1458,22 +1684,69 @@ impl Engine {
             }
         }
 
-        // Acknowledge-after-durable: the whole tick's fan-out charges —
+        // One release per prepared group, fanned across threads.
+        let answers = rayon::par_map(&prepared, |p| {
+            let mut rng = p.rng.clone();
+            self.execute_with_rng(&p.kind, &p.entry, p.epsilon, p.sensitivity, &mut rng)
+        });
+
+        // Durable-before-acknowledge: the whole tick's fan-out charges —
         // every waiter of every group — reach the WAL in ONE group
-        // commit before any release executes.
+        // commit before any slot is acknowledged. Each charged analyst's
+        // spend rides exactly one frame, in first-appearance order: a
+        // `Replied` frame (charge + answer, atomic) when their first
+        // live waiter is tagged, a `Charged` frame otherwise; further
+        // tagged waiters of an already-charged analyst cache their
+        // answer at zero ε.
+        let mut records: Vec<Record> = Vec::new();
+        let mut mirrors: Vec<(String, u64, Vec<u8>)> = Vec::new();
+        for (p, answer) in prepared.iter().zip(&answers) {
+            let Ok(response) = answer else {
+                continue; // a failed release charges nothing durable
+            };
+            let payload = response.to_bytes();
+            let (waiters, _) = &groups[p.group];
+            for analyst in &p.charged {
+                let mut carried = false;
+                for (ai, (a, tag)) in waiters.iter().enumerate() {
+                    if a != analyst || out[p.group][ai].is_some() {
+                        continue;
+                    }
+                    match tag {
+                        Some(rid) => {
+                            let eps = if carried { 0.0 } else { p.spent };
+                            records.push(Record::replied(
+                                analyst,
+                                *rid,
+                                &p.label,
+                                eps,
+                                payload.clone(),
+                            ));
+                            mirrors.push((analyst.clone(), *rid, payload.clone()));
+                            carried = true;
+                        }
+                        None if !carried => {
+                            records.push(Record::charged(analyst, &p.label, p.spent));
+                            carried = true;
+                        }
+                        None => {}
+                    }
+                }
+            }
+        }
         let durable = match &self.store {
-            Some(store) if !charge_records.is_empty() => {
+            Some(store) if !records.is_empty() => {
                 let mut span = self.obs.span();
-                let err = store
-                    .commit(&charge_records)
-                    .map_err(EngineError::Store)
-                    .err();
+                let err = store.commit(&records).map_err(EngineError::Store).err();
                 self.obs.span_mark(&mut span, Stage::WalCommit);
                 err
             }
             _ => None,
         };
         if let Some(e) = durable {
+            // Nothing is acknowledged: the in-memory charges stand
+            // (conservative — budget is lost to the failure, never
+            // resurrected) and no waiter sees an answer.
             for p in &prepared {
                 for slot in &mut out[p.group] {
                     if slot.is_none() {
@@ -1481,18 +1754,15 @@ impl Engine {
                     }
                 }
             }
-            prepared.clear();
-        }
-
-        // One release per prepared group, fanned across threads.
-        let answers = rayon::par_map(&prepared, |p| {
-            let mut rng = p.rng.clone();
-            self.execute_with_rng(&p.kind, &p.entry, p.epsilon, p.sensitivity, &mut rng)
-        });
-        for (p, answer) in prepared.iter().zip(answers) {
-            for slot in &mut out[p.group] {
-                if slot.is_none() {
-                    *slot = Some(answer.clone());
+        } else {
+            for (analyst, rid, payload) in mirrors {
+                self.mirror_reply(&analyst, rid, payload);
+            }
+            for (p, answer) in prepared.iter().zip(answers) {
+                for slot in &mut out[p.group] {
+                    if slot.is_none() {
+                        *slot = Some(answer.clone());
+                    }
                 }
             }
         }
@@ -1567,31 +1837,98 @@ impl Engine {
         &self,
         groups: &[(Vec<String>, Request)],
     ) -> Vec<Vec<Result<Response, EngineError>>> {
-        let fail_all = |e: EngineError| -> Vec<Vec<Result<Response, EngineError>>> {
-            groups
-                .iter()
-                .map(|(analysts, _)| analysts.iter().map(|_| Err(e.clone())).collect())
-                .collect()
-        };
+        let untagged: Vec<TaggedGroup> = groups
+            .iter()
+            .map(|(analysts, request)| {
+                (
+                    analysts.iter().map(|a| (a.clone(), None)).collect(),
+                    request.clone(),
+                )
+            })
+            .collect();
+        self.serve_range_groups_tagged(&untagged)
+    }
+
+    /// [`Engine::serve_range_groups`] with per-waiter idempotency tags —
+    /// the same replay / durable-before-acknowledge semantics as
+    /// [`Engine::serve_coalesced_many_tagged`]: cached tagged waiters
+    /// replay for free before the shared release forms; everyone else's
+    /// charge rides one post-release group commit (`Replied` frames,
+    /// carrying each tagged waiter's own range answer, for tagged
+    /// waiters; `Charged` frames otherwise) before any slot is
+    /// acknowledged.
+    pub fn serve_range_groups_tagged(
+        &self,
+        groups: &[TaggedGroup],
+    ) -> Vec<Vec<Result<Response, EngineError>>> {
         let Some((_, first)) = groups.first() else {
             return Vec::new();
+        };
+        let mut out: Vec<Vec<Option<Result<Response, EngineError>>>> = groups
+            .iter()
+            .map(|(waiters, _)| (0..waiters.len()).map(|_| None).collect())
+            .collect();
+        // Replay pass first: a cached tagged waiter is a retry of an
+        // acknowledged answer, valid regardless of how the rest of the
+        // batch fares.
+        for (gi, (waiters, _)) in groups.iter().enumerate() {
+            for (ai, (analyst, tag)) in waiters.iter().enumerate() {
+                if let Some(rid) = tag {
+                    if let Some(cached) = self.cached_reply(analyst, *rid) {
+                        out[gi][ai] = Some(Ok(cached));
+                    }
+                }
+            }
+        }
+        let finish = |out: Vec<Vec<Option<Result<Response, EngineError>>>>| {
+            out.into_iter()
+                .map(|group| {
+                    group
+                        .into_iter()
+                        .map(|slot| slot.expect("every slot filled"))
+                        .collect()
+                })
+                .collect()
+        };
+        let fail_unfilled = |mut out: Vec<Vec<Option<Result<Response, EngineError>>>>,
+                             e: EngineError| {
+            for group in &mut out {
+                for slot in group.iter_mut() {
+                    if slot.is_none() {
+                        *slot = Some(Err(e.clone()));
+                    }
+                }
+            }
+            finish(out)
         };
         let mut ranges = Vec::with_capacity(groups.len());
         for (_, request) in groups {
             let RequestKind::Range { lo, hi } = request.kind else {
-                return fail_all(EngineError::InvalidRequest(
-                    "serve_range_groups takes range requests only".into(),
-                ));
+                return fail_unfilled(
+                    out,
+                    EngineError::InvalidRequest(
+                        "serve_range_groups takes range requests only".into(),
+                    ),
+                );
             };
             if request.policy != first.policy
                 || request.data != first.data
                 || request.epsilon.value().to_bits() != first.epsilon.value().to_bits()
             {
-                return fail_all(EngineError::InvalidRequest(
-                    "serve_range_groups requires one shared (policy, data, ε)".into(),
-                ));
+                return fail_unfilled(
+                    out,
+                    EngineError::InvalidRequest(
+                        "serve_range_groups requires one shared (policy, data, ε)".into(),
+                    ),
+                );
             }
             ranges.push((lo, hi));
+        }
+        if out
+            .iter()
+            .all(|group| group.iter().all(|slot| slot.is_some()))
+        {
+            return finish(out); // every waiter was replayed from the cache
         }
 
         // Resolve, validate and calibrate the one shared release.
@@ -1624,11 +1961,12 @@ impl Engine {
         })();
         let (entry, sensitivity, fp, _flights) = match prepared {
             Ok(p) => p,
-            Err(e) => return fail_all(e),
+            Err(e) => return fail_unfilled(out, e),
         };
 
-        // Charge each distinct analyst once, in first-appearance order
-        // (deterministic — the WAL reads like the charge sequence).
+        // Charge each distinct analyst with at least one live (uncached)
+        // waiter once, in first-appearance order (deterministic — the
+        // WAL reads like the charge sequence).
         let label = format!(
             "coalesced-batch:{}xrange@{}/{}",
             ranges.len(),
@@ -1636,72 +1974,114 @@ impl Engine {
             first.data
         );
         let free = sensitivity == 0.0;
+        let spent = if free { 0.0 } else { first.epsilon.value() };
         let mut verdicts: BTreeMap<&str, Result<(), EngineError>> = BTreeMap::new();
-        let mut charge_records: Vec<Record> = Vec::new();
-        for (analysts, _) in groups {
-            for analyst in analysts {
-                if verdicts.contains_key(analyst.as_str()) {
+        let mut charged: Vec<&str> = Vec::new();
+        for (gi, (waiters, _)) in groups.iter().enumerate() {
+            for (ai, (analyst, _)) in waiters.iter().enumerate() {
+                if out[gi][ai].is_some() || verdicts.contains_key(analyst.as_str()) {
                     continue;
                 }
-                let charged = self.session(analyst).and_then(|session| {
+                let verdict = self.session(analyst).and_then(|session| {
                     session.lock().expect("session poisoned").charge(
                         label.clone(),
                         first.epsilon,
                         free,
                     )
                 });
-                if charged.is_ok() && self.store.is_some() {
-                    charge_records.push(Record::charged(
-                        analyst,
-                        &label,
-                        if free { 0.0 } else { first.epsilon.value() },
-                    ));
+                if verdict.is_ok() {
+                    charged.push(analyst.as_str());
                 }
-                verdicts.insert(analyst.as_str(), charged);
+                verdicts.insert(analyst.as_str(), verdict);
             }
         }
-        if verdicts.values().all(|v| v.is_err()) {
-            return groups
-                .iter()
-                .map(|(analysts, _)| {
-                    analysts
-                        .iter()
-                        .map(|a| Err(verdicts[a.as_str()].clone().unwrap_err()))
-                        .collect()
-                })
-                .collect();
-        }
-        // Acknowledge-after-durable: all fan-out charges ride one commit
-        // before the shared release executes. On a store failure nothing
-        // is released — charged slots surface the store error, refused
-        // slots keep their own charge error.
-        let answers = match &self.store {
-            Some(store) if !charge_records.is_empty() => {
-                let mut span = self.obs.span();
-                let committed = store.commit(&charge_records).map_err(EngineError::Store);
-                self.obs.span_mark(&mut span, Stage::WalCommit);
-                committed.and_then(|()| {
-                    self.execute_range_group(&entry, first.epsilon, sensitivity, fp, &ranges)
-                })
+        if charged.is_empty() {
+            for (gi, (waiters, _)) in groups.iter().enumerate() {
+                for (ai, (analyst, _)) in waiters.iter().enumerate() {
+                    if out[gi][ai].is_none() {
+                        out[gi][ai] = Some(Err(verdicts[analyst.as_str()].clone().unwrap_err()));
+                    }
+                }
             }
-            _ => self.execute_range_group(&entry, first.epsilon, sensitivity, fp, &ranges),
+            return finish(out);
+        }
+        // Durable-before-acknowledge: the shared release executes, then
+        // every fan-out charge rides ONE commit — each charged analyst's
+        // spend on exactly one frame (`Replied` with their own range
+        // answer when their first live waiter is tagged, `Charged`
+        // otherwise; further tagged waiters cache at zero ε) — and only
+        // then is any slot acknowledged. On a store failure charged
+        // slots surface the store error, refused slots keep their own
+        // charge error, and the in-memory spend stands.
+        let answers = self.execute_range_group(&entry, first.epsilon, sensitivity, fp, &ranges);
+        let committed = match (&answers, &self.store) {
+            (Ok(batch), store) => {
+                let mut records: Vec<Record> = Vec::new();
+                let mut mirrors: Vec<(String, u64, Vec<u8>)> = Vec::new();
+                let mut carried: Vec<&str> = Vec::new();
+                for (gi, (waiters, _)) in groups.iter().enumerate() {
+                    for (ai, (analyst, tag)) in waiters.iter().enumerate() {
+                        if out[gi][ai].is_some()
+                            || !matches!(verdicts.get(analyst.as_str()), Some(Ok(())))
+                        {
+                            continue;
+                        }
+                        let carries = !carried.contains(&analyst.as_str());
+                        match tag {
+                            Some(rid) => {
+                                let payload = Response::Scalar(batch[gi]).to_bytes();
+                                records.push(Record::replied(
+                                    analyst,
+                                    *rid,
+                                    &label,
+                                    if carries { spent } else { 0.0 },
+                                    payload.clone(),
+                                ));
+                                mirrors.push((analyst.clone(), *rid, payload));
+                                carried.push(analyst.as_str());
+                            }
+                            None if carries => {
+                                records.push(Record::charged(analyst, &label, spent));
+                                carried.push(analyst.as_str());
+                            }
+                            None => {}
+                        }
+                    }
+                }
+                let result = match store {
+                    Some(store) if !records.is_empty() => {
+                        let mut span = self.obs.span();
+                        let committed = store.commit(&records).map_err(EngineError::Store);
+                        self.obs.span_mark(&mut span, Stage::WalCommit);
+                        committed
+                    }
+                    _ => Ok(()),
+                };
+                if result.is_ok() {
+                    for (analyst, rid, payload) in mirrors {
+                        self.mirror_reply(&analyst, rid, payload);
+                    }
+                }
+                result
+            }
+            (Err(_), _) => Ok(()), // a failed release charges nothing durable
         };
-        groups
-            .iter()
-            .enumerate()
-            .map(|(gi, (analysts, _))| {
-                analysts
-                    .iter()
-                    .map(|a| match &verdicts[a.as_str()] {
-                        Err(e) => Err(e.clone()),
-                        Ok(()) => answers
-                            .as_ref()
-                            .map(|batch| Response::Scalar(batch[gi]))
-                            .map_err(|e| e.clone()),
-                    })
-                    .collect()
-            })
-            .collect()
+        for (gi, (waiters, _)) in groups.iter().enumerate() {
+            for (ai, (analyst, _)) in waiters.iter().enumerate() {
+                if out[gi][ai].is_some() {
+                    continue;
+                }
+                out[gi][ai] = Some(match &verdicts[analyst.as_str()] {
+                    Err(e) => Err(e.clone()),
+                    Ok(()) => match (&answers, &committed) {
+                        (_, Err(e)) => Err(e.clone()),
+                        (Err(e), _) => Err(e.clone()),
+                        (Ok(batch), Ok(())) => Ok(Response::Scalar(batch[gi])),
+                    },
+                });
+            }
+        }
+        finish(out)
     }
 
     /// The shared Ordered release behind [`Engine::serve_range_groups`]:

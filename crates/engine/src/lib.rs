@@ -47,6 +47,13 @@
 //!   crash resume with their spent ε intact, and re-registration after
 //!   recovery is fingerprint-checked so a swapped policy or dataset
 //!   cannot inherit the original's ledgers.
+//! * **Exactly-once retries** ([`Engine::serve_tagged`]): a request
+//!   stamped with a durable idempotency key `(analyst, request_id)`
+//!   commits its charge and its encoded answer in **one atomic WAL
+//!   frame** after the release executes; a retry — in-process or after
+//!   a crash — replays the identical bytes from the bounded reply cache
+//!   at zero additional ε. The coalesced fan-out paths accept the same
+//!   tags per waiter.
 //! * **Lifecycle**: idle sessions can be evicted
 //!   ([`Engine::evict_idle_sessions`]) — their ledgers park and
 //!   reattach on the next `open_session`, so eviction never forgets
@@ -69,7 +76,7 @@ mod session;
 mod shard;
 
 pub use cache::{CacheStats, SensitivityCache};
-pub use engine::{Engine, ParkedSession};
+pub use engine::{Engine, ParkedSession, TaggedGroup};
 pub use error::EngineError;
 pub use request::{Request, RequestKind, Response};
 pub use session::AnalystSession;
@@ -1264,5 +1271,165 @@ mod tests {
         assert!(stages.contains(&bf_obs::Stage::Release));
         assert!(stages.contains(&bf_obs::Stage::WalCommit));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn replay_hits(engine: &Engine) -> u64 {
+        engine
+            .metrics_snapshot()
+            .iter()
+            .find_map(|s| match s {
+                bf_obs::MetricSnapshot::Counter { name, value } if name == "replay_cache_hits" => {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// The exactly-once contract, in-process: retrying a tagged request
+    /// replays the identical bytes and charges nothing; a fresh id is a
+    /// fresh request.
+    #[test]
+    fn tagged_retries_replay_bit_identically_at_zero_charge() {
+        let engine = engine_with_line_policy(32, 2);
+        engine.open_session("alice", eps(1.0)).unwrap();
+        let req = Request::range("pol", "ds", eps(0.25), 2, 9);
+        let first = engine.serve_tagged("alice", 7, &req).unwrap();
+        let retry = engine.serve_tagged("alice", 7, &req).unwrap();
+        assert_eq!(first.to_bytes(), retry.to_bytes(), "bit-identical replay");
+        let snap = engine.session_snapshot("alice").unwrap();
+        assert!((snap.spent() - 0.25).abs() < 1e-12, "retry charged nothing");
+        assert_eq!(replay_hits(&engine), 1);
+        // A different request id is a new request: new noise, new charge.
+        let other = engine.serve_tagged("alice", 8, &req).unwrap();
+        assert_ne!(other.to_bytes(), first.to_bytes());
+        assert!((engine.session_snapshot("alice").unwrap().spent() - 0.5).abs() < 1e-12);
+        assert_eq!(replay_hits(&engine), 1);
+    }
+
+    /// A tagged request's charge and answer ride one durable frame, so
+    /// the replay guarantee survives a crash: the restarted engine
+    /// answers the retried id from the recovered reply cache with zero
+    /// additional spend.
+    #[test]
+    fn tagged_replies_survive_restart() {
+        let dir = bf_store::scratch_dir("engine-tagged-restart");
+        let build = || {
+            let store = Arc::new(Store::open(&dir).unwrap());
+            let engine = Engine::with_store(42, store);
+            let domain = Domain::line(32).unwrap();
+            engine
+                .register_policy("pol", Policy::distance_threshold(domain.clone(), 2))
+                .unwrap();
+            let rows: Vec<usize> = (0..320).map(|i| (i * 7) % 32).collect();
+            engine
+                .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+                .unwrap();
+            engine
+        };
+        let req = Request::range("pol", "ds", eps(0.25), 1, 9);
+        let original = {
+            let engine = build();
+            engine.open_session("alice", eps(1.0)).unwrap();
+            engine.serve_tagged("alice", 42, &req).unwrap()
+        }; // dropped without checkpoint: simulated crash
+        let engine = build();
+        engine.open_session("alice", eps(1.0)).unwrap();
+        let retried = engine.serve_tagged("alice", 42, &req).unwrap();
+        assert_eq!(
+            retried.to_bytes(),
+            original.to_bytes(),
+            "the recovered cache replays the pre-crash answer"
+        );
+        assert_eq!(replay_hits(&engine), 1);
+        assert!(
+            (engine.session_remaining("alice").unwrap() - 0.75).abs() < 1e-12,
+            "the retry cost nothing on top of the recovered 0.25 spend"
+        );
+        // The cached reply also survives a checkpoint (snapshot path).
+        engine.checkpoint().unwrap();
+        drop(engine);
+        let engine = build();
+        engine.open_session("alice", eps(1.0)).unwrap();
+        assert_eq!(
+            engine.serve_tagged("alice", 42, &req).unwrap().to_bytes(),
+            original.to_bytes()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Tagged waiters in a coalesced fan-out: each analyst is charged
+    /// once per release, duplicate same-analyst tags still get their
+    /// answer cached, and a later retry of any tag replays for free.
+    #[test]
+    fn tagged_coalesced_fanout_charges_once_and_caches_every_tag() {
+        let engine = engine_with_line_policy(64, 2);
+        for a in ["a", "b"] {
+            engine.open_session(a, eps(1.0)).unwrap();
+        }
+        let req = Request::range("pol", "ds", eps(0.3), 10, 30);
+        let groups = vec![(
+            vec![
+                ("a".to_owned(), Some(1)),
+                ("a".to_owned(), Some(2)),
+                ("b".to_owned(), None),
+            ],
+            req.clone(),
+        )];
+        let slots = engine.serve_coalesced_many_tagged(&groups);
+        assert!(slots[0].iter().all(|s| s.is_ok()));
+        // One release: everyone sees the same answer; "a" paid once for
+        // two waiter slots.
+        let bits: Vec<Vec<u8>> = slots[0]
+            .iter()
+            .map(|s| s.as_ref().unwrap().to_bytes())
+            .collect();
+        assert!(bits.windows(2).all(|w| w[0] == w[1]));
+        assert!((engine.session_snapshot("a").unwrap().spent() - 0.3).abs() < 1e-12);
+        assert!((engine.session_snapshot("b").unwrap().spent() - 0.3).abs() < 1e-12);
+        // Both of a's tags replay for free — including the zero-ε
+        // duplicate.
+        for rid in [1, 2] {
+            assert_eq!(
+                engine.serve_tagged("a", rid, &req).unwrap().to_bytes(),
+                bits[0]
+            );
+        }
+        assert!((engine.session_snapshot("a").unwrap().spent() - 0.3).abs() < 1e-12);
+        assert_eq!(replay_hits(&engine), 2);
+        // Retrying through the fan-out path itself also hits the cache:
+        // the whole group is replayed, nothing is charged, and no release
+        // ordinal is consumed.
+        let replayed = engine.serve_coalesced_many_tagged(&[(
+            vec![("a".to_owned(), Some(1)), ("a".to_owned(), Some(2))],
+            req.clone(),
+        )]);
+        assert!(replayed[0]
+            .iter()
+            .all(|s| s.as_ref().unwrap().to_bytes() == bits[0]));
+        assert!((engine.session_snapshot("a").unwrap().spent() - 0.3).abs() < 1e-12);
+    }
+
+    /// Tagged range groups cache each waiter's **own** range answer —
+    /// different endpoints, different payloads — while still charging
+    /// each analyst once for the shared release.
+    #[test]
+    fn tagged_range_groups_cache_each_waiters_own_answer() {
+        let engine = engine_with_line_policy(64, 2);
+        engine.open_session("a", eps(1.0)).unwrap();
+        let r1 = Request::range("pol", "ds", eps(0.5), 8, 24);
+        let r2 = Request::range("pol", "ds", eps(0.5), 2, 30);
+        let groups = vec![
+            (vec![("a".to_owned(), Some(11))], r1.clone()),
+            (vec![("a".to_owned(), Some(12))], r2.clone()),
+        ];
+        let slots = engine.serve_range_groups_tagged(&groups);
+        let a1 = slots[0][0].as_ref().unwrap().clone();
+        let a2 = slots[1][0].as_ref().unwrap().clone();
+        assert!((engine.session_snapshot("a").unwrap().spent() - 0.5).abs() < 1e-12);
+        // Each tag replays its own group's answer.
+        assert_eq!(engine.serve_tagged("a", 11, &r1).unwrap(), a1);
+        assert_eq!(engine.serve_tagged("a", 12, &r2).unwrap(), a2);
+        assert!((engine.session_snapshot("a").unwrap().spent() - 0.5).abs() < 1e-12);
     }
 }

@@ -173,7 +173,88 @@ pub enum Response {
     Centroids(Vec<Vec<f64>>),
 }
 
+/// Payload tags for [`Response::to_bytes`].
+const TAG_RESP_HISTOGRAM: u8 = 0;
+const TAG_RESP_PREFIXES: u8 = 1;
+const TAG_RESP_SCALAR: u8 = 2;
+const TAG_RESP_CENTROIDS: u8 = 3;
+
 impl Response {
+    /// Encodes the answer bit-exactly (every `f64` as its raw bit
+    /// pattern): one tag byte, then the variant's payload. This is the
+    /// byte string a durable `Replied` ledger frame carries, so a
+    /// retried request replays the **identical** answer — same noise,
+    /// same bits — instead of drawing a fresh release.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use bf_store::put_u64;
+        let mut out = Vec::new();
+        match self {
+            Response::Histogram(v) | Response::Prefixes(v) => {
+                out.push(if matches!(self, Response::Histogram(_)) {
+                    TAG_RESP_HISTOGRAM
+                } else {
+                    TAG_RESP_PREFIXES
+                });
+                put_u64(&mut out, v.len() as u64);
+                for x in v {
+                    put_u64(&mut out, x.to_bits());
+                }
+            }
+            Response::Scalar(x) => {
+                out.push(TAG_RESP_SCALAR);
+                put_u64(&mut out, x.to_bits());
+            }
+            Response::Centroids(cs) => {
+                out.push(TAG_RESP_CENTROIDS);
+                put_u64(&mut out, cs.len() as u64);
+                for c in cs {
+                    put_u64(&mut out, c.len() as u64);
+                    for x in c {
+                        put_u64(&mut out, x.to_bits());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes [`Response::to_bytes`] output; `None` on any malformed,
+    /// truncated or trailing-garbage input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        use bf_store::Reader;
+        let mut r = Reader::new(bytes);
+        let response = match r.u8()? {
+            tag @ (TAG_RESP_HISTOGRAM | TAG_RESP_PREFIXES) => {
+                let len = r.u64()? as usize;
+                let mut v = Vec::with_capacity(len.min(bytes.len() / 8));
+                for _ in 0..len {
+                    v.push(f64::from_bits(r.u64()?));
+                }
+                if tag == TAG_RESP_HISTOGRAM {
+                    Response::Histogram(v)
+                } else {
+                    Response::Prefixes(v)
+                }
+            }
+            TAG_RESP_SCALAR => Response::Scalar(f64::from_bits(r.u64()?)),
+            TAG_RESP_CENTROIDS => {
+                let k = r.u64()? as usize;
+                let mut cs = Vec::with_capacity(k.min(bytes.len() / 8));
+                for _ in 0..k {
+                    let dim = r.u64()? as usize;
+                    let mut c = Vec::with_capacity(dim.min(bytes.len() / 8));
+                    for _ in 0..dim {
+                        c.push(f64::from_bits(r.u64()?));
+                    }
+                    cs.push(c);
+                }
+                Response::Centroids(cs)
+            }
+            _ => return None,
+        };
+        r.done().then_some(response)
+    }
+
     /// The scalar payload, if this is a scalar answer.
     pub fn scalar(&self) -> Option<f64> {
         match self {
@@ -222,6 +303,29 @@ mod tests {
         let r = Request::kmeans("pol", "pts", eps(), 3, 5, KmeansSecretSpec::Full);
         assert!(r.query_class().is_none());
         assert_eq!(r.label(), "kmeans@pol/pts");
+    }
+
+    #[test]
+    fn response_bytes_round_trip_bit_exactly() {
+        let samples = [
+            Response::Histogram(vec![1.5, -0.0, f64::MIN_POSITIVE]),
+            Response::Prefixes(vec![]),
+            Response::Scalar(-17.25),
+            Response::Centroids(vec![vec![0.1, 0.2], vec![3.0, 4.0]]),
+        ];
+        for s in &samples {
+            let bytes = s.to_bytes();
+            let back = Response::from_bytes(&bytes).expect("round trip");
+            assert_eq!(back.to_bytes(), bytes, "bit-exact: {s:?}");
+        }
+        assert!(Response::from_bytes(&[]).is_none());
+        assert!(Response::from_bytes(&[9]).is_none(), "unknown tag");
+        let mut truncated = Response::Scalar(1.0).to_bytes();
+        truncated.pop();
+        assert!(Response::from_bytes(&truncated).is_none());
+        let mut trailing = Response::Scalar(1.0).to_bytes();
+        trailing.push(0);
+        assert!(Response::from_bytes(&trailing).is_none());
     }
 
     #[test]

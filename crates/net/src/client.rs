@@ -9,6 +9,7 @@ use bf_store::{frame_bytes, read_frame, FrameRead};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// An analyst's ledger as reported by the server.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,6 +22,58 @@ pub struct BudgetSnapshot {
     pub remaining: f64,
     /// Requests served.
     pub served: u64,
+}
+
+/// How hard the client tries before giving up: attempt budget plus a
+/// capped exponential backoff whose jitter is **deterministic** in
+/// `seed` (via [`bf_chaos::ChaosRng`]), so a chaos test replaying the
+/// same seed observes the same retry cadence.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Clamped to at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base_backoff: Duration,
+    /// Ceiling the doubling saturates at (before jitter).
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            seed: 0x0062_666e_6574, // "bfnet"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered wait before retry number `attempt` (0-based).
+    fn wait(&self, rng: &mut bf_chaos::ChaosRng, attempt: u32) -> Duration {
+        Duration::from_micros(bf_chaos::backoff_micros(
+            rng,
+            self.base_backoff.as_micros() as u64,
+            self.max_backoff.as_micros() as u64,
+            attempt,
+        ))
+    }
+}
+
+/// Whether an error is worth retrying: transport failures and timeouts
+/// are; typed refusals, version mismatches and protocol violations are
+/// deterministic and will simply repeat.
+fn transient(e: &NetError) -> bool {
+    matches!(
+        e,
+        NetError::Io(_)
+            | NetError::ConnectionLost { .. }
+            | NetError::TimedOut
+            | NetError::RetriesExhausted { .. }
+    )
 }
 
 /// A blocking, pipelining client for one serving process.
@@ -58,6 +111,12 @@ pub struct Client {
     /// Sessions opened through this client: analyst → total ε bits
     /// (BTreeMap so reattach order is deterministic).
     sessions: BTreeMap<String, u64>,
+    /// How long a blocking receive waits before [`NetError::TimedOut`].
+    timeout: Option<Duration>,
+    /// Next idempotency key. Seeded from the wall clock at connect so
+    /// keys stay unique across client restarts against the same
+    /// server-side reply cache.
+    next_request_id: u64,
 }
 
 impl Client {
@@ -73,6 +132,10 @@ impl Client {
             .next()
             .ok_or_else(|| NetError::Protocol("address resolved to nothing".into()))?;
         let stream = Self::dial(addr)?;
+        let next_request_id = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(1);
         let mut client = Client {
             addr,
             stream,
@@ -81,6 +144,8 @@ impl Client {
             pending: HashSet::new(),
             ready: HashMap::new(),
             sessions: BTreeMap::new(),
+            timeout: None,
+            next_request_id,
         };
         client.handshake()?;
         Ok(client)
@@ -127,14 +192,41 @@ impl Client {
         id
     }
 
+    fn fresh_request_id(&mut self) -> u64 {
+        let rid = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1);
+        rid
+    }
+
+    /// Caps how long a blocking receive waits before surfacing
+    /// [`NetError::TimedOut`]; `None` (the default) blocks forever.
+    ///
+    /// A timed-out request may still be served — and charged — by the
+    /// server. Retry it with the same idempotency key
+    /// ([`Client::call_idempotent`] does) so the durable reply cache
+    /// answers instead of a second charge.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when clearing the socket's read timeout fails.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.timeout = timeout;
+        if timeout.is_none() {
+            self.stream.set_read_timeout(None)?;
+        }
+        Ok(())
+    }
+
     fn send(&mut self, msg: &ClientMessage) -> Result<(), NetError> {
         self.stream.write_all(&frame_bytes(&msg.encode()))?;
         self.pending.insert(msg.id());
         Ok(())
     }
 
-    /// Reads one message off the wire (blocking).
+    /// Reads one message off the wire, blocking at most the configured
+    /// [`Client::set_timeout`] (forever when unset).
     fn recv_message(&mut self) -> Result<ServerMessage, NetError> {
+        let deadline = self.timeout.map(|t| Instant::now() + t);
         let mut chunk = [0u8; 16 * 1024];
         loop {
             match read_frame(&self.buf) {
@@ -149,13 +241,30 @@ impl Client {
                 }
                 FrameRead::Incomplete => {}
             }
-            let n = self.stream.read(&mut chunk)?;
-            if n == 0 {
-                let mut in_flight: Vec<u64> = self.pending.drain().collect();
-                in_flight.sort_unstable();
-                return Err(NetError::ConnectionLost { in_flight });
+            if let Some(deadline) = deadline {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(NetError::TimedOut);
+                }
+                self.stream.set_read_timeout(Some(remaining))?;
             }
-            self.buf.extend_from_slice(&chunk[..n]);
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    let mut in_flight: Vec<u64> = self.pending.drain().collect();
+                    in_flight.sort_unstable();
+                    return Err(NetError::ConnectionLost { in_flight });
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(NetError::TimedOut)
+                }
+                Err(e) => return Err(NetError::Io(e)),
+            }
         }
     }
 
@@ -216,11 +325,34 @@ impl Client {
     ///
     /// [`NetError::Io`] when the send fails (reconnect to recover).
     pub fn submit(&mut self, analyst: &str, request: &Request) -> Result<u64, NetError> {
+        self.submit_tagged(analyst, request, None, None)
+    }
+
+    /// Pipelines one request carrying an optional idempotency key and
+    /// an optional server-side deadline (µs the request may wait
+    /// undispatched before the scheduler refuses it, charge-free).
+    ///
+    /// A keyed request the server has already answered replays its
+    /// durable answer bit-for-bit at zero additional ε — the primitive
+    /// [`Client::call_idempotent`] builds its retry loop on.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the send fails (reconnect to recover).
+    pub fn submit_tagged(
+        &mut self,
+        analyst: &str,
+        request: &Request,
+        request_id: Option<u64>,
+        deadline_micros: Option<u64>,
+    ) -> Result<u64, NetError> {
         let id = self.fresh_id();
         self.send(&ClientMessage::Submit {
             id,
             analyst: analyst.to_owned(),
             request: WireRequest::from_request(request),
+            request_id,
+            deadline_micros,
         })?;
         Ok(id)
     }
@@ -249,6 +381,61 @@ impl Client {
     pub fn call(&mut self, analyst: &str, request: &Request) -> Result<Response, NetError> {
         let id = self.submit(analyst, request)?;
         self.wait(id)
+    }
+
+    /// An exactly-once call: stamps the request with a fresh durable
+    /// idempotency key and retries transport failures
+    /// ([`NetError::Io`] / [`NetError::ConnectionLost`] /
+    /// [`NetError::TimedOut`]) by reconnecting, backing off
+    /// (deterministic jitter from `policy.seed`), and resubmitting
+    /// **the same key**. However the first attempt died — before the
+    /// server saw it, after it charged but before the reply, or with
+    /// the reply lost on the wire — the retry either performs the work
+    /// once or replays the durable answer bit-for-bit at zero
+    /// additional ε.
+    ///
+    /// Typed refusals ([`NetError::Remote`]) and protocol errors are
+    /// deterministic and surface immediately, unretried.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::RetriesExhausted`] once `policy.max_attempts` all
+    /// failed transiently; the non-transient errors above as-is.
+    pub fn call_idempotent(
+        &mut self,
+        analyst: &str,
+        request: &Request,
+        policy: &RetryPolicy,
+    ) -> Result<Response, NetError> {
+        let rid = self.fresh_request_id();
+        let attempts = policy.max_attempts.max(1);
+        let mut rng = bf_chaos::ChaosRng::new(policy.seed ^ rid);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(policy.wait(&mut rng, attempt - 1));
+                match self.reconnect() {
+                    Ok(_) => {}
+                    Err(e) if transient(&e) => {
+                        last = Some(e);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let outcome = self
+                .submit_tagged(analyst, request, Some(rid), None)
+                .and_then(|id| self.wait(id));
+            match outcome {
+                Ok(response) => return Ok(response),
+                Err(e) if transient(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(NetError::RetriesExhausted {
+            attempts,
+            last: Box::new(last.expect("at least one attempt ran")),
+        })
     }
 
     /// Submits a batch answered as one correlated reply; compatible
@@ -344,9 +531,63 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport/handshake errors; [`NetError::Remote`] when a session
-    /// no longer reattaches (e.g. total mismatch).
+    /// Transport/handshake errors after the default policy's attempts
+    /// run out ([`NetError::RetriesExhausted`]); [`NetError::Remote`]
+    /// when a session no longer reattaches (e.g. total mismatch).
     pub fn reconnect(&mut self) -> Result<Vec<(String, f64)>, NetError> {
+        self.reconnect_with(&RetryPolicy::default())
+    }
+
+    /// [`Client::reconnect`] under an explicit policy: dials are
+    /// retried with capped exponential backoff and deterministic
+    /// jitter until one succeeds or `policy.max_attempts` are spent.
+    /// Deterministic refusals — a typed [`NetError::Remote`] on
+    /// reattach, a version mismatch — surface immediately; retrying
+    /// them would only repeat the refusal.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::reconnect`].
+    pub fn reconnect_with(&mut self, policy: &RetryPolicy) -> Result<Vec<(String, f64)>, NetError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut rng = bf_chaos::ChaosRng::new(policy.seed);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(policy.wait(&mut rng, attempt - 1));
+            }
+            match self.reconnect_once() {
+                Ok(reattached) => return Ok(reattached),
+                Err(e @ (NetError::Remote(_) | NetError::VersionMismatch { .. })) => return Err(e),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(NetError::RetriesExhausted {
+            attempts,
+            last: Box::new(last.expect("at least one attempt ran")),
+        })
+    }
+
+    /// Re-points the client at `addr` — a serving process restarted on
+    /// a different port — then reconnects and reattaches as
+    /// [`Client::reconnect`] does.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::reconnect`], plus [`NetError::Protocol`] when
+    /// `addr` resolves to nothing.
+    pub fn reconnect_to(
+        &mut self,
+        addr: impl ToSocketAddrs,
+    ) -> Result<Vec<(String, f64)>, NetError> {
+        self.addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| NetError::Protocol("address resolved to nothing".into()))?;
+        self.reconnect()
+    }
+
+    fn reconnect_once(&mut self) -> Result<Vec<(String, f64)>, NetError> {
         self.stream = Self::dial(self.addr)?;
         self.buf.clear();
         self.pending.clear();

@@ -29,6 +29,22 @@ pub enum NetError {
     },
     /// The server refused the request with a typed error.
     Remote(WireError),
+    /// No reply arrived within the client's configured timeout
+    /// ([`crate::Client::set_timeout`]). The request may still be
+    /// served and charged; retry with the same idempotency key
+    /// ([`crate::Client::call_idempotent`]) to replay the durable
+    /// answer rather than paying twice.
+    TimedOut,
+    /// A retry loop gave up: every attempt failed, `last` being the
+    /// final failure. Raised by [`crate::Client::call_idempotent`] and
+    /// [`crate::Client::reconnect_with`] once their attempt budget is
+    /// spent.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<NetError>,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -45,6 +61,10 @@ impl fmt::Display for NetError {
                 in_flight.len()
             ),
             NetError::Remote(e) => write!(f, "server refused: {e}"),
+            NetError::TimedOut => write!(f, "timed out waiting for a reply"),
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempt(s): {last}")
+            }
         }
     }
 }
@@ -54,6 +74,7 @@ impl std::error::Error for NetError {
         match self {
             NetError::Io(e) => Some(e),
             NetError::Remote(e) => Some(e),
+            NetError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -80,5 +101,12 @@ mod tests {
             in_flight: vec![1, 2],
         };
         assert!(e.to_string().contains("2 request(s)"));
+        let e = NetError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(NetError::TimedOut),
+        };
+        assert!(e.to_string().contains("3 attempt(s)"));
+        assert!(e.to_string().contains("timed out"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -46,7 +46,7 @@ mod error;
 pub mod proto;
 mod server;
 
-pub use client::{BudgetSnapshot, Client};
+pub use client::{BudgetSnapshot, Client, RetryPolicy};
 pub use error::NetError;
 pub use proto::{ClientMessage, ServerMessage, WireError, WireMetric, PROTOCOL_VERSION};
 pub use server::{NetConfig, NetServer, NetStats};

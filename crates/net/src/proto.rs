@@ -52,8 +52,13 @@ use bf_mechanisms::kmeans::KmeansSecretSpec;
 use bf_store::{put_str, put_u64, Reader};
 
 /// Protocol version this build speaks. The handshake refuses a peer
-/// whose version differs — there is exactly one version so far.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// whose version differs. Version 2 added exactly-once retry support:
+/// [`ClientMessage::Submit`] carries an optional idempotency key
+/// (`request_id`) and an optional scheduling deadline, and
+/// [`WireError`] gained [`WireError::Overloaded`] /
+/// [`WireError::DeadlineExceeded`] for the server's graceful
+/// degradation under load.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// A query as it travels the wire: names, exact ε bits, and the kind
 /// payload. Conversion to an engine [`Request`] validates ε.
@@ -295,6 +300,21 @@ pub enum WireError {
     Protocol(String),
     /// Any other server-side failure, rendered.
     Other(String),
+    /// Load shedding: the server's total backlog is at its configured
+    /// shed depth. Nothing was queued or charged; back off and
+    /// resubmit.
+    Overloaded {
+        /// Total queued requests at refusal time.
+        depth: u64,
+        /// The configured shed threshold.
+        limit: u64,
+    },
+    /// The request's deadline elapsed before dispatch; refused before
+    /// any charge.
+    DeadlineExceeded {
+        /// Whose request expired.
+        analyst: String,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -338,6 +358,15 @@ impl std::fmt::Display for WireError {
             WireError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
             WireError::Protocol(m) => write!(f, "protocol violation: {m}"),
             WireError::Other(m) => write!(f, "server error: {m}"),
+            WireError::Overloaded { depth, limit } => {
+                write!(
+                    f,
+                    "overloaded: {depth} requests queued (shed depth {limit})"
+                )
+            }
+            WireError::DeadlineExceeded { analyst } => {
+                write!(f, "deadline exceeded for {analyst:?} before dispatch")
+            }
         }
     }
 }
@@ -372,6 +401,15 @@ pub enum ClientMessage {
         analyst: String,
         /// The query.
         request: WireRequest,
+        /// Durable idempotency key: a resubmission with the same
+        /// `(analyst, request_id)` replays the original answer
+        /// bit-for-bit at **zero additional ε** instead of drawing a
+        /// fresh release. `None` opts out of retry safety.
+        request_id: Option<u64>,
+        /// Scheduling deadline in microseconds from receipt: refuse
+        /// (before any charge) rather than answer late. `None` waits
+        /// indefinitely.
+        deadline_micros: Option<u64>,
     },
     /// Submit several queries answered as one correlated batch (the
     /// server's coalescing window folds compatible members into shared
@@ -628,6 +666,13 @@ impl WireError {
                 requested_bits: requested.to_bits(),
                 remaining_bits: remaining.to_bits(),
             },
+            SE::Overloaded { depth, limit } => WireError::Overloaded {
+                depth: *depth as u64,
+                limit: *limit as u64,
+            },
+            SE::DeadlineExceeded { analyst } => WireError::DeadlineExceeded {
+                analyst: analyst.clone(),
+            },
             SE::ShutDown => WireError::ShutDown,
             SE::Engine(e) => WireError::from_engine_error(e),
         }
@@ -712,6 +757,11 @@ const ERR_SESSION_EVICTED: u8 = 10;
 const ERR_INVALID_REQUEST: u8 = 11;
 const ERR_PROTOCOL: u8 = 12;
 const ERR_OTHER: u8 = 13;
+const ERR_OVERLOADED: u8 = 14;
+const ERR_DEADLINE_EXCEEDED: u8 = 15;
+
+const OPT_NONE: u8 = 0;
+const OPT_SOME: u8 = 1;
 
 const SLOT_OK: u8 = 1;
 const SLOT_ERR: u8 = 2;
@@ -731,6 +781,24 @@ fn read_u16(r: &mut Reader<'_>) -> Option<u16> {
     let lo = r.u8()?;
     let hi = r.u8()?;
     Some(u16::from_le_bytes([lo, hi]))
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(OPT_NONE),
+        Some(x) => {
+            out.push(OPT_SOME);
+            put_u64(out, x);
+        }
+    }
+}
+
+fn read_opt_u64(r: &mut Reader<'_>) -> Option<Option<u64>> {
+    match r.u8()? {
+        OPT_NONE => Some(None),
+        OPT_SOME => Some(Some(r.u64()?)),
+        _ => None,
+    }
 }
 
 /// Bounds a decoder's `Vec` pre-allocation: counts are
@@ -997,6 +1065,15 @@ fn encode_error(out: &mut Vec<u8>, e: &WireError) {
             out.push(ERR_OTHER);
             put_str(out, m);
         }
+        WireError::Overloaded { depth, limit } => {
+            out.push(ERR_OVERLOADED);
+            put_u64(out, *depth);
+            put_u64(out, *limit);
+        }
+        WireError::DeadlineExceeded { analyst } => {
+            out.push(ERR_DEADLINE_EXCEEDED);
+            put_str(out, analyst);
+        }
     }
 }
 
@@ -1026,6 +1103,11 @@ fn decode_error(r: &mut Reader<'_>) -> Option<WireError> {
         ERR_INVALID_REQUEST => WireError::InvalidRequest(r.str()?),
         ERR_PROTOCOL => WireError::Protocol(r.str()?),
         ERR_OTHER => WireError::Other(r.str()?),
+        ERR_OVERLOADED => WireError::Overloaded {
+            depth: r.u64()?,
+            limit: r.u64()?,
+        },
+        ERR_DEADLINE_EXCEEDED => WireError::DeadlineExceeded { analyst: r.str()? },
         _ => return None,
     })
 }
@@ -1067,11 +1149,15 @@ impl ClientMessage {
                 id,
                 analyst,
                 request,
+                request_id,
+                deadline_micros,
             } => {
                 out.push(TAG_SUBMIT);
                 put_u64(&mut out, *id);
                 put_str(&mut out, analyst);
                 encode_request(&mut out, request);
+                put_opt_u64(&mut out, *request_id);
+                put_opt_u64(&mut out, *deadline_micros);
             }
             ClientMessage::SubmitBatch {
                 id,
@@ -1123,6 +1209,8 @@ impl ClientMessage {
                 id: r.u64()?,
                 analyst: r.str()?,
                 request: decode_request(&mut r)?,
+                request_id: read_opt_u64(&mut r)?,
+                deadline_micros: read_opt_u64(&mut r)?,
             },
             TAG_SUBMIT_BATCH => {
                 let id = r.u64()?;
@@ -1375,8 +1463,12 @@ mod tests {
         }
     }
 
+    fn arb_opt_u64(rng: &mut StdRng) -> Option<u64> {
+        rng.random::<bool>().then(|| rng.random())
+    }
+
     fn arb_error(rng: &mut StdRng) -> WireError {
-        match rng.random_range(0..13u32) {
+        match rng.random_range(0..15u32) {
             0 => WireError::QueueFull {
                 analyst: arb_string(rng),
                 capacity: rng.random(),
@@ -1402,6 +1494,13 @@ mod tests {
             9 => WireError::SessionEvicted(arb_string(rng)),
             10 => WireError::InvalidRequest(arb_string(rng)),
             11 => WireError::Protocol(arb_string(rng)),
+            12 => WireError::Overloaded {
+                depth: rng.random(),
+                limit: rng.random(),
+            },
+            13 => WireError::DeadlineExceeded {
+                analyst: arb_string(rng),
+            },
             _ => WireError::Other(arb_string(rng)),
         }
     }
@@ -1444,6 +1543,8 @@ mod tests {
                 id,
                 analyst: arb_string(rng),
                 request: arb_request(rng),
+                request_id: arb_opt_u64(rng),
+                deadline_micros: arb_opt_u64(rng),
             },
             3 => ClientMessage::SubmitBatch {
                 id,
@@ -1616,6 +1717,8 @@ mod tests {
                 epsilon_bits: 0.5f64.to_bits(),
                 kind: WireRequestKind::Range { lo: 3, hi: 9 },
             },
+            request_id: Some(42),
+            deadline_micros: None,
         };
         let framed = frame_bytes(&msg.encode());
         for cut in 0..framed.len() {

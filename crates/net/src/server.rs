@@ -31,6 +31,14 @@ pub struct NetConfig {
     /// How long a connection handler blocks waiting for socket bytes
     /// before polling its outstanding tickets for completions.
     pub poll_interval: Duration,
+    /// Deterministic fault injection for the reply path: each **answer
+    /// frame** (`Answer` / `BatchAnswer`) advances the plan's op clock,
+    /// and a due fault drops the connection, truncates the frame
+    /// mid-write, or delays it — the failure modes a client's retry
+    /// logic must survive. Injections count into
+    /// `faults_injected{layer="net"}`. `None` (the default) injects
+    /// nothing.
+    pub fault_plan: Option<Arc<bf_chaos::NetPlan>>,
 }
 
 impl Default for NetConfig {
@@ -40,6 +48,7 @@ impl Default for NetConfig {
             max_in_flight: 64,
             tick_interval: Duration::from_micros(500),
             poll_interval: Duration::from_micros(200),
+            fault_plan: None,
         }
     }
 }
@@ -56,6 +65,9 @@ struct NetCounters {
     protocol_errors: Counter,
     window_refusals: Counter,
     disconnects_mid_request: Counter,
+    /// Chaos-plan faults fired on the reply path (same label-in-name
+    /// convention as the store's `faults_injected{layer="store"}`).
+    faults_injected: Counter,
     /// Duration of handler-loop passes that made progress (flushed a
     /// reply, read bytes, or dispatched a frame).
     tick_busy_ns: Histogram,
@@ -78,6 +90,7 @@ impl NetCounters {
             protocol_errors: obs.counter("net_protocol_errors_total"),
             window_refusals: obs.counter("net_window_refusals_total"),
             disconnects_mid_request: obs.counter("net_disconnects_mid_request_total"),
+            faults_injected: obs.counter("faults_injected{layer=\"net\"}"),
             tick_busy_ns: obs.histogram("net_tick_busy_ns"),
             tick_idle_ns: obs.histogram("net_tick_idle_ns"),
             request_ns: obs.histogram("net_request_ns"),
@@ -513,13 +526,15 @@ impl<'a> Connection<'a> {
                 id,
                 analyst,
                 request,
+                request_id,
+                deadline_micros,
             } => {
                 if let Some(refusal) = self.window_refusal(1) {
                     return self
                         .write_message(&ServerMessage::Refused { id, error: refusal })
                         .is_ok();
                 }
-                match self.submit_one(&analyst, &request) {
+                match self.submit_one(&analyst, &request, request_id, deadline_micros) {
                     Ok(ticket) => {
                         self.singles.push(Outstanding {
                             id,
@@ -549,7 +564,7 @@ impl<'a> Connection<'a> {
                 // a refused member fails only its own slot.
                 let slots = requests
                     .iter()
-                    .map(|request| self.submit_one(&analyst, request))
+                    .map(|request| self.submit_one(&analyst, request, None, None))
                     .collect();
                 self.batches.push(OutstandingBatch {
                     id,
@@ -623,13 +638,20 @@ impl<'a> Connection<'a> {
         &self,
         analyst: &str,
         request: &crate::proto::WireRequest,
+        request_id: Option<u64>,
+        deadline_micros: Option<u64>,
     ) -> Result<Ticket, WireError> {
         if self.closing.load(Ordering::Acquire) {
             return Err(WireError::ShutDown);
         }
         let request = request.to_request()?;
         self.server
-            .submit(analyst, request)
+            .submit_tagged(
+                analyst,
+                request,
+                request_id,
+                deadline_micros.map(Duration::from_micros),
+            )
             .map_err(|e| WireError::from_server_error(&e))
     }
 
@@ -705,6 +727,41 @@ impl<'a> Connection<'a> {
     }
 
     fn write_message(&mut self, msg: &ServerMessage) -> std::io::Result<()> {
+        // The chaos plan's op clock ticks once per **answer** frame, so a
+        // scripted schedule addresses "the 3rd answer" no matter how many
+        // handshake or stats frames interleave.
+        if let Some(plan) = &self.config.fault_plan {
+            if matches!(
+                msg,
+                ServerMessage::Answer { .. } | ServerMessage::BatchAnswer { .. }
+            ) {
+                if let Some(fault) = plan.next() {
+                    self.counters.faults_injected.inc();
+                    match fault {
+                        bf_chaos::NetFault::DropConnection => {
+                            let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::ConnectionReset,
+                                "chaos: connection dropped before reply",
+                            ));
+                        }
+                        bf_chaos::NetFault::TruncateReply => {
+                            let framed = frame_bytes(&msg.encode());
+                            self.counters.frames_out.inc();
+                            let _ = self.stream.write_all(&framed[..framed.len() / 2]);
+                            let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::ConnectionReset,
+                                "chaos: reply frame truncated mid-write",
+                            ));
+                        }
+                        bf_chaos::NetFault::DelayReplyMicros(us) => {
+                            std::thread::sleep(Duration::from_micros(us));
+                        }
+                    }
+                }
+            }
+        }
         self.counters.frames_out.inc();
         self.stream.write_all(&frame_bytes(&msg.encode()))
     }

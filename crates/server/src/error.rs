@@ -25,6 +25,24 @@ pub enum ServerError {
         /// ε remaining in the ledger at submission time.
         remaining: f64,
     },
+    /// Load shedding: the server's **total** backlog (summed across
+    /// every analyst queue) is at the configured shed depth, so the
+    /// request was refused at the door rather than queued behind work
+    /// it would only time out waiting for. Nothing was charged;
+    /// resubmit after backing off.
+    Overloaded {
+        /// Total queued requests across all analysts at refusal time.
+        depth: usize,
+        /// The configured shed threshold.
+        limit: usize,
+    },
+    /// The request's deadline elapsed before the scheduler dispatched
+    /// it. Refused **before any charge** — an answer the client has
+    /// already given up on must not cost ε.
+    DeadlineExceeded {
+        /// The analyst whose request expired.
+        analyst: String,
+    },
     /// The server shut down before the request was answered.
     ShutDown,
     /// The engine refused or failed the request at serve time (unknown
@@ -47,6 +65,12 @@ impl fmt::Display for ServerError {
                 f,
                 "admission refused for {analyst:?}: requested ε={requested}, remaining ε={remaining}"
             ),
+            ServerError::Overloaded { depth, limit } => {
+                write!(f, "overloaded: {depth} requests queued (shed depth {limit})")
+            }
+            ServerError::DeadlineExceeded { analyst } => {
+                write!(f, "deadline exceeded for {analyst:?} before dispatch")
+            }
             ServerError::ShutDown => write!(f, "server shut down before answering"),
             ServerError::Engine(e) => write!(f, "engine error: {e}"),
         }
@@ -86,6 +110,15 @@ mod tests {
             remaining: 0.25,
         };
         assert!(b.to_string().contains("0.25"));
+        let o = ServerError::Overloaded {
+            depth: 200,
+            limit: 128,
+        };
+        assert!(o.to_string().contains("200") && o.to_string().contains("128"));
+        let d = ServerError::DeadlineExceeded {
+            analyst: "carol".into(),
+        };
+        assert!(d.to_string().contains("carol"));
         let eng: ServerError = EngineError::UnknownPolicy("p".into()).into();
         assert!(std::error::Error::source(&eng).is_some());
         assert_eq!(

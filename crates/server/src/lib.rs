@@ -500,6 +500,129 @@ mod tests {
     }
 
     #[test]
+    fn shed_gate_refuses_on_total_backlog() {
+        let engine = engine(40);
+        engine.open_session("a", eps(1e6)).unwrap();
+        engine.open_session("b", eps(1e6)).unwrap();
+        let server = Server::new(
+            Arc::clone(&engine),
+            ServerConfig {
+                shed_depth: Some(3),
+                queue_capacity: 128, // per-analyst bound alone would admit all
+                ..ServerConfig::default()
+            },
+        );
+        let mut tickets = Vec::new();
+        // 2 from a + 1 from b fill the aggregate budget …
+        for (who, i) in [("a", 0), ("a", 1), ("b", 2)] {
+            tickets.push(
+                server
+                    .submit(who, Request::range("pol", "ds", eps(0.001), i, i + 3))
+                    .unwrap(),
+            );
+        }
+        // … so the 4th submission sheds, whoever sends it.
+        let err = server
+            .submit("b", Request::range("pol", "ds", eps(0.001), 9, 12))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::Overloaded { depth: 3, limit: 3 }
+        ));
+        assert_eq!(server.stats().shed_requests, 1);
+        // Draining reopens the door.
+        server.pump_until_idle();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        assert!(server
+            .submit("b", Request::range("pol", "ds", eps(0.001), 9, 12))
+            .is_ok());
+        server.pump_until_idle();
+    }
+
+    #[test]
+    fn expired_deadlines_refuse_before_any_charge() {
+        let engine = engine(41);
+        engine.open_session("a", eps(1.0)).unwrap();
+        let server = Server::with_defaults(Arc::clone(&engine));
+        // A zero deadline refuses synchronously at the door.
+        let err = server
+            .submit_tagged(
+                "a",
+                Request::range("pol", "ds", eps(0.5), 0, 9),
+                None,
+                Some(std::time::Duration::ZERO),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServerError::DeadlineExceeded { .. }));
+        // A deadline that lapses while queued refuses at dispatch.
+        let t = server
+            .submit_tagged(
+                "a",
+                Request::range("pol", "ds", eps(0.5), 0, 9),
+                None,
+                Some(std::time::Duration::from_nanos(1)),
+            )
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        server.pump_until_idle();
+        assert!(matches!(
+            t.wait(),
+            Err(ServerError::DeadlineExceeded { analyst }) if analyst == "a"
+        ));
+        assert_eq!(server.stats().deadline_refusals, 2);
+        // Neither refusal touched the ledger.
+        assert!((engine.session_remaining("a").unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tagged_resubmission_replays_without_recharging() {
+        let engine = engine(42);
+        engine.open_session("a", eps(1.0)).unwrap();
+        let server = Server::with_defaults(Arc::clone(&engine));
+        let req = || Request::range("pol", "ds", eps(0.5), 0, 9);
+        let t1 = server.submit_tagged("a", req(), Some(7), None).unwrap();
+        server.pump_until_idle();
+        let first = t1.wait().unwrap();
+        assert!((engine.session_remaining("a").unwrap() - 0.5).abs() < 1e-12);
+        // Same id again: resolved from the reply cache at submit time —
+        // identical bytes, no tick needed, no further charge. The
+        // remaining budget (0.5) could not cover a fresh 0.5 release
+        // AND this one; exactly-once is what keeps the ledger at 0.5.
+        let t2 = server.submit_tagged("a", req(), Some(7), None).unwrap();
+        let second = t2.wait().unwrap();
+        assert_eq!(first.to_bytes(), second.to_bytes(), "bit-identical replay");
+        assert!((engine.session_remaining("a").unwrap() - 0.5).abs() < 1e-12);
+        // A fresh id is a fresh request with a fresh charge.
+        let t3 = server.submit_tagged("a", req(), Some(8), None).unwrap();
+        server.pump_until_idle();
+        let third = t3.wait().unwrap();
+        assert_ne!(first.to_bytes(), third.to_bytes());
+        assert!(engine.session_remaining("a").unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn tagged_replay_survives_an_exhausted_ledger() {
+        let engine = engine(43);
+        engine.open_session("a", eps(0.5)).unwrap();
+        let server = Server::with_defaults(Arc::clone(&engine));
+        let req = || Request::range("pol", "ds", eps(0.5), 3, 20);
+        let t1 = server.submit_tagged("a", req(), Some(1), None).unwrap();
+        server.pump_until_idle();
+        let first = t1.wait().unwrap();
+        assert!(engine.session_remaining("a").unwrap().abs() < 1e-12);
+        // Admission control would refuse a fresh 0.5 request outright —
+        // but the retry of the already-paid request must still answer.
+        let t2 = server.submit_tagged("a", req(), Some(1), None).unwrap();
+        assert_eq!(first.to_bytes(), t2.wait().unwrap().to_bytes());
+        assert!(matches!(
+            server.submit_tagged("a", req(), Some(2), None),
+            Err(ServerError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
     fn weighted_analysts_drain_proportionally() {
         let engine = engine(8);
         engine.open_session("heavy", eps(1e6)).unwrap();

@@ -31,20 +31,36 @@ use std::time::Instant;
 /// One queued request: who asked, what they asked, where the answer
 /// goes, and when it arrived (for queue-wait and ticket-latency
 /// histograms — the timestamp feeds metrics only, never scheduling).
+/// Tagged submissions also carry the client's idempotency key
+/// (`request_id`) — threaded to the engine so a retry replays the
+/// original durable answer instead of drawing (and charging) a fresh
+/// release — and an optional wall-clock deadline the scheduler checks
+/// before dispatch.
 pub(crate) struct Submitted {
     pub analyst: String,
     pub request: Request,
+    /// The client's idempotency key, `None` for fire-and-forget work.
+    pub request_id: Option<u64>,
+    /// Refuse (never charge) if still undispatched past this instant.
+    pub deadline: Option<Instant>,
     pub tx: oneshot::Sender<Result<Response, ServerError>>,
     pub submitted_at: Instant,
 }
 
 impl Submitted {
-    pub(crate) fn new(analyst: &str, request: Request) -> (Self, Ticket) {
+    pub(crate) fn tagged(
+        analyst: &str,
+        request: Request,
+        request_id: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> (Self, Ticket) {
         let (tx, rx) = oneshot::channel();
         (
             Self {
                 analyst: analyst.to_owned(),
                 request,
+                request_id,
+                deadline,
                 tx,
                 submitted_at: Instant::now(),
             },
@@ -74,13 +90,28 @@ impl AnalystQueue {
     }
 }
 
-/// One coalescing-group waiter: `(analyst, answer channel, submission
-/// time)` — the timestamp feeds the ticket-latency histogram.
-pub(crate) type Waiter = (
-    String,
-    oneshot::Sender<Result<Response, ServerError>>,
-    Instant,
-);
+/// One coalescing-group waiter: who is owed the answer, how to deliver
+/// it, the idempotency tag and deadline carried from submission, and
+/// when they submitted (feeds the ticket-latency histogram).
+pub(crate) struct Waiter {
+    pub analyst: String,
+    pub request_id: Option<u64>,
+    pub deadline: Option<Instant>,
+    pub tx: oneshot::Sender<Result<Response, ServerError>>,
+    pub submitted_at: Instant,
+}
+
+impl Waiter {
+    fn from_submitted(sub: Submitted) -> Self {
+        Self {
+            analyst: sub.analyst,
+            request_id: sub.request_id,
+            deadline: sub.deadline,
+            tx: sub.tx,
+            submitted_at: sub.submitted_at,
+        }
+    }
+}
 
 /// A pending coalescing group: identical requests waiting out the
 /// window together.
@@ -144,17 +175,16 @@ impl SchedState {
     /// with the given deadline when none is open.
     pub(crate) fn join_group(&mut self, key: String, sub: Submitted, deadline: u64) {
         if let Some(&i) = self.index.get(&key) {
-            self.pending[i]
-                .waiters
-                .push((sub.analyst, sub.tx, sub.submitted_at));
+            self.pending[i].waiters.push(Waiter::from_submitted(sub));
         } else {
             self.index.insert(key.clone(), self.pending.len());
+            let request = sub.request.clone();
             self.pending.push(CoalesceGroup {
                 key,
-                request: sub.request,
+                request,
                 deadline,
                 formed_at: Instant::now(),
-                waiters: vec![(sub.analyst, sub.tx, sub.submitted_at)],
+                waiters: vec![Waiter::from_submitted(sub)],
             });
         }
     }

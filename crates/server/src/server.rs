@@ -3,7 +3,7 @@
 use crate::error::ServerError;
 use crate::scheduler::{SchedState, Submitted};
 use crate::ticket::Ticket;
-use bf_engine::{Engine, Request};
+use bf_engine::{Engine, Request, TaggedGroup};
 use bf_obs::{Counter, Histogram, Registry, Stage};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,6 +37,15 @@ pub struct ServerConfig {
     /// requests out of the queues. Disable to let zero-sensitivity
     /// (free) requests through an exhausted ledger.
     pub admission_control: bool,
+    /// Load-shedding gate: refuse new submissions with
+    /// [`ServerError::Overloaded`] once the **total** backlog (summed
+    /// across every analyst queue) reaches this depth. Per-analyst
+    /// `queue_capacity` bounds one flooding analyst; this bounds the
+    /// aggregate so a thousand polite analysts cannot together push
+    /// queueing delay past what any of them would tolerate — refusing
+    /// at the door beats accepting work that will only expire in the
+    /// queue. `None` disables shedding.
+    pub shed_depth: Option<usize>,
     /// Evict engine sessions idle for at least this long (checked every
     /// [`EVICT_CHECK_EVERY`] ticks). Evicted ledgers park — spent ε is
     /// preserved (and durable when the engine has a store) — and
@@ -53,6 +62,7 @@ impl Default for ServerConfig {
             adaptive_window: false,
             quantum: 8,
             admission_control: true,
+            shed_depth: None,
             session_ttl: None,
         }
     }
@@ -92,6 +102,9 @@ struct Counters {
     coalesced_answers: Counter,
     batched_range_answers: Counter,
     cancelled: Counter,
+    deadline_refusals: Counter,
+    shed_requests: Counter,
+    retries: Counter,
     ticks: Counter,
     evicted_sessions: Counter,
 }
@@ -108,6 +121,9 @@ impl Counters {
             coalesced_answers: obs.counter("server_coalesced_answers_total"),
             batched_range_answers: obs.counter("server_batched_range_answers_total"),
             cancelled: obs.counter("server_cancelled_total"),
+            deadline_refusals: obs.counter("server_deadline_refusals_total"),
+            shed_requests: obs.counter("server_shed_requests_total"),
+            retries: obs.counter("server_retries_total"),
             ticks: obs.counter("server_ticks_total"),
             evicted_sessions: obs.counter("server_evicted_sessions_total"),
         }
@@ -141,6 +157,15 @@ pub struct ServerStats {
     /// was gone (client disconnected): no charge, no release, the queue
     /// slot simply freed.
     pub cancelled: u64,
+    /// Requests refused — before any charge — because their deadline
+    /// elapsed while they waited in the scheduler.
+    pub deadline_refusals: u64,
+    /// Submissions refused at the door by the total-backlog shed gate
+    /// ([`ServerConfig::shed_depth`]).
+    pub shed_requests: u64,
+    /// Tagged resubmissions answered from the durable reply cache — a
+    /// retry of work already charged, served again at zero ε.
+    pub retries: u64,
     /// Scheduler ticks run.
     pub ticks: u64,
     /// Sessions evicted by the TTL sweep (their ledgers parked, spent ε
@@ -265,10 +290,55 @@ impl Server {
     /// * [`ServerError::BudgetExhausted`] when admission control is on
     ///   and the request's ε exceeds the remaining budget,
     /// * [`ServerError::QueueFull`] when the analyst's queue is at
-    ///   capacity (backpressure — drain some tickets first).
+    ///   capacity (backpressure — drain some tickets first),
+    /// * [`ServerError::Overloaded`] when the total-backlog shed gate
+    ///   ([`ServerConfig::shed_depth`]) is at its limit.
     pub fn submit(&self, analyst: &str, request: Request) -> Result<Ticket, ServerError> {
+        self.submit_tagged(analyst, request, None, None)
+    }
+
+    /// [`Server::submit`] with exactly-once retry support: `request_id`
+    /// is the client's idempotency key for `(analyst, request_id)`, and
+    /// `deadline` bounds how long the request may wait in the scheduler
+    /// before it is refused — **before any charge** — with
+    /// [`ServerError::DeadlineExceeded`].
+    ///
+    /// A tagged submission whose `(analyst, request_id)` already has a
+    /// durable answer in the engine's reply cache resolves
+    /// **immediately** from that cache — no queueing, no release, zero
+    /// additional ε — so a client that lost a reply in flight can
+    /// resubmit the same id and read back the identical bytes. The
+    /// replay path deliberately skips admission control: the original
+    /// request already paid, so an exhausted ledger must not block the
+    /// retry. Tagged requests that do queue are threaded through the
+    /// engine's tagged serve paths, which persist the answer alongside
+    /// its charge in one atomic WAL frame.
+    pub fn submit_tagged(
+        &self,
+        analyst: &str,
+        request: Request,
+        request_id: Option<u64>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServerError> {
         if self.closed.load(Ordering::Acquire) {
             return Err(ServerError::ShutDown);
+        }
+        if let Some(rid) = request_id {
+            if let Some(cached) = self.engine.cached_reply(analyst, rid) {
+                let (sub, ticket) = Submitted::tagged(analyst, request, request_id, None);
+                self.counters.submitted.inc();
+                self.counters.answered.inc();
+                self.counters.retries.inc();
+                self.note_resolved(sub.submitted_at);
+                let _ = sub.tx.send(Ok(cached));
+                return Ok(ticket);
+            }
+        }
+        if deadline.is_some_and(|d| d.is_zero()) {
+            self.counters.deadline_refusals.inc();
+            return Err(ServerError::DeadlineExceeded {
+                analyst: analyst.to_owned(),
+            });
         }
         let remaining = self
             .engine
@@ -282,6 +352,7 @@ impl Server {
                 remaining,
             });
         }
+        let deadline_at = deadline.map(|d| std::time::Instant::now() + d);
         let mut state = self.state.lock().expect("scheduler state poisoned");
         // Re-check under the state lock: shutdown() sets the flag and
         // then takes this lock as a barrier before its final drain, so
@@ -290,6 +361,17 @@ impl Server {
         // last tick and hang forever.
         if self.closed.load(Ordering::Acquire) {
             return Err(ServerError::ShutDown);
+        }
+        // Shed gate on the AGGREGATE backlog, before the per-analyst
+        // capacity check: under overload every queue may individually
+        // look fine while their sum guarantees queueing delay no
+        // deadline survives.
+        if let Some(limit) = self.config.shed_depth {
+            let depth: usize = state.queues.values().map(|q| q.queue.len()).sum();
+            if depth >= limit {
+                self.counters.shed_requests.inc();
+                return Err(ServerError::Overloaded { depth, limit });
+            }
         }
         let queue = state.queues.entry(analyst.to_owned()).or_insert_with(|| {
             crate::scheduler::AnalystQueue::new(1, self.queue_depth_gauge(analyst))
@@ -301,7 +383,7 @@ impl Server {
                 capacity: self.config.queue_capacity,
             });
         }
-        let (sub, ticket) = Submitted::new(analyst, request);
+        let (sub, ticket) = Submitted::tagged(analyst, request, request_id, deadline_at);
         queue.queue.push_back(sub);
         queue.depth.set(queue.queue.len() as f64);
         self.counters.submitted.inc();
@@ -399,23 +481,69 @@ impl Server {
         // it would charge ε for an answer nobody can read. Dropped here,
         // BEFORE any charge: the queue slot was already freed by the
         // drain, and the ledger is never touched.
-        let (mut due, mut immediate) = (due, immediate);
+        let (mut due, immediate) = (due, immediate);
         let mut cancelled = 0u64;
         for g in &mut due {
-            g.waiters.retain(|(_, tx, _)| {
-                let live = !tx.is_closed();
+            g.waiters.retain(|w| {
+                let live = !w.tx.is_closed();
                 cancelled += u64::from(!live);
                 live
             });
         }
         due.retain(|g| !g.waiters.is_empty());
-        immediate.retain(|sub| {
-            let live = !sub.tx.is_closed();
-            cancelled += u64::from(!live);
-            live
-        });
+        let immediate: Vec<Submitted> = immediate
+            .into_iter()
+            .filter(|sub| {
+                let live = !sub.tx.is_closed();
+                cancelled += u64::from(!live);
+                live
+            })
+            .collect();
         if cancelled > 0 {
             self.counters.cancelled.add(cancelled);
+        }
+
+        // Deadline sweep, also BEFORE any charge: a request whose
+        // deadline lapsed in the queue is refused with a typed error —
+        // the client has (or will have) given up, and an answer nobody
+        // trusts must not cost ε. This is graceful degradation's second
+        // half: the shed gate refuses new work at the door, this refuses
+        // stale work at dispatch, and between them an overloaded server
+        // burns budget only on answers that are still wanted.
+        let now_wall = std::time::Instant::now();
+        type Expired = (
+            String,
+            futures_lite::oneshot::Sender<Result<bf_engine::Response, ServerError>>,
+            std::time::Instant,
+        );
+        let mut expired: Vec<Expired> = Vec::new();
+        for g in &mut due {
+            let mut kept = Vec::with_capacity(g.waiters.len());
+            for w in g.waiters.drain(..) {
+                if w.deadline.is_some_and(|d| d <= now_wall) {
+                    expired.push((w.analyst, w.tx, w.submitted_at));
+                } else {
+                    kept.push(w);
+                }
+            }
+            g.waiters = kept;
+        }
+        due.retain(|g| !g.waiters.is_empty());
+        let mut kept_immediate = Vec::with_capacity(immediate.len());
+        for sub in immediate {
+            if sub.deadline.is_some_and(|d| d <= now_wall) {
+                expired.push((sub.analyst, sub.tx, sub.submitted_at));
+            } else {
+                kept_immediate.push(sub);
+            }
+        }
+        let immediate = kept_immediate;
+        for (analyst, tx, submitted_at) in expired {
+            self.counters.deadline_refusals.inc();
+            self.counters.failed.inc();
+            self.note_resolved(submitted_at);
+            let _ = tx.send(Err(ServerError::DeadlineExceeded { analyst }));
+            resolved += 1;
         }
 
         // Fold due range groups that share `(policy, data, ε)` but
@@ -452,23 +580,26 @@ impl Server {
         }
 
         for members in batched {
-            let groups: Vec<(Vec<String>, Request)> = members
+            let groups: Vec<TaggedGroup> = members
                 .iter()
                 .map(|g| {
                     (
-                        g.waiters.iter().map(|(a, _, _)| a.clone()).collect(),
+                        g.waiters
+                            .iter()
+                            .map(|w| (w.analyst.clone(), w.request_id))
+                            .collect(),
                         g.request.clone(),
                     )
                 })
                 .collect();
-            let results = self.engine.serve_range_groups(&groups);
+            let results = self.engine.serve_range_groups_tagged(&groups);
             if results.iter().flatten().any(|s| s.is_ok()) {
                 self.counters.releases.inc();
             }
             let total_waiters: usize = members.iter().map(|m| m.waiters.len()).sum();
             let shared = total_waiters >= 2;
             for (group, slots) in members.into_iter().zip(results) {
-                for ((_, tx, submitted_at), slot) in group.waiters.into_iter().zip(slots) {
+                for (w, slot) in group.waiters.into_iter().zip(slots) {
                     match &slot {
                         Ok(_) => {
                             self.counters.answered.inc();
@@ -481,30 +612,33 @@ impl Server {
                             self.counters.failed.inc();
                         }
                     }
-                    self.note_resolved(submitted_at);
-                    let _ = tx.send(slot.map_err(ServerError::Engine));
+                    self.note_resolved(w.submitted_at);
+                    let _ = w.tx.send(slot.map_err(ServerError::Engine));
                     resolved += 1;
                 }
             }
         }
 
         if !singles.is_empty() {
-            let groups: Vec<(Vec<String>, Request)> = singles
+            let groups: Vec<TaggedGroup> = singles
                 .iter()
                 .map(|g| {
                     (
-                        g.waiters.iter().map(|(a, _, _)| a.clone()).collect(),
+                        g.waiters
+                            .iter()
+                            .map(|w| (w.analyst.clone(), w.request_id))
+                            .collect(),
                         g.request.clone(),
                     )
                 })
                 .collect();
-            let results = self.engine.serve_coalesced_many(&groups);
+            let results = self.engine.serve_coalesced_many_tagged(&groups);
             for (group, slots) in singles.into_iter().zip(results) {
                 let shared = group.waiters.len() >= 2;
                 if slots.iter().any(|s| s.is_ok()) {
                     self.counters.releases.inc();
                 }
-                for ((_, tx, submitted_at), slot) in group.waiters.into_iter().zip(slots) {
+                for (w, slot) in group.waiters.into_iter().zip(slots) {
                     match &slot {
                         Ok(_) => {
                             self.counters.answered.inc();
@@ -516,14 +650,17 @@ impl Server {
                             self.counters.failed.inc();
                         }
                     }
-                    self.note_resolved(submitted_at);
-                    let _ = tx.send(slot.map_err(ServerError::Engine));
+                    self.note_resolved(w.submitted_at);
+                    let _ = w.tx.send(slot.map_err(ServerError::Engine));
                     resolved += 1;
                 }
             }
         }
         for sub in immediate {
-            let result = self.engine.serve(&sub.analyst, &sub.request);
+            let result = match sub.request_id {
+                Some(rid) => self.engine.serve_tagged(&sub.analyst, rid, &sub.request),
+                None => self.engine.serve(&sub.analyst, &sub.request),
+            };
             match &result {
                 Ok(_) => {
                     self.counters.answered.inc();
@@ -556,7 +693,7 @@ impl Server {
                             state
                                 .pending
                                 .iter()
-                                .flat_map(|g| g.waiters.iter().map(|(a, _, _)| a.clone())),
+                                .flat_map(|g| g.waiters.iter().map(|w| w.analyst.clone())),
                         )
                         .collect()
                 };
@@ -668,6 +805,9 @@ impl Server {
             coalesced_answers: self.counters.coalesced_answers.get(),
             batched_range_answers: self.counters.batched_range_answers.get(),
             cancelled: self.counters.cancelled.get(),
+            deadline_refusals: self.counters.deadline_refusals.get(),
+            shed_requests: self.counters.shed_requests.get(),
+            retries: self.counters.retries.get(),
             ticks: self.counters.ticks.get(),
             evicted_sessions: self.counters.evicted_sessions.get(),
         }

@@ -34,10 +34,11 @@ mod store;
 
 pub use error::StoreError;
 pub use record::{
-    fnv1a, frame_bytes, has_intact_frame_after, put_str, put_u64, read_frame, scan_frames,
-    FrameRead, Reader, Record, RegistryKind, ScanEnd, FRAME_HEADER_LEN, MAX_RECORD_LEN,
+    fnv1a, frame_bytes, has_intact_frame_after, put_bytes, put_str, put_u64, read_frame,
+    scan_frames, FrameRead, Reader, Record, RegistryKind, ScanEnd, FRAME_HEADER_LEN,
+    MAX_RECORD_LEN,
 };
-pub use state::{SessionState, StoreState};
+pub use state::{CachedReply, SessionState, StoreState, REPLY_CACHE_PER_ANALYST};
 pub use store::{RecoveryReport, Store, StoreConfig, StoreStats};
 
 use std::path::PathBuf;

@@ -124,6 +124,29 @@ pub enum Record {
         /// ordinal to assign).
         seq: u64,
     },
+    /// A charge **and** its answer in one frame — the idempotency
+    /// record behind exactly-once retries. The charge and the cached
+    /// reply must be atomic with respect to recovery: two separate
+    /// records could be cut apart by a torn tail, leaving a durable
+    /// charge whose answer is lost (a retry would then double-charge).
+    /// One frame is indivisible, so either the retry finds the cached
+    /// answer (charged once, answered identically) or the whole event
+    /// never happened (the retry re-executes and charges once).
+    Replied {
+        /// The analyst who paid.
+        analyst: String,
+        /// The client-chosen idempotency key, unique per analyst.
+        request_id: u64,
+        /// The ledger label of the release.
+        label: String,
+        /// ε spent as `f64` bits (0.0 for a coalesced duplicate whose
+        /// charge rode an earlier record).
+        eps_bits: u64,
+        /// The encoded answer bytes returned to the analyst (the
+        /// engine's `Response` wire encoding), replayed verbatim on
+        /// retry.
+        payload: Vec<u8>,
+    },
 }
 
 const TAG_SESSION_OPENED: u8 = 1;
@@ -131,6 +154,7 @@ const TAG_CHARGED: u8 = 2;
 const TAG_REGISTERED: u8 = 3;
 const TAG_DEREGISTERED: u8 = 4;
 const TAG_RELEASE_SEQ: u8 = 5;
+const TAG_REPLIED: u8 = 6;
 
 /// FNV-1a over a byte slice — the same stable hash the engine's shard
 /// router uses, here guarding frame integrity.
@@ -215,6 +239,13 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Appends a length-prefixed byte slice to a wire payload (the encoding
+/// [`Reader::bytes`] reverses).
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
 /// Cursor over the little-endian wire encoding, shared by record,
 /// snapshot and network-message decoding. Every read is bounds-checked;
 /// `None` means the bytes are not what the writer produced.
@@ -256,6 +287,14 @@ impl<'a> Reader<'a> {
         let s = self.buf.get(self.pos..self.pos + len)?;
         self.pos += len;
         String::from_utf8(s.to_vec()).ok()
+    }
+
+    /// Reads a [`put_bytes`]-encoded byte slice.
+    pub fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        let b = self.buf.get(self.pos..self.pos + len)?;
+        self.pos += len;
+        Some(b.to_vec())
     }
 
     /// Whether the cursor consumed the buffer exactly — decoders require
@@ -308,6 +347,20 @@ impl Record {
                 put_u64(&mut out, *fingerprint);
                 put_u64(&mut out, *seq);
             }
+            Record::Replied {
+                analyst,
+                request_id,
+                label,
+                eps_bits,
+                payload,
+            } => {
+                out.push(TAG_REPLIED);
+                put_str(&mut out, analyst);
+                put_u64(&mut out, *request_id);
+                put_str(&mut out, label);
+                put_u64(&mut out, *eps_bits);
+                put_bytes(&mut out, payload);
+            }
         }
         out
     }
@@ -340,6 +393,13 @@ impl Record {
                 fingerprint: r.u64()?,
                 seq: r.u64()?,
             },
+            TAG_REPLIED => Record::Replied {
+                analyst: r.str()?,
+                request_id: r.u64()?,
+                label: r.str()?,
+                eps_bits: r.u64()?,
+                payload: r.bytes()?,
+            },
             _ => return None,
         };
         r.done().then_some(record)
@@ -364,6 +424,24 @@ impl Record {
         Record::SessionOpened {
             analyst: analyst.to_owned(),
             total_bits: total.to_bits(),
+        }
+    }
+
+    /// Convenience constructor for an atomic charge + cached-reply
+    /// record.
+    pub fn replied(
+        analyst: &str,
+        request_id: u64,
+        label: &str,
+        epsilon: f64,
+        payload: Vec<u8>,
+    ) -> Record {
+        Record::Replied {
+            analyst: analyst.to_owned(),
+            request_id,
+            label: label.to_owned(),
+            eps_bits: epsilon.to_bits(),
+            payload,
         }
     }
 }
@@ -464,6 +542,7 @@ mod tests {
                 fingerprint: 0x1234_5678_9ABC_DEF0,
                 seq: 42,
             },
+            Record::replied("alice", 7, "range@pol/ds", 0.25, vec![3, 0, 0, 0, 1, 2, 3]),
         ]
     }
 

@@ -29,6 +29,25 @@ impl SessionState {
     }
 }
 
+/// One cached answer in the idempotency reply cache: what a retry of
+/// the same `(analyst, request_id)` must be told, byte for byte,
+/// without touching the ledger again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedReply {
+    /// ε the original serve charged, as `f64` bits (audit trail; a
+    /// replayed reply charges nothing).
+    pub eps_bits: u64,
+    /// The encoded answer, returned verbatim.
+    pub payload: Vec<u8>,
+}
+
+/// Per-analyst bound on the reply cache. Client request ids increase
+/// monotonically and a client retries only its most recent unacked
+/// requests, so evicting the **smallest** ids keeps exactly the window
+/// a live client could still retry. 128 comfortably exceeds any
+/// client's in-flight window (the net default is 64).
+pub const REPLY_CACHE_PER_ANALYST: usize = 128;
+
 /// Everything the store knows durably.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StoreState {
@@ -40,6 +59,11 @@ pub struct StoreState {
     /// fingerprint — written at checkpoint so a restarted engine resumes
     /// each identity's ordinal sequence. Replay keeps the maximum.
     pub release_seqs: BTreeMap<u64, u64>,
+    /// The idempotency reply cache: per analyst, the most recent
+    /// [`REPLY_CACHE_PER_ANALYST`] request ids and their answers.
+    /// Rebuilt by replaying [`Record::Replied`] frames and persisted in
+    /// snapshots, so retry safety survives compaction and restart.
+    pub replies: BTreeMap<String, BTreeMap<u64, CachedReply>>,
 }
 
 impl StoreState {
@@ -97,7 +121,49 @@ impl StoreState {
                 let e = self.release_seqs.entry(*fingerprint).or_insert(0);
                 *e = (*e).max(*seq);
             }
+            Record::Replied {
+                analyst,
+                request_id,
+                label: _,
+                eps_bits,
+                payload,
+            } => {
+                // The charge half: identical to `Charged` (orphans
+                // materialize unspendable sessions, always the
+                // conservative direction).
+                let s = self
+                    .sessions
+                    .entry(analyst.clone())
+                    .or_insert(SessionState {
+                        total: 0.0,
+                        spent: 0.0,
+                        served: 0,
+                    });
+                s.spent += f64::from_bits(*eps_bits);
+                s.served += 1;
+                // The reply half: cache the answer under the analyst's
+                // id, evicting the oldest (smallest) ids past the cap —
+                // ids a client's retry window can no longer reach.
+                let cache = self.replies.entry(analyst.clone()).or_default();
+                cache.insert(
+                    *request_id,
+                    CachedReply {
+                        eps_bits: *eps_bits,
+                        payload: payload.clone(),
+                    },
+                );
+                while cache.len() > REPLY_CACHE_PER_ANALYST {
+                    let oldest = *cache.keys().next().expect("non-empty cache");
+                    cache.remove(&oldest);
+                }
+            }
         }
+    }
+
+    /// The cached answer for `(analyst, request_id)`, if the reply
+    /// cache still holds it.
+    pub fn cached_reply(&self, analyst: &str, request_id: u64) -> Option<&CachedReply> {
+        self.replies.get(analyst)?.get(&request_id)
     }
 
     /// Deterministic serialization (snapshot body).
@@ -121,6 +187,16 @@ impl StoreState {
         for (fp, seq) in &self.release_seqs {
             put_u64(&mut out, *fp);
             put_u64(&mut out, *seq);
+        }
+        out.extend_from_slice(&(self.replies.len() as u32).to_le_bytes());
+        for (analyst, cache) in &self.replies {
+            put_str(&mut out, analyst);
+            out.extend_from_slice(&(cache.len() as u32).to_le_bytes());
+            for (rid, reply) in cache {
+                put_u64(&mut out, *rid);
+                put_u64(&mut out, reply.eps_bits);
+                crate::record::put_bytes(&mut out, &reply.payload);
+            }
         }
         out
     }
@@ -162,6 +238,24 @@ impl StoreState {
             let fp = r.u64()?;
             let seq = r.u64()?;
             state.release_seqs.insert(fp, seq);
+        }
+        // Snapshots written before the reply cache was durable end
+        // here; treat the missing section as empty rather than corrupt.
+        if r.done() {
+            return Some(state);
+        }
+        let n_analysts = r.u32()?;
+        for _ in 0..n_analysts {
+            let analyst = r.str()?;
+            let n_replies = r.u32()?;
+            let mut cache = BTreeMap::new();
+            for _ in 0..n_replies {
+                let rid = r.u64()?;
+                let eps_bits = r.u64()?;
+                let payload = r.bytes()?;
+                cache.insert(rid, CachedReply { eps_bits, payload });
+            }
+            state.replies.insert(analyst, cache);
         }
         r.done().then_some(state)
     }
@@ -223,14 +317,77 @@ mod tests {
 
     #[test]
     fn snapshots_without_a_release_seq_section_still_load() {
-        // A pre-ordinal snapshot body: sessions + registrations only.
+        // A pre-ordinal snapshot body: sessions + registrations only
+        // (no release_seqs, no replies).
         let mut s = StoreState::default();
         s.apply(&Record::session_opened("alice", 1.0));
         let mut old = s.to_bytes();
-        old.truncate(old.len() - 4); // drop the empty release_seqs section
+        old.truncate(old.len() - 8); // drop both empty trailing sections
         let loaded = StoreState::from_bytes(&old).expect("old snapshot loads");
         assert_eq!(loaded.sessions, s.sessions);
         assert!(loaded.release_seqs.is_empty());
+        assert!(loaded.replies.is_empty());
+    }
+
+    #[test]
+    fn replied_charges_once_and_caches_the_answer() {
+        let mut s = StoreState::default();
+        s.apply(&Record::session_opened("alice", 1.0));
+        s.apply(&Record::replied(
+            "alice",
+            7,
+            "range@pol/ds",
+            0.25,
+            vec![1, 2, 3],
+        ));
+        let a = &s.sessions["alice"];
+        assert_eq!(a.spent, 0.25, "the Replied frame IS the charge");
+        assert_eq!(a.served, 1);
+        let cached = s.cached_reply("alice", 7).expect("cached");
+        assert_eq!(cached.payload, vec![1, 2, 3]);
+        assert_eq!(cached.eps_bits, 0.25f64.to_bits());
+        assert_eq!(s.cached_reply("alice", 8), None);
+        assert_eq!(s.cached_reply("bob", 7), None);
+        // Roundtrip carries the cache.
+        let bytes = s.to_bytes();
+        let loaded = StoreState::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded, s);
+        assert_eq!(StoreState::from_bytes(&bytes[..bytes.len() - 1]), None);
+    }
+
+    #[test]
+    fn reply_cache_evicts_smallest_ids_past_the_cap() {
+        let mut s = StoreState::default();
+        s.apply(&Record::session_opened("a", 1e9));
+        let n = REPLY_CACHE_PER_ANALYST as u64 + 10;
+        for rid in 1..=n {
+            s.apply(&Record::replied("a", rid, "q", 0.001, vec![rid as u8]));
+        }
+        assert_eq!(s.replies["a"].len(), REPLY_CACHE_PER_ANALYST);
+        assert_eq!(s.cached_reply("a", 1), None, "oldest evicted");
+        assert_eq!(s.cached_reply("a", 10), None);
+        assert!(s.cached_reply("a", 11).is_some(), "window retained");
+        assert!(s.cached_reply("a", n).is_some());
+        // The *charges* all survive eviction — only answers age out.
+        assert_eq!(s.sessions["a"].served, n);
+        assert!((s.sessions["a"].spent - n as f64 * 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshots_without_a_reply_section_still_load() {
+        // A PR6-era snapshot body ends after release_seqs.
+        let mut s = StoreState::default();
+        s.apply(&Record::session_opened("alice", 1.0));
+        s.apply(&Record::ReleaseSeq {
+            fingerprint: 7,
+            seq: 3,
+        });
+        let mut old = s.to_bytes();
+        old.truncate(old.len() - 4); // drop the empty replies section
+        let loaded = StoreState::from_bytes(&old).expect("old snapshot loads");
+        assert_eq!(loaded.sessions, s.sessions);
+        assert_eq!(loaded.release_seqs, s.release_seqs);
+        assert!(loaded.replies.is_empty());
     }
 
     #[test]

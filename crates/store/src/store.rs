@@ -51,6 +51,12 @@ pub struct StoreConfig {
     /// recovery — only top-level segments do — so the flag changes
     /// retention, never the recovered state.
     pub archive_replayed_segments: bool,
+    /// Fault-injection plan consulted before every WAL write+fsync
+    /// (group-commit batches and compaction flushes alike). `None` —
+    /// the production default — writes straight through. See
+    /// [`bf_chaos::StorePlan`] for what can be injected; any injected
+    /// failure poisons the store exactly like a real disk error.
+    pub fault_plan: Option<Arc<bf_chaos::StorePlan>>,
 }
 
 /// How recovery went: what was loaded, what was replayed, what was
@@ -77,6 +83,9 @@ struct Counters {
     commits: Counter,
     syncs: Counter,
     compactions: Counter,
+    /// Store-layer faults actually injected by the configured
+    /// [`StoreConfig::fault_plan`] (0 in production).
+    faults_injected: Counter,
     /// Distinct release identities carrying an ordinal high-water mark
     /// in the ledger — the cardinality the snapshot's `release_seqs`
     /// section is bounded by.
@@ -90,6 +99,7 @@ impl Counters {
             commits: obs.counter("store_commits_total"),
             syncs: obs.counter("store_syncs_total"),
             compactions: obs.counter("store_compactions_total"),
+            faults_injected: obs.counter("faults_injected{layer=\"store\"}"),
             release_seq_identities: obs.gauge("store_release_seq_identities"),
         }
     }
@@ -202,6 +212,44 @@ fn sync_dir(dir: &Path) {
     if let Ok(d) = File::open(dir) {
         let _ = d.sync_all();
     }
+}
+
+/// The single choke point every WAL byte passes through: write the
+/// batch, then fsync — with the fault plan consulted first, so injected
+/// failures exercise exactly the code paths a real ENOSPC or dying disk
+/// would. A torn write persists (and syncs) half the batch before
+/// failing, which is the crash signature recovery's torn-tail logic
+/// must absorb.
+fn write_and_sync(
+    file: &File,
+    batch: &[u8],
+    plan: Option<&bf_chaos::StorePlan>,
+    faults: &Counter,
+) -> std::io::Result<()> {
+    use bf_chaos::StoreFault;
+    let injected = |what: &str| std::io::Error::other(format!("injected: {what}"));
+    if let Some(plan) = plan {
+        match plan.next() {
+            Some(StoreFault::FailWrite) => {
+                faults.inc();
+                return Err(injected("write failure before any byte reached disk"));
+            }
+            Some(StoreFault::TornWrite) => {
+                faults.inc();
+                let torn = batch.len() / 2;
+                (&*file).write_all(&batch[..torn])?;
+                let _ = file.sync_data();
+                return Err(injected("torn write (half the batch persisted)"));
+            }
+            Some(StoreFault::FailSync) => {
+                faults.inc();
+                (&*file).write_all(batch)?;
+                return Err(injected("fsync failure after a complete write"));
+            }
+            None => {}
+        }
+    }
+    (&*file).write_all(batch).and_then(|()| file.sync_data())
 }
 
 impl Store {
@@ -394,6 +442,24 @@ impl Store {
         &self.dir
     }
 
+    /// Whether a write failure has poisoned the store (every further
+    /// commit and compaction refuses with [`StoreError::Poisoned`]).
+    /// A poisoned store's durable state is whatever reached disk before
+    /// the failure; reopen the directory in a fresh process to recover.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison_reason().is_some()
+    }
+
+    /// The message of the write failure that poisoned the store, if
+    /// any.
+    pub fn poison_reason(&self) -> Option<String> {
+        self.inner
+            .lock()
+            .expect("store lock poisoned")
+            .poisoned
+            .clone()
+    }
+
     /// Appends `records` and returns once they are fsync-durable.
     ///
     /// Concurrent callers share fsyncs (group commit): one leader writes
@@ -450,9 +516,10 @@ impl Store {
             let batch_records = std::mem::take(&mut g.pending_records);
             let high = g.next_seq - 1;
             let file = Arc::clone(&g.file);
+            let faults = g.counters.faults_injected.clone();
             drop(g);
             let sw = self.fsync_ns.start();
-            let result = (&*file).write_all(&batch).and_then(|()| file.sync_data());
+            let result = write_and_sync(&file, &batch, self.config.fault_plan.as_deref(), &faults);
             self.fsync_ns.observe(sw);
             g = self.inner.lock().expect("store lock poisoned");
             g.syncing = false;
@@ -497,10 +564,12 @@ impl Store {
             let batch_records = std::mem::take(&mut g.pending_records);
             let high = g.next_seq - 1;
             let sw = self.fsync_ns.start();
-            if let Err(e) = (&*g.file)
-                .write_all(&batch)
-                .and_then(|()| g.file.sync_data())
-            {
+            if let Err(e) = write_and_sync(
+                &g.file,
+                &batch,
+                self.config.fault_plan.as_deref(),
+                &g.counters.faults_injected,
+            ) {
                 g.poisoned = Some(e.to_string());
                 self.commit_cv.notify_all();
                 return Err(StoreError::io("flush", &e));
@@ -513,13 +582,23 @@ impl Store {
         }
 
         // Rotate first: from here on new appends land in segment `next`,
-        // which the snapshot (covering `< next`) does not claim.
+        // which the snapshot (covering `< next`) does not claim. A
+        // failed rotation poisons: the mirror may already disagree with
+        // what a future append could make durable, and serving on is
+        // exactly the ambiguity poisoning exists to refuse.
         let next = g.segment + 1;
-        let file = OpenOptions::new()
+        let file = match OpenOptions::new()
             .create(true)
             .append(true)
             .open(segment_path(&self.dir, next))
-            .map_err(|e| StoreError::io("rotate", &e))?;
+        {
+            Ok(f) => f,
+            Err(e) => {
+                g.poisoned = Some(format!("segment rotation failed: {e}"));
+                self.commit_cv.notify_all();
+                return Err(StoreError::io("rotate", &e));
+            }
+        };
         sync_dir(&self.dir);
         g.file = Arc::new(file);
         let old_segment = g.segment;
@@ -538,7 +617,16 @@ impl Store {
             std::fs::rename(&tmp, snapshot_path(&self.dir, next))?;
             Ok(())
         };
-        write().map_err(|e| StoreError::io("write snapshot", &e))?;
+        if let Err(e) = write() {
+            // The rotation above already happened: recovery would
+            // replay the old segments (no snapshot claims them), so
+            // nothing is lost — but this store's view of "which files
+            // exist" is now unreliable, and pruning below could delete
+            // history no snapshot covers. Fail stop.
+            g.poisoned = Some(format!("snapshot write failed: {e}"));
+            self.commit_cv.notify_all();
+            return Err(StoreError::io("write snapshot", &e));
+        }
         sync_dir(&self.dir);
         g.counters.compactions.inc();
 
@@ -824,6 +912,7 @@ mod tests {
                 &dir,
                 StoreConfig {
                     archive_replayed_segments: true,
+                    ..StoreConfig::default()
                 },
             )
             .unwrap();
@@ -917,6 +1006,144 @@ mod tests {
         }
         assert!(!dir.join("archive").exists());
         assert!(!segment_path(&dir, 0).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn chaos_config(plan: bf_chaos::StorePlan) -> StoreConfig {
+        StoreConfig {
+            fault_plan: Some(Arc::new(plan)),
+            ..StoreConfig::default()
+        }
+    }
+
+    #[test]
+    fn injected_write_failure_poisons_and_recovery_keeps_the_prefix() {
+        use bf_chaos::{StoreFault, StorePlan};
+        let dir = scratch_dir("chaos-failwrite");
+        {
+            let store = Store::open_with(
+                &dir,
+                chaos_config(StorePlan::scripted([(2, StoreFault::FailWrite)])),
+            )
+            .unwrap();
+            store.commit(&[Record::session_opened("a", 1.0)]).unwrap();
+            // The second write+fsync fails before any byte lands.
+            let err = store.commit(&[Record::charged("a", "q", 0.5)]).unwrap_err();
+            assert!(matches!(err, StoreError::Poisoned(_)), "got {err:?}");
+            assert!(store.is_poisoned());
+            assert!(store.poison_reason().unwrap().contains("injected"));
+            // Every further commit AND compaction refuses fail-stop.
+            assert!(matches!(
+                store.commit(&[Record::charged("a", "q2", 0.1)]),
+                Err(StoreError::Poisoned(_))
+            ));
+            assert!(matches!(store.compact(), Err(StoreError::Poisoned(_))));
+            assert_eq!(
+                store
+                    .obs()
+                    .counter("faults_injected{layer=\"store\"}")
+                    .get(),
+                1
+            );
+        }
+        // A fresh process recovers exactly the acknowledged prefix.
+        let store = Store::open(&dir).unwrap();
+        let s = &store.recovered_state().sessions["a"];
+        assert_eq!(s.total, 1.0);
+        assert_eq!(s.spent, 0.0, "the failed charge was never acknowledged");
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_write_leaves_a_recoverable_torn_tail() {
+        use bf_chaos::{StoreFault, StorePlan};
+        let dir = scratch_dir("chaos-torn");
+        {
+            let store = Store::open_with(
+                &dir,
+                chaos_config(StorePlan::scripted([(2, StoreFault::TornWrite)])),
+            )
+            .unwrap();
+            store.commit(&[Record::session_opened("a", 1.0)]).unwrap();
+            // One batch of three charges: half the bytes persist.
+            assert!(matches!(
+                store.commit(&[
+                    Record::charged("a", "q1", 0.125),
+                    Record::charged("a", "q2", 0.125),
+                    Record::charged("a", "q3", 0.125),
+                ]),
+                Err(StoreError::Poisoned(_))
+            ));
+            assert!(store.is_poisoned());
+        }
+        // Recovery treats the half-written batch as the torn tail it
+        // is: intact prefix applied, tear skipped, nothing refused —
+        // and none of the torn charges were ever acknowledged.
+        let store = Store::open(&dir).unwrap();
+        assert!(store.recovery_report().tail_skipped);
+        let s = &store.recovered_state().sessions["a"];
+        assert_eq!(s.total, 1.0);
+        assert!(
+            s.spent < 0.375,
+            "at least the final torn charge must be missing, got {}",
+            s.spent
+        );
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_fsync_failure_poisons_even_though_bytes_reached_disk() {
+        use bf_chaos::{StoreFault, StorePlan};
+        let dir = scratch_dir("chaos-failsync");
+        {
+            let store = Store::open_with(
+                &dir,
+                chaos_config(StorePlan::scripted([(2, StoreFault::FailSync)])),
+            )
+            .unwrap();
+            store.commit(&[Record::session_opened("a", 1.0)]).unwrap();
+            // The write completes, the fsync "fails": durability is
+            // unknown, so the store must NOT acknowledge.
+            assert!(matches!(
+                store.commit(&[Record::charged("a", "q", 0.5)]),
+                Err(StoreError::Poisoned(_))
+            ));
+        }
+        // Here the bytes did survive — an unacknowledged-but-durable
+        // charge. That is the conservative direction: budget can be
+        // lost to a failed ack, never resurrected.
+        let store = Store::open(&dir).unwrap();
+        let s = &store.recovered_state().sessions["a"];
+        assert_eq!(s.spent, 0.5);
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replied_records_commit_recover_and_compact() {
+        let dir = scratch_dir("replied");
+        {
+            let store = Store::open(&dir).unwrap();
+            store.commit(&[Record::session_opened("a", 1.0)]).unwrap();
+            store
+                .commit(&[Record::replied("a", 1, "q", 0.25, vec![9, 9])])
+                .unwrap();
+            store.compact().unwrap();
+            store
+                .commit(&[Record::replied("a", 2, "q", 0.25, vec![8])])
+                .unwrap();
+        }
+        // Recovery sees both replies: one through the snapshot, one
+        // through post-snapshot replay.
+        let store = Store::open(&dir).unwrap();
+        let state = store.recovered_state();
+        assert_eq!(state.sessions["a"].spent, 0.5);
+        assert_eq!(state.sessions["a"].served, 2);
+        assert_eq!(state.cached_reply("a", 1).unwrap().payload, vec![9, 9]);
+        assert_eq!(state.cached_reply("a", 2).unwrap().payload, vec![8]);
+        drop(store);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,151 @@
+//! Exactly-once serving under injected wire chaos, end to end.
+//!
+//! ```text
+//! cargo run --release --example chaos_recovery
+//! ```
+//!
+//! A WAL-backed engine serves over TCP while a seed-deterministic fault
+//! plan kills reply frames: the first answer's connection is dropped,
+//! the third is truncated mid-frame, the fifth is delayed. The client
+//! survives all of it with [`Client::call_idempotent`] — reconnect,
+//! deterministic backoff, resubmit under the same idempotency key — and
+//! the ledger shows every request charged **exactly once**. The serving
+//! process then restarts (new engine, different noise seed, same WAL)
+//! and a pre-restart idempotency key still replays its answer
+//! bit-identically from the recovered reply cache.
+
+use blowfish::chaos::{NetFault, NetPlan};
+use blowfish::engine::{Engine, Request, Store};
+use blowfish::net::{Client, NetConfig, NetError, NetServer, RetryPolicy};
+use blowfish::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const STORE_DIR: &str = "target/chaos-recovery-demo";
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn build_engine(seed: u64, store: Arc<Store>) -> Arc<Engine> {
+    let engine = Engine::with_store(seed, store);
+    let domain = Domain::line(128).expect("domain");
+    engine
+        .register_policy("salaries", Policy::distance_threshold(domain.clone(), 8))
+        .expect("policy");
+    let rows: Vec<usize> = (0..5_000).map(|i| (i * 37) % 128).collect();
+    engine
+        .register_dataset("payroll", Dataset::from_rows(domain, rows).expect("rows"))
+        .expect("dataset");
+    Arc::new(engine)
+}
+
+fn start_server(seed: u64, fault_plan: Option<Arc<NetPlan>>) -> NetServer {
+    let store = Arc::new(Store::open(STORE_DIR).expect("open store"));
+    let server = Arc::new(Server::with_defaults(build_engine(seed, store)));
+    NetServer::bind(
+        "127.0.0.1:0",
+        server,
+        NetConfig {
+            fault_plan,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind")
+}
+
+fn main() {
+    let _ = std::fs::remove_dir_all(STORE_DIR);
+
+    // Phase 1: serve through scripted wire faults. The plan's op clock
+    // ticks once per answer frame, so the schedule is exact: answer 1's
+    // connection drops, answer 3 is torn mid-frame, answer 5 dawdles.
+    let plan = Arc::new(NetPlan::scripted([
+        (1, NetFault::DropConnection),
+        (3, NetFault::TruncateReply),
+        (5, NetFault::DelayReplyMicros(2_000)),
+    ]));
+    let net = start_server(0xC0FFEE, Some(Arc::clone(&plan)));
+    let mut client = Client::connect(net.local_addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    client.open_session("alice", 1.0).expect("session");
+    for i in 0..6usize {
+        let request = Request::range("salaries", "payroll", eps(0.1), 5 * i, 5 * i + 40);
+        client
+            .call_idempotent("alice", &request, &RetryPolicy::default())
+            .expect("exactly-once call");
+    }
+    let budget = client.budget("alice").expect("budget");
+    assert!(
+        (budget.spent - 0.6).abs() < 1e-12,
+        "6 × 0.1 with retries must charge exactly 0.6, got {}",
+        budget.spent
+    );
+    println!(
+        "phase 1: 6 calls through {} injected wire faults — spent ε = {:.2} (exactly once) ✓",
+        plan.injected(),
+        budget.spent
+    );
+
+    // A keyed answer to carry across the restart: its reply made it, so
+    // the reply cache now holds it durably.
+    let request = Request::range("salaries", "payroll", eps(0.2), 10, 90);
+    let id = client
+        .submit_tagged("alice", &request, Some(4242), None)
+        .expect("submit");
+    let before_restart = client.wait(id).expect("answer");
+
+    // An already-expired deadline refuses typed — before any charge.
+    let id = client
+        .submit_tagged("alice", &request, Some(4243), Some(0))
+        .expect("submit");
+    match client.wait(id) {
+        Err(NetError::Remote(WireError::DeadlineExceeded { .. })) => {
+            println!("phase 1: zero-µs deadline refused before any charge ✓");
+        }
+        other => panic!("expected a deadline refusal, got {other:?}"),
+    }
+
+    // Phase 2: restart the serving process — new engine, **different**
+    // noise seed, same WAL — and replay the pre-restart key. Identical
+    // bytes can only come from the recovered reply cache.
+    net.shutdown().expect("shutdown");
+    let net = start_server(0xBEEF, None);
+    let reattached = client.reconnect_to(net.local_addr()).expect("reconnect");
+    println!(
+        "phase 2: restarted on {}, reattached {:?}",
+        net.local_addr(),
+        reattached
+    );
+    let spent_before = client.budget("alice").expect("budget").spent;
+    let id = client
+        .submit_tagged("alice", &request, Some(4242), None)
+        .expect("resubmit");
+    let replayed = client.wait(id).expect("replay");
+    assert_eq!(
+        before_restart, replayed,
+        "the recovered reply cache must answer bit-identically"
+    );
+    let spent_after = client.budget("alice").expect("budget").spent;
+    assert_eq!(
+        spent_before.to_bits(),
+        spent_after.to_bits(),
+        "a replay must cost zero ε"
+    );
+    println!("phase 2: pre-restart key replayed bit-identically at zero ε ✓");
+
+    // The whole story is visible in one stats scrape.
+    let metrics = client.stats().expect("stats");
+    for needle in ["retries", "replay_cache_hits", "deadline_refusals"] {
+        let m = metrics
+            .iter()
+            .find(|m| m.name().contains(needle))
+            .unwrap_or_else(|| panic!("{needle} missing from the scrape"));
+        println!("  scrape: {} present ✓", m.name());
+    }
+    client.goodbye().expect("goodbye");
+    net.shutdown().expect("shutdown");
+    println!("OK");
+}

@@ -29,6 +29,7 @@
 //! | [`store`] | durable ε-budget ledger: checksummed WAL, group commit, snapshots, crash recovery |
 //! | [`net`] | wire protocol, TCP front-end and client library for multi-process serving |
 //! | [`obs`] | metrics registry, request-stage spans, Prometheus-style rendering |
+//! | [`chaos`] | seed-deterministic fault injection: scripted store/net fault plans, backoff jitter |
 //! | [`rt`] | vendored minimal async runtime (executor, `block_on`, oneshot) |
 //!
 //! ## Serving repeated queries
@@ -72,6 +73,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use bf_chaos as chaos;
 pub use bf_constraints as constraints;
 pub use bf_core as core;
 pub use bf_data as data;
@@ -101,7 +103,7 @@ pub mod prelude {
     pub use bf_mechanisms::{
         HierarchicalMechanism, HistogramMechanism, OrderedHierarchicalMechanism, OrderedMechanism,
     };
-    pub use bf_net::{Client, NetConfig, NetError, NetServer, WireError};
+    pub use bf_net::{Client, NetConfig, NetError, NetServer, RetryPolicy, WireError};
     pub use bf_server::{Server, ServerConfig, ServerError, ServerStats, Ticket};
     pub use bf_store::{Store, StoreConfig, StoreError, StoreStats};
     pub use futures_lite::Executor;

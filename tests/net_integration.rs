@@ -2,7 +2,7 @@
 //! a WAL-backed engine behind the async server behind the TCP
 //! front-end, exercised by real sockets.
 
-use blowfish::net::{Client, NetConfig, NetError, NetServer};
+use blowfish::net::{Client, NetConfig, NetError, NetServer, RetryPolicy};
 use blowfish::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
@@ -195,6 +195,123 @@ fn wire_and_in_process_serving_agree_bit_for_bit() {
         answers
     };
     assert_eq!(over_wire, in_process);
+}
+
+/// The third acknowledged-crash point of the exactly-once story: the
+/// charge is durable, the answer is computed, and the reply frame dies
+/// on the wire. A resubmission under the same idempotency key must
+/// replay the durable answer — bit-identically, at zero additional ε.
+#[test]
+fn dropped_reply_frame_replays_without_recharging() {
+    use blowfish::chaos::{NetFault, NetPlan};
+    let net = build_net(
+        40,
+        None,
+        ServerConfig::default(),
+        NetConfig {
+            fault_plan: Some(Arc::new(NetPlan::scripted([(1, NetFault::DropConnection)]))),
+            ..NetConfig::default()
+        },
+    );
+    let mut client = Client::connect(net.local_addr()).unwrap();
+    client.open_session("retry", 1.0).unwrap();
+    let request = Request::range("pol", "ds", eps(0.4), 2, 22);
+    // First delivery: the server serves (and durably charges), then the
+    // chaos plan kills the connection instead of writing the answer.
+    let id = client
+        .submit_tagged("retry", &request, Some(7), None)
+        .unwrap();
+    let lost = client.wait(id);
+    assert!(
+        matches!(
+            lost,
+            Err(NetError::ConnectionLost { .. }) | Err(NetError::Io(_))
+        ),
+        "got {lost:?}"
+    );
+    // Reconnect and resubmit the same key, twice: both replays come from
+    // the durable reply cache and must agree byte for byte.
+    client.reconnect().unwrap();
+    let id = client
+        .submit_tagged("retry", &request, Some(7), None)
+        .unwrap();
+    let first = client.wait(id).unwrap();
+    let id = client
+        .submit_tagged("retry", &request, Some(7), None)
+        .unwrap();
+    let second = client.wait(id).unwrap();
+    assert_eq!(first, second, "replays must be bit-identical");
+    let budget = client.budget("retry").unwrap();
+    assert!(
+        (budget.spent - 0.4).abs() < 1e-12,
+        "charged exactly once, spent {}",
+        budget.spent
+    );
+    net.shutdown().unwrap();
+}
+
+/// The hands-off variant: [`Client::call_idempotent`] owns the
+/// reconnect-backoff-resubmit loop and still charges exactly once.
+#[test]
+fn call_idempotent_retries_through_a_dropped_reply() {
+    use blowfish::chaos::{NetFault, NetPlan};
+    let net = build_net(
+        41,
+        None,
+        ServerConfig::default(),
+        NetConfig {
+            fault_plan: Some(Arc::new(NetPlan::scripted([(1, NetFault::DropConnection)]))),
+            ..NetConfig::default()
+        },
+    );
+    let mut client = Client::connect(net.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    client.open_session("idem", 1.0).unwrap();
+    let response = client
+        .call_idempotent(
+            "idem",
+            &Request::range("pol", "ds", eps(0.3), 0, 10),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+    assert!(response.scalar().is_some());
+    let budget = client.budget("idem").unwrap();
+    assert!(
+        (budget.spent - 0.3).abs() < 1e-12,
+        "charged exactly once, spent {}",
+        budget.spent
+    );
+    let stats = net.server().stats();
+    assert!(stats.retries >= 1, "the replay must count as a retry");
+    net.shutdown().unwrap();
+}
+
+/// The robustness counters ride the ordinary stats scrape: one
+/// `StatsReport` covers fault injection, retries, replay hits, deadline
+/// refusals and load shedding alongside the engine and store metrics.
+#[test]
+fn stats_report_exposes_the_chaos_and_retry_counters() {
+    let net = build_net(42, None, ServerConfig::default(), NetConfig::default());
+    let mut client = Client::connect(net.local_addr()).unwrap();
+    let names: Vec<String> = client
+        .stats()
+        .unwrap()
+        .iter()
+        .map(|m| m.name().to_owned())
+        .collect();
+    for needle in [
+        "faults_injected",
+        "retries",
+        "replay_cache_hits",
+        "deadline_refusals",
+        "shed_requests",
+    ] {
+        assert!(
+            names.iter().any(|n| n.contains(needle)),
+            "missing {needle} in {names:?}"
+        );
+    }
+    net.shutdown().unwrap();
 }
 
 #[test]

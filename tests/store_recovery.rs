@@ -7,7 +7,7 @@
 //! exactly what the pre-crash engine would have refused (or more, never
 //! less).
 
-use blowfish::engine::{Engine, EngineError, Request, Store};
+use blowfish::engine::{Engine, EngineError, Request, Response, Store};
 use blowfish::prelude::*;
 use blowfish::server::{Server, ServerConfig};
 use blowfish::store::{scan_frames, scratch_dir, Record, ScanEnd};
@@ -350,6 +350,220 @@ fn corruption_at_any_offset_is_rejected_by_checksum() {
                 );
             }
         }
+    }
+}
+
+/// Crash point 1 of the exactly-once story: the fault kills the very
+/// commit carrying the charge, so nothing durable was charged and
+/// nothing was acknowledged. A restart-and-retry under the same
+/// idempotency key performs the work — and charges — exactly once.
+#[test]
+fn retry_after_precommit_crash_charges_exactly_once() {
+    use blowfish::chaos::{StoreFault, StorePlan};
+    use blowfish::store::StoreConfig;
+    let request = Request::range("pol", "ds", eps(0.4), 4, 20);
+    // Dry run with an unarmed plan: count the WAL writes a clean run
+    // performs before the serve, so the scripted fault lands exactly on
+    // the charge commit no matter how registration batching evolves.
+    let ops_before_serve = {
+        let dir = scratch_dir("precommit-dry");
+        let plan = Arc::new(StorePlan::none());
+        let store = Store::open_with(
+            &dir,
+            StoreConfig {
+                fault_plan: Some(Arc::clone(&plan)),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let engine = build_engine(99, Arc::new(store));
+        engine.open_session("alice", eps(1.0)).unwrap();
+        drop(engine);
+        let n = plan.ops();
+        std::fs::remove_dir_all(&dir).unwrap();
+        n
+    };
+
+    let dir = scratch_dir("precommit");
+    {
+        let plan = Arc::new(StorePlan::scripted([(
+            ops_before_serve + 1,
+            StoreFault::FailWrite,
+        )]));
+        let store = Store::open_with(
+            &dir,
+            StoreConfig {
+                fault_plan: Some(Arc::clone(&plan)),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let engine = build_engine(99, Arc::new(store));
+        engine.open_session("alice", eps(1.0)).unwrap();
+        let denied = engine.serve_tagged("alice", 7, &request);
+        assert!(
+            matches!(denied, Err(EngineError::Store(_))),
+            "got {denied:?}"
+        );
+        assert_eq!(plan.injected(), 1, "the scripted fault must have fired");
+    } // die without ceremony
+
+    // Restart: the failed commit left no durable charge; the retry under
+    // the same key serves once, then replays free and bit-identically.
+    let store = Arc::new(Store::open(&dir).unwrap());
+    let engine = build_engine(99, store);
+    engine.open_session("alice", eps(1.0)).unwrap();
+    assert!(
+        (engine.session_remaining("alice").unwrap() - 1.0).abs() < 1e-12,
+        "a failed commit must not charge"
+    );
+    let first = engine.serve_tagged("alice", 7, &request).unwrap();
+    assert!((engine.session_remaining("alice").unwrap() - 0.6).abs() < 1e-12);
+    let replay = engine.serve_tagged("alice", 7, &request).unwrap();
+    assert_eq!(first, replay, "replays must be bit-identical");
+    assert!(
+        (engine.session_remaining("alice").unwrap() - 0.6).abs() < 1e-12,
+        "the replay must cost zero ε"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Crash point 2: the combined charge+answer frame is durable but the
+/// process dies before anyone saw the answer. The retried key replays
+/// the recovered answer — from a **different-seed** engine, proving the
+/// bytes come from the WAL's reply cache, not from noise regeneration.
+#[test]
+fn retry_after_postcommit_crash_replays_the_durable_answer() {
+    let dir = scratch_dir("postcommit");
+    let request = Request::range("pol", "ds", eps(0.4), 4, 20);
+    let first = {
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let engine = build_engine(99, store);
+        engine.open_session("alice", eps(1.0)).unwrap();
+        engine.serve_tagged("alice", 7, &request).unwrap()
+    }; // the Replied frame landed; the reply itself never left the box
+
+    let store = Arc::new(Store::open(&dir).unwrap());
+    let engine = build_engine(4242, store); // different noise stream
+    engine.open_session("alice", eps(1.0)).unwrap();
+    assert!(
+        (engine.session_remaining("alice").unwrap() - 0.6).abs() < 1e-12,
+        "the pre-crash charge must survive recovery"
+    );
+    let replay = engine.serve_tagged("alice", 7, &request).unwrap();
+    assert_eq!(first, replay, "the recovered reply must be bit-identical");
+    assert!(
+        (engine.session_remaining("alice").unwrap() - 0.6).abs() < 1e-12,
+        "the replay must cost zero ε"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// One seeded chaos run: a fault schedule derived from `seed` is
+/// injected into a tagged serve stream; the run returns the
+/// acknowledged answers, the recovered spent bits and the recovered
+/// state digest.
+fn chaos_run(seed: u64, generation: u32) -> (Vec<Response>, u64, u64) {
+    use blowfish::chaos::{ChaosRng, StoreFault, StorePlan};
+    use blowfish::store::StoreConfig;
+    let mut rng = ChaosRng::new(seed);
+    let fault = match rng.next_below(3) {
+        0 => StoreFault::FailWrite,
+        1 => StoreFault::TornWrite,
+        _ => StoreFault::FailSync,
+    };
+    let op = 4 + rng.next_below(9); // lands somewhere in the serve stream
+    let dir = scratch_dir(&format!("chaos-sweep-{seed}-{generation}"));
+    let mut acked = Vec::new();
+    {
+        let plan = Arc::new(StorePlan::scripted([(op, fault)]));
+        let store = Store::open_with(
+            &dir,
+            StoreConfig {
+                fault_plan: Some(Arc::clone(&plan)),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let engine = build_engine(1000 + seed, Arc::new(store));
+        engine.open_session("alice", eps(8.0)).unwrap();
+        for i in 0..10u64 {
+            let lo = (i as usize * 3) % 40;
+            let request = Request::range("pol", "ds", eps(0.25), lo, lo + 12);
+            match engine.serve_tagged("alice", i, &request) {
+                Ok(response) => acked.push(response),
+                Err(_) => break, // the store poisoned — the process "dies"
+            }
+        }
+    }
+    // Recovery: every acknowledged charge is covered — and since each
+    // charge is exactly 0.25, the recovered spend is the acked sum plus
+    // at most the one in-flight frame a FailSync left durable but
+    // unacknowledged. Both candidates are exactly representable, so the
+    // comparison is bit-for-bit, not approximate.
+    let store = Store::open(&dir).unwrap();
+    let spent = store
+        .recovered_state()
+        .sessions
+        .get("alice")
+        .map_or(0.0, |s| s.spent);
+    let acked_sum = 0.25 * acked.len() as f64;
+    let with_in_flight = 0.25 * (acked.len() + 1) as f64;
+    assert!(
+        spent.to_bits() == acked_sum.to_bits() || spent.to_bits() == with_in_flight.to_bits(),
+        "seed {seed}: recovered spent {spent} must be the acked sum {acked_sum} \
+         or that plus the single in-flight charge"
+    );
+
+    // Generation 2 retries every key. Acked answers replay from the
+    // recovered cache bit-identically; the faulted one either replays
+    // (its frame survived) or serves fresh — in both cases each key
+    // ends up charged exactly once: 10 × 0.25 on the nose.
+    let engine = build_engine(1000 + seed, Arc::new(store));
+    engine.open_session("alice", eps(8.0)).unwrap();
+    let retried: Vec<Response> = (0..10u64)
+        .map(|i| {
+            let lo = (i as usize * 3) % 40;
+            let request = Request::range("pol", "ds", eps(0.25), lo, lo + 12);
+            engine.serve_tagged("alice", i, &request).unwrap()
+        })
+        .collect();
+    for (i, answer) in acked.iter().enumerate() {
+        assert_eq!(
+            answer, &retried[i],
+            "seed {seed}: acknowledged answer {i} must replay bit-identically"
+        );
+    }
+    let final_spent = 8.0 - engine.session_remaining("alice").unwrap();
+    assert_eq!(
+        final_spent.to_bits(),
+        2.5f64.to_bits(),
+        "seed {seed}: after retries every request is charged exactly once"
+    );
+    let digest = {
+        drop(engine);
+        let store = Store::open(&dir).unwrap();
+        let d = store.recovered_state().digest();
+        drop(store);
+        d
+    };
+    std::fs::remove_dir_all(&dir).unwrap();
+    (retried, final_spent.to_bits(), digest)
+}
+
+/// The acceptance sweep: across seeds, every run recovers with spent ε
+/// equal to the acknowledged sum bit-for-bit, and the **same seed**
+/// (hence the same fault schedule) reproduces byte-identical answers
+/// and a byte-identical recovered ledger.
+#[test]
+fn chaos_sweep_never_resurrects_and_replays_deterministically() {
+    for seed in 0..6u64 {
+        let a = chaos_run(seed, 0);
+        let b = chaos_run(seed, 1);
+        assert_eq!(
+            a, b,
+            "seed {seed}: same fault schedule must replay byte-identically"
+        );
     }
 }
 
