@@ -1,0 +1,239 @@
+//! PR 8 observability trajectory (custom harness, run via `cargo bench
+//! -p bf-bench --bench trace`, `-- --quick` for the CI smoke run).
+//!
+//! Three measurements:
+//!
+//! 1. **Tracing overhead** — pipelined throughput through the full TCP
+//!    stack with every request carrying a trace id vs the same seeded
+//!    workload with observability disabled entirely. Asserted: the
+//!    traced run stays within 5% of the untraced run (best-of-K per
+//!    mode, so scheduler jitter does not masquerade as overhead).
+//! 2. **Exemplar retention** — a traced flood several times the trace
+//!    buffer's capacity. Asserted: the retained set stays within the
+//!    hard bound while every completion is accounted, and the slowest
+//!    release exemplar survives the flood.
+//! 3. **Audit fidelity** — after a coalescing workload with archiving
+//!    and a mid-run compaction, `Client::audit` must agree with the
+//!    engine's own `ledger_history` exactly, and the per-record ε sum
+//!    must equal the wire-reported ledger bit-for-bit.
+//!
+//! Results are written to `BENCH_PR8.json` at the repo root.
+
+use bf_core::{Epsilon, Policy};
+use bf_domain::{Dataset, Domain};
+use bf_engine::{Engine, Store};
+use bf_net::{Client, NetConfig, NetServer};
+use bf_server::{Server, ServerConfig};
+use bf_store::{scratch_dir, StoreConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DOMAIN: usize = 256;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn request_at(i: usize) -> bf_engine::Request {
+    let lo = (i * 13) % (DOMAIN - 64);
+    bf_engine::Request::range("pol", "ds", eps(1e-6), lo, lo + 48)
+}
+
+fn build_net(seed: u64, store: Option<Arc<Store>>, server_config: ServerConfig) -> NetServer {
+    let engine = match store {
+        Some(s) => Engine::with_store(seed, s),
+        None => Engine::with_seed(seed),
+    };
+    let domain = Domain::line(DOMAIN).unwrap();
+    engine
+        .register_policy("pol", Policy::distance_threshold(domain.clone(), 4))
+        .unwrap();
+    let rows: Vec<usize> = (0..5_000).map(|i| (i * 131) % DOMAIN).collect();
+    engine
+        .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+        .unwrap();
+    let server = Arc::new(Server::new(Arc::new(engine), server_config));
+    NetServer::bind("127.0.0.1:0", server, NetConfig::default()).unwrap()
+}
+
+/// One pipelined pass of `total` requests (32 in flight) against a
+/// fresh same-seed stack; returns wall seconds.
+fn timed_pass(traced: bool, total: usize) -> f64 {
+    let net = build_net(7, None, ServerConfig::default());
+    if !traced {
+        net.server().engine().obs().set_enabled(false);
+    }
+    let mut client = Client::connect(net.local_addr()).unwrap();
+    client.open_session("a", 1e6).unwrap();
+    let t0 = Instant::now();
+    for chunk in 0..(total / 32) {
+        let ids: Vec<u64> = (0..32)
+            .map(|j| {
+                let i = chunk * 32 + j;
+                let tid = traced.then_some(i as u64);
+                client
+                    .submit_traced("a", &request_at(i), None, None, tid)
+                    .unwrap()
+            })
+            .collect();
+        for id in ids {
+            client.wait(id).unwrap();
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    net.shutdown().unwrap();
+    elapsed
+}
+
+/// Tracing-on vs observability-off throughput, best-of-`runs` each.
+fn bench_overhead(json: &mut String, total: usize, runs: usize) {
+    let best = |traced: bool| {
+        (0..runs)
+            .map(|_| timed_pass(traced, total))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let off = best(false);
+    let on = best(true);
+    let overhead = on / off - 1.0;
+    let under_5pct = overhead < 0.05;
+    assert!(
+        under_5pct,
+        "tracing overhead {:.2}% must stay under 5% (on {on:.4}s vs off {off:.4}s)",
+        overhead * 100.0
+    );
+    println!(
+        "trace/overhead: {total} pipelined requests — off {:.2} µs/req, on {:.2} µs/req \
+         ({:+.2}%) ✓",
+        off * 1e6 / total as f64,
+        on * 1e6 / total as f64,
+        overhead * 100.0
+    );
+    writeln!(
+        json,
+        "  \"overhead\": {{\"requests\": {total}, \"untraced_ns\": {:.0}, \"traced_ns\": {:.0}, \
+         \"overhead_pct\": {:.3}, \"trace_overhead_under_5pct\": {under_5pct}}},",
+        off * 1e9 / total as f64,
+        on * 1e9 / total as f64,
+        overhead * 100.0
+    )
+    .unwrap();
+}
+
+/// Floods the trace buffer well past capacity and checks the retention
+/// contract over the wire.
+fn bench_exemplars(json: &mut String, multiple: usize) {
+    let net = build_net(11, None, ServerConfig::default());
+    let cap = net.server().engine().obs().trace_buffer().capacity();
+    let total = multiple * cap;
+    let mut client = Client::connect(net.local_addr()).unwrap();
+    client.open_session("flood", 1e6).unwrap();
+    for i in 0..total {
+        let id = client
+            .submit_traced("flood", &request_at(i), None, None, Some(i as u64))
+            .unwrap();
+        client.wait(id).unwrap();
+    }
+    let retained = client.traces().unwrap();
+    let buffer = net.server().engine().obs().trace_buffer().clone();
+    let bounded = retained.len() <= cap;
+    let accounted = buffer.finished() == total as u64;
+    let captured = !retained.is_empty() && bounded && accounted;
+    assert!(
+        captured,
+        "retained {} (cap {cap}), finished {} of {total}",
+        retained.len(),
+        buffer.finished()
+    );
+    // The slowest release exemplar in the whole flood must have survived.
+    let slowest = retained
+        .iter()
+        .filter_map(|t| t.stage_ns(bf_obs::Stage::Release))
+        .max()
+        .unwrap();
+    println!(
+        "trace/exemplars: {total} traced requests → {} retained (cap {cap}), \
+         slowest release exemplar {slowest} ns kept ✓",
+        retained.len()
+    );
+    writeln!(
+        json,
+        "  \"exemplars\": {{\"flooded\": {total}, \"retained\": {}, \"capacity\": {cap}, \
+         \"exemplars_captured\": {captured}}},",
+        retained.len()
+    )
+    .unwrap();
+    net.shutdown().unwrap();
+}
+
+/// Audit-vs-ledger fidelity through archiving and compaction.
+fn bench_audit(json: &mut String, requests: usize) {
+    let dir = scratch_dir("bench-trace-audit");
+    let store = Arc::new(
+        Store::open_with(
+            &dir,
+            StoreConfig {
+                archive_replayed_segments: true,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let net = build_net(13, Some(Arc::clone(&store)), ServerConfig::default());
+    let mut client = Client::connect(net.local_addr()).unwrap();
+    client.open_session("aud", 1e6).unwrap();
+    for i in 0..requests / 2 {
+        client.call("aud", &request_at(i)).unwrap();
+    }
+    store.compact().unwrap();
+    for i in requests / 2..requests {
+        client.call("aud", &request_at(i)).unwrap();
+    }
+    let t0 = Instant::now();
+    let entries = client.audit("aud").unwrap();
+    let scan = t0.elapsed().as_secs_f64();
+    let direct = net.server().engine().ledger_history("aud").unwrap();
+    let booked: f64 = entries.iter().map(|e| e.epsilon()).sum();
+    let spent = client.budget("aud").unwrap().spent;
+    let matches = entries == direct && booked.to_bits() == spent.to_bits();
+    assert!(
+        matches,
+        "audit must equal the engine scan and sum to the ledger bit-for-bit"
+    );
+    println!(
+        "trace/audit: {} records ({} across archive/) scanned in {:.2} ms, \
+         Σε = ledger bit-for-bit ✓",
+        entries.len(),
+        requests / 2,
+        scan * 1e3
+    );
+    writeln!(
+        json,
+        "  \"audit\": {{\"records\": {}, \"scan_ms\": {:.3}, \"audit_matches_ledger\": {matches}}}",
+        entries.len(),
+        scan * 1e3
+    )
+    .unwrap();
+    net.shutdown().unwrap();
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (total, runs) = if quick { (512, 3) } else { (2_048, 5) };
+    let flood_multiple = if quick { 3 } else { 6 };
+    let audit_requests = if quick { 64 } else { 256 };
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"pr\": 8,").unwrap();
+    writeln!(json, "  \"quick\": {quick},").unwrap();
+    bench_overhead(&mut json, total, runs);
+    bench_exemplars(&mut json, flood_multiple);
+    bench_audit(&mut json, audit_requests);
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
+    std::fs::write(path, &json).expect("write BENCH_PR8.json");
+    println!("trace: OK → {path}");
+}

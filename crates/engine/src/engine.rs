@@ -12,8 +12,11 @@ use bf_core::{Epsilon, LaplaceMechanism, Policy, Predicate, QueryClass};
 use bf_domain::{CumulativeHistogram, Dataset, Histogram, PointSet};
 use bf_mechanisms::kmeans::{init_random, PrivateKmeans};
 use bf_mechanisms::{HistogramMechanism, OrderedMechanism, RangeAnswerer};
-use bf_obs::{merge_snapshots, Counter, Gauge, MetricSnapshot, Registry, Stage};
-use bf_store::{fnv1a, Record, RegistryKind, Store, REPLY_CACHE_PER_ANALYST};
+use bf_obs::{
+    merge_snapshots, next_link_id, Counter, Gauge, MetricSnapshot, Registry, Stage, TraceContext,
+    TraceTimer,
+};
+use bf_store::{fnv1a, LedgerEntry, Record, RegistryKind, Store, REPLY_CACHE_PER_ANALYST};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, HashMap};
@@ -22,9 +25,11 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// One coalesced group for the tagged serving entry points: the waiters
-/// — each an `(analyst, idempotency tag)` pair, `Some(request_id)`
-/// marking a retryable submission — plus the request they share.
-pub type TaggedGroup = (Vec<(String, Option<u64>)>, Request);
+/// — each an `(analyst, idempotency tag, trace context)` triple,
+/// `Some(request_id)` marking a retryable submission, the
+/// [`TraceContext`] inert unless the request carried a client trace id
+/// — plus the request they share.
+pub type TaggedGroup = (Vec<(String, Option<u64>, TraceContext)>, Request);
 
 /// Counts releases currently executing against a registry entry, so
 /// deregistration can refuse instead of pulling data out from under a
@@ -912,6 +917,7 @@ impl Engine {
         label: String,
         epsilon: Epsilon,
         free: bool,
+        trace: &TraceContext,
     ) -> Result<(), EngineError> {
         let analyst = {
             let mut s = session.lock().expect("session poisoned");
@@ -922,7 +928,7 @@ impl Engine {
             let spent = if free { 0.0 } else { epsilon.value() };
             let mut span = self.obs.span();
             store
-                .commit(&[Record::charged(&analyst, &label, spent)])
+                .commit_traced(&[Record::charged(&analyst, &label, spent)], &[trace])
                 .map_err(EngineError::Store)?;
             self.obs.span_mark(&mut span, Stage::WalCommit);
         }
@@ -985,18 +991,22 @@ impl Engine {
         label: &str,
         spent: f64,
         response: &Response,
+        trace: &TraceContext,
     ) -> Result<(), EngineError> {
         let payload = response.to_bytes();
         if let Some(store) = &self.store {
             let mut span = self.obs.span();
             store
-                .commit(&[Record::replied(
-                    analyst,
-                    request_id,
-                    label,
-                    spent,
-                    payload.clone(),
-                )])
+                .commit_traced(
+                    &[Record::replied(
+                        analyst,
+                        request_id,
+                        label,
+                        spent,
+                        payload.clone(),
+                    )],
+                    &[trace],
+                )
                 .map_err(EngineError::Store)?;
             self.obs.span_mark(&mut span, Stage::WalCommit);
         }
@@ -1062,6 +1072,25 @@ impl Engine {
         merge_snapshots(sets)
     }
 
+    /// The ε-provenance audit: every durable charge booked for
+    /// `analyst`, in WAL total order — [`Store::ledger_history`] lifted
+    /// to the engine (and from there over the wire as
+    /// `BudgetAudit`/`AuditReport`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] when the engine runs without a
+    /// store (a memory-only ledger has no durable history to audit);
+    /// store errors as [`Store::ledger_history`] surfaces them.
+    pub fn ledger_history(&self, analyst: &str) -> Result<Vec<LedgerEntry>, EngineError> {
+        match &self.store {
+            Some(store) => store.ledger_history(analyst).map_err(EngineError::Store),
+            None => Err(EngineError::InvalidRequest(
+                "budget audit requires a durable store".into(),
+            )),
+        }
+    }
+
     /// Drops every cached sensitivity (counters keep accumulating).
     /// Correctness is unaffected — the next request per class recomputes
     /// the closed form. Used by benches to measure the cold path.
@@ -1094,7 +1123,7 @@ impl Engine {
     /// [`EngineError::BudgetRefused`] when the ledger cannot cover ε
     /// (nothing is released in that case).
     pub fn serve(&self, analyst: &str, request: &Request) -> Result<Response, EngineError> {
-        self.serve_with_tag(analyst, None, request)
+        self.serve_with_tag(analyst, None, request, &TraceContext::inert())
     }
 
     /// [`Engine::serve`] for a request stamped with a durable idempotency
@@ -1121,7 +1150,26 @@ impl Engine {
         request_id: u64,
         request: &Request,
     ) -> Result<Response, EngineError> {
-        self.serve_with_tag(analyst, Some(request_id), request)
+        self.serve_with_tag(analyst, Some(request_id), request, &TraceContext::inert())
+    }
+
+    /// [`Engine::serve`] / [`Engine::serve_tagged`] with request-trace
+    /// attribution: the mechanism release and the charge's WAL commit
+    /// are recorded as `Release` / `WalCommit` spans on `trace`. An
+    /// inert context makes this byte-identical to the untraced entry
+    /// points — tracing is observation only.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::serve_tagged`].
+    pub fn serve_traced(
+        &self,
+        analyst: &str,
+        tag: Option<u64>,
+        request: &Request,
+        trace: &TraceContext,
+    ) -> Result<Response, EngineError> {
+        self.serve_with_tag(analyst, tag, request, trace)
     }
 
     fn serve_with_tag(
@@ -1129,6 +1177,7 @@ impl Engine {
         analyst: &str,
         tag: Option<u64>,
         request: &Request,
+        trace: &TraceContext,
     ) -> Result<Response, EngineError> {
         if let Some(rid) = tag {
             if let Some(cached) = self.cached_reply(analyst, rid) {
@@ -1164,9 +1213,13 @@ impl Engine {
                 let free =
                     spec.qsize_sensitivity() == 0.0 && spec.qsum_sensitivity(points.bbox()) == 0.0;
                 match tag {
-                    None => {
-                        self.charge_durable(&session, request.label(), request.epsilon, free)?
-                    }
+                    None => self.charge_durable(
+                        &session,
+                        request.label(),
+                        request.epsilon,
+                        free,
+                        trace,
+                    )?,
                     Some(_) => {
                         self.charge_memory(&session, request.label(), request.epsilon, free)?
                     }
@@ -1175,12 +1228,14 @@ impl Engine {
                 let mut rng = self.release_rng();
                 let init = init_random(&points, *k, &mut rng);
                 let mut span = self.obs.span();
+                let timer = trace.timer();
                 let centroids = mech.run(&points, &init, &mut rng);
+                trace.record(Stage::Release, &timer, "ok");
                 self.obs.span_mark(&mut span, Stage::Release);
                 let response = Response::Centroids(centroids);
                 if let Some(rid) = tag {
                     let spent = if free { 0.0 } else { request.epsilon.value() };
-                    self.commit_reply(analyst, rid, &request.label(), spent, &response)?;
+                    self.commit_reply(analyst, rid, &request.label(), spent, &response, trace)?;
                 }
                 Ok(response)
             }
@@ -1193,9 +1248,13 @@ impl Engine {
                 let sensitivity = self.sensitivity_for(&policy_entry, &class)?;
                 let free = sensitivity == 0.0;
                 match tag {
-                    None => {
-                        self.charge_durable(&session, request.label(), request.epsilon, free)?
-                    }
+                    None => self.charge_durable(
+                        &session,
+                        request.label(),
+                        request.epsilon,
+                        free,
+                        trace,
+                    )?,
                     Some(_) => {
                         self.charge_memory(&session, request.label(), request.epsilon, free)?
                     }
@@ -1207,11 +1266,13 @@ impl Engine {
                     &class,
                 );
                 let mut rng = self.release_rng_keyed(fp);
+                let timer = trace.timer();
                 let response =
                     self.execute_with_rng(kind, &entry, request.epsilon, sensitivity, &mut rng)?;
+                trace.record(Stage::Release, &timer, "ok");
                 if let Some(rid) = tag {
                     let spent = if free { 0.0 } else { request.epsilon.value() };
-                    self.commit_reply(analyst, rid, &request.label(), spent, &response)?;
+                    self.commit_reply(analyst, rid, &request.label(), spent, &response, trace)?;
                 }
                 Ok(response)
             }
@@ -1521,7 +1582,10 @@ impl Engine {
             .iter()
             .map(|(analysts, request)| {
                 (
-                    analysts.iter().map(|a| (a.clone(), None)).collect(),
+                    analysts
+                        .iter()
+                        .map(|a| (a.clone(), None, TraceContext::inert()))
+                        .collect(),
                     request.clone(),
                 )
             })
@@ -1558,6 +1622,13 @@ impl Engine {
             spent: f64,
             /// Analysts charged for this group, first-appearance order.
             charged: Vec<String>,
+            /// Active trace contexts of the live waiters this release
+            /// will answer.
+            traces: Vec<TraceContext>,
+            /// Shared-span link id when this release answers more than
+            /// one waiter — every waiter's `Release` span carries it,
+            /// so coalescing amplification is visible per-trace.
+            link: Option<u64>,
             _flights: (FlightGuard, FlightGuard),
         }
         let mut out: Vec<Vec<Option<Result<Response, EngineError>>>> = groups
@@ -1569,7 +1640,7 @@ impl Engine {
         // an acknowledged answer — fill its slot now so it neither
         // charges nor joins the fan-out.
         for (gi, (waiters, _)) in groups.iter().enumerate() {
-            for (ai, (analyst, tag)) in waiters.iter().enumerate() {
+            for (ai, (analyst, tag, _)) in waiters.iter().enumerate() {
                 if let Some(rid) = tag {
                     if let Some(cached) = self.cached_reply(analyst, *rid) {
                         out[gi][ai] = Some(Ok(cached));
@@ -1639,7 +1710,7 @@ impl Engine {
                     let mut any_charged = false;
                     let mut verdicts: HashMap<&str, Result<(), EngineError>> = HashMap::new();
                     let mut charged: Vec<String> = Vec::new();
-                    for (ai, (analyst, _)) in waiters.iter().enumerate() {
+                    for (ai, (analyst, _, _)) in waiters.iter().enumerate() {
                         if out[gi][ai].is_some() {
                             continue; // replayed — costs nothing
                         }
@@ -1667,6 +1738,18 @@ impl Engine {
                         }
                     }
                     if any_charged {
+                        // Live waiters (charged, not replayed) own the
+                        // release: their traces get the Release span,
+                        // linked when the release fans to more than one.
+                        let traces: Vec<TraceContext> = waiters
+                            .iter()
+                            .enumerate()
+                            .filter(|(ai, _)| out[gi][*ai].is_none())
+                            .filter(|(_, (_, _, t))| t.is_active())
+                            .map(|(_, (_, _, t))| t.clone())
+                            .collect();
+                        let live = out[gi].iter().filter(|slot| slot.is_none()).count();
+                        let link = (live > 1 && !traces.is_empty()).then(next_link_id);
                         prepared.push(PreparedRelease {
                             group: gi,
                             kind: request.kind.clone(),
@@ -1677,6 +1760,8 @@ impl Engine {
                             label,
                             spent: if free { 0.0 } else { request.epsilon.value() },
                             charged,
+                            traces,
+                            link,
                             _flights: flights,
                         });
                     }
@@ -1684,10 +1769,20 @@ impl Engine {
             }
         }
 
-        // One release per prepared group, fanned across threads.
+        // One release per prepared group, fanned across threads. Every
+        // waiter's trace records the same release region; with more
+        // than one waiter the spans share `p.link`, making the fan-out
+        // legible from any single trace.
         let answers = rayon::par_map(&prepared, |p| {
             let mut rng = p.rng.clone();
-            self.execute_with_rng(&p.kind, &p.entry, p.epsilon, p.sensitivity, &mut rng)
+            let timer = TraceTimer::any(&p.traces);
+            let result =
+                self.execute_with_rng(&p.kind, &p.entry, p.epsilon, p.sensitivity, &mut rng);
+            let outcome = if result.is_ok() { "ok" } else { "failed" };
+            for t in &p.traces {
+                t.record_linked(Stage::Release, &timer, outcome, p.link);
+            }
+            result
         });
 
         // Durable-before-acknowledge: the whole tick's fan-out charges —
@@ -1700,15 +1795,17 @@ impl Engine {
         // answer at zero ε.
         let mut records: Vec<Record> = Vec::new();
         let mut mirrors: Vec<(String, u64, Vec<u8>)> = Vec::new();
+        let mut commit_traces: Vec<&TraceContext> = Vec::new();
         for (p, answer) in prepared.iter().zip(&answers) {
             let Ok(response) = answer else {
                 continue; // a failed release charges nothing durable
             };
+            commit_traces.extend(p.traces.iter());
             let payload = response.to_bytes();
             let (waiters, _) = &groups[p.group];
             for analyst in &p.charged {
                 let mut carried = false;
-                for (ai, (a, tag)) in waiters.iter().enumerate() {
+                for (ai, (a, tag, _)) in waiters.iter().enumerate() {
                     if a != analyst || out[p.group][ai].is_some() {
                         continue;
                     }
@@ -1737,7 +1834,10 @@ impl Engine {
         let durable = match &self.store {
             Some(store) if !records.is_empty() => {
                 let mut span = self.obs.span();
-                let err = store.commit(&records).map_err(EngineError::Store).err();
+                let err = store
+                    .commit_traced(&records, &commit_traces)
+                    .map_err(EngineError::Store)
+                    .err();
                 self.obs.span_mark(&mut span, Stage::WalCommit);
                 err
             }
@@ -1841,7 +1941,10 @@ impl Engine {
             .iter()
             .map(|(analysts, request)| {
                 (
-                    analysts.iter().map(|a| (a.clone(), None)).collect(),
+                    analysts
+                        .iter()
+                        .map(|a| (a.clone(), None, TraceContext::inert()))
+                        .collect(),
                     request.clone(),
                 )
             })
@@ -1872,7 +1975,7 @@ impl Engine {
         // acknowledged answer, valid regardless of how the rest of the
         // batch fares.
         for (gi, (waiters, _)) in groups.iter().enumerate() {
-            for (ai, (analyst, tag)) in waiters.iter().enumerate() {
+            for (ai, (analyst, tag, _)) in waiters.iter().enumerate() {
                 if let Some(rid) = tag {
                     if let Some(cached) = self.cached_reply(analyst, *rid) {
                         out[gi][ai] = Some(Ok(cached));
@@ -1978,7 +2081,7 @@ impl Engine {
         let mut verdicts: BTreeMap<&str, Result<(), EngineError>> = BTreeMap::new();
         let mut charged: Vec<&str> = Vec::new();
         for (gi, (waiters, _)) in groups.iter().enumerate() {
-            for (ai, (analyst, _)) in waiters.iter().enumerate() {
+            for (ai, (analyst, _, _)) in waiters.iter().enumerate() {
                 if out[gi][ai].is_some() || verdicts.contains_key(analyst.as_str()) {
                     continue;
                 }
@@ -1997,7 +2100,7 @@ impl Engine {
         }
         if charged.is_empty() {
             for (gi, (waiters, _)) in groups.iter().enumerate() {
-                for (ai, (analyst, _)) in waiters.iter().enumerate() {
+                for (ai, (analyst, _, _)) in waiters.iter().enumerate() {
                     if out[gi][ai].is_none() {
                         out[gi][ai] = Some(Err(verdicts[analyst.as_str()].clone().unwrap_err()));
                     }
@@ -2005,6 +2108,25 @@ impl Engine {
             }
             return finish(out);
         }
+        // The shared Ordered release answers every live charged waiter
+        // across every group from ONE noise draw — the strongest
+        // amplification the engine performs, so every such waiter's
+        // trace records the same linked Release span.
+        let mut traces: Vec<&TraceContext> = Vec::new();
+        let mut live = 0usize;
+        for (gi, (waiters, _)) in groups.iter().enumerate() {
+            for (ai, (analyst, _, trace)) in waiters.iter().enumerate() {
+                if out[gi][ai].is_some() || !matches!(verdicts.get(analyst.as_str()), Some(Ok(())))
+                {
+                    continue;
+                }
+                live += 1;
+                if trace.is_active() {
+                    traces.push(trace);
+                }
+            }
+        }
+        let link = (live > 1 && !traces.is_empty()).then(next_link_id);
         // Durable-before-acknowledge: the shared release executes, then
         // every fan-out charge rides ONE commit — each charged analyst's
         // spend on exactly one frame (`Replied` with their own range
@@ -2013,14 +2135,21 @@ impl Engine {
         // then is any slot acknowledged. On a store failure charged
         // slots surface the store error, refused slots keep their own
         // charge error, and the in-memory spend stands.
+        let release_timer = TraceTimer::any(traces.iter().copied());
         let answers = self.execute_range_group(&entry, first.epsilon, sensitivity, fp, &ranges);
+        if release_timer.is_running() {
+            let outcome = if answers.is_ok() { "ok" } else { "failed" };
+            for t in &traces {
+                t.record_linked(Stage::Release, &release_timer, outcome, link);
+            }
+        }
         let committed = match (&answers, &self.store) {
             (Ok(batch), store) => {
                 let mut records: Vec<Record> = Vec::new();
                 let mut mirrors: Vec<(String, u64, Vec<u8>)> = Vec::new();
                 let mut carried: Vec<&str> = Vec::new();
                 for (gi, (waiters, _)) in groups.iter().enumerate() {
-                    for (ai, (analyst, tag)) in waiters.iter().enumerate() {
+                    for (ai, (analyst, tag, _)) in waiters.iter().enumerate() {
                         if out[gi][ai].is_some()
                             || !matches!(verdicts.get(analyst.as_str()), Some(Ok(())))
                         {
@@ -2051,7 +2180,9 @@ impl Engine {
                 let result = match store {
                     Some(store) if !records.is_empty() => {
                         let mut span = self.obs.span();
-                        let committed = store.commit(&records).map_err(EngineError::Store);
+                        let committed = store
+                            .commit_traced(&records, &traces)
+                            .map_err(EngineError::Store);
                         self.obs.span_mark(&mut span, Stage::WalCommit);
                         committed
                     }
@@ -2067,7 +2198,7 @@ impl Engine {
             (Err(_), _) => Ok(()), // a failed release charges nothing durable
         };
         for (gi, (waiters, _)) in groups.iter().enumerate() {
-            for (ai, (analyst, _)) in waiters.iter().enumerate() {
+            for (ai, (analyst, _, _)) in waiters.iter().enumerate() {
                 if out[gi][ai].is_some() {
                     continue;
                 }

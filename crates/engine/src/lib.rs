@@ -1368,11 +1368,12 @@ mod tests {
             engine.open_session(a, eps(1.0)).unwrap();
         }
         let req = Request::range("pol", "ds", eps(0.3), 10, 30);
+        let inert = bf_obs::TraceContext::inert;
         let groups = vec![(
             vec![
-                ("a".to_owned(), Some(1)),
-                ("a".to_owned(), Some(2)),
-                ("b".to_owned(), None),
+                ("a".to_owned(), Some(1), inert()),
+                ("a".to_owned(), Some(2), inert()),
+                ("b".to_owned(), None, inert()),
             ],
             req.clone(),
         )];
@@ -1401,7 +1402,10 @@ mod tests {
         // the whole group is replayed, nothing is charged, and no release
         // ordinal is consumed.
         let replayed = engine.serve_coalesced_many_tagged(&[(
-            vec![("a".to_owned(), Some(1)), ("a".to_owned(), Some(2))],
+            vec![
+                ("a".to_owned(), Some(1), inert()),
+                ("a".to_owned(), Some(2), inert()),
+            ],
             req.clone(),
         )]);
         assert!(replayed[0]
@@ -1419,9 +1423,10 @@ mod tests {
         engine.open_session("a", eps(1.0)).unwrap();
         let r1 = Request::range("pol", "ds", eps(0.5), 8, 24);
         let r2 = Request::range("pol", "ds", eps(0.5), 2, 30);
+        let inert = bf_obs::TraceContext::inert;
         let groups = vec![
-            (vec![("a".to_owned(), Some(11))], r1.clone()),
-            (vec![("a".to_owned(), Some(12))], r2.clone()),
+            (vec![("a".to_owned(), Some(11), inert())], r1.clone()),
+            (vec![("a".to_owned(), Some(12), inert())], r2.clone()),
         ];
         let slots = engine.serve_range_groups_tagged(&groups);
         let a1 = slots[0][0].as_ref().unwrap().clone();

@@ -5,7 +5,8 @@ use crate::proto::{
     ClientMessage, ServerMessage, WireError, WireMetric, WireRequest, PROTOCOL_VERSION,
 };
 use bf_engine::{Request, Response};
-use bf_store::{frame_bytes, read_frame, FrameRead};
+use bf_obs::TraceTree;
+use bf_store::{frame_bytes, read_frame, FrameRead, LedgerEntry};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -346,6 +347,30 @@ impl Client {
         request_id: Option<u64>,
         deadline_micros: Option<u64>,
     ) -> Result<u64, NetError> {
+        self.submit_traced(analyst, request, request_id, deadline_micros, None)
+    }
+
+    /// [`Client::submit_tagged`] carrying a client-assigned trace id.
+    ///
+    /// A `Some(tid)` asks the server to record a request-scoped trace
+    /// tree — decode, queue, schedule, coalesce, WAL-commit, release and
+    /// reply spans — under that id, retrievable later via
+    /// [`Client::traces`]. The id is echoed back on the `Answer` (or
+    /// `Refused`) frame so replies can be matched to trace trees without
+    /// extra bookkeeping. Tracing is a pure observability side channel:
+    /// answers are byte-identical with or without it.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the send fails (reconnect to recover).
+    pub fn submit_traced(
+        &mut self,
+        analyst: &str,
+        request: &Request,
+        request_id: Option<u64>,
+        deadline_micros: Option<u64>,
+        trace_id: Option<u64>,
+    ) -> Result<u64, NetError> {
         let id = self.fresh_id();
         self.send(&ClientMessage::Submit {
             id,
@@ -353,6 +378,7 @@ impl Client {
             request: WireRequest::from_request(request),
             request_id,
             deadline_micros,
+            trace_id,
         })?;
         Ok(id)
     }
@@ -518,6 +544,57 @@ impl Client {
             ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
             other => Err(NetError::Protocol(format!(
                 "expected StatsReport, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the serving process's retained trace trees — the
+    /// slowest-per-stage exemplars plus the most recent completions the
+    /// server's bounded trace buffer holds. Each tree carries the
+    /// client-assigned [`bf_obs::TraceId`] from
+    /// [`Client::submit_traced`], the analyst, the end-to-end duration
+    /// and the per-stage spans (a coalesced release span shares a link
+    /// id across every waiter's tree it answered).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] for a typed refusal, transport errors
+    /// otherwise.
+    pub fn traces(&mut self) -> Result<Vec<TraceTree>, NetError> {
+        let id = self.fresh_id();
+        self.send(&ClientMessage::Traces { id })?;
+        match self.recv_for(id)? {
+            ServerMessage::TraceReport { traces, .. } => Ok(traces),
+            ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
+            other => Err(NetError::Protocol(format!(
+                "expected TraceReport, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches an analyst's full ε-provenance: every `Charged` and
+    /// `Replied` ledger record the serving process's WAL holds for them,
+    /// archived segments included, in WAL order. Each entry carries the
+    /// record's global WAL sequence position, the ε amount, the charge
+    /// label and a content-derived fingerprint — enough to audit where
+    /// every micro-ε of the budget went and cross-check it against
+    /// [`Client::budget`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] when the serving process has no durable
+    /// store or the scan fails, transport errors otherwise.
+    pub fn audit(&mut self, analyst: &str) -> Result<Vec<LedgerEntry>, NetError> {
+        let id = self.fresh_id();
+        self.send(&ClientMessage::BudgetAudit {
+            id,
+            analyst: analyst.to_owned(),
+        })?;
+        match self.recv_for(id)? {
+            ServerMessage::AuditReport { entries, .. } => Ok(entries),
+            ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
+            other => Err(NetError::Protocol(format!(
+                "expected AuditReport, got {other:?}"
             ))),
         }
     }

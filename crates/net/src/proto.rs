@@ -29,14 +29,18 @@
 //! | C→S | [`ClientMessage::SubmitBatch`] | several queries answered as one correlated batch |
 //! | C→S | [`ClientMessage::Budget`] | ledger snapshot for an analyst |
 //! | C→S | [`ClientMessage::Stats`] | process-wide metrics snapshot (PR 6 introspection) |
+//! | C→S | [`ClientMessage::Traces`] | retained trace-tree exemplars (PR 8 distributed tracing) |
+//! | C→S | [`ClientMessage::BudgetAudit`] | an analyst's full ε-provenance ledger history (PR 8) |
 //! | C→S | [`ClientMessage::Goodbye`] | orderly close (the server drains in-flight work first) |
 //! | S→C | [`ServerMessage::Welcome`] | handshake accept |
 //! | S→C | [`ServerMessage::SessionAttached`] | session opened/reattached, remaining ε |
-//! | S→C | [`ServerMessage::Answer`] | a submitted query's response |
+//! | S→C | [`ServerMessage::Answer`] | a submitted query's response (echoes the trace id, when traced) |
 //! | S→C | [`ServerMessage::BatchAnswer`] | per-slot responses for a batch |
 //! | S→C | [`ServerMessage::BudgetReport`] | ledger snapshot |
 //! | S→C | [`ServerMessage::StatsReport`] | every registered metric, one [`WireMetric`] each |
-//! | S→C | [`ServerMessage::Refused`] | typed error for the correlated request |
+//! | S→C | [`ServerMessage::TraceReport`] | the retained trace trees, one [`bf_obs::TraceTree`] each |
+//! | S→C | [`ServerMessage::AuditReport`] | the ledger history, one [`bf_store::LedgerEntry`] each |
+//! | S→C | [`ServerMessage::Refused`] | typed error for the correlated request (echoes the trace id) |
 //! | S→C | [`ServerMessage::Farewell`] | goodbye acknowledged, connection closing |
 //!
 //! Every message carries a client-assigned **correlation id**; replies
@@ -49,7 +53,8 @@
 
 use bf_engine::{Request, RequestKind, Response};
 use bf_mechanisms::kmeans::KmeansSecretSpec;
-use bf_store::{put_str, put_u64, Reader};
+use bf_obs::{Stage, TraceId, TraceSpan, TraceTree};
+use bf_store::{put_str, put_u64, LedgerEntry, Reader};
 
 /// Protocol version this build speaks. The handshake refuses a peer
 /// whose version differs. Version 2 added exactly-once retry support:
@@ -57,8 +62,14 @@ use bf_store::{put_str, put_u64, Reader};
 /// (`request_id`) and an optional scheduling deadline, and
 /// [`WireError`] gained [`WireError::Overloaded`] /
 /// [`WireError::DeadlineExceeded`] for the server's graceful
-/// degradation under load.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// degradation under load. Version 3 added request-scoped distributed
+/// tracing ([`ClientMessage::Submit`] carries an optional
+/// client-assigned trace id, [`ServerMessage::Answer`] /
+/// [`ServerMessage::Refused`] echo it, and
+/// [`ClientMessage::Traces`] / [`ServerMessage::TraceReport`] scrape
+/// the retained trace trees) and the ε-provenance audit
+/// ([`ClientMessage::BudgetAudit`] / [`ServerMessage::AuditReport`]).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// A query as it travels the wire: names, exact ε bits, and the kind
 /// payload. Conversion to an engine [`Request`] validates ε.
@@ -410,6 +421,12 @@ pub enum ClientMessage {
         /// (before any charge) rather than answer late. `None` waits
         /// indefinitely.
         deadline_micros: Option<u64>,
+        /// Client-assigned distributed-tracing id: the server threads a
+        /// trace context through every pipeline stage this request
+        /// touches and retains the finished tree in its exemplar
+        /// buffer, scrapeable via [`ClientMessage::Traces`]. `None`
+        /// leaves the request untraced (zero overhead).
+        trace_id: Option<u64>,
     },
     /// Submit several queries answered as one correlated batch (the
     /// server's coalescing window folds compatible members into shared
@@ -434,6 +451,22 @@ pub enum ClientMessage {
     Stats {
         /// Correlation id.
         id: u64,
+    },
+    /// Ask for the retained trace-tree exemplars (the slowest-N per
+    /// stage plus the most recent, as the server's bounded trace
+    /// buffer keeps them).
+    Traces {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Ask for an analyst's complete ε-provenance history — every
+    /// durable `Charged`/`Replied` ledger record in WAL total order,
+    /// across live **and archived** segments.
+    BudgetAudit {
+        /// Correlation id.
+        id: u64,
+        /// Whose ledger history.
+        analyst: String,
     },
     /// Orderly close: the server finishes in-flight work, replies
     /// [`ServerMessage::Farewell`], and closes.
@@ -466,6 +499,9 @@ pub enum ServerMessage {
         id: u64,
         /// The response.
         response: WireResponse,
+        /// The trace id the `Submit` carried, echoed so a pipelining
+        /// client can pair answers with the traces it assigned.
+        trace_id: Option<u64>,
     },
     /// A batch's per-slot answers, in submission order.
     BatchAnswer {
@@ -495,12 +531,30 @@ pub enum ServerMessage {
         /// Every registered metric.
         metrics: Vec<WireMetric>,
     },
+    /// The process's retained trace trees.
+    TraceReport {
+        /// Correlation id.
+        id: u64,
+        /// The retained exemplars, oldest first.
+        traces: Vec<TraceTree>,
+    },
+    /// An analyst's ε-provenance ledger history, WAL total order.
+    AuditReport {
+        /// Correlation id.
+        id: u64,
+        /// One entry per durable charge, oldest first.
+        entries: Vec<LedgerEntry>,
+    },
     /// The correlated request was refused.
     Refused {
         /// Correlation id.
         id: u64,
         /// Why.
         error: WireError,
+        /// The trace id the `Submit` carried (when the refusal
+        /// correlates to a traced submission), echoed like
+        /// [`ServerMessage::Answer`] does.
+        trace_id: Option<u64>,
     },
     /// Goodbye acknowledged; the server closes after this frame.
     Farewell {
@@ -713,6 +767,8 @@ const TAG_SUBMIT_BATCH: u8 = 4;
 const TAG_BUDGET: u8 = 5;
 const TAG_GOODBYE: u8 = 6;
 const TAG_STATS: u8 = 7;
+const TAG_TRACES: u8 = 8;
+const TAG_BUDGET_AUDIT: u8 = 9;
 
 const TAG_WELCOME: u8 = 65;
 const TAG_SESSION_ATTACHED: u8 = 66;
@@ -722,6 +778,8 @@ const TAG_BUDGET_REPORT: u8 = 69;
 const TAG_REFUSED: u8 = 70;
 const TAG_FAREWELL: u8 = 71;
 const TAG_STATS_REPORT: u8 = 72;
+const TAG_TRACE_REPORT: u8 = 73;
+const TAG_AUDIT_REPORT: u8 = 74;
 
 const METRIC_COUNTER: u8 = 1;
 const METRIC_GAUGE: u8 = 2;
@@ -817,6 +875,73 @@ fn read_bits_vec(r: &mut Reader<'_>) -> Option<Vec<u64>> {
         return None;
     }
     (0..len).map(|_| r.u64()).collect()
+}
+
+fn encode_trace_span(out: &mut Vec<u8>, s: &TraceSpan) {
+    out.push(s.stage.index() as u8);
+    put_u64(out, s.start_ns);
+    put_u64(out, s.duration_ns);
+    put_str(out, &s.outcome);
+    put_opt_u64(out, s.link);
+}
+
+fn decode_trace_span(r: &mut Reader<'_>) -> Option<TraceSpan> {
+    Some(TraceSpan {
+        stage: Stage::from_index(r.u8()? as usize)?,
+        start_ns: r.u64()?,
+        duration_ns: r.u64()?,
+        outcome: r.str()?,
+        link: read_opt_u64(r)?,
+    })
+}
+
+fn encode_trace_tree(out: &mut Vec<u8>, t: &TraceTree) {
+    put_u64(out, t.id.0);
+    put_str(out, &t.analyst);
+    put_u64(out, t.total_ns);
+    put_str(out, &t.outcome);
+    put_u64(out, t.spans.len() as u64);
+    for s in &t.spans {
+        encode_trace_span(out, s);
+    }
+}
+
+fn decode_trace_tree(r: &mut Reader<'_>) -> Option<TraceTree> {
+    let id = TraceId(r.u64()?);
+    let analyst = r.str()?;
+    let total_ns = r.u64()?;
+    let outcome = r.str()?;
+    let n = r.u64()?;
+    if n > bf_store::MAX_RECORD_LEN as u64 {
+        return None;
+    }
+    let mut spans = Vec::with_capacity(bounded_capacity(n));
+    for _ in 0..n {
+        spans.push(decode_trace_span(r)?);
+    }
+    Some(TraceTree {
+        id,
+        analyst,
+        total_ns,
+        outcome,
+        spans,
+    })
+}
+
+fn encode_ledger_entry(out: &mut Vec<u8>, e: &LedgerEntry) {
+    put_u64(out, e.seq);
+    put_u64(out, e.eps_bits);
+    put_str(out, &e.label);
+    put_u64(out, e.fingerprint);
+}
+
+fn decode_ledger_entry(r: &mut Reader<'_>) -> Option<LedgerEntry> {
+    Some(LedgerEntry {
+        seq: r.u64()?,
+        eps_bits: r.u64()?,
+        label: r.str()?,
+        fingerprint: r.u64()?,
+    })
 }
 
 fn encode_metric(out: &mut Vec<u8>, m: &WireMetric) {
@@ -1122,6 +1247,8 @@ impl ClientMessage {
             | ClientMessage::SubmitBatch { id, .. }
             | ClientMessage::Budget { id, .. }
             | ClientMessage::Stats { id }
+            | ClientMessage::Traces { id }
+            | ClientMessage::BudgetAudit { id, .. }
             | ClientMessage::Goodbye { id } => *id,
         }
     }
@@ -1151,6 +1278,7 @@ impl ClientMessage {
                 request,
                 request_id,
                 deadline_micros,
+                trace_id,
             } => {
                 out.push(TAG_SUBMIT);
                 put_u64(&mut out, *id);
@@ -1158,6 +1286,7 @@ impl ClientMessage {
                 encode_request(&mut out, request);
                 put_opt_u64(&mut out, *request_id);
                 put_opt_u64(&mut out, *deadline_micros);
+                put_opt_u64(&mut out, *trace_id);
             }
             ClientMessage::SubmitBatch {
                 id,
@@ -1180,6 +1309,15 @@ impl ClientMessage {
             ClientMessage::Stats { id } => {
                 out.push(TAG_STATS);
                 put_u64(&mut out, *id);
+            }
+            ClientMessage::Traces { id } => {
+                out.push(TAG_TRACES);
+                put_u64(&mut out, *id);
+            }
+            ClientMessage::BudgetAudit { id, analyst } => {
+                out.push(TAG_BUDGET_AUDIT);
+                put_u64(&mut out, *id);
+                put_str(&mut out, analyst);
             }
             ClientMessage::Goodbye { id } => {
                 out.push(TAG_GOODBYE);
@@ -1211,6 +1349,7 @@ impl ClientMessage {
                 request: decode_request(&mut r)?,
                 request_id: read_opt_u64(&mut r)?,
                 deadline_micros: read_opt_u64(&mut r)?,
+                trace_id: read_opt_u64(&mut r)?,
             },
             TAG_SUBMIT_BATCH => {
                 let id = r.u64()?;
@@ -1234,6 +1373,11 @@ impl ClientMessage {
                 analyst: r.str()?,
             },
             TAG_STATS => ClientMessage::Stats { id: r.u64()? },
+            TAG_TRACES => ClientMessage::Traces { id: r.u64()? },
+            TAG_BUDGET_AUDIT => ClientMessage::BudgetAudit {
+                id: r.u64()?,
+                analyst: r.str()?,
+            },
             TAG_GOODBYE => ClientMessage::Goodbye { id: r.u64()? },
             _ => return None,
         };
@@ -1251,6 +1395,8 @@ impl ServerMessage {
             | ServerMessage::BatchAnswer { id, .. }
             | ServerMessage::BudgetReport { id, .. }
             | ServerMessage::StatsReport { id, .. }
+            | ServerMessage::TraceReport { id, .. }
+            | ServerMessage::AuditReport { id, .. }
             | ServerMessage::Refused { id, .. }
             | ServerMessage::Farewell { id } => *id,
         }
@@ -1270,10 +1416,15 @@ impl ServerMessage {
                 put_u64(&mut out, *id);
                 put_u64(&mut out, *remaining_bits);
             }
-            ServerMessage::Answer { id, response } => {
+            ServerMessage::Answer {
+                id,
+                response,
+                trace_id,
+            } => {
                 out.push(TAG_ANSWER);
                 put_u64(&mut out, *id);
                 encode_response(&mut out, response);
+                put_opt_u64(&mut out, *trace_id);
             }
             ServerMessage::BatchAnswer { id, slots } => {
                 out.push(TAG_BATCH_ANSWER);
@@ -1314,10 +1465,31 @@ impl ServerMessage {
                     encode_metric(&mut out, m);
                 }
             }
-            ServerMessage::Refused { id, error } => {
+            ServerMessage::TraceReport { id, traces } => {
+                out.push(TAG_TRACE_REPORT);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, traces.len() as u64);
+                for t in traces {
+                    encode_trace_tree(&mut out, t);
+                }
+            }
+            ServerMessage::AuditReport { id, entries } => {
+                out.push(TAG_AUDIT_REPORT);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, entries.len() as u64);
+                for e in entries {
+                    encode_ledger_entry(&mut out, e);
+                }
+            }
+            ServerMessage::Refused {
+                id,
+                error,
+                trace_id,
+            } => {
                 out.push(TAG_REFUSED);
                 put_u64(&mut out, *id);
                 encode_error(&mut out, error);
+                put_opt_u64(&mut out, *trace_id);
             }
             ServerMessage::Farewell { id } => {
                 out.push(TAG_FAREWELL);
@@ -1343,6 +1515,7 @@ impl ServerMessage {
             TAG_ANSWER => ServerMessage::Answer {
                 id: r.u64()?,
                 response: decode_response(&mut r)?,
+                trace_id: read_opt_u64(&mut r)?,
             },
             TAG_BATCH_ANSWER => {
                 let id = r.u64()?;
@@ -1379,9 +1552,34 @@ impl ServerMessage {
                 }
                 ServerMessage::StatsReport { id, metrics }
             }
+            TAG_TRACE_REPORT => {
+                let id = r.u64()?;
+                let n = r.u64()?;
+                if n > bf_store::MAX_RECORD_LEN as u64 {
+                    return None;
+                }
+                let mut traces = Vec::with_capacity(bounded_capacity(n));
+                for _ in 0..n {
+                    traces.push(decode_trace_tree(&mut r)?);
+                }
+                ServerMessage::TraceReport { id, traces }
+            }
+            TAG_AUDIT_REPORT => {
+                let id = r.u64()?;
+                let n = r.u64()?;
+                if n > bf_store::MAX_RECORD_LEN as u64 {
+                    return None;
+                }
+                let mut entries = Vec::with_capacity(bounded_capacity(n));
+                for _ in 0..n {
+                    entries.push(decode_ledger_entry(&mut r)?);
+                }
+                ServerMessage::AuditReport { id, entries }
+            }
             TAG_REFUSED => ServerMessage::Refused {
                 id: r.u64()?,
                 error: decode_error(&mut r)?,
+                trace_id: read_opt_u64(&mut r)?,
             },
             TAG_FAREWELL => ServerMessage::Farewell { id: r.u64()? },
             _ => return None,
@@ -1527,9 +1725,37 @@ mod tests {
         }
     }
 
+    fn arb_trace_tree(rng: &mut StdRng) -> TraceTree {
+        let spans = (0..rng.random_range(0..5usize))
+            .map(|_| TraceSpan {
+                stage: Stage::ALL[rng.random_range(0..Stage::ALL.len())],
+                start_ns: rng.random(),
+                duration_ns: rng.random(),
+                outcome: arb_string(rng),
+                link: arb_opt_u64(rng),
+            })
+            .collect();
+        TraceTree {
+            id: TraceId(rng.random()),
+            analyst: arb_string(rng),
+            total_ns: rng.random(),
+            outcome: arb_string(rng),
+            spans,
+        }
+    }
+
+    fn arb_ledger_entry(rng: &mut StdRng) -> LedgerEntry {
+        LedgerEntry {
+            seq: rng.random(),
+            eps_bits: rng.random(),
+            label: arb_string(rng),
+            fingerprint: rng.random(),
+        }
+    }
+
     fn arb_client_message(rng: &mut StdRng) -> ClientMessage {
         let id = rng.random();
-        match rng.random_range(0..7u32) {
+        match rng.random_range(0..9u32) {
             0 => ClientMessage::Hello {
                 id,
                 version: rng.random::<u32>() as u16,
@@ -1545,6 +1771,7 @@ mod tests {
                 request: arb_request(rng),
                 request_id: arb_opt_u64(rng),
                 deadline_micros: arb_opt_u64(rng),
+                trace_id: arb_opt_u64(rng),
             },
             3 => ClientMessage::SubmitBatch {
                 id,
@@ -1558,13 +1785,18 @@ mod tests {
                 analyst: arb_string(rng),
             },
             5 => ClientMessage::Stats { id },
+            6 => ClientMessage::Traces { id },
+            7 => ClientMessage::BudgetAudit {
+                id,
+                analyst: arb_string(rng),
+            },
             _ => ClientMessage::Goodbye { id },
         }
     }
 
     fn arb_server_message(rng: &mut StdRng) -> ServerMessage {
         let id = rng.random();
-        match rng.random_range(0..8u32) {
+        match rng.random_range(0..10u32) {
             0 => ServerMessage::Welcome {
                 id,
                 version: rng.random::<u32>() as u16,
@@ -1576,6 +1808,7 @@ mod tests {
             2 => ServerMessage::Answer {
                 id,
                 response: arb_response(rng),
+                trace_id: arb_opt_u64(rng),
             },
             3 => ServerMessage::BatchAnswer {
                 id,
@@ -1599,11 +1832,24 @@ mod tests {
             5 => ServerMessage::Refused {
                 id,
                 error: arb_error(rng),
+                trace_id: arb_opt_u64(rng),
             },
             6 => ServerMessage::StatsReport {
                 id,
                 metrics: (0..rng.random_range(0..6usize))
                     .map(|_| arb_metric(rng))
+                    .collect(),
+            },
+            7 => ServerMessage::TraceReport {
+                id,
+                traces: (0..rng.random_range(0..4usize))
+                    .map(|_| arb_trace_tree(rng))
+                    .collect(),
+            },
+            8 => ServerMessage::AuditReport {
+                id,
+                entries: (0..rng.random_range(0..6usize))
+                    .map(|_| arb_ledger_entry(rng))
                     .collect(),
             },
             _ => ServerMessage::Farewell { id },
@@ -1719,6 +1965,7 @@ mod tests {
             },
             request_id: Some(42),
             deadline_micros: None,
+            trace_id: Some(0xDEADBEEF),
         };
         let framed = frame_bytes(&msg.encode());
         for cut in 0..framed.len() {

@@ -3,7 +3,7 @@
 use crate::proto::{
     ClientMessage, ServerMessage, WireError, WireMetric, WireResponse, PROTOCOL_VERSION,
 };
-use bf_obs::{Counter, Histogram, Registry, Stage};
+use bf_obs::{Counter, Histogram, Registry, Stage, TraceContext, TraceId, TraceTimer};
 use bf_server::{DriverHandle, Server, ServerError, ServerStats, Ticket};
 use bf_store::{frame_bytes, read_frame, FrameRead};
 use std::io::{Read, Write};
@@ -274,6 +274,11 @@ struct Outstanding {
     id: u64,
     ticket: Ticket,
     started: Instant,
+    /// The client-assigned trace id, echoed on the reply frame.
+    trace_id: Option<u64>,
+    /// The request's trace context — the net layer's clone records the
+    /// Reply span and finishes the tree when the answer flushes.
+    trace: TraceContext,
 }
 
 /// One outstanding batch: slots resolve independently, the reply goes
@@ -410,6 +415,7 @@ impl<'a> Connection<'a> {
                         let _ = self.write_message(&ServerMessage::Refused {
                             id: 0,
                             error: WireError::Protocol("corrupt frame".into()),
+                            trace_id: None,
                         });
                         return;
                     }
@@ -418,11 +424,12 @@ impl<'a> Connection<'a> {
                         let mut span = self.counters.obs.span();
                         let msg = ClientMessage::decode(payload);
                         self.counters.obs.span_mark(&mut span, Stage::Decode);
+                        let decode_elapsed = span.elapsed().unwrap_or_default();
                         self.buf.drain(..consumed);
                         match msg {
                             Some(msg) => {
                                 progressed = true;
-                                if !self.dispatch(msg) {
+                                if !self.dispatch(msg, decode_elapsed) {
                                     return;
                                 }
                             }
@@ -431,6 +438,7 @@ impl<'a> Connection<'a> {
                                 let _ = self.write_message(&ServerMessage::Refused {
                                     id: 0,
                                     error: WireError::Protocol("undecodable message".into()),
+                                    trace_id: None,
                                 });
                                 return;
                             }
@@ -462,14 +470,17 @@ impl<'a> Connection<'a> {
     }
 
     /// Handles one decoded message. Returns `false` when the connection
-    /// must close (fatal protocol violation).
-    fn dispatch(&mut self, msg: ClientMessage) -> bool {
+    /// must close (fatal protocol violation). `decode_elapsed` is how
+    /// long the frame's decode took — a traced submit records it as the
+    /// trace's Decode span.
+    fn dispatch(&mut self, msg: ClientMessage, decode_elapsed: Duration) -> bool {
         let id = msg.id();
         if !self.hello_done && !matches!(msg, ClientMessage::Hello { .. }) {
             self.counters.protocol_errors.inc();
             let _ = self.write_message(&ServerMessage::Refused {
                 id,
                 error: WireError::Protocol("first frame must be Hello".into()),
+                trace_id: None,
             });
             return false;
         }
@@ -480,6 +491,7 @@ impl<'a> Connection<'a> {
                     let _ = self.write_message(&ServerMessage::Refused {
                         id,
                         error: WireError::Protocol("duplicate Hello".into()),
+                        trace_id: None,
                     });
                     return false;
                 }
@@ -489,6 +501,7 @@ impl<'a> Connection<'a> {
                         error: WireError::Protocol(format!(
                             "version mismatch: server speaks {PROTOCOL_VERSION}, client {version}"
                         )),
+                        trace_id: None,
                     });
                     return false;
                 }
@@ -508,6 +521,7 @@ impl<'a> Connection<'a> {
                     Err(e) => ServerMessage::Refused {
                         id,
                         error: WireError::InvalidRequest(e.to_string()),
+                        trace_id: None,
                     },
                     Ok(total) => match self.server.engine().attach_session(&analyst, total) {
                         Ok(remaining) => ServerMessage::SessionAttached {
@@ -517,6 +531,7 @@ impl<'a> Connection<'a> {
                         Err(e) => ServerMessage::Refused {
                             id,
                             error: WireError::from_engine_error(&e),
+                            trace_id: None,
                         },
                     },
                 };
@@ -528,25 +543,51 @@ impl<'a> Connection<'a> {
                 request,
                 request_id,
                 deadline_micros,
+                trace_id,
             } => {
                 if let Some(refusal) = self.window_refusal(1) {
                     return self
-                        .write_message(&ServerMessage::Refused { id, error: refusal })
+                        .write_message(&ServerMessage::Refused {
+                            id,
+                            error: refusal,
+                            trace_id,
+                        })
                         .is_ok();
                 }
-                match self.submit_one(&analyst, &request, request_id, deadline_micros) {
+                // A traced submit mints the request's travelling context
+                // here, at the wire boundary, and backfills the Decode
+                // span the frame just paid.
+                let trace = match trace_id {
+                    Some(tid) => {
+                        let t = self.counters.obs.begin_trace(TraceId(tid), &analyst);
+                        if t.is_active() {
+                            t.record_elapsed(Stage::Decode, decode_elapsed, "ok");
+                        }
+                        t
+                    }
+                    None => TraceContext::inert(),
+                };
+                match self.submit_one(&analyst, &request, request_id, deadline_micros, &trace) {
                     Ok(ticket) => {
                         self.singles.push(Outstanding {
                             id,
                             ticket,
                             started: Instant::now(),
+                            trace_id,
+                            trace,
                         });
                         self.note_occupancy();
                         true
                     }
-                    Err(error) => self
-                        .write_message(&ServerMessage::Refused { id, error })
-                        .is_ok(),
+                    Err(error) => {
+                        trace.finish("refused");
+                        self.write_message(&ServerMessage::Refused {
+                            id,
+                            error,
+                            trace_id,
+                        })
+                        .is_ok()
+                    }
                 }
             }
             ClientMessage::SubmitBatch {
@@ -556,7 +597,11 @@ impl<'a> Connection<'a> {
             } => {
                 if let Some(refusal) = self.window_refusal(requests.len()) {
                     return self
-                        .write_message(&ServerMessage::Refused { id, error: refusal })
+                        .write_message(&ServerMessage::Refused {
+                            id,
+                            error: refusal,
+                            trace_id: None,
+                        })
                         .is_ok();
                 }
                 // Each member submits independently — compatible members
@@ -564,7 +609,9 @@ impl<'a> Connection<'a> {
                 // a refused member fails only its own slot.
                 let slots = requests
                     .iter()
-                    .map(|request| self.submit_one(&analyst, request, None, None))
+                    .map(|request| {
+                        self.submit_one(&analyst, request, None, None, &TraceContext::inert())
+                    })
                     .collect();
                 self.batches.push(OutstandingBatch {
                     id,
@@ -586,6 +633,7 @@ impl<'a> Connection<'a> {
                     Err(e) => ServerMessage::Refused {
                         id,
                         error: WireError::from_engine_error(&e),
+                        trace_id: None,
                     },
                 };
                 self.write_message(&reply).is_ok()
@@ -603,6 +651,22 @@ impl<'a> Connection<'a> {
                     .collect();
                 self.write_message(&ServerMessage::StatsReport { id, metrics })
                     .is_ok()
+            }
+            ClientMessage::Traces { id } => {
+                let traces = self.counters.obs.trace_buffer().snapshot();
+                self.write_message(&ServerMessage::TraceReport { id, traces })
+                    .is_ok()
+            }
+            ClientMessage::BudgetAudit { id, analyst } => {
+                let reply = match self.server.engine().ledger_history(&analyst) {
+                    Ok(entries) => ServerMessage::AuditReport { id, entries },
+                    Err(e) => ServerMessage::Refused {
+                        id,
+                        error: WireError::from_engine_error(&e),
+                        trace_id: None,
+                    },
+                };
+                self.write_message(&reply).is_ok()
             }
             ClientMessage::Goodbye { id } => {
                 self.goodbye = Some(id);
@@ -640,17 +704,19 @@ impl<'a> Connection<'a> {
         request: &crate::proto::WireRequest,
         request_id: Option<u64>,
         deadline_micros: Option<u64>,
+        trace: &TraceContext,
     ) -> Result<Ticket, WireError> {
         if self.closing.load(Ordering::Acquire) {
             return Err(WireError::ShutDown);
         }
         let request = request.to_request()?;
         self.server
-            .submit_tagged(
+            .submit_traced(
                 analyst,
                 request,
                 request_id,
                 deadline_micros.map(Duration::from_micros),
+                trace.clone(),
             )
             .map_err(|e| WireError::from_server_error(&e))
     }
@@ -660,23 +726,32 @@ impl<'a> Connection<'a> {
     fn flush_completions(&mut self) -> std::io::Result<usize> {
         let metrics_on = self.counters.obs.is_enabled();
         let request_ns = &self.counters.request_ns;
-        let mut replies: Vec<ServerMessage> = Vec::new();
+        let mut replies: Vec<(ServerMessage, TraceContext, &'static str)> = Vec::new();
         self.singles.retain(|o| match o.ticket.try_take() {
             None => true,
             Some(result) => {
                 if metrics_on {
                     request_ns.record_duration(o.started.elapsed());
                 }
-                replies.push(match result {
-                    Ok(response) => ServerMessage::Answer {
-                        id: o.id,
-                        response: WireResponse::from_response(&response),
-                    },
-                    Err(e) => ServerMessage::Refused {
-                        id: o.id,
-                        error: WireError::from_server_error(&e),
-                    },
-                });
+                let (msg, outcome) = match result {
+                    Ok(response) => (
+                        ServerMessage::Answer {
+                            id: o.id,
+                            response: WireResponse::from_response(&response),
+                            trace_id: o.trace_id,
+                        },
+                        "ok",
+                    ),
+                    Err(e) => (
+                        ServerMessage::Refused {
+                            id: o.id,
+                            error: WireError::from_server_error(&e),
+                            trace_id: o.trace_id,
+                        },
+                        "refused",
+                    ),
+                };
+                replies.push((msg, o.trace.clone(), outcome));
                 false
             }
         });
@@ -710,18 +785,31 @@ impl<'a> Connection<'a> {
                     },
                 })
                 .collect();
-            replies.push(ServerMessage::BatchAnswer {
-                id: batch.id,
-                slots,
-            });
+            replies.push((
+                ServerMessage::BatchAnswer {
+                    id: batch.id,
+                    slots,
+                },
+                TraceContext::inert(),
+                "ok",
+            ));
         }
         let flushed = replies.len();
         if flushed > 0 {
             let mut span = self.counters.obs.span();
-            for reply in replies {
-                self.write_message(&reply)?;
+            let timer = TraceTimer::any(replies.iter().map(|(_, t, _)| t));
+            for (reply, _, _) in &replies {
+                self.write_message(reply)?;
             }
             self.counters.obs.span_mark(&mut span, Stage::Reply);
+            // Close out every traced request that just flushed: record
+            // its Reply span and seal the tree into the trace buffer.
+            for (_, trace, outcome) in &replies {
+                if trace.is_active() {
+                    trace.record(Stage::Reply, &timer, outcome);
+                    trace.finish(outcome);
+                }
+            }
         }
         Ok(flushed)
     }

@@ -21,6 +21,14 @@
 //! * **[`render_prometheus`]** — text exposition of a
 //!   [`MetricSnapshot`] set, Prometheus-style, for dashboards and the
 //!   wire-level `StatsReport` frame.
+//! * **[`TraceContext`] / [`TraceTree`]** — request-scoped distributed
+//!   tracing: a client-assigned [`TraceId`] rides the `Submit` frame,
+//!   every layer appends [`TraceSpan`] records to the travelling
+//!   context, and the finished tree lands in the bounded
+//!   [`TraceBuffer`] (slowest-N exemplars per stage), scrapeable over
+//!   the wire via `Traces`/`TraceReport` frames. Coalesced releases
+//!   carry a shared link id across all waiter traces, so amplification
+//!   is visible from any one of them.
 //!
 //! ## Side-channel guarantee
 //!
@@ -38,8 +46,13 @@ mod metrics;
 mod registry;
 mod render;
 mod span;
+mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Stopwatch};
 pub use registry::{merge_snapshots, MetricSnapshot, Registry};
 pub use render::render_prometheus;
 pub use span::{Event, Journal, Span, Stage};
+pub use trace::{
+    next_link_id, TraceBuffer, TraceContext, TraceId, TraceSpan, TraceTimer, TraceTree,
+    TRACE_EXEMPLARS_PER_STAGE,
+};

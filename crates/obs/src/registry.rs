@@ -2,6 +2,7 @@
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSummary};
 use crate::span::{Journal, Span, Stage};
+use crate::trace::{TraceBuffer, TraceContext, TraceId, TRACE_EXEMPLARS_PER_STAGE};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -36,6 +37,7 @@ pub struct Registry {
     enabled: Arc<AtomicBool>,
     stages: Vec<Histogram>,
     journal: Journal,
+    traces: TraceBuffer,
 }
 
 impl Default for Registry {
@@ -62,7 +64,8 @@ impl Registry {
             metrics: Mutex::new(metrics),
             enabled: Arc::clone(&enabled),
             stages,
-            journal: Journal::with_switch(JOURNAL_CAPACITY, enabled),
+            journal: Journal::with_switch(JOURNAL_CAPACITY, Arc::clone(&enabled)),
+            traces: TraceBuffer::with_switch(TRACE_EXEMPLARS_PER_STAGE, enabled),
         }
     }
 
@@ -172,10 +175,26 @@ impl Registry {
         &self.journal
     }
 
+    /// The bounded buffer completed request traces land in.
+    pub fn trace_buffer(&self) -> &TraceBuffer {
+        &self.traces
+    }
+
+    /// Begins a request trace for a client-assigned id — inert (no
+    /// allocation, no clock read) when the registry is disabled, so
+    /// tracing stays a pure side channel.
+    pub fn begin_trace(&self, id: TraceId, analyst: &str) -> TraceContext {
+        self.traces.begin(id, analyst)
+    }
+
     /// A point-in-time dump of every registered metric, sorted by name.
+    /// The dump always includes the observer's own loss accounting —
+    /// `obs_journal_dropped_total` and `obs_trace_dropped_total` — so
+    /// silent exemplar loss is visible on every scrape.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
         let g = self.metrics.lock().expect("registry poisoned");
-        g.iter()
+        let mut out: Vec<MetricSnapshot> = g
+            .iter()
             .map(|(name, metric)| match metric {
                 Metric::Counter(c) => MetricSnapshot::Counter {
                     name: name.clone(),
@@ -190,7 +209,18 @@ impl Registry {
                     summary: h.summary(),
                 },
             })
-            .collect()
+            .collect();
+        drop(g);
+        out.push(MetricSnapshot::Counter {
+            name: "obs_journal_dropped_total".to_owned(),
+            value: self.journal.dropped(),
+        });
+        out.push(MetricSnapshot::Counter {
+            name: "obs_trace_dropped_total".to_owned(),
+            value: self.traces.dropped(),
+        });
+        out.sort_by(|a, b| a.name().cmp(b.name()));
+        out
     }
 }
 
@@ -270,7 +300,14 @@ mod tests {
         let r = Registry::new();
         r.record_stage(Stage::Release, Duration::from_micros(5));
         let snaps = r.snapshot();
-        assert_eq!(snaps.len(), Stage::ALL.len());
+        // Seven stage histograms plus the two observer-loss counters.
+        assert_eq!(snaps.len(), Stage::ALL.len() + 2);
+        for loss in ["obs_journal_dropped_total", "obs_trace_dropped_total"] {
+            match snaps.iter().find(|s| s.name() == loss).unwrap() {
+                MetricSnapshot::Counter { value, .. } => assert_eq!(*value, 0),
+                other => panic!("expected counter, got {other:?}"),
+            }
+        }
         let names: Vec<&str> = snaps.iter().map(|s| s.name()).collect();
         let mut sorted = names.clone();
         sorted.sort();
@@ -334,5 +371,43 @@ mod tests {
             MetricSnapshot::Counter { value, .. } => assert_eq!(*value, 1),
             other => panic!("expected counter, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn merge_with_overlapping_histogram_buckets_keeps_first_digest() {
+        // Two registries record the same-named histogram with
+        // observations landing in overlapping log buckets; the merge
+        // must keep the first registry's digest intact rather than mix
+        // bucket counts across sources.
+        let a = Registry::new();
+        let b = Registry::new();
+        for v in [100u64, 150, 1000] {
+            a.histogram("io_ns").record(v);
+        }
+        for v in [120u64, 900, 1_000_000] {
+            b.histogram("io_ns").record(v);
+        }
+        let merged = merge_snapshots(vec![a.snapshot(), b.snapshot()]);
+        let io = merged.iter().find(|s| s.name() == "io_ns").unwrap();
+        match io {
+            MetricSnapshot::Histogram { summary, .. } => {
+                assert_eq!(summary.count, 3);
+                assert_eq!(summary.sum, 1250);
+                assert_eq!(summary.max, 1000);
+                assert_eq!(*summary, a.histogram("io_ns").summary());
+                assert_ne!(*summary, b.histogram("io_ns").summary());
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // Non-overlapping names from both sources all survive.
+        a.counter("only_a").add(1);
+        b.counter("only_b").add(2);
+        let merged = merge_snapshots(vec![a.snapshot(), b.snapshot()]);
+        assert!(merged.iter().any(|s| s.name() == "only_a"));
+        assert!(merged.iter().any(|s| s.name() == "only_b"));
+        let names: Vec<&str> = merged.iter().map(|s| s.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 }

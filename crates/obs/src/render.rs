@@ -12,9 +12,47 @@ fn split_name(name: &str) -> (&str, Option<&str>) {
     }
 }
 
+/// Escapes a labels-in-name label section for Prometheus exposition:
+/// inside label values, `\` becomes `\\`, newline becomes `\n`, and
+/// interior `"` become `\"`. Metric names are built by naive
+/// `format!` interpolation throughout the workspace, so an analyst
+/// name (or any other label value) containing these characters would
+/// otherwise corrupt the exposition line. A `"` is treated as the
+/// value's closing delimiter only when followed by `,` or the end of
+/// the section.
+fn escape_label_section(labels: &str) -> String {
+    let mut out = String::with_capacity(labels.len());
+    let mut chars = labels.chars().peekable();
+    let mut in_value = false;
+    while let Some(c) = chars.next() {
+        if !in_value {
+            if c == '"' {
+                in_value = true;
+            }
+            out.push(c);
+            continue;
+        }
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '"' => match chars.peek() {
+                None | Some(',') => {
+                    in_value = false;
+                    out.push('"');
+                }
+                Some(_) => out.push_str("\\\""),
+            },
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Joins a base name, optional labels from the metric name, and an
-/// optional extra label into one sample name.
+/// optional extra label into one sample name. Label values from the
+/// metric name are escaped on the way out.
 fn sample_name(base: &str, labels: Option<&str>, extra: Option<&str>) -> String {
+    let labels = labels.map(escape_label_section);
     match (labels, extra) {
         (None, None) => base.to_owned(),
         (Some(l), None) => format!("{base}{{{l}}}"),
@@ -153,5 +191,52 @@ mod tests {
         let text = render_prometheus(&snaps);
         assert!(text.contains("span_stage_ns{stage=\"decode\",quantile=\"0.5\"} 0"));
         assert!(text.contains("span_stage_ns_count{stage=\"decode\"} 0"));
+    }
+
+    #[test]
+    fn label_values_with_quotes_backslashes_and_newlines_are_escaped() {
+        let snaps = vec![
+            MetricSnapshot::Gauge {
+                name: "eps{analyst=\"al\"ice\"}".into(),
+                value: 1.0,
+            },
+            MetricSnapshot::Gauge {
+                name: "eps{analyst=\"back\\slash\"}".into(),
+                value: 2.0,
+            },
+            MetricSnapshot::Gauge {
+                name: "eps{analyst=\"new\nline\"}".into(),
+                value: 3.0,
+            },
+        ];
+        let text = render_prometheus(&snaps);
+        assert!(text.contains("eps{analyst=\"al\\\"ice\"} 1"));
+        assert!(text.contains("eps{analyst=\"back\\\\slash\"} 2"));
+        assert!(text.contains("eps{analyst=\"new\\nline\"} 3"));
+        // No raw newline may survive inside a sample line.
+        for line in text.lines() {
+            assert!(line.is_empty() || line.contains(' '));
+        }
+        assert_eq!(text.lines().count(), 3 + 1); // 3 samples + 1 TYPE line
+    }
+
+    #[test]
+    fn escaped_histogram_labels_compose_with_the_quantile_label() {
+        let snaps = vec![MetricSnapshot::Histogram {
+            name: "lat{analyst=\"a\"b\"}".into(),
+            summary: HistogramSummary::default(),
+        }];
+        let text = render_prometheus(&snaps);
+        assert!(text.contains("lat{analyst=\"a\\\"b\",quantile=\"0.5\"} 0"));
+        assert!(text.contains("lat_count{analyst=\"a\\\"b\"} 0"));
+    }
+
+    #[test]
+    fn well_formed_multi_label_sections_pass_through_unchanged() {
+        assert_eq!(
+            escape_label_section("a=\"x\",b=\"y z\""),
+            "a=\"x\",b=\"y z\""
+        );
+        assert_eq!(escape_label_section(""), "");
     }
 }

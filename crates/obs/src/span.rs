@@ -52,7 +52,9 @@ impl Stage {
         }
     }
 
-    pub(crate) fn index(self) -> usize {
+    /// The stage's pipeline position (0-based) — also its stable wire
+    /// encoding in trace frames.
+    pub fn index(self) -> usize {
         match self {
             Stage::Decode => 0,
             Stage::Queue => 1,
@@ -62,6 +64,11 @@ impl Stage {
             Stage::Release => 5,
             Stage::Reply => 6,
         }
+    }
+
+    /// The inverse of [`index`](Self::index): decodes a wire stage byte.
+    pub fn from_index(i: usize) -> Option<Stage> {
+        Stage::ALL.get(i).copied()
     }
 }
 
@@ -222,6 +229,8 @@ mod tests {
         for s in Stage::ALL {
             assert!(seen.insert(s.as_str()));
             assert_eq!(Stage::ALL[s.index()], s);
+            assert_eq!(Stage::from_index(s.index()), Some(s));
         }
+        assert_eq!(Stage::from_index(Stage::ALL.len()), None);
     }
 }

@@ -23,7 +23,7 @@
 use crate::error::ServerError;
 use crate::Ticket;
 use bf_engine::{Request, Response};
-use bf_obs::Gauge;
+use bf_obs::{Gauge, TraceContext};
 use futures_lite::oneshot;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Instant;
@@ -45,6 +45,9 @@ pub(crate) struct Submitted {
     pub deadline: Option<Instant>,
     pub tx: oneshot::Sender<Result<Response, ServerError>>,
     pub submitted_at: Instant,
+    /// The request's distributed-tracing context — inert for untraced
+    /// submissions, so carrying it costs one `Option` clone.
+    pub trace: TraceContext,
 }
 
 impl Submitted {
@@ -53,6 +56,7 @@ impl Submitted {
         request: Request,
         request_id: Option<u64>,
         deadline: Option<Instant>,
+        trace: TraceContext,
     ) -> (Self, Ticket) {
         let (tx, rx) = oneshot::channel();
         (
@@ -63,6 +67,7 @@ impl Submitted {
                 deadline,
                 tx,
                 submitted_at: Instant::now(),
+                trace,
             },
             Ticket::new(rx),
         )
@@ -99,6 +104,9 @@ pub(crate) struct Waiter {
     pub deadline: Option<Instant>,
     pub tx: oneshot::Sender<Result<Response, ServerError>>,
     pub submitted_at: Instant,
+    /// The waiter's tracing context, carried from submission into the
+    /// engine's tagged serve paths.
+    pub trace: TraceContext,
 }
 
 impl Waiter {
@@ -109,6 +117,7 @@ impl Waiter {
             deadline: sub.deadline,
             tx: sub.tx,
             submitted_at: sub.submitted_at,
+            trace: sub.trace,
         }
     }
 }

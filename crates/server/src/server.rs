@@ -4,7 +4,7 @@ use crate::error::ServerError;
 use crate::scheduler::{SchedState, Submitted};
 use crate::ticket::Ticket;
 use bf_engine::{Engine, Request, TaggedGroup};
-use bf_obs::{Counter, Histogram, Registry, Stage};
+use bf_obs::{Counter, Histogram, Registry, Stage, TraceContext};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -320,12 +320,35 @@ impl Server {
         request_id: Option<u64>,
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServerError> {
+        self.submit_traced(
+            analyst,
+            request,
+            request_id,
+            deadline,
+            TraceContext::inert(),
+        )
+    }
+
+    /// [`Server::submit_tagged`] with a distributed-tracing context: the
+    /// context rides the request through queue, schedule, coalesce and
+    /// the engine's release/commit, each stage appending a span. An
+    /// inert context (the other submit paths) costs one `Option` clone
+    /// and nothing else — tracing is a pure side channel and never
+    /// influences scheduling, charging, or noise.
+    pub fn submit_traced(
+        &self,
+        analyst: &str,
+        request: Request,
+        request_id: Option<u64>,
+        deadline: Option<Duration>,
+        trace: TraceContext,
+    ) -> Result<Ticket, ServerError> {
         if self.closed.load(Ordering::Acquire) {
             return Err(ServerError::ShutDown);
         }
         if let Some(rid) = request_id {
             if let Some(cached) = self.engine.cached_reply(analyst, rid) {
-                let (sub, ticket) = Submitted::tagged(analyst, request, request_id, None);
+                let (sub, ticket) = Submitted::tagged(analyst, request, request_id, None, trace);
                 self.counters.submitted.inc();
                 self.counters.answered.inc();
                 self.counters.retries.inc();
@@ -383,7 +406,7 @@ impl Server {
                 capacity: self.config.queue_capacity,
             });
         }
-        let (sub, ticket) = Submitted::tagged(analyst, request, request_id, deadline_at);
+        let (sub, ticket) = Submitted::tagged(analyst, request, request_id, deadline_at, trace);
         queue.queue.push_back(sub);
         queue.depth.set(queue.queue.len() as f64);
         self.counters.submitted.inc();
@@ -437,6 +460,12 @@ impl Server {
                     q.depth.set(q.queue.len() as f64);
                 }
             }
+            for sub in &drained {
+                if sub.trace.is_active() {
+                    sub.trace
+                        .record_elapsed(Stage::Queue, sub.submitted_at.elapsed(), "drained");
+                }
+            }
             let mut immediate = Vec::new();
             let mut dead_letters = Vec::new();
             for sub in drained {
@@ -462,6 +491,26 @@ impl Server {
             for g in &due {
                 self.obs
                     .record_stage(Stage::Coalesce, g.formed_at.elapsed());
+            }
+        }
+        // Per-trace schedule/coalesce spans. Everything dispatching this
+        // tick passed through this tick's locked phase; group waiters
+        // additionally held a coalescing window open since formation.
+        let sched_elapsed = sched_span.elapsed().unwrap_or_default();
+        for sub in &immediate {
+            if sub.trace.is_active() {
+                sub.trace
+                    .record_elapsed(Stage::Schedule, sched_elapsed, "routed");
+            }
+        }
+        for g in &due {
+            for w in &g.waiters {
+                if w.trace.is_active() {
+                    w.trace
+                        .record_elapsed(Stage::Schedule, sched_elapsed, "routed");
+                    w.trace
+                        .record_elapsed(Stage::Coalesce, g.formed_at.elapsed(), "due");
+                }
             }
         }
 
@@ -586,7 +635,7 @@ impl Server {
                     (
                         g.waiters
                             .iter()
-                            .map(|w| (w.analyst.clone(), w.request_id))
+                            .map(|w| (w.analyst.clone(), w.request_id, w.trace.clone()))
                             .collect(),
                         g.request.clone(),
                     )
@@ -626,7 +675,7 @@ impl Server {
                     (
                         g.waiters
                             .iter()
-                            .map(|w| (w.analyst.clone(), w.request_id))
+                            .map(|w| (w.analyst.clone(), w.request_id, w.trace.clone()))
                             .collect(),
                         g.request.clone(),
                     )
@@ -657,10 +706,9 @@ impl Server {
             }
         }
         for sub in immediate {
-            let result = match sub.request_id {
-                Some(rid) => self.engine.serve_tagged(&sub.analyst, rid, &sub.request),
-                None => self.engine.serve(&sub.analyst, &sub.request),
-            };
+            let result =
+                self.engine
+                    .serve_traced(&sub.analyst, sub.request_id, &sub.request, &sub.trace);
             match &result {
                 Ok(_) => {
                     self.counters.answered.inc();

@@ -39,7 +39,7 @@ pub use record::{
     MAX_RECORD_LEN,
 };
 pub use state::{CachedReply, SessionState, StoreState, REPLY_CACHE_PER_ANALYST};
-pub use store::{RecoveryReport, Store, StoreConfig, StoreStats};
+pub use store::{LedgerEntry, RecoveryReport, Store, StoreConfig, StoreStats};
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};

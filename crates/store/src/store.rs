@@ -30,9 +30,9 @@
 //! ([`StoreStats::amortization`]).
 
 use crate::error::StoreError;
-use crate::record::{scan_frames, Record, ScanEnd};
+use crate::record::{fnv1a, scan_frames, Record, ScanEnd};
 use crate::state::StoreState;
-use bf_obs::{Counter, Gauge, Histogram, Registry};
+use bf_obs::{Counter, Gauge, Histogram, Registry, Stage, TraceContext, TraceTimer};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -90,6 +90,11 @@ struct Counters {
     /// in the ledger — the cardinality the snapshot's `release_seqs`
     /// section is bounded by.
     release_seq_identities: Gauge,
+    /// Top-level `wal-*.log` segments (the ones recovery would replay).
+    live_wal_segments: Gauge,
+    /// Segments preserved under `archive/` by
+    /// [`StoreConfig::archive_replayed_segments`].
+    archived_wal_segments: Gauge,
 }
 
 impl Counters {
@@ -101,7 +106,45 @@ impl Counters {
             compactions: obs.counter("store_compactions_total"),
             faults_injected: obs.counter("faults_injected{layer=\"store\"}"),
             release_seq_identities: obs.gauge("store_release_seq_identities"),
+            live_wal_segments: obs.gauge("store_live_wal_segments"),
+            archived_wal_segments: obs.gauge("store_archived_wal_segments"),
         }
+    }
+
+    /// Recounts the segment gauges from what is actually on disk, so
+    /// compaction behavior is observable without shelling into the
+    /// data directory.
+    fn refresh_segment_gauges(&self, dir: &Path) {
+        self.live_wal_segments.set(count_wal_segments(dir));
+        self.archived_wal_segments
+            .set(count_wal_segments(&dir.join("archive")));
+    }
+}
+
+/// One ε charge distilled from the WAL total order — the unit of the
+/// audit API. `seq` is the record's 0-based position in the full
+/// replayed order (archived segments first, then live ones), so two
+/// audits over the same history agree on positions bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// Position in the WAL total order (counting every record kind,
+    /// not just charges — positions are stable under filtering).
+    pub seq: u64,
+    /// The exact ε charged, as IEEE-754 bits (lossless round-trip).
+    pub eps_bits: u64,
+    /// The ledger label the charge was booked under (the release key).
+    pub label: String,
+    /// FNV-1a fingerprint of the label bytes — a content-derived
+    /// release identity any reader of the same WAL recomputes
+    /// identically (the on-disk records carry no fingerprint, so the
+    /// binding cannot drift between writer and auditor).
+    pub fingerprint: u64,
+}
+
+impl LedgerEntry {
+    /// The charge as an `f64`.
+    pub fn epsilon(&self) -> f64 {
+        f64::from_bits(self.eps_bits)
     }
 }
 
@@ -204,6 +247,41 @@ fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
     (rest.len() == 16)
         .then(|| u64::from_str_radix(rest, 16).ok())
         .flatten()
+}
+
+/// Counts `wal-*.log` segments in `dir` (0 when the directory does not
+/// exist — e.g. `archive/` before the first archiving compaction).
+fn count_wal_segments(dir: &Path) -> f64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0.0;
+    };
+    entries
+        .flatten()
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .and_then(|n| parse_numbered(n, "wal-", ".log"))
+                .is_some()
+        })
+        .count() as f64
+}
+
+/// Numerically-sorted `wal-*.log` paths in `dir` (empty when the
+/// directory does not exist).
+fn sorted_wal_segments(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut segs: Vec<(u64, PathBuf)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name();
+            let n = parse_numbered(name.to_str()?, "wal-", ".log")?;
+            Some((n, e.path()))
+        })
+        .collect();
+    segs.sort();
+    segs
 }
 
 /// Best-effort directory fsync so file creations and renames survive a
@@ -384,6 +462,7 @@ impl Store {
         counters
             .release_seq_identities
             .set(state.release_seqs.len() as f64);
+        counters.refresh_segment_gauges(&dir);
 
         Ok(Store {
             dir,
@@ -664,7 +743,107 @@ impl Store {
             sync_dir(&archive);
         }
         sync_dir(&self.dir);
+        g.counters.refresh_segment_gauges(&self.dir);
         Ok(())
+    }
+
+    /// [`Store::commit`] with request-trace attribution: the whole
+    /// durability wait — group-commit queueing, the leader's write and
+    /// its fsync — is recorded as one `WalCommit` span into every
+    /// active trace in `traces`. With no active trace the clock is
+    /// never read; tracing cannot alter commit behavior either way.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::commit`].
+    pub fn commit_traced(
+        &self,
+        records: &[Record],
+        traces: &[&TraceContext],
+    ) -> Result<(), StoreError> {
+        let timer = TraceTimer::any(traces.iter().copied());
+        let result = self.commit(records);
+        if timer.is_running() {
+            let outcome = if result.is_ok() { "durable" } else { "failed" };
+            for t in traces {
+                t.record(Stage::WalCommit, &timer, outcome);
+            }
+        }
+        result
+    }
+
+    /// The ε-provenance audit API: every `Charged` and `Replied` record
+    /// booked for `analyst`, in WAL total order, with the release
+    /// fingerprint each charge is bound to. Archived segments (see
+    /// [`StoreConfig::archive_replayed_segments`]) are read first, then
+    /// the live top-level segments, so with archiving enabled the
+    /// result is the complete record-by-record charge history since the
+    /// directory was created — bit-for-bit reproducible across calls
+    /// and across processes reading the same files.
+    ///
+    /// Without archiving, charges whose segments a compaction has
+    /// already deleted are absent (their *sums* survive in the
+    /// snapshot, but per-charge provenance is gone — that is exactly
+    /// the retention trade the flag exists for).
+    ///
+    /// The store lock is held for the duration so compaction cannot
+    /// rename segments mid-scan; only acknowledged (durable) records
+    /// are ever visible since unflushed frames live in memory.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when a segment cannot be read;
+    /// [`StoreError::CorruptSnapshot`] when damage is followed by
+    /// intact frames (the same refuse-to-guess rule recovery applies —
+    /// a plain torn tail is tolerated and ends the scan).
+    pub fn ledger_history(&self, analyst: &str) -> Result<Vec<LedgerEntry>, StoreError> {
+        let _g = self.inner.lock().expect("store lock poisoned");
+        let mut paths = sorted_wal_segments(&self.dir.join("archive"));
+        paths.extend(sorted_wal_segments(&self.dir));
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        for (n, path) in paths {
+            let bytes = std::fs::read(&path).map_err(|e| StoreError::io("read segment", &e))?;
+            let (end, offset) = scan_frames(&bytes, |r| {
+                match &r {
+                    Record::Charged {
+                        analyst: a,
+                        label,
+                        eps_bits,
+                    }
+                    | Record::Replied {
+                        analyst: a,
+                        label,
+                        eps_bits,
+                        ..
+                    } if a == analyst => {
+                        out.push(LedgerEntry {
+                            seq,
+                            eps_bits: *eps_bits,
+                            label: label.clone(),
+                            fingerprint: fnv1a(label.as_bytes()),
+                        });
+                    }
+                    _ => {}
+                }
+                seq += 1;
+            });
+            if !matches!(end, ScanEnd::Clean) {
+                if crate::record::has_intact_frame_after(&bytes, offset) {
+                    return Err(StoreError::CorruptSnapshot {
+                        path: path.display().to_string(),
+                        detail: format!(
+                            "damaged record at byte {offset} of segment {n:#x} \
+                             with durable records after it"
+                        ),
+                    });
+                }
+                // A torn tail was never acknowledged; the audit stops at
+                // the durable prefix exactly like recovery does.
+                break;
+            }
+        }
+        Ok(out)
     }
 
     /// Counter snapshot — a thin shim over the registry handles, kept
@@ -1143,6 +1322,125 @@ mod tests {
         assert_eq!(state.sessions["a"].served, 2);
         assert_eq!(state.cached_reply("a", 1).unwrap().payload, vec![9, 9]);
         assert_eq!(state.cached_reply("a", 2).unwrap().payload, vec![8]);
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ledger_history_spans_archived_and_live_segments_in_order() {
+        let dir = scratch_dir("ledger-history");
+        let config = StoreConfig {
+            archive_replayed_segments: true,
+            ..StoreConfig::default()
+        };
+        {
+            let store = Store::open_with(&dir, config.clone()).unwrap();
+            store
+                .commit(&[
+                    Record::session_opened("a", 2.0),
+                    Record::charged("a", "q1", 0.5),
+                    Record::session_opened("b", 1.0),
+                    Record::charged("b", "q1", 0.25),
+                ])
+                .unwrap();
+            store.compact().unwrap();
+            store
+                .commit(&[Record::replied("a", 7, "q2", 0.125, vec![3])])
+                .unwrap();
+
+            let hist = store.ledger_history("a").unwrap();
+            assert_eq!(hist.len(), 2);
+            // seq counts every record in total order: a's charge is the
+            // second record overall, the reply the fifth.
+            assert_eq!(hist[0].seq, 1);
+            assert_eq!(hist[0].label, "q1");
+            assert_eq!(hist[0].epsilon(), 0.5);
+            assert_eq!(hist[0].fingerprint, fnv1a(b"q1"));
+            assert_eq!(hist[1].seq, 4);
+            assert_eq!(hist[1].label, "q2");
+            assert_eq!(hist[1].eps_bits, 0.125f64.to_bits());
+            // b sees only its own charge; a stranger sees nothing.
+            assert_eq!(store.ledger_history("b").unwrap().len(), 1);
+            assert!(store.ledger_history("nobody").unwrap().is_empty());
+        }
+        // A fresh process reads the identical history off the same
+        // files — the bit-for-bit reproducibility the audit API
+        // promises.
+        let store = Store::open_with(&dir, config).unwrap();
+        let again = store.ledger_history("a").unwrap();
+        assert_eq!(again.len(), 2);
+        assert_eq!(again[0].seq, 1);
+        assert_eq!(again[1].eps_bits, 0.125f64.to_bits());
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ledger_history_without_archiving_loses_compacted_charges() {
+        let dir = scratch_dir("ledger-noarch");
+        let store = Store::open(&dir).unwrap();
+        store
+            .commit(&[
+                Record::session_opened("a", 1.0),
+                Record::charged("a", "old", 0.5),
+            ])
+            .unwrap();
+        store.compact().unwrap();
+        store.commit(&[Record::charged("a", "new", 0.25)]).unwrap();
+        let hist = store.ledger_history("a").unwrap();
+        assert_eq!(hist.len(), 1, "the compacted charge is gone");
+        assert_eq!(hist[0].label, "new");
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_gauges_track_compaction_and_archiving() {
+        let dir = scratch_dir("seg-gauges");
+        let store = Store::open_with(
+            &dir,
+            StoreConfig {
+                archive_replayed_segments: true,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let live = || store.obs().gauge("store_live_wal_segments").get();
+        let archived = || store.obs().gauge("store_archived_wal_segments").get();
+        assert_eq!(live(), 1.0);
+        assert_eq!(archived(), 0.0);
+        store.commit(&[Record::session_opened("a", 1.0)]).unwrap();
+        store.compact().unwrap();
+        assert_eq!(live(), 1.0, "old segment rotated out, new one in");
+        assert_eq!(archived(), 1.0);
+        store.commit(&[Record::charged("a", "q", 0.5)]).unwrap();
+        store.compact().unwrap();
+        assert_eq!(archived(), 2.0);
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_traced_records_wal_commit_spans_for_active_traces() {
+        let dir = scratch_dir("commit-traced");
+        let store = Store::open(&dir).unwrap();
+        let buf = bf_obs::TraceBuffer::detached(4);
+        let live = buf.begin(bf_obs::TraceId(1), "a");
+        let inert = TraceContext::inert();
+        store
+            .commit_traced(&[Record::session_opened("a", 1.0)], &[&live, &inert])
+            .unwrap();
+        live.finish("ok");
+        let tree = buf.find(bf_obs::TraceId(1)).unwrap();
+        assert_eq!(tree.spans.len(), 1);
+        assert_eq!(tree.spans[0].stage, Stage::WalCommit);
+        assert_eq!(tree.spans[0].outcome, "durable");
+        // Inert traces cost nothing and record nothing — and commit
+        // semantics are identical either way.
+        store
+            .commit_traced(&[Record::charged("a", "q", 0.5)], &[&inert])
+            .unwrap();
+        assert_eq!(store.current_state().sessions["a"].spent, 0.5);
         drop(store);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -104,8 +104,9 @@ pub mod prelude {
         HierarchicalMechanism, HistogramMechanism, OrderedHierarchicalMechanism, OrderedMechanism,
     };
     pub use bf_net::{Client, NetConfig, NetError, NetServer, RetryPolicy, WireError};
+    pub use bf_obs::{TraceContext, TraceId, TraceTree};
     pub use bf_server::{Server, ServerConfig, ServerError, ServerStats, Ticket};
-    pub use bf_store::{Store, StoreConfig, StoreError, StoreStats};
+    pub use bf_store::{LedgerEntry, Store, StoreConfig, StoreError, StoreStats};
     pub use futures_lite::Executor;
 }
 
