@@ -580,10 +580,15 @@ impl Client {
     /// every micro-ε of the budget went and cross-check it against
     /// [`Client::budget`].
     ///
+    /// The server only serves this to a connection that attached the
+    /// analyst's session — call [`Client::open_session`] (or let
+    /// [`Client::reconnect`] reattach) on this client first.
+    ///
     /// # Errors
     ///
-    /// [`NetError::Remote`] when the serving process has no durable
-    /// store or the scan fails, transport errors otherwise.
+    /// [`NetError::Remote`] when this connection never attached the
+    /// analyst's session, when the serving process has no durable
+    /// store, or when the scan fails; transport errors otherwise.
     pub fn audit(&mut self, analyst: &str) -> Result<Vec<LedgerEntry>, NetError> {
         let id = self.fresh_id();
         self.send(&ClientMessage::BudgetAudit {

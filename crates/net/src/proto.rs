@@ -30,7 +30,7 @@
 //! | C→S | [`ClientMessage::Budget`] | ledger snapshot for an analyst |
 //! | C→S | [`ClientMessage::Stats`] | process-wide metrics snapshot (PR 6 introspection) |
 //! | C→S | [`ClientMessage::Traces`] | retained trace-tree exemplars (PR 8 distributed tracing) |
-//! | C→S | [`ClientMessage::BudgetAudit`] | an analyst's full ε-provenance ledger history (PR 8) |
+//! | C→S | [`ClientMessage::BudgetAudit`] | an analyst's full ε-provenance ledger history (PR 8; connection must have attached the session) |
 //! | C→S | [`ClientMessage::Goodbye`] | orderly close (the server drains in-flight work first) |
 //! | S→C | [`ServerMessage::Welcome`] | handshake accept |
 //! | S→C | [`ServerMessage::SessionAttached`] | session opened/reattached, remaining ε |
@@ -50,6 +50,21 @@
 //! ε values travel as exact `f64` bit patterns (`_bits` fields), the
 //! same discipline the WAL uses — a budget decision made over the wire
 //! is bit-identical to one made in process.
+//!
+//! ## Trust model
+//!
+//! The protocol has no authentication: every connected client is a
+//! trusted curator-side process, and aggregate introspection
+//! ([`ClientMessage::Budget`], [`ClientMessage::Stats`],
+//! [`ClientMessage::Traces`] — trace trees name analysts and stages,
+//! not query contents) is served to any connection. The one exception
+//! is [`ClientMessage::BudgetAudit`]: per-record labels and exact ε
+//! charges are a materially larger disclosure, so the server refuses
+//! it unless the requesting **connection** attached the analyst's
+//! session via [`ClientMessage::OpenSession`] — which requires the
+//! session's original ε total, a capability strangers don't hold.
+//! Deployments needing real multi-tenant isolation must front the
+//! port with transport-level auth.
 
 use bf_engine::{Request, RequestKind, Response};
 use bf_mechanisms::kmeans::KmeansSecretSpec;
@@ -461,7 +476,9 @@ pub enum ClientMessage {
     },
     /// Ask for an analyst's complete ε-provenance history — every
     /// durable `Charged`/`Replied` ledger record in WAL total order,
-    /// across live **and archived** segments.
+    /// across live **and archived** segments. Refused with
+    /// [`WireError::InvalidRequest`] unless this connection attached
+    /// the analyst's session (see the module-level trust model).
     BudgetAudit {
         /// Correlation id.
         id: u64,

@@ -6,6 +6,7 @@ use crate::proto::{
 use bf_obs::{Counter, Histogram, Registry, Stage, TraceContext, TraceId, TraceTimer};
 use bf_server::{DriverHandle, Server, ServerError, ServerStats, Ticket};
 use bf_store::{frame_bytes, read_frame, FrameRead};
+use std::collections::HashSet;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -300,6 +301,11 @@ struct Connection<'a> {
     buf: Vec<u8>,
     hello_done: bool,
     goodbye: Option<u64>,
+    /// Analysts whose sessions this connection attached via
+    /// `OpenSession`. `BudgetAudit` — per-record labels and exact ε
+    /// charges, a materially larger disclosure than the aggregate
+    /// `Budget` snapshot — is served only for analysts in this set.
+    attached: HashSet<String>,
     singles: Vec<Outstanding>,
     batches: Vec<OutstandingBatch>,
 }
@@ -328,6 +334,7 @@ impl<'a> Connection<'a> {
             buf: Vec::new(),
             hello_done: false,
             goodbye: None,
+            attached: HashSet::new(),
             singles: Vec::new(),
             batches: Vec::new(),
         }
@@ -524,10 +531,13 @@ impl<'a> Connection<'a> {
                         trace_id: None,
                     },
                     Ok(total) => match self.server.engine().attach_session(&analyst, total) {
-                        Ok(remaining) => ServerMessage::SessionAttached {
-                            id,
-                            remaining_bits: remaining.to_bits(),
-                        },
+                        Ok(remaining) => {
+                            self.attached.insert(analyst.clone());
+                            ServerMessage::SessionAttached {
+                                id,
+                                remaining_bits: remaining.to_bits(),
+                            }
+                        }
                         Err(e) => ServerMessage::Refused {
                             id,
                             error: WireError::from_engine_error(&e),
@@ -658,13 +668,29 @@ impl<'a> Connection<'a> {
                     .is_ok()
             }
             ClientMessage::BudgetAudit { id, analyst } => {
-                let reply = match self.server.engine().ledger_history(&analyst) {
-                    Ok(entries) => ServerMessage::AuditReport { id, entries },
-                    Err(e) => ServerMessage::Refused {
+                // Per-record provenance (exact labels and ε per query)
+                // is only served to a connection that attached the
+                // analyst's session — reattaching requires the
+                // session's original ε total, so a stranger on the
+                // same port cannot walk another analyst's history.
+                let reply = if !self.attached.contains(&analyst) {
+                    ServerMessage::Refused {
                         id,
-                        error: WireError::from_engine_error(&e),
+                        error: WireError::InvalidRequest(format!(
+                            "audit for {analyst:?} requires a session \
+                             attached on this connection"
+                        )),
                         trace_id: None,
-                    },
+                    }
+                } else {
+                    match self.server.engine().ledger_history(&analyst) {
+                        Ok(entries) => ServerMessage::AuditReport { id, entries },
+                        Err(e) => ServerMessage::Refused {
+                            id,
+                            error: WireError::from_engine_error(&e),
+                            trace_id: None,
+                        },
+                    }
                 };
                 self.write_message(&reply).is_ok()
             }

@@ -795,7 +795,9 @@ impl Store {
     /// [`StoreError::Io`] when a segment cannot be read;
     /// [`StoreError::CorruptSnapshot`] when damage is followed by
     /// intact frames (the same refuse-to-guess rule recovery applies —
-    /// a plain torn tail is tolerated and ends the scan).
+    /// a plain torn tail ends only that segment's scan and the audit
+    /// continues with the next segment, exactly like recovery, so a
+    /// crash-torn mid-history segment never hides later charges).
     pub fn ledger_history(&self, analyst: &str) -> Result<Vec<LedgerEntry>, StoreError> {
         let _g = self.inner.lock().expect("store lock poisoned");
         let mut paths = sorted_wal_segments(&self.dir.join("archive"));
@@ -838,9 +840,12 @@ impl Store {
                         ),
                     });
                 }
-                // A torn tail was never acknowledged; the audit stops at
-                // the durable prefix exactly like recovery does.
-                break;
+                // A torn tail was never acknowledged; the audit skips
+                // it and keeps scanning later segments exactly like
+                // recovery does — post-crash stores rotate to a fresh
+                // segment, and every durable charge booked there must
+                // still appear in the report.
+                continue;
             }
         }
         Ok(out)
@@ -1390,6 +1395,49 @@ mod tests {
         let hist = store.ledger_history("a").unwrap();
         assert_eq!(hist.len(), 1, "the compacted charge is gone");
         assert_eq!(hist[0].label, "new");
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ledger_history_scans_past_a_torn_mid_history_segment() {
+        let dir = scratch_dir("ledger-torn-mid");
+        {
+            let store = Store::open(&dir).unwrap();
+            store
+                .commit(&[
+                    Record::session_opened("a", 2.0),
+                    Record::charged("a", "before", 0.5),
+                ])
+                .unwrap();
+            store.commit(&[Record::charged("a", "torn", 0.25)]).unwrap();
+        }
+        // Tear the last 3 bytes off segment 0 — the crash signature.
+        let seg = segment_path(&dir, 0);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+        // The post-crash process tolerates the tear and books new
+        // durable charges into the fresh segment recovery rotated to.
+        let store = Store::open(&dir).unwrap();
+        assert!(store.recovery_report().tail_skipped);
+        store
+            .commit(&[Record::charged("a", "after", 0.125)])
+            .unwrap();
+        // The audit must skip the torn tail and keep scanning: every
+        // durable charge before AND after the tear appears; only the
+        // never-acknowledged torn charge is absent.
+        let hist = store.ledger_history("a").unwrap();
+        let labels: Vec<&str> = hist.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["before", "after"]);
+        // Damage *inside* durable history is still refused outright.
+        let bytes = std::fs::read(&seg).unwrap();
+        let mut flipped = bytes.clone();
+        flipped[FRAME_HEADER_LEN] ^= 0xFF;
+        std::fs::write(&seg, &flipped).unwrap();
+        assert!(matches!(
+            store.ledger_history("a"),
+            Err(StoreError::CorruptSnapshot { .. })
+        ));
         drop(store);
         std::fs::remove_dir_all(&dir).unwrap();
     }

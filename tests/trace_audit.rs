@@ -4,7 +4,7 @@
 //! and the ε-provenance audit API (`Client::audit` replaying the WAL's
 //! ledger history bit-for-bit, archived segments included).
 
-use blowfish::net::{Client, NetConfig, NetServer};
+use blowfish::net::{Client, NetConfig, NetError, NetServer, WireError};
 use blowfish::obs::Stage;
 use blowfish::prelude::*;
 use blowfish::store::StoreConfig;
@@ -208,6 +208,42 @@ fn audit_over_the_wire_matches_recovered_ledger_bit_for_bit() {
     let fresh = Store::open_with(&dir, config).unwrap();
     assert_eq!(fresh.ledger_history("aud").unwrap(), wire_entries);
     drop(fresh);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Per-record provenance is gated: a connection that never attached the
+/// analyst's session is refused `BudgetAudit` (aggregate frames stay
+/// open to every client — the documented trusted-curator model), and
+/// reattaching with the session's original ε total unlocks it.
+#[test]
+fn audit_requires_an_attached_session_on_the_connection() {
+    let dir = blowfish::store::scratch_dir("trace-audit-gate");
+    let store = Arc::new(Store::open(&dir).unwrap());
+    let net = build_net(
+        55,
+        Some(store),
+        ServerConfig::default(),
+        NetConfig::default(),
+    );
+    let mut owner = Client::connect(net.local_addr()).unwrap();
+    owner.open_session("aud", 4.0).unwrap();
+    owner
+        .call("aud", &Request::range("pol", "ds", eps(0.25), 0, 20))
+        .unwrap();
+
+    let mut stranger = Client::connect(net.local_addr()).unwrap();
+    let err = stranger.audit("aud").unwrap_err();
+    assert!(
+        matches!(err, NetError::Remote(WireError::InvalidRequest(_))),
+        "unattached connection must be refused, got {err:?}"
+    );
+    // The aggregate snapshot is still open to any client.
+    assert!(stranger.budget("aud").is_ok());
+    // Reattaching needs the session's original ε total — that is the
+    // capability the gate checks — and then the audit serves.
+    stranger.open_session("aud", 4.0).unwrap();
+    assert_eq!(stranger.audit("aud").unwrap(), owner.audit("aud").unwrap());
+    net.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
