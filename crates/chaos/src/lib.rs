@@ -14,6 +14,10 @@
 //!   the plan can drop the connection, truncate the frame mid-header,
 //!   or delay it past the client's patience — the three ways a real
 //!   network dies.
+//! * `bf-replica` asks its [`ReplicaPlan`] once per log entry the
+//!   leader sequences: the plan can kill the leader at a deterministic
+//!   log index, which is how the failover suite replays the same
+//!   mid-burst crash every run.
 //!
 //! Faults fire on a **deterministic op clock**: every injection point
 //! advances the plan's atomic counter and the schedule — scripted
@@ -105,6 +109,18 @@ pub enum NetFault {
     /// The reply is written late — past a short client timeout, on time
     /// for a patient one.
     DelayReplyMicros(u64),
+}
+
+/// The ways a replica can die. Consulted by the leader's sequencer once
+/// per sequenced log entry, so a kill lands at a *deterministic log
+/// index* — the failover suite replays the same mid-burst crash every
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaFault {
+    /// The leader dies cooperatively but abruptly: it stops sequencing,
+    /// streaming, and acking, and drops every peer and client
+    /// in-flight request on the floor (they resolve as shutdown).
+    KillLeader,
 }
 
 /// A deterministic fault schedule over an atomic op clock.
@@ -201,6 +217,9 @@ pub type StorePlan = FaultPlan<StoreFault>;
 
 /// The net-side plan: one op per reply frame written.
 pub type NetPlan = FaultPlan<NetFault>;
+
+/// The replica-side plan: one op per log entry the leader sequences.
+pub type ReplicaPlan = FaultPlan<ReplicaFault>;
 
 /// Capped exponential backoff with deterministic jitter: attempt `n`
 /// (0-based) waits `base × 2ⁿ` capped at `cap`, plus a jitter draw in

@@ -2,7 +2,8 @@
 
 use crate::error::NetError;
 use crate::proto::{
-    ClientMessage, ServerMessage, WireError, WireMetric, WireRequest, PROTOCOL_VERSION,
+    ClientMessage, ServerMessage, WireError, WireMetric, WireRequest, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use bf_engine::{Request, Response};
 use bf_obs::TraceTree;
@@ -112,12 +113,27 @@ pub struct Client {
     /// Sessions opened through this client: analyst → total ε bits
     /// (BTreeMap so reattach order is deterministic).
     sessions: BTreeMap<String, u64>,
+    /// Session tokens the server issued on attach: analyst → token.
+    /// Presented automatically on every `Submit` / `BudgetAudit`;
+    /// refreshed whenever a session reattaches (a failed-over leader
+    /// issues new tokens).
+    tokens: BTreeMap<String, u64>,
     /// How long a blocking receive waits before [`NetError::TimedOut`].
     timeout: Option<Duration>,
     /// Next idempotency key. Seeded from the wall clock at connect so
     /// keys stay unique across client restarts against the same
     /// server-side reply cache.
     next_request_id: u64,
+    /// The protocol version the `Hello`/`Welcome` handshake settled on
+    /// — the server may negotiate down to an older dialect it still
+    /// speaks; every frame then encodes/decodes at this version.
+    negotiated: u16,
+    /// Known cluster members, for redirect-on-[`WireError::NotLeader`]
+    /// and dial-the-next-member failover. Empty for a single-server
+    /// client.
+    cluster: Vec<SocketAddr>,
+    /// Index of the member `addr` currently points at.
+    member: usize,
 }
 
 impl Client {
@@ -145,11 +161,47 @@ impl Client {
             pending: HashSet::new(),
             ready: HashMap::new(),
             sessions: BTreeMap::new(),
+            tokens: BTreeMap::new(),
             timeout: None,
             next_request_id,
+            negotiated: PROTOCOL_VERSION,
+            cluster: Vec::new(),
+            member: 0,
         };
         client.handshake()?;
         Ok(client)
+    }
+
+    /// Connects to the first reachable member of a replica cluster and
+    /// remembers the full member list: a later
+    /// [`WireError::NotLeader`] refusal redirects to the hinted leader
+    /// (or the next member), and a dead member's dial failure rotates
+    /// to the next one on reconnect. Writes still need the leader —
+    /// [`Client::call_idempotent`] follows redirects automatically —
+    /// while reads (`budget`, `stats`, `traces`, `audit`) are served by
+    /// whichever member this client landed on.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when `addrs` resolves to nothing; the
+    /// last member's connect error when none are reachable.
+    pub fn connect_cluster(addrs: impl ToSocketAddrs) -> Result<Client, NetError> {
+        let members: Vec<SocketAddr> = addrs.to_socket_addrs()?.collect();
+        if members.is_empty() {
+            return Err(NetError::Protocol("cluster resolved to nothing".into()));
+        }
+        let mut last = None;
+        for (i, &addr) in members.iter().enumerate() {
+            match Self::connect(addr) {
+                Ok(mut client) => {
+                    client.cluster = members;
+                    client.member = i;
+                    return Ok(client);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one member tried"))
     }
 
     fn dial(addr: SocketAddr) -> Result<TcpStream, NetError> {
@@ -159,13 +211,21 @@ impl Client {
     }
 
     fn handshake(&mut self) -> Result<(), NetError> {
+        // Until Welcome lands the connection speaks our own dialect
+        // (Hello/Welcome/Refused encode identically at every version).
+        self.negotiated = PROTOCOL_VERSION;
         let id = self.fresh_id();
         self.send(&ClientMessage::Hello {
             id,
             version: PROTOCOL_VERSION,
         })?;
         match self.recv_for(id)? {
-            ServerMessage::Welcome { version, .. } if version == PROTOCOL_VERSION => Ok(()),
+            ServerMessage::Welcome { version, .. }
+                if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+            {
+                self.negotiated = version;
+                Ok(())
+            }
             ServerMessage::Welcome { version, .. } => Err(NetError::VersionMismatch {
                 ours: PROTOCOL_VERSION,
                 theirs: version,
@@ -180,6 +240,18 @@ impl Client {
     /// The server address this client dials.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The protocol version the handshake negotiated (≤
+    /// [`PROTOCOL_VERSION`], ≥ [`MIN_PROTOCOL_VERSION`]).
+    pub fn protocol_version(&self) -> u16 {
+        self.negotiated
+    }
+
+    /// The session token the server issued for `analyst` on attach, if
+    /// any (v4 servers only).
+    pub fn session_token(&self, analyst: &str) -> Option<u64> {
+        self.tokens.get(analyst).copied()
     }
 
     /// Correlation ids currently in flight.
@@ -219,7 +291,8 @@ impl Client {
     }
 
     fn send(&mut self, msg: &ClientMessage) -> Result<(), NetError> {
-        self.stream.write_all(&frame_bytes(&msg.encode()))?;
+        self.stream
+            .write_all(&frame_bytes(&msg.encode_for(self.negotiated)))?;
         self.pending.insert(msg.id());
         Ok(())
     }
@@ -232,7 +305,7 @@ impl Client {
         loop {
             match read_frame(&self.buf) {
                 FrameRead::Complete { payload, consumed } => {
-                    let msg = ServerMessage::decode(payload)
+                    let msg = ServerMessage::decode_for(payload, self.negotiated)
                         .ok_or_else(|| NetError::Protocol("undecodable server message".into()))?;
                     self.buf.drain(..consumed);
                     return Ok(msg);
@@ -308,8 +381,15 @@ impl Client {
             total_bits: total.to_bits(),
         })?;
         match self.recv_for(id)? {
-            ServerMessage::SessionAttached { remaining_bits, .. } => {
+            ServerMessage::SessionAttached {
+                remaining_bits,
+                token,
+                ..
+            } => {
                 self.sessions.insert(analyst.to_owned(), total.to_bits());
+                if token != 0 {
+                    self.tokens.insert(analyst.to_owned(), token);
+                }
                 Ok(f64::from_bits(remaining_bits))
             }
             ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
@@ -379,6 +459,7 @@ impl Client {
             request_id,
             deadline_micros,
             trace_id,
+            token: self.tokens.get(analyst).copied(),
         })?;
         Ok(id)
     }
@@ -421,7 +502,11 @@ impl Client {
     /// additional ε.
     ///
     /// Typed refusals ([`NetError::Remote`]) and protocol errors are
-    /// deterministic and surface immediately, unretried.
+    /// deterministic and surface immediately, unretried — with one
+    /// exception: [`WireError::NotLeader`] from a cluster follower
+    /// redirects this client at the hinted leader (or the next known
+    /// member) and retries, so callers keep exactly-once semantics
+    /// across a leader failover.
     ///
     /// # Errors
     ///
@@ -440,9 +525,10 @@ impl Client {
         for attempt in 0..attempts {
             if attempt > 0 {
                 std::thread::sleep(policy.wait(&mut rng, attempt - 1));
-                match self.reconnect() {
+                match self.reconnect_with(policy) {
                     Ok(_) => {}
                     Err(e) if transient(&e) => {
+                        self.advance_member();
                         last = Some(e);
                         continue;
                     }
@@ -454,7 +540,15 @@ impl Client {
                 .and_then(|id| self.wait(id));
             match outcome {
                 Ok(response) => return Ok(response),
-                Err(e) if transient(&e) => last = Some(e),
+                Err(NetError::Remote(WireError::NotLeader { leader }))
+                    if self.redirect(&leader) =>
+                {
+                    last = Some(NetError::Remote(WireError::NotLeader { leader }));
+                }
+                Err(e) if transient(&e) => {
+                    self.advance_member();
+                    last = Some(e);
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -462,6 +556,35 @@ impl Client {
             attempts,
             last: Box::new(last.expect("at least one attempt ran")),
         })
+    }
+
+    /// Re-points the next dial at the leader a `NotLeader` refusal
+    /// hinted (or, with an empty hint, at the next cluster member).
+    /// `false` when there is nowhere else to go — the refusal then
+    /// surfaces as-is.
+    fn redirect(&mut self, leader: &str) -> bool {
+        if let Ok(mut addrs) = leader.to_socket_addrs() {
+            if let Some(addr) = addrs.next() {
+                self.addr = addr;
+                if let Some(i) = self.cluster.iter().position(|&a| a == addr) {
+                    self.member = i;
+                }
+                return true;
+            }
+        }
+        self.advance_member()
+    }
+
+    /// Rotates `addr` to the next cluster member (no-op without a
+    /// cluster list). `true` when the target actually changed.
+    fn advance_member(&mut self) -> bool {
+        if self.cluster.len() > 1 {
+            self.member = (self.member + 1) % self.cluster.len();
+            self.addr = self.cluster[self.member];
+            true
+        } else {
+            false
+        }
     }
 
     /// Submits a batch answered as one correlated reply; compatible
@@ -594,6 +717,7 @@ impl Client {
         self.send(&ClientMessage::BudgetAudit {
             id,
             analyst: analyst.to_owned(),
+            token: self.tokens.get(analyst).copied(),
         })?;
         match self.recv_for(id)? {
             ServerMessage::AuditReport { entries, .. } => Ok(entries),
@@ -640,8 +764,21 @@ impl Client {
             }
             match self.reconnect_once() {
                 Ok(reattached) => return Ok(reattached),
+                // Reattaching on a follower is refused with NotLeader:
+                // follow the redirect and dial again, like any other
+                // failed attempt.
+                Err(NetError::Remote(WireError::NotLeader { leader }))
+                    if self.redirect(&leader) =>
+                {
+                    last = Some(NetError::Remote(WireError::NotLeader { leader }));
+                }
                 Err(e @ (NetError::Remote(_) | NetError::VersionMismatch { .. })) => return Err(e),
-                Err(e) => last = Some(e),
+                Err(e) => {
+                    // A dead member refuses the dial outright — rotate
+                    // to the next one before the retry.
+                    self.advance_member();
+                    last = Some(e);
+                }
             }
         }
         Err(NetError::RetriesExhausted {

@@ -48,8 +48,11 @@ mod server;
 
 pub use client::{BudgetSnapshot, Client, RetryPolicy};
 pub use error::NetError;
-pub use proto::{ClientMessage, ServerMessage, WireError, WireMetric, PROTOCOL_VERSION};
-pub use server::{NetConfig, NetServer, NetStats};
+pub use proto::{
+    ClientMessage, ServerMessage, WireError, WireLogEntry, WireLogOp, WireMetric,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
+pub use server::{NetConfig, NetServer, NetStats, ReplicaHook, ServerRole};
 
 #[cfg(test)]
 mod tests {
@@ -467,6 +470,382 @@ mod tests {
                 ..
             }
         ));
+        net.shutdown().unwrap();
+    }
+
+    /// A raw socket speaking an exact (possibly old) protocol version —
+    /// what a v2/v3 binary on the other end of the wire looks like.
+    struct RawClient {
+        stream: std::net::TcpStream,
+        buf: Vec<u8>,
+        version: u16,
+    }
+
+    impl RawClient {
+        fn connect(addr: std::net::SocketAddr, version: u16) -> RawClient {
+            let mut raw = RawClient {
+                stream: std::net::TcpStream::connect(addr).unwrap(),
+                buf: Vec::new(),
+                version,
+            };
+            let reply = raw.call(&ClientMessage::Hello { id: 1, version });
+            match reply {
+                ServerMessage::Welcome {
+                    version: negotiated,
+                    ..
+                } => assert_eq!(negotiated, version, "server must negotiate down"),
+                other => panic!("expected Welcome, got {other:?}"),
+            }
+            raw
+        }
+
+        fn call(&mut self, msg: &ClientMessage) -> ServerMessage {
+            use std::io::{Read, Write};
+            self.stream
+                .write_all(&bf_store::frame_bytes(&msg.encode_for(self.version)))
+                .unwrap();
+            let mut chunk = [0u8; 4096];
+            loop {
+                if let bf_store::FrameRead::Complete { payload, consumed } =
+                    bf_store::read_frame(&self.buf)
+                {
+                    let reply = ServerMessage::decode_for(payload, self.version).unwrap();
+                    self.buf.drain(..consumed);
+                    return reply;
+                }
+                let n = self.stream.read(&mut chunk).unwrap();
+                assert!(n > 0, "server closed mid-call");
+                self.buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn old_protocol_versions_negotiate_down_and_round_trip() {
+        let net = net_server(23, ServerConfig::default(), NetConfig::default());
+        for version in MIN_PROTOCOL_VERSION..PROTOCOL_VERSION {
+            let analyst = format!("old-v{version}");
+            let mut raw = RawClient::connect(net.local_addr(), version);
+            match raw.call(&ClientMessage::OpenSession {
+                id: 2,
+                analyst: analyst.clone(),
+                total_bits: 4.0f64.to_bits(),
+            }) {
+                ServerMessage::SessionAttached {
+                    remaining_bits,
+                    token,
+                    ..
+                } => {
+                    assert_eq!(f64::from_bits(remaining_bits), 4.0);
+                    // Old dialects have no token field; decode_for
+                    // backfills zero.
+                    assert_eq!(token, 0);
+                }
+                other => panic!("expected SessionAttached, got {other:?}"),
+            }
+            // A submit without the v3/v4 optional fields still serves —
+            // token enforcement must not lock out downgraded clients.
+            match raw.call(&ClientMessage::Submit {
+                id: 3,
+                analyst: analyst.clone(),
+                request: crate::proto::WireRequest::from_request(&Request::range(
+                    "pol",
+                    "ds",
+                    eps(0.25),
+                    4,
+                    40,
+                )),
+                request_id: Some(9),
+                deadline_micros: None,
+                trace_id: None,
+                token: None,
+            }) {
+                ServerMessage::Answer { id, response, .. } => {
+                    assert_eq!(id, 3);
+                    assert!(response.to_response().scalar().unwrap().is_finite());
+                }
+                other => panic!("expected Answer, got {other:?}"),
+            }
+        }
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn session_tokens_gate_submit_and_audit_on_v4_connections() {
+        let dir = bf_store::scratch_dir("net-tokens");
+        let store = Arc::new(bf_engine::Store::open(&dir).unwrap());
+        let engine = Engine::with_store(24, store);
+        let domain = Domain::line(64).unwrap();
+        engine
+            .register_policy("pol", Policy::distance_threshold(domain.clone(), 2))
+            .unwrap();
+        let rows: Vec<usize> = (0..640).map(|i| (i * 7) % 64).collect();
+        engine
+            .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+            .unwrap();
+        let server = Arc::new(Server::with_defaults(Arc::new(engine)));
+        let net = NetServer::bind("127.0.0.1:0", server, NetConfig::default()).unwrap();
+
+        // A full client attaches, learns its token, and serves normally
+        // (tokens ride along invisibly).
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        client.open_session("alice", 4.0).unwrap();
+        let token = client.session_token("alice").unwrap();
+        assert_ne!(token, 0);
+        assert_eq!(net.session_token("alice"), Some(token));
+        client
+            .call("alice", &Request::range("pol", "ds", eps(0.25), 4, 40))
+            .unwrap();
+        assert!(!client.audit("alice").unwrap().is_empty());
+
+        // A v4 connection omitting or forging the token is refused.
+        let mut raw = RawClient::connect(net.local_addr(), PROTOCOL_VERSION);
+        let submit = |token: Option<u64>, id: u64| ClientMessage::Submit {
+            id,
+            analyst: "alice".into(),
+            request: crate::proto::WireRequest::from_request(&Request::range(
+                "pol",
+                "ds",
+                eps(0.25),
+                4,
+                40,
+            )),
+            request_id: None,
+            deadline_micros: None,
+            trace_id: None,
+            token,
+        };
+        match raw.call(&submit(None, 10)) {
+            ServerMessage::Refused {
+                error: WireError::InvalidRequest(msg),
+                ..
+            } => assert!(msg.contains("token"), "got {msg}"),
+            other => panic!("expected token refusal, got {other:?}"),
+        }
+        match raw.call(&submit(Some(token ^ 1), 11)) {
+            ServerMessage::Refused {
+                error: WireError::InvalidRequest(_),
+                ..
+            } => {}
+            other => panic!("expected token refusal, got {other:?}"),
+        }
+        // Audit needs attach *and* the token.
+        match raw.call(&ClientMessage::OpenSession {
+            id: 12,
+            analyst: "alice".into(),
+            total_bits: 4.0f64.to_bits(),
+        }) {
+            ServerMessage::SessionAttached { token: issued, .. } => {
+                assert_eq!(issued, token, "tokens are process-stable");
+            }
+            other => panic!("expected SessionAttached, got {other:?}"),
+        }
+        match raw.call(&ClientMessage::BudgetAudit {
+            id: 13,
+            analyst: "alice".into(),
+            token: None,
+        }) {
+            ServerMessage::Refused {
+                error: WireError::InvalidRequest(msg),
+                ..
+            } => assert!(msg.contains("token"), "got {msg}"),
+            other => panic!("expected token refusal, got {other:?}"),
+        }
+        // The right token serves both.
+        match raw.call(&submit(Some(token), 14)) {
+            ServerMessage::Answer { .. } => {}
+            other => panic!("expected Answer, got {other:?}"),
+        }
+        match raw.call(&ClientMessage::BudgetAudit {
+            id: 15,
+            analyst: "alice".into(),
+            token: Some(token),
+        }) {
+            ServerMessage::AuditReport { entries, .. } => assert!(!entries.is_empty()),
+            other => panic!("expected AuditReport, got {other:?}"),
+        }
+        net.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A scripted [`ReplicaHook`]: either a "leader" that executes
+    /// sequenced writes straight through an engine, or a "follower"
+    /// that refuses writes with a leader hint and optionally reports
+    /// itself stale for reads.
+    struct TestHook {
+        engine: Option<Arc<Engine>>,
+        leader_hint: String,
+        stale: Option<u64>,
+        next_rid: std::sync::atomic::AtomicU64,
+    }
+
+    impl ReplicaHook for TestHook {
+        fn sequence_submit(
+            &self,
+            analyst: &str,
+            request_id: Option<u64>,
+            request: Request,
+        ) -> Result<bf_server::Ticket, WireError> {
+            let Some(engine) = &self.engine else {
+                return Err(WireError::NotLeader {
+                    leader: self.leader_hint.clone(),
+                });
+            };
+            let rid = request_id.unwrap_or_else(|| {
+                (1 << 62)
+                    | self
+                        .next_rid
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            });
+            let (resolver, ticket) = bf_server::Ticket::pair();
+            resolver.resolve(
+                engine
+                    .serve_tagged(analyst, rid, &request)
+                    .map_err(bf_server::ServerError::Engine),
+            );
+            Ok(ticket)
+        }
+
+        fn sequence_open(&self, analyst: &str, total_bits: u64) -> Result<f64, WireError> {
+            let Some(engine) = &self.engine else {
+                return Err(WireError::NotLeader {
+                    leader: self.leader_hint.clone(),
+                });
+            };
+            let total = bf_core::Epsilon::new(f64::from_bits(total_bits))
+                .map_err(|e| WireError::InvalidRequest(e.to_string()))?;
+            engine
+                .attach_session(analyst, total)
+                .map_err(|e| WireError::from_engine_error(&e))
+        }
+
+        fn refuse_read(&self) -> Option<WireError> {
+            self.stale
+                .map(|lag_entries| WireError::StaleReplica { lag_entries })
+        }
+    }
+
+    #[test]
+    fn replica_role_routes_writes_through_the_hook() {
+        let engine = engine(25);
+        let server = Arc::new(Server::with_defaults(Arc::clone(&engine)));
+        let hook = Arc::new(TestHook {
+            engine: Some(Arc::clone(&engine)),
+            leader_hint: String::new(),
+            stale: None,
+            next_rid: std::sync::atomic::AtomicU64::new(1),
+        });
+        let net = NetServer::bind(
+            "127.0.0.1:0",
+            server,
+            NetConfig {
+                role: ServerRole::Replica(hook),
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        // OpenSession sequences through the hook…
+        assert_eq!(client.open_session("h", 2.0).unwrap(), 2.0);
+        // …and so do submits: the answer comes from the hook's engine
+        // execution, not the local scheduler.
+        let resp = client
+            .call("h", &Request::range("pol", "ds", eps(0.5), 4, 40))
+            .unwrap();
+        assert!(resp.scalar().unwrap().is_finite());
+        assert_eq!(net.server().stats().answered, 0, "scheduler bypassed");
+        // Reads serve locally when the hook does not object.
+        assert!((client.budget("h").unwrap().spent - 0.5).abs() < 1e-12);
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn follower_refuses_writes_and_stale_reads() {
+        let net = net_server(
+            26,
+            ServerConfig::default(),
+            NetConfig {
+                role: ServerRole::Replica(Arc::new(TestHook {
+                    engine: None,
+                    leader_hint: "10.0.0.9:4040".into(),
+                    stale: Some(7),
+                    next_rid: std::sync::atomic::AtomicU64::new(1),
+                })),
+                ..NetConfig::default()
+            },
+        );
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        assert!(matches!(
+            client.open_session("f", 1.0),
+            Err(NetError::Remote(WireError::NotLeader { leader })) if leader == "10.0.0.9:4040"
+        ));
+        assert!(matches!(
+            client.budget("f"),
+            Err(NetError::Remote(WireError::StaleReplica { lag_entries: 7 }))
+        ));
+        assert!(matches!(
+            client.stats(),
+            Err(NetError::Remote(WireError::StaleReplica { .. }))
+        ));
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn not_leader_redirects_call_idempotent_to_the_hinted_leader() {
+        // The "leader": a standalone server whose engine already has the
+        // session (opened in-process, so no token gate applies).
+        let leader = net_server(27, ServerConfig::default(), NetConfig::default());
+        leader
+            .server()
+            .engine()
+            .attach_session("redir", eps(2.0))
+            .unwrap();
+        // The "follower" refuses writes, hinting at the leader.
+        let follower = net_server(
+            27,
+            ServerConfig::default(),
+            NetConfig {
+                role: ServerRole::Replica(Arc::new(TestHook {
+                    engine: None,
+                    leader_hint: leader.local_addr().to_string(),
+                    stale: None,
+                    next_rid: std::sync::atomic::AtomicU64::new(1),
+                })),
+                ..NetConfig::default()
+            },
+        );
+        let mut client = Client::connect(follower.local_addr()).unwrap();
+        let resp = client
+            .call_idempotent(
+                "redir",
+                &Request::range("pol", "ds", eps(0.5), 4, 40),
+                &RetryPolicy::default(),
+            )
+            .unwrap();
+        assert!(resp.scalar().unwrap().is_finite());
+        assert_eq!(
+            client.addr(),
+            leader.local_addr(),
+            "client followed the hint"
+        );
+        follower.shutdown().unwrap();
+        leader.shutdown().unwrap();
+    }
+
+    #[test]
+    fn connect_cluster_skips_unreachable_members() {
+        // A member that refuses the dial: bind, learn the port, drop.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let net = net_server(28, ServerConfig::default(), NetConfig::default());
+        let mut client = Client::connect_cluster(&[dead, net.local_addr()][..]).unwrap();
+        assert_eq!(client.addr(), net.local_addr());
+        client.open_session("c", 1.0).unwrap();
+        assert!(client
+            .call("c", &Request::range("pol", "ds", eps(0.25), 4, 40))
+            .is_ok());
         net.shutdown().unwrap();
     }
 

@@ -31,9 +31,11 @@
 //! | C→S | [`ClientMessage::Stats`] | process-wide metrics snapshot (PR 6 introspection) |
 //! | C→S | [`ClientMessage::Traces`] | retained trace-tree exemplars (PR 8 distributed tracing) |
 //! | C→S | [`ClientMessage::BudgetAudit`] | an analyst's full ε-provenance ledger history (PR 8; connection must have attached the session) |
+//! | C→S | [`ClientMessage::LogCatchup`] | replica peer: follower subscribes to the replicated log from an index (v4) |
+//! | C→S | [`ClientMessage::ReplicateAck`] | replica peer: follower acknowledges an entry durable in its own WAL (v4) |
 //! | C→S | [`ClientMessage::Goodbye`] | orderly close (the server drains in-flight work first) |
-//! | S→C | [`ServerMessage::Welcome`] | handshake accept |
-//! | S→C | [`ServerMessage::SessionAttached`] | session opened/reattached, remaining ε |
+//! | S→C | [`ServerMessage::Welcome`] | handshake accept, carries the **negotiated** version |
+//! | S→C | [`ServerMessage::SessionAttached`] | session opened/reattached, remaining ε + session token (v4) |
 //! | S→C | [`ServerMessage::Answer`] | a submitted query's response (echoes the trace id, when traced) |
 //! | S→C | [`ServerMessage::BatchAnswer`] | per-slot responses for a batch |
 //! | S→C | [`ServerMessage::BudgetReport`] | ledger snapshot |
@@ -41,11 +43,26 @@
 //! | S→C | [`ServerMessage::TraceReport`] | the retained trace trees, one [`bf_obs::TraceTree`] each |
 //! | S→C | [`ServerMessage::AuditReport`] | the ledger history, one [`bf_store::LedgerEntry`] each |
 //! | S→C | [`ServerMessage::Refused`] | typed error for the correlated request (echoes the trace id) |
+//! | S→C | [`ServerMessage::Replicate`] | replica peer: leader streams log entries + its commit index (v4) |
 //! | S→C | [`ServerMessage::Farewell`] | goodbye acknowledged, connection closing |
 //!
 //! Every message carries a client-assigned **correlation id**; replies
 //! echo it, so a client may pipeline any number of requests on one
 //! connection and match answers out of order.
+//!
+//! ## Version negotiation
+//!
+//! The first frame on a connection is [`ClientMessage::Hello`] carrying
+//! the version the client speaks. The server accepts any version in
+//! `[`[`MIN_PROTOCOL_VERSION`]`, `[`PROTOCOL_VERSION`]`]` and echoes the
+//! **minimum of the two** in [`ServerMessage::Welcome`]; every later
+//! frame on the connection is encoded and decoded at that negotiated
+//! version ([`ClientMessage::encode_for`] /
+//! [`ClientMessage::decode_for`] and the server-side twins), which
+//! simply omits the fields the older version never defined. A v2 client
+//! therefore talks to a v4 replica unchanged — the rolling-upgrade
+//! path — while anything older than v2 (or newer than the server) is
+//! still refused outright.
 //!
 //! ε values travel as exact `f64` bit patterns (`_bits` fields), the
 //! same discipline the WAL uses — a budget decision made over the wire
@@ -71,8 +88,10 @@ use bf_mechanisms::kmeans::KmeansSecretSpec;
 use bf_obs::{Stage, TraceId, TraceSpan, TraceTree};
 use bf_store::{put_str, put_u64, LedgerEntry, Reader};
 
-/// Protocol version this build speaks. The handshake refuses a peer
-/// whose version differs. Version 2 added exactly-once retry support:
+/// Protocol version this build speaks. The handshake negotiates down to
+/// the older of the two sides (see the module docs) and refuses
+/// anything below [`MIN_PROTOCOL_VERSION`]. Version 2 added
+/// exactly-once retry support:
 /// [`ClientMessage::Submit`] carries an optional idempotency key
 /// (`request_id`) and an optional scheduling deadline, and
 /// [`WireError`] gained [`WireError::Overloaded`] /
@@ -84,7 +103,20 @@ use bf_store::{put_str, put_u64, LedgerEntry, Reader};
 /// [`ClientMessage::Traces`] / [`ServerMessage::TraceReport`] scrape
 /// the retained trace trees) and the ε-provenance audit
 /// ([`ClientMessage::BudgetAudit`] / [`ServerMessage::AuditReport`]).
-pub const PROTOCOL_VERSION: u16 = 3;
+/// Version 4 added replicated serving — the peer frames
+/// [`ClientMessage::LogCatchup`] / [`ClientMessage::ReplicateAck`] /
+/// [`ServerMessage::Replicate`], the [`WireError::NotLeader`] /
+/// [`WireError::StaleReplica`] refusals — plus the session-token
+/// handshake ([`ServerMessage::SessionAttached`] issues a token that
+/// later [`ClientMessage::Submit`] / [`ClientMessage::BudgetAudit`]
+/// frames for that analyst must present) and version negotiation
+/// itself.
+pub const PROTOCOL_VERSION: u16 = 4;
+
+/// Oldest protocol version the handshake still accepts. Version 1 had
+/// no idempotency keys, so a v1 client could double-charge through a
+/// retry — below this floor the server refuses rather than downgrade.
+pub const MIN_PROTOCOL_VERSION: u16 = 2;
 
 /// A query as it travels the wire: names, exact ε bits, and the kind
 /// payload. Conversion to an engine [`Request`] validates ε.
@@ -157,6 +189,62 @@ pub enum WireResponse {
     Scalar(u64),
     /// Final k-means centroids.
     Centroids(Vec<Vec<u64>>),
+}
+
+/// One entry of the replicated log as it travels between replicas
+/// (leader → follower inside [`ServerMessage::Replicate`]). The
+/// `(epoch, index)` stamp is the entry's identity; followers append
+/// entries in index order and make each durable in their own WAL
+/// before acknowledging it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireLogEntry {
+    /// The sequencing epoch the leader stamped.
+    pub epoch: u64,
+    /// The entry's monotone log position (1-based).
+    pub index: u64,
+    /// The analyst the operation belongs to.
+    pub analyst: String,
+    /// The idempotency key every replica executes the entry under —
+    /// client-chosen when the `Submit` carried one, else derived from
+    /// the log index by the sequencer.
+    pub request_id: u64,
+    /// The operation itself.
+    pub op: WireLogOp,
+}
+
+/// The operations that travel the replicated log. Session opens are in
+/// the log too — replicas must agree on ledger *totals*, not just
+/// charges, or a failover could resurrect ε.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireLogOp {
+    /// Open (or reattach) the analyst's session with a total ε budget.
+    OpenSession {
+        /// Total ε as bits.
+        total_bits: u64,
+    },
+    /// Serve one query and charge its ledger.
+    Submit {
+        /// The query.
+        request: WireRequest,
+    },
+}
+
+impl WireLogOp {
+    /// Encodes the op standalone (the byte payload a
+    /// `bf_store::Record::Replicated` frame carries).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        encode_log_op(&mut out, self);
+        out
+    }
+
+    /// Decodes [`WireLogOp::encode`] output; `None` for anything
+    /// malformed (a recovering replica must stop, not guess).
+    pub fn decode(payload: &[u8]) -> Option<WireLogOp> {
+        let mut r = Reader::new(payload);
+        let op = decode_log_op(&mut r)?;
+        r.done().then_some(op)
+    }
 }
 
 /// One metric sample in a [`ServerMessage::StatsReport`] — the wire
@@ -341,6 +429,19 @@ pub enum WireError {
         /// Whose request expired.
         analyst: String,
     },
+    /// This replica is a follower: writes must go to the leader. The
+    /// hint is the leader's client-facing address when known, empty
+    /// when the follower itself is between leaders.
+    NotLeader {
+        /// The leader's client address hint (may be empty).
+        leader: String,
+    },
+    /// This follower's replay lags the leader beyond its configured
+    /// staleness bound; the read was refused rather than served stale.
+    StaleReplica {
+        /// Entries logged but not yet applied here.
+        lag_entries: u64,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -393,6 +494,18 @@ impl std::fmt::Display for WireError {
             WireError::DeadlineExceeded { analyst } => {
                 write!(f, "deadline exceeded for {analyst:?} before dispatch")
             }
+            WireError::NotLeader { leader } if leader.is_empty() => {
+                write!(f, "not the leader (no leader hint)")
+            }
+            WireError::NotLeader { leader } => {
+                write!(f, "not the leader; writes go to {leader}")
+            }
+            WireError::StaleReplica { lag_entries } => {
+                write!(
+                    f,
+                    "replica {lag_entries} log entries behind its staleness bound"
+                )
+            }
         }
     }
 }
@@ -442,6 +555,12 @@ pub enum ClientMessage {
         /// buffer, scrapeable via [`ClientMessage::Traces`]. `None`
         /// leaves the request untraced (zero overhead).
         trace_id: Option<u64>,
+        /// The session token [`ServerMessage::SessionAttached`] issued
+        /// (v4). Once a token exists for the analyst, submissions
+        /// without it — or with a stale one — are refused with
+        /// [`WireError::InvalidRequest`]. `None` on pre-v4 connections
+        /// and for sessions opened in-process.
+        token: Option<u64>,
     },
     /// Submit several queries answered as one correlated batch (the
     /// server's coalescing window folds compatible members into shared
@@ -484,6 +603,34 @@ pub enum ClientMessage {
         id: u64,
         /// Whose ledger history.
         analyst: String,
+        /// The analyst's session token (v4) — required once one was
+        /// issued, like [`ClientMessage::Submit`]'s.
+        token: Option<u64>,
+    },
+    /// Replica peer frame (v4): a follower subscribes to the replicated
+    /// log starting at `from_index`, announcing the epoch it last saw.
+    /// The leader replies with a stream of [`ServerMessage::Replicate`]
+    /// frames (or [`WireError::NotLeader`] if it is not sequencing).
+    LogCatchup {
+        /// Correlation id.
+        id: u64,
+        /// Highest epoch the follower has seen — a leader below it must
+        /// step down (fencing).
+        epoch: u64,
+        /// First log index the follower is missing.
+        from_index: u64,
+    },
+    /// Replica peer frame (v4): the follower has made every entry up to
+    /// `index` durable in its own WAL. Acks are cumulative — entries
+    /// arrive in order, so one ack covers the whole prefix.
+    ReplicateAck {
+        /// Correlation id (0: unsolicited stream traffic).
+        id: u64,
+        /// The follower's current epoch (fencing: an ack above the
+        /// leader's epoch deposes it).
+        epoch: u64,
+        /// Durable log high-water mark on the follower.
+        index: u64,
     },
     /// Orderly close: the server finishes in-flight work, replies
     /// [`ServerMessage::Farewell`], and closes.
@@ -509,6 +656,12 @@ pub enum ServerMessage {
         id: u64,
         /// Remaining ε as bits (total minus durable spent).
         remaining_bits: u64,
+        /// Server-issued session token (v4): later
+        /// [`ClientMessage::Submit`] / [`ClientMessage::BudgetAudit`]
+        /// frames for this analyst must present it. Stable across
+        /// reattaches of the same analyst within one server process;
+        /// `0` on pre-v4 connections (no token issued).
+        token: u64,
     },
     /// A query's answer.
     Answer {
@@ -572,6 +725,22 @@ pub enum ServerMessage {
         /// correlates to a traced submission), echoed like
         /// [`ServerMessage::Answer`] does.
         trace_id: Option<u64>,
+    },
+    /// Replica peer frame (v4): the leader streams log entries in index
+    /// order, piggybacking its current commit index — the quorum-durable
+    /// prefix followers may execute. A frame may carry zero entries
+    /// (a pure commit-index bump).
+    Replicate {
+        /// Correlation id (0: unsolicited stream traffic).
+        id: u64,
+        /// The leader's sequencing epoch (fencing: followers refuse
+        /// entries from a lower epoch than they have seen).
+        epoch: u64,
+        /// Highest log index durable on a quorum — followers execute
+        /// entries up to `min(commit_index, locally durable)`.
+        commit_index: u64,
+        /// New entries, in index order.
+        entries: Vec<WireLogEntry>,
     },
     /// Goodbye acknowledged; the server closes after this frame.
     Farewell {
@@ -786,6 +955,8 @@ const TAG_GOODBYE: u8 = 6;
 const TAG_STATS: u8 = 7;
 const TAG_TRACES: u8 = 8;
 const TAG_BUDGET_AUDIT: u8 = 9;
+const TAG_LOG_CATCHUP: u8 = 10;
+const TAG_REPLICATE_ACK: u8 = 11;
 
 const TAG_WELCOME: u8 = 65;
 const TAG_SESSION_ATTACHED: u8 = 66;
@@ -797,6 +968,7 @@ const TAG_FAREWELL: u8 = 71;
 const TAG_STATS_REPORT: u8 = 72;
 const TAG_TRACE_REPORT: u8 = 73;
 const TAG_AUDIT_REPORT: u8 = 74;
+const TAG_REPLICATE: u8 = 75;
 
 const METRIC_COUNTER: u8 = 1;
 const METRIC_GAUGE: u8 = 2;
@@ -834,6 +1006,11 @@ const ERR_PROTOCOL: u8 = 12;
 const ERR_OTHER: u8 = 13;
 const ERR_OVERLOADED: u8 = 14;
 const ERR_DEADLINE_EXCEEDED: u8 = 15;
+const ERR_NOT_LEADER: u8 = 16;
+const ERR_STALE_REPLICA: u8 = 17;
+
+const LOG_OP_OPEN_SESSION: u8 = 1;
+const LOG_OP_SUBMIT: u8 = 2;
 
 const OPT_NONE: u8 = 0;
 const OPT_SOME: u8 = 1;
@@ -1216,6 +1393,14 @@ fn encode_error(out: &mut Vec<u8>, e: &WireError) {
             out.push(ERR_DEADLINE_EXCEEDED);
             put_str(out, analyst);
         }
+        WireError::NotLeader { leader } => {
+            out.push(ERR_NOT_LEADER);
+            put_str(out, leader);
+        }
+        WireError::StaleReplica { lag_entries } => {
+            out.push(ERR_STALE_REPLICA);
+            put_u64(out, *lag_entries);
+        }
     }
 }
 
@@ -1250,7 +1435,54 @@ fn decode_error(r: &mut Reader<'_>) -> Option<WireError> {
             limit: r.u64()?,
         },
         ERR_DEADLINE_EXCEEDED => WireError::DeadlineExceeded { analyst: r.str()? },
+        ERR_NOT_LEADER => WireError::NotLeader { leader: r.str()? },
+        ERR_STALE_REPLICA => WireError::StaleReplica {
+            lag_entries: r.u64()?,
+        },
         _ => return None,
+    })
+}
+
+fn encode_log_op(out: &mut Vec<u8>, op: &WireLogOp) {
+    match op {
+        WireLogOp::OpenSession { total_bits } => {
+            out.push(LOG_OP_OPEN_SESSION);
+            put_u64(out, *total_bits);
+        }
+        WireLogOp::Submit { request } => {
+            out.push(LOG_OP_SUBMIT);
+            encode_request(out, request);
+        }
+    }
+}
+
+fn decode_log_op(r: &mut Reader<'_>) -> Option<WireLogOp> {
+    Some(match r.u8()? {
+        LOG_OP_OPEN_SESSION => WireLogOp::OpenSession {
+            total_bits: r.u64()?,
+        },
+        LOG_OP_SUBMIT => WireLogOp::Submit {
+            request: decode_request(r)?,
+        },
+        _ => return None,
+    })
+}
+
+fn encode_log_entry(out: &mut Vec<u8>, e: &WireLogEntry) {
+    put_u64(out, e.epoch);
+    put_u64(out, e.index);
+    put_str(out, &e.analyst);
+    put_u64(out, e.request_id);
+    encode_log_op(out, &e.op);
+}
+
+fn decode_log_entry(r: &mut Reader<'_>) -> Option<WireLogEntry> {
+    Some(WireLogEntry {
+        epoch: r.u64()?,
+        index: r.u64()?,
+        analyst: r.str()?,
+        request_id: r.u64()?,
+        op: decode_log_op(r)?,
     })
 }
 
@@ -1266,12 +1498,21 @@ impl ClientMessage {
             | ClientMessage::Stats { id }
             | ClientMessage::Traces { id }
             | ClientMessage::BudgetAudit { id, .. }
+            | ClientMessage::LogCatchup { id, .. }
+            | ClientMessage::ReplicateAck { id, .. }
             | ClientMessage::Goodbye { id } => *id,
         }
     }
 
-    /// The payload bytes (no frame).
+    /// The payload bytes (no frame), at [`PROTOCOL_VERSION`].
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_for(PROTOCOL_VERSION)
+    }
+
+    /// The payload bytes at a negotiated `version`: fields the older
+    /// version never defined are simply omitted, so a downgraded
+    /// connection stays byte-compatible with a genuine old peer.
+    pub fn encode_for(&self, version: u16) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
         match self {
             ClientMessage::Hello { id, version } => {
@@ -1296,6 +1537,7 @@ impl ClientMessage {
                 request_id,
                 deadline_micros,
                 trace_id,
+                token,
             } => {
                 out.push(TAG_SUBMIT);
                 put_u64(&mut out, *id);
@@ -1303,7 +1545,12 @@ impl ClientMessage {
                 encode_request(&mut out, request);
                 put_opt_u64(&mut out, *request_id);
                 put_opt_u64(&mut out, *deadline_micros);
-                put_opt_u64(&mut out, *trace_id);
+                if version >= 3 {
+                    put_opt_u64(&mut out, *trace_id);
+                }
+                if version >= 4 {
+                    put_opt_u64(&mut out, *token);
+                }
             }
             ClientMessage::SubmitBatch {
                 id,
@@ -1331,10 +1578,29 @@ impl ClientMessage {
                 out.push(TAG_TRACES);
                 put_u64(&mut out, *id);
             }
-            ClientMessage::BudgetAudit { id, analyst } => {
+            ClientMessage::BudgetAudit { id, analyst, token } => {
                 out.push(TAG_BUDGET_AUDIT);
                 put_u64(&mut out, *id);
                 put_str(&mut out, analyst);
+                if version >= 4 {
+                    put_opt_u64(&mut out, *token);
+                }
+            }
+            ClientMessage::LogCatchup {
+                id,
+                epoch,
+                from_index,
+            } => {
+                out.push(TAG_LOG_CATCHUP);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *from_index);
+            }
+            ClientMessage::ReplicateAck { id, epoch, index } => {
+                out.push(TAG_REPLICATE_ACK);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *index);
             }
             ClientMessage::Goodbye { id } => {
                 out.push(TAG_GOODBYE);
@@ -1349,6 +1615,13 @@ impl ClientMessage {
     /// close — a framing layer that let damage through cannot be
     /// trusted).
     pub fn decode(payload: &[u8]) -> Option<ClientMessage> {
+        Self::decode_for(payload, PROTOCOL_VERSION)
+    }
+
+    /// Decodes at a negotiated `version`: fields the older version
+    /// never defined decode as absent, and frames the version did not
+    /// define at all are malformed.
+    pub fn decode_for(payload: &[u8], version: u16) -> Option<ClientMessage> {
         let mut r = Reader::new(payload);
         let msg = match r.u8()? {
             TAG_HELLO => ClientMessage::Hello {
@@ -1366,7 +1639,16 @@ impl ClientMessage {
                 request: decode_request(&mut r)?,
                 request_id: read_opt_u64(&mut r)?,
                 deadline_micros: read_opt_u64(&mut r)?,
-                trace_id: read_opt_u64(&mut r)?,
+                trace_id: if version >= 3 {
+                    read_opt_u64(&mut r)?
+                } else {
+                    None
+                },
+                token: if version >= 4 {
+                    read_opt_u64(&mut r)?
+                } else {
+                    None
+                },
             },
             TAG_SUBMIT_BATCH => {
                 let id = r.u64()?;
@@ -1394,6 +1676,21 @@ impl ClientMessage {
             TAG_BUDGET_AUDIT => ClientMessage::BudgetAudit {
                 id: r.u64()?,
                 analyst: r.str()?,
+                token: if version >= 4 {
+                    read_opt_u64(&mut r)?
+                } else {
+                    None
+                },
+            },
+            TAG_LOG_CATCHUP if version >= 4 => ClientMessage::LogCatchup {
+                id: r.u64()?,
+                epoch: r.u64()?,
+                from_index: r.u64()?,
+            },
+            TAG_REPLICATE_ACK if version >= 4 => ClientMessage::ReplicateAck {
+                id: r.u64()?,
+                epoch: r.u64()?,
+                index: r.u64()?,
             },
             TAG_GOODBYE => ClientMessage::Goodbye { id: r.u64()? },
             _ => return None,
@@ -1415,12 +1712,19 @@ impl ServerMessage {
             | ServerMessage::TraceReport { id, .. }
             | ServerMessage::AuditReport { id, .. }
             | ServerMessage::Refused { id, .. }
+            | ServerMessage::Replicate { id, .. }
             | ServerMessage::Farewell { id } => *id,
         }
     }
 
-    /// The payload bytes (no frame).
+    /// The payload bytes (no frame), at [`PROTOCOL_VERSION`].
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_for(PROTOCOL_VERSION)
+    }
+
+    /// The payload bytes at a negotiated `version` (see
+    /// [`ClientMessage::encode_for`]).
+    pub fn encode_for(&self, version: u16) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
         match self {
             ServerMessage::Welcome { id, version } => {
@@ -1428,10 +1732,17 @@ impl ServerMessage {
                 put_u64(&mut out, *id);
                 put_u16(&mut out, *version);
             }
-            ServerMessage::SessionAttached { id, remaining_bits } => {
+            ServerMessage::SessionAttached {
+                id,
+                remaining_bits,
+                token,
+            } => {
                 out.push(TAG_SESSION_ATTACHED);
                 put_u64(&mut out, *id);
                 put_u64(&mut out, *remaining_bits);
+                if version >= 4 {
+                    put_u64(&mut out, *token);
+                }
             }
             ServerMessage::Answer {
                 id,
@@ -1441,7 +1752,9 @@ impl ServerMessage {
                 out.push(TAG_ANSWER);
                 put_u64(&mut out, *id);
                 encode_response(&mut out, response);
-                put_opt_u64(&mut out, *trace_id);
+                if version >= 3 {
+                    put_opt_u64(&mut out, *trace_id);
+                }
             }
             ServerMessage::BatchAnswer { id, slots } => {
                 out.push(TAG_BATCH_ANSWER);
@@ -1506,7 +1819,24 @@ impl ServerMessage {
                 out.push(TAG_REFUSED);
                 put_u64(&mut out, *id);
                 encode_error(&mut out, error);
-                put_opt_u64(&mut out, *trace_id);
+                if version >= 3 {
+                    put_opt_u64(&mut out, *trace_id);
+                }
+            }
+            ServerMessage::Replicate {
+                id,
+                epoch,
+                commit_index,
+                entries,
+            } => {
+                out.push(TAG_REPLICATE);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *commit_index);
+                put_u64(&mut out, entries.len() as u64);
+                for e in entries {
+                    encode_log_entry(&mut out, e);
+                }
             }
             ServerMessage::Farewell { id } => {
                 out.push(TAG_FAREWELL);
@@ -1519,6 +1849,12 @@ impl ServerMessage {
     /// Decodes a payload produced by [`ServerMessage::encode`]; `None`
     /// for anything malformed.
     pub fn decode(payload: &[u8]) -> Option<ServerMessage> {
+        Self::decode_for(payload, PROTOCOL_VERSION)
+    }
+
+    /// Decodes at a negotiated `version` (see
+    /// [`ClientMessage::decode_for`]).
+    pub fn decode_for(payload: &[u8], version: u16) -> Option<ServerMessage> {
         let mut r = Reader::new(payload);
         let msg = match r.u8()? {
             TAG_WELCOME => ServerMessage::Welcome {
@@ -1528,11 +1864,16 @@ impl ServerMessage {
             TAG_SESSION_ATTACHED => ServerMessage::SessionAttached {
                 id: r.u64()?,
                 remaining_bits: r.u64()?,
+                token: if version >= 4 { r.u64()? } else { 0 },
             },
             TAG_ANSWER => ServerMessage::Answer {
                 id: r.u64()?,
                 response: decode_response(&mut r)?,
-                trace_id: read_opt_u64(&mut r)?,
+                trace_id: if version >= 3 {
+                    read_opt_u64(&mut r)?
+                } else {
+                    None
+                },
             },
             TAG_BATCH_ANSWER => {
                 let id = r.u64()?;
@@ -1596,8 +1937,31 @@ impl ServerMessage {
             TAG_REFUSED => ServerMessage::Refused {
                 id: r.u64()?,
                 error: decode_error(&mut r)?,
-                trace_id: read_opt_u64(&mut r)?,
+                trace_id: if version >= 3 {
+                    read_opt_u64(&mut r)?
+                } else {
+                    None
+                },
             },
+            TAG_REPLICATE if version >= 4 => {
+                let id = r.u64()?;
+                let epoch = r.u64()?;
+                let commit_index = r.u64()?;
+                let n = r.u64()?;
+                if n > bf_store::MAX_RECORD_LEN as u64 {
+                    return None;
+                }
+                let mut entries = Vec::with_capacity(bounded_capacity(n));
+                for _ in 0..n {
+                    entries.push(decode_log_entry(&mut r)?);
+                }
+                ServerMessage::Replicate {
+                    id,
+                    epoch,
+                    commit_index,
+                    entries,
+                }
+            }
             TAG_FAREWELL => ServerMessage::Farewell { id: r.u64()? },
             _ => return None,
         };
@@ -1683,7 +2047,7 @@ mod tests {
     }
 
     fn arb_error(rng: &mut StdRng) -> WireError {
-        match rng.random_range(0..15u32) {
+        match rng.random_range(0..17u32) {
             0 => WireError::QueueFull {
                 analyst: arb_string(rng),
                 capacity: rng.random(),
@@ -1716,7 +2080,31 @@ mod tests {
             13 => WireError::DeadlineExceeded {
                 analyst: arb_string(rng),
             },
+            14 => WireError::NotLeader {
+                leader: arb_string(rng),
+            },
+            15 => WireError::StaleReplica {
+                lag_entries: rng.random(),
+            },
             _ => WireError::Other(arb_string(rng)),
+        }
+    }
+
+    fn arb_log_entry(rng: &mut StdRng) -> WireLogEntry {
+        WireLogEntry {
+            epoch: rng.random(),
+            index: rng.random(),
+            analyst: arb_string(rng),
+            request_id: rng.random(),
+            op: if rng.random() {
+                WireLogOp::OpenSession {
+                    total_bits: rng.random(),
+                }
+            } else {
+                WireLogOp::Submit {
+                    request: arb_request(rng),
+                }
+            },
         }
     }
 
@@ -1772,7 +2160,7 @@ mod tests {
 
     fn arb_client_message(rng: &mut StdRng) -> ClientMessage {
         let id = rng.random();
-        match rng.random_range(0..9u32) {
+        match rng.random_range(0..11u32) {
             0 => ClientMessage::Hello {
                 id,
                 version: rng.random::<u32>() as u16,
@@ -1789,6 +2177,7 @@ mod tests {
                 request_id: arb_opt_u64(rng),
                 deadline_micros: arb_opt_u64(rng),
                 trace_id: arb_opt_u64(rng),
+                token: arb_opt_u64(rng),
             },
             3 => ClientMessage::SubmitBatch {
                 id,
@@ -1806,6 +2195,17 @@ mod tests {
             7 => ClientMessage::BudgetAudit {
                 id,
                 analyst: arb_string(rng),
+                token: arb_opt_u64(rng),
+            },
+            8 => ClientMessage::LogCatchup {
+                id,
+                epoch: rng.random(),
+                from_index: rng.random(),
+            },
+            9 => ClientMessage::ReplicateAck {
+                id,
+                epoch: rng.random(),
+                index: rng.random(),
             },
             _ => ClientMessage::Goodbye { id },
         }
@@ -1813,7 +2213,7 @@ mod tests {
 
     fn arb_server_message(rng: &mut StdRng) -> ServerMessage {
         let id = rng.random();
-        match rng.random_range(0..10u32) {
+        match rng.random_range(0..11u32) {
             0 => ServerMessage::Welcome {
                 id,
                 version: rng.random::<u32>() as u16,
@@ -1821,6 +2221,7 @@ mod tests {
             1 => ServerMessage::SessionAttached {
                 id,
                 remaining_bits: rng.random(),
+                token: rng.random(),
             },
             2 => ServerMessage::Answer {
                 id,
@@ -1869,8 +2270,55 @@ mod tests {
                     .map(|_| arb_ledger_entry(rng))
                     .collect(),
             },
+            9 => ServerMessage::Replicate {
+                id,
+                epoch: rng.random(),
+                commit_index: rng.random(),
+                entries: (0..rng.random_range(0..4usize))
+                    .map(|_| arb_log_entry(rng))
+                    .collect(),
+            },
             _ => ServerMessage::Farewell { id },
         }
+    }
+
+    /// What a message looks like after crossing a connection negotiated
+    /// down to `version`: fields the version never defined are lost.
+    fn downgrade_client(msg: &ClientMessage, version: u16) -> ClientMessage {
+        let mut m = msg.clone();
+        match &mut m {
+            ClientMessage::Submit {
+                trace_id, token, ..
+            } => {
+                if version < 3 {
+                    *trace_id = None;
+                }
+                if version < 4 {
+                    *token = None;
+                }
+            }
+            ClientMessage::BudgetAudit { token, .. } if version < 4 => {
+                *token = None;
+            }
+            _ => {}
+        }
+        m
+    }
+
+    fn downgrade_server(msg: &ServerMessage, version: u16) -> ServerMessage {
+        let mut m = msg.clone();
+        match &mut m {
+            ServerMessage::SessionAttached { token, .. } if version < 4 => {
+                *token = 0;
+            }
+            ServerMessage::Answer { trace_id, .. } | ServerMessage::Refused { trace_id, .. }
+                if version < 3 =>
+            {
+                *trace_id = None;
+            }
+            _ => {}
+        }
+        m
     }
 
     proptest! {
@@ -1888,6 +2336,48 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let msg = arb_server_message(&mut rng);
             prop_assert_eq!(ServerMessage::decode(&msg.encode()), Some(msg));
+        }
+
+        /// The negotiation path: at every supported version, a message
+        /// round-trips to its *downgraded* self — optional fields the
+        /// version never defined are dropped, never garbled — and
+        /// frames the version did not define at all refuse to decode.
+        #[test]
+        fn versioned_round_trips_downgrade_optional_fields(seed in 0u64..512) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cm = arb_client_message(&mut rng);
+            let sm = arb_server_message(&mut rng);
+            for v in MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION {
+                let peer_only = matches!(
+                    cm,
+                    ClientMessage::LogCatchup { .. } | ClientMessage::ReplicateAck { .. }
+                );
+                if v < 4 && peer_only {
+                    prop_assert_eq!(ClientMessage::decode_for(&cm.encode_for(v), v), None);
+                } else {
+                    prop_assert_eq!(
+                        ClientMessage::decode_for(&cm.encode_for(v), v),
+                        Some(downgrade_client(&cm, v))
+                    );
+                }
+                if v < 4 && matches!(sm, ServerMessage::Replicate { .. }) {
+                    prop_assert_eq!(ServerMessage::decode_for(&sm.encode_for(v), v), None);
+                } else {
+                    prop_assert_eq!(
+                        ServerMessage::decode_for(&sm.encode_for(v), v),
+                        Some(downgrade_server(&sm, v))
+                    );
+                }
+            }
+        }
+
+        /// Log operations round-trip standalone — the encoding a
+        /// `Record::Replicated` WAL frame carries must survive recovery.
+        #[test]
+        fn log_ops_round_trip(seed in 0u64..256) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let entry = arb_log_entry(&mut rng);
+            prop_assert_eq!(WireLogOp::decode(&entry.op.encode()), Some(entry.op));
         }
 
         /// Metric samples survive obs-snapshot → wire → obs-snapshot
@@ -1934,10 +2424,14 @@ mod tests {
     fn single_byte_flips_never_misparse() {
         let mut rng = StdRng::seed_from_u64(0xF1F1);
         for case in 0..32 {
+            // Cycle through every negotiated version so the downgraded
+            // encodings get the same corruption coverage as the native
+            // one.
+            let version = MIN_PROTOCOL_VERSION + (case as u16 / 2) % 3;
             let payload = if case % 2 == 0 {
-                arb_client_message(&mut rng).encode()
+                arb_client_message(&mut rng).encode_for(version)
             } else {
-                arb_server_message(&mut rng).encode()
+                arb_server_message(&mut rng).encode_for(version)
             };
             let framed = frame_bytes(&payload);
             for pos in 0..framed.len() {
@@ -1983,6 +2477,7 @@ mod tests {
             request_id: Some(42),
             deadline_micros: None,
             trace_id: Some(0xDEADBEEF),
+            token: Some(0x70_6B),
         };
         let framed = frame_bytes(&msg.encode());
         for cut in 0..framed.len() {

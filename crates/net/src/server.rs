@@ -1,17 +1,77 @@
 //! The TCP front-end: accept, decode, bridge into `bf-server` tickets.
 
 use crate::proto::{
-    ClientMessage, ServerMessage, WireError, WireMetric, WireResponse, PROTOCOL_VERSION,
+    ClientMessage, ServerMessage, WireError, WireMetric, WireResponse, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use bf_obs::{Counter, Histogram, Registry, Stage, TraceContext, TraceId, TraceTimer};
 use bf_server::{DriverHandle, Server, ServerError, ServerStats, Ticket};
-use bf_store::{frame_bytes, read_frame, FrameRead};
-use std::collections::HashSet;
+use bf_store::{fnv1a, frame_bytes, read_frame, FrameRead};
+use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// The replication layer's interposition points. One trait (held behind
+/// a stable `Arc` in [`ServerRole::Replica`]) so a replica can change
+/// behaviour — follower refusing writes, then promoting to leader and
+/// sequencing them — without the net layer re-wiring anything: the hook
+/// decides per call.
+pub trait ReplicaHook: Send + Sync {
+    /// Sequences a write into the replicated log, returning a ticket
+    /// that resolves once the entry is quorum-durable **and** executed
+    /// locally. A follower refuses with [`WireError::NotLeader`].
+    ///
+    /// Client deadlines are ignored under replication: a deadline is
+    /// wall-clock dependent, and a charge that one replica drops on
+    /// timeout while another executes it would fork the ledgers.
+    fn sequence_submit(
+        &self,
+        analyst: &str,
+        request_id: Option<u64>,
+        request: bf_engine::Request,
+    ) -> Result<Ticket, WireError>;
+
+    /// Sequences a session open/reattach. Session totals go through the
+    /// log too — every replica must agree on each analyst's budget, so
+    /// an open is an ordered log entry like any charge. Blocks until
+    /// the entry is quorum-durable and applied locally, returning the
+    /// remaining ε; rare enough (once per analyst per connection) that
+    /// blocking an acceptor is acceptable.
+    fn sequence_open(&self, analyst: &str, total_bits: u64) -> Result<f64, WireError>;
+
+    /// `Some(error)` when local reads must be refused right now —
+    /// typically [`WireError::StaleReplica`] while this replica lags
+    /// the commit index past its configured staleness bound. `None`
+    /// serves `Budget` / `Stats` / `Traces` / `BudgetAudit` from the
+    /// local engine, which is how followers scale reads out.
+    fn refuse_read(&self) -> Option<WireError>;
+}
+
+/// How this process's client port routes work.
+#[derive(Clone, Default)]
+pub enum ServerRole {
+    /// Single-node serving: submissions feed the in-process scheduler
+    /// directly. The default.
+    #[default]
+    Standalone,
+    /// Member of a replicated cluster: writes are sequenced through the
+    /// hook (refused with [`WireError::NotLeader`] on a follower),
+    /// reads are gated on replication lag via
+    /// [`ReplicaHook::refuse_read`].
+    Replica(Arc<dyn ReplicaHook>),
+}
+
+impl std::fmt::Debug for ServerRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerRole::Standalone => f.write_str("Standalone"),
+            ServerRole::Replica(_) => f.write_str("Replica(..)"),
+        }
+    }
+}
 
 /// Tuning knobs for the TCP front-end.
 #[derive(Debug, Clone)]
@@ -40,6 +100,10 @@ pub struct NetConfig {
     /// `faults_injected{layer="net"}`. `None` (the default) injects
     /// nothing.
     pub fault_plan: Option<Arc<bf_chaos::NetPlan>>,
+    /// Routing for writes and reads: [`ServerRole::Standalone`] (the
+    /// default) feeds the scheduler directly; [`ServerRole::Replica`]
+    /// interposes the replication layer's [`ReplicaHook`].
+    pub role: ServerRole,
 }
 
 impl Default for NetConfig {
@@ -50,6 +114,7 @@ impl Default for NetConfig {
             tick_interval: Duration::from_micros(500),
             poll_interval: Duration::from_micros(200),
             fault_plan: None,
+            role: ServerRole::Standalone,
         }
     }
 }
@@ -146,6 +211,11 @@ pub struct NetServer {
     counters: Arc<NetCounters>,
     acceptors: Vec<std::thread::JoinHandle<()>>,
     driver: Option<DriverHandle>,
+    /// Session tokens issued by this process: analyst → token. Shared
+    /// across connections so a token survives reconnects (stable for
+    /// the process lifetime), per-process so a failover's new leader
+    /// issues fresh ones on reattach.
+    tokens: Arc<Mutex<HashMap<String, u64>>>,
 }
 
 impl std::fmt::Debug for NetServer {
@@ -175,6 +245,15 @@ impl NetServer {
         let addr = listener.local_addr()?;
         let closing = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(NetCounters::new(Arc::clone(server.engine().obs())));
+        // Token seed: wall clock ⊕ pid. Tokens are an authentication
+        // side channel — they never feed answers, noise or ordering, so
+        // nondeterminism here cannot fork replicated ledgers.
+        let token_seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x626c_6f77_6669_7368)
+            ^ u64::from(std::process::id());
+        let tokens: Arc<Mutex<HashMap<String, u64>>> = Arc::new(Mutex::new(HashMap::new()));
         let driver = server.start_driver(config.tick_interval);
         let acceptors = (0..config.acceptors.max(1))
             .map(|i| {
@@ -182,6 +261,7 @@ impl NetServer {
                 let server = Arc::clone(&server);
                 let closing = Arc::clone(&closing);
                 let counters = Arc::clone(&counters);
+                let tokens = Arc::clone(&tokens);
                 let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("bf-net-acceptor-{i}"))
@@ -192,8 +272,11 @@ impl NetServer {
                         match listener.accept() {
                             Ok((stream, _)) => {
                                 counters.connections.inc();
-                                Connection::new(stream, &server, &config, &closing, &counters)
-                                    .run();
+                                Connection::new(
+                                    stream, &server, &config, &closing, &counters, &tokens,
+                                    token_seed,
+                                )
+                                .run();
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                 std::thread::sleep(config.poll_interval);
@@ -211,6 +294,7 @@ impl NetServer {
             counters,
             acceptors,
             driver: Some(driver),
+            tokens,
         })
     }
 
@@ -222,6 +306,17 @@ impl NetServer {
     /// The inner scheduler the connections feed.
     pub fn server(&self) -> &Arc<Server> {
         &self.server
+    }
+
+    /// The session token this process issued for `analyst`, if any —
+    /// issued on the first wire `OpenSession` and stable until the
+    /// process exits.
+    pub fn session_token(&self, analyst: &str) -> Option<u64> {
+        self.tokens
+            .lock()
+            .expect("token book poisoned")
+            .get(analyst)
+            .copied()
     }
 
     /// Network-layer counters — a thin shim over the shared `bf-obs`
@@ -300,12 +395,21 @@ struct Connection<'a> {
     counters: &'a NetCounters,
     buf: Vec<u8>,
     hello_done: bool,
+    /// The protocol version negotiated at `Hello`: the minimum of the
+    /// client's and ours, at least [`MIN_PROTOCOL_VERSION`]. Every
+    /// frame on this connection encodes and decodes at this version, so
+    /// a v2/v3 client sees exactly the wire format it shipped with.
+    negotiated: u16,
     goodbye: Option<u64>,
     /// Analysts whose sessions this connection attached via
     /// `OpenSession`. `BudgetAudit` — per-record labels and exact ε
     /// charges, a materially larger disclosure than the aggregate
     /// `Budget` snapshot — is served only for analysts in this set.
     attached: HashSet<String>,
+    /// The server-wide session-token book (see [`NetServer::tokens`]).
+    tokens: &'a Mutex<HashMap<String, u64>>,
+    /// Seed for deriving fresh tokens (process-stable).
+    token_seed: u64,
     singles: Vec<Outstanding>,
     batches: Vec<OutstandingBatch>,
 }
@@ -317,6 +421,8 @@ impl<'a> Connection<'a> {
         config: &'a NetConfig,
         closing: &'a AtomicBool,
         counters: &'a NetCounters,
+        tokens: &'a Mutex<HashMap<String, u64>>,
+        token_seed: u64,
     ) -> Self {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(config.poll_interval));
@@ -333,8 +439,11 @@ impl<'a> Connection<'a> {
             counters,
             buf: Vec::new(),
             hello_done: false,
+            negotiated: PROTOCOL_VERSION,
             goodbye: None,
             attached: HashSet::new(),
+            tokens,
+            token_seed,
             singles: Vec::new(),
             batches: Vec::new(),
         }
@@ -429,7 +538,7 @@ impl<'a> Connection<'a> {
                     FrameRead::Complete { payload, consumed } => {
                         self.counters.frames_in.inc();
                         let mut span = self.counters.obs.span();
-                        let msg = ClientMessage::decode(payload);
+                        let msg = ClientMessage::decode_for(payload, self.negotiated);
                         self.counters.obs.span_mark(&mut span, Stage::Decode);
                         let decode_elapsed = span.elapsed().unwrap_or_default();
                         self.buf.drain(..consumed);
@@ -502,20 +611,26 @@ impl<'a> Connection<'a> {
                     });
                     return false;
                 }
-                if version != PROTOCOL_VERSION {
+                if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                     let _ = self.write_message(&ServerMessage::Refused {
                         id,
                         error: WireError::Protocol(format!(
-                            "version mismatch: server speaks {PROTOCOL_VERSION}, client {version}"
+                            "version mismatch: server speaks \
+                             {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}, client {version}"
                         )),
                         trace_id: None,
                     });
                     return false;
                 }
+                // Negotiate down to the client's version: every later
+                // frame on this connection speaks it, so optional v3/v4
+                // fields (trace ids, session tokens) are simply absent
+                // rather than misparsed.
+                self.negotiated = version.min(PROTOCOL_VERSION);
                 self.hello_done = true;
                 self.write_message(&ServerMessage::Welcome {
                     id,
-                    version: PROTOCOL_VERSION,
+                    version: self.negotiated,
                 })
                 .is_ok()
             }
@@ -530,20 +645,35 @@ impl<'a> Connection<'a> {
                         error: WireError::InvalidRequest(e.to_string()),
                         trace_id: None,
                     },
-                    Ok(total) => match self.server.engine().attach_session(&analyst, total) {
-                        Ok(remaining) => {
-                            self.attached.insert(analyst.clone());
-                            ServerMessage::SessionAttached {
-                                id,
-                                remaining_bits: remaining.to_bits(),
+                    Ok(total) => {
+                        // Under replication the open itself is a log
+                        // entry — every replica must agree on the
+                        // analyst's total before any charge sequences
+                        // after it.
+                        let attached = match &self.config.role {
+                            ServerRole::Standalone => self
+                                .server
+                                .engine()
+                                .attach_session(&analyst, total)
+                                .map_err(|e| WireError::from_engine_error(&e)),
+                            ServerRole::Replica(hook) => hook.sequence_open(&analyst, total_bits),
+                        };
+                        match attached {
+                            Ok(remaining) => {
+                                self.attached.insert(analyst.clone());
+                                ServerMessage::SessionAttached {
+                                    id,
+                                    remaining_bits: remaining.to_bits(),
+                                    token: self.issue_token(&analyst),
+                                }
                             }
+                            Err(error) => ServerMessage::Refused {
+                                id,
+                                error,
+                                trace_id: None,
+                            },
                         }
-                        Err(e) => ServerMessage::Refused {
-                            id,
-                            error: WireError::from_engine_error(&e),
-                            trace_id: None,
-                        },
-                    },
+                    }
                 };
                 self.write_message(&reply).is_ok()
             }
@@ -554,7 +684,17 @@ impl<'a> Connection<'a> {
                 request_id,
                 deadline_micros,
                 trace_id,
+                token,
             } => {
+                if let Some(error) = self.token_refusal(&analyst, token) {
+                    return self
+                        .write_message(&ServerMessage::Refused {
+                            id,
+                            error,
+                            trace_id,
+                        })
+                        .is_ok();
+                }
                 if let Some(refusal) = self.window_refusal(1) {
                     return self
                         .write_message(&ServerMessage::Refused {
@@ -632,6 +772,15 @@ impl<'a> Connection<'a> {
                 true
             }
             ClientMessage::Budget { id, analyst } => {
+                if let Some(error) = self.read_refusal() {
+                    return self
+                        .write_message(&ServerMessage::Refused {
+                            id,
+                            error,
+                            trace_id: None,
+                        })
+                        .is_ok();
+                }
                 let reply = match self.server.engine().session_snapshot(&analyst) {
                     Ok(snap) => ServerMessage::BudgetReport {
                         id,
@@ -649,6 +798,15 @@ impl<'a> Connection<'a> {
                 self.write_message(&reply).is_ok()
             }
             ClientMessage::Stats { id } => {
+                if let Some(error) = self.read_refusal() {
+                    return self
+                        .write_message(&ServerMessage::Refused {
+                            id,
+                            error,
+                            trace_id: None,
+                        })
+                        .is_ok();
+                }
                 // One merged snapshot covering every layer: engine,
                 // store, server and net metrics all live on the two
                 // registries `Engine::metrics_snapshot` folds together.
@@ -663,16 +821,36 @@ impl<'a> Connection<'a> {
                     .is_ok()
             }
             ClientMessage::Traces { id } => {
+                if let Some(error) = self.read_refusal() {
+                    return self
+                        .write_message(&ServerMessage::Refused {
+                            id,
+                            error,
+                            trace_id: None,
+                        })
+                        .is_ok();
+                }
                 let traces = self.counters.obs.trace_buffer().snapshot();
                 self.write_message(&ServerMessage::TraceReport { id, traces })
                     .is_ok()
             }
-            ClientMessage::BudgetAudit { id, analyst } => {
+            ClientMessage::BudgetAudit { id, analyst, token } => {
+                if let Some(error) = self.read_refusal() {
+                    return self
+                        .write_message(&ServerMessage::Refused {
+                            id,
+                            error,
+                            trace_id: None,
+                        })
+                        .is_ok();
+                }
                 // Per-record provenance (exact labels and ε per query)
                 // is only served to a connection that attached the
                 // analyst's session — reattaching requires the
                 // session's original ε total, so a stranger on the
-                // same port cannot walk another analyst's history.
+                // same port cannot walk another analyst's history —
+                // and, on a v4 connection, presented the session token
+                // the attach handed back.
                 let reply = if !self.attached.contains(&analyst) {
                     ServerMessage::Refused {
                         id,
@@ -680,6 +858,12 @@ impl<'a> Connection<'a> {
                             "audit for {analyst:?} requires a session \
                              attached on this connection"
                         )),
+                        trace_id: None,
+                    }
+                } else if let Some(error) = self.token_refusal(&analyst, token) {
+                    ServerMessage::Refused {
+                        id,
+                        error,
                         trace_id: None,
                     }
                 } else {
@@ -694,10 +878,71 @@ impl<'a> Connection<'a> {
                 };
                 self.write_message(&reply).is_ok()
             }
+            ClientMessage::LogCatchup { id, .. } | ClientMessage::ReplicateAck { id, .. } => {
+                // Replication frames travel replica-to-replica on the
+                // peer port; a client sending one here is confused or
+                // probing.
+                self.counters.protocol_errors.inc();
+                self.write_message(&ServerMessage::Refused {
+                    id,
+                    error: WireError::Protocol(
+                        "replication frames are peer-to-peer, not served on the client port".into(),
+                    ),
+                    trace_id: None,
+                })
+                .is_ok()
+            }
             ClientMessage::Goodbye { id } => {
                 self.goodbye = Some(id);
                 true
             }
+        }
+    }
+
+    /// Gets-or-derives the session token for `analyst`. Tokens are
+    /// process-stable: a reconnecting client reattaching the same
+    /// session gets the same token back.
+    fn issue_token(&self, analyst: &str) -> u64 {
+        let mut book = self.tokens.lock().expect("token book poisoned");
+        *book.entry(analyst.to_owned()).or_insert_with(|| {
+            let mut bytes = self.token_seed.to_le_bytes().to_vec();
+            bytes.extend_from_slice(analyst.as_bytes());
+            // Zero means "no token" on the wire, so never issue it.
+            fnv1a(&bytes).max(1)
+        })
+    }
+
+    /// Refuses a request that should have presented `analyst`'s session
+    /// token but didn't (or presented a stale/forged one). Enforced only
+    /// on v4 connections (older clients have no token field — rolling
+    /// upgrades keep working) and only once a wire `OpenSession` issued
+    /// a token for the analyst; sessions opened in-process are exempt.
+    fn token_refusal(&self, analyst: &str, presented: Option<u64>) -> Option<WireError> {
+        if self.negotiated < 4 {
+            return None;
+        }
+        let expected = self
+            .tokens
+            .lock()
+            .expect("token book poisoned")
+            .get(analyst)
+            .copied()?;
+        if presented == Some(expected) {
+            None
+        } else {
+            Some(WireError::InvalidRequest(format!(
+                "missing or invalid session token for {analyst:?}; \
+                 reattach the session to obtain one"
+            )))
+        }
+    }
+
+    /// The replication layer's veto on serving reads locally (`None`
+    /// under [`ServerRole::Standalone`]).
+    fn read_refusal(&self) -> Option<WireError> {
+        match &self.config.role {
+            ServerRole::Standalone => None,
+            ServerRole::Replica(hook) => hook.refuse_read(),
         }
     }
 
@@ -736,15 +981,22 @@ impl<'a> Connection<'a> {
             return Err(WireError::ShutDown);
         }
         let request = request.to_request()?;
-        self.server
-            .submit_traced(
-                analyst,
-                request,
-                request_id,
-                deadline_micros.map(Duration::from_micros),
-                trace.clone(),
-            )
-            .map_err(|e| WireError::from_server_error(&e))
+        match &self.config.role {
+            ServerRole::Standalone => self
+                .server
+                .submit_traced(
+                    analyst,
+                    request,
+                    request_id,
+                    deadline_micros.map(Duration::from_micros),
+                    trace.clone(),
+                )
+                .map_err(|e| WireError::from_server_error(&e)),
+            // Replicated writes sequence through the log instead of the
+            // local scheduler; the deadline is dropped (wall-clock
+            // dependent — see [`ReplicaHook::sequence_submit`]).
+            ServerRole::Replica(hook) => hook.sequence_submit(analyst, request_id, request),
+        }
     }
 
     /// Writes replies for every resolved ticket and completed batch,
@@ -860,7 +1112,7 @@ impl<'a> Connection<'a> {
                             ));
                         }
                         bf_chaos::NetFault::TruncateReply => {
-                            let framed = frame_bytes(&msg.encode());
+                            let framed = frame_bytes(&msg.encode_for(self.negotiated));
                             self.counters.frames_out.inc();
                             let _ = self.stream.write_all(&framed[..framed.len() / 2]);
                             let _ = self.stream.shutdown(std::net::Shutdown::Both);
@@ -877,6 +1129,7 @@ impl<'a> Connection<'a> {
             }
         }
         self.counters.frames_out.inc();
-        self.stream.write_all(&frame_bytes(&msg.encode()))
+        self.stream
+            .write_all(&frame_bytes(&msg.encode_for(self.negotiated)))
     }
 }

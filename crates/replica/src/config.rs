@@ -1,0 +1,155 @@
+//! Static cluster topology: members, quorum, and analyst sharding.
+
+use bf_store::fnv1a;
+use std::net::SocketAddr;
+
+/// One cluster member's addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberConfig {
+    /// Stable member name (diagnostics and shard maps refer to it).
+    pub id: String,
+    /// The client-facing port (speaks the full `bf-net` protocol).
+    pub client_addr: SocketAddr,
+    /// The replica-to-replica port (log shipping).
+    pub peer_addr: SocketAddr,
+}
+
+/// Static analyst sharding: a hash map from analyst name to a **shard
+/// group** of members. Sharding splits the sequencing load — each
+/// group runs its own leader and log, and an analyst's entire session
+/// lives in exactly one group, so the per-analyst ledger guarantee
+/// never spans groups.
+///
+/// The map is *static* (a pure function of the analyst name and the
+/// group count): every router, client and replica computes the same
+/// placement with no coordination, and placement never moves while a
+/// cluster config is live — rebalancing is a config change, not a
+/// runtime protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Each group's member indices into [`ClusterConfig::members`].
+    groups: Vec<Vec<usize>>,
+}
+
+impl ShardMap {
+    /// One group holding every member — the unsharded (single-log)
+    /// cluster.
+    pub fn single(members: usize) -> ShardMap {
+        ShardMap {
+            groups: vec![(0..members).collect()],
+        }
+    }
+
+    /// Explicit groups of member indices. Empty groups are rejected:
+    /// an analyst hashed there could never be served.
+    ///
+    /// # Panics
+    ///
+    /// When `groups` is empty or contains an empty group.
+    pub fn new(groups: Vec<Vec<usize>>) -> ShardMap {
+        assert!(
+            !groups.is_empty() && groups.iter().all(|g| !g.is_empty()),
+            "shard map needs at least one non-empty group"
+        );
+        ShardMap { groups }
+    }
+
+    /// Number of shard groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The group an analyst's sessions live in — FNV-1a of the name
+    /// modulo the group count, the same content-derived hash the WAL
+    /// uses for fingerprints.
+    pub fn shard_of(&self, analyst: &str) -> usize {
+        (fnv1a(analyst.as_bytes()) % self.groups.len() as u64) as usize
+    }
+
+    /// Member indices serving `analyst`'s shard group.
+    pub fn members_for(&self, analyst: &str) -> &[usize] {
+        &self.groups[self.shard_of(analyst)]
+    }
+}
+
+/// The static cluster description every member and client shares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// All members, in a stable order the [`ShardMap`] indexes into.
+    pub members: Vec<MemberConfig>,
+    /// Replicas (leader included) that must hold an entry durable
+    /// before the leader acks the client.
+    pub quorum: usize,
+    /// Analyst → shard-group placement.
+    pub shards: ShardMap,
+}
+
+impl ClusterConfig {
+    /// An unsharded cluster: one group, all members, given quorum.
+    pub fn unsharded(members: Vec<MemberConfig>, quorum: usize) -> ClusterConfig {
+        let shards = ShardMap::single(members.len());
+        ClusterConfig {
+            members,
+            quorum,
+            shards,
+        }
+    }
+
+    /// The client-facing addresses that can serve `analyst` — what a
+    /// cluster-aware client passes to `Client::connect_cluster`.
+    pub fn client_addrs_for(&self, analyst: &str) -> Vec<SocketAddr> {
+        self.shards
+            .members_for(analyst)
+            .iter()
+            .map(|&i| self.members[i].client_addr)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(id: &str, port: u16) -> MemberConfig {
+        MemberConfig {
+            id: id.into(),
+            client_addr: format!("127.0.0.1:{port}").parse().unwrap(),
+            peer_addr: format!("127.0.0.1:{}", port + 1).parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn shard_placement_is_stable_and_total() {
+        let map = ShardMap::new(vec![vec![0, 1], vec![2, 3]]);
+        for analyst in ["alice", "bob", "carol", "dave", "erin"] {
+            let s = map.shard_of(analyst);
+            assert_eq!(s, map.shard_of(analyst), "placement must be pure");
+            assert!(s < 2);
+            assert_eq!(map.members_for(analyst), &map.groups[s][..]);
+        }
+        // Enough names spread across both groups.
+        let hit: std::collections::HashSet<usize> = (0..64)
+            .map(|i| map.shard_of(&format!("analyst-{i}")))
+            .collect();
+        assert_eq!(hit.len(), 2, "both groups must receive analysts");
+    }
+
+    #[test]
+    fn unsharded_cluster_routes_every_analyst_to_all_members() {
+        let cfg = ClusterConfig::unsharded(
+            vec![member("a", 4000), member("b", 4010), member("c", 4020)],
+            2,
+        );
+        for analyst in ["x", "y", "z"] {
+            let addrs = cfg.client_addrs_for(analyst);
+            assert_eq!(addrs.len(), 3);
+            assert_eq!(addrs[0], cfg.members[0].client_addr);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty group")]
+    fn empty_groups_are_rejected() {
+        let _ = ShardMap::new(vec![vec![0], vec![]]);
+    }
+}

@@ -1,0 +1,52 @@
+//! # bf-replica — Calvin-style deterministic replicated serving
+//!
+//! One serving process is a single point of failure for the one thing
+//! Blowfish cannot afford to lose: the ε ledgers. This crate replicates
+//! the whole serving stack across processes the Calvin way — **agree on
+//! order first, then execute deterministically everywhere** — so
+//! replication is log shipping, not per-query consensus:
+//!
+//! ```text
+//!            writes                      Replicate (proto v4)
+//!  clients ────────► leader ─ seq ─ WAL ───────────────────────► follower ─ WAL ─ apply
+//!     ▲                │                 ◄─ ReplicateAck ─────── follower ─ WAL ─ apply
+//!     └── reads ───────┴──────────────────── reads ─────────────────┘
+//! ```
+//!
+//! * **Sequencing.** The leader stamps every write — session opens
+//!   included — with `(epoch, index)` (index monotone, 1-based), makes
+//!   it durable as a `Record::Replicated` frame in its own WAL *before*
+//!   anything executes, and streams it to followers over the proto-v4
+//!   peer frames (`LogCatchup` / `Replicate` / `ReplicateAck`).
+//! * **Quorum acks.** A client is answered only after the entry is
+//!   durable on a configurable quorum of replicas **and** executed
+//!   locally. Acks are cumulative durable high-water marks.
+//! * **Deterministic replay.** Every replica applies the identical log
+//!   through the identical engine (`Engine::serve_tagged` under the
+//!   entry's idempotency key): release noise is a pure function of
+//!   `(seed, release identity, ordinal)`, so per-analyst ledgers,
+//!   reply caches and answers are byte-identical at every index on
+//!   every replica.
+//! * **Read scale-out.** Followers serve `Budget` / `BudgetAudit` /
+//!   `Traces` / `Stats` from their local engine, optionally refusing
+//!   with `StaleReplica` past a configured lag bound.
+//! * **ε-lossless failover.** Kill the leader at any log index: a
+//!   follower [`Replica::promote`]s by finishing replay of its
+//!   mirrored WAL, bumps the epoch (fencing stale leaders), and every
+//!   client-acked charge is present exactly once — retried requests
+//!   replay their durable cached reply at zero additional ε.
+//!
+//! There is deliberately **no election**: leadership changes are an
+//! operator (or orchestrator/test-harness) decision via
+//! [`Replica::promote`] / [`Replica::follow`]. The safety argument
+//! never rests on who *thinks* they lead — a deposed leader cannot
+//! reach quorum, so it can never ack, and followers fence anything
+//! from a stale epoch.
+
+#![deny(missing_docs)]
+
+mod config;
+mod node;
+
+pub use config::{ClusterConfig, MemberConfig, ShardMap};
+pub use node::{Replica, ReplicaConfig, ReplicaError, ReplicaStatus};

@@ -1,0 +1,1504 @@
+//! The replica node: one process holding the whole serving stack —
+//! engine, store, scheduler, net — plus the replication machinery that
+//! sequences writes, ships the log, replays it deterministically, and
+//! survives leader loss without losing an acked ε.
+//!
+//! ## Thread anatomy
+//!
+//! ```text
+//!   client port (bf-net acceptors) ──► ReplicaHook::sequence_* ──┐
+//!                                                                ▼
+//!   peer port   ──► per-follower stream loop ◄── NodeState {log, commit}
+//!        ▲                                           │ condvar
+//!        │                                           ▼
+//!   follower thread (dials the leader)          applier thread
+//!        └── appends entries to the WAL ──►     (engine replay, acks)
+//! ```
+//!
+//! Every mutation of the shared [`NodeState`] happens under one mutex;
+//! engine execution and socket I/O always happen **outside** it.
+
+use bf_chaos::{ReplicaFault, ReplicaPlan};
+use bf_core::Epsilon;
+use bf_engine::{Engine, EngineError};
+use bf_net::{
+    ClientMessage, NetConfig, NetServer, ReplicaHook, ServerMessage, ServerRole, WireError,
+    WireLogEntry, WireLogOp, PROTOCOL_VERSION,
+};
+use bf_obs::{Gauge, Histogram};
+use bf_server::{Server, ServerConfig, ServerError, Ticket, TicketResolver};
+use bf_store::{frame_bytes, read_frame, FrameRead, Record, Store, StoreError};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long blocked threads sleep before re-checking shutdown flags.
+const POLL: Duration = Duration::from_millis(2);
+/// Condvar wait granularity for the applier and [`Replica::promote`].
+const WAIT: Duration = Duration::from_millis(25);
+/// Max log entries per [`ServerMessage::Replicate`] frame.
+const BATCH: usize = 64;
+
+/// Configuration for one [`Replica`].
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Engine seed. **Must be identical on every replica** — release
+    /// noise is a pure function of `(seed, release identity, ordinal)`,
+    /// and identical seeds plus identical log order is the whole
+    /// determinism argument.
+    pub seed: u64,
+    /// Replicas (leader included) that must hold an entry durable
+    /// before the client is acked. `1` acks on local durability alone;
+    /// a quorum larger than the cluster never acks (misconfiguration,
+    /// not a crash).
+    pub quorum: usize,
+    /// Refuse follower reads with [`WireError::StaleReplica`] when
+    /// more than this many committed entries await local replay.
+    /// `None` always serves (reads may trail the leader).
+    pub stale_bound: Option<u64>,
+    /// Deterministic fault injection: the plan's op clock advances once
+    /// per **sequenced entry**, and a due [`ReplicaFault::KillLeader`]
+    /// kills this node exactly as [`Replica::kill`] would — mid-burst
+    /// leader loss at a scripted log index.
+    pub fault_plan: Option<Arc<ReplicaPlan>>,
+    /// Client-port networking knobs (acceptors, windows, tick cadence).
+    /// The `role` field is overwritten: the replica installs itself as
+    /// the [`ServerRole::Replica`] hook.
+    pub net: NetConfig,
+    /// Scheduler knobs for the inner [`Server`] (reads and the driver
+    /// still run through it; replicated writes bypass its queues).
+    pub server: ServerConfig,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            seed: 0,
+            quorum: 1,
+            stale_bound: None,
+            fault_plan: None,
+            net: NetConfig::default(),
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+/// Why a replica could not start or stop.
+#[derive(Debug)]
+pub enum ReplicaError {
+    /// The WAL refused to open or append.
+    Store(StoreError),
+    /// A socket operation failed (peer listener bind, client port).
+    Io(std::io::Error),
+    /// The durable log section was undecodable or non-contiguous — the
+    /// replica must stop rather than guess at history.
+    Corrupt(String),
+    /// The inner server failed to shut down cleanly.
+    Server(ServerError),
+}
+
+impl std::fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaError::Store(e) => write!(f, "store: {e}"),
+            ReplicaError::Io(e) => write!(f, "io: {e}"),
+            ReplicaError::Corrupt(msg) => write!(f, "corrupt replica log: {msg}"),
+            ReplicaError::Server(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+impl From<StoreError> for ReplicaError {
+    fn from(e: StoreError) -> Self {
+        ReplicaError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for ReplicaError {
+    fn from(e: std::io::Error) -> Self {
+        ReplicaError::Io(e)
+    }
+}
+
+/// A point-in-time snapshot of a replica's replication state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Is this node currently sequencing (the leader)?
+    pub leader: bool,
+    /// Has this node been killed (fails every request)?
+    pub dead: bool,
+    /// Current sequencing epoch.
+    pub epoch: u64,
+    /// Durable log high-water mark (largest index in this node's WAL).
+    pub log_index: u64,
+    /// Largest index known durable on a quorum.
+    pub commit_index: u64,
+    /// Largest index executed through the local engine.
+    pub applied: u64,
+}
+
+/// Which side of the log this node is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Leader,
+    Follower,
+}
+
+/// One in-memory log entry (the WAL holds its durable twin).
+#[derive(Debug, Clone)]
+struct LogEntry {
+    epoch: u64,
+    index: u64,
+    analyst: String,
+    request_id: u64,
+    op: WireLogOp,
+}
+
+/// A client waiting on an entry: resolved by the applier once the entry
+/// is committed **and** executed locally. Dropping a waiter reads as
+/// [`WireError::ShutDown`] on the client side, which retries elsewhere
+/// with the same idempotency key — exactly-once either way.
+enum Waiter {
+    Submit(TicketResolver),
+    Open(mpsc::Sender<Result<f64, WireError>>),
+}
+
+/// All mutable replication state, under one lock.
+struct NodeState {
+    role: Role,
+    epoch: u64,
+    /// Index of `log[0]`; entries below it are applied and evicted.
+    log_start: u64,
+    log: Vec<LogEntry>,
+    commit_index: u64,
+    applied: u64,
+    /// Client-facing address of the current leader ("" when unknown).
+    leader_hint: String,
+    /// This node's own client-facing address (set after bind).
+    self_hint: String,
+    /// The leader's peer address a follower should stream from.
+    follow_target: Option<SocketAddr>,
+    /// Durable high-water mark per connected follower (by conn id).
+    follower_acks: HashMap<u64, u64>,
+    /// When each not-yet-committed entry was sequenced (leader only;
+    /// feeds the quorum-ack latency histogram).
+    pending_since: HashMap<u64, Instant>,
+    /// Clients parked on an index.
+    waiters: HashMap<u64, Vec<Waiter>>,
+    /// Bumped by every role change; long-lived loops re-check it and
+    /// reconnect/park when it moves.
+    generation: u64,
+}
+
+impl NodeState {
+    /// Largest durable log index (0 when the log is empty).
+    fn high_water(&self) -> u64 {
+        self.log_start + self.log.len() as u64 - 1
+    }
+
+    fn next_index(&self) -> u64 {
+        self.log_start + self.log.len() as u64
+    }
+
+    fn entry_at(&self, index: u64) -> Option<&LogEntry> {
+        index
+            .checked_sub(self.log_start)
+            .and_then(|i| self.log.get(i as usize))
+    }
+}
+
+/// The shared node: implements [`ReplicaHook`] for the client port and
+/// is driven by the applier / streamer / follower threads.
+struct Node {
+    engine: Arc<Engine>,
+    store: Arc<Store>,
+    state: Mutex<NodeState>,
+    cv: Condvar,
+    dead: AtomicBool,
+    closing: AtomicBool,
+    quorum: usize,
+    stale_bound: Option<u64>,
+    fault_plan: Option<Arc<ReplicaPlan>>,
+    conn_ids: AtomicU64,
+    /// Joinable per-follower stream handlers.
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    g_log_index: Gauge,
+    g_lag: Gauge,
+    g_epoch: Gauge,
+    g_role_leader: Gauge,
+    g_role_follower: Gauge,
+    h_quorum_ack: Histogram,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Node(..)")
+    }
+}
+
+impl Node {
+    /// Rebuilds replication state from the store's durable log section:
+    /// applied = the WAL's execution mark, the in-memory log = the
+    /// pending (logged-but-unapplied) entries, commit = applied
+    /// (conservative: quorum knowledge is not durable, and re-earning
+    /// it is harmless).
+    fn recover(
+        engine: Arc<Engine>,
+        store: Arc<Store>,
+        cfg: &ReplicaConfig,
+    ) -> Result<Node, ReplicaError> {
+        let snap = store.current_state();
+        let mut log = Vec::with_capacity(snap.log_pending.len());
+        for (expect, (&index, pending)) in (snap.log_applied + 1..).zip(snap.log_pending.iter()) {
+            if index != expect {
+                return Err(ReplicaError::Corrupt(format!(
+                    "pending log skips from {} to {index}",
+                    expect - 1
+                )));
+            }
+            let op = WireLogOp::decode(&pending.payload).ok_or_else(|| {
+                ReplicaError::Corrupt(format!("undecodable log payload at index {index}"))
+            })?;
+            log.push(LogEntry {
+                epoch: pending.epoch,
+                index,
+                analyst: pending.analyst.clone(),
+                request_id: pending.request_id,
+                op,
+            });
+        }
+        let obs = Arc::clone(engine.obs());
+        let node = Node {
+            engine,
+            store,
+            state: Mutex::new(NodeState {
+                role: Role::Follower,
+                epoch: snap.log_epoch,
+                log_start: snap.log_applied + 1,
+                log,
+                commit_index: snap.log_applied,
+                applied: snap.log_applied,
+                leader_hint: String::new(),
+                self_hint: String::new(),
+                follow_target: None,
+                follower_acks: HashMap::new(),
+                pending_since: HashMap::new(),
+                waiters: HashMap::new(),
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+            dead: AtomicBool::new(false),
+            closing: AtomicBool::new(false),
+            quorum: cfg.quorum.max(1),
+            stale_bound: cfg.stale_bound,
+            fault_plan: cfg.fault_plan.clone(),
+            conn_ids: AtomicU64::new(1),
+            handlers: Mutex::new(Vec::new()),
+            g_log_index: obs.gauge("replica_log_index"),
+            g_lag: obs.gauge("replica_lag_entries"),
+            g_epoch: obs.gauge("replica_epoch"),
+            g_role_leader: obs.gauge("replica_role{role=\"leader\"}"),
+            g_role_follower: obs.gauge("replica_role{role=\"follower\"}"),
+            h_quorum_ack: obs.histogram("replica_quorum_ack_ns"),
+        };
+        node.update_gauges(&node.state.lock().unwrap());
+        Ok(node)
+    }
+
+    fn update_gauges(&self, st: &NodeState) {
+        self.g_log_index.set(st.high_water() as f64);
+        self.g_lag
+            .set(st.commit_index.saturating_sub(st.applied) as f64);
+        self.g_epoch.set(st.epoch as f64);
+        let leading = st.role == Role::Leader && !self.dead.load(Ordering::SeqCst);
+        self.g_role_leader.set(if leading { 1.0 } else { 0.0 });
+        self.g_role_follower.set(if leading { 0.0 } else { 1.0 });
+    }
+
+    /// Leader-side commit rule: the quorum-th largest durable high-water
+    /// mark among {self} ∪ followers. With fewer acking members than the
+    /// quorum nothing commits — never "commit with whoever showed up".
+    fn recompute_commit(&self, st: &mut NodeState) {
+        if st.role != Role::Leader || self.dead.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut highs: Vec<u64> = st.follower_acks.values().copied().collect();
+        highs.push(st.high_water());
+        highs.sort_unstable_by(|a, b| b.cmp(a));
+        if highs.len() < self.quorum {
+            return;
+        }
+        let commit = highs[self.quorum - 1];
+        if commit > st.commit_index {
+            st.commit_index = commit;
+            let now = Instant::now();
+            let freed: Vec<u64> = st
+                .pending_since
+                .keys()
+                .copied()
+                .filter(|&i| i <= commit)
+                .collect();
+            for i in freed {
+                if let Some(t) = st.pending_since.remove(&i) {
+                    self.h_quorum_ack.record_duration(now.duration_since(t));
+                }
+            }
+            self.update_gauges(st);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Fencing: adopting a higher epoch deposes a leader. Waiters past
+    /// the commit point are dropped (clients see `ShutDown` and retry at
+    /// the new leader under the same idempotency key).
+    fn step_down(&self, st: &mut NodeState, seen_epoch: u64) {
+        if seen_epoch <= st.epoch {
+            return;
+        }
+        st.epoch = seen_epoch;
+        if st.role == Role::Leader {
+            st.role = Role::Follower;
+            st.leader_hint = String::new();
+            st.follow_target = None;
+            st.follower_acks.clear();
+            st.pending_since.clear();
+            let commit = st.commit_index;
+            st.waiters.retain(|&i, _| i <= commit);
+            st.generation += 1;
+        }
+        self.update_gauges(st);
+        self.cv.notify_all();
+    }
+
+    /// Sequences one operation: stamp `(epoch, index)`, make it durable
+    /// locally, park the waiter, and let the quorum rule ack it.
+    fn sequence(
+        &self,
+        analyst: &str,
+        request_id: Option<u64>,
+        op: WireLogOp,
+        waiter: Waiter,
+    ) -> Result<(), WireError> {
+        let mut st = self.state.lock().unwrap();
+        if self.dead.load(Ordering::SeqCst) || self.closing.load(Ordering::SeqCst) {
+            return Err(WireError::NotLeader {
+                leader: String::new(),
+            });
+        }
+        if st.role != Role::Leader {
+            return Err(WireError::NotLeader {
+                leader: st.leader_hint.clone(),
+            });
+        }
+        if let Some(plan) = &self.fault_plan {
+            if matches!(plan.next(), Some(ReplicaFault::KillLeader)) {
+                drop(st);
+                self.kill();
+                return Err(WireError::NotLeader {
+                    leader: String::new(),
+                });
+            }
+        }
+        let index = st.next_index();
+        // Entries without a client idempotency key still need one —
+        // every replica must execute under the same tag. Derive it from
+        // the log position, in a range client keys never use.
+        let request_id = request_id.unwrap_or((1 << 62) | index);
+        let entry = LogEntry {
+            epoch: st.epoch,
+            index,
+            analyst: analyst.to_string(),
+            request_id,
+            op,
+        };
+        self.store
+            .commit(&[Record::Replicated {
+                epoch: entry.epoch,
+                index,
+                analyst: entry.analyst.clone(),
+                request_id,
+                payload: entry.op.encode(),
+            }])
+            .map_err(|e| WireError::Other(format!("log append failed: {e}")))?;
+        st.pending_since.insert(index, Instant::now());
+        st.waiters.entry(index).or_default().push(waiter);
+        st.log.push(entry);
+        self.update_gauges(&st);
+        self.recompute_commit(&mut st);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Drops every parked waiter (their clients read `ShutDown`).
+    fn drop_waiters(&self, st: &mut NodeState) {
+        st.waiters.clear();
+        st.pending_since.clear();
+    }
+
+    /// Kills the node: every future write refuses `NotLeader`, every
+    /// read refuses `ShutDown`, parked clients are cut loose. The
+    /// process (and its WAL) stays — this models a fenced, deposed
+    /// process, and tests restart from the same directory.
+    fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        let mut st = self.state.lock().unwrap();
+        self.drop_waiters(&mut st);
+        st.generation += 1;
+        self.update_gauges(&st);
+        self.cv.notify_all();
+    }
+
+    // -----------------------------------------------------------------
+    // The applier: executes committed entries through the engine
+    // -----------------------------------------------------------------
+
+    fn applier_loop(self: &Arc<Node>) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if self.closing.load(Ordering::SeqCst) {
+                return;
+            }
+            if self.dead.load(Ordering::SeqCst) {
+                self.drop_waiters(&mut st);
+                st = self.cv.wait_timeout(st, WAIT).unwrap().0;
+                continue;
+            }
+            let frontier = st.commit_index.min(st.high_water());
+            if st.applied >= frontier {
+                st = self.cv.wait_timeout(st, WAIT).unwrap().0;
+                continue;
+            }
+            let next = st.applied + 1;
+            let entry = match st.entry_at(next) {
+                Some(e) => e.clone(),
+                // Applied entries are only evicted past `applied`, so a
+                // miss here means recovery handed us a hole; stop.
+                None => {
+                    self.dead.store(true, Ordering::SeqCst);
+                    continue;
+                }
+            };
+            let waiters = st.waiters.remove(&next).unwrap_or_default();
+            drop(st);
+
+            // Engine execution happens outside the state lock.
+            match &entry.op {
+                WireLogOp::OpenSession { total_bits } => {
+                    let outcome = Epsilon::new(f64::from_bits(*total_bits))
+                        .map_err(|e| {
+                            WireError::from_engine_error(&EngineError::InvalidRequest(
+                                e.to_string(),
+                            ))
+                        })
+                        .and_then(|eps| {
+                            self.engine
+                                .attach_session(&entry.analyst, eps)
+                                .map_err(|e| WireError::from_engine_error(&e))
+                        });
+                    for w in waiters {
+                        if let Waiter::Open(tx) = w {
+                            let _ = tx.send(outcome.clone());
+                        }
+                    }
+                }
+                WireLogOp::Submit { request } => {
+                    let outcome = request
+                        .to_request()
+                        .map_err(|e| {
+                            ServerError::Engine(EngineError::InvalidRequest(e.to_string()))
+                        })
+                        .and_then(|req| {
+                            self.engine
+                                .serve_tagged(&entry.analyst, entry.request_id, &req)
+                                .map_err(ServerError::Engine)
+                        });
+                    for w in waiters {
+                        if let Waiter::Submit(resolver) = w {
+                            resolver.resolve(outcome.clone());
+                        }
+                    }
+                }
+            }
+
+            // Durable execution mark: recovery resumes exactly here. A
+            // crash between the engine's Replied record and this mark
+            // replays into the reply cache at zero ε.
+            if self
+                .store
+                .commit(&[Record::LogApplied { index: next }])
+                .is_err()
+            {
+                self.dead.store(true, Ordering::SeqCst);
+            }
+            st = self.state.lock().unwrap();
+            st.applied = st.applied.max(next);
+            self.update_gauges(&st);
+            self.cv.notify_all();
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Peer port: the leader side of log shipping
+    // -----------------------------------------------------------------
+
+    fn peer_listener_loop(self: &Arc<Node>, listener: TcpListener) {
+        while !self.closing.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let node = Arc::clone(self);
+                    let handle = std::thread::spawn(move || node.peer_conn(stream));
+                    self.handlers.lock().unwrap().push(handle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(_) => std::thread::sleep(POLL),
+            }
+        }
+    }
+
+    /// One follower's connection: handshake, catchup registration, then
+    /// the stream loop until either side closes or this node stops
+    /// leading.
+    fn peer_conn(self: Arc<Node>, mut stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(POLL));
+        let mut buf: Vec<u8> = Vec::new();
+
+        // Handshake: peers always speak the current protocol.
+        let hello = match self.read_peer_frame(&mut stream, &mut buf, true) {
+            Some(ClientMessage::Hello { id, version }) if version >= PROTOCOL_VERSION => {
+                let _ = write_frame(
+                    &mut stream,
+                    &ServerMessage::Welcome {
+                        id,
+                        version: PROTOCOL_VERSION,
+                    },
+                );
+                id
+            }
+            Some(ClientMessage::Hello { id, .. }) => {
+                let _ = write_frame(
+                    &mut stream,
+                    &ServerMessage::Refused {
+                        id,
+                        error: WireError::Protocol(
+                            "replica peers must speak the current protocol".into(),
+                        ),
+                        trace_id: None,
+                    },
+                );
+                return;
+            }
+            _ => return,
+        };
+        let _ = hello;
+
+        let (corr, mut send_next) = match self.read_peer_frame(&mut stream, &mut buf, true) {
+            Some(ClientMessage::LogCatchup {
+                id,
+                epoch,
+                from_index,
+            }) => {
+                let mut st = self.state.lock().unwrap();
+                self.step_down(&mut st, epoch);
+                if st.role != Role::Leader || self.dead.load(Ordering::SeqCst) {
+                    let hint = st.leader_hint.clone();
+                    drop(st);
+                    let _ = write_frame(
+                        &mut stream,
+                        &ServerMessage::Refused {
+                            id,
+                            error: WireError::NotLeader { leader: hint },
+                            trace_id: None,
+                        },
+                    );
+                    return;
+                }
+                if from_index < st.log_start {
+                    let log_start = st.log_start;
+                    drop(st);
+                    // The entries before log_start are applied and
+                    // evicted; serving them would need snapshot
+                    // transfer, which this crate does not implement —
+                    // a new member starts from a mirrored WAL instead.
+                    let _ = write_frame(
+                        &mut stream,
+                        &ServerMessage::Refused {
+                            id,
+                            error: WireError::Protocol(format!(
+                                "catchup from {from_index} predates retained log start {log_start}"
+                            )),
+                            trace_id: None,
+                        },
+                    );
+                    return;
+                }
+                (id, from_index)
+            }
+            _ => return,
+        };
+
+        let conn_id = self.conn_ids.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut st = self.state.lock().unwrap();
+            st.follower_acks.insert(conn_id, send_next - 1);
+            self.recompute_commit(&mut st);
+        }
+
+        let mut last_commit_sent = u64::MAX;
+        loop {
+            if self.closing.load(Ordering::SeqCst) || self.dead.load(Ordering::SeqCst) {
+                break;
+            }
+            // Snapshot the batch under the lock; ship it outside.
+            let (entries, epoch, commit) = {
+                let st = self.state.lock().unwrap();
+                if st.role != Role::Leader {
+                    break;
+                }
+                let mut batch = Vec::new();
+                while send_next + (batch.len() as u64) <= st.high_water() && batch.len() < BATCH {
+                    let e = match st.entry_at(send_next + batch.len() as u64) {
+                        Some(e) => e,
+                        None => break,
+                    };
+                    batch.push(WireLogEntry {
+                        epoch: e.epoch,
+                        index: e.index,
+                        analyst: e.analyst.clone(),
+                        request_id: e.request_id,
+                        op: e.op.clone(),
+                    });
+                }
+                (batch, st.epoch, st.commit_index)
+            };
+            if !entries.is_empty() || commit != last_commit_sent {
+                let n = entries.len() as u64;
+                if write_frame(
+                    &mut stream,
+                    &ServerMessage::Replicate {
+                        id: corr,
+                        epoch,
+                        commit_index: commit,
+                        entries,
+                    },
+                )
+                .is_err()
+                {
+                    break;
+                }
+                send_next += n;
+                last_commit_sent = commit;
+            }
+            // Poll for cumulative acks (short read timeout).
+            match self.read_peer_frame(&mut stream, &mut buf, false) {
+                Some(ClientMessage::ReplicateAck { epoch, index, .. }) => {
+                    let mut st = self.state.lock().unwrap();
+                    if epoch > st.epoch {
+                        self.step_down(&mut st, epoch);
+                        break;
+                    }
+                    let ack = st.follower_acks.entry(conn_id).or_insert(0);
+                    *ack = (*ack).max(index);
+                    self.recompute_commit(&mut st);
+                }
+                Some(ClientMessage::Goodbye { .. }) | Some(_) => break,
+                None => {} // timeout or nothing buffered: keep streaming
+            }
+        }
+        let mut st = self.state.lock().unwrap();
+        st.follower_acks.remove(&conn_id);
+    }
+
+    /// Reads one peer frame. `block` waits until a frame or disconnect;
+    /// otherwise one short-timeout read attempt is made and `None`
+    /// means "nothing yet". Corrupt frames and EOF read as `None` with
+    /// the buffer poisoned (callers break their loops on the next
+    /// write failure or read).
+    fn read_peer_frame(
+        &self,
+        stream: &mut TcpStream,
+        buf: &mut Vec<u8>,
+        block: bool,
+    ) -> Option<ClientMessage> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match read_frame(buf) {
+                FrameRead::Complete { payload, consumed } => {
+                    let msg = ClientMessage::decode(payload);
+                    buf.drain(..consumed);
+                    return msg;
+                }
+                FrameRead::Corrupt => return None,
+                FrameRead::Incomplete => {}
+            }
+            if self.closing.load(Ordering::SeqCst) {
+                return None;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if !block {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Follower side: dial the leader, mirror the log
+    // -----------------------------------------------------------------
+
+    fn follower_loop(self: &Arc<Node>) {
+        while !self.closing.load(Ordering::SeqCst) {
+            if self.dead.load(Ordering::SeqCst) {
+                std::thread::sleep(WAIT);
+                continue;
+            }
+            let (target, generation) = {
+                let st = self.state.lock().unwrap();
+                if st.role != Role::Follower {
+                    (None, st.generation)
+                } else {
+                    (st.follow_target, st.generation)
+                }
+            };
+            let Some(target) = target else {
+                std::thread::sleep(WAIT);
+                continue;
+            };
+            if self.follow_once(target, generation).is_none() {
+                // Connection failed or was refused: back off briefly so
+                // a promoting leader has time to finish replay.
+                std::thread::sleep(WAIT);
+            }
+        }
+    }
+
+    /// One streaming session against the leader at `target`. Returns
+    /// `None` when the session ended abnormally (caller backs off).
+    fn follow_once(self: &Arc<Node>, target: SocketAddr, generation: u64) -> Option<()> {
+        let mut stream = TcpStream::connect_timeout(&target, Duration::from_millis(500)).ok()?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(WAIT));
+        let mut buf: Vec<u8> = Vec::new();
+
+        write_frame(
+            &mut stream,
+            &ClientMessage::Hello {
+                id: 1,
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .ok()?;
+        match self.read_peer_server_frame(&mut stream, &mut buf)? {
+            ServerMessage::Welcome { .. } => {}
+            _ => return None,
+        }
+        let (epoch, from_index) = {
+            let st = self.state.lock().unwrap();
+            (st.epoch, st.high_water() + 1)
+        };
+        write_frame(
+            &mut stream,
+            &ClientMessage::LogCatchup {
+                id: 2,
+                epoch,
+                from_index,
+            },
+        )
+        .ok()?;
+
+        loop {
+            if self.closing.load(Ordering::SeqCst) || self.dead.load(Ordering::SeqCst) {
+                return Some(());
+            }
+            {
+                let st = self.state.lock().unwrap();
+                if st.generation != generation || st.role != Role::Follower {
+                    return Some(());
+                }
+            }
+            let msg = match self.read_peer_server_frame(&mut stream, &mut buf) {
+                Some(m) => m,
+                None => continue, // timeout: poll the flags again
+            };
+            match msg {
+                ServerMessage::Replicate {
+                    epoch,
+                    commit_index,
+                    entries,
+                    ..
+                } => {
+                    let ack = {
+                        let mut st = self.state.lock().unwrap();
+                        if epoch < st.epoch {
+                            return None; // stale leader: drop the link
+                        }
+                        st.epoch = st.epoch.max(epoch);
+                        for e in entries {
+                            if e.index < st.next_index() {
+                                continue; // duplicate resend
+                            }
+                            if e.index > st.next_index() {
+                                return None; // gap: resubscribe
+                            }
+                            // Durable-first: the WAL append is what an
+                            // ack means.
+                            if self
+                                .store
+                                .commit(&[Record::Replicated {
+                                    epoch: e.epoch,
+                                    index: e.index,
+                                    analyst: e.analyst.clone(),
+                                    request_id: e.request_id,
+                                    payload: e.op.encode(),
+                                }])
+                                .is_err()
+                            {
+                                self.dead.store(true, Ordering::SeqCst);
+                                return None;
+                            }
+                            st.log.push(LogEntry {
+                                epoch: e.epoch,
+                                index: e.index,
+                                analyst: e.analyst,
+                                request_id: e.request_id,
+                                op: e.op,
+                            });
+                        }
+                        st.commit_index = st.commit_index.max(commit_index.min(st.high_water()));
+                        self.update_gauges(&st);
+                        self.cv.notify_all();
+                        (st.epoch, st.high_water())
+                    };
+                    write_frame(
+                        &mut stream,
+                        &ClientMessage::ReplicateAck {
+                            id: 0,
+                            epoch: ack.0,
+                            index: ack.1,
+                        },
+                    )
+                    .ok()?;
+                }
+                ServerMessage::Refused { .. } => return None,
+                _ => return None,
+            }
+        }
+    }
+
+    fn read_peer_server_frame(
+        &self,
+        stream: &mut TcpStream,
+        buf: &mut Vec<u8>,
+    ) -> Option<ServerMessage> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match read_frame(buf) {
+                FrameRead::Complete { payload, consumed } => {
+                    let msg = ServerMessage::decode(payload);
+                    buf.drain(..consumed);
+                    return msg;
+                }
+                FrameRead::Corrupt => return None,
+                FrameRead::Incomplete => {}
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return None
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+impl ReplicaHook for Node {
+    fn sequence_submit(
+        &self,
+        analyst: &str,
+        request_id: Option<u64>,
+        request: bf_engine::Request,
+    ) -> Result<Ticket, WireError> {
+        let (resolver, ticket) = Ticket::pair();
+        self.sequence(
+            analyst,
+            request_id,
+            WireLogOp::Submit {
+                request: bf_net::proto::WireRequest::from_request(&request),
+            },
+            Waiter::Submit(resolver),
+        )?;
+        Ok(ticket)
+    }
+
+    fn sequence_open(&self, analyst: &str, total_bits: u64) -> Result<f64, WireError> {
+        // Validate before burning a log slot on garbage.
+        Epsilon::new(f64::from_bits(total_bits)).map_err(|e| {
+            WireError::from_engine_error(&EngineError::InvalidRequest(e.to_string()))
+        })?;
+        let (tx, rx) = mpsc::channel();
+        self.sequence(
+            analyst,
+            None,
+            WireLogOp::OpenSession { total_bits },
+            Waiter::Open(tx),
+        )?;
+        rx.recv().map_err(|_| WireError::ShutDown)?
+    }
+
+    fn refuse_read(&self) -> Option<WireError> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Some(WireError::ShutDown);
+        }
+        let bound = self.stale_bound?;
+        let st = self.state.lock().unwrap();
+        let lag = st.commit_index.saturating_sub(st.applied);
+        (lag > bound).then_some(WireError::StaleReplica { lag_entries: lag })
+    }
+}
+
+fn write_frame<M: WireEncode>(stream: &mut TcpStream, msg: &M) -> std::io::Result<()> {
+    stream.write_all(&frame_bytes(&msg.encode_bytes()))
+}
+
+/// Both message directions travel the peer link; this keeps
+/// [`write_frame`] one function.
+trait WireEncode {
+    fn encode_bytes(&self) -> Vec<u8>;
+}
+
+impl WireEncode for ClientMessage {
+    fn encode_bytes(&self) -> Vec<u8> {
+        self.encode()
+    }
+}
+
+impl WireEncode for ServerMessage {
+    fn encode_bytes(&self) -> Vec<u8> {
+        self.encode()
+    }
+}
+
+/// One replica process: WAL + engine + scheduler + client port + peer
+/// port + the replication threads. See the crate docs for the model.
+#[derive(Debug)]
+pub struct Replica {
+    node: Arc<Node>,
+    net: NetServer,
+    peer_addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Replica {
+    /// Opens (or recovers) the WAL at `dir`, builds the deterministic
+    /// engine on it, runs `setup` to register policies and datasets —
+    /// **`setup` must be identical on every replica**, exactly like the
+    /// seed — and starts serving: the client port at `client_addr`, the
+    /// replication peer port at `peer_addr` (port 0 picks free ports).
+    ///
+    /// A fresh replica starts as a follower with no stream target:
+    /// call [`Replica::lead`] or [`Replica::follow`] to place it.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Store`] when the WAL refuses to open,
+    /// [`ReplicaError::Corrupt`] when its log section is undecodable,
+    /// [`ReplicaError::Io`] when either port cannot bind.
+    pub fn start(
+        dir: impl Into<PathBuf>,
+        client_addr: impl ToSocketAddrs,
+        peer_addr: impl ToSocketAddrs,
+        cfg: ReplicaConfig,
+        setup: impl FnOnce(&Engine),
+    ) -> Result<Replica, ReplicaError> {
+        let store = Arc::new(Store::open(dir)?);
+        let engine = Arc::new(Engine::with_store(cfg.seed, Arc::clone(&store)));
+        setup(&engine);
+        let node = Arc::new(Node::recover(engine, store, &cfg)?);
+
+        let peer_listener = TcpListener::bind(peer_addr)?;
+        peer_listener.set_nonblocking(true)?;
+        let peer_addr = peer_listener.local_addr()?;
+
+        let server = Arc::new(Server::new(Arc::clone(&node.engine), cfg.server));
+        let net = NetServer::bind(
+            client_addr,
+            server,
+            NetConfig {
+                role: ServerRole::Replica(Arc::clone(&node) as Arc<dyn ReplicaHook>),
+                ..cfg.net
+            },
+        )?;
+        node.state.lock().unwrap().self_hint = net.local_addr().to_string();
+
+        let mut threads = Vec::new();
+        let applier = Arc::clone(&node);
+        threads.push(std::thread::spawn(move || applier.applier_loop()));
+        let follower = Arc::clone(&node);
+        threads.push(std::thread::spawn(move || follower.follower_loop()));
+        let listener_node = Arc::clone(&node);
+        threads.push(std::thread::spawn(move || {
+            listener_node.peer_listener_loop(peer_listener)
+        }));
+
+        Ok(Replica {
+            node,
+            net,
+            peer_addr,
+            threads,
+        })
+    }
+
+    /// The client-facing address (full `bf-net` protocol).
+    pub fn client_addr(&self) -> SocketAddr {
+        self.net.local_addr()
+    }
+
+    /// The replica-to-replica log-shipping address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer_addr
+    }
+
+    /// The local engine (read-side introspection; tests compare ledgers
+    /// across replicas through it).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.node.engine
+    }
+
+    /// Makes this replica the leader of a **fresh** cluster (epoch
+    /// unchanged). For taking over from a dead leader use
+    /// [`Replica::promote`], which fences the old epoch.
+    pub fn lead(&self) {
+        let mut st = self.node.state.lock().unwrap();
+        st.role = Role::Leader;
+        st.leader_hint = st.self_hint.clone();
+        st.follow_target = None;
+        st.generation += 1;
+        self.node.update_gauges(&st);
+        self.node.recompute_commit(&mut st);
+        self.node.cv.notify_all();
+    }
+
+    /// Makes this replica a follower streaming from `leader_peer`,
+    /// redirecting write clients to `leader_hint` (the leader's
+    /// client-facing address).
+    pub fn follow(&self, leader_peer: SocketAddr, leader_hint: &str) {
+        let mut st = self.node.state.lock().unwrap();
+        st.role = Role::Follower;
+        st.follow_target = Some(leader_peer);
+        st.leader_hint = leader_hint.to_string();
+        st.follower_acks.clear();
+        st.generation += 1;
+        self.node.update_gauges(&st);
+        self.node.cv.notify_all();
+    }
+
+    /// Promotes this follower to leader: stop streaming, bump the epoch
+    /// (fencing every message from the old one), finish replaying every
+    /// durable log entry, then start sequencing. Blocks until replay
+    /// completes, so a client redirected here immediately sees every
+    /// charge the old leader acked — the ε-lossless failover guarantee.
+    ///
+    /// The durable log on a follower is always a *prefix* of the old
+    /// leader's (entries arrive in order over one stream), so no
+    /// truncation or reconciliation is ever needed; promotion commits
+    /// the whole local log. Entries the old leader logged but never
+    /// acked may be lost (the client never got an answer, so nothing
+    /// was promised) or — if they reached this follower — applied;
+    /// either outcome is exactly-once under client retry.
+    pub fn promote(&self) {
+        let mut st = self.node.state.lock().unwrap();
+        st.epoch += 1;
+        st.follow_target = None;
+        st.generation += 1;
+        st.commit_index = st.high_water();
+        self.node.cv.notify_all();
+        while st.applied < st.commit_index
+            && !self.node.closing.load(Ordering::SeqCst)
+            && !self.node.dead.load(Ordering::SeqCst)
+        {
+            st = self.node.cv.wait_timeout(st, WAIT).unwrap().0;
+        }
+        st.role = Role::Leader;
+        st.leader_hint = st.self_hint.clone();
+        st.follower_acks.clear();
+        self.node.update_gauges(&st);
+        self.node.cv.notify_all();
+    }
+
+    /// Kills the node (see [`ReplicaHook`] refusals) without tearing the
+    /// process down — the chaos path. Parked clients read `ShutDown`.
+    pub fn kill(&self) {
+        self.node.kill();
+    }
+
+    /// A snapshot of the replication state.
+    pub fn status(&self) -> ReplicaStatus {
+        let st = self.node.state.lock().unwrap();
+        ReplicaStatus {
+            leader: st.role == Role::Leader && !self.node.dead.load(Ordering::SeqCst),
+            dead: self.node.dead.load(Ordering::SeqCst),
+            epoch: st.epoch,
+            log_index: st.high_water(),
+            commit_index: st.commit_index,
+            applied: st.applied,
+        }
+    }
+
+    /// Stops every thread, closes both ports, and returns once the
+    /// node is fully quiesced.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Server`] when the inner server's drain fails.
+    pub fn shutdown(self) -> Result<(), ReplicaError> {
+        self.node.closing.store(true, Ordering::SeqCst);
+        self.node.cv.notify_all();
+        for t in self.threads {
+            let _ = t.join();
+        }
+        let handlers = std::mem::take(&mut *self.node.handlers.lock().unwrap());
+        for h in handlers {
+            let _ = h.join();
+        }
+        self.net.shutdown().map_err(ReplicaError::Server)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf_core::Policy;
+    use bf_domain::{Dataset, Domain};
+    use bf_engine::Request;
+    use bf_net::Client;
+    use bf_store::scratch_dir;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn setup(engine: &Engine) {
+        let domain = Domain::line(32).unwrap();
+        engine
+            .register_policy("pol", Policy::distance_threshold(domain.clone(), 2))
+            .unwrap();
+        let rows: Vec<usize> = (0..320).map(|i| (i * 11) % 32).collect();
+        engine
+            .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+            .unwrap();
+    }
+
+    fn replica(tag: &str, cfg: ReplicaConfig) -> Replica {
+        Replica::start(scratch_dir(tag), "127.0.0.1:0", "127.0.0.1:0", cfg, setup).unwrap()
+    }
+
+    /// Submit under an explicit idempotency key and wait for the answer.
+    fn call_tagged(
+        client: &mut Client,
+        analyst: &str,
+        rid: u64,
+        request: &Request,
+    ) -> Result<bf_engine::Response, bf_net::NetError> {
+        let id = client.submit_tagged(analyst, request, Some(rid), None)?;
+        client.wait(id)
+    }
+
+    #[test]
+    fn single_node_quorum_one_serves_and_commits() {
+        let r = replica(
+            "replica-single",
+            ReplicaConfig {
+                seed: 21,
+                ..ReplicaConfig::default()
+            },
+        );
+        r.lead();
+        let mut client = Client::connect(r.client_addr()).unwrap();
+        assert_eq!(client.open_session("a", 2.0).unwrap(), 2.0);
+        let resp = client
+            .call("a", &Request::range("pol", "ds", eps(0.5), 0, 9))
+            .unwrap();
+        assert!(resp.scalar().unwrap().is_finite());
+        let status = r.status();
+        assert!(status.leader);
+        assert_eq!(status.log_index, 2); // open + submit
+        assert_eq!(status.commit_index, 2);
+        assert_eq!(status.applied, 2);
+        // The write bypassed the scheduler: replication sequenced it.
+        assert_eq!(r.node.engine.obs().gauge("replica_log_index").get(), 2.0);
+        client.goodbye().unwrap();
+        r.shutdown().unwrap();
+    }
+
+    #[test]
+    fn followers_mirror_the_log_and_serve_reads() {
+        let leader = replica(
+            "replica-pair-l",
+            ReplicaConfig {
+                seed: 22,
+                quorum: 2,
+                ..ReplicaConfig::default()
+            },
+        );
+        let follower = replica(
+            "replica-pair-f",
+            ReplicaConfig {
+                seed: 22,
+                quorum: 2,
+                ..ReplicaConfig::default()
+            },
+        );
+        leader.lead();
+        follower.follow(leader.peer_addr(), &leader.client_addr().to_string());
+
+        let mut client = Client::connect(leader.client_addr()).unwrap();
+        client.open_session("b", 4.0).unwrap();
+        for i in 0..4 {
+            call_tagged(
+                &mut client,
+                "b",
+                100 + i,
+                &Request::range("pol", "ds", eps(0.25), 0, 16),
+            )
+            .unwrap();
+        }
+        // Quorum 2: the answers above prove the follower acked. Wait
+        // for the follower's replay to drain.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while follower.status().applied < 5 && Instant::now() < deadline {
+            std::thread::sleep(POLL);
+        }
+        assert_eq!(follower.status().applied, 5);
+
+        // Byte-identical ledgers on both replicas.
+        let lh: Vec<(String, u64)> = leader
+            .engine()
+            .ledger_history("b")
+            .unwrap()
+            .iter()
+            .map(|e| (e.label.clone(), e.eps_bits))
+            .collect();
+        let fh: Vec<(String, u64)> = follower
+            .engine()
+            .ledger_history("b")
+            .unwrap()
+            .iter()
+            .map(|e| (e.label.clone(), e.eps_bits))
+            .collect();
+        assert_eq!(lh, fh);
+        // Identical reply caches under the client's idempotency keys.
+        for i in 0..4 {
+            assert_eq!(
+                leader.engine().cached_reply("b", 100 + i),
+                follower.engine().cached_reply("b", 100 + i)
+            );
+        }
+
+        // The follower refuses writes with a leader hint but serves
+        // reads locally.
+        let mut fclient = Client::connect(follower.client_addr()).unwrap();
+        match fclient.open_session("c", 1.0) {
+            Err(bf_net::NetError::Remote(WireError::NotLeader { leader: hint })) => {
+                assert_eq!(hint, leader.client_addr().to_string())
+            }
+            other => panic!("expected NotLeader, got {other:?}"),
+        }
+        let budget = fclient.budget("b").unwrap();
+        assert_eq!(budget.served, 4);
+
+        client.goodbye().unwrap();
+        follower.shutdown().unwrap();
+        leader.shutdown().unwrap();
+    }
+
+    #[test]
+    fn promote_replays_everything_then_leads_at_a_higher_epoch() {
+        let cfg = |seed| ReplicaConfig {
+            seed,
+            quorum: 2,
+            ..ReplicaConfig::default()
+        };
+        let leader = replica("replica-promote-l", cfg(23));
+        let f1 = replica("replica-promote-f1", cfg(23));
+        let f2 = replica("replica-promote-f2", cfg(23));
+        leader.lead();
+        let hint = leader.client_addr().to_string();
+        f1.follow(leader.peer_addr(), &hint);
+        f2.follow(leader.peer_addr(), &hint);
+
+        let mut client = Client::connect(leader.client_addr()).unwrap();
+        client.open_session("d", 4.0).unwrap();
+        let first = call_tagged(
+            &mut client,
+            "d",
+            7,
+            &Request::range("pol", "ds", eps(0.5), 0, 8),
+        )
+        .unwrap();
+
+        // Quorum 2 means at least one follower holds both entries
+        // durably; kill the leader and promote whichever that is.
+        leader.kill();
+        let promoted = if f1.status().log_index >= f2.status().log_index {
+            (&f1, &f2)
+        } else {
+            (&f2, &f1)
+        };
+        let (new_leader, other) = promoted;
+        new_leader.promote();
+        other.follow(
+            new_leader.peer_addr(),
+            &new_leader.client_addr().to_string(),
+        );
+        let status = new_leader.status();
+        assert!(status.leader);
+        assert_eq!(status.epoch, 1);
+        assert_eq!(status.applied, status.commit_index);
+        assert_eq!(status.applied, 2, "both acked entries survive the kill");
+
+        // The promoted node serves the acked charge's cached reply and
+        // fresh writes (committed through the re-following peer).
+        let mut c2 = Client::connect(new_leader.client_addr()).unwrap();
+        assert_eq!(c2.open_session("d", 4.0).unwrap(), 3.5);
+        let replay = call_tagged(
+            &mut c2,
+            "d",
+            7,
+            &Request::range("pol", "ds", eps(0.5), 0, 8),
+        )
+        .unwrap();
+        assert_eq!(replay, first, "replayed ack must be byte-identical");
+        let spent_before = new_leader.engine().session_snapshot("d").unwrap().spent();
+        assert_eq!(spent_before, 0.5, "replay must charge nothing");
+
+        // Replayed submissions still occupy a log slot (the dedup is in
+        // the engine's reply cache): 2 old + reopen + replay + fresh.
+        call_tagged(
+            &mut c2,
+            "d",
+            8,
+            &Request::range("pol", "ds", eps(0.5), 4, 12),
+        )
+        .unwrap();
+        assert_eq!(new_leader.status().log_index, 5);
+        f2.shutdown().unwrap();
+        f1.shutdown().unwrap();
+        leader.shutdown().unwrap();
+    }
+
+    #[test]
+    fn scripted_kill_leader_fault_fires_at_the_exact_entry() {
+        let r = replica(
+            "replica-fault",
+            ReplicaConfig {
+                seed: 24,
+                fault_plan: Some(Arc::new(ReplicaPlan::scripted([(
+                    3,
+                    ReplicaFault::KillLeader,
+                )]))),
+                ..ReplicaConfig::default()
+            },
+        );
+        r.lead();
+        let mut client = Client::connect(r.client_addr()).unwrap();
+        client.open_session("e", 4.0).unwrap(); // entry 1
+        client
+            .call("e", &Request::range("pol", "ds", eps(0.5), 0, 8))
+            .unwrap(); // entry 2
+        match client.call("e", &Request::range("pol", "ds", eps(0.5), 0, 9)) {
+            Err(bf_net::NetError::Remote(WireError::NotLeader { .. })) => {}
+            other => panic!("expected the scripted kill, got {other:?}"),
+        }
+        let status = r.status();
+        assert!(status.dead);
+        assert_eq!(status.log_index, 2, "the third entry must not be logged");
+        r.shutdown().unwrap();
+    }
+
+    #[test]
+    fn restart_recovers_log_position_and_replays_pending() {
+        let dir = scratch_dir("replica-restart");
+        {
+            let r = Replica::start(
+                &dir,
+                "127.0.0.1:0",
+                "127.0.0.1:0",
+                ReplicaConfig {
+                    seed: 25,
+                    ..ReplicaConfig::default()
+                },
+                setup,
+            )
+            .unwrap();
+            r.lead();
+            let mut client = Client::connect(r.client_addr()).unwrap();
+            client.open_session("f", 2.0).unwrap();
+            call_tagged(
+                &mut client,
+                "f",
+                41,
+                &Request::range("pol", "ds", eps(0.5), 0, 8),
+            )
+            .unwrap();
+            client.goodbye().unwrap();
+            r.shutdown().unwrap();
+        }
+        let r = Replica::start(
+            &dir,
+            "127.0.0.1:0",
+            "127.0.0.1:0",
+            ReplicaConfig {
+                seed: 25,
+                ..ReplicaConfig::default()
+            },
+            setup,
+        )
+        .unwrap();
+        let status = r.status();
+        assert_eq!(status.log_index, 2);
+        assert_eq!(status.applied, 2);
+        assert!(!status.leader, "restart comes back as an unplaced follower");
+        // The reply cache survived: replay the acked charge for free.
+        r.lead();
+        let mut client = Client::connect(r.client_addr()).unwrap();
+        assert_eq!(client.open_session("f", 2.0).unwrap(), 1.5);
+        call_tagged(
+            &mut client,
+            "f",
+            41,
+            &Request::range("pol", "ds", eps(0.5), 0, 8),
+        )
+        .unwrap();
+        assert_eq!(
+            r.engine().session_snapshot("f").unwrap().spent(),
+            0.5,
+            "replay after restart must not double-charge"
+        );
+        r.shutdown().unwrap();
+    }
+}

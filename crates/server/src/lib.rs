@@ -57,7 +57,7 @@ pub use error::ServerError;
 pub use server::{
     adaptive_window_ticks, DriverHandle, Server, ServerConfig, ServerStats, EVICT_CHECK_EVERY,
 };
-pub use ticket::Ticket;
+pub use ticket::{Ticket, TicketResolver};
 
 #[cfg(test)]
 mod tests {

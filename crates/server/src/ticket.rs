@@ -38,6 +38,16 @@ impl Ticket {
         }
     }
 
+    /// Mints an unresolved ticket plus the resolver that answers it —
+    /// for layers that answer outside the scheduler (the replicated-log
+    /// sequencer resolves tickets when an entry commits and executes).
+    /// Dropping the resolver resolves the ticket to
+    /// [`ServerError::ShutDown`], exactly like a server shutdown.
+    pub fn pair() -> (TicketResolver, Ticket) {
+        let (tx, rx) = oneshot::channel();
+        (TicketResolver { tx }, Ticket::new(rx))
+    }
+
     /// Moves a freshly delivered (or shutdown) result into the cache,
     /// returning a clone of whatever is resolved so far.
     fn resolve(&self) -> Option<Result<Response, ServerError>> {
@@ -67,6 +77,21 @@ impl Ticket {
     /// [`ServerError`].
     pub fn wait(self) -> Result<Response, ServerError> {
         futures_lite::block_on(self)
+    }
+}
+
+/// The answering half of a [`Ticket::pair`]: whoever holds it owes the
+/// ticket holder exactly one answer.
+#[derive(Debug)]
+pub struct TicketResolver {
+    tx: oneshot::Sender<Result<Response, ServerError>>,
+}
+
+impl TicketResolver {
+    /// Delivers the answer. A ticket dropped by an impatient holder is
+    /// not an error — the answer is simply discarded.
+    pub fn resolve(self, result: Result<Response, ServerError>) {
+        let _ = self.tx.send(result);
     }
 }
 
@@ -114,5 +139,17 @@ mod tests {
         assert_eq!(ticket.try_take(), Some(Ok(Response::Scalar(7.0))));
         assert_eq!(ticket.try_take(), Some(Ok(Response::Scalar(7.0))));
         assert_eq!(ticket.wait(), Ok(Response::Scalar(7.0)));
+    }
+
+    #[test]
+    fn pair_resolves_like_a_scheduler_answer() {
+        let (resolver, ticket) = Ticket::pair();
+        assert_eq!(ticket.try_take(), None);
+        resolver.resolve(Ok(Response::Scalar(2.0)));
+        assert_eq!(ticket.wait(), Ok(Response::Scalar(2.0)));
+        // A dropped resolver reads as a shutdown, never a hang.
+        let (resolver, ticket) = Ticket::pair();
+        drop(resolver);
+        assert_eq!(ticket.wait(), Err(ServerError::ShutDown));
     }
 }

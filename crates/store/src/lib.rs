@@ -38,7 +38,7 @@ pub use record::{
     scan_frames, FrameRead, Reader, Record, RegistryKind, ScanEnd, FRAME_HEADER_LEN,
     MAX_RECORD_LEN,
 };
-pub use state::{CachedReply, SessionState, StoreState, REPLY_CACHE_PER_ANALYST};
+pub use state::{CachedReply, PendingLogEntry, SessionState, StoreState, REPLY_CACHE_PER_ANALYST};
 pub use store::{LedgerEntry, RecoveryReport, Store, StoreConfig, StoreStats};
 
 use std::path::PathBuf;

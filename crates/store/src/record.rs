@@ -147,6 +147,33 @@ pub enum Record {
         /// retry.
         payload: Vec<u8>,
     },
+    /// A replicated-log entry made durable *before* its acknowledgement
+    /// counts toward a quorum (`bf-replica`). The payload is the opaque
+    /// encoded log operation (an `OpenSession` or a `Submit`); the store
+    /// only tracks its `(epoch, index)` position so recovery knows the
+    /// logged high-water mark and which entries still await execution.
+    Replicated {
+        /// The sequencing epoch the entry was stamped under.
+        epoch: u64,
+        /// The entry's monotone position in the replicated log (1-based).
+        index: u64,
+        /// The analyst the operation belongs to.
+        analyst: String,
+        /// The idempotency key execution will use (`Record::Replied`).
+        request_id: u64,
+        /// The encoded log operation, replayed verbatim on recovery.
+        payload: Vec<u8>,
+    },
+    /// Execution high-water mark of the replicated log: every entry at
+    /// or below `index` has been applied through the engine. Written
+    /// after each applied entry so recovery resumes execution exactly
+    /// where it stopped; a crash between an entry's `Replied` record and
+    /// its `LogApplied` record is harmless — re-execution hits the reply
+    /// cache at zero ε and re-writes the mark.
+    LogApplied {
+        /// Highest applied log index.
+        index: u64,
+    },
 }
 
 const TAG_SESSION_OPENED: u8 = 1;
@@ -155,6 +182,8 @@ const TAG_REGISTERED: u8 = 3;
 const TAG_DEREGISTERED: u8 = 4;
 const TAG_RELEASE_SEQ: u8 = 5;
 const TAG_REPLIED: u8 = 6;
+const TAG_REPLICATED: u8 = 7;
+const TAG_LOG_APPLIED: u8 = 8;
 
 /// FNV-1a over a byte slice — the same stable hash the engine's shard
 /// router uses, here guarding frame integrity.
@@ -361,6 +390,24 @@ impl Record {
                 put_u64(&mut out, *eps_bits);
                 put_bytes(&mut out, payload);
             }
+            Record::Replicated {
+                epoch,
+                index,
+                analyst,
+                request_id,
+                payload,
+            } => {
+                out.push(TAG_REPLICATED);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *index);
+                put_str(&mut out, analyst);
+                put_u64(&mut out, *request_id);
+                put_bytes(&mut out, payload);
+            }
+            Record::LogApplied { index } => {
+                out.push(TAG_LOG_APPLIED);
+                put_u64(&mut out, *index);
+            }
         }
         out
     }
@@ -400,6 +447,14 @@ impl Record {
                 eps_bits: r.u64()?,
                 payload: r.bytes()?,
             },
+            TAG_REPLICATED => Record::Replicated {
+                epoch: r.u64()?,
+                index: r.u64()?,
+                analyst: r.str()?,
+                request_id: r.u64()?,
+                payload: r.bytes()?,
+            },
+            TAG_LOG_APPLIED => Record::LogApplied { index: r.u64()? },
             _ => return None,
         };
         r.done().then_some(record)
@@ -543,6 +598,14 @@ mod tests {
                 seq: 42,
             },
             Record::replied("alice", 7, "range@pol/ds", 0.25, vec![3, 0, 0, 0, 1, 2, 3]),
+            Record::Replicated {
+                epoch: 2,
+                index: 19,
+                analyst: "alice".into(),
+                request_id: 7,
+                payload: vec![2, 9, 9, 9],
+            },
+            Record::LogApplied { index: 19 },
         ]
     }
 

@@ -48,6 +48,23 @@ pub struct CachedReply {
 /// client's in-flight window (the net default is 64).
 pub const REPLY_CACHE_PER_ANALYST: usize = 128;
 
+/// A replicated-log entry that is durable but not yet executed: the
+/// payload of a [`Record::Replicated`] frame whose [`Record::LogApplied`]
+/// mark has not been written. Recovery hands these back to the
+/// replication layer (`bf-replica`) so it can finish replay exactly
+/// where execution stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingLogEntry {
+    /// The sequencing epoch the entry was stamped under.
+    pub epoch: u64,
+    /// The analyst the operation belongs to.
+    pub analyst: String,
+    /// The idempotency key execution will use.
+    pub request_id: u64,
+    /// The encoded log operation, opaque to the store.
+    pub payload: Vec<u8>,
+}
+
 /// Everything the store knows durably.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StoreState {
@@ -64,6 +81,17 @@ pub struct StoreState {
     /// Rebuilt by replaying [`Record::Replied`] frames and persisted in
     /// snapshots, so retry safety survives compaction and restart.
     pub replies: BTreeMap<String, BTreeMap<u64, CachedReply>>,
+    /// Highest sequencing epoch seen in replicated-log entries.
+    pub log_epoch: u64,
+    /// Durably-logged high-water mark of the replicated log (the largest
+    /// [`Record::Replicated`] index on disk; 0 when unreplicated).
+    pub log_index: u64,
+    /// Execution high-water mark: every log entry at or below this index
+    /// has been applied through the engine.
+    pub log_applied: u64,
+    /// Logged-but-unapplied entries by index — the replay frontier a
+    /// recovering replica must execute to catch its ledger up to its log.
+    pub log_pending: BTreeMap<u64, PendingLogEntry>,
 }
 
 impl StoreState {
@@ -157,6 +185,34 @@ impl StoreState {
                     cache.remove(&oldest);
                 }
             }
+            Record::Replicated {
+                epoch,
+                index,
+                analyst,
+                request_id,
+                payload,
+            } => {
+                self.log_epoch = self.log_epoch.max(*epoch);
+                self.log_index = self.log_index.max(*index);
+                // Entries already marked applied need no pending slot —
+                // replay may revisit a Replicated frame whose LogApplied
+                // mark lives in a later segment.
+                if *index > self.log_applied {
+                    self.log_pending.insert(
+                        *index,
+                        PendingLogEntry {
+                            epoch: *epoch,
+                            analyst: analyst.clone(),
+                            request_id: *request_id,
+                            payload: payload.clone(),
+                        },
+                    );
+                }
+            }
+            Record::LogApplied { index } => {
+                self.log_applied = self.log_applied.max(*index);
+                self.log_pending = self.log_pending.split_off(&(self.log_applied + 1));
+            }
         }
     }
 
@@ -197,6 +253,17 @@ impl StoreState {
                 put_u64(&mut out, reply.eps_bits);
                 crate::record::put_bytes(&mut out, &reply.payload);
             }
+        }
+        put_u64(&mut out, self.log_epoch);
+        put_u64(&mut out, self.log_index);
+        put_u64(&mut out, self.log_applied);
+        out.extend_from_slice(&(self.log_pending.len() as u32).to_le_bytes());
+        for (index, e) in &self.log_pending {
+            put_u64(&mut out, *index);
+            put_u64(&mut out, e.epoch);
+            put_str(&mut out, &e.analyst);
+            put_u64(&mut out, e.request_id);
+            crate::record::put_bytes(&mut out, &e.payload);
         }
         out
     }
@@ -256,6 +323,31 @@ impl StoreState {
                 cache.insert(rid, CachedReply { eps_bits, payload });
             }
             state.replies.insert(analyst, cache);
+        }
+        // Snapshots written before replication was durable end here;
+        // treat the missing section as an empty, unreplicated log.
+        if r.done() {
+            return Some(state);
+        }
+        state.log_epoch = r.u64()?;
+        state.log_index = r.u64()?;
+        state.log_applied = r.u64()?;
+        let n_pending = r.u32()?;
+        for _ in 0..n_pending {
+            let index = r.u64()?;
+            let epoch = r.u64()?;
+            let analyst = r.str()?;
+            let request_id = r.u64()?;
+            let payload = r.bytes()?;
+            state.log_pending.insert(
+                index,
+                PendingLogEntry {
+                    epoch,
+                    analyst,
+                    request_id,
+                    payload,
+                },
+            );
         }
         r.done().then_some(state)
     }
@@ -322,11 +414,14 @@ mod tests {
         let mut s = StoreState::default();
         s.apply(&Record::session_opened("alice", 1.0));
         let mut old = s.to_bytes();
-        old.truncate(old.len() - 8); // drop both empty trailing sections
+        // Drop every trailing section added since: empty release_seqs
+        // (4) + empty replies (4) + empty log section (3 u64 + count).
+        old.truncate(old.len() - 8 - 28);
         let loaded = StoreState::from_bytes(&old).expect("old snapshot loads");
         assert_eq!(loaded.sessions, s.sessions);
         assert!(loaded.release_seqs.is_empty());
         assert!(loaded.replies.is_empty());
+        assert_eq!(loaded.log_index, 0);
     }
 
     #[test]
@@ -383,11 +478,65 @@ mod tests {
             seq: 3,
         });
         let mut old = s.to_bytes();
-        old.truncate(old.len() - 4); // drop the empty replies section
+        // Drop the empty replies section (4) + the empty log section (28).
+        old.truncate(old.len() - 4 - 28);
         let loaded = StoreState::from_bytes(&old).expect("old snapshot loads");
         assert_eq!(loaded.sessions, s.sessions);
         assert_eq!(loaded.release_seqs, s.release_seqs);
         assert!(loaded.replies.is_empty());
+        assert_eq!(loaded.log_index, 0);
+    }
+
+    #[test]
+    fn snapshots_without_a_log_section_still_load() {
+        // A PR8-era snapshot body ends after the reply cache.
+        let mut s = StoreState::default();
+        s.apply(&Record::session_opened("alice", 1.0));
+        s.apply(&Record::replied("alice", 1, "q", 0.1, vec![9]));
+        let mut old = s.to_bytes();
+        old.truncate(old.len() - 28); // drop the empty log section
+        let loaded = StoreState::from_bytes(&old).expect("old snapshot loads");
+        assert_eq!(loaded, s);
+        assert_eq!(loaded.log_epoch, 0);
+        assert_eq!(loaded.log_applied, 0);
+        assert!(loaded.log_pending.is_empty());
+    }
+
+    #[test]
+    fn replicated_log_tracks_pending_and_applied() {
+        let mut s = StoreState::default();
+        let entry = |epoch: u64, index: u64| Record::Replicated {
+            epoch,
+            index,
+            analyst: "alice".into(),
+            request_id: 100 + index,
+            payload: vec![index as u8],
+        };
+        s.apply(&entry(1, 1));
+        s.apply(&entry(1, 2));
+        s.apply(&entry(2, 3));
+        assert_eq!(s.log_epoch, 2);
+        assert_eq!(s.log_index, 3);
+        assert_eq!(s.log_applied, 0);
+        assert_eq!(s.log_pending.len(), 3);
+        s.apply(&Record::LogApplied { index: 2 });
+        assert_eq!(s.log_applied, 2);
+        assert_eq!(
+            s.log_pending.keys().copied().collect::<Vec<_>>(),
+            vec![3],
+            "applied entries leave the pending frontier"
+        );
+        // An already-applied entry replayed from an earlier segment does
+        // not reopen the frontier.
+        s.apply(&entry(1, 2));
+        assert!(!s.log_pending.contains_key(&2));
+        // A stale LogApplied mark never moves the high-water back.
+        s.apply(&Record::LogApplied { index: 1 });
+        assert_eq!(s.log_applied, 2);
+        // Roundtrip carries the whole log section.
+        let bytes = s.to_bytes();
+        assert_eq!(StoreState::from_bytes(&bytes), Some(s.clone()));
+        assert_eq!(StoreState::from_bytes(&bytes[..bytes.len() - 1]), None);
     }
 
     #[test]

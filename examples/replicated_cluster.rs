@@ -1,0 +1,196 @@
+//! A three-replica cluster surviving a leader kill without losing ε.
+//!
+//! ```text
+//! cargo run --release --example replicated_cluster
+//! ```
+//!
+//! Three replicas share one seed and one registration script — the
+//! deterministic-replay preconditions. The leader sequences every write
+//! into a replicated log, acks only after a quorum of 2 holds the entry
+//! durable, and the followers replay the identical log through
+//! identical engines. The demo then kills the leader mid-workload,
+//! promotes the better-caught-up follower (epoch bump fences the old
+//! leader), re-points the remaining follower, and proves the failover
+//! invariant: **every charge the old leader acked is present exactly
+//! once** — resubmitting the whole workload under the original
+//! idempotency keys replays acked answers bit-identically at zero
+//! additional ε, and the surviving replicas' ledgers agree byte for
+//! byte.
+
+use blowfish::chaos::{ReplicaFault, ReplicaPlan};
+use blowfish::prelude::*;
+use blowfish::replica::{Replica, ReplicaConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 2014;
+const QUORUM: usize = 2;
+const PER_QUERY_EPS: f64 = 0.125;
+const BURST: u64 = 16;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// Runs identically on every replica — the replicated-state script.
+fn setup(engine: &Engine) {
+    let domain = Domain::line(96).expect("domain");
+    engine
+        .register_policy("salaries", Policy::distance_threshold(domain.clone(), 6))
+        .expect("policy");
+    let rows: Vec<usize> = (0..9_600).map(|i| (i * 31) % 96).collect();
+    engine
+        .register_dataset("payroll", Dataset::from_rows(domain, rows).expect("rows"))
+        .expect("dataset");
+}
+
+fn spawn(name: &str, plan: Option<Arc<ReplicaPlan>>) -> Replica {
+    let dir = format!("target/replicated-cluster-demo/{name}");
+    let _ = std::fs::remove_dir_all(&dir);
+    Replica::start(
+        dir,
+        "127.0.0.1:0",
+        "127.0.0.1:0",
+        ReplicaConfig {
+            seed: SEED,
+            quorum: QUORUM,
+            fault_plan: plan,
+            ..ReplicaConfig::default()
+        },
+        setup,
+    )
+    .expect("start replica")
+}
+
+fn await_applied(r: &Replica, target: u64, who: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while r.status().applied < target {
+        assert!(Instant::now() < deadline, "{who} never caught up");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn ledger_sig(r: &Replica, analyst: &str) -> Vec<(String, u64)> {
+    r.engine()
+        .ledger_history(analyst)
+        .expect("ledger")
+        .iter()
+        .map(|e| (e.label.clone(), e.eps_bits))
+        .collect()
+}
+
+fn query(rid: u64) -> Request {
+    let lo = (rid % 24) as usize;
+    Request::range("salaries", "payroll", eps(PER_QUERY_EPS), lo, lo + 40)
+}
+
+fn main() {
+    // ── Phase 1: a three-replica cluster serves a quorum-acked burst ──
+    // The leader's chaos plan kills it at its 10th sequenced entry:
+    // 1 session open + 8 answered queries, then the 9th query dies.
+    let plan = Arc::new(ReplicaPlan::scripted([(10, ReplicaFault::KillLeader)]));
+    let leader = spawn("leader", Some(plan));
+    let f1 = spawn("follower-1", None);
+    let f2 = spawn("follower-2", None);
+    leader.lead();
+    let hint = leader.client_addr().to_string();
+    f1.follow(leader.peer_addr(), &hint);
+    f2.follow(leader.peer_addr(), &hint);
+    println!(
+        "cluster up: leader {} + followers {} / {} (quorum {QUORUM}, seed {SEED})",
+        leader.client_addr(),
+        f1.client_addr(),
+        f2.client_addr()
+    );
+
+    let mut client = Client::connect(leader.client_addr()).expect("connect");
+    client.open_session("alice", 4.0).expect("open");
+    let mut acked: Vec<(u64, Response)> = Vec::new();
+    for rid in 1..=BURST {
+        match client.submit_tagged("alice", &query(rid), Some(rid), None) {
+            Ok(id) => match client.wait(id) {
+                Ok(resp) => acked.push((rid, resp)),
+                Err(e) => {
+                    println!("rid {rid}: leader died mid-burst ({e})");
+                    break;
+                }
+            },
+            Err(e) => {
+                println!("rid {rid}: leader died mid-burst ({e})");
+                break;
+            }
+        }
+    }
+    println!(
+        "burst: {} of {BURST} queries acked before the scripted kill",
+        acked.len()
+    );
+    assert!(leader.status().dead, "the chaos plan must have fired");
+
+    // ── Phase 2: operator failover — promote, fence, re-point ──
+    let (promoted, other, pname) = if f1.status().log_index >= f2.status().log_index {
+        (&f1, &f2, "follower-1")
+    } else {
+        (&f2, &f1, "follower-2")
+    };
+    promoted.promote();
+    other.follow(promoted.peer_addr(), &promoted.client_addr().to_string());
+    let st = promoted.status();
+    println!(
+        "{pname} promoted: epoch {} (old leader fenced), log {} fully replayed",
+        st.epoch, st.applied
+    );
+    assert!(st.leader && st.applied == st.commit_index);
+
+    // ── Phase 3: resubmit everything under the original keys ──
+    let mut c2 = Client::connect(promoted.client_addr()).expect("connect new leader");
+    c2.open_session("alice", 4.0).expect("reattach");
+    let mut replayed = 0u64;
+    for rid in 1..=BURST {
+        let id = c2
+            .submit_tagged("alice", &query(rid), Some(rid), None)
+            .expect("resubmit");
+        let resp = c2.wait(id).expect("answer after failover");
+        if let Some((_, first)) = acked.iter().find(|(r, _)| *r == rid) {
+            assert_eq!(
+                &resp, first,
+                "rid {rid}: acked answer changed across failover"
+            );
+            replayed += 1;
+        }
+    }
+    println!(
+        "resubmitted all {BURST} keys: {replayed} acked answers replayed bit-identically, \
+         {} served fresh",
+        BURST - replayed
+    );
+
+    // ── Phase 4: ε conservation, byte for byte ──
+    let snap = promoted
+        .engine()
+        .session_snapshot("alice")
+        .expect("session");
+    let expected = BURST as f64 * PER_QUERY_EPS;
+    assert_eq!(
+        snap.spent().to_bits(),
+        expected.to_bits(),
+        "every key must be charged exactly once"
+    );
+    let sig = ledger_sig(promoted, "alice");
+    assert_eq!(sig.len() as u64, BURST);
+    await_applied(other, promoted.status().applied, "re-pointed follower");
+    assert_eq!(
+        sig,
+        ledger_sig(other, "alice"),
+        "surviving replicas must agree byte for byte"
+    );
+    println!(
+        "ε conserved: spent {} = {BURST} × {PER_QUERY_EPS}, ledgers identical on both survivors",
+        snap.spent()
+    );
+
+    f2.shutdown().expect("shutdown f2");
+    f1.shutdown().expect("shutdown f1");
+    leader.shutdown().expect("shutdown old leader");
+    println!("replicated cluster demo complete");
+}

@@ -28,6 +28,7 @@
 //! | [`server`] | async front-end: fair per-analyst scheduling + cross-analyst release coalescing |
 //! | [`store`] | durable ε-budget ledger: checksummed WAL, group commit, snapshots, crash recovery |
 //! | [`net`] | wire protocol, TCP front-end and client library for multi-process serving |
+//! | [`replica`] | Calvin-style deterministic replication: log shipping, quorum acks, ε-lossless failover |
 //! | [`obs`] | metrics registry, request-stage spans, Prometheus-style rendering |
 //! | [`chaos`] | seed-deterministic fault injection: scripted store/net fault plans, backoff jitter |
 //! | [`rt`] | vendored minimal async runtime (executor, `block_on`, oneshot) |
@@ -83,6 +84,7 @@ pub use bf_graph as graph;
 pub use bf_mechanisms as mechanisms;
 pub use bf_net as net;
 pub use bf_obs as obs;
+pub use bf_replica as replica;
 pub use bf_server as server;
 pub use bf_store as store;
 pub use futures_lite as rt;
@@ -105,6 +107,7 @@ pub mod prelude {
     };
     pub use bf_net::{Client, NetConfig, NetError, NetServer, RetryPolicy, WireError};
     pub use bf_obs::{TraceContext, TraceId, TraceTree};
+    pub use bf_replica::{ClusterConfig, MemberConfig, Replica, ReplicaConfig, ShardMap};
     pub use bf_server::{Server, ServerConfig, ServerError, ServerStats, Ticket};
     pub use bf_store::{LedgerEntry, Store, StoreConfig, StoreError, StoreStats};
     pub use futures_lite::Executor;

@@ -1,0 +1,280 @@
+//! Replicated-serving integration suite: byte-identical replicas,
+//! ε-lossless failover under a scripted mid-burst leader kill, and
+//! same-seed cluster determinism.
+//!
+//! The guarantees under test (see `bf-replica`'s crate docs):
+//!
+//! 1. Every replica that applied index *i* has **byte-identical**
+//!    per-analyst ledgers, reply caches and answers at *i* — replication
+//!    is deterministic replay, not answer shipping.
+//! 2. Killing the leader at an arbitrary log index loses **zero acked
+//!    ε**: a promoted follower serves every client-acked charge exactly
+//!    once, and retried requests replay their durable answers at zero
+//!    additional ε.
+//! 3. Two clusters with the same seed and the same submission order
+//!    produce byte-identical answers and ledgers — the property that
+//!    makes cross-datacenter divergence detectable by digest comparison.
+
+use blowfish::chaos::{ReplicaFault, ReplicaPlan};
+use blowfish::prelude::*;
+use blowfish::replica::{Replica, ReplicaConfig};
+use blowfish::store::scratch_dir;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// Identical on every replica, like the seed — the deterministic-replay
+/// precondition.
+fn setup(engine: &Engine) {
+    let domain = Domain::line(48).unwrap();
+    engine
+        .register_policy("pol", Policy::distance_threshold(domain.clone(), 3))
+        .unwrap();
+    let rows: Vec<usize> = (0..480).map(|i| (i * 13) % 48).collect();
+    engine
+        .register_dataset("ds", Dataset::from_rows(domain, rows).unwrap())
+        .unwrap();
+}
+
+fn spawn(tag: &str, seed: u64, quorum: usize, plan: Option<Arc<ReplicaPlan>>) -> Replica {
+    Replica::start(
+        scratch_dir(tag),
+        "127.0.0.1:0",
+        "127.0.0.1:0",
+        ReplicaConfig {
+            seed,
+            quorum,
+            fault_plan: plan,
+            ..ReplicaConfig::default()
+        },
+        setup,
+    )
+    .unwrap()
+}
+
+fn await_applied(r: &Replica, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while r.status().applied < target {
+        assert!(
+            Instant::now() < deadline,
+            "replica stuck at applied={} waiting for {target}",
+            r.status().applied
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The cross-replica comparable ledger signature: `(label, exact ε
+/// bits)` in charge order. WAL sequence numbers are local bookkeeping
+/// (replication records interleave differently per replica) and are
+/// deliberately excluded.
+fn ledger_sig(r: &Replica, analyst: &str) -> Vec<(String, u64)> {
+    r.engine()
+        .ledger_history(analyst)
+        .unwrap()
+        .iter()
+        .map(|e| (e.label.clone(), e.eps_bits))
+        .collect()
+}
+
+fn call(client: &mut Client, analyst: &str, rid: u64) -> Result<Response, NetError> {
+    // Vary the query with the rid so answers are distinguishable.
+    let lo = (rid % 16) as usize;
+    let request = Request::range("pol", "ds", eps(0.125), lo, lo + 24);
+    let id = client.submit_tagged(analyst, &request, Some(rid), None)?;
+    client.wait(id)
+}
+
+#[test]
+fn three_replicas_converge_to_byte_identical_state() {
+    let leader = spawn("failover-conv-l", 71, 2, None);
+    let f1 = spawn("failover-conv-f1", 71, 2, None);
+    let f2 = spawn("failover-conv-f2", 71, 2, None);
+    leader.lead();
+    let hint = leader.client_addr().to_string();
+    f1.follow(leader.peer_addr(), &hint);
+    f2.follow(leader.peer_addr(), &hint);
+
+    let mut client = Client::connect(leader.client_addr()).unwrap();
+    assert_eq!(client.open_session("alice", 4.0).unwrap(), 4.0);
+    let answers: Vec<Response> = (1..=12)
+        .map(|rid| call(&mut client, "alice", rid).unwrap())
+        .collect();
+
+    // 1 open + 12 submissions; quorum 2 acked every one, now let both
+    // followers finish replay.
+    await_applied(&leader, 13);
+    await_applied(&f1, 13);
+    await_applied(&f2, 13);
+
+    let sig = ledger_sig(&leader, "alice");
+    assert_eq!(sig.len(), 12);
+    assert_eq!(sig, ledger_sig(&f1, "alice"), "f1 ledger diverged");
+    assert_eq!(sig, ledger_sig(&f2, "alice"), "f2 ledger diverged");
+
+    // Every replica's durable reply cache holds the exact answer the
+    // client saw — same bits, derived independently by local replay.
+    for (i, answer) in answers.iter().enumerate() {
+        let rid = (i + 1) as u64;
+        for r in [&leader, &f1, &f2] {
+            assert_eq!(
+                r.engine().cached_reply("alice", rid).as_ref(),
+                Some(answer),
+                "replica answer diverged at rid {rid}"
+            );
+        }
+    }
+
+    // Followers serve reads locally (the scale-out path).
+    let mut fc = Client::connect(f2.client_addr()).unwrap();
+    let budget = fc.budget("alice").unwrap();
+    assert_eq!(budget.served, 12);
+    assert_eq!(budget.spent.to_bits(), (12.0 * 0.125f64).to_bits());
+
+    client.goodbye().unwrap();
+    f2.shutdown().unwrap();
+    f1.shutdown().unwrap();
+    leader.shutdown().unwrap();
+}
+
+#[test]
+fn leader_kill_mid_burst_loses_no_acked_epsilon_and_double_charges_nothing() {
+    // The chaos plan kills the leader at its 8th sequenced entry:
+    // 1 session open + 6 answered submissions, then the 7th submission
+    // hits the fault mid-burst.
+    let plan = Arc::new(ReplicaPlan::scripted([(8, ReplicaFault::KillLeader)]));
+    let leader = spawn("failover-kill-l", 72, 2, Some(plan));
+    let f1 = spawn("failover-kill-f1", 72, 2, None);
+    let f2 = spawn("failover-kill-f2", 72, 2, None);
+    leader.lead();
+    let hint = leader.client_addr().to_string();
+    f1.follow(leader.peer_addr(), &hint);
+    f2.follow(leader.peer_addr(), &hint);
+
+    let mut client = Client::connect(leader.client_addr()).unwrap();
+    client.open_session("alice", 4.0).unwrap();
+    let mut acked: Vec<(u64, Response)> = Vec::new();
+    let mut burst_error = None;
+    for rid in 1..=20 {
+        match call(&mut client, "alice", rid) {
+            Ok(resp) => acked.push((rid, resp)),
+            Err(e) => {
+                burst_error = Some(e);
+                break;
+            }
+        }
+    }
+    assert_eq!(acked.len(), 6, "the scripted kill fires on the 7th query");
+    assert!(
+        matches!(
+            burst_error,
+            Some(NetError::Remote(WireError::NotLeader { .. }))
+        ),
+        "the killed leader must refuse, got {burst_error:?}"
+    );
+    assert!(leader.status().dead);
+
+    // Operator failover: promote the better-caught-up follower, point
+    // the other one at it.
+    let (promoted, other) = if f1.status().log_index >= f2.status().log_index {
+        (&f1, &f2)
+    } else {
+        (&f2, &f1)
+    };
+    promoted.promote();
+    other.follow(promoted.peer_addr(), &promoted.client_addr().to_string());
+    let st = promoted.status();
+    assert!(st.leader);
+    assert_eq!(st.epoch, 1, "promotion fences the old epoch");
+    assert_eq!(st.applied, st.commit_index, "promotion finishes replay");
+
+    // The client reconnects (cluster-aware: it only needs *a* member;
+    // NotLeader redirects hop to the promoted node) and resubmits the
+    // whole burst under the same idempotency keys.
+    let mut c2 =
+        Client::connect_cluster([other.client_addr(), promoted.client_addr()].as_slice()).unwrap();
+    if let Err(e) = c2.open_session("alice", 4.0) {
+        // Landed on the follower: it refuses the write with the
+        // promoted leader's address, and the client hops there.
+        let NetError::Remote(WireError::NotLeader { leader }) = e else {
+            panic!("expected NotLeader from the follower, got {e:?}");
+        };
+        assert_eq!(leader, promoted.client_addr().to_string());
+        c2.reconnect_to(promoted.client_addr()).unwrap();
+        c2.open_session("alice", 4.0).unwrap();
+    }
+    for rid in 1..=20u64 {
+        let resp = match call(&mut c2, "alice", rid) {
+            Ok(resp) => resp,
+            Err(NetError::Remote(WireError::NotLeader { .. })) => {
+                // First hop landed on the follower: hop to the hinted
+                // leader (reattaching the session) and resubmit.
+                c2.reconnect_to(promoted.client_addr()).unwrap();
+                call(&mut c2, "alice", rid).unwrap()
+            }
+            Err(e) => panic!("resubmit of rid {rid} failed: {e:?}"),
+        };
+        if let Some((_, first)) = acked.iter().find(|(r, _)| *r == rid) {
+            assert_eq!(
+                &resp, first,
+                "acked rid {rid} must replay byte-identically after failover"
+            );
+        }
+    }
+
+    // Exactly-once accounting: 20 distinct keys, one 0.125 charge each —
+    // replays and the failover added nothing.
+    let snap = promoted.engine().session_snapshot("alice").unwrap();
+    assert_eq!(snap.spent().to_bits(), (20.0 * 0.125f64).to_bits());
+    let sig = ledger_sig(promoted, "alice");
+    assert_eq!(sig.len(), 20, "each key charged exactly once");
+
+    // The re-following peer converges to the promoted leader's state.
+    await_applied(other, promoted.status().applied);
+    assert_eq!(sig, ledger_sig(other, "alice"));
+
+    f2.shutdown().unwrap();
+    f1.shutdown().unwrap();
+    leader.shutdown().unwrap();
+}
+
+#[test]
+fn same_seed_clusters_agree_byte_for_byte() {
+    let run = |tag: &str| -> (Vec<Response>, Vec<(String, u64)>) {
+        let leader = spawn(&format!("{tag}-l"), 99, 2, None);
+        let follower = spawn(&format!("{tag}-f"), 99, 2, None);
+        leader.lead();
+        follower.follow(leader.peer_addr(), &leader.client_addr().to_string());
+
+        let mut client = Client::connect(leader.client_addr()).unwrap();
+        client.open_session("alice", 4.0).unwrap();
+        client.open_session("bob", 2.0).unwrap();
+        let mut answers = Vec::new();
+        for rid in 1..=8 {
+            answers.push(call(&mut client, "alice", rid).unwrap());
+            answers.push(call(&mut client, "bob", 100 + rid).unwrap());
+        }
+        let mut sig = ledger_sig(&leader, "alice");
+        sig.extend(ledger_sig(&leader, "bob"));
+
+        // Both replicas in the cluster agree before we compare across
+        // clusters.
+        await_applied(&follower, leader.status().applied);
+        let mut fsig = ledger_sig(&follower, "alice");
+        fsig.extend(ledger_sig(&follower, "bob"));
+        assert_eq!(sig, fsig, "intra-cluster divergence in {tag}");
+
+        client.goodbye().unwrap();
+        follower.shutdown().unwrap();
+        leader.shutdown().unwrap();
+        (answers, sig)
+    };
+
+    let (answers_a, sig_a) = run("failover-twin-a");
+    let (answers_b, sig_b) = run("failover-twin-b");
+    assert_eq!(answers_a, answers_b, "same-seed clusters must agree");
+    assert_eq!(sig_a, sig_b);
+}
