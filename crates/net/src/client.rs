@@ -605,6 +605,7 @@ impl Client {
             id,
             analyst: analyst.to_owned(),
             requests: requests.iter().map(WireRequest::from_request).collect(),
+            token: self.tokens.get(analyst).copied(),
         })?;
         match self.recv_for(id)? {
             ServerMessage::BatchAnswer { slots, .. } => Ok(slots

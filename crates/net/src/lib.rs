@@ -664,6 +664,57 @@ mod tests {
             ServerMessage::AuditReport { entries, .. } => assert!(!entries.is_empty()),
             other => panic!("expected AuditReport, got {other:?}"),
         }
+        // Batches charge the same budget, so they pass the same gate —
+        // a tokenless batch must not sidestep what Submit enforces.
+        let batch = |token: Option<u64>, id: u64| ClientMessage::SubmitBatch {
+            id,
+            analyst: "alice".into(),
+            requests: vec![crate::proto::WireRequest::from_request(&Request::range(
+                "pol",
+                "ds",
+                eps(0.25),
+                4,
+                40,
+            ))],
+            token,
+        };
+        match raw.call(&batch(None, 16)) {
+            ServerMessage::Refused {
+                error: WireError::InvalidRequest(msg),
+                ..
+            } => assert!(msg.contains("token"), "got {msg}"),
+            other => panic!("expected token refusal, got {other:?}"),
+        }
+        match raw.call(&batch(Some(token), 17)) {
+            ServerMessage::BatchAnswer { slots, .. } => {
+                assert_eq!(slots.len(), 1);
+                assert!(slots[0].is_ok());
+            }
+            other => panic!("expected BatchAnswer, got {other:?}"),
+        }
+        // Client-supplied idempotency keys must stay out of the range
+        // reserved for log-position-derived ones.
+        match raw.call(&ClientMessage::Submit {
+            id: 18,
+            analyst: "alice".into(),
+            request: crate::proto::WireRequest::from_request(&Request::range(
+                "pol",
+                "ds",
+                eps(0.25),
+                4,
+                40,
+            )),
+            request_id: Some(crate::proto::RESERVED_REQUEST_ID_BASE),
+            deadline_micros: None,
+            trace_id: None,
+            token: Some(token),
+        }) {
+            ServerMessage::Refused {
+                error: WireError::InvalidRequest(msg),
+                ..
+            } => assert!(msg.contains("reserved"), "got {msg}"),
+            other => panic!("expected reserved-range refusal, got {other:?}"),
+        }
         net.shutdown().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -33,6 +33,7 @@
 //! | C→S | [`ClientMessage::BudgetAudit`] | an analyst's full ε-provenance ledger history (PR 8; connection must have attached the session) |
 //! | C→S | [`ClientMessage::LogCatchup`] | replica peer: follower subscribes to the replicated log from an index (v4) |
 //! | C→S | [`ClientMessage::ReplicateAck`] | replica peer: follower acknowledges an entry durable in its own WAL (v4) |
+//! | C→S | [`ClientMessage::PeerStatus`] | replica peer: read-only probe of a peer's durable log position (v4, pre-promotion check) |
 //! | C→S | [`ClientMessage::Goodbye`] | orderly close (the server drains in-flight work first) |
 //! | S→C | [`ServerMessage::Welcome`] | handshake accept, carries the **negotiated** version |
 //! | S→C | [`ServerMessage::SessionAttached`] | session opened/reattached, remaining ε + session token (v4) |
@@ -44,6 +45,7 @@
 //! | S→C | [`ServerMessage::AuditReport`] | the ledger history, one [`bf_store::LedgerEntry`] each |
 //! | S→C | [`ServerMessage::Refused`] | typed error for the correlated request (echoes the trace id) |
 //! | S→C | [`ServerMessage::Replicate`] | replica peer: leader streams log entries + its commit index (v4) |
+//! | S→C | [`ServerMessage::PeerStatusReport`] | replica peer: the probed peer's epoch and durable/applied log marks (v4) |
 //! | S→C | [`ServerMessage::Farewell`] | goodbye acknowledged, connection closing |
 //!
 //! Every message carries a client-assigned **correlation id**; replies
@@ -105,13 +107,24 @@ use bf_store::{put_str, put_u64, LedgerEntry, Reader};
 /// ([`ClientMessage::BudgetAudit`] / [`ServerMessage::AuditReport`]).
 /// Version 4 added replicated serving — the peer frames
 /// [`ClientMessage::LogCatchup`] / [`ClientMessage::ReplicateAck`] /
-/// [`ServerMessage::Replicate`], the [`WireError::NotLeader`] /
-/// [`WireError::StaleReplica`] refusals — plus the session-token
-/// handshake ([`ServerMessage::SessionAttached`] issues a token that
-/// later [`ClientMessage::Submit`] / [`ClientMessage::BudgetAudit`]
-/// frames for that analyst must present) and version negotiation
-/// itself.
+/// [`ClientMessage::PeerStatus`] / [`ServerMessage::Replicate`] /
+/// [`ServerMessage::PeerStatusReport`], the [`WireError::NotLeader`] /
+/// [`WireError::StaleReplica`] / [`WireError::LogDiverged`] refusals —
+/// plus the session-token handshake
+/// ([`ServerMessage::SessionAttached`] issues a token that later
+/// [`ClientMessage::Submit`] / [`ClientMessage::SubmitBatch`] /
+/// [`ClientMessage::BudgetAudit`] frames for that analyst must
+/// present) and version negotiation itself.
 pub const PROTOCOL_VERSION: u16 = 4;
+
+/// Idempotency keys at or above this value are reserved for the
+/// replication layer, which derives a key from the log position
+/// (`RESERVED_REQUEST_ID_BASE | index`) for entries submitted without
+/// one — every replica must execute under the same tag. Client-supplied
+/// `request_id`s in this range are refused at the wire boundary with
+/// [`WireError::InvalidRequest`]: a client key colliding with a derived
+/// key would alias another request's cached reply.
+pub const RESERVED_REQUEST_ID_BASE: u64 = 1 << 62;
 
 /// Oldest protocol version the handshake still accepts. Version 1 had
 /// no idempotency keys, so a v1 client could double-charge through a
@@ -442,6 +455,15 @@ pub enum WireError {
         /// Entries logged but not yet applied here.
         lag_entries: u64,
     },
+    /// A replica peer refusal: the follower asked to catch up from an
+    /// index beyond the leader's durable log — its tail belongs to a
+    /// deposed epoch. The follower must truncate its un-applied suffix
+    /// back to the leader's high-water mark and resubscribe from there.
+    LogDiverged {
+        /// The leader's durable log high-water mark (the highest index
+        /// the follower may keep).
+        leader_high_water: u64,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -504,6 +526,13 @@ impl std::fmt::Display for WireError {
                 write!(
                     f,
                     "replica {lag_entries} log entries behind its staleness bound"
+                )
+            }
+            WireError::LogDiverged { leader_high_water } => {
+                write!(
+                    f,
+                    "log diverged: truncate to the leader's high water {leader_high_water} \
+                     and resubscribe"
                 )
             }
         }
@@ -572,6 +601,11 @@ pub enum ClientMessage {
         analyst: String,
         /// The queries.
         requests: Vec<WireRequest>,
+        /// The session token [`ServerMessage::SessionAttached`] issued
+        /// (v4) — required under the same rules as
+        /// [`ClientMessage::Submit`]'s; a batch charges the same budget
+        /// a single submit does, so it passes the same gate.
+        token: Option<u64>,
     },
     /// Ask for an analyst's ledger snapshot.
     Budget {
@@ -619,6 +653,23 @@ pub enum ClientMessage {
         epoch: u64,
         /// First log index the follower is missing.
         from_index: u64,
+        /// Epoch of the follower's last durable entry (0 when its log is
+        /// empty). The leader checks it against its own entry at
+        /// `from_index - 1` — Raft's log-matching property — and refuses
+        /// with [`WireError::LogDiverged`] on a mismatch: the follower
+        /// holds an orphan suffix from a dead epoch and must truncate
+        /// back to its commit point before resubscribing.
+        last_epoch: u64,
+    },
+    /// Replica peer frame (v4): read-only probe of a peer's durable log
+    /// position, answered by [`ServerMessage::PeerStatusReport`]
+    /// regardless of the peer's role. A promotion candidate probes the
+    /// surviving peers first: promoting a node whose durable log is
+    /// shorter than a survivor's would silently drop quorum-acked
+    /// entries.
+    PeerStatus {
+        /// Correlation id.
+        id: u64,
     },
     /// Replica peer frame (v4): the follower has made every entry up to
     /// `index` durable in its own WAL. Acks are cumulative — entries
@@ -741,6 +792,20 @@ pub enum ServerMessage {
         commit_index: u64,
         /// New entries, in index order.
         entries: Vec<WireLogEntry>,
+    },
+    /// Replica peer frame (v4): answer to [`ClientMessage::PeerStatus`]
+    /// — this peer's durable log position, served regardless of role so
+    /// a promotion candidate can verify it holds the longest surviving
+    /// log before fencing a new epoch.
+    PeerStatusReport {
+        /// Correlation id.
+        id: u64,
+        /// The peer's current sequencing epoch.
+        epoch: u64,
+        /// Largest durable log index in the peer's WAL.
+        high_water: u64,
+        /// Largest index executed through the peer's engine.
+        applied: u64,
     },
     /// Goodbye acknowledged; the server closes after this frame.
     Farewell {
@@ -957,6 +1022,7 @@ const TAG_TRACES: u8 = 8;
 const TAG_BUDGET_AUDIT: u8 = 9;
 const TAG_LOG_CATCHUP: u8 = 10;
 const TAG_REPLICATE_ACK: u8 = 11;
+const TAG_PEER_STATUS: u8 = 12;
 
 const TAG_WELCOME: u8 = 65;
 const TAG_SESSION_ATTACHED: u8 = 66;
@@ -969,6 +1035,7 @@ const TAG_STATS_REPORT: u8 = 72;
 const TAG_TRACE_REPORT: u8 = 73;
 const TAG_AUDIT_REPORT: u8 = 74;
 const TAG_REPLICATE: u8 = 75;
+const TAG_PEER_STATUS_REPORT: u8 = 76;
 
 const METRIC_COUNTER: u8 = 1;
 const METRIC_GAUGE: u8 = 2;
@@ -1008,6 +1075,7 @@ const ERR_OVERLOADED: u8 = 14;
 const ERR_DEADLINE_EXCEEDED: u8 = 15;
 const ERR_NOT_LEADER: u8 = 16;
 const ERR_STALE_REPLICA: u8 = 17;
+const ERR_LOG_DIVERGED: u8 = 18;
 
 const LOG_OP_OPEN_SESSION: u8 = 1;
 const LOG_OP_SUBMIT: u8 = 2;
@@ -1401,6 +1469,10 @@ fn encode_error(out: &mut Vec<u8>, e: &WireError) {
             out.push(ERR_STALE_REPLICA);
             put_u64(out, *lag_entries);
         }
+        WireError::LogDiverged { leader_high_water } => {
+            out.push(ERR_LOG_DIVERGED);
+            put_u64(out, *leader_high_water);
+        }
     }
 }
 
@@ -1438,6 +1510,9 @@ fn decode_error(r: &mut Reader<'_>) -> Option<WireError> {
         ERR_NOT_LEADER => WireError::NotLeader { leader: r.str()? },
         ERR_STALE_REPLICA => WireError::StaleReplica {
             lag_entries: r.u64()?,
+        },
+        ERR_LOG_DIVERGED => WireError::LogDiverged {
+            leader_high_water: r.u64()?,
         },
         _ => return None,
     })
@@ -1500,6 +1575,7 @@ impl ClientMessage {
             | ClientMessage::BudgetAudit { id, .. }
             | ClientMessage::LogCatchup { id, .. }
             | ClientMessage::ReplicateAck { id, .. }
+            | ClientMessage::PeerStatus { id }
             | ClientMessage::Goodbye { id } => *id,
         }
     }
@@ -1556,6 +1632,7 @@ impl ClientMessage {
                 id,
                 analyst,
                 requests,
+                token,
             } => {
                 out.push(TAG_SUBMIT_BATCH);
                 put_u64(&mut out, *id);
@@ -1563,6 +1640,9 @@ impl ClientMessage {
                 put_u64(&mut out, requests.len() as u64);
                 for r in requests {
                     encode_request(&mut out, r);
+                }
+                if version >= 4 {
+                    put_opt_u64(&mut out, *token);
                 }
             }
             ClientMessage::Budget { id, analyst } => {
@@ -1590,17 +1670,23 @@ impl ClientMessage {
                 id,
                 epoch,
                 from_index,
+                last_epoch,
             } => {
                 out.push(TAG_LOG_CATCHUP);
                 put_u64(&mut out, *id);
                 put_u64(&mut out, *epoch);
                 put_u64(&mut out, *from_index);
+                put_u64(&mut out, *last_epoch);
             }
             ClientMessage::ReplicateAck { id, epoch, index } => {
                 out.push(TAG_REPLICATE_ACK);
                 put_u64(&mut out, *id);
                 put_u64(&mut out, *epoch);
                 put_u64(&mut out, *index);
+            }
+            ClientMessage::PeerStatus { id } => {
+                out.push(TAG_PEER_STATUS);
+                put_u64(&mut out, *id);
             }
             ClientMessage::Goodbye { id } => {
                 out.push(TAG_GOODBYE);
@@ -1665,6 +1751,11 @@ impl ClientMessage {
                     id,
                     analyst,
                     requests,
+                    token: if version >= 4 {
+                        read_opt_u64(&mut r)?
+                    } else {
+                        None
+                    },
                 }
             }
             TAG_BUDGET => ClientMessage::Budget {
@@ -1686,12 +1777,14 @@ impl ClientMessage {
                 id: r.u64()?,
                 epoch: r.u64()?,
                 from_index: r.u64()?,
+                last_epoch: r.u64()?,
             },
             TAG_REPLICATE_ACK if version >= 4 => ClientMessage::ReplicateAck {
                 id: r.u64()?,
                 epoch: r.u64()?,
                 index: r.u64()?,
             },
+            TAG_PEER_STATUS if version >= 4 => ClientMessage::PeerStatus { id: r.u64()? },
             TAG_GOODBYE => ClientMessage::Goodbye { id: r.u64()? },
             _ => return None,
         };
@@ -1713,6 +1806,7 @@ impl ServerMessage {
             | ServerMessage::AuditReport { id, .. }
             | ServerMessage::Refused { id, .. }
             | ServerMessage::Replicate { id, .. }
+            | ServerMessage::PeerStatusReport { id, .. }
             | ServerMessage::Farewell { id } => *id,
         }
     }
@@ -1838,6 +1932,18 @@ impl ServerMessage {
                     encode_log_entry(&mut out, e);
                 }
             }
+            ServerMessage::PeerStatusReport {
+                id,
+                epoch,
+                high_water,
+                applied,
+            } => {
+                out.push(TAG_PEER_STATUS_REPORT);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *high_water);
+                put_u64(&mut out, *applied);
+            }
             ServerMessage::Farewell { id } => {
                 out.push(TAG_FAREWELL);
                 put_u64(&mut out, *id);
@@ -1962,6 +2068,12 @@ impl ServerMessage {
                     entries,
                 }
             }
+            TAG_PEER_STATUS_REPORT if version >= 4 => ServerMessage::PeerStatusReport {
+                id: r.u64()?,
+                epoch: r.u64()?,
+                high_water: r.u64()?,
+                applied: r.u64()?,
+            },
             TAG_FAREWELL => ServerMessage::Farewell { id: r.u64()? },
             _ => return None,
         };
@@ -2047,7 +2159,7 @@ mod tests {
     }
 
     fn arb_error(rng: &mut StdRng) -> WireError {
-        match rng.random_range(0..17u32) {
+        match rng.random_range(0..18u32) {
             0 => WireError::QueueFull {
                 analyst: arb_string(rng),
                 capacity: rng.random(),
@@ -2085,6 +2197,9 @@ mod tests {
             },
             15 => WireError::StaleReplica {
                 lag_entries: rng.random(),
+            },
+            16 => WireError::LogDiverged {
+                leader_high_water: rng.random(),
             },
             _ => WireError::Other(arb_string(rng)),
         }
@@ -2160,7 +2275,7 @@ mod tests {
 
     fn arb_client_message(rng: &mut StdRng) -> ClientMessage {
         let id = rng.random();
-        match rng.random_range(0..11u32) {
+        match rng.random_range(0..12u32) {
             0 => ClientMessage::Hello {
                 id,
                 version: rng.random::<u32>() as u16,
@@ -2185,6 +2300,7 @@ mod tests {
                 requests: (0..rng.random_range(0..5usize))
                     .map(|_| arb_request(rng))
                     .collect(),
+                token: arb_opt_u64(rng),
             },
             4 => ClientMessage::Budget {
                 id,
@@ -2198,6 +2314,7 @@ mod tests {
                 token: arb_opt_u64(rng),
             },
             8 => ClientMessage::LogCatchup {
+                last_epoch: rng.random(),
                 id,
                 epoch: rng.random(),
                 from_index: rng.random(),
@@ -2207,13 +2324,14 @@ mod tests {
                 epoch: rng.random(),
                 index: rng.random(),
             },
+            10 => ClientMessage::PeerStatus { id },
             _ => ClientMessage::Goodbye { id },
         }
     }
 
     fn arb_server_message(rng: &mut StdRng) -> ServerMessage {
         let id = rng.random();
-        match rng.random_range(0..11u32) {
+        match rng.random_range(0..12u32) {
             0 => ServerMessage::Welcome {
                 id,
                 version: rng.random::<u32>() as u16,
@@ -2278,6 +2396,12 @@ mod tests {
                     .map(|_| arb_log_entry(rng))
                     .collect(),
             },
+            10 => ServerMessage::PeerStatusReport {
+                id,
+                epoch: rng.random(),
+                high_water: rng.random(),
+                applied: rng.random(),
+            },
             _ => ServerMessage::Farewell { id },
         }
     }
@@ -2298,6 +2422,9 @@ mod tests {
                 }
             }
             ClientMessage::BudgetAudit { token, .. } if version < 4 => {
+                *token = None;
+            }
+            ClientMessage::SubmitBatch { token, .. } if version < 4 => {
                 *token = None;
             }
             _ => {}
@@ -2350,7 +2477,9 @@ mod tests {
             for v in MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION {
                 let peer_only = matches!(
                     cm,
-                    ClientMessage::LogCatchup { .. } | ClientMessage::ReplicateAck { .. }
+                    ClientMessage::LogCatchup { .. }
+                        | ClientMessage::ReplicateAck { .. }
+                        | ClientMessage::PeerStatus { .. }
                 );
                 if v < 4 && peer_only {
                     prop_assert_eq!(ClientMessage::decode_for(&cm.encode_for(v), v), None);
@@ -2360,7 +2489,12 @@ mod tests {
                         Some(downgrade_client(&cm, v))
                     );
                 }
-                if v < 4 && matches!(sm, ServerMessage::Replicate { .. }) {
+                if v < 4
+                    && matches!(
+                        sm,
+                        ServerMessage::Replicate { .. } | ServerMessage::PeerStatusReport { .. }
+                    )
+                {
                     prop_assert_eq!(ServerMessage::decode_for(&sm.encode_for(v), v), None);
                 } else {
                     prop_assert_eq!(

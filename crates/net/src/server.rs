@@ -744,7 +744,19 @@ impl<'a> Connection<'a> {
                 id,
                 analyst,
                 requests,
+                token,
             } => {
+                // The batch path charges the same ε budget as single
+                // submits, so it passes the same session-token gate.
+                if let Some(refusal) = self.token_refusal(&analyst, token) {
+                    return self
+                        .write_message(&ServerMessage::Refused {
+                            id,
+                            error: refusal,
+                            trace_id: None,
+                        })
+                        .is_ok();
+                }
                 if let Some(refusal) = self.window_refusal(requests.len()) {
                     return self
                         .write_message(&ServerMessage::Refused {
@@ -878,7 +890,9 @@ impl<'a> Connection<'a> {
                 };
                 self.write_message(&reply).is_ok()
             }
-            ClientMessage::LogCatchup { id, .. } | ClientMessage::ReplicateAck { id, .. } => {
+            ClientMessage::LogCatchup { id, .. }
+            | ClientMessage::ReplicateAck { id, .. }
+            | ClientMessage::PeerStatus { id } => {
                 // Replication frames travel replica-to-replica on the
                 // peer port; a client sending one here is confused or
                 // probing.
@@ -979,6 +993,18 @@ impl<'a> Connection<'a> {
     ) -> Result<Ticket, WireError> {
         if self.closing.load(Ordering::Acquire) {
             return Err(WireError::ShutDown);
+        }
+        // The top quarter of the id space is reserved for log-position-
+        // derived idempotency keys (see `RESERVED_REQUEST_ID_BASE`);
+        // letting a client key land there could alias another request's
+        // cached reply.
+        if request_id.is_some_and(|rid| rid >= crate::proto::RESERVED_REQUEST_ID_BASE) {
+            return Err(WireError::InvalidRequest(format!(
+                "request_id {} is in the reserved range (>= 2^62); \
+                 pick an id below {}",
+                request_id.unwrap_or(0),
+                crate::proto::RESERVED_REQUEST_ID_BASE,
+            )));
         }
         let request = request.to_request()?;
         match &self.config.role {

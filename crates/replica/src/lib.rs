@@ -17,7 +17,8 @@
 //!   included — with `(epoch, index)` (index monotone, 1-based), makes
 //!   it durable as a `Record::Replicated` frame in its own WAL *before*
 //!   anything executes, and streams it to followers over the proto-v4
-//!   peer frames (`LogCatchup` / `Replicate` / `ReplicateAck`).
+//!   peer frames (`LogCatchup` / `Replicate` / `ReplicateAck` /
+//!   `PeerStatus`).
 //! * **Quorum acks.** A client is answered only after the entry is
 //!   durable on a configurable quorum of replicas **and** executed
 //!   locally. Acks are cumulative durable high-water marks.
@@ -31,14 +32,25 @@
 //!   `Traces` / `Stats` from their local engine, optionally refusing
 //!   with `StaleReplica` past a configured lag bound.
 //! * **ε-lossless failover.** Kill the leader at any log index: a
-//!   follower [`Replica::promote`]s by finishing replay of its
-//!   mirrored WAL, bumps the epoch (fencing stale leaders), and every
-//!   client-acked charge is present exactly once — retried requests
-//!   replay their durable cached reply at zero additional ε.
+//!   follower promotes via [`Replica::promote_over`] — which probes the
+//!   survivors' durable log positions and refuses any candidate that is
+//!   not the longest, so a quorum-acked entry always survives — then
+//!   finishes replay of its mirrored WAL and bumps the epoch (fencing
+//!   stale leaders). Every client-acked charge is present exactly once:
+//!   retried requests replay their durable cached reply at zero
+//!   additional ε.
+//! * **Divergence reconciliation.** A survivor that mirrored entries
+//!   the dead leader never committed reconciles when it re-follows: the
+//!   new leader's catchup log-matching check (last-entry epoch against
+//!   its own, the Raft consistency argument) refuses with
+//!   `LogDiverged`, and the follower durably truncates its un-committed
+//!   orphan suffix (`Record::LogTruncated`) and resubscribes. Conflicts
+//!   that would reach the commit point halt the node instead — a forked
+//!   ledger is never served.
 //!
 //! There is deliberately **no election**: leadership changes are an
 //! operator (or orchestrator/test-harness) decision via
-//! [`Replica::promote`] / [`Replica::follow`]. The safety argument
+//! [`Replica::promote_over`] / [`Replica::follow`]. The safety argument
 //! never rests on who *thinks* they lead — a deposed leader cannot
 //! reach quorum, so it can never ack, and followers fence anything
 //! from a stale epoch.

@@ -21,6 +21,7 @@
 use bf_chaos::{ReplicaFault, ReplicaPlan};
 use bf_core::Epsilon;
 use bf_engine::{Engine, EngineError};
+use bf_net::proto::RESERVED_REQUEST_ID_BASE;
 use bf_net::{
     ClientMessage, NetConfig, NetServer, ReplicaHook, ServerMessage, ServerRole, WireError,
     WireLogEntry, WireLogOp, PROTOCOL_VERSION,
@@ -61,6 +62,14 @@ pub struct ReplicaConfig {
     /// more than this many committed entries await local replay.
     /// `None` always serves (reads may trail the leader).
     pub stale_bound: Option<u64>,
+    /// How many applied entries stay resident in the in-memory log for
+    /// peer catchup before being evicted (the WAL keeps them all; only
+    /// catchup below the retained window is refused, pointing at
+    /// snapshot transfer). Clamped to at least 1 — the newest entry
+    /// always stays resident, anchoring the catchup log-matching check.
+    /// On a leader, entries a connected follower has not yet acked are
+    /// never evicted regardless of this bound.
+    pub log_retain: u64,
     /// Deterministic fault injection: the plan's op clock advances once
     /// per **sequenced entry**, and a due [`ReplicaFault::KillLeader`]
     /// kills this node exactly as [`Replica::kill`] would — mid-burst
@@ -81,6 +90,7 @@ impl Default for ReplicaConfig {
             seed: 0,
             quorum: 1,
             stale_bound: None,
+            log_retain: 1024,
             fault_plan: None,
             net: NetConfig::default(),
             server: ServerConfig::default(),
@@ -98,6 +108,17 @@ pub enum ReplicaError {
     /// The durable log section was undecodable or non-contiguous — the
     /// replica must stop rather than guess at history.
     Corrupt(String),
+    /// [`Replica::promote_over`] found a surviving peer whose durable
+    /// log is ahead of this node's — promote that peer instead, or
+    /// quorum-acked entries it alone holds would be dropped.
+    Behind {
+        /// The peer address holding the longer log.
+        peer: String,
+        /// That peer's durable high-water mark.
+        peer_high_water: u64,
+        /// This node's durable high-water mark.
+        local_high_water: u64,
+    },
     /// The inner server failed to shut down cleanly.
     Server(ServerError),
 }
@@ -108,6 +129,15 @@ impl std::fmt::Display for ReplicaError {
             ReplicaError::Store(e) => write!(f, "store: {e}"),
             ReplicaError::Io(e) => write!(f, "io: {e}"),
             ReplicaError::Corrupt(msg) => write!(f, "corrupt replica log: {msg}"),
+            ReplicaError::Behind {
+                peer,
+                peer_high_water,
+                local_high_water,
+            } => write!(
+                f,
+                "peer {peer} holds a longer durable log ({peer_high_water} > \
+                 {local_high_water}); promote that peer instead"
+            ),
             ReplicaError::Server(e) => write!(f, "server: {e}"),
         }
     }
@@ -174,9 +204,15 @@ enum Waiter {
 struct NodeState {
     role: Role,
     epoch: u64,
-    /// Index of `log[0]`; entries below it are applied and evicted.
+    /// Index of `log[0]`; entries below it are applied and were evicted
+    /// from memory by [`Node::evict_applied`] (the WAL still holds them).
     log_start: u64,
     log: Vec<LogEntry>,
+    /// Epoch of the log's last entry (0 when nothing was ever logged).
+    /// Epochs are non-decreasing in index, so this is also the largest
+    /// epoch any entry carries. Sent in `LogCatchup` for the leader's
+    /// log-matching check; survives eviction of the entry itself.
+    last_epoch: u64,
     commit_index: u64,
     applied: u64,
     /// Client-facing address of the current leader ("" when unknown).
@@ -225,6 +261,7 @@ struct Node {
     closing: AtomicBool,
     quorum: usize,
     stale_bound: Option<u64>,
+    log_retain: u64,
     fault_plan: Option<Arc<ReplicaPlan>>,
     conn_ids: AtomicU64,
     /// Joinable per-follower stream handlers.
@@ -275,6 +312,9 @@ impl Node {
             });
         }
         let obs = Arc::clone(engine.obs());
+        // The last entry's epoch is the max epoch on disk (epochs are
+        // non-decreasing in index); pending entries refine it.
+        let last_epoch = log.last().map_or(snap.log_epoch, |e: &LogEntry| e.epoch);
         let node = Node {
             engine,
             store,
@@ -283,6 +323,7 @@ impl Node {
                 epoch: snap.log_epoch,
                 log_start: snap.log_applied + 1,
                 log,
+                last_epoch,
                 commit_index: snap.log_applied,
                 applied: snap.log_applied,
                 leader_hint: String::new(),
@@ -298,6 +339,7 @@ impl Node {
             closing: AtomicBool::new(false),
             quorum: cfg.quorum.max(1),
             stale_bound: cfg.stale_bound,
+            log_retain: cfg.log_retain.max(1),
             fault_plan: cfg.fault_plan.clone(),
             conn_ids: AtomicU64::new(1),
             handlers: Mutex::new(Vec::new()),
@@ -377,6 +419,59 @@ impl Node {
         self.cv.notify_all();
     }
 
+    /// Discards every log entry above `keep` — in memory and durably,
+    /// via an appended [`Record::LogTruncated`] (the WAL is append-only;
+    /// recovery replays the truncation). Dropped entries' waiters read
+    /// `ShutDown` and retry at the new leader under the same key.
+    ///
+    /// Returns `false` — after marking the node dead — when `keep` is
+    /// below the local commit point: entries up to `commit_index` are
+    /// quorum-durable, so a leader that contradicts them was promoted
+    /// over a stale log, and halting beats serving a forked ledger.
+    fn truncate_suffix(&self, st: &mut NodeState, keep: u64) -> bool {
+        if keep >= st.high_water() {
+            return true;
+        }
+        if keep < st.commit_index
+            || self
+                .store
+                .commit(&[Record::LogTruncated { index: keep }])
+                .is_err()
+        {
+            self.dead.store(true, Ordering::SeqCst);
+            self.cv.notify_all();
+            return false;
+        }
+        // keep >= commit >= applied >= log_start - 1, and eviction keeps
+        // log_start <= applied, so the surviving log is non-empty.
+        st.log.truncate((keep + 1 - st.log_start) as usize);
+        st.last_epoch = st.entry_at(keep).map_or(st.last_epoch, |e| e.epoch);
+        st.waiters.retain(|&i, _| i <= keep);
+        st.pending_since.retain(|&i, _| i <= keep);
+        self.update_gauges(st);
+        self.cv.notify_all();
+        true
+    }
+
+    /// Evicts applied entries older than the retention window from the
+    /// in-memory log, advancing `log_start`. The WAL keeps every entry
+    /// (recovery and the reply cache are unaffected); only peer catchup
+    /// below `log_start` is refused, pointing at snapshot transfer. The
+    /// newest entry always stays resident (`log_retain >= 1`), and a
+    /// leader never evicts past a connected follower's ack.
+    fn evict_applied(&self, st: &mut NodeState) {
+        let mut bound = st.applied.saturating_sub(self.log_retain);
+        if st.role == Role::Leader {
+            for &ack in st.follower_acks.values() {
+                bound = bound.min(ack);
+            }
+        }
+        if bound >= st.log_start {
+            st.log.drain(..(bound + 1 - st.log_start) as usize);
+            st.log_start = bound + 1;
+        }
+    }
+
     /// Sequences one operation: stamp `(epoch, index)`, make it durable
     /// locally, park the waiter, and let the quorum rule ack it.
     fn sequence(
@@ -409,8 +504,9 @@ impl Node {
         let index = st.next_index();
         // Entries without a client idempotency key still need one —
         // every replica must execute under the same tag. Derive it from
-        // the log position, in a range client keys never use.
-        let request_id = request_id.unwrap_or((1 << 62) | index);
+        // the log position, in the reserved range the wire boundary
+        // refuses to client-supplied keys (`RESERVED_REQUEST_ID_BASE`).
+        let request_id = request_id.unwrap_or(RESERVED_REQUEST_ID_BASE | index);
         let entry = LogEntry {
             epoch: st.epoch,
             index,
@@ -429,6 +525,7 @@ impl Node {
             .map_err(|e| WireError::Other(format!("log append failed: {e}")))?;
         st.pending_since.insert(index, Instant::now());
         st.waiters.entry(index).or_default().push(waiter);
+        st.last_epoch = entry.epoch;
         st.log.push(entry);
         self.update_gauges(&st);
         self.recompute_commit(&mut st);
@@ -539,6 +636,7 @@ impl Node {
             }
             st = self.state.lock().unwrap();
             st.applied = st.applied.max(next);
+            self.evict_applied(&mut st);
             self.update_gauges(&st);
             self.cv.notify_all();
         }
@@ -600,10 +698,33 @@ impl Node {
         let _ = hello;
 
         let (corr, mut send_next) = match self.read_peer_frame(&mut stream, &mut buf, true) {
+            Some(ClientMessage::PeerStatus { id }) => {
+                // Read-only probe (the pre-promotion longest-log check):
+                // report the durable position and close. A killed node
+                // models a crashed process and answers nothing useful.
+                let reply = if self.dead.load(Ordering::SeqCst) {
+                    ServerMessage::Refused {
+                        id,
+                        error: WireError::ShutDown,
+                        trace_id: None,
+                    }
+                } else {
+                    let st = self.state.lock().unwrap();
+                    ServerMessage::PeerStatusReport {
+                        id,
+                        epoch: st.epoch,
+                        high_water: st.high_water(),
+                        applied: st.applied,
+                    }
+                };
+                let _ = write_frame(&mut stream, &reply);
+                return;
+            }
             Some(ClientMessage::LogCatchup {
                 id,
                 epoch,
                 from_index,
+                last_epoch,
             }) => {
                 let mut st = self.state.lock().unwrap();
                 self.step_down(&mut st, epoch);
@@ -639,6 +760,34 @@ impl Node {
                     );
                     return;
                 }
+                // Log-matching check (the Raft consistency argument).
+                // A follower ahead of this leader, or one whose entry
+                // just below the subscription point carries a different
+                // epoch, holds an orphan suffix from a dead epoch:
+                // refuse with our high water so it truncates back to
+                // its commit point and resubscribes. Acking such a
+                // follower would count entries this leader never
+                // sequenced toward the quorum.
+                let diverged = from_index > st.high_water() + 1
+                    || from_index
+                        .checked_sub(1)
+                        .and_then(|i| st.entry_at(i))
+                        .is_some_and(|prev| prev.epoch != last_epoch);
+                if diverged {
+                    let hw = st.high_water();
+                    drop(st);
+                    let _ = write_frame(
+                        &mut stream,
+                        &ServerMessage::Refused {
+                            id,
+                            error: WireError::LogDiverged {
+                                leader_high_water: hw,
+                            },
+                            trace_id: None,
+                        },
+                    );
+                    return;
+                }
                 (id, from_index)
             }
             _ => return,
@@ -647,7 +796,10 @@ impl Node {
         let conn_id = self.conn_ids.fetch_add(1, Ordering::SeqCst);
         {
             let mut st = self.state.lock().unwrap();
-            st.follower_acks.insert(conn_id, send_next - 1);
+            // from_index <= high_water + 1 was just checked, so this
+            // records at most our own durable mark as the follower's.
+            let ack = (send_next - 1).min(st.high_water());
+            st.follower_acks.insert(conn_id, ack);
             self.recompute_commit(&mut st);
         }
 
@@ -704,8 +856,12 @@ impl Node {
                         self.step_down(&mut st, epoch);
                         break;
                     }
+                    // Clamp to our own durable mark: an ack above it
+                    // covers entries we never sequenced and must not
+                    // count toward any quorum.
+                    let hw = st.high_water();
                     let ack = st.follower_acks.entry(conn_id).or_insert(0);
-                    *ack = (*ack).max(index);
+                    *ack = (*ack).max(index.min(hw));
                     self.recompute_commit(&mut st);
                 }
                 Some(ClientMessage::Goodbye { .. }) | Some(_) => break,
@@ -809,9 +965,9 @@ impl Node {
             ServerMessage::Welcome { .. } => {}
             _ => return None,
         }
-        let (epoch, from_index) = {
+        let (epoch, from_index, last_epoch) = {
             let st = self.state.lock().unwrap();
-            (st.epoch, st.high_water() + 1)
+            (st.epoch, st.high_water() + 1, st.last_epoch)
         };
         write_frame(
             &mut stream,
@@ -819,6 +975,7 @@ impl Node {
                 id: 2,
                 epoch,
                 from_index,
+                last_epoch,
             },
         )
         .ok()?;
@@ -852,7 +1009,20 @@ impl Node {
                         st.epoch = st.epoch.max(epoch);
                         for e in entries {
                             if e.index < st.next_index() {
-                                continue; // duplicate resend
+                                // Overlap with the local log: the same
+                                // index must hold the same entry. A
+                                // different epoch is a divergent suffix
+                                // from a dead epoch — cut it off and
+                                // take the leader's entry instead.
+                                let same = st
+                                    .entry_at(e.index)
+                                    .is_none_or(|local| local.epoch == e.epoch);
+                                if same {
+                                    continue; // duplicate resend
+                                }
+                                if !self.truncate_suffix(&mut st, e.index - 1) {
+                                    return None; // conflict reached the commit point
+                                }
                             }
                             if e.index > st.next_index() {
                                 return None; // gap: resubscribe
@@ -873,6 +1043,7 @@ impl Node {
                                 self.dead.store(true, Ordering::SeqCst);
                                 return None;
                             }
+                            st.last_epoch = e.epoch;
                             st.log.push(LogEntry {
                                 epoch: e.epoch,
                                 index: e.index,
@@ -896,9 +1067,57 @@ impl Node {
                     )
                     .ok()?;
                 }
+                ServerMessage::Refused {
+                    error: WireError::LogDiverged { leader_high_water },
+                    ..
+                } => {
+                    // Our log carries an orphan suffix the leader never
+                    // sequenced. Everything above the commit point is
+                    // suspect (un-acked by any quorum), so truncate back
+                    // to it and resubscribe from there; the leader
+                    // re-streams whatever was legitimately ours. If even
+                    // the commit point exceeds the leader's log, a stale
+                    // node was promoted — truncate_suffix halts us.
+                    let mut st = self.state.lock().unwrap();
+                    let keep = leader_high_water.min(st.commit_index);
+                    let _ = self.truncate_suffix(&mut st, keep);
+                    return None; // resubscribe from the new high water
+                }
                 ServerMessage::Refused { .. } => return None,
                 _ => return None,
             }
+        }
+    }
+
+    /// Asks the peer at `addr` for its `(epoch, high_water, applied)`.
+    /// `None` means unreachable, dead, or not speaking the protocol —
+    /// [`Replica::promote_over`] treats all three as "not a survivor".
+    fn probe_peer(&self, addr: SocketAddr) -> Option<(u64, u64, u64)> {
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(
+            &mut stream,
+            &ClientMessage::Hello {
+                id: 1,
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .ok()?;
+        match self.read_peer_server_frame(&mut stream, &mut buf)? {
+            ServerMessage::Welcome { .. } => {}
+            _ => return None,
+        }
+        write_frame(&mut stream, &ClientMessage::PeerStatus { id: 2 }).ok()?;
+        match self.read_peer_server_frame(&mut stream, &mut buf)? {
+            ServerMessage::PeerStatusReport {
+                epoch,
+                high_water,
+                applied,
+                ..
+            } => Some((epoch, high_water, applied)),
+            _ => None,
         }
     }
 
@@ -1116,19 +1335,28 @@ impl Replica {
         self.node.cv.notify_all();
     }
 
-    /// Promotes this follower to leader: stop streaming, bump the epoch
-    /// (fencing every message from the old one), finish replaying every
-    /// durable log entry, then start sequencing. Blocks until replay
-    /// completes, so a client redirected here immediately sees every
-    /// charge the old leader acked — the ε-lossless failover guarantee.
+    /// Promotes this follower to leader **unconditionally**: stop
+    /// streaming, bump the epoch (fencing every message from the old
+    /// one), commit and finish replaying every durable log entry, then
+    /// start sequencing. Blocks until replay completes, so a client
+    /// redirected here immediately sees every charge the old leader
+    /// acked — the ε-lossless failover guarantee.
     ///
-    /// The durable log on a follower is always a *prefix* of the old
-    /// leader's (entries arrive in order over one stream), so no
-    /// truncation or reconciliation is ever needed; promotion commits
-    /// the whole local log. Entries the old leader logged but never
-    /// acked may be lost (the client never got an answer, so nothing
-    /// was promised) or — if they reached this follower — applied;
-    /// either outcome is exactly-once under client retry.
+    /// That guarantee holds only if this node's durable log is the
+    /// longest among the survivors: a quorum-acked entry lives on
+    /// `quorum - 1` followers, so *some* survivor holds it, but nothing
+    /// here checks that it is this one. Use [`Replica::promote_over`],
+    /// which probes the surviving peers first, unless outside knowledge
+    /// already picked the longest log. Promote exactly one node per
+    /// failover — two promotions to the same epoch fork the sequence.
+    ///
+    /// Survivors that kept an orphan suffix the old leader never
+    /// committed reconcile when they re-follow: the new leader's
+    /// log-matching check refuses their catchup with
+    /// [`WireError::LogDiverged`], they truncate back to their commit
+    /// point (durably, via `Record::LogTruncated`), and resubscribe.
+    /// Orphans were never acked to any client, so dropping them is
+    /// exactly-once under client retry.
     pub fn promote(&self) {
         let mut st = self.node.state.lock().unwrap();
         st.epoch += 1;
@@ -1147,6 +1375,34 @@ impl Replica {
         st.follower_acks.clear();
         self.node.update_gauges(&st);
         self.node.cv.notify_all();
+    }
+
+    /// [`Replica::promote`], guarded: probes every address in `peers`
+    /// (their replication peer ports) with [`ClientMessage::PeerStatus`]
+    /// and only promotes if no reachable survivor holds a longer
+    /// durable log. Unreachable or dead peers are skipped — they are
+    /// the failure being failed over.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Behind`] names the first peer whose log is ahead
+    /// of this node's; promote that peer instead (this node is left
+    /// untouched, still a follower).
+    pub fn promote_over(&self, peers: &[SocketAddr]) -> Result<(), ReplicaError> {
+        let local = self.node.state.lock().unwrap().high_water();
+        for &peer in peers {
+            if let Some((_, high_water, _)) = self.node.probe_peer(peer) {
+                if high_water > local {
+                    return Err(ReplicaError::Behind {
+                        peer: peer.to_string(),
+                        peer_high_water: high_water,
+                        local_high_water: local,
+                    });
+                }
+            }
+        }
+        self.promote();
+        Ok(())
     }
 
     /// Kills the node (see [`ReplicaHook`] refusals) without tearing the
@@ -1409,6 +1665,264 @@ mod tests {
         f2.shutdown().unwrap();
         f1.shutdown().unwrap();
         leader.shutdown().unwrap();
+    }
+
+    /// Builds the divergence scenario every reconciliation test needs:
+    /// `a` led entries 1–2 onto `b` and `c`, died, and `b` kept an
+    /// orphan entry 3 from the dead epoch that `a` never committed.
+    /// Returns the cluster with `c` already promoted to epoch 1.
+    fn diverged_cluster(tag: &str) -> (Replica, Replica, Replica, PathBuf) {
+        let cfg = || ReplicaConfig {
+            seed: 26,
+            ..ReplicaConfig::default()
+        };
+        let a = replica(&format!("{tag}-a"), cfg());
+        let b_dir = scratch_dir(&format!("{tag}-b"));
+        let b = Replica::start(&b_dir, "127.0.0.1:0", "127.0.0.1:0", cfg(), setup).unwrap();
+        let c = replica(&format!("{tag}-c"), cfg());
+        a.lead();
+        let hint = a.client_addr().to_string();
+        b.follow(a.peer_addr(), &hint);
+        c.follow(a.peer_addr(), &hint);
+        let mut client = Client::connect(a.client_addr()).unwrap();
+        client.open_session("g", 4.0).unwrap();
+        call_tagged(
+            &mut client,
+            "g",
+            11,
+            &Request::range("pol", "ds", eps(0.5), 0, 8),
+        )
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while (b.status().applied < 2 || c.status().applied < 2) && Instant::now() < deadline {
+            std::thread::sleep(POLL);
+        }
+        assert_eq!(b.status().applied, 2);
+        assert_eq!(c.status().applied, 2);
+        a.kill();
+
+        // The orphan: `a` logged entry 3 and shipped it to `b` alone,
+        // then died before any commit. Injected directly (durably and
+        // in memory), exactly as `follow_once` would have left it.
+        let op = WireLogOp::OpenSession {
+            total_bits: 1.0f64.to_bits(),
+        };
+        b.node
+            .store
+            .commit(&[Record::Replicated {
+                epoch: 0,
+                index: 3,
+                analyst: "ghost".into(),
+                request_id: RESERVED_REQUEST_ID_BASE | 3,
+                payload: op.encode(),
+            }])
+            .unwrap();
+        {
+            let mut st = b.node.state.lock().unwrap();
+            st.log.push(LogEntry {
+                epoch: 0,
+                index: 3,
+                analyst: "ghost".into(),
+                request_id: RESERVED_REQUEST_ID_BASE | 3,
+                op,
+            });
+        }
+        assert_eq!(b.status().log_index, 3);
+
+        c.promote();
+        assert_eq!(c.status().epoch, 1);
+        (a, b, c, b_dir)
+    }
+
+    #[test]
+    fn diverged_follower_truncates_the_orphan_suffix_and_reconverges() {
+        let (a, b, c, b_dir) = diverged_cluster("replica-div");
+        // The new leader already sequenced its own entry 3 before `b`
+        // resubscribes: the catchup log-matching check (same length,
+        // different last epoch) must catch the conflict.
+        let mut client = Client::connect(c.client_addr()).unwrap();
+        client.open_session("h", 1.0).unwrap(); // entry 3, epoch 1
+        assert_eq!(c.status().log_index, 3);
+
+        b.follow(c.peer_addr(), &c.client_addr().to_string());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while b.status().applied < 3 && Instant::now() < deadline {
+            std::thread::sleep(POLL);
+        }
+        let status = b.status();
+        assert!(!status.dead, "reconciliation must not kill the node");
+        assert_eq!(status.applied, 3);
+        assert_eq!(status.log_index, 3);
+        {
+            let st = b.node.state.lock().unwrap();
+            assert_eq!(
+                st.entry_at(3).unwrap().epoch,
+                1,
+                "the orphan gave way to the leader's entry"
+            );
+            assert_eq!(st.last_epoch, 1);
+        }
+        // The orphan's ghost session never executed; the real one did.
+        assert!(b.engine().session_snapshot("ghost").is_err());
+        assert!(b.engine().session_snapshot("h").is_ok());
+        b.shutdown().unwrap();
+
+        // Truncation is durable (`Record::LogTruncated` in the WAL): a
+        // restart recovers the reconciled log, not the orphan.
+        let b2 = Replica::start(
+            &b_dir,
+            "127.0.0.1:0",
+            "127.0.0.1:0",
+            ReplicaConfig {
+                seed: 26,
+                ..ReplicaConfig::default()
+            },
+            setup,
+        )
+        .unwrap();
+        let status = b2.status();
+        assert_eq!(status.log_index, 3);
+        assert_eq!(status.applied, 3);
+        // Recovered sessions are parked until re-attached: "g" comes
+        // back with its charge, and the ghost never existed at all (an
+        // attach with a total its orphan OpenSession never carried
+        // succeeds as a fresh create instead of refusing).
+        assert!((b2.engine().attach_session("g", eps(4.0)).unwrap() - 3.5).abs() < 1e-12);
+        assert!((b2.engine().attach_session("ghost", eps(9.0)).unwrap() - 9.0).abs() < 1e-12);
+        b2.shutdown().unwrap();
+        c.shutdown().unwrap();
+        a.shutdown().unwrap();
+    }
+
+    #[test]
+    fn follower_ahead_of_the_new_leader_truncates_to_its_high_water() {
+        let (a, b, c, _b_dir) = diverged_cluster("replica-ahead");
+        // `c` has sequenced nothing yet: `b`'s catchup from index 4 is
+        // past `c`'s high water 2 — the from-ahead refusal path.
+        b.follow(c.peer_addr(), &c.client_addr().to_string());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while b.status().log_index > 2 && Instant::now() < deadline {
+            std::thread::sleep(POLL);
+        }
+        assert_eq!(b.status().log_index, 2, "orphan truncated");
+        assert!(!b.status().dead);
+
+        // Convergence after the truncation: a fresh write on `c`
+        // reaches `b` at the index the orphan vacated.
+        let mut client = Client::connect(c.client_addr()).unwrap();
+        client.open_session("h", 1.0).unwrap(); // entry 3, epoch 1
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while b.status().applied < 3 && Instant::now() < deadline {
+            std::thread::sleep(POLL);
+        }
+        assert_eq!(b.status().applied, 3);
+        assert_eq!(b.node.state.lock().unwrap().entry_at(3).unwrap().epoch, 1);
+        assert!(b.engine().session_snapshot("ghost").is_err());
+        b.shutdown().unwrap();
+        c.shutdown().unwrap();
+        a.shutdown().unwrap();
+    }
+
+    #[test]
+    fn promote_over_refuses_a_candidate_with_a_shorter_log() {
+        let cfg = || ReplicaConfig {
+            seed: 27,
+            ..ReplicaConfig::default()
+        };
+        let a = replica("replica-po-a", cfg());
+        let b = replica("replica-po-b", cfg());
+        let c = replica("replica-po-c", cfg());
+        a.lead();
+        b.follow(a.peer_addr(), &a.client_addr().to_string());
+        // `c` never follows: its log stays empty.
+        let mut client = Client::connect(a.client_addr()).unwrap();
+        client.open_session("i", 2.0).unwrap();
+        client
+            .call("i", &Request::range("pol", "ds", eps(0.5), 0, 8))
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while b.status().applied < 2 && Instant::now() < deadline {
+            std::thread::sleep(POLL);
+        }
+        a.kill();
+
+        // `c` is behind `b`: the probe must block its promotion.
+        match c.promote_over(&[b.peer_addr(), a.peer_addr()]) {
+            Err(ReplicaError::Behind {
+                peer_high_water: 2,
+                local_high_water: 0,
+                ..
+            }) => {}
+            other => panic!("expected Behind, got {other:?}"),
+        }
+        assert!(!c.status().leader, "a refused candidate stays a follower");
+
+        // `b` holds the longest surviving log; the dead `a` is probed
+        // and skipped, not waited on.
+        b.promote_over(&[c.peer_addr(), a.peer_addr()]).unwrap();
+        let status = b.status();
+        assert!(status.leader);
+        assert_eq!(status.epoch, 1);
+        assert_eq!(status.applied, 2, "both acked entries survive");
+        c.shutdown().unwrap();
+        b.shutdown().unwrap();
+        a.shutdown().unwrap();
+    }
+
+    #[test]
+    fn applied_entries_are_evicted_but_serving_and_recovery_survive() {
+        let dir = scratch_dir("replica-evict");
+        let cfg = || ReplicaConfig {
+            seed: 28,
+            log_retain: 1,
+            ..ReplicaConfig::default()
+        };
+        {
+            let r = Replica::start(&dir, "127.0.0.1:0", "127.0.0.1:0", cfg(), setup).unwrap();
+            r.lead();
+            let mut client = Client::connect(r.client_addr()).unwrap();
+            client.open_session("j", 8.0).unwrap(); // entry 1
+            for i in 0..6 {
+                call_tagged(
+                    &mut client,
+                    "j",
+                    200 + i,
+                    &Request::range("pol", "ds", eps(0.25), 0, 16),
+                )
+                .unwrap(); // entries 2..=7
+            }
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while r.status().applied < 7 && Instant::now() < deadline {
+                std::thread::sleep(POLL);
+            }
+            {
+                let st = r.node.state.lock().unwrap();
+                assert_eq!(st.applied, 7);
+                assert_eq!(st.high_water(), 7, "eviction never moves the high water");
+                assert_eq!(st.log_start, 7, "entries below applied - retain are gone");
+                assert_eq!(st.log.len(), 1);
+            }
+            // Serving continues across the evicted prefix, and the
+            // reply cache (WAL-backed, not log-backed) still dedups.
+            let first = call_tagged(
+                &mut client,
+                "j",
+                200,
+                &Request::range("pol", "ds", eps(0.25), 0, 16),
+            )
+            .unwrap();
+            assert!(first.scalar().unwrap().is_finite());
+            r.shutdown().unwrap();
+        }
+        // Recovery rebuilds from the WAL, which eviction never touched.
+        let r = Replica::start(&dir, "127.0.0.1:0", "127.0.0.1:0", cfg(), setup).unwrap();
+        let status = r.status();
+        assert_eq!(status.applied, 8);
+        assert_eq!(status.log_index, 8);
+        // 6 distinct charges of 0.25; the cache-hit resubmission was
+        // free — reattaching lands on the recovered ledger.
+        assert!((r.engine().attach_session("j", eps(8.0)).unwrap() - 6.5).abs() < 1e-12);
+        r.shutdown().unwrap();
     }
 
     #[test]

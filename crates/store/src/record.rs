@@ -174,6 +174,16 @@ pub enum Record {
         /// Highest applied log index.
         index: u64,
     },
+    /// The replicated log was truncated back to `index`: every logged
+    /// entry **above** it is discarded as if never written. A follower
+    /// writes this when the cluster's new leader proves the follower's
+    /// un-applied tail belongs to a deposed epoch (log reconciliation
+    /// after failover). Truncation never reaches applied entries — the
+    /// replication layer halts instead of unwinding executed state.
+    LogTruncated {
+        /// Highest surviving log index.
+        index: u64,
+    },
 }
 
 const TAG_SESSION_OPENED: u8 = 1;
@@ -184,6 +194,7 @@ const TAG_RELEASE_SEQ: u8 = 5;
 const TAG_REPLIED: u8 = 6;
 const TAG_REPLICATED: u8 = 7;
 const TAG_LOG_APPLIED: u8 = 8;
+const TAG_LOG_TRUNCATED: u8 = 9;
 
 /// FNV-1a over a byte slice — the same stable hash the engine's shard
 /// router uses, here guarding frame integrity.
@@ -408,6 +419,10 @@ impl Record {
                 out.push(TAG_LOG_APPLIED);
                 put_u64(&mut out, *index);
             }
+            Record::LogTruncated { index } => {
+                out.push(TAG_LOG_TRUNCATED);
+                put_u64(&mut out, *index);
+            }
         }
         out
     }
@@ -455,6 +470,7 @@ impl Record {
                 payload: r.bytes()?,
             },
             TAG_LOG_APPLIED => Record::LogApplied { index: r.u64()? },
+            TAG_LOG_TRUNCATED => Record::LogTruncated { index: r.u64()? },
             _ => return None,
         };
         r.done().then_some(record)
@@ -606,6 +622,7 @@ mod tests {
                 payload: vec![2, 9, 9, 9],
             },
             Record::LogApplied { index: 19 },
+            Record::LogTruncated { index: 21 },
         ]
     }
 

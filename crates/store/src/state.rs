@@ -213,6 +213,14 @@ impl StoreState {
                 self.log_applied = self.log_applied.max(*index);
                 self.log_pending = self.log_pending.split_off(&(self.log_applied + 1));
             }
+            Record::LogTruncated { index } => {
+                // Truncation never unwinds applied entries; a record that
+                // claims to is clamped so replay cannot fork executed
+                // state.
+                let keep = (*index).max(self.log_applied);
+                self.log_pending.split_off(&(keep + 1));
+                self.log_index = self.log_index.min(keep).max(self.log_applied);
+            }
         }
     }
 
@@ -537,6 +545,41 @@ mod tests {
         let bytes = s.to_bytes();
         assert_eq!(StoreState::from_bytes(&bytes), Some(s.clone()));
         assert_eq!(StoreState::from_bytes(&bytes[..bytes.len() - 1]), None);
+    }
+
+    #[test]
+    fn log_truncation_discards_the_unapplied_tail_only() {
+        let mut s = StoreState::default();
+        let entry = |epoch: u64, index: u64| Record::Replicated {
+            epoch,
+            index,
+            analyst: "alice".into(),
+            request_id: 100 + index,
+            payload: vec![index as u8],
+        };
+        for i in 1..=5 {
+            s.apply(&entry(0, i));
+        }
+        s.apply(&Record::LogApplied { index: 2 });
+        s.apply(&Record::LogTruncated { index: 3 });
+        assert_eq!(s.log_index, 3, "the tail above 3 is gone");
+        assert_eq!(
+            s.log_pending.keys().copied().collect::<Vec<_>>(),
+            vec![3],
+            "only the surviving pending entry remains"
+        );
+        // Truncation claiming to unwind applied entries is clamped.
+        s.apply(&Record::LogTruncated { index: 1 });
+        assert_eq!(s.log_applied, 2);
+        assert_eq!(s.log_index, 2);
+        assert!(s.log_pending.is_empty());
+        // Re-replication after truncation overwrites the old position.
+        s.apply(&entry(1, 3));
+        assert_eq!(s.log_index, 3);
+        assert_eq!(s.log_pending[&3].epoch, 1);
+        // The truncated shape survives a snapshot round-trip.
+        let bytes = s.to_bytes();
+        assert_eq!(StoreState::from_bytes(&bytes), Some(s));
     }
 
     #[test]

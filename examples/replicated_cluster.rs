@@ -128,12 +128,18 @@ fn main() {
     assert!(leader.status().dead, "the chaos plan must have fired");
 
     // ── Phase 2: operator failover — promote, fence, re-point ──
-    let (promoted, other, pname) = if f1.status().log_index >= f2.status().log_index {
-        (&f1, &f2, "follower-1")
-    } else {
-        (&f2, &f1, "follower-2")
+    // `promote_over` probes the survivors first and refuses a candidate
+    // whose durable log is shorter than a peer's — the guard that keeps
+    // quorum-acked entries from being dropped by a bad pick.
+    let (promoted, other, pname) = match f1.promote_over(&[f2.peer_addr(), leader.peer_addr()]) {
+        Ok(()) => (&f1, &f2, "follower-1"),
+        Err(e) => {
+            println!("follower-1 refused: {e}");
+            f2.promote_over(&[f1.peer_addr(), leader.peer_addr()])
+                .expect("some survivor holds the longest log");
+            (&f2, &f1, "follower-2")
+        }
     };
-    promoted.promote();
     other.follow(promoted.peer_addr(), &promoted.client_addr().to_string());
     let st = promoted.status();
     println!(

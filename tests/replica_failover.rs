@@ -177,14 +177,18 @@ fn leader_kill_mid_burst_loses_no_acked_epsilon_and_double_charges_nothing() {
     );
     assert!(leader.status().dead);
 
-    // Operator failover: promote the better-caught-up follower, point
-    // the other one at it.
-    let (promoted, other) = if f1.status().log_index >= f2.status().log_index {
-        (&f1, &f2)
-    } else {
-        (&f2, &f1)
+    // Operator failover: `promote_over` probes the survivors and only
+    // promotes the candidate holding the longest durable log — try one,
+    // and its refusal names the peer to promote instead.
+    let (promoted, other) = match f1.promote_over(&[f2.peer_addr(), leader.peer_addr()]) {
+        Ok(()) => (&f1, &f2),
+        Err(e) => {
+            assert!(matches!(e, blowfish::replica::ReplicaError::Behind { .. }));
+            f2.promote_over(&[f1.peer_addr(), leader.peer_addr()])
+                .unwrap();
+            (&f2, &f1)
+        }
     };
-    promoted.promote();
     other.follow(promoted.peer_addr(), &promoted.client_addr().to_string());
     let st = promoted.status();
     assert!(st.leader);
