@@ -852,6 +852,15 @@ impl Engine {
             );
         }
         self.sessions.remove(analyst);
+        // Unregister the per-analyst ε gauges so scrapes stop carrying
+        // a dead series (the parked ledger keeps the authoritative
+        // numbers; reattach re-registers fresh gauges). Without this a
+        // long-lived process — and every federated scrape over it —
+        // accumulates one frozen series per evicted analyst forever.
+        self.obs
+            .remove(&format!("engine_epsilon_spent{{analyst={analyst:?}}}"));
+        self.obs
+            .remove(&format!("engine_epsilon_remaining{{analyst={analyst:?}}}"));
         Ok(())
     }
 

@@ -2,11 +2,11 @@
 
 use crate::error::NetError;
 use crate::proto::{
-    ClientMessage, ServerMessage, WireError, WireMetric, WireRequest, MIN_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
+    ClientMessage, ServerMessage, WireError, WireMetric, WireReplicaStats, WireRequest,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use bf_engine::{Request, Response};
-use bf_obs::TraceTree;
+use bf_obs::{ClusterEvent, TraceTree};
 use bf_store::{frame_bytes, read_frame, FrameRead, LedgerEntry};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{Read, Write};
@@ -24,6 +24,29 @@ pub struct BudgetSnapshot {
     pub remaining: f64,
     /// Requests served.
     pub served: u64,
+}
+
+/// One node's health as reported by [`Client::health`] — cheap enough
+/// to poll from a load balancer, rich enough to decide eviction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Serving role: `"leader"`, `"follower"` or `"standalone"`.
+    pub role: String,
+    /// Current sequencing epoch (0 when standalone).
+    pub epoch: u64,
+    /// Largest log index executed through the node's engine.
+    pub applied: u64,
+    /// Worst replication lag visible from the node, in entries
+    /// (refreshed from live state at probe time).
+    pub lag: u64,
+    /// Durable WAL segment count (live plus archived).
+    pub wal_segments: u64,
+    /// Queued submissions across every analyst queue.
+    pub queue_depth: u64,
+    /// Peer addresses that did not answer the node's status probe.
+    pub unreachable: Vec<String>,
+    /// Names of SLOs currently firing on the node.
+    pub firing: Vec<String>,
 }
 
 /// How hard the client tries before giving up: attempt budget plus a
@@ -696,6 +719,129 @@ impl Client {
         }
     }
 
+    /// Refuses cluster-plane calls on a connection negotiated below
+    /// protocol v5 — the server would kill the connection on the
+    /// undecodable frame, so fail cleanly here instead.
+    fn require_v5(&self, what: &str) -> Result<(), NetError> {
+        if self.negotiated >= 5 {
+            Ok(())
+        } else {
+            Err(NetError::Protocol(format!(
+                "{what} needs protocol v5; this connection negotiated v{}",
+                self.negotiated
+            )))
+        }
+    }
+
+    /// Fetches a federated scrape of the whole cluster in one call: the
+    /// serving node snapshots itself and fans `Stats` probes to every
+    /// configured peer over the replication peer port, reporting each
+    /// member exactly once — unreachable members included, flagged
+    /// rather than silently dropped. Against a standalone server the
+    /// report has one member.
+    ///
+    /// Each member's samples come back with unqualified names; merge
+    /// them into one `replica`-labeled series set with
+    /// `bf_obs::merge_labeled_snapshots`:
+    ///
+    /// ```ignore
+    /// let merged = bf_obs::merge_labeled_snapshots(
+    ///     "replica",
+    ///     client
+    ///         .cluster_stats()?
+    ///         .into_iter()
+    ///         .filter(|r| r.reachable)
+    ///         .map(|r| (r.node, r.metrics.iter().map(|m| m.to_snapshot()).collect()))
+    ///         .collect(),
+    /// );
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when the connection negotiated below v5,
+    /// [`NetError::Remote`] for a typed refusal, transport errors
+    /// otherwise.
+    pub fn cluster_stats(&mut self) -> Result<Vec<WireReplicaStats>, NetError> {
+        self.require_v5("cluster_stats")?;
+        let id = self.fresh_id();
+        self.send(&ClientMessage::ClusterStats { id })?;
+        match self.recv_for(id)? {
+            ServerMessage::ClusterStatsReport { replicas, .. } => Ok(replicas),
+            ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
+            other => Err(NetError::Protocol(format!(
+                "expected ClusterStatsReport, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Probes the node's health: role, epoch, replication position and
+    /// lag (refreshed from live state, not the last stream receipt),
+    /// WAL depth, queue depth, unreachable peers and the firing-SLO
+    /// list. Served even when reads are refused for staleness — a
+    /// lagging replica must still report that it is lagging.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when the connection negotiated below v5;
+    /// transport errors otherwise.
+    pub fn health(&mut self) -> Result<HealthSnapshot, NetError> {
+        self.require_v5("health")?;
+        let id = self.fresh_id();
+        self.send(&ClientMessage::Health { id })?;
+        match self.recv_for(id)? {
+            ServerMessage::HealthReport {
+                role,
+                epoch,
+                applied,
+                lag,
+                wal_segments,
+                queue_depth,
+                unreachable,
+                firing,
+                ..
+            } => Ok(HealthSnapshot {
+                role,
+                epoch,
+                applied,
+                lag,
+                wal_segments,
+                queue_depth,
+                unreachable,
+                firing,
+            }),
+            ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
+            other => Err(NetError::Protocol(format!(
+                "expected HealthReport, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Subscribes this connection to the node's live event bus and
+    /// returns an iterator-style handle over the pushed
+    /// [`bf_obs::ClusterEvent`]s — pipeline stage completions, trace
+    /// retentions, replication role/epoch changes and SLO firing/ok
+    /// flips. The server-side queue is bounded: a slow consumer sees
+    /// gaps in the event sequence numbers, never a stalled server.
+    ///
+    /// The handle borrows the client exclusively; dedicate a
+    /// connection to watching (the subscription lives until the
+    /// connection closes). Because each server acceptor owns one
+    /// connection at a time, a long-lived watch occupies an acceptor
+    /// slot for its whole lifetime — size `NetConfig::acceptors` to
+    /// cover expected watchers *plus* serving clients, or idle
+    /// watchers will starve new connections in the kernel backlog.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when the connection negotiated below v5;
+    /// transport errors otherwise.
+    pub fn watch(&mut self) -> Result<WatchHandle<'_>, NetError> {
+        self.require_v5("watch")?;
+        let id = self.fresh_id();
+        self.send(&ClientMessage::Watch { id })?;
+        Ok(WatchHandle { client: self, id })
+    }
+
     /// Fetches an analyst's full ε-provenance: every `Charged` and
     /// `Replied` ledger record the serving process's WAL holds for them,
     /// archived segments included, in WAL order. Each entry carries the
@@ -837,6 +983,85 @@ impl Client {
             other => Err(NetError::Protocol(format!(
                 "expected Farewell, got {other:?}"
             ))),
+        }
+    }
+}
+
+/// A live event subscription opened by [`Client::watch`]: pull pushed
+/// events off the connection one at a time. Dropping the handle stops
+/// *reading*; the server keeps the subscription until the connection
+/// closes (stray events buffered meanwhile are discarded harmlessly).
+#[derive(Debug)]
+pub struct WatchHandle<'a> {
+    client: &'a mut Client,
+    id: u64,
+}
+
+impl WatchHandle<'_> {
+    /// The watch's correlation id (echoed on every pushed event
+    /// frame).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks up to `timeout` for the next pushed event. `Ok(None)`
+    /// means the window elapsed quietly — poll again. Replies to
+    /// requests that were in flight before the watch opened are
+    /// buffered for their waiters, not dropped.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors ([`NetError::ConnectionLost`] when the server
+    /// goes away mid-watch); [`NetError::Protocol`] on an unexpected
+    /// frame.
+    pub fn next(&mut self, timeout: Duration) -> Result<Option<ClusterEvent>, NetError> {
+        let deadline = Instant::now() + timeout;
+        let saved = self.client.timeout;
+        let outcome = loop {
+            // A stray event buffered by an earlier interleaved receive.
+            if let Some(msg) = self.client.ready.remove(&self.id) {
+                break Self::to_event(msg);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break Ok(None);
+            }
+            self.client.timeout = Some(remaining);
+            match self.client.recv_message() {
+                Ok(msg) if msg.id() == self.id => break Self::to_event(msg),
+                Ok(msg) if self.client.pending.contains(&msg.id()) => {
+                    self.client.ready.insert(msg.id(), msg);
+                }
+                Ok(msg) => {
+                    break Err(NetError::Protocol(format!(
+                        "reply for unknown correlation id {}",
+                        msg.id()
+                    )))
+                }
+                Err(NetError::TimedOut) => break Ok(None),
+                Err(e) => break Err(e),
+            }
+        };
+        self.client.timeout = saved;
+        outcome
+    }
+
+    fn to_event(msg: ServerMessage) -> Result<Option<ClusterEvent>, NetError> {
+        match msg {
+            ServerMessage::Event {
+                seq,
+                kind,
+                detail,
+                value,
+                ..
+            } => Ok(Some(ClusterEvent {
+                seq,
+                kind: kind.into(),
+                detail,
+                value,
+            })),
+            ServerMessage::Refused { error, .. } => Err(NetError::Remote(error)),
+            other => Err(NetError::Protocol(format!("expected Event, got {other:?}"))),
         }
     }
 }

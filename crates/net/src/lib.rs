@@ -46,13 +46,15 @@ mod error;
 pub mod proto;
 mod server;
 
-pub use client::{BudgetSnapshot, Client, RetryPolicy};
+pub use client::{BudgetSnapshot, Client, HealthSnapshot, RetryPolicy, WatchHandle};
 pub use error::NetError;
 pub use proto::{
-    ClientMessage, ServerMessage, WireError, WireLogEntry, WireLogOp, WireMetric,
-    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    ClientMessage, ServerMessage, WireError, WireEventKind, WireLogEntry, WireLogOp, WireMetric,
+    WireReplicaStats, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
-pub use server::{NetConfig, NetServer, NetStats, ReplicaHook, ServerRole};
+pub use server::{
+    NetConfig, NetServer, NetStats, PeerScrape, ReplicaHealth, ReplicaHook, ServerRole,
+};
 
 #[cfg(test)]
 mod tests {
@@ -500,10 +502,15 @@ mod tests {
         }
 
         fn call(&mut self, msg: &ClientMessage) -> ServerMessage {
-            use std::io::{Read, Write};
+            use std::io::Write;
             self.stream
                 .write_all(&bf_store::frame_bytes(&msg.encode_for(self.version)))
                 .unwrap();
+            self.read_reply()
+        }
+
+        fn read_reply(&mut self) -> ServerMessage {
+            use std::io::Read;
             let mut chunk = [0u8; 4096];
             loop {
                 if let bf_store::FrameRead::Complete { payload, consumed } =
@@ -526,7 +533,7 @@ mod tests {
         for version in MIN_PROTOCOL_VERSION..PROTOCOL_VERSION {
             let analyst = format!("old-v{version}");
             let mut raw = RawClient::connect(net.local_addr(), version);
-            match raw.call(&ClientMessage::OpenSession {
+            let token = match raw.call(&ClientMessage::OpenSession {
                 id: 2,
                 analyst: analyst.clone(),
                 total_bits: 4.0f64.to_bits(),
@@ -537,14 +544,20 @@ mod tests {
                     ..
                 } => {
                     assert_eq!(f64::from_bits(remaining_bits), 4.0);
-                    // Old dialects have no token field; decode_for
-                    // backfills zero.
-                    assert_eq!(token, 0);
+                    // Pre-v4 dialects have no token field; decode_for
+                    // backfills zero. v4 carries a real token.
+                    if version < 4 {
+                        assert_eq!(token, 0);
+                    } else {
+                        assert_ne!(token, 0);
+                    }
+                    token
                 }
                 other => panic!("expected SessionAttached, got {other:?}"),
-            }
-            // A submit without the v3/v4 optional fields still serves —
-            // token enforcement must not lock out downgraded clients.
+            };
+            // A submit without the pre-v4 optional fields still serves —
+            // token enforcement must not lock out downgraded clients
+            // (v4 connections present the token they were issued).
             match raw.call(&ClientMessage::Submit {
                 id: 3,
                 analyst: analyst.clone(),
@@ -558,7 +571,7 @@ mod tests {
                 request_id: Some(9),
                 deadline_micros: None,
                 trace_id: None,
-                token: None,
+                token: (version >= 4).then_some(token),
             }) {
                 ServerMessage::Answer { id, response, .. } => {
                     assert_eq!(id, 3);
@@ -954,6 +967,158 @@ mod tests {
         let text = bf_obs::render_prometheus(&snaps);
         assert!(text.contains("net_request_ns{quantile=\"0.99\"}"));
         assert!(text.contains("server_answered_total 8"));
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn cluster_frames_refused_below_v5_with_clean_protocol_error() {
+        let net = net_server(29, ServerConfig::default(), NetConfig::default());
+        // The encoder emits the v5 frames regardless of the negotiated
+        // version (a buggy or malicious peer can always put the bytes
+        // on the wire); the server must refuse them cleanly on every
+        // pre-v5 connection, not hang or misparse.
+        type FrameCtor = fn() -> ClientMessage;
+        let frames: [(&str, FrameCtor); 3] = [
+            ("ClusterStats", || ClientMessage::ClusterStats { id: 2 }),
+            ("Health", || ClientMessage::Health { id: 2 }),
+            ("Watch", || ClientMessage::Watch { id: 2 }),
+        ];
+        for version in MIN_PROTOCOL_VERSION..PROTOCOL_VERSION {
+            for (what, frame) in &frames {
+                // Fresh connection per probe: the server closes after a
+                // protocol refusal.
+                let mut raw = RawClient::connect(net.local_addr(), version);
+                use std::io::Write;
+                raw.stream
+                    .write_all(&bf_store::frame_bytes(&frame().encode()))
+                    .unwrap();
+                let reply = raw.read_reply();
+                match reply {
+                    ServerMessage::Refused {
+                        error: WireError::Protocol(msg),
+                        ..
+                    } => assert!(
+                        msg.contains("undecodable"),
+                        "{what} on v{version}: got {msg}"
+                    ),
+                    other => {
+                        panic!("{what} on v{version}: expected Protocol refusal, got {other:?}")
+                    }
+                }
+            }
+        }
+        // On a full-protocol connection the same frames serve.
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        assert!(!client.cluster_stats().unwrap().is_empty());
+        client.health().unwrap();
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn standalone_cluster_stats_health_and_watch() {
+        let net = net_server(30, ServerConfig::default(), NetConfig::default());
+
+        // A watcher subscribed before any traffic flows.
+        let mut watcher = Client::connect(net.local_addr()).unwrap();
+        let mut watch = watcher.watch().unwrap();
+
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        client.open_session("w", 4.0).unwrap();
+        client
+            .call("w", &Request::range("pol", "ds", eps(0.5), 0, 16))
+            .unwrap();
+
+        // Federated scrape of a fleet of one: exactly the local node,
+        // labeled with the configured name, carrying real metrics.
+        let replicas = client.cluster_stats().unwrap();
+        assert_eq!(replicas.len(), 1);
+        assert_eq!(replicas[0].node, "standalone");
+        assert!(replicas[0].reachable);
+        assert!(replicas[0]
+            .metrics
+            .iter()
+            .any(|m| m.name() == "server_answered_total"));
+        // The merge helper qualifies every series with the source.
+        let merged = bf_obs::merge_labeled_snapshots(
+            "replica",
+            replicas
+                .iter()
+                .map(|r| {
+                    (
+                        r.node.clone(),
+                        r.metrics.iter().map(WireMetric::to_snapshot).collect(),
+                    )
+                })
+                .collect(),
+        );
+        assert!(merged
+            .iter()
+            .any(|m| m.name() == "server_answered_total{replica=\"standalone\"}"));
+
+        // Health: cheap, role-bearing, nothing firing without SLOs.
+        let health = client.health().unwrap();
+        assert_eq!(health.role, "standalone");
+        assert!(health.firing.is_empty());
+        assert!(health.unreachable.is_empty());
+
+        // The served request published stage events to the open watch.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut saw_stage = false;
+        while !saw_stage && std::time::Instant::now() < deadline {
+            match watch.next(Duration::from_millis(100)).unwrap() {
+                Some(ev) if ev.kind == bf_obs::ClusterEventKind::Stage => saw_stage = true,
+                Some(_) | None => {}
+            }
+        }
+        assert!(saw_stage, "stage event never reached the watcher");
+
+        client.goodbye().unwrap();
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn budget_burn_slo_fires_on_scrapes_and_health_reports_it() {
+        let net = net_server(
+            31,
+            ServerConfig::default(),
+            NetConfig {
+                slos: vec![bf_obs::SloSpec {
+                    name: "hot-burn".into(),
+                    objective: bf_obs::SloObjective::BudgetBurnUnder {
+                        analyst: "hot".into(),
+                        max_eps_per_scrape: 0.01,
+                    },
+                }],
+                ..NetConfig::default()
+            },
+        );
+        let mut client = Client::connect(net.local_addr()).unwrap();
+        client.open_session("hot", 4.0).unwrap();
+        client
+            .call("hot", &Request::range("pol", "ds", eps(0.5), 0, 16))
+            .unwrap();
+        client.stats().unwrap(); // first sample: spent 0.5
+        let health = client.health().unwrap();
+        assert!(
+            health.firing.is_empty(),
+            "one sample cannot establish a burn rate"
+        );
+        client
+            .call("hot", &Request::range("pol", "ds", eps(0.5), 0, 16))
+            .unwrap();
+        // Next scrape: Δspent = 0.5 per interval, far over the bound.
+        let health = client.health().unwrap();
+        assert_eq!(health.firing, vec!["hot-burn".to_string()]);
+        // The SLO gauges ride every subsequent scrape.
+        let metrics = client.stats().unwrap();
+        let firing = metrics
+            .iter()
+            .find(|m| m.name() == "slo_firing{slo=\"hot-burn\"}")
+            .expect("slo_firing gauge missing from scrape");
+        match firing {
+            WireMetric::Gauge { bits, .. } => assert_eq!(f64::from_bits(*bits), 1.0),
+            other => panic!("expected gauge, got {other:?}"),
+        }
         net.shutdown().unwrap();
     }
 

@@ -34,6 +34,9 @@
 //! | C→S | [`ClientMessage::LogCatchup`] | replica peer: follower subscribes to the replicated log from an index (v4) |
 //! | C→S | [`ClientMessage::ReplicateAck`] | replica peer: follower acknowledges an entry durable in its own WAL (v4) |
 //! | C→S | [`ClientMessage::PeerStatus`] | replica peer: read-only probe of a peer's durable log position (v4, pre-promotion check) |
+//! | C→S | [`ClientMessage::ClusterStats`] | federated scrape: the serving node fans stats probes to every peer (v5) |
+//! | C→S | [`ClientMessage::Health`] | one cheap health/SLO probe, load-balancer friendly (v5) |
+//! | C→S | [`ClientMessage::Watch`] | subscribe this connection to the node's live event bus (v5) |
 //! | C→S | [`ClientMessage::Goodbye`] | orderly close (the server drains in-flight work first) |
 //! | S→C | [`ServerMessage::Welcome`] | handshake accept, carries the **negotiated** version |
 //! | S→C | [`ServerMessage::SessionAttached`] | session opened/reattached, remaining ε + session token (v4) |
@@ -46,6 +49,9 @@
 //! | S→C | [`ServerMessage::Refused`] | typed error for the correlated request (echoes the trace id) |
 //! | S→C | [`ServerMessage::Replicate`] | replica peer: leader streams log entries + its commit index (v4) |
 //! | S→C | [`ServerMessage::PeerStatusReport`] | replica peer: the probed peer's epoch and durable/applied log marks (v4) |
+//! | S→C | [`ServerMessage::ClusterStatsReport`] | the whole fleet's metrics, one replica-labeled [`WireReplicaStats`] per member (v5) |
+//! | S→C | [`ServerMessage::HealthReport`] | role, epoch, lag, WAL depth, queue depth, unreachable peers, firing SLOs (v5) |
+//! | S→C | [`ServerMessage::Event`] | one live event pushed to an open watch subscription (v5) |
 //! | S→C | [`ServerMessage::Farewell`] | goodbye acknowledged, connection closing |
 //!
 //! Every message carries a client-assigned **correlation id**; replies
@@ -62,9 +68,13 @@
 //! version ([`ClientMessage::encode_for`] /
 //! [`ClientMessage::decode_for`] and the server-side twins), which
 //! simply omits the fields the older version never defined. A v2 client
-//! therefore talks to a v4 replica unchanged — the rolling-upgrade
+//! therefore talks to a v5 replica unchanged — the rolling-upgrade
 //! path — while anything older than v2 (or newer than the server) is
-//! still refused outright.
+//! still refused outright. Frames a negotiated version never defined
+//! (the v4 peer frames, the v5 cluster plane) refuse to decode on that
+//! connection: an old client probing [`ClientMessage::ClusterStats`]
+//! or [`ClientMessage::Watch`] gets a clean
+//! [`WireError::Protocol`] refusal, never a misparse or a hang.
 //!
 //! ε values travel as exact `f64` bit patterns (`_bits` fields), the
 //! same discipline the WAL uses — a budget decision made over the wire
@@ -114,8 +124,14 @@ use bf_store::{put_str, put_u64, LedgerEntry, Reader};
 /// ([`ServerMessage::SessionAttached`] issues a token that later
 /// [`ClientMessage::Submit`] / [`ClientMessage::SubmitBatch`] /
 /// [`ClientMessage::BudgetAudit`] frames for that analyst must
-/// present) and version negotiation itself.
-pub const PROTOCOL_VERSION: u16 = 4;
+/// present) and version negotiation itself. Version 5 added the
+/// cluster observability plane: federated scrape
+/// ([`ClientMessage::ClusterStats`] /
+/// [`ServerMessage::ClusterStatsReport`] with per-replica
+/// [`WireReplicaStats`]), the health probe ([`ClientMessage::Health`] /
+/// [`ServerMessage::HealthReport`]) and live event streaming
+/// ([`ClientMessage::Watch`] / [`ServerMessage::Event`]).
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Idempotency keys at or above this value are reserved for the
 /// replication layer, which derives a key from the log position
@@ -683,6 +699,35 @@ pub enum ClientMessage {
         /// Durable log high-water mark on the follower.
         index: u64,
     },
+    /// Cluster-plane frame (v5): ask the serving node to fan a stats
+    /// probe to every configured peer over the peer port and merge the
+    /// fleet's snapshots, each source qualified with a
+    /// `replica="<node>"` label, answered by
+    /// [`ServerMessage::ClusterStatsReport`]. One call covers the
+    /// whole cluster; unreachable peers are reported, never silently
+    /// dropped.
+    ClusterStats {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Cluster-plane frame (v5): one cheap health probe suitable for a
+    /// load balancer — role, epoch, replication lag, WAL depth, queue
+    /// depth, unreachable peers and the firing-SLO list, answered by
+    /// [`ServerMessage::HealthReport`].
+    Health {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Cluster-plane frame (v5): subscribe this connection to the
+    /// node's live event bus. The server pushes [`ServerMessage::Event`]
+    /// frames echoing this correlation id until the client sends
+    /// [`ClientMessage::Goodbye`] or disconnects. The subscription's
+    /// queue is bounded: a slow consumer loses events (counted), never
+    /// stalls the serving or replication path.
+    Watch {
+        /// Correlation id every pushed event will echo.
+        id: u64,
+    },
     /// Orderly close: the server finishes in-flight work, replies
     /// [`ServerMessage::Farewell`], and closes.
     Goodbye {
@@ -807,11 +852,113 @@ pub enum ServerMessage {
         /// Largest index executed through the peer's engine.
         applied: u64,
     },
+    /// Cluster-plane frame (v5): answer to
+    /// [`ClientMessage::ClusterStats`] — one [`WireReplicaStats`] per
+    /// cluster member (the serving node first), each metric set
+    /// already qualified with its source's `replica="<node>"` label.
+    ClusterStatsReport {
+        /// Correlation id.
+        id: u64,
+        /// Per-member snapshots, serving node first, peers in
+        /// configured order.
+        replicas: Vec<WireReplicaStats>,
+    },
+    /// Cluster-plane frame (v5): answer to [`ClientMessage::Health`].
+    /// Gauges the probe reports (lag, applied) are refreshed from live
+    /// node state at probe time, not from the last replication-stream
+    /// receipt.
+    HealthReport {
+        /// Correlation id.
+        id: u64,
+        /// Serving role: `"leader"`, `"follower"` or `"standalone"`.
+        role: String,
+        /// Current sequencing epoch (0 when standalone).
+        epoch: u64,
+        /// Largest log index executed through the engine.
+        applied: u64,
+        /// Commit-to-apply replication lag in entries.
+        lag: u64,
+        /// Durable WAL segment count (live plus archived).
+        wal_segments: u64,
+        /// Queued submissions across every analyst queue.
+        queue_depth: u64,
+        /// Peer addresses that did not answer a status probe.
+        unreachable: Vec<String>,
+        /// Names of SLOs currently firing.
+        firing: Vec<String>,
+    },
+    /// Cluster-plane frame (v5): one live event pushed to a
+    /// [`ClientMessage::Watch`] subscription (`id` echoes the watch).
+    Event {
+        /// Correlation id of the subscribing `Watch`.
+        id: u64,
+        /// Bus sequence number — gaps mean the subscriber's bounded
+        /// queue dropped events.
+        seq: u64,
+        /// What happened.
+        kind: WireEventKind,
+        /// Human-readable detail (stage name, SLO name, role, trace
+        /// outcome).
+        detail: String,
+        /// Kind-specific magnitude (duration in ns, epoch, 0/1 firing).
+        value: u64,
+    },
     /// Goodbye acknowledged; the server closes after this frame.
     Farewell {
         /// Correlation id.
         id: u64,
     },
+}
+
+/// One cluster member's contribution to a
+/// [`ServerMessage::ClusterStatsReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReplicaStats {
+    /// The member's node label (its peer address).
+    pub node: String,
+    /// Whether the member answered the scrape probe. Unreachable
+    /// members carry no metrics but stay in the report so a missing
+    /// replica is visible, not silently absent.
+    pub reachable: bool,
+    /// The member's metrics, each name qualified with
+    /// `replica="<node>"`. Empty when unreachable.
+    pub metrics: Vec<WireMetric>,
+}
+
+/// What a pushed [`ServerMessage::Event`] describes, mirroring
+/// [`bf_obs::ClusterEventKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireEventKind {
+    /// A pipeline stage completed (obs journal tail).
+    Stage,
+    /// A traced request finished and its tree was retained.
+    Trace,
+    /// The node's replication role or epoch changed.
+    Role,
+    /// An SLO transitioned between ok and firing.
+    Slo,
+}
+
+impl From<bf_obs::ClusterEventKind> for WireEventKind {
+    fn from(kind: bf_obs::ClusterEventKind) -> Self {
+        match kind {
+            bf_obs::ClusterEventKind::Stage => WireEventKind::Stage,
+            bf_obs::ClusterEventKind::Trace => WireEventKind::Trace,
+            bf_obs::ClusterEventKind::Role => WireEventKind::Role,
+            bf_obs::ClusterEventKind::Slo => WireEventKind::Slo,
+        }
+    }
+}
+
+impl From<WireEventKind> for bf_obs::ClusterEventKind {
+    fn from(kind: WireEventKind) -> Self {
+        match kind {
+            WireEventKind::Stage => bf_obs::ClusterEventKind::Stage,
+            WireEventKind::Trace => bf_obs::ClusterEventKind::Trace,
+            WireEventKind::Role => bf_obs::ClusterEventKind::Role,
+            WireEventKind::Slo => bf_obs::ClusterEventKind::Slo,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1023,6 +1170,9 @@ const TAG_BUDGET_AUDIT: u8 = 9;
 const TAG_LOG_CATCHUP: u8 = 10;
 const TAG_REPLICATE_ACK: u8 = 11;
 const TAG_PEER_STATUS: u8 = 12;
+const TAG_CLUSTER_STATS: u8 = 13;
+const TAG_HEALTH: u8 = 14;
+const TAG_WATCH: u8 = 15;
 
 const TAG_WELCOME: u8 = 65;
 const TAG_SESSION_ATTACHED: u8 = 66;
@@ -1036,6 +1186,14 @@ const TAG_TRACE_REPORT: u8 = 73;
 const TAG_AUDIT_REPORT: u8 = 74;
 const TAG_REPLICATE: u8 = 75;
 const TAG_PEER_STATUS_REPORT: u8 = 76;
+const TAG_CLUSTER_STATS_REPORT: u8 = 77;
+const TAG_HEALTH_REPORT: u8 = 78;
+const TAG_EVENT: u8 = 79;
+
+const EVENT_STAGE: u8 = 1;
+const EVENT_TRACE: u8 = 2;
+const EVENT_ROLE: u8 = 3;
+const EVENT_SLO: u8 = 4;
 
 const METRIC_COUNTER: u8 = 1;
 const METRIC_GAUGE: u8 = 2;
@@ -1576,6 +1734,9 @@ impl ClientMessage {
             | ClientMessage::LogCatchup { id, .. }
             | ClientMessage::ReplicateAck { id, .. }
             | ClientMessage::PeerStatus { id }
+            | ClientMessage::ClusterStats { id }
+            | ClientMessage::Health { id }
+            | ClientMessage::Watch { id }
             | ClientMessage::Goodbye { id } => *id,
         }
     }
@@ -1688,6 +1849,18 @@ impl ClientMessage {
                 out.push(TAG_PEER_STATUS);
                 put_u64(&mut out, *id);
             }
+            ClientMessage::ClusterStats { id } => {
+                out.push(TAG_CLUSTER_STATS);
+                put_u64(&mut out, *id);
+            }
+            ClientMessage::Health { id } => {
+                out.push(TAG_HEALTH);
+                put_u64(&mut out, *id);
+            }
+            ClientMessage::Watch { id } => {
+                out.push(TAG_WATCH);
+                put_u64(&mut out, *id);
+            }
             ClientMessage::Goodbye { id } => {
                 out.push(TAG_GOODBYE);
                 put_u64(&mut out, *id);
@@ -1785,6 +1958,9 @@ impl ClientMessage {
                 index: r.u64()?,
             },
             TAG_PEER_STATUS if version >= 4 => ClientMessage::PeerStatus { id: r.u64()? },
+            TAG_CLUSTER_STATS if version >= 5 => ClientMessage::ClusterStats { id: r.u64()? },
+            TAG_HEALTH if version >= 5 => ClientMessage::Health { id: r.u64()? },
+            TAG_WATCH if version >= 5 => ClientMessage::Watch { id: r.u64()? },
             TAG_GOODBYE => ClientMessage::Goodbye { id: r.u64()? },
             _ => return None,
         };
@@ -1807,6 +1983,9 @@ impl ServerMessage {
             | ServerMessage::Refused { id, .. }
             | ServerMessage::Replicate { id, .. }
             | ServerMessage::PeerStatusReport { id, .. }
+            | ServerMessage::ClusterStatsReport { id, .. }
+            | ServerMessage::HealthReport { id, .. }
+            | ServerMessage::Event { id, .. }
             | ServerMessage::Farewell { id } => *id,
         }
     }
@@ -1944,6 +2123,66 @@ impl ServerMessage {
                 put_u64(&mut out, *high_water);
                 put_u64(&mut out, *applied);
             }
+            ServerMessage::ClusterStatsReport { id, replicas } => {
+                out.push(TAG_CLUSTER_STATS_REPORT);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, replicas.len() as u64);
+                for rep in replicas {
+                    put_str(&mut out, &rep.node);
+                    out.push(rep.reachable as u8);
+                    put_u64(&mut out, rep.metrics.len() as u64);
+                    for m in &rep.metrics {
+                        encode_metric(&mut out, m);
+                    }
+                }
+            }
+            ServerMessage::HealthReport {
+                id,
+                role,
+                epoch,
+                applied,
+                lag,
+                wal_segments,
+                queue_depth,
+                unreachable,
+                firing,
+            } => {
+                out.push(TAG_HEALTH_REPORT);
+                put_u64(&mut out, *id);
+                put_str(&mut out, role);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *applied);
+                put_u64(&mut out, *lag);
+                put_u64(&mut out, *wal_segments);
+                put_u64(&mut out, *queue_depth);
+                put_u64(&mut out, unreachable.len() as u64);
+                for peer in unreachable {
+                    put_str(&mut out, peer);
+                }
+                put_u64(&mut out, firing.len() as u64);
+                for slo in firing {
+                    put_str(&mut out, slo);
+                }
+            }
+            ServerMessage::Event {
+                id,
+                seq,
+                kind,
+                detail,
+                value,
+            } => {
+                out.push(TAG_EVENT);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *seq);
+                out.push(match kind {
+                    WireEventKind::Stage => EVENT_STAGE,
+                    WireEventKind::Trace => EVENT_TRACE,
+                    WireEventKind::Role => EVENT_ROLE,
+                    WireEventKind::Slo => EVENT_SLO,
+                });
+                put_str(&mut out, detail);
+                put_u64(&mut out, *value);
+            }
             ServerMessage::Farewell { id } => {
                 out.push(TAG_FAREWELL);
                 put_u64(&mut out, *id);
@@ -2073,6 +2312,85 @@ impl ServerMessage {
                 epoch: r.u64()?,
                 high_water: r.u64()?,
                 applied: r.u64()?,
+            },
+            TAG_CLUSTER_STATS_REPORT if version >= 5 => {
+                let id = r.u64()?;
+                let n = r.u64()?;
+                if n > bf_store::MAX_RECORD_LEN as u64 {
+                    return None;
+                }
+                let mut replicas = Vec::with_capacity(bounded_capacity(n));
+                for _ in 0..n {
+                    let node = r.str()?;
+                    let reachable = match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return None,
+                    };
+                    let m = r.u64()?;
+                    if m > bf_store::MAX_RECORD_LEN as u64 {
+                        return None;
+                    }
+                    let mut metrics = Vec::with_capacity(bounded_capacity(m));
+                    for _ in 0..m {
+                        metrics.push(decode_metric(&mut r)?);
+                    }
+                    replicas.push(WireReplicaStats {
+                        node,
+                        reachable,
+                        metrics,
+                    });
+                }
+                ServerMessage::ClusterStatsReport { id, replicas }
+            }
+            TAG_HEALTH_REPORT if version >= 5 => {
+                let id = r.u64()?;
+                let role = r.str()?;
+                let epoch = r.u64()?;
+                let applied = r.u64()?;
+                let lag = r.u64()?;
+                let wal_segments = r.u64()?;
+                let queue_depth = r.u64()?;
+                let n = r.u64()?;
+                if n > bf_store::MAX_RECORD_LEN as u64 {
+                    return None;
+                }
+                let mut unreachable = Vec::with_capacity(bounded_capacity(n));
+                for _ in 0..n {
+                    unreachable.push(r.str()?);
+                }
+                let m = r.u64()?;
+                if m > bf_store::MAX_RECORD_LEN as u64 {
+                    return None;
+                }
+                let mut firing = Vec::with_capacity(bounded_capacity(m));
+                for _ in 0..m {
+                    firing.push(r.str()?);
+                }
+                ServerMessage::HealthReport {
+                    id,
+                    role,
+                    epoch,
+                    applied,
+                    lag,
+                    wal_segments,
+                    queue_depth,
+                    unreachable,
+                    firing,
+                }
+            }
+            TAG_EVENT if version >= 5 => ServerMessage::Event {
+                id: r.u64()?,
+                seq: r.u64()?,
+                kind: match r.u8()? {
+                    EVENT_STAGE => WireEventKind::Stage,
+                    EVENT_TRACE => WireEventKind::Trace,
+                    EVENT_ROLE => WireEventKind::Role,
+                    EVENT_SLO => WireEventKind::Slo,
+                    _ => return None,
+                },
+                detail: r.str()?,
+                value: r.u64()?,
             },
             TAG_FAREWELL => ServerMessage::Farewell { id: r.u64()? },
             _ => return None,
@@ -2275,7 +2593,7 @@ mod tests {
 
     fn arb_client_message(rng: &mut StdRng) -> ClientMessage {
         let id = rng.random();
-        match rng.random_range(0..12u32) {
+        match rng.random_range(0..15u32) {
             0 => ClientMessage::Hello {
                 id,
                 version: rng.random::<u32>() as u16,
@@ -2325,13 +2643,31 @@ mod tests {
                 index: rng.random(),
             },
             10 => ClientMessage::PeerStatus { id },
+            11 => ClientMessage::ClusterStats { id },
+            12 => ClientMessage::Health { id },
+            13 => ClientMessage::Watch { id },
             _ => ClientMessage::Goodbye { id },
+        }
+    }
+
+    fn arb_replica_stats(rng: &mut StdRng) -> WireReplicaStats {
+        let reachable = rng.random();
+        WireReplicaStats {
+            node: arb_string(rng),
+            reachable,
+            metrics: if reachable {
+                (0..rng.random_range(0..4usize))
+                    .map(|_| arb_metric(rng))
+                    .collect()
+            } else {
+                Vec::new()
+            },
         }
     }
 
     fn arb_server_message(rng: &mut StdRng) -> ServerMessage {
         let id = rng.random();
-        match rng.random_range(0..12u32) {
+        match rng.random_range(0..15u32) {
             0 => ServerMessage::Welcome {
                 id,
                 version: rng.random::<u32>() as u16,
@@ -2401,6 +2737,39 @@ mod tests {
                 epoch: rng.random(),
                 high_water: rng.random(),
                 applied: rng.random(),
+            },
+            11 => ServerMessage::ClusterStatsReport {
+                id,
+                replicas: (0..rng.random_range(0..4usize))
+                    .map(|_| arb_replica_stats(rng))
+                    .collect(),
+            },
+            12 => ServerMessage::HealthReport {
+                id,
+                role: arb_string(rng),
+                epoch: rng.random(),
+                applied: rng.random(),
+                lag: rng.random(),
+                wal_segments: rng.random(),
+                queue_depth: rng.random(),
+                unreachable: (0..rng.random_range(0..3usize))
+                    .map(|_| arb_string(rng))
+                    .collect(),
+                firing: (0..rng.random_range(0..3usize))
+                    .map(|_| arb_string(rng))
+                    .collect(),
+            },
+            13 => ServerMessage::Event {
+                id,
+                seq: rng.random(),
+                kind: match rng.random_range(0..4u32) {
+                    0 => WireEventKind::Stage,
+                    1 => WireEventKind::Trace,
+                    2 => WireEventKind::Role,
+                    _ => WireEventKind::Slo,
+                },
+                detail: arb_string(rng),
+                value: rng.random(),
             },
             _ => ServerMessage::Farewell { id },
         }
@@ -2481,7 +2850,13 @@ mod tests {
                         | ClientMessage::ReplicateAck { .. }
                         | ClientMessage::PeerStatus { .. }
                 );
-                if v < 4 && peer_only {
+                let cluster_only = matches!(
+                    cm,
+                    ClientMessage::ClusterStats { .. }
+                        | ClientMessage::Health { .. }
+                        | ClientMessage::Watch { .. }
+                );
+                if (v < 4 && peer_only) || (v < 5 && cluster_only) {
                     prop_assert_eq!(ClientMessage::decode_for(&cm.encode_for(v), v), None);
                 } else {
                     prop_assert_eq!(
@@ -2489,12 +2864,17 @@ mod tests {
                         Some(downgrade_client(&cm, v))
                     );
                 }
-                if v < 4
-                    && matches!(
-                        sm,
-                        ServerMessage::Replicate { .. } | ServerMessage::PeerStatusReport { .. }
-                    )
-                {
+                let sm_peer_only = matches!(
+                    sm,
+                    ServerMessage::Replicate { .. } | ServerMessage::PeerStatusReport { .. }
+                );
+                let sm_cluster_only = matches!(
+                    sm,
+                    ServerMessage::ClusterStatsReport { .. }
+                        | ServerMessage::HealthReport { .. }
+                        | ServerMessage::Event { .. }
+                );
+                if (v < 4 && sm_peer_only) || (v < 5 && sm_cluster_only) {
                     prop_assert_eq!(ServerMessage::decode_for(&sm.encode_for(v), v), None);
                 } else {
                     prop_assert_eq!(
@@ -2561,7 +2941,8 @@ mod tests {
             // Cycle through every negotiated version so the downgraded
             // encodings get the same corruption coverage as the native
             // one.
-            let version = MIN_PROTOCOL_VERSION + (case as u16 / 2) % 3;
+            let version = MIN_PROTOCOL_VERSION
+                + (case as u16 / 2) % (PROTOCOL_VERSION - MIN_PROTOCOL_VERSION + 1);
             let payload = if case % 2 == 0 {
                 arb_client_message(&mut rng).encode_for(version)
             } else {

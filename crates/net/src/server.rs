@@ -1,10 +1,13 @@
 //! The TCP front-end: accept, decode, bridge into `bf-server` tickets.
 
 use crate::proto::{
-    ClientMessage, ServerMessage, WireError, WireMetric, WireResponse, MIN_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
+    ClientMessage, ServerMessage, WireError, WireEventKind, WireMetric, WireReplicaStats,
+    WireResponse, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
-use bf_obs::{Counter, Histogram, Registry, Stage, TraceContext, TraceId, TraceTimer};
+use bf_obs::{
+    BusSubscriber, ClusterEventKind, Counter, Histogram, MetricSnapshot, Registry, SloEngine,
+    SloSpec, Stage, TraceContext, TraceId, TraceTimer,
+};
 use bf_server::{DriverHandle, Server, ServerError, ServerStats, Ticket};
 use bf_store::{fnv1a, frame_bytes, read_frame, FrameRead};
 use std::collections::{HashMap, HashSet};
@@ -48,6 +51,69 @@ pub trait ReplicaHook: Send + Sync {
     /// serves `Budget` / `Stats` / `Traces` / `BudgetAudit` from the
     /// local engine, which is how followers scale reads out.
     fn refuse_read(&self) -> Option<WireError>;
+
+    /// Refreshes hook-owned gauges (log index, lag, epoch, role) from
+    /// live node state. Called at scrape and health-probe time so the
+    /// reported values are current rather than whatever the last
+    /// replication-stream receipt left behind. Default: no-op.
+    fn refresh_observability(&self) {}
+
+    /// This node's stable identity — the `replica` label its samples
+    /// carry in a federated scrape (conventionally the replication
+    /// peer address). Only consulted under [`ServerRole::Replica`];
+    /// standalone nodes are labeled by [`NetConfig::node_name`].
+    fn node_name(&self) -> String {
+        "replica".into()
+    }
+
+    /// Scrapes every configured peer's metrics over the replication
+    /// peer port: one entry per peer, in configured order, with
+    /// unreachable peers reported (`reachable: false`, no samples)
+    /// rather than silently dropped. Default: no peers.
+    fn scrape_peers(&self) -> Vec<PeerScrape> {
+        Vec::new()
+    }
+
+    /// Role, epoch, replication position and peer reachability for a
+    /// `Health` probe. Probing may refresh cluster-level gauges (the
+    /// fleet lag gauge an SLO reads), so the caller snapshots metrics
+    /// *after* this. `None` (the default) reports a standalone node.
+    fn health(&self) -> Option<ReplicaHealth> {
+        None
+    }
+}
+
+/// One cluster member's slice of a federated scrape, as returned by
+/// [`ReplicaHook::scrape_peers`].
+#[derive(Debug, Clone)]
+pub struct PeerScrape {
+    /// The member's node label (its replication peer address).
+    pub node: String,
+    /// Whether the member answered the probe.
+    pub reachable: bool,
+    /// The member's metric snapshot — unqualified names; the wire
+    /// layer adds no label, the *client* merges with
+    /// `bf_obs::merge_labeled_snapshots`. Empty when unreachable.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+/// Replication-side identity and position for a `Health` probe, as
+/// returned by [`ReplicaHook::health`].
+#[derive(Debug, Clone)]
+pub struct ReplicaHealth {
+    /// `"leader"` or `"follower"`.
+    pub role: String,
+    /// Current sequencing epoch.
+    pub epoch: u64,
+    /// Largest log index executed through the local engine.
+    pub applied: u64,
+    /// Worst replication lag visible from this node, in entries: the
+    /// local commit-to-apply gap, or (on a node with configured peers)
+    /// the largest durable-high-water-to-peer-applied gap, with an
+    /// unreachable peer counted as applied 0.
+    pub lag: u64,
+    /// Peer addresses that did not answer a status probe.
+    pub unreachable: Vec<String>,
 }
 
 /// How this process's client port routes work.
@@ -104,6 +170,19 @@ pub struct NetConfig {
     /// default) feeds the scheduler directly; [`ServerRole::Replica`]
     /// interposes the replication layer's [`ReplicaHook`].
     pub role: ServerRole,
+    /// The `replica` label a standalone node's samples carry in a
+    /// `ClusterStats` report (replicas use
+    /// [`ReplicaHook::node_name`] instead).
+    pub node_name: String,
+    /// Declarative SLOs evaluated at every `Stats` / `ClusterStats` /
+    /// `Health` scrape — passive, no background thread: each scrape
+    /// feeds one sample into the sliding window, updates the `slo_*`
+    /// gauges, and publishes firing/ok flips on the live event bus.
+    /// Empty (the default) skips evaluation entirely.
+    pub slos: Vec<SloSpec>,
+    /// Sliding-window length for SLO rate objectives, in scrapes
+    /// (minimum 2).
+    pub slo_window: usize,
 }
 
 impl Default for NetConfig {
@@ -115,6 +194,9 @@ impl Default for NetConfig {
             poll_interval: Duration::from_micros(200),
             fault_plan: None,
             role: ServerRole::Standalone,
+            node_name: "standalone".into(),
+            slos: Vec::new(),
+            slo_window: 8,
         }
     }
 }
@@ -254,32 +336,42 @@ impl NetServer {
             .unwrap_or(0x626c_6f77_6669_7368)
             ^ u64::from(std::process::id());
         let tokens: Arc<Mutex<HashMap<String, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+        // One shared SLO engine per serving process (scrapes from every
+        // connection feed the same sliding window). Absent entirely
+        // when no SLOs are configured — the common path pays nothing.
+        let slo: Option<Arc<Mutex<SloEngine>>> = (!config.slos.is_empty()).then(|| {
+            Arc::new(Mutex::new(SloEngine::new(
+                server.engine().obs(),
+                config.slos.clone(),
+                config.slo_window,
+            )))
+        });
         let driver = server.start_driver(config.tick_interval);
         let acceptors = (0..config.acceptors.max(1))
             .map(|i| {
                 let listener = listener.try_clone().expect("clone listener");
-                let server = Arc::clone(&server);
-                let closing = Arc::clone(&closing);
-                let counters = Arc::clone(&counters);
-                let tokens = Arc::clone(&tokens);
-                let config = config.clone();
+                let shared = AcceptorShared {
+                    server: Arc::clone(&server),
+                    config: config.clone(),
+                    closing: Arc::clone(&closing),
+                    counters: Arc::clone(&counters),
+                    tokens: Arc::clone(&tokens),
+                    token_seed,
+                    slo: slo.clone(),
+                };
                 std::thread::Builder::new()
                     .name(format!("bf-net-acceptor-{i}"))
                     .spawn(move || loop {
-                        if closing.load(Ordering::Acquire) {
+                        if shared.closing.load(Ordering::Acquire) {
                             return;
                         }
                         match listener.accept() {
                             Ok((stream, _)) => {
-                                counters.connections.inc();
-                                Connection::new(
-                                    stream, &server, &config, &closing, &counters, &tokens,
-                                    token_seed,
-                                )
-                                .run();
+                                shared.counters.connections.inc();
+                                Connection::new(stream, &shared).run();
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(config.poll_interval);
+                                std::thread::sleep(shared.config.poll_interval);
                             }
                             Err(_) => return,
                         }
@@ -385,6 +477,19 @@ struct OutstandingBatch {
     started: Instant,
 }
 
+/// The process-shared state every connection on an acceptor borrows:
+/// built once per acceptor thread, lent to each [`Connection`] it
+/// serves in turn.
+struct AcceptorShared {
+    server: Arc<Server>,
+    config: NetConfig,
+    closing: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
+    tokens: Arc<Mutex<HashMap<String, u64>>>,
+    token_seed: u64,
+    slo: Option<Arc<Mutex<SloEngine>>>,
+}
+
 /// Per-connection state machine: owns the socket, the receive buffer,
 /// and the in-flight tickets.
 struct Connection<'a> {
@@ -412,20 +517,27 @@ struct Connection<'a> {
     token_seed: u64,
     singles: Vec<Outstanding>,
     batches: Vec<OutstandingBatch>,
+    /// The process-wide SLO engine (`None` when no SLOs are
+    /// configured).
+    slo: &'a Option<Arc<Mutex<SloEngine>>>,
+    /// The live `Watch` subscription, if this connection opened one:
+    /// the watch's correlation id plus the bus subscription whose
+    /// queued events the handler loop pumps out as `Event` frames.
+    watch: Option<(u64, BusSubscriber)>,
 }
 
+/// Per-subscriber event-queue bound for `Watch` connections. A watcher
+/// that falls further behind than this loses events (visible as gaps
+/// in the sequence numbers) instead of growing server memory.
+const WATCH_QUEUE_CAPACITY: usize = 256;
+/// Max events flushed per handler-loop pass, so a hot bus cannot
+/// starve frame reads on the same connection.
+const WATCH_BATCH: usize = 64;
+
 impl<'a> Connection<'a> {
-    fn new(
-        stream: TcpStream,
-        server: &'a Arc<Server>,
-        config: &'a NetConfig,
-        closing: &'a AtomicBool,
-        counters: &'a NetCounters,
-        tokens: &'a Mutex<HashMap<String, u64>>,
-        token_seed: u64,
-    ) -> Self {
+    fn new(stream: TcpStream, shared: &'a AcceptorShared) -> Self {
         let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(config.poll_interval));
+        let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
         // A client that stops READING can otherwise wedge this thread
         // forever in write_all once the TCP send buffer fills — which
         // would also hang NetServer::shutdown on the acceptor join. A
@@ -433,19 +545,21 @@ impl<'a> Connection<'a> {
         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
         Self {
             stream,
-            server,
-            config,
-            closing,
-            counters,
+            server: &shared.server,
+            config: &shared.config,
+            closing: &shared.closing,
+            counters: &shared.counters,
             buf: Vec::new(),
             hello_done: false,
             negotiated: PROTOCOL_VERSION,
             goodbye: None,
             attached: HashSet::new(),
-            tokens,
-            token_seed,
+            tokens: &shared.tokens,
+            token_seed: shared.token_seed,
             singles: Vec::new(),
             batches: Vec::new(),
+            slo: &shared.slo,
+            watch: None,
         }
     }
 
@@ -480,6 +594,18 @@ impl<'a> Connection<'a> {
                     return;
                 }
                 Ok(flushed) => progressed |= flushed > 0,
+            }
+
+            // 1b. Stream queued watch events (suspended once a Goodbye
+            //     starts draining, so the Farewell is the last frame).
+            if self.goodbye.is_none() {
+                match self.pump_watch() {
+                    Err(_) => {
+                        self.note_disconnect();
+                        return;
+                    }
+                    Ok(pumped) => progressed |= pumped > 0,
+                }
             }
 
             // 2. Orderly endings.
@@ -823,14 +949,109 @@ impl<'a> Connection<'a> {
                 // store, server and net metrics all live on the two
                 // registries `Engine::metrics_snapshot` folds together.
                 let metrics = self
-                    .server
-                    .engine()
-                    .metrics_snapshot()
+                    .scrape_local()
                     .iter()
                     .map(WireMetric::from_snapshot)
                     .collect();
                 self.write_message(&ServerMessage::StatsReport { id, metrics })
                     .is_ok()
+            }
+            ClientMessage::ClusterStats { id } => {
+                if let Some(error) = self.read_refusal() {
+                    return self
+                        .write_message(&ServerMessage::Refused {
+                            id,
+                            error,
+                            trace_id: None,
+                        })
+                        .is_ok();
+                }
+                // The serving node's own slice first, then one entry
+                // per configured peer (scraped over the replication
+                // peer port) — every reachable member exactly once,
+                // unreachable members reported rather than dropped.
+                // Samples go out with unqualified names; the client
+                // qualifies each source with its `replica` label.
+                let local = self
+                    .scrape_local()
+                    .iter()
+                    .map(WireMetric::from_snapshot)
+                    .collect();
+                let node = match &self.config.role {
+                    ServerRole::Replica(hook) => hook.node_name(),
+                    ServerRole::Standalone => self.config.node_name.clone(),
+                };
+                let mut replicas = vec![WireReplicaStats {
+                    node,
+                    reachable: true,
+                    metrics: local,
+                }];
+                if let ServerRole::Replica(hook) = &self.config.role {
+                    for peer in hook.scrape_peers() {
+                        replicas.push(WireReplicaStats {
+                            node: peer.node,
+                            reachable: peer.reachable,
+                            metrics: peer.metrics.iter().map(WireMetric::from_snapshot).collect(),
+                        });
+                    }
+                }
+                self.write_message(&ServerMessage::ClusterStatsReport { id, replicas })
+                    .is_ok()
+            }
+            ClientMessage::Health { id } => {
+                // No read-refusal gate: a lagging or fenced replica
+                // must still report *that* it is lagging — health is
+                // what a load balancer decides eviction by.
+                let health = match &self.config.role {
+                    ServerRole::Replica(hook) => {
+                        hook.refresh_observability();
+                        hook.health()
+                    }
+                    ServerRole::Standalone => None,
+                };
+                // Snapshot after the hook's peer probes: they refresh
+                // the cluster-lag gauge the SLO evaluation reads.
+                let snaps = self.server.engine().metrics_snapshot();
+                let firing = self.observe_slos(&snaps);
+                let gauge_sum = |prefix: &str| {
+                    snaps
+                        .iter()
+                        .filter(|s| s.name().starts_with(prefix))
+                        .map(|s| match s {
+                            MetricSnapshot::Gauge { value, .. } => *value,
+                            _ => 0.0,
+                        })
+                        .sum::<f64>()
+                };
+                let wal_segments =
+                    gauge_sum("store_live_wal_segments") + gauge_sum("store_archived_wal_segments");
+                let queue_depth = gauge_sum("server_queue_depth{");
+                let (role, epoch, applied, lag, unreachable) = match health {
+                    Some(h) => (h.role, h.epoch, h.applied, h.lag, h.unreachable),
+                    None => ("standalone".to_owned(), 0, 0, 0, Vec::new()),
+                };
+                self.write_message(&ServerMessage::HealthReport {
+                    id,
+                    role,
+                    epoch,
+                    applied,
+                    lag,
+                    wal_segments: wal_segments as u64,
+                    queue_depth: queue_depth as u64,
+                    unreachable,
+                    firing,
+                })
+                .is_ok()
+            }
+            ClientMessage::Watch { id } => {
+                // Attach a bounded bus subscription; the handler loop
+                // pumps its events out as `Event` frames echoing this
+                // id. One watch per connection: a second Watch
+                // replaces the first (whose queued events are
+                // dropped with it).
+                let sub = self.counters.obs.bus().subscribe(WATCH_QUEUE_CAPACITY);
+                self.watch = Some((id, sub));
+                true
             }
             ClientMessage::Traces { id } => {
                 if let Some(error) = self.read_refusal() {
@@ -958,6 +1179,65 @@ impl<'a> Connection<'a> {
             ServerRole::Standalone => None,
             ServerRole::Replica(hook) => hook.refuse_read(),
         }
+    }
+
+    /// The local scrape path shared by `Stats` and `ClusterStats`:
+    /// refresh hook-owned gauges from live node state, feed one sample
+    /// through the SLO engine, and return a snapshot that includes the
+    /// updated `slo_*` gauges. Without configured SLOs this is one
+    /// snapshot and nothing else.
+    fn scrape_local(&self) -> Vec<MetricSnapshot> {
+        if let ServerRole::Replica(hook) = &self.config.role {
+            hook.refresh_observability();
+        }
+        let snaps = self.server.engine().metrics_snapshot();
+        if self.slo.is_none() {
+            return snaps;
+        }
+        self.observe_slos(&snaps);
+        // Re-read so the reply carries the slo_* gauges this very
+        // scrape just updated (scrapes are rare; the second pass is
+        // cheaper than serving stale SLO state).
+        self.server.engine().metrics_snapshot()
+    }
+
+    /// Feeds one scrape sample through the SLO engine (no-op without
+    /// configured SLOs): updates the `slo_*` gauges, publishes
+    /// firing/ok flips on the live event bus, and returns the names
+    /// currently firing.
+    fn observe_slos(&self, snaps: &[MetricSnapshot]) -> Vec<String> {
+        let Some(slo) = self.slo.as_ref() else {
+            return Vec::new();
+        };
+        let mut slo = slo.lock().expect("slo engine poisoned");
+        for flip in slo.observe(snaps) {
+            self.counters.obs.bus().publish(
+                ClusterEventKind::Slo,
+                &flip.slo,
+                u64::from(flip.firing),
+            );
+        }
+        slo.firing()
+    }
+
+    /// Writes out every event queued on the connection's `Watch`
+    /// subscription (bounded per pass), returning how many went — the
+    /// handler loop's progress signal.
+    fn pump_watch(&mut self) -> std::io::Result<usize> {
+        let (watch_id, events) = match &self.watch {
+            Some((id, sub)) => (*id, sub.drain(WATCH_BATCH)),
+            None => return Ok(0),
+        };
+        for event in &events {
+            self.write_message(&ServerMessage::Event {
+                id: watch_id,
+                seq: event.seq,
+                kind: WireEventKind::from(event.kind),
+                detail: event.detail.clone(),
+                value: event.value,
+            })?;
+        }
+        Ok(events.len())
     }
 
     /// Records the connection's in-flight depth after an accepted

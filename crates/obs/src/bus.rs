@@ -1,0 +1,294 @@
+//! The bounded broadcast event bus behind live `Watch` subscriptions.
+//!
+//! The bus fans one stream of [`ClusterEvent`]s — journal stage
+//! completions, finished traces, replication role/epoch changes, SLO
+//! transitions — out to any number of subscribers, under the same
+//! discipline as every other instrument in this crate:
+//!
+//! * **Never blocking.** Publishing uses `try_lock` everywhere; a lost
+//!   race counts a drop instead of queueing the serving or replication
+//!   path behind an observer.
+//! * **Bounded.** Every subscriber owns a fixed-capacity queue. A slow
+//!   consumer loses events — counted per subscriber, and visible as a
+//!   gap in the global sequence numbers — and never grows memory.
+//! * **Pure side channel.** With the owning registry disabled the bus
+//!   publishes nothing; nothing it does feeds back into RNG
+//!   derivation, ε accounting or scheduling.
+//!
+//! With zero subscribers a publish is one relaxed load — the bus can
+//! stay wired into hot paths permanently.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// What a [`ClusterEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterEventKind {
+    /// A pipeline stage completed (the obs journal's tail).
+    Stage,
+    /// A traced request finished and its tree was retained.
+    Trace,
+    /// The node's replication role or epoch changed.
+    Role,
+    /// An SLO transitioned between ok and firing.
+    Slo,
+}
+
+impl ClusterEventKind {
+    /// Stable lower-case name (`"stage"`, `"trace"`, `"role"`, `"slo"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ClusterEventKind::Stage => "stage",
+            ClusterEventKind::Trace => "trace",
+            ClusterEventKind::Role => "role",
+            ClusterEventKind::Slo => "slo",
+        }
+    }
+}
+
+/// One live event broadcast on the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterEvent {
+    /// Bus-wide monotone sequence number, assigned at publish. A gap in
+    /// the numbers a subscriber sees means its bounded queue dropped.
+    pub seq: u64,
+    /// What happened.
+    pub kind: ClusterEventKind,
+    /// Kind-specific detail (stage name, SLO name, `role@epoch`, trace
+    /// outcome).
+    pub detail: String,
+    /// Kind-specific magnitude (duration in ns, epoch, 1/0 firing).
+    pub value: u64,
+}
+
+#[derive(Debug)]
+struct SubscriberCore {
+    queue: Mutex<VecDeque<ClusterEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+/// A subscription's receiving end: poll events off the bounded queue.
+/// Dropping the handle detaches the subscription; the bus forgets it on
+/// its next publish or subscribe.
+#[derive(Debug)]
+pub struct BusSubscriber {
+    core: Arc<SubscriberCore>,
+}
+
+impl BusSubscriber {
+    /// Pops the oldest queued event, if any. Never blocks.
+    pub fn poll(&self) -> Option<ClusterEvent> {
+        self.core.queue.try_lock().ok()?.pop_front()
+    }
+
+    /// Pops up to `max` queued events, oldest first.
+    pub fn drain(&self, max: usize) -> Vec<ClusterEvent> {
+        let Ok(mut q) = self.core.queue.try_lock() else {
+            return Vec::new();
+        };
+        let n = max.min(q.len());
+        q.drain(..n).collect()
+    }
+
+    /// Events this subscription lost to its bounded queue (or to a
+    /// publish-time lock race).
+    pub fn dropped(&self) -> u64 {
+        self.core.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        self.core.queue.try_lock().map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Whether nothing is currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Debug)]
+struct BusCore {
+    seq: AtomicU64,
+    subscribers: Mutex<Vec<Weak<SubscriberCore>>>,
+    /// Over-approximate subscriber count: the fast-path hint publish
+    /// reads before touching any lock. Dead subscriptions are pruned
+    /// (and the hint corrected) on the next publish or subscribe.
+    active: AtomicUsize,
+    /// Publishes lost because the subscriber list was contended.
+    contended: AtomicU64,
+    enabled: Arc<AtomicBool>,
+}
+
+/// The broadcast bus itself. Cloning shares the instrument, like every
+/// other handle in this crate.
+#[derive(Debug, Clone)]
+pub struct EventBus {
+    core: Arc<BusCore>,
+}
+
+impl EventBus {
+    pub(crate) fn with_switch(enabled: Arc<AtomicBool>) -> Self {
+        EventBus {
+            core: Arc::new(BusCore {
+                seq: AtomicU64::new(0),
+                subscribers: Mutex::new(Vec::new()),
+                active: AtomicUsize::new(0),
+                contended: AtomicU64::new(0),
+                enabled,
+            }),
+        }
+    }
+
+    /// A bus attached to no registry, always enabled — for tests and
+    /// standalone use.
+    pub fn detached() -> Self {
+        Self::with_switch(Arc::new(AtomicBool::new(true)))
+    }
+
+    /// Attaches a new subscription whose queue holds at most `capacity`
+    /// events (minimum 1).
+    pub fn subscribe(&self, capacity: usize) -> BusSubscriber {
+        let core = Arc::new(SubscriberCore {
+            queue: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        });
+        let mut subs = self.core.subscribers.lock().expect("bus poisoned");
+        subs.retain(|w| w.strong_count() > 0);
+        subs.push(Arc::downgrade(&core));
+        self.core.active.store(subs.len(), Ordering::Relaxed);
+        BusSubscriber { core }
+    }
+
+    /// Whether anyone is (probably) listening — the one-relaxed-load
+    /// fast path hot call sites may use to skip building event details.
+    #[inline]
+    pub fn has_subscribers(&self) -> bool {
+        self.core.active.load(Ordering::Relaxed) > 0
+    }
+
+    /// Events ever published (the next event's sequence number).
+    pub fn published(&self) -> u64 {
+        self.core.seq.load(Ordering::Relaxed)
+    }
+
+    /// Publishes lost entirely because the subscriber list was locked.
+    pub fn contended(&self) -> u64 {
+        self.core.contended.load(Ordering::Relaxed)
+    }
+
+    /// Broadcasts one event to every live subscription. Never blocks:
+    /// a contended subscriber list or a full/contended subscriber queue
+    /// counts a drop and moves on.
+    pub fn publish(&self, kind: ClusterEventKind, detail: &str, value: u64) {
+        if !self.core.enabled.load(Ordering::Relaxed) || !self.has_subscribers() {
+            return;
+        }
+        let Ok(mut subs) = self.core.subscribers.try_lock() else {
+            self.core.contended.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        subs.retain(|w| w.strong_count() > 0);
+        self.core.active.store(subs.len(), Ordering::Relaxed);
+        if subs.is_empty() {
+            return;
+        }
+        let seq = self.core.seq.fetch_add(1, Ordering::Relaxed);
+        for weak in subs.iter() {
+            let Some(sub) = weak.upgrade() else {
+                continue;
+            };
+            let Ok(mut q) = sub.queue.try_lock() else {
+                sub.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            if q.len() >= sub.capacity {
+                sub.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            q.push_back(ClusterEvent {
+                seq,
+                kind,
+                detail: detail.to_owned(),
+                value,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscribers_see_published_events_in_order() {
+        let bus = EventBus::detached();
+        assert!(!bus.has_subscribers());
+        let sub = bus.subscribe(8);
+        assert!(bus.has_subscribers());
+        bus.publish(ClusterEventKind::Role, "leader@1", 1);
+        bus.publish(ClusterEventKind::Slo, "lag", 1);
+        let events = sub.drain(10);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, ClusterEventKind::Role);
+        assert_eq!(events[0].detail, "leader@1");
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(sub.dropped(), 0);
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn full_queue_drops_with_counter_and_seq_gap() {
+        let bus = EventBus::detached();
+        let sub = bus.subscribe(2);
+        for i in 0..5 {
+            bus.publish(ClusterEventKind::Stage, "decode", i);
+        }
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.dropped(), 3);
+        let first = sub.poll().unwrap();
+        assert_eq!(first.seq, 0);
+        // A second subscription attached later sees only new traffic.
+        let late = bus.subscribe(2);
+        bus.publish(ClusterEventKind::Stage, "reply", 9);
+        assert_eq!(late.poll().unwrap().seq, 5);
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned() {
+        let bus = EventBus::detached();
+        let sub = bus.subscribe(2);
+        drop(sub);
+        // The first publish after the drop prunes the dead entry and
+        // sequences nothing (no listener, no gap).
+        bus.publish(ClusterEventKind::Trace, "ok", 1);
+        assert!(!bus.has_subscribers());
+        assert_eq!(bus.published(), 0);
+    }
+
+    #[test]
+    fn disabled_switch_silences_the_bus() {
+        let switch = Arc::new(AtomicBool::new(false));
+        let bus = EventBus::with_switch(Arc::clone(&switch));
+        let sub = bus.subscribe(4);
+        bus.publish(ClusterEventKind::Role, "leader@1", 1);
+        assert!(sub.is_empty());
+        assert_eq!(bus.published(), 0);
+        switch.store(true, Ordering::Relaxed);
+        bus.publish(ClusterEventKind::Role, "leader@2", 2);
+        assert_eq!(sub.len(), 1);
+    }
+
+    #[test]
+    fn publish_with_no_subscribers_is_cheap_and_lossless_to_count() {
+        let bus = EventBus::detached();
+        bus.publish(ClusterEventKind::Stage, "decode", 1);
+        // No subscriber: nothing sequenced, nothing allocated.
+        assert_eq!(bus.published(), 0);
+        assert_eq!(bus.contended(), 0);
+    }
+}

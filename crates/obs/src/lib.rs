@@ -29,6 +29,20 @@
 //!   the wire via `Traces`/`TraceReport` frames. Coalesced releases
 //!   carry a shared link id across all waiter traces, so amplification
 //!   is visible from any one of them.
+//! * **[`SloEngine`] / [`SloSpec`]** — declarative service-level
+//!   objectives (latency quantile, error rate, replication lag,
+//!   per-analyst ε burn rate) evaluated over a sliding window of
+//!   scrape deltas into `slo_*` gauges and a firing/ok state machine.
+//!   Windowed in scrapes, never wall clocks.
+//! * **[`EventBus`] / [`ClusterEvent`]** — the bounded broadcast bus
+//!   behind live `Watch` subscriptions, fed by the journal, finished
+//!   traces, replication role changes and SLO transitions.
+//!   Per-subscriber bounded queues drop-with-counter; publishing never
+//!   blocks the serving or replication path.
+//! * **[`merge_labeled_snapshots`]** — label-qualified merging for
+//!   federated scrapes: each source's samples gain a
+//!   `replica="<node>"` label so a fleet's same-named metrics stay
+//!   distinct series.
 //!
 //! ## Side-channel guarantee
 //!
@@ -42,15 +56,21 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bus;
 mod metrics;
 mod registry;
 mod render;
+mod slo;
 mod span;
 mod trace;
 
+pub use bus::{BusSubscriber, ClusterEvent, ClusterEventKind, EventBus};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Stopwatch};
-pub use registry::{merge_snapshots, MetricSnapshot, Registry};
+pub use registry::{
+    label_metric_name, merge_labeled_snapshots, merge_snapshots, MetricSnapshot, Registry,
+};
 pub use render::render_prometheus;
+pub use slo::{budget_spent_metric, SloEngine, SloObjective, SloQuantile, SloSpec, SloTransition};
 pub use span::{Event, Journal, Span, Stage};
 pub use trace::{
     next_link_id, TraceBuffer, TraceContext, TraceId, TraceSpan, TraceTimer, TraceTree,

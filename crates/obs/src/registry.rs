@@ -1,5 +1,6 @@
 //! The named instrument catalog.
 
+use crate::bus::{ClusterEventKind, EventBus};
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSummary};
 use crate::span::{Journal, Span, Stage};
 use crate::trace::{TraceBuffer, TraceContext, TraceId, TRACE_EXEMPLARS_PER_STAGE};
@@ -38,6 +39,7 @@ pub struct Registry {
     stages: Vec<Histogram>,
     journal: Journal,
     traces: TraceBuffer,
+    bus: EventBus,
 }
 
 impl Default for Registry {
@@ -60,12 +62,18 @@ impl Registry {
             );
             stages.push(h);
         }
+        let bus = EventBus::with_switch(Arc::clone(&enabled));
         Self {
             metrics: Mutex::new(metrics),
             enabled: Arc::clone(&enabled),
             stages,
             journal: Journal::with_switch(JOURNAL_CAPACITY, Arc::clone(&enabled)),
-            traces: TraceBuffer::with_switch(TRACE_EXEMPLARS_PER_STAGE, enabled),
+            traces: TraceBuffer::with_switch_and_bus(
+                TRACE_EXEMPLARS_PER_STAGE,
+                enabled,
+                Some(bus.clone()),
+            ),
+            bus,
         }
     }
 
@@ -134,7 +142,8 @@ impl Registry {
     }
 
     /// Records one stage observation into its histogram **and** the
-    /// journal ring.
+    /// journal ring, and — only when someone is watching — broadcasts
+    /// it on the live event bus.
     #[inline]
     pub fn record_stage(&self, stage: Stage, duration: Duration) {
         if !self.enabled.load(Ordering::Relaxed) {
@@ -142,6 +151,13 @@ impl Registry {
         }
         self.stages[stage.index()].record_duration(duration);
         self.journal.push(stage, duration);
+        if self.bus.has_subscribers() {
+            self.bus.publish(
+                ClusterEventKind::Stage,
+                stage.as_str(),
+                duration.as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
     }
 
     /// Starts a request-lifecycle [`Span`] (inert when disabled: no
@@ -178,6 +194,27 @@ impl Registry {
     /// The bounded buffer completed request traces land in.
     pub fn trace_buffer(&self) -> &TraceBuffer {
         &self.traces
+    }
+
+    /// The live event bus fed by this registry's journal and trace
+    /// buffer (and by whatever layers publish role/SLO events on it).
+    pub fn bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// Unregisters `name`, so later snapshots no longer carry it.
+    /// Returns whether it was registered. Handles already cloned out
+    /// keep recording into thin air — a re-registration under the same
+    /// name mints a fresh instrument — which is exactly the lifecycle
+    /// an evicted session's per-analyst gauges need: the series
+    /// disappears from scrapes instead of reporting its last value
+    /// forever.
+    pub fn remove(&self, name: &str) -> bool {
+        self.metrics
+            .lock()
+            .expect("registry poisoned")
+            .remove(name)
+            .is_some()
     }
 
     /// Begins a request trace for a client-assigned id — inert (no
@@ -260,6 +297,34 @@ impl MetricSnapshot {
             | MetricSnapshot::Histogram { name, .. } => name,
         }
     }
+
+    /// This sample with `key="value"` appended to its label section
+    /// (see [`label_metric_name`]).
+    pub fn with_label(mut self, key: &str, value: &str) -> MetricSnapshot {
+        let name = match &mut self {
+            MetricSnapshot::Counter { name, .. }
+            | MetricSnapshot::Gauge { name, .. }
+            | MetricSnapshot::Histogram { name, .. } => name,
+        };
+        *name = label_metric_name(name, key, value);
+        self
+    }
+}
+
+/// Appends `key="value"` to a labels-in-name metric name: `foo`
+/// becomes `foo{key="value"}` and `foo{a="b"}` becomes
+/// `foo{a="b",key="value"}`, so same-named metrics from different
+/// sources stay distinct series after a merge. The value is injected
+/// **raw**, like every `format!`-built name in the workspace — escaping
+/// happens exactly once, in [`render_prometheus`], so a quoted or
+/// backslashed value is never double-escaped on exposition.
+///
+/// [`render_prometheus`]: crate::render_prometheus
+pub fn label_metric_name(name: &str, key: &str, value: &str) -> String {
+    match name.strip_suffix('}') {
+        Some(head) => format!("{head},{key}=\"{value}\"}}"),
+        None => format!("{name}{{{key}=\"{value}\"}}"),
+    }
 }
 
 /// Merges snapshot sets from several registries (e.g. the engine's and
@@ -273,6 +338,26 @@ pub fn merge_snapshots(sets: Vec<Vec<MetricSnapshot>>) -> Vec<MetricSnapshot> {
         }
     }
     merged.into_values().collect()
+}
+
+/// Label-qualified merging for federated scrapes: every sample in each
+/// set gains a `key="<source>"` label before the merge, so same-named
+/// metrics from different sources survive as distinct series instead of
+/// first-occurrence-wins collapsing a fleet into one process's numbers.
+/// The result is name-sorted like [`merge_snapshots`]'s.
+pub fn merge_labeled_snapshots(
+    key: &str,
+    sets: Vec<(String, Vec<MetricSnapshot>)>,
+) -> Vec<MetricSnapshot> {
+    merge_snapshots(
+        sets.into_iter()
+            .map(|(source, set)| {
+                set.into_iter()
+                    .map(|snap| snap.with_label(key, &source))
+                    .collect()
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -371,6 +456,72 @@ mod tests {
             MetricSnapshot::Counter { value, .. } => assert_eq!(*value, 1),
             other => panic!("expected counter, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn remove_drops_the_series_and_reregistration_starts_fresh() {
+        let r = Registry::new();
+        let g = r.gauge("server_queue_depth{analyst=\"alice\"}");
+        g.set(7.0);
+        assert!(r.remove("server_queue_depth{analyst=\"alice\"}"));
+        assert!(!r.remove("server_queue_depth{analyst=\"alice\"}"));
+        assert!(!r
+            .snapshot()
+            .iter()
+            .any(|s| s.name().starts_with("server_queue_depth")));
+        // The orphaned handle still works but reaches no scrape …
+        g.set(9.0);
+        assert!(!r
+            .snapshot()
+            .iter()
+            .any(|s| s.name().starts_with("server_queue_depth")));
+        // … and re-registering mints a fresh series from zero.
+        let g2 = r.gauge("server_queue_depth{analyst=\"alice\"}");
+        assert_eq!(g2.get(), 0.0);
+    }
+
+    #[test]
+    fn label_metric_name_appends_or_creates_the_label_section() {
+        assert_eq!(
+            label_metric_name("net_requests_total", "replica", "n1"),
+            "net_requests_total{replica=\"n1\"}"
+        );
+        assert_eq!(
+            label_metric_name("eps{analyst=\"a\"}", "replica", "n1"),
+            "eps{analyst=\"a\",replica=\"n1\"}"
+        );
+    }
+
+    #[test]
+    fn labeled_merge_keeps_every_source_distinct() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("net_requests_total").add(3);
+        b.counter("net_requests_total").add(5);
+        let merged = merge_labeled_snapshots(
+            "replica",
+            vec![
+                ("n1".to_owned(), a.snapshot()),
+                ("n2".to_owned(), b.snapshot()),
+            ],
+        );
+        let value = |name: &str| match merged.iter().find(|s| s.name() == name).unwrap() {
+            MetricSnapshot::Counter { value, .. } => *value,
+            other => panic!("expected counter, got {other:?}"),
+        };
+        assert_eq!(value("net_requests_total{replica=\"n1\"}"), 3);
+        assert_eq!(value("net_requests_total{replica=\"n2\"}"), 5);
+        // Pre-labeled series compose: the replica label lands last.
+        assert!(merged
+            .iter()
+            .any(|s| s.name() == "span_stage_ns{stage=\"decode\",replica=\"n1\"}"));
+        // Nothing first-wins-collapsed: both sources contribute every
+        // series.
+        assert_eq!(merged.len(), a.snapshot().len() + b.snapshot().len());
+        let names: Vec<&str> = merged.iter().map(|s| s.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

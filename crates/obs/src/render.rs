@@ -232,6 +232,44 @@ mod tests {
     }
 
     #[test]
+    fn replica_qualified_names_round_trip_label_escaping() {
+        // A federated scrape qualifies every source's series with a
+        // replica label (raw value, like every format!-built name);
+        // rendering must escape each label value exactly once, so
+        // un-escaping the exposition recovers the original values.
+        let awkward_analyst = "al\"ice\\bob";
+        let awkward_node = "node\"seven\\nine";
+        let name = crate::registry::label_metric_name(
+            &format!("eps{{analyst=\"{awkward_analyst}\"}}"),
+            "replica",
+            awkward_node,
+        );
+        let text = render_prometheus(&[MetricSnapshot::Gauge { name, value: 4.0 }]);
+        let line = text.lines().find(|l| l.starts_with("eps{")).unwrap();
+        // Single-escaped on the wire …
+        assert_eq!(
+            line,
+            "eps{analyst=\"al\\\"ice\\\\bob\",replica=\"node\\\"seven\\\\nine\"} 4"
+        );
+        // … and un-escaping recovers the originals (the round trip).
+        let unescape = |v: &str| {
+            v.replace("\\\\", "\u{0}")
+                .replace("\\\"", "\"")
+                .replace('\u{0}', "\\")
+        };
+        let section = line
+            .strip_prefix("eps{")
+            .and_then(|l| l.split_once("} "))
+            .unwrap()
+            .0;
+        let values: Vec<String> = section
+            .split("\",")
+            .map(|kv| unescape(kv.split_once('=').unwrap().1.trim_matches('"')))
+            .collect();
+        assert_eq!(values, vec![awkward_analyst, awkward_node]);
+    }
+
+    #[test]
     fn well_formed_multi_label_sections_pass_through_unchanged() {
         assert_eq!(
             escape_label_section("a=\"x\",b=\"y z\""),

@@ -29,6 +29,7 @@
 //! [`link`](TraceSpan::link) id (minted by [`next_link_id`]), so
 //! amplification can be read off any single trace.
 
+use crate::bus::{ClusterEventKind, EventBus};
 use crate::span::Stage;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -274,6 +275,7 @@ struct TraceBufferCore {
     enabled: Arc<AtomicBool>,
     dropped: AtomicU64,
     finished: AtomicU64,
+    bus: Option<EventBus>,
 }
 
 /// The bounded, never-blocking store of completed traces.
@@ -291,6 +293,14 @@ pub struct TraceBuffer {
 
 impl TraceBuffer {
     pub(crate) fn with_switch(exemplars: usize, enabled: Arc<AtomicBool>) -> Self {
+        Self::with_switch_and_bus(exemplars, enabled, None)
+    }
+
+    pub(crate) fn with_switch_and_bus(
+        exemplars: usize,
+        enabled: Arc<AtomicBool>,
+        bus: Option<EventBus>,
+    ) -> Self {
         TraceBuffer {
             core: Arc::new(TraceBufferCore {
                 traces: Mutex::new(Vec::new()),
@@ -298,6 +308,7 @@ impl TraceBuffer {
                 enabled,
                 dropped: AtomicU64::new(0),
                 finished: AtomicU64::new(0),
+                bus,
             }),
         }
     }
@@ -337,6 +348,13 @@ impl TraceBuffer {
             return;
         }
         self.core.finished.fetch_add(1, Ordering::Relaxed);
+        if let Some(bus) = self.core.bus.as_ref().filter(|b| b.has_subscribers()) {
+            bus.publish(
+                ClusterEventKind::Trace,
+                &format!("{}:{}", tree.id, tree.outcome),
+                tree.total_ns,
+            );
+        }
         let Ok(mut traces) = self.core.traces.try_lock() else {
             self.core.dropped.fetch_add(1, Ordering::Relaxed);
             return;

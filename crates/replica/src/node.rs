@@ -23,10 +23,10 @@ use bf_core::Epsilon;
 use bf_engine::{Engine, EngineError};
 use bf_net::proto::RESERVED_REQUEST_ID_BASE;
 use bf_net::{
-    ClientMessage, NetConfig, NetServer, ReplicaHook, ServerMessage, ServerRole, WireError,
-    WireLogEntry, WireLogOp, PROTOCOL_VERSION,
+    ClientMessage, NetConfig, NetServer, PeerScrape, ReplicaHealth, ReplicaHook, ServerMessage,
+    ServerRole, WireError, WireLogEntry, WireLogOp, WireMetric, PROTOCOL_VERSION,
 };
-use bf_obs::{Gauge, Histogram};
+use bf_obs::{ClusterEventKind, Gauge, Histogram, MetricSnapshot};
 use bf_server::{Server, ServerConfig, ServerError, Ticket, TicketResolver};
 use bf_store::{frame_bytes, read_frame, FrameRead, Record, Store, StoreError};
 use std::collections::HashMap;
@@ -82,6 +82,10 @@ pub struct ReplicaConfig {
     /// Scheduler knobs for the inner [`Server`] (reads and the driver
     /// still run through it; replicated writes bypass its queues).
     pub server: ServerConfig,
+    /// Human-readable node name used as the `replica` label on
+    /// federated scrapes and in health reports. Empty means "name me
+    /// after my peer address" (resolved at [`Replica::start`]).
+    pub name: String,
 }
 
 impl Default for ReplicaConfig {
@@ -94,6 +98,7 @@ impl Default for ReplicaConfig {
             fault_plan: None,
             net: NetConfig::default(),
             server: ServerConfig::default(),
+            name: String::new(),
         }
     }
 }
@@ -266,8 +271,15 @@ struct Node {
     conn_ids: AtomicU64,
     /// Joinable per-follower stream handlers.
     handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// The `replica` label this node reports on scrapes and health.
+    name: Mutex<String>,
+    /// Named peer-port addresses of the other cluster members, for
+    /// federated scrape fan-out and health probes (see
+    /// [`Replica::set_peers`]).
+    peers: Mutex<Vec<(String, SocketAddr)>>,
     g_log_index: Gauge,
     g_lag: Gauge,
+    g_cluster_lag: Gauge,
     g_epoch: Gauge,
     g_role_leader: Gauge,
     g_role_follower: Gauge,
@@ -343,8 +355,11 @@ impl Node {
             fault_plan: cfg.fault_plan.clone(),
             conn_ids: AtomicU64::new(1),
             handlers: Mutex::new(Vec::new()),
+            name: Mutex::new(cfg.name.clone()),
+            peers: Mutex::new(Vec::new()),
             g_log_index: obs.gauge("replica_log_index"),
             g_lag: obs.gauge("replica_lag_entries"),
+            g_cluster_lag: obs.gauge("replica_cluster_lag_entries"),
             g_epoch: obs.gauge("replica_epoch"),
             g_role_leader: obs.gauge("replica_role{role=\"leader\"}"),
             g_role_follower: obs.gauge("replica_role{role=\"follower\"}"),
@@ -362,6 +377,26 @@ impl Node {
         let leading = st.role == Role::Leader && !self.dead.load(Ordering::SeqCst);
         self.g_role_leader.set(if leading { 1.0 } else { 0.0 });
         self.g_role_follower.set(if leading { 0.0 } else { 1.0 });
+    }
+
+    /// Re-derives every replication gauge from the live [`NodeState`].
+    /// Called at scrape time so `replica_log_index` /
+    /// `replica_lag_entries` never serve a value from the last role
+    /// change instead of the present.
+    fn refresh_gauges(&self) {
+        let st = self.state.lock().unwrap();
+        self.update_gauges(&st);
+    }
+
+    /// Announces a role transition on the cluster event bus:
+    /// `detail = "{role}@{epoch}"`, `value = epoch`. Deliberately
+    /// *not* wired into [`Node::update_gauges`] — that runs once per
+    /// applied entry and would flood every watcher.
+    fn publish_role(&self, role: &str, epoch: u64) {
+        self.engine
+            .obs()
+            .bus()
+            .publish(ClusterEventKind::Role, &format!("{role}@{epoch}"), epoch);
     }
 
     /// Leader-side commit rule: the quorum-th largest durable high-water
@@ -414,6 +449,7 @@ impl Node {
             let commit = st.commit_index;
             st.waiters.retain(|&i, _| i <= commit);
             st.generation += 1;
+            self.publish_role("follower", seen_epoch);
         }
         self.update_gauges(st);
         self.cv.notify_all();
@@ -548,6 +584,7 @@ impl Node {
         let mut st = self.state.lock().unwrap();
         self.drop_waiters(&mut st);
         st.generation += 1;
+        self.publish_role("dead", st.epoch);
         self.update_gauges(&st);
         self.cv.notify_all();
     }
@@ -715,6 +752,33 @@ impl Node {
                         epoch: st.epoch,
                         high_water: st.high_water(),
                         applied: st.applied,
+                    }
+                };
+                let _ = write_frame(&mut stream, &reply);
+                return;
+            }
+            Some(ClientMessage::Stats { id }) => {
+                // Peer-port scrape: the serving node fanning a
+                // federated `ClusterStats` out to the fleet. Refresh
+                // the replication gauges first so the snapshot carries
+                // this instant, not the last role change; a killed
+                // node models a crashed process and reports nothing.
+                let reply = if self.dead.load(Ordering::SeqCst) {
+                    ServerMessage::Refused {
+                        id,
+                        error: WireError::ShutDown,
+                        trace_id: None,
+                    }
+                } else {
+                    self.refresh_gauges();
+                    ServerMessage::StatsReport {
+                        id,
+                        metrics: self
+                            .engine
+                            .metrics_snapshot()
+                            .iter()
+                            .map(WireMetric::from_snapshot)
+                            .collect(),
                     }
                 };
                 let _ = write_frame(&mut stream, &reply);
@@ -1121,6 +1185,36 @@ impl Node {
         }
     }
 
+    /// Pulls the full metric snapshot off the peer at `addr` (its
+    /// replication peer port). `None` means unreachable or dead — the
+    /// federated scrape reports the member as such instead of failing
+    /// the whole fan-out.
+    fn scrape_peer(&self, addr: SocketAddr) -> Option<Vec<MetricSnapshot>> {
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(
+            &mut stream,
+            &ClientMessage::Hello {
+                id: 1,
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .ok()?;
+        match self.read_peer_server_frame(&mut stream, &mut buf)? {
+            ServerMessage::Welcome { .. } => {}
+            _ => return None,
+        }
+        write_frame(&mut stream, &ClientMessage::Stats { id: 2 }).ok()?;
+        match self.read_peer_server_frame(&mut stream, &mut buf)? {
+            ServerMessage::StatsReport { metrics, .. } => {
+                Some(metrics.iter().map(WireMetric::to_snapshot).collect())
+            }
+            _ => None,
+        }
+    }
+
     fn read_peer_server_frame(
         &self,
         stream: &mut TcpStream,
@@ -1197,6 +1291,79 @@ impl ReplicaHook for Node {
         let lag = st.commit_index.saturating_sub(st.applied);
         (lag > bound).then_some(WireError::StaleReplica { lag_entries: lag })
     }
+
+    fn refresh_observability(&self) {
+        self.refresh_gauges();
+    }
+
+    fn node_name(&self) -> String {
+        self.name.lock().unwrap().clone()
+    }
+
+    fn scrape_peers(&self) -> Vec<PeerScrape> {
+        let peers = self.peers.lock().unwrap().clone();
+        peers
+            .into_iter()
+            .map(|(node, addr)| match self.scrape_peer(addr) {
+                Some(metrics) => PeerScrape {
+                    node,
+                    reachable: true,
+                    metrics,
+                },
+                None => PeerScrape {
+                    node,
+                    reachable: false,
+                    metrics: Vec::new(),
+                },
+            })
+            .collect()
+    }
+
+    fn health(&self) -> Option<ReplicaHealth> {
+        let (role, epoch, applied, high_water, mut lag) = {
+            let st = self.state.lock().unwrap();
+            self.update_gauges(&st);
+            let role = if self.dead.load(Ordering::SeqCst) {
+                "dead"
+            } else if st.role == Role::Leader {
+                "leader"
+            } else {
+                "follower"
+            };
+            (
+                role.to_string(),
+                st.epoch,
+                st.applied,
+                st.high_water(),
+                st.commit_index.saturating_sub(st.applied),
+            )
+        };
+        // Probe the fleet *outside* the state lock: cluster lag is the
+        // worst distance any member (this one included) sits behind
+        // the durable high-water mark. An unreachable peer counts as
+        // maximally behind — it can confirm nothing.
+        let peers = self.peers.lock().unwrap().clone();
+        let mut unreachable = Vec::new();
+        for (node, addr) in peers {
+            match self.probe_peer(addr) {
+                Some((_, _, peer_applied)) => {
+                    lag = lag.max(high_water.saturating_sub(peer_applied));
+                }
+                None => {
+                    lag = lag.max(high_water);
+                    unreachable.push(node);
+                }
+            }
+        }
+        self.g_cluster_lag.set(lag as f64);
+        Some(ReplicaHealth {
+            role,
+            epoch,
+            applied,
+            lag,
+            unreachable,
+        })
+    }
 }
 
 fn write_frame<M: WireEncode>(stream: &mut TcpStream, msg: &M) -> std::io::Result<()> {
@@ -1272,6 +1439,14 @@ impl Replica {
             },
         )?;
         node.state.lock().unwrap().self_hint = net.local_addr().to_string();
+        {
+            // An unnamed node labels its scrapes after the peer port —
+            // unique per cluster member by construction.
+            let mut name = node.name.lock().unwrap();
+            if name.is_empty() {
+                *name = peer_addr.to_string();
+            }
+        }
 
         let mut threads = Vec::new();
         let applier = Arc::clone(&node);
@@ -1316,9 +1491,20 @@ impl Replica {
         st.leader_hint = st.self_hint.clone();
         st.follow_target = None;
         st.generation += 1;
+        self.node.publish_role("leader", st.epoch);
         self.node.update_gauges(&st);
         self.node.recompute_commit(&mut st);
         self.node.cv.notify_all();
+    }
+
+    /// Registers the other cluster members' replication peer ports,
+    /// each under the `replica` label it scrapes as. Feeds the
+    /// federated [`bf_net::Client::cluster_stats`] fan-out and the
+    /// health probe's reachability / cluster-lag computation. Replaces
+    /// any previous peer set (idempotent; call again after membership
+    /// changes).
+    pub fn set_peers(&self, peers: &[(String, SocketAddr)]) {
+        *self.node.peers.lock().unwrap() = peers.to_vec();
     }
 
     /// Makes this replica a follower streaming from `leader_peer`,
@@ -1331,6 +1517,7 @@ impl Replica {
         st.leader_hint = leader_hint.to_string();
         st.follower_acks.clear();
         st.generation += 1;
+        self.node.publish_role("follower", st.epoch);
         self.node.update_gauges(&st);
         self.node.cv.notify_all();
     }
@@ -1373,6 +1560,7 @@ impl Replica {
         st.role = Role::Leader;
         st.leader_hint = st.self_hint.clone();
         st.follower_acks.clear();
+        self.node.publish_role("leader", st.epoch);
         self.node.update_gauges(&st);
         self.node.cv.notify_all();
     }
@@ -2014,5 +2202,274 @@ mod tests {
             "replay after restart must not double-charge"
         );
         r.shutdown().unwrap();
+    }
+
+    /// Starts a named 3-replica cluster (alpha leading, beta and gamma
+    /// following) with the leader's peer list registered, optionally
+    /// with SLOs on the leader's client port.
+    fn named_trio(tag: &str, seed: u64, slos: Vec<bf_obs::SloSpec>) -> (Replica, Replica, Replica) {
+        let cfg = |name: &str, slos: Vec<bf_obs::SloSpec>| ReplicaConfig {
+            seed,
+            quorum: 2,
+            name: name.into(),
+            net: NetConfig {
+                slos,
+                ..NetConfig::default()
+            },
+            ..ReplicaConfig::default()
+        };
+        let leader = replica(&format!("{tag}-alpha"), cfg("alpha", slos));
+        let beta = replica(&format!("{tag}-beta"), cfg("beta", Vec::new()));
+        let gamma = replica(&format!("{tag}-gamma"), cfg("gamma", Vec::new()));
+        leader.lead();
+        let hint = leader.client_addr().to_string();
+        beta.follow(leader.peer_addr(), &hint);
+        gamma.follow(leader.peer_addr(), &hint);
+        leader.set_peers(&[
+            ("beta".into(), beta.peer_addr()),
+            ("gamma".into(), gamma.peer_addr()),
+        ]);
+        (leader, beta, gamma)
+    }
+
+    fn drain_to(r: &Replica, applied: u64) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while r.status().applied < applied && Instant::now() < deadline {
+            std::thread::sleep(POLL);
+        }
+        assert_eq!(r.status().applied, applied, "replay never drained");
+    }
+
+    #[test]
+    fn federated_scrape_covers_every_replica_exactly_once() {
+        let (leader, beta, gamma) = named_trio("replica-scrape", 31, Vec::new());
+        let mut client = Client::connect(leader.client_addr()).unwrap();
+        client.open_session("s", 4.0).unwrap();
+        call_tagged(
+            &mut client,
+            "s",
+            11,
+            &Request::range("pol", "ds", eps(0.5), 0, 8),
+        )
+        .unwrap();
+        drain_to(&beta, 2);
+        drain_to(&gamma, 2);
+
+        let replicas = client.cluster_stats().unwrap();
+        let mut names: Vec<&str> = replicas.iter().map(|r| r.node.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(
+            names,
+            ["alpha", "beta", "gamma"],
+            "each member exactly once"
+        );
+        for rep in &replicas {
+            assert!(rep.reachable, "{} must be reachable", rep.node);
+            assert!(
+                rep.metrics.iter().any(|m| m.name() == "replica_log_index"),
+                "{} scrape must carry replication gauges",
+                rep.node
+            );
+        }
+        // Peer scrapes refresh at source: every member reports the
+        // same durable position, not a stale gauge from its last role
+        // change.
+        for rep in &replicas {
+            let log_index = rep
+                .metrics
+                .iter()
+                .find_map(|m| match m {
+                    bf_net::WireMetric::Gauge { name, bits } if name == "replica_log_index" => {
+                        Some(f64::from_bits(*bits))
+                    }
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(log_index, 2.0, "{} reports a stale log index", rep.node);
+        }
+        // The merge helper qualifies every series per source replica.
+        let merged = bf_obs::merge_labeled_snapshots(
+            "replica",
+            replicas
+                .iter()
+                .map(|r| {
+                    (
+                        r.node.clone(),
+                        r.metrics
+                            .iter()
+                            .map(bf_net::WireMetric::to_snapshot)
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        for name in ["alpha", "beta", "gamma"] {
+            assert!(
+                merged
+                    .iter()
+                    .any(|m| m.name() == format!("replica_log_index{{replica=\"{name}\"}}")),
+                "merged scrape is missing {name}"
+            );
+        }
+
+        client.goodbye().unwrap();
+        gamma.shutdown().unwrap();
+        beta.shutdown().unwrap();
+        leader.shutdown().unwrap();
+    }
+
+    #[test]
+    fn follower_kill_flips_health_fires_slo_and_streams_the_event() {
+        let slos = vec![bf_obs::SloSpec {
+            name: "cluster-lag".into(),
+            objective: bf_obs::SloObjective::ReplicationLagUnder {
+                metric: "replica_cluster_lag_entries".into(),
+                max_entries: 1.0,
+            },
+        }];
+        let (leader, beta, gamma) = named_trio("replica-kill-health", 32, slos);
+        let mut client = Client::connect(leader.client_addr()).unwrap();
+        client.open_session("k", 4.0).unwrap();
+        for i in 0..3 {
+            call_tagged(
+                &mut client,
+                "k",
+                20 + i,
+                &Request::range("pol", "ds", eps(0.25), 0, 8),
+            )
+            .unwrap();
+        }
+        drain_to(&beta, 4);
+        drain_to(&gamma, 4);
+
+        // Healthy fleet: leader role, nobody unreachable, SLO quiet.
+        let health = client.health().unwrap();
+        assert_eq!(health.role, "leader");
+        assert_eq!(health.epoch, 0);
+        assert_eq!(health.applied, 4);
+        assert_eq!(health.lag, 0);
+        assert!(health.unreachable.is_empty());
+        assert!(health.firing.is_empty());
+
+        // Subscribe *before* the failure so the transition is pushed.
+        let mut watcher = Client::connect(leader.client_addr()).unwrap();
+        let mut watch = watcher.watch().unwrap();
+
+        gamma.kill();
+
+        // The next health probe sees the dead follower: unreachable,
+        // counted as maximally lagged, and the lag SLO fires.
+        let health = client.health().unwrap();
+        assert_eq!(health.unreachable, vec!["gamma".to_string()]);
+        assert_eq!(health.lag, 4, "a dead peer confirms nothing");
+        assert_eq!(health.firing, vec!["cluster-lag".to_string()]);
+
+        // The firing transition reached the open watch as an event.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut fired = None;
+        while fired.is_none() && Instant::now() < deadline {
+            match watch.next(Duration::from_millis(100)).unwrap() {
+                Some(ev) if ev.kind == bf_obs::ClusterEventKind::Slo => fired = Some(ev),
+                Some(_) | None => {}
+            }
+        }
+        let ev = fired.expect("slo transition never reached the watcher");
+        assert_eq!(ev.detail, "cluster-lag");
+        assert_eq!(ev.value, 1, "value 1 encodes firing=true");
+
+        // The federated scrape now reports the member as unreachable —
+        // still exactly once.
+        let replicas = client.cluster_stats().unwrap();
+        assert_eq!(replicas.len(), 3);
+        let dead = replicas.iter().find(|r| r.node == "gamma").unwrap();
+        assert!(!dead.reachable);
+        assert!(dead.metrics.is_empty());
+        assert!(replicas
+            .iter()
+            .filter(|r| r.node != "gamma")
+            .all(|r| r.reachable));
+
+        client.goodbye().unwrap();
+        gamma.shutdown().unwrap();
+        beta.shutdown().unwrap();
+        leader.shutdown().unwrap();
+    }
+
+    #[test]
+    fn observability_plane_never_perturbs_the_noise_sequence() {
+        // Two same-seed clusters run the same workload; one is
+        // saturated with cluster-plane traffic (scrapes, health
+        // probes, SLO evaluation, a live watch), the other untouched.
+        // The plane is a pure side channel, so the ledgers and cached
+        // replies must come out byte-identical.
+        let run =
+            |tag: &str, plane: bool| -> (Vec<(String, u64)>, Vec<Option<bf_engine::Response>>) {
+                let slos = if plane {
+                    vec![bf_obs::SloSpec {
+                        name: "lag".into(),
+                        objective: bf_obs::SloObjective::ReplicationLagUnder {
+                            metric: "replica_cluster_lag_entries".into(),
+                            max_entries: 1000.0,
+                        },
+                    }]
+                } else {
+                    Vec::new()
+                };
+                let (leader, beta, gamma) = named_trio(tag, 33, slos);
+                let mut client = Client::connect(leader.client_addr()).unwrap();
+                let mut watcher = Client::connect(leader.client_addr()).unwrap();
+                let mut watch = plane.then(|| watcher.watch().unwrap());
+
+                client.open_session("d", 8.0).unwrap();
+                for i in 0..6 {
+                    if let Some(w) = watch.as_mut() {
+                        // Interleave plane reads with the workload.
+                        let _ = w.next(Duration::from_millis(1));
+                    }
+                    call_tagged(
+                        &mut client,
+                        "d",
+                        50 + i,
+                        &Request::range("pol", "ds", eps(0.25), i as usize, 8 + i as usize),
+                    )
+                    .unwrap();
+                    if plane {
+                        client.cluster_stats().unwrap();
+                        client.health().unwrap();
+                    }
+                }
+                drain_to(&beta, 7);
+                drain_to(&gamma, 7);
+
+                let ledger: Vec<(String, u64)> = leader
+                    .engine()
+                    .ledger_history("d")
+                    .unwrap()
+                    .iter()
+                    .map(|e| (e.label.clone(), e.eps_bits))
+                    .collect();
+                let replies: Vec<Option<bf_engine::Response>> = (0..6)
+                    .map(|i| leader.engine().cached_reply("d", 50 + i))
+                    .collect();
+                // Followers agree with the leader regardless of the plane.
+                let follower_ledger: Vec<(String, u64)> = beta
+                    .engine()
+                    .ledger_history("d")
+                    .unwrap()
+                    .iter()
+                    .map(|e| (e.label.clone(), e.eps_bits))
+                    .collect();
+                assert_eq!(ledger, follower_ledger);
+
+                client.goodbye().unwrap();
+                gamma.shutdown().unwrap();
+                beta.shutdown().unwrap();
+                leader.shutdown().unwrap();
+                (ledger, replies)
+            };
+        let (plain_ledger, plain_replies) = run("replica-plane-off", false);
+        let (plane_ledger, plane_replies) = run("replica-plane-on", true);
+        assert_eq!(plain_ledger, plane_ledger, "plane perturbed the ledger");
+        assert_eq!(plain_replies, plane_replies, "plane perturbed the noise");
     }
 }

@@ -747,6 +747,19 @@ impl Server {
                 };
                 let evicted = self.engine.evict_idle_sessions_except(ttl, &busy);
                 self.counters.evicted_sessions.add(evicted.len() as u64);
+                if !evicted.is_empty() {
+                    // Retire the evicted analysts' queue structures and
+                    // unregister their depth gauges, so scrapes stop
+                    // carrying dead `server_queue_depth{analyst=…}`
+                    // series. Eviction exempted busy analysts, so the
+                    // queues being dropped are empty.
+                    let mut state = self.state.lock().expect("scheduler state poisoned");
+                    for analyst in &evicted {
+                        state.queues.remove(analyst);
+                        self.obs
+                            .remove(&format!("server_queue_depth{{analyst={analyst:?}}}"));
+                    }
+                }
             }
         }
         resolved

@@ -1,0 +1,208 @@
+//! The cluster observability plane watching a three-replica fleet
+//! lose a follower.
+//!
+//! ```text
+//! cargo run --release --example cluster_health
+//! ```
+//!
+//! A leader and two followers serve a small workload while the
+//! observability plane is fully on: a declarative replication-lag SLO
+//! evaluates on every scrape, one `ClusterStats` call federates every
+//! member's metrics under a `replica` label, `Health` answers cheap
+//! load-balancer probes, and a live `Watch` streams cluster events.
+//! The demo then kills a follower and shows all three surfaces react:
+//! the health report names the unreachable member, the lag SLO fires
+//! (a dead peer confirms nothing, so it counts as maximally behind),
+//! and the firing transition arrives as a pushed event on the watch
+//! that was opened before the failure.
+
+use blowfish::net::Client;
+use blowfish::obs::{merge_labeled_snapshots, ClusterEventKind, SloObjective, SloSpec};
+use blowfish::prelude::*;
+use blowfish::replica::Replica;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 2014;
+const QUORUM: usize = 2;
+const PER_QUERY_EPS: f64 = 0.125;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// Runs identically on every replica — the replicated-state script.
+fn setup(engine: &Engine) {
+    let domain = Domain::line(96).expect("domain");
+    engine
+        .register_policy("salaries", Policy::distance_threshold(domain.clone(), 6))
+        .expect("policy");
+    let rows: Vec<usize> = (0..9_600).map(|i| (i * 31) % 96).collect();
+    engine
+        .register_dataset("payroll", Dataset::from_rows(domain, rows).expect("rows"))
+        .expect("dataset");
+}
+
+fn spawn(name: &str, slos: Vec<SloSpec>) -> Replica {
+    let dir = format!("target/cluster-health-demo/{name}");
+    let _ = std::fs::remove_dir_all(&dir);
+    Replica::start(
+        dir,
+        "127.0.0.1:0",
+        "127.0.0.1:0",
+        ReplicaConfig {
+            seed: SEED,
+            quorum: QUORUM,
+            name: name.into(),
+            net: NetConfig {
+                slos,
+                ..NetConfig::default()
+            },
+            ..ReplicaConfig::default()
+        },
+        setup,
+    )
+    .expect("start replica")
+}
+
+fn await_applied(r: &Replica, target: u64, who: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while r.status().applied < target {
+        assert!(Instant::now() < deadline, "{who} never caught up");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn main() {
+    println!("== cluster observability plane: federated scrape, SLOs, live events ==\n");
+
+    // One declarative objective: fleet replication lag must stay
+    // under 2 entries. Evaluated against every scrape the leader's
+    // client port serves; a dead peer counts as maximally behind.
+    let slos = vec![SloSpec {
+        name: "replication-lag".into(),
+        objective: SloObjective::ReplicationLagUnder {
+            metric: "replica_cluster_lag_entries".into(),
+            max_entries: 2.0,
+        },
+    }];
+    let leader = spawn("alpha", slos);
+    let beta = spawn("beta", Vec::new());
+    let gamma = spawn("gamma", Vec::new());
+    leader.lead();
+    let hint = leader.client_addr().to_string();
+    beta.follow(leader.peer_addr(), &hint);
+    gamma.follow(leader.peer_addr(), &hint);
+    leader.set_peers(&[
+        ("beta".into(), beta.peer_addr()),
+        ("gamma".into(), gamma.peer_addr()),
+    ]);
+    println!("cluster: alpha (leader) + beta + gamma, quorum {QUORUM}\n");
+
+    // A live watch, subscribed before anything interesting happens.
+    let mut watcher = Client::connect(leader.client_addr()).expect("connect watcher");
+    let mut watch = watcher.watch().expect("open watch");
+
+    // A small replicated workload.
+    let mut client = Client::connect(leader.client_addr()).expect("connect");
+    client.open_session("hr", 4.0).expect("open session");
+    for i in 0..6u64 {
+        let lo = (i as usize * 13) % 64;
+        let id = client
+            .submit_tagged(
+                "hr",
+                &Request::range("salaries", "payroll", eps(PER_QUERY_EPS), lo, lo + 16),
+                Some(i + 1),
+                None,
+            )
+            .expect("submit");
+        client.wait(id).expect("answer");
+    }
+    await_applied(&beta, 7, "beta");
+    await_applied(&gamma, 7, "gamma");
+
+    // --- Federated scrape: the whole fleet in one call -------------
+    let replicas = client.cluster_stats().expect("cluster stats");
+    println!("one ClusterStats call covered {} members:", replicas.len());
+    for r in &replicas {
+        println!(
+            "  replica=\"{}\"  reachable={}  series={}",
+            r.node,
+            r.reachable,
+            r.metrics.len()
+        );
+    }
+    let merged = merge_labeled_snapshots(
+        "replica",
+        replicas
+            .iter()
+            .map(|r| {
+                (
+                    r.node.clone(),
+                    r.metrics.iter().map(|m| m.to_snapshot()).collect(),
+                )
+            })
+            .collect(),
+    );
+    let fleet_series = merged
+        .iter()
+        .filter(|m| m.name().starts_with("replica_log_index"))
+        .count();
+    println!("merged into one registry view: {fleet_series} replica-labeled log-index series\n");
+
+    // --- Health while everything is fine ---------------------------
+    let health = client.health().expect("health");
+    println!(
+        "health(alpha): role={} epoch={} applied={} lag={} unreachable={:?} firing={:?}",
+        health.role, health.epoch, health.applied, health.lag, health.unreachable, health.firing
+    );
+    assert!(health.firing.is_empty(), "nothing should fire yet");
+
+    // --- Kill a follower -------------------------------------------
+    println!("\nkilling follower gamma…\n");
+    gamma.kill();
+
+    let health = client.health().expect("health");
+    println!(
+        "health(alpha): role={} lag={} unreachable={:?} firing={:?}",
+        health.role, health.lag, health.unreachable, health.firing
+    );
+    assert_eq!(health.unreachable, vec!["gamma".to_string()]);
+    assert_eq!(health.firing, vec!["replication-lag".to_string()]);
+
+    // The SLO transition was pushed to the watch opened before the
+    // failure — no polling required.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let fired = loop {
+        assert!(Instant::now() < deadline, "SLO event never arrived");
+        match watch.next(Duration::from_millis(100)).expect("watch") {
+            Some(ev) if ev.kind == ClusterEventKind::Slo => break ev,
+            Some(_) | None => continue,
+        }
+    };
+    println!(
+        "\npushed event: kind=slo detail={:?} firing={}",
+        fired.detail,
+        fired.value == 1
+    );
+    assert_eq!(fired.detail, "replication-lag");
+
+    // The federated scrape still covers the fleet — the dead member
+    // is reported as unreachable, not silently dropped.
+    let replicas = client.cluster_stats().expect("cluster stats");
+    let dead: Vec<&str> = replicas
+        .iter()
+        .filter(|r| !r.reachable)
+        .map(|r| r.node.as_str())
+        .collect();
+    println!(
+        "post-kill scrape: {} members, unreachable={dead:?}",
+        replicas.len()
+    );
+    assert_eq!(dead, ["gamma"]);
+
+    client.goodbye().expect("goodbye");
+    gamma.shutdown().expect("shutdown gamma");
+    beta.shutdown().expect("shutdown beta");
+    leader.shutdown().expect("shutdown leader");
+    println!("\nOK: health flipped, SLO fired, and the event streamed — the plane saw it all.");
+}
